@@ -1,0 +1,317 @@
+//! The assembled accelerator and the paper's platform presets.
+
+use crate::{EnergyTable, MemorySystem, Noc, PeArray, Sfu};
+use flat_tensor::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete accelerator description: everything the FLAT cost model needs
+/// to price a (workload, dataflow) pair.
+///
+/// Matches Figure 5 of the paper: PE array with per-PE local scratchpads
+/// (SL), a shared global scratchpad (SG), distribution/reduction NoC,
+/// special-function unit, and a two-level memory system.
+///
+/// Construct one with [`Accelerator::edge`], [`Accelerator::cloud`], or
+/// [`Accelerator::builder`].
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::{Accelerator, Noc};
+/// use flat_tensor::Bytes;
+///
+/// let custom = Accelerator::builder("my-accel")
+///     .pe(64, 64)
+///     .sg(Bytes::from_mib(4))
+///     .noc(Noc::Tree)
+///     .build();
+/// assert_eq!(custom.pe.count(), 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Human-readable platform name (e.g. `"edge"`).
+    pub name: String,
+    /// The MAC array.
+    pub pe: PeArray,
+    /// Capacity of each PE's local scratchpad (SL).
+    pub sl_per_pe: Bytes,
+    /// Capacity of the shared global scratchpad (SG).
+    pub sg: Bytes,
+    /// Distribution/reduction network.
+    pub noc: Noc,
+    /// Softmax / non-linearity unit.
+    pub sfu: Sfu,
+    /// On-chip and off-chip bandwidths.
+    pub mem: MemorySystem,
+    /// Clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Per-action energy table.
+    pub energy: EnergyTable,
+    /// Optional second-level on-chip buffer between the SG and DRAM
+    /// (§3.1's multi-level hierarchy). `None` for the paper's single-level
+    /// presets.
+    pub l2_sram: Option<crate::L2Sram>,
+}
+
+impl Accelerator {
+    /// The edge platform of Figure 7(a): 32×32 PEs, 512 KiB SG, 1 TB/s
+    /// on-chip, 50 GB/s off-chip, 1 GHz.
+    #[must_use]
+    pub fn edge() -> Self {
+        Accelerator {
+            name: "edge".to_owned(),
+            pe: PeArray::new(32, 32),
+            sl_per_pe: Bytes::from_kib(1),
+            sg: Bytes::from_kib(512),
+            noc: Noc::Systolic,
+            // §6.1: the SFU "has enough FLOPs to not bottleneck the
+            // compute flow for all variants" — 256 elem/cycle keeps the
+            // sequential baseline's whole-tensor softmax pass well under
+            // its GEMM time on a 1024-MAC array.
+            sfu: Sfu::new(256, 16),
+            mem: MemorySystem::new(1.0e12, 50.0e9),
+            clock_hz: 1.0e9,
+            energy: EnergyTable::default_16bit(),
+            l2_sram: None,
+        }
+    }
+
+    /// The cloud platform of Figure 7(a): 256×256 PEs, 32 MiB SG, 8 TB/s
+    /// on-chip, 400 GB/s off-chip, 1 GHz.
+    #[must_use]
+    pub fn cloud() -> Self {
+        Accelerator {
+            name: "cloud".to_owned(),
+            pe: PeArray::new(256, 256),
+            sl_per_pe: Bytes::from_kib(1),
+            sg: Bytes::from_mib(32),
+            noc: Noc::Systolic,
+            sfu: Sfu::new(8192, 16),
+            mem: MemorySystem::new(8.0e12, 400.0e9),
+            clock_hz: 1.0e9,
+            energy: EnergyTable::default_16bit(),
+            l2_sram: None,
+        }
+    }
+
+    /// Starts building a custom accelerator; unspecified fields default to
+    /// the edge preset's values.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> AcceleratorBuilder {
+        AcceleratorBuilder { inner: Accelerator { name: name.into(), ..Accelerator::edge() } }
+    }
+
+    /// Peak compute throughput in FLOP/s (2 FLOPs per MAC per PE per cycle).
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        2.0 * self.pe.count() as f64 * self.clock_hz
+    }
+
+    /// Peak MAC throughput per cycle.
+    #[must_use]
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.pe.macs_per_cycle()
+    }
+
+    /// On-chip bandwidth, bytes per cycle.
+    #[must_use]
+    pub fn onchip_bytes_per_cycle(&self) -> f64 {
+        self.mem.onchip_bytes_per_cycle(self.clock_hz)
+    }
+
+    /// Off-chip bandwidth, bytes per cycle.
+    #[must_use]
+    pub fn offchip_bytes_per_cycle(&self) -> f64 {
+        self.mem.offchip_bytes_per_cycle(self.clock_hz)
+    }
+
+    /// Total PE-local scratchpad capacity across the array.
+    #[must_use]
+    pub fn total_sl(&self) -> Bytes {
+        self.sl_per_pe * self.pe.count()
+    }
+
+    /// Returns a copy with a different SG capacity (used by the Figure 8/9
+    /// buffer sweeps).
+    #[must_use]
+    pub fn with_sg(&self, sg: Bytes) -> Self {
+        let mut a = self.clone();
+        a.sg = sg;
+        a
+    }
+
+    /// Returns a copy with a different off-chip bandwidth (used by the
+    /// Figure 12(b) bandwidth-requirement search).
+    #[must_use]
+    pub fn with_offchip_bw(&self, bytes_per_s: f64) -> Self {
+        let mut a = self.clone();
+        a.mem = a.mem.with_offchip(bytes_per_s);
+        a
+    }
+
+    /// Converts a cycle count to seconds at this accelerator's clock.
+    #[must_use]
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}, SG {}, {} NoC, {}, {:.1} GHz",
+            self.name,
+            self.pe,
+            self.sg,
+            self.noc,
+            self.mem,
+            self.clock_hz / 1e9
+        )
+    }
+}
+
+/// Builder for custom [`Accelerator`] configurations.
+///
+/// Every setter returns `self`, so configuration chains fluently; defaults
+/// come from [`Accelerator::edge`].
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    inner: Accelerator,
+}
+
+impl AcceleratorBuilder {
+    /// Sets the PE array shape.
+    #[must_use]
+    pub fn pe(mut self, rows: u64, cols: u64) -> Self {
+        self.inner.pe = PeArray::new(rows, cols);
+        self
+    }
+
+    /// Sets the global scratchpad capacity.
+    #[must_use]
+    pub fn sg(mut self, sg: Bytes) -> Self {
+        self.inner.sg = sg;
+        self
+    }
+
+    /// Sets the per-PE local scratchpad capacity.
+    #[must_use]
+    pub fn sl_per_pe(mut self, sl: Bytes) -> Self {
+        self.inner.sl_per_pe = sl;
+        self
+    }
+
+    /// Sets the NoC fabric.
+    #[must_use]
+    pub fn noc(mut self, noc: Noc) -> Self {
+        self.inner.noc = noc;
+        self
+    }
+
+    /// Sets the SFU configuration.
+    #[must_use]
+    pub fn sfu(mut self, sfu: Sfu) -> Self {
+        self.inner.sfu = sfu;
+        self
+    }
+
+    /// Sets the memory bandwidths.
+    #[must_use]
+    pub fn memory(mut self, mem: MemorySystem) -> Self {
+        self.inner.mem = mem;
+        self
+    }
+
+    /// Sets the clock frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not strictly positive and finite.
+    #[must_use]
+    pub fn clock_hz(mut self, clock_hz: f64) -> Self {
+        assert!(clock_hz > 0.0 && clock_hz.is_finite(), "clock must be positive");
+        self.inner.clock_hz = clock_hz;
+        self
+    }
+
+    /// Sets the energy table.
+    #[must_use]
+    pub fn energy(mut self, energy: EnergyTable) -> Self {
+        self.inner.energy = energy;
+        self
+    }
+
+    /// Adds a second-level on-chip buffer (§3.1 multi-level hierarchy).
+    #[must_use]
+    pub fn l2_sram(mut self, l2: crate::L2Sram) -> Self {
+        self.inner.l2_sram = Some(l2);
+        self
+    }
+
+    /// Finalizes the accelerator.
+    #[must_use]
+    pub fn build(self) -> Accelerator {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_preset_matches_figure_7a() {
+        let e = Accelerator::edge();
+        assert_eq!(e.pe, PeArray::new(32, 32));
+        assert_eq!(e.sg, Bytes::from_kib(512));
+        assert_eq!(e.mem.onchip_bytes_per_s, 1.0e12);
+        assert_eq!(e.mem.offchip_bytes_per_s, 50.0e9);
+        assert_eq!(e.clock_hz, 1.0e9);
+    }
+
+    #[test]
+    fn cloud_preset_matches_figure_7a() {
+        let c = Accelerator::cloud();
+        assert_eq!(c.pe, PeArray::new(256, 256));
+        assert_eq!(c.sg, Bytes::from_mib(32));
+        assert_eq!(c.mem.onchip_bytes_per_s, 8.0e12);
+        assert_eq!(c.mem.offchip_bytes_per_s, 400.0e9);
+    }
+
+    #[test]
+    fn peak_flops_is_2x_macs() {
+        let e = Accelerator::edge();
+        assert_eq!(e.peak_flops(), 2.0 * 1024.0 * 1.0e9);
+    }
+
+    #[test]
+    fn builder_overrides_selected_fields() {
+        let a = Accelerator::builder("x")
+            .pe(8, 16)
+            .sg(Bytes::from_mib(1))
+            .noc(Noc::Crossbar)
+            .clock_hz(2.0e9)
+            .build();
+        assert_eq!(a.pe.count(), 128);
+        assert_eq!(a.sg, Bytes::from_mib(1));
+        assert_eq!(a.noc, Noc::Crossbar);
+        // Unspecified fields come from the edge preset.
+        assert_eq!(a.mem.offchip_bytes_per_s, 50.0e9);
+    }
+
+    #[test]
+    fn sweep_helpers_replace_one_knob() {
+        let e = Accelerator::edge();
+        assert_eq!(e.with_sg(Bytes::from_mib(2)).sg, Bytes::from_mib(2));
+        assert_eq!(e.with_offchip_bw(1e11).mem.offchip_bytes_per_s, 1e11);
+        assert_eq!(e.with_sg(Bytes::from_mib(2)).pe, e.pe);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let e = Accelerator::edge();
+        assert!((e.cycles_to_seconds(1.0e9) - 1.0).abs() < 1e-12);
+    }
+}

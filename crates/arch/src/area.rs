@@ -1,0 +1,111 @@
+//! Silicon area model — the resource the conclusion (§8) says FLAT
+//! re-balances: *"designers can now budget a much smaller on-chip buffer.
+//! FLAT changes how available area (energy) is provisioned and balanced
+//! across compute/memory."*
+
+use crate::Accelerator;
+use serde::{Deserialize, Serialize};
+
+/// Per-component silicon costs, in mm² (28 nm-class values; only the
+/// PE-vs-SRAM *ratio* matters to the provisioning study).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// One PE: a 16-bit MAC plus its local scratchpad and control.
+    pub pe_mm2: f64,
+    /// One KiB of global-scratchpad SRAM (incl. periphery).
+    pub sram_mm2_per_kib: f64,
+    /// One SFU lane (element/cycle of softmax throughput).
+    pub sfu_mm2_per_lane: f64,
+    /// Wiring/NoC overhead as a fraction of the PE-array area.
+    pub noc_fraction: f64,
+}
+
+impl AreaModel {
+    /// Default 28 nm-class figures.
+    #[must_use]
+    pub const fn default_28nm() -> Self {
+        AreaModel {
+            pe_mm2: 0.0025,
+            sram_mm2_per_kib: 0.0015,
+            sfu_mm2_per_lane: 0.001,
+            noc_fraction: 0.10,
+        }
+    }
+
+    /// Total die area of an accelerator under this model.
+    #[must_use]
+    pub fn area_mm2(&self, accel: &Accelerator) -> f64 {
+        let pes = accel.pe.count() as f64 * self.pe_mm2 * (1.0 + self.noc_fraction);
+        let sram = accel.sg.as_kib() * self.sram_mm2_per_kib;
+        let sfu = accel.sfu.elements_per_cycle as f64 * self.sfu_mm2_per_lane;
+        pes + sram + sfu
+    }
+
+    /// Largest square PE array affordable after spending `sram_kib` of a
+    /// `budget_mm2` die on the scratchpad (and a matching SFU). Returns
+    /// `None` when the scratchpad alone exceeds the budget.
+    #[must_use]
+    pub fn pe_dim_for_budget(&self, budget_mm2: f64, sram_kib: f64, sfu_lanes: u64) -> Option<u64> {
+        let left = budget_mm2
+            - sram_kib * self.sram_mm2_per_kib
+            - sfu_lanes as f64 * self.sfu_mm2_per_lane;
+        if left <= 0.0 {
+            return None;
+        }
+        let pes = left / (self.pe_mm2 * (1.0 + self.noc_fraction));
+        // The epsilon absorbs float fuzz on exact divisions (an exactly
+        // affordable square array must not round down).
+        let dim = (pes.sqrt() + 1e-9).floor() as u64;
+        if dim == 0 {
+            None
+        } else {
+            Some(dim)
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::default_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_areas_are_plausible() {
+        let m = AreaModel::default_28nm();
+        let edge = m.area_mm2(&Accelerator::edge());
+        let cloud = m.area_mm2(&Accelerator::cloud());
+        // Edge: a few mm²; cloud: a large die — both in realistic ranges.
+        assert!((1.0..20.0).contains(&edge), "edge {edge} mm2");
+        assert!((100.0..600.0).contains(&cloud), "cloud {cloud} mm2");
+        assert!(cloud > 20.0 * edge);
+    }
+
+    #[test]
+    fn budget_split_trades_pes_for_sram() {
+        let m = AreaModel::default_28nm();
+        let small_sram = m.pe_dim_for_budget(4.0, 128.0, 256).unwrap();
+        let big_sram = m.pe_dim_for_budget(4.0, 1024.0, 256).unwrap();
+        assert!(small_sram > big_sram);
+    }
+
+    #[test]
+    fn overcommitted_sram_returns_none() {
+        let m = AreaModel::default_28nm();
+        assert!(m.pe_dim_for_budget(1.0, 10_000.0, 128).is_none());
+    }
+
+    #[test]
+    fn area_is_monotone_in_everything() {
+        let m = AreaModel::default_28nm();
+        let base = Accelerator::edge();
+        let more_pes = Accelerator::builder("x").pe(64, 64).build();
+        let more_sram = base.with_sg(flat_tensor::Bytes::from_mib(8));
+        assert!(m.area_mm2(&more_pes) > m.area_mm2(&base));
+        assert!(m.area_mm2(&more_sram) > m.area_mm2(&base));
+    }
+}

@@ -1,0 +1,240 @@
+//! Accelergy-style per-action energy accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Per-action energy costs, in picojoules.
+///
+/// §5.3.2 uses Accelergy to turn activity counts into energy. We substitute
+/// a static table whose *ratios* follow the published Eyeriss/Accelergy
+/// numbers for a 16-bit datapath: a DRAM access is roughly two orders of
+/// magnitude more expensive than a MAC, a global-buffer (SG) access ~6×,
+/// and a local-scratchpad (SL/register) access ~1×. The paper's point —
+/// *"what \[FLAT\] changes is the number of off-chip accesses (which are
+/// orders of magnitude more expensive in energy than on-chip)"* — only
+/// needs those ratios.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::EnergyTable;
+///
+/// let e = EnergyTable::default_16bit();
+/// assert!(e.dram_pj_per_elem / e.mac_pj > 100.0);
+/// assert!(e.sg_pj_per_elem > e.sl_pj_per_elem);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    /// One 16-bit multiply-accumulate.
+    pub mac_pj: f64,
+    /// One element read/written at a PE-local scratchpad (SL).
+    pub sl_pj_per_elem: f64,
+    /// One element read/written at the global scratchpad (SG).
+    pub sg_pj_per_elem: f64,
+    /// One element read/written at DRAM/HBM.
+    pub dram_pj_per_elem: f64,
+    /// One element through the SFU (exp + scale).
+    pub sfu_pj_per_elem: f64,
+}
+
+impl EnergyTable {
+    /// The default 16-bit table (Eyeriss-derived ratios, 45 nm-class
+    /// absolute values).
+    #[must_use]
+    pub fn default_16bit() -> Self {
+        EnergyTable {
+            mac_pj: 1.0,
+            sl_pj_per_elem: 1.0,
+            sg_pj_per_elem: 6.0,
+            dram_pj_per_elem: 200.0,
+            sfu_pj_per_elem: 4.0,
+        }
+    }
+
+    /// Rescales the per-action energies for a different element width.
+    /// Access energies scale linearly with bits moved; MAC energy scales
+    /// linearly with operand width (a first-order model consistent with
+    /// the published Accelergy tables).
+    #[must_use]
+    pub fn scaled_for(&self, dtype: flat_tensor::DataType) -> EnergyTable {
+        let s = dtype.size_bytes() as f64 / 2.0; // table is calibrated at 16-bit
+        EnergyTable {
+            mac_pj: self.mac_pj * s,
+            sl_pj_per_elem: self.sl_pj_per_elem * s,
+            sg_pj_per_elem: self.sg_pj_per_elem * s,
+            dram_pj_per_elem: self.dram_pj_per_elem * s,
+            sfu_pj_per_elem: self.sfu_pj_per_elem * s,
+        }
+    }
+
+    /// Converts activity counts into an [`EnergyBreakdown`].
+    #[must_use]
+    pub fn energy(&self, counts: &ActivityCounts) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: counts.macs as f64 * self.mac_pj,
+            sl_pj: counts.sl_accesses as f64 * self.sl_pj_per_elem,
+            sg_pj: counts.sg_accesses as f64 * self.sg_pj_per_elem,
+            dram_pj: counts.dram_accesses as f64 * self.dram_pj_per_elem,
+            sfu_pj: counts.sfu_elements as f64 * self.sfu_pj_per_elem,
+        }
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable::default_16bit()
+    }
+}
+
+/// Raw activity counts produced by the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActivityCounts {
+    /// Multiply-accumulate operations executed.
+    pub macs: u64,
+    /// Element accesses at PE-local scratchpads.
+    pub sl_accesses: u64,
+    /// Element accesses at the global scratchpad.
+    pub sg_accesses: u64,
+    /// Element accesses at DRAM.
+    pub dram_accesses: u64,
+    /// Elements processed by the SFU.
+    pub sfu_elements: u64,
+}
+
+impl Add for ActivityCounts {
+    type Output = ActivityCounts;
+    fn add(self, rhs: ActivityCounts) -> ActivityCounts {
+        ActivityCounts {
+            macs: self.macs + rhs.macs,
+            sl_accesses: self.sl_accesses + rhs.sl_accesses,
+            sg_accesses: self.sg_accesses + rhs.sg_accesses,
+            dram_accesses: self.dram_accesses + rhs.dram_accesses,
+            sfu_elements: self.sfu_elements + rhs.sfu_elements,
+        }
+    }
+}
+
+impl Sum for ActivityCounts {
+    fn sum<I: Iterator<Item = ActivityCounts>>(iter: I) -> ActivityCounts {
+        iter.fold(ActivityCounts::default(), Add::add)
+    }
+}
+
+/// Energy split by hardware component, in picojoules.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::EnergyBreakdown;
+///
+/// let e = EnergyBreakdown { compute_pj: 1.0, sl_pj: 1.0, sg_pj: 2.0, dram_pj: 6.0, sfu_pj: 0.0 };
+/// assert_eq!(e.total_pj(), 10.0);
+/// assert_eq!(e.memory_fraction(), 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC array energy.
+    pub compute_pj: f64,
+    /// PE-local scratchpad energy.
+    pub sl_pj: f64,
+    /// Global scratchpad energy.
+    pub sg_pj: f64,
+    /// DRAM energy.
+    pub dram_pj: f64,
+    /// SFU energy.
+    pub sfu_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across all components.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.sl_pj + self.sg_pj + self.dram_pj + self.sfu_pj
+    }
+
+    /// Fraction of total energy spent on data movement (SL + SG + DRAM).
+    ///
+    /// Returns 0 when total energy is zero.
+    #[must_use]
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.sl_pj + self.sg_pj + self.dram_pj) / total
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + rhs.compute_pj,
+            sl_pj: self.sl_pj + rhs.sl_pj,
+            sg_pj: self.sg_pj + rhs.sg_pj,
+            dram_pj: self.dram_pj + rhs.dram_pj,
+            sfu_pj: self.sfu_pj + rhs.sfu_pj,
+        }
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), Add::add)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3e} pJ (compute {:.1e}, SL {:.1e}, SG {:.1e}, DRAM {:.1e}, SFU {:.1e})",
+            self.total_pj(),
+            self.compute_pj,
+            self.sl_pj,
+            self.sg_pj,
+            self.dram_pj,
+            self.sfu_pj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_orders_of_magnitude() {
+        let t = EnergyTable::default_16bit();
+        assert!(t.dram_pj_per_elem >= 100.0 * t.mac_pj);
+        assert!(t.sg_pj_per_elem > t.sl_pj_per_elem);
+        assert!(t.dram_pj_per_elem > t.sg_pj_per_elem);
+    }
+
+    #[test]
+    fn energy_is_linear_in_counts() {
+        let t = EnergyTable::default_16bit();
+        let c1 = ActivityCounts { macs: 10, sl_accesses: 5, sg_accesses: 3, dram_accesses: 2, sfu_elements: 1 };
+        let c2 = c1 + c1;
+        let e1 = t.energy(&c1);
+        let e2 = t.energy(&c2);
+        assert!((e2.total_pj() - 2.0 * e1.total_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let a = EnergyBreakdown { compute_pj: 1.0, sl_pj: 2.0, sg_pj: 3.0, dram_pj: 4.0, sfu_pj: 5.0 };
+        let b = a + a;
+        assert_eq!(b.total_pj(), 30.0);
+        let s: EnergyBreakdown = [a, a, a].into_iter().sum();
+        assert_eq!(s.total_pj(), 45.0);
+    }
+
+    #[test]
+    fn memory_fraction_of_zero_energy_is_zero() {
+        assert_eq!(EnergyBreakdown::default().memory_fraction(), 0.0);
+    }
+}

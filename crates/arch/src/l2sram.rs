@@ -1,0 +1,74 @@
+//! Optional second-level on-chip buffer (§3.1: "our ideas are applicable
+//! to a multi-level on-chip memory hierarchy as well").
+
+use flat_tensor::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A capacity tier between the global scratchpad and DRAM: larger and
+/// cheaper per byte than the SG, slower than it, far faster than going
+/// off-chip (an eDRAM block, a chiplet-level SRAM, or an on-package
+/// cache).
+///
+/// FLAT-tiles that overflow the SG can stage here instead of spilling to
+/// DRAM — which is how a multi-level hierarchy extends the sequence-length
+/// reach of a given SG budget.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::L2Sram;
+/// use flat_tensor::Bytes;
+///
+/// let l2 = L2Sram::new(Bytes::from_mib(8), 400.0e9);
+/// assert_eq!(l2.bytes_per_cycle(1.0e9), 400.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct L2Sram {
+    /// Capacity of the level.
+    pub capacity: Bytes,
+    /// Bandwidth between this level and the SG, bytes per second.
+    pub bytes_per_s: f64,
+}
+
+impl L2Sram {
+    /// Creates a second-level buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive and finite.
+    #[must_use]
+    pub fn new(capacity: Bytes, bytes_per_s: f64) -> Self {
+        assert!(bytes_per_s > 0.0 && bytes_per_s.is_finite(), "L2 bandwidth must be positive");
+        L2Sram { capacity, bytes_per_s }
+    }
+
+    /// Bandwidth in bytes per cycle at `clock_hz`.
+    #[must_use]
+    pub fn bytes_per_cycle(&self, clock_hz: f64) -> f64 {
+        self.bytes_per_s / clock_hz
+    }
+}
+
+impl fmt::Display for L2Sram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L2 {} at {:.0} GB/s", self.capacity, self.bytes_per_s / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cycle_conversion() {
+        let l2 = L2Sram::new(Bytes::from_mib(8), 200.0e9);
+        assert!((l2.bytes_per_cycle(1.0e9) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = L2Sram::new(Bytes::from_mib(1), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Abstract DNN accelerator hardware model.
+//!
+//! `flat-arch` describes the machine the FLAT dataflow runs on, in exactly
+//! the terms the paper uses (§3.1, §5, Figure 5):
+//!
+//! * a [`PeArray`] of MAC units, each with a local scratchpad (SL),
+//! * a shared on-chip **global scratchpad** (SG) behind a high-bandwidth
+//!   on-chip interconnect,
+//! * off-chip DRAM/HBM behind a much slower link ([`MemorySystem`]),
+//! * distribution/reduction [`Noc`]s (systolic, tree, crossbar) whose fill
+//!   and drain latencies charge every tile switch,
+//! * a special-function unit ([`Sfu`]) that computes softmax between the
+//!   Logit and Attend stages,
+//! * an Accelergy-style per-action [`EnergyTable`].
+//!
+//! The two platform presets of Figure 7(a) are [`Accelerator::edge`]
+//! (32×32 PEs, 512 KiB SG, 1 TB/s on-chip, 50 GB/s off-chip) and
+//! [`Accelerator::cloud`] (256×256 PEs, 32 MiB, 8 TB/s, 400 GB/s), both at
+//! 1 GHz.
+//!
+//! # Example
+//!
+//! ```
+//! use flat_arch::Accelerator;
+//!
+//! let edge = Accelerator::edge();
+//! assert_eq!(edge.pe.count(), 1024);
+//! // 1024 MACs/cycle at 1 GHz, 2 FLOPs per MAC.
+//! assert_eq!(edge.peak_flops(), 2.048e12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accel;
+mod area;
+mod energy;
+mod l2sram;
+mod memory;
+mod noc;
+mod pe;
+mod sfu;
+
+pub use accel::{Accelerator, AcceleratorBuilder};
+pub use area::AreaModel;
+pub use l2sram::L2Sram;
+pub use energy::{ActivityCounts, EnergyBreakdown, EnergyTable};
+pub use memory::MemorySystem;
+pub use noc::Noc;
+pub use pe::PeArray;
+pub use sfu::Sfu;

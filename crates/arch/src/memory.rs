@@ -1,0 +1,118 @@
+//! The two-level memory system: on-chip scratchpad port vs. off-chip DRAM.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bandwidths of the shared memory interfaces.
+///
+/// §5.3.1: *"we model the on-chip and off-chip memory as a limited shared HW
+/// resource"* — every agent (PE array reads/writes, SFU, double-buffer
+/// prefetch) draws from these two pools. The paper's entire argument hinges
+/// on the gap: the edge preset has 20× more on-chip than off-chip bandwidth
+/// (1 TB/s vs 50 GB/s) and FLAT's job is to move the quadratic logit-tensor
+/// traffic from the slow pool to the fast pool.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::MemorySystem;
+///
+/// let edge = MemorySystem::new(1.0e12, 50.0e9);
+/// assert_eq!(edge.onchip_bytes_per_cycle(1.0e9), 1000.0);
+/// assert_eq!(edge.offchip_bytes_per_cycle(1.0e9), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    /// On-chip (SG ↔ PE array / SFU) bandwidth, bytes per second.
+    pub onchip_bytes_per_s: f64,
+    /// Off-chip (DRAM/HBM ↔ SG) bandwidth, bytes per second.
+    pub offchip_bytes_per_s: f64,
+}
+
+impl MemorySystem {
+    /// Creates a memory system from the two aggregate bandwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bandwidth is not strictly positive and finite.
+    #[must_use]
+    pub fn new(onchip_bytes_per_s: f64, offchip_bytes_per_s: f64) -> Self {
+        assert!(
+            onchip_bytes_per_s > 0.0 && onchip_bytes_per_s.is_finite(),
+            "on-chip bandwidth must be positive"
+        );
+        assert!(
+            offchip_bytes_per_s > 0.0 && offchip_bytes_per_s.is_finite(),
+            "off-chip bandwidth must be positive"
+        );
+        MemorySystem { onchip_bytes_per_s, offchip_bytes_per_s }
+    }
+
+    /// On-chip bandwidth in bytes per clock cycle at `clock_hz`.
+    #[must_use]
+    pub fn onchip_bytes_per_cycle(&self, clock_hz: f64) -> f64 {
+        self.onchip_bytes_per_s / clock_hz
+    }
+
+    /// Off-chip bandwidth in bytes per clock cycle at `clock_hz`.
+    #[must_use]
+    pub fn offchip_bytes_per_cycle(&self, clock_hz: f64) -> f64 {
+        self.offchip_bytes_per_s / clock_hz
+    }
+
+    /// Ratio of on-chip to off-chip bandwidth — the "roofline lift" staging
+    /// data on-chip buys (Figure 2(c)).
+    #[must_use]
+    pub fn bandwidth_ratio(&self) -> f64 {
+        self.onchip_bytes_per_s / self.offchip_bytes_per_s
+    }
+
+    /// Returns a copy with a different off-chip bandwidth (used by the
+    /// Figure 12(b) bandwidth-requirement search).
+    #[must_use]
+    pub fn with_offchip(&self, offchip_bytes_per_s: f64) -> Self {
+        MemorySystem::new(self.onchip_bytes_per_s, offchip_bytes_per_s)
+    }
+}
+
+impl fmt::Display for MemorySystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "on-chip {:.0} GB/s, off-chip {:.0} GB/s",
+            self.onchip_bytes_per_s / 1e9,
+            self.offchip_bytes_per_s / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cycle_conversion() {
+        let m = MemorySystem::new(8.0e12, 400.0e9);
+        assert!((m.onchip_bytes_per_cycle(1.0e9) - 8000.0).abs() < 1e-9);
+        assert!((m.offchip_bytes_per_cycle(1.0e9) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_matches_presets() {
+        let edge = MemorySystem::new(1.0e12, 50.0e9);
+        assert!((edge.bandwidth_ratio() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bw_rejected() {
+        let _ = MemorySystem::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn with_offchip_replaces_only_offchip() {
+        let m = MemorySystem::new(1.0e12, 50.0e9).with_offchip(100.0e9);
+        assert_eq!(m.onchip_bytes_per_s, 1.0e12);
+        assert_eq!(m.offchip_bytes_per_s, 100.0e9);
+    }
+}

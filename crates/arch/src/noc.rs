@@ -1,0 +1,134 @@
+//! Distribution and reduction network-on-chip models.
+
+use crate::PeArray;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The on-chip network used to distribute operands into the PE array and
+/// collect (reduce) outputs from it.
+///
+/// §5.3.1: *"We also model different choices for data distribution and
+/// reduction NoCs (systolic, tree, crossbar) which trade-off bandwidth and
+/// distribution/collection time."* The cost model charges the chosen NoC's
+/// fill and drain latency on **every tile switch** — the paper's "cold start
+/// and tailing effect". A systolic fabric (TPU-style) is cheap in area but
+/// pays `O(rows + cols)` cycles per switch; a tree (MAERI-style) pays
+/// `O(log)` levels; a crossbar approaches `O(1)` at much higher wiring cost.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::{Noc, PeArray};
+///
+/// let pe = PeArray::new(32, 32);
+/// assert!(Noc::Systolic.fill_latency(pe) > Noc::Tree.fill_latency(pe));
+/// assert!(Noc::Tree.fill_latency(pe) > Noc::Crossbar.fill_latency(pe));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Noc {
+    /// Store-and-forward mesh: operands ripple across the array
+    /// (TPU-style). Fill/drain latency grows with the array perimeter.
+    Systolic,
+    /// Fat-tree distribution/reduction (MAERI-style): logarithmic latency.
+    Tree,
+    /// Fully connected crossbar: near-constant latency.
+    Crossbar,
+}
+
+impl Noc {
+    /// Cycles to fill the array with a fresh stationary tile.
+    #[must_use]
+    pub fn fill_latency(self, pe: PeArray) -> u64 {
+        match self {
+            Noc::Systolic => pe.rows + pe.cols,
+            Noc::Tree => 2 * ceil_log2(pe.max_dim()),
+            Noc::Crossbar => 2,
+        }
+    }
+
+    /// Cycles to drain the last outputs after a tile finishes.
+    ///
+    /// Symmetric with [`Noc::fill_latency`]: the reduction path mirrors the
+    /// distribution path in all three fabrics.
+    #[must_use]
+    pub fn drain_latency(self, pe: PeArray) -> u64 {
+        self.fill_latency(pe)
+    }
+
+    /// Total dead cycles charged per tile switch.
+    #[must_use]
+    pub fn tile_switch_overhead(self, pe: PeArray) -> u64 {
+        self.fill_latency(pe) + self.drain_latency(pe)
+    }
+
+    /// All NoC variants, for sweeps.
+    #[must_use]
+    pub const fn all() -> [Noc; 3] {
+        [Noc::Systolic, Noc::Tree, Noc::Crossbar]
+    }
+}
+
+impl fmt::Display for Noc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Noc::Systolic => "systolic",
+            Noc::Tree => "tree",
+            Noc::Crossbar => "crossbar",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Ceiling of log2, with `ceil_log2(1) == 1` (a single level still costs a
+/// cycle of traversal).
+fn ceil_log2(x: u64) -> u64 {
+    debug_assert!(x > 0);
+    u64::from(64 - (x - 1).leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systolic_scales_with_perimeter() {
+        let small = PeArray::new(8, 8);
+        let big = PeArray::new(256, 256);
+        assert_eq!(Noc::Systolic.fill_latency(small), 16);
+        assert_eq!(Noc::Systolic.fill_latency(big), 512);
+    }
+
+    #[test]
+    fn tree_is_logarithmic() {
+        assert_eq!(Noc::Tree.fill_latency(PeArray::new(256, 256)), 16);
+        assert_eq!(Noc::Tree.fill_latency(PeArray::new(32, 32)), 10);
+    }
+
+    #[test]
+    fn crossbar_is_constant() {
+        assert_eq!(
+            Noc::Crossbar.fill_latency(PeArray::new(8, 8)),
+            Noc::Crossbar.fill_latency(PeArray::new(512, 512)),
+        );
+    }
+
+    #[test]
+    fn switch_overhead_is_fill_plus_drain() {
+        let pe = PeArray::new(32, 32);
+        for noc in Noc::all() {
+            assert_eq!(
+                noc.tile_switch_overhead(pe),
+                noc.fill_latency(pe) + noc.drain_latency(pe)
+            );
+        }
+    }
+
+    #[test]
+    fn ceil_log2_edge_cases() {
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+}

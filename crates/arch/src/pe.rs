@@ -1,0 +1,88 @@
+//! The processing-element array.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rectangular array of processing elements, each a MAC unit plus a local
+/// scratchpad (SL).
+///
+/// The array shape matters beyond its product: the systolic fill/drain
+/// latency of a tile switch scales with `rows + cols`, and a GEMM tile that
+/// does not cover the full array leaves PEs idle (edge effects the compute
+/// model charges explicitly).
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::PeArray;
+///
+/// let pe = PeArray::new(32, 32);
+/// assert_eq!(pe.count(), 1024);
+/// assert_eq!(pe.macs_per_cycle(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeArray {
+    /// Rows of PEs.
+    pub rows: u64,
+    /// Columns of PEs.
+    pub cols: u64,
+}
+
+impl PeArray {
+    /// Creates a `rows × cols` PE array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: u64, cols: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "PE array must be non-empty: {rows}x{cols}");
+        PeArray { rows, cols }
+    }
+
+    /// Total number of PEs.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Peak MAC throughput per cycle (one MAC per PE per cycle).
+    #[must_use]
+    pub const fn macs_per_cycle(&self) -> u64 {
+        self.count()
+    }
+
+    /// Longer side of the array (used by distribution-latency bounds).
+    #[must_use]
+    pub fn max_dim(&self) -> u64 {
+        self.rows.max(self.cols)
+    }
+}
+
+impl fmt::Display for PeArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} PEs", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_product() {
+        assert_eq!(PeArray::new(32, 32).count(), 1024);
+        assert_eq!(PeArray::new(256, 256).count(), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_dim_rejected() {
+        let _ = PeArray::new(0, 8);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        assert_eq!(PeArray::new(4, 8).to_string(), "4x8 PEs");
+    }
+}

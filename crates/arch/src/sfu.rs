@@ -1,0 +1,92 @@
+//! The special-function unit that computes softmax (and other
+//! non-linearities) between operators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Special-function unit (SFU).
+///
+/// In the ATTACC architecture (Figure 5) the SFU sits next to the PE array
+/// and applies softmax to each completed FLAT-tile of logits before the
+/// Attend stage consumes it. §5.3.1: *"We also account for the runtime for
+/// SoftMax as it comes between the L and A operators and in our critical
+/// path."* The evaluation sizes the SFU "to not bottleneck the compute flow"
+/// — the presets here follow that rule — but the latency is still charged.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Sfu;
+///
+/// let sfu = Sfu::new(128, 16);
+/// // softmax over a [4, 512] slice = 2048 elements
+/// assert_eq!(sfu.softmax_cycles(2048), 2048 / 128 + 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sfu {
+    /// Elements processed per cycle once the pipeline is full.
+    pub elements_per_cycle: u64,
+    /// Pipeline fill latency in cycles (exp/normalize stages).
+    pub pipeline_latency: u64,
+}
+
+impl Sfu {
+    /// Creates an SFU with the given throughput and pipeline depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements_per_cycle` is zero.
+    #[must_use]
+    pub fn new(elements_per_cycle: u64, pipeline_latency: u64) -> Self {
+        assert!(elements_per_cycle > 0, "SFU throughput must be positive");
+        Sfu { elements_per_cycle, pipeline_latency }
+    }
+
+    /// Cycles to apply softmax to `elements` logit values.
+    ///
+    /// Softmax is a two-pass row operation (max+exp+sum, then scale), but a
+    /// pipelined online implementation streams at `elements_per_cycle`; the
+    /// second pass is folded into the pipeline depth.
+    #[must_use]
+    pub fn softmax_cycles(&self, elements: u64) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        elements.div_ceil(self.elements_per_cycle) + self.pipeline_latency
+    }
+}
+
+impl fmt::Display for Sfu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SFU {} elem/cycle (+{} fill)", self.elements_per_cycle, self.pipeline_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_elements_is_free() {
+        assert_eq!(Sfu::new(64, 8).softmax_cycles(0), 0);
+    }
+
+    #[test]
+    fn throughput_dominates_large_slices() {
+        let sfu = Sfu::new(128, 16);
+        let big = sfu.softmax_cycles(1 << 20);
+        assert!(big >= (1 << 20) / 128);
+        assert!(big <= (1 << 20) / 128 + 17);
+    }
+
+    #[test]
+    fn partial_beat_rounds_up() {
+        assert_eq!(Sfu::new(100, 0).softmax_cycles(101), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_rejected() {
+        let _ = Sfu::new(0, 1);
+    }
+}

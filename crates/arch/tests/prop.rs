@@ -1,0 +1,123 @@
+//! Property tests for the hardware substrate.
+
+use flat_arch::{Accelerator, AreaModel, EnergyTable, L2Sram, MemorySystem, Noc, PeArray, Sfu};
+use flat_tensor::{Bytes, DataType};
+use proptest::prelude::*;
+
+proptest! {
+    /// NoC fill latencies order systolic ≥ tree ≥ crossbar for every array
+    /// shape, and all are positive.
+    #[test]
+    fn noc_latency_ordering(rows in 1u64..1024, cols in 1u64..1024) {
+        let pe = PeArray::new(rows, cols);
+        let sy = Noc::Systolic.fill_latency(pe);
+        let tr = Noc::Tree.fill_latency(pe);
+        let xb = Noc::Crossbar.fill_latency(pe);
+        prop_assert!(sy >= tr || pe.max_dim() <= 4, "systolic {sy} < tree {tr}");
+        prop_assert!(tr >= xb);
+        prop_assert!(xb > 0);
+        for noc in Noc::all() {
+            prop_assert_eq!(
+                noc.tile_switch_overhead(pe),
+                noc.fill_latency(pe) + noc.drain_latency(pe)
+            );
+        }
+    }
+
+    /// Energy is linear: scaling all counts by k scales the bill by k.
+    #[test]
+    fn energy_linearity(
+        macs in 0u64..1_000_000,
+        sl in 0u64..1_000_000,
+        sg in 0u64..1_000_000,
+        dram in 0u64..1_000_000,
+        sfu in 0u64..1_000_000,
+        k in 1u64..16,
+    ) {
+        let t = EnergyTable::default_16bit();
+        let c = flat_arch::ActivityCounts {
+            macs, sl_accesses: sl, sg_accesses: sg, dram_accesses: dram, sfu_elements: sfu,
+        };
+        let ck = flat_arch::ActivityCounts {
+            macs: macs * k,
+            sl_accesses: sl * k,
+            sg_accesses: sg * k,
+            dram_accesses: dram * k,
+            sfu_elements: sfu * k,
+        };
+        let e1 = t.energy(&c).total_pj();
+        let ek = t.energy(&ck).total_pj();
+        prop_assert!((ek - k as f64 * e1).abs() <= 1e-6 * ek.max(1.0));
+    }
+
+    /// Precision scaling of the energy table is monotone in width and
+    /// exact at the calibration point.
+    #[test]
+    fn energy_scales_with_width(macs in 1u64..1_000_000) {
+        let t = EnergyTable::default_16bit();
+        let c = flat_arch::ActivityCounts { macs, ..Default::default() };
+        let fp16 = t.scaled_for(DataType::Fp16).energy(&c).total_pj();
+        let int8 = t.scaled_for(DataType::Int8).energy(&c).total_pj();
+        let fp32 = t.scaled_for(DataType::Fp32).energy(&c).total_pj();
+        prop_assert!((fp16 - t.energy(&c).total_pj()).abs() < 1e-9);
+        prop_assert!((int8 * 2.0 - fp16).abs() < 1e-6 * fp16);
+        prop_assert!((fp32 - 2.0 * fp16).abs() < 1e-6 * fp32);
+    }
+
+    /// Area is strictly monotone in PEs and SRAM, and the budget solver is
+    /// consistent with the area function.
+    #[test]
+    fn area_budget_consistency(sg_kib in 16u64..4096, budget_milli in 500u64..20_000) {
+        let m = AreaModel::default_28nm();
+        let budget = budget_milli as f64 / 1000.0;
+        if let Some(dim) = m.pe_dim_for_budget(budget, sg_kib as f64, 256) {
+            let accel = Accelerator::builder("p")
+                .pe(dim, dim)
+                .sg(Bytes::from_kib(sg_kib))
+                .sfu(Sfu::new(256, 16))
+                .build();
+            prop_assert!(m.area_mm2(&accel) <= budget + 1e-9);
+            // One more PE row/column would bust the budget.
+            let bigger = Accelerator::builder("p")
+                .pe(dim + 1, dim + 1)
+                .sg(Bytes::from_kib(sg_kib))
+                .sfu(Sfu::new(256, 16))
+                .build();
+            prop_assert!(m.area_mm2(&bigger) > budget - 1e-6);
+        }
+    }
+
+    /// Accelerators serialize and deserialize losslessly (the CLI's
+    /// `--accel-json` contract), including the optional L2 level.
+    #[test]
+    fn accelerator_serde_round_trip(
+        pe in 1u64..512,
+        sg_kib in 1u64..100_000,
+        with_l2 in any::<bool>(),
+    ) {
+        let mut a = Accelerator::builder("rt")
+            .pe(pe, pe)
+            .sg(Bytes::from_kib(sg_kib))
+            .memory(MemorySystem::new(1.0e12, 5.0e10))
+            .build();
+        if with_l2 {
+            a.l2_sram = Some(L2Sram::new(Bytes::from_mib(4), 2.0e11));
+        }
+        let json = serde_json::to_string(&a).unwrap();
+        let b: Accelerator = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// SFU cycles are monotone in elements and respect the throughput
+    /// bound.
+    #[test]
+    fn sfu_monotone(elems in 0u64..10_000_000, lanes in 1u64..8192) {
+        let sfu = Sfu::new(lanes, 16);
+        let c1 = sfu.softmax_cycles(elems);
+        let c2 = sfu.softmax_cycles(elems + lanes);
+        prop_assert!(c2 >= c1);
+        if elems > 0 {
+            prop_assert!(c1 >= elems.div_ceil(lanes));
+        }
+    }
+}

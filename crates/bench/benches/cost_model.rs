@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the analytical cost model itself: how fast one
+//! dataflow evaluation is, since the DSE (and every figure sweep) is built
+//! from thousands of them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flat_arch::Accelerator;
+use flat_core::{BlockDataflow, CostModel, Granularity};
+use flat_workloads::Model;
+use std::hint::black_box;
+
+fn bench_la_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("la_cost");
+    for (name, accel, seq) in [
+        ("edge-512", Accelerator::edge(), 512u64),
+        ("cloud-64K", Accelerator::cloud(), 65_536),
+    ] {
+        let block = Model::bert().block(64, seq);
+        let cm = CostModel::new(&accel);
+        let base = BlockDataflow::base();
+        let flat = BlockDataflow::flat(Granularity::Row(64));
+        group.bench_with_input(BenchmarkId::new("sequential", name), &block, |b, blk| {
+            b.iter(|| black_box(cm.la_cost(blk, &base.la)));
+        });
+        group.bench_with_input(BenchmarkId::new("fused", name), &block, |b, blk| {
+            b.iter(|| black_box(cm.la_cost(blk, &flat.la)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_cost(c: &mut Criterion) {
+    let accel = Accelerator::edge();
+    let block = Model::bert().block(64, 4096);
+    let cm = CostModel::new(&accel);
+    let df = BlockDataflow::flat(Granularity::Row(64));
+    c.bench_function("block_cost/edge-bert-4K", |b| {
+        b.iter(|| black_box(cm.block_cost(&block, &df)));
+    });
+}
+
+criterion_group!(benches, bench_la_cost, bench_block_cost);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark of the full design-space exploration — the paper's
+//! "exhaustive search" (§5.3.3) priced end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flat_arch::Accelerator;
+use flat_dse::{Dse, Objective, SpaceKind};
+use flat_workloads::Model;
+use std::hint::black_box;
+
+fn bench_dse(c: &mut Criterion) {
+    let accel = Accelerator::edge();
+    let block = Model::bert().block(64, 512);
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.bench_function("base-opt/edge-bert-512", |b| {
+        let dse = Dse::new(&accel, &block);
+        b.iter(|| black_box(dse.best_la(SpaceKind::Sequential, Objective::MaxUtil)));
+    });
+    group.bench_function("flat-opt/edge-bert-512", |b| {
+        let dse = Dse::new(&accel, &block);
+        b.iter(|| black_box(dse.best_la(SpaceKind::Full, Objective::MaxUtil)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

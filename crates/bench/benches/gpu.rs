@@ -1,0 +1,21 @@
+//! Criterion benchmarks of the GPU mapping evaluators (they are
+//! closed-form, so this guards against accidental slowdowns in sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flat_gpu::{Gpu, GpuAttention};
+use flat_workloads::Model;
+use std::hint::black_box;
+
+fn bench_gpu(c: &mut Criterion) {
+    let gpu = Gpu::a100_like();
+    let cfg = Model::bert().config(64, 16_384);
+    c.bench_function("gpu/fused_best", |b| {
+        b.iter(|| black_box(GpuAttention::fused_best(&gpu, &cfg)));
+    });
+    c.bench_function("gpu/unfused", |b| {
+        b.iter(|| black_box(GpuAttention::unfused(&gpu, &cfg)));
+    });
+}
+
+criterion_group!(benches, bench_gpu);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Tiny `--key value` / `--flag` argument parser for the experiment
+//! binaries (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+///
+/// # Example
+///
+/// ```
+/// use flat_bench::args::Args;
+///
+/// let args = Args::parse_from(["--platform", "cloud", "--quick"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get("platform", "edge"), "cloud");
+/// assert!(args.flag("quick"));
+/// assert_eq!(args.get("model", "bert"), "bert");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments.
+    #[must_use]
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    out.values.insert(key.to_owned(), v);
+                }
+                _ => out.flags.push(key.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// Value of `--key`, or `default`.
+    #[must_use]
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    /// Integer value of `--key`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but not an integer.
+    #[must_use]
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// Whether `--key` was given as a bare flag.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn values_and_flags_mix() {
+        let a = parse(&["--seq", "4096", "--quick", "--model", "xlm"]);
+        assert_eq!(a.get_u64("seq", 512), 4096);
+        assert!(a.flag("quick"));
+        assert_eq!(a.get("model", "bert"), "xlm");
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = parse(&[]);
+        assert_eq!(a.get("platform", "edge"), "edge");
+        assert_eq!(a.get_u64("seq", 512), 512);
+    }
+
+    #[test]
+    fn trailing_flag_is_a_flag() {
+        let a = parse(&["--quick"]);
+        assert!(a.flag("quick"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn non_integer_value_panics() {
+        let a = parse(&["--seq", "lots"]);
+        let _ = a.get_u64("seq", 1);
+    }
+}

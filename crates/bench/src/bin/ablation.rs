@@ -1,0 +1,107 @@
+//! Ablation studies over the cost model's design choices (§5.1's
+//! implementation arguments, quantified):
+//!
+//! 1. double buffering on/off,
+//! 2. baseline softmax pipelining on/off (off reproduces the paper's
+//!    stricter baseline and widens FLAT's advantage),
+//! 3. NoC fabric (systolic / tree / crossbar),
+//! 4. selective FLAT-tile enables.
+//!
+//! Run: `cargo run --release -p flat-bench --bin ablation -- [--platform edge|cloud] [--seq N]`
+
+use flat_arch::Noc;
+use flat_bench::{args::Args, model, platform, row, BATCH};
+use flat_core::{
+    BlockDataflow, CostModel, FusedDataflow, FusedEnables, Granularity, ModelOptions,
+};
+use flat_workloads::Scope;
+
+fn main() {
+    let args = Args::parse();
+    let accel = platform(&args.get("platform", "edge"));
+    let m = model(&args.get("model", "bert"));
+    let seq = args.get_u64("seq", 4096);
+    let block = m.block(BATCH, seq);
+    let r = if accel.pe.count() >= 65536 { 1024 } else { 64 };
+    let flat = BlockDataflow::flat(Granularity::Row(r));
+    let base = BlockDataflow::base();
+
+    println!("# Ablations — {m} N={seq} on {accel}\n");
+
+    println!("## 1+2: execution options (L-A utilization)");
+    row(["options", "Base util", "FLAT-R util", "FLAT speedup"].map(String::from));
+    for (name, opts) in [
+        ("double-buffered + pipelined softmax", ModelOptions::default()),
+        (
+            "double-buffered, serial softmax (paper's baseline)",
+            ModelOptions { overlap_softmax: false, ..Default::default() },
+        ),
+        (
+            "no double buffering",
+            ModelOptions { double_buffered: false, overlap_softmax: false },
+        ),
+    ] {
+        let cm = CostModel::with_options(&accel, opts);
+        let b = cm.scope_cost(&block, &base, Scope::LogitAttend);
+        let f = cm.scope_cost(&block, &flat, Scope::LogitAttend);
+        row([
+            name.to_owned(),
+            format!("{:.3}", b.util()),
+            format!("{:.3}", f.util()),
+            format!("{:.2}x", b.cycles / f.cycles),
+        ]);
+    }
+
+    println!("\n## 3: NoC fabric (FLAT-R{r} L-A utilization)");
+    row(["noc", "util", "tile-switch overhead (cycles)"].map(String::from));
+    for noc in Noc::all() {
+        let mut a = accel.clone();
+        a.noc = noc;
+        let cm = CostModel::new(&a);
+        let f = cm.scope_cost(&block, &flat, Scope::LogitAttend);
+        row([
+            noc.to_string(),
+            format!("{:.3}", f.util()),
+            noc.tile_switch_overhead(a.pe).to_string(),
+        ]);
+    }
+
+    println!("\n## 5: interleaved vs spatially pipelined fusion (§5.1, FLAT-R{r})");
+    row(["execution", "util", "cycles"].map(String::from));
+    {
+        let cm = CostModel::new(&accel);
+        for (name, df) in [
+            ("interleaved (paper's choice)", FusedDataflow::new(Granularity::Row(r))),
+            ("pipelined (split array)", FusedDataflow::pipelined(Granularity::Row(r))),
+        ] {
+            let report = cm.fused_la_cost(&block, &df);
+            row([name.to_owned(), format!("{:.3}", report.util()), format!("{:.3e}", report.cycles)]);
+        }
+    }
+
+    println!("\n## 4: selective FLAT-tile enables (FLAT-R{r})");
+    row(["enables", "util", "off-chip", "footprint"].map(String::from));
+    let cm = CostModel::new(&accel);
+    for (name, enables) in [
+        ("all", FusedEnables::all()),
+        ("intermediate only", FusedEnables::intermediate_only()),
+        (
+            "K/V + intermediate",
+            FusedEnables { query: false, key: true, value: true, output: false, intermediate: true },
+        ),
+        (
+            "all but intermediate",
+            FusedEnables { query: true, key: true, value: true, output: true, intermediate: false },
+        ),
+    ] {
+        let mut df = FusedDataflow::new(Granularity::Row(r));
+        df.enables = enables;
+        let report = cm.fused_la_cost(&block, &df);
+        row([
+            name.to_owned(),
+            format!("{:.3}", report.util()),
+            report.traffic.offchip.to_string(),
+            report.footprint.to_string(),
+        ]);
+    }
+}

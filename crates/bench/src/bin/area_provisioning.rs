@@ -1,0 +1,61 @@
+//! The §8 claim, quantified: under a **fixed silicon budget**, how should
+//! an attention accelerator split its area between PEs and scratchpad?
+//!
+//! For a sequential-only accelerator the answer is "buy buffer" (it needs
+//! the intermediate tensor resident to perform); for a FLAT-capable one
+//! the answer shifts toward "buy compute", because R-granularity makes a
+//! small buffer sufficient — *"designers can now budget a much smaller
+//! on-chip buffer"*.
+//!
+//! Run: `cargo run --release -p flat-bench --bin area_provisioning --
+//!       [--budget-milli-mm2 4000] [--model bert] [--seq 4096]`
+
+use flat_bench::{args::Args, model, row, BATCH};
+use flat_dse::{best_hardware, Dse, HwSearchSpec, Objective, SpaceKind};
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.get_u64("budget-milli-mm2", 4000) as f64 / 1000.0;
+    let m = model(&args.get("model", "bert"));
+    let seq = args.get_u64("seq", 4096);
+    let block = m.block(BATCH, seq);
+    let spec = HwSearchSpec::edge_class(budget);
+
+    println!("# Area provisioning under a fixed {budget:.1} mm² budget — {m} N={seq}");
+    println!("# (edge-class memory system: 1 TB/s on-chip, 50 GB/s off-chip, 1 GHz)");
+    row(["SG (KiB)", "PE array", "area mm2", "Base-opt util", "FLAT-opt util", "Base tput", "FLAT tput"]
+        .map(String::from));
+
+    for cand in spec.candidates() {
+        let dse = Dse::new(&cand.accel, &block);
+        let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+        let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+        let peak = cand.accel.peak_macs_per_cycle() as f64;
+        row([
+            format!("{:.0}", cand.accel.sg.as_kib()),
+            cand.accel.pe.to_string(),
+            format!("{:.2}", cand.area_mm2),
+            format!("{:.3}", base.report.util()),
+            format!("{:.3}", flat.report.util()),
+            format!("{:.0}", peak * base.report.util()),
+            format!("{:.0}", peak * flat.report.util()),
+        ]);
+    }
+
+    let base = best_hardware(&spec, &block, SpaceKind::Sequential, Objective::MaxUtil)
+        .expect("budget affords candidates");
+    let flat = best_hardware(&spec, &block, SpaceKind::Full, Objective::MaxUtil)
+        .expect("budget affords candidates");
+    println!();
+    println!(
+        "# Best sequential provisioning: {} ({:.0} useful MACs/cycle)",
+        base.hw.accel, base.useful_macs_per_cycle
+    );
+    println!(
+        "# Best FLAT provisioning:       {} ({:.0} useful MACs/cycle, {:.2}x)",
+        flat.hw.accel,
+        flat.useful_macs_per_cycle,
+        flat.useful_macs_per_cycle / base.useful_macs_per_cycle
+    );
+    println!("# FLAT shifts the optimum toward more PEs and less SRAM — the §8 conclusion.");
+}

@@ -1,0 +1,47 @@
+//! Figure 11: end-to-end model latency breakdown (L-A / Projection / FC)
+//! across the accelerator classes, plus the non-stall (ideal) reference.
+//!
+//! Run: `cargo run --release -p flat-bench --bin fig11 --
+//!       [--platform edge|cloud] [--model bert|xlm] [--quick]`
+
+use flat_bench::{args::Args, fig12_seqs, model, platform, row, seq_label, BATCH};
+use flat_dse::{AccelClass, Objective};
+use flat_workloads::OpCategory;
+
+fn main() {
+    let args = Args::parse();
+    let platform_name = args.get("platform", "edge");
+    let accel = platform(&platform_name);
+    let default_model = if platform_name == "edge" { "bert" } else { "xlm" };
+    let model = model(&args.get("model", default_model));
+    let seqs = fig12_seqs(args.flag("quick"));
+
+    println!(
+        "# Figure 11({}) — latency breakdown, {} on {} (cycles at model level, B={})",
+        if platform_name == "edge" { "a" } else { "b" },
+        model,
+        accel,
+        BATCH
+    );
+    row(["seq", "accelerator", "L-A", "Projection", "FC", "total", "non-stall"]
+        .map(String::from));
+    for seq in seqs {
+        for class in AccelClass::comparison_set() {
+            let eval = class.evaluate(&accel, &model, BATCH, seq, Objective::MaxUtil);
+            let cat = |c: OpCategory| eval.cost.category(c).cycles;
+            let total = eval.cost.total();
+            row([
+                seq_label(seq),
+                class.to_string(),
+                format!("{:.3e}", cat(OpCategory::LogitAttend)),
+                format!("{:.3e}", cat(OpCategory::Projection)),
+                format!("{:.3e}", cat(OpCategory::FeedForward)),
+                format!("{:.3e}", total.cycles),
+                format!("{:.3e}", total.ideal_cycles),
+            ]);
+        }
+    }
+    println!();
+    println!("# Paper shape: at 512 every class is near the non-stall line; as N grows the");
+    println!("# L-A share dominates and only ATTACC stays close to it.");
+}

@@ -1,0 +1,77 @@
+//! Figure 12(a): model-level speedup and energy-consumption ratio of
+//! ATTACC over FlexAccel-M and FlexAccel, for all five models, five
+//! sequence lengths, and both platforms.
+//!
+//! Run: `cargo run --release -p flat-bench --bin fig12a -- [--quick]
+//!       [--platform edge|cloud|both]`
+
+use flat_bench::{args::Args, fig12_seqs, platform, row, seq_label, BATCH};
+use flat_dse::{AccelClass, Objective};
+use flat_workloads::Model;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let which = args.get("platform", "both");
+    let platforms: Vec<&str> = match which.as_str() {
+        "both" => vec!["edge", "cloud"],
+        p => vec![match p {
+            "edge" => "edge",
+            "cloud" => "cloud",
+            other => panic!("unknown platform {other}"),
+        }],
+    };
+    let seqs = fig12_seqs(quick);
+
+    for pname in platforms {
+        let accel = platform(pname);
+        println!("# Figure 12(a) — {pname}: ATTACC vs FlexAccel-M / FlexAccel (B={BATCH})");
+        row([
+            "model", "seq", "speedup_vs_FlexM", "speedup_vs_Flex", "energy_vs_FlexM",
+            "energy_vs_Flex",
+        ]
+        .map(String::from));
+        let mut speedups = (Vec::new(), Vec::new());
+        let mut energies = (Vec::new(), Vec::new());
+        for model in Model::suite() {
+            for &seq in &seqs {
+                let flexm =
+                    AccelClass::FlexAccelM.evaluate(&accel, &model, BATCH, seq, Objective::MaxUtil);
+                let flex =
+                    AccelClass::FlexAccel.evaluate(&accel, &model, BATCH, seq, Objective::MaxUtil);
+                let attacc =
+                    AccelClass::AttAcc.evaluate(&accel, &model, BATCH, seq, Objective::MaxUtil);
+                let s_m = attacc.speedup_over(&flexm);
+                let s_f = attacc.speedup_over(&flex);
+                let e_m = attacc.energy_ratio_vs(&flexm);
+                let e_f = attacc.energy_ratio_vs(&flex);
+                speedups.0.push(s_m);
+                speedups.1.push(s_f);
+                energies.0.push(e_m);
+                energies.1.push(e_f);
+                row([
+                    model.to_string(),
+                    seq_label(seq),
+                    format!("{s_m:.2}"),
+                    format!("{s_f:.2}"),
+                    format!("{e_m:.2}"),
+                    format!("{e_f:.2}"),
+                ]);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "# {pname} averages: speedup {:.2} / {:.2}, energy ratio {:.2} / {:.2}",
+            avg(&speedups.0),
+            avg(&speedups.1),
+            avg(&energies.0),
+            avg(&energies.1)
+        );
+        println!(
+            "# paper ({pname}): speedup {} , energy ratio {}",
+            if pname == "edge" { "2.48 / 1.94 (avg 2.40/1.75)" } else { "2.57 / 1.65" },
+            if pname == "edge" { "0.40 / 0.51" } else { "0.31 / 0.58" }
+        );
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 12(b): the off-chip bandwidth each accelerator class needs to
+//! reach 0.95 utilization on the most bandwidth-intensive L-A operator
+//! (XLM on the cloud platform), across sequence lengths.
+//!
+//! Run: `cargo run --release -p flat-bench --bin fig12b -- [--quick]
+//!       [--target-milli 950]`
+
+use flat_arch::Accelerator;
+use flat_bench::{args::Args, model, platform, row, seq_label, BATCH};
+use flat_dse::{AccelClass, Dse, Objective};
+use flat_workloads::Model;
+
+/// Best achievable L-A utilization of a class at a given off-chip
+/// bandwidth (the class re-optimizes its dataflow for every bandwidth).
+fn best_util_at_bw(base: &Accelerator, model: &Model, seq: u64, class: AccelClass, bw: f64) -> f64 {
+    let accel = base.with_offchip_bw(bw);
+    let block = model.block(BATCH, seq);
+    Dse::new(&accel, &block).best_la(class.space(), Objective::MaxUtil).report.util()
+}
+
+/// Minimum bandwidth reaching `target` utilization, by bisection over
+/// 100 MB/s – 100 TB/s. `None` when unreachable.
+fn required_bw(
+    base: &Accelerator,
+    model: &Model,
+    seq: u64,
+    class: AccelClass,
+    target: f64,
+) -> Option<f64> {
+    let (mut lo, mut hi) = (1.0e8f64, 1.0e14f64);
+    if best_util_at_bw(base, model, seq, class, hi) < target {
+        return None;
+    }
+    while hi / lo > 1.05 {
+        let mid = (lo * hi).sqrt();
+        if best_util_at_bw(base, model, seq, class, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+fn main() {
+    let args = Args::parse();
+    let target = args.get_u64("target-milli", 950) as f64 / 1000.0;
+    let accel = platform("cloud");
+    let model = model("xlm");
+    let seqs: Vec<u64> = if args.flag("quick") {
+        vec![2048, 16_384, 131_072]
+    } else {
+        vec![2048, 4096, 8192, 16_384, 32_768, 65_536, 131_072, 262_144, 524_288]
+    };
+    let classes = [AccelClass::FlexAccelM, AccelClass::FlexAccel, AccelClass::AttAcc];
+
+    println!("# Figure 12(b) — off-chip BW (GB/s) for L-A Util >= {target} (XLM, cloud, 32 MiB SG)");
+    row(["seq", "FlexAccel-M", "FlexAccel", "ATTACC", "reduction_vs_FlexM", "reduction_vs_Flex"]
+        .map(String::from));
+    let mut reductions = (Vec::new(), Vec::new());
+    for seq in seqs {
+        let bws: Vec<Option<f64>> =
+            classes.iter().map(|&c| required_bw(&accel, &model, seq, c, target)).collect();
+        let fmt = |b: &Option<f64>| {
+            b.map_or("unreachable".to_owned(), |v| format!("{:.1}", v / 1e9))
+        };
+        let red = |a: &Option<f64>, b: &Option<f64>| match (a, b) {
+            (Some(x), Some(y)) => Some(1.0 - y / x),
+            _ => None,
+        };
+        let r_m = red(&bws[0], &bws[2]);
+        let r_f = red(&bws[1], &bws[2]);
+        if let Some(r) = r_m {
+            reductions.0.push(r);
+        }
+        if let Some(r) = r_f {
+            reductions.1.push(r);
+        }
+        row([
+            seq_label(seq),
+            fmt(&bws[0]),
+            fmt(&bws[1]),
+            fmt(&bws[2]),
+            r_m.map_or("-".into(), |r| format!("{:.0}%", r * 100.0)),
+            r_f.map_or("-".into(), |r| format!("{:.0}%", r * 100.0)),
+        ]);
+    }
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    println!(
+        "# average reduction: {:.0}% vs FlexAccel-M, {:.0}% vs FlexAccel (paper: 88%, 82%)",
+        avg(&reductions.0) * 100.0,
+        avg(&reductions.1) * 100.0
+    );
+}

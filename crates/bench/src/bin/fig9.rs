@@ -1,0 +1,45 @@
+//! Figure 9: energy consumption of every Figure 8 data point, normalized
+//! by the largest energy in each (scope, sequence) subplot — exactly the
+//! paper's normalization.
+//!
+//! Run: `cargo run --release -p flat-bench --bin fig9 -- [--platform edge|cloud]
+//!       [--model bert|xlm|...] [--quick]`
+
+use flat_bench::{args::Args, cloud_seqs, edge_seqs, model, platform, row, seq_label, sg_sweep, sweep};
+use std::collections::HashMap;
+
+fn main() {
+    let args = Args::parse();
+    let platform_name = args.get("platform", "edge");
+    let accel = platform(&platform_name);
+    let default_model = if platform_name == "edge" { "bert" } else { "xlm" };
+    let model = model(&args.get("model", default_model));
+    let quick = args.flag("quick");
+    let seqs = if platform_name == "edge" { edge_seqs(quick) } else { cloud_seqs(quick) };
+    let sgs = sg_sweep(quick);
+
+    let records = sweep::buffer_sweep(&accel, &model, &seqs, &sgs);
+
+    // Per-subplot max for normalization.
+    let mut max_by_subplot: HashMap<(String, u64), f64> = HashMap::new();
+    for r in &records {
+        let key = (r.scope.clone(), r.seq);
+        let e = max_by_subplot.entry(key).or_insert(0.0);
+        *e = e.max(r.energy_pj);
+    }
+
+    println!("# Figure 9({}) — normalized energy, {} on {}",
+        if platform_name == "edge" { "a" } else { "b" }, model, accel);
+    row(["scope", "seq", "sg", "dataflow", "energy_norm", "energy_pj"].map(String::from));
+    for r in &records {
+        let max = max_by_subplot[&(r.scope.clone(), r.seq)];
+        row([
+            r.scope.clone(),
+            seq_label(r.seq),
+            r.sg.to_string(),
+            r.dataflow.clone(),
+            format!("{:.4}", r.energy_pj / max.max(1.0)),
+            format!("{:.3e}", r.energy_pj),
+        ]);
+    }
+}

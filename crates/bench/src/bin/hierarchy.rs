@@ -1,0 +1,55 @@
+//! Multi-level on-chip hierarchy study (§3.1: "our ideas are applicable
+//! to a multi-level on-chip memory hierarchy as well").
+//!
+//! Compares, at growing sequence lengths:
+//!   1. the stock single-level edge part (512 KiB SG),
+//!   2. the same part plus an 8 MiB second-level buffer at 200 GB/s
+//!      (cheap, slower SRAM/eDRAM),
+//!   3. a hypothetical part with the full 8.5 MiB as first-level SG at
+//!      the full 1 TB/s (the expensive alternative).
+//!
+//! The claim to check: the cheap L2 recovers most of the big-SG benefit
+//! for FLAT, because the overflow tensors (K/V slices, large logit
+//! slices) tolerate the lower bandwidth.
+//!
+//! Run: `cargo run --release -p flat-bench --bin hierarchy -- [--model bert]`
+
+use flat_arch::{Accelerator, L2Sram};
+use flat_bench::{args::Args, model, row, seq_label, BATCH};
+use flat_core::{CostModel, FusedDataflow, Granularity};
+use flat_tensor::Bytes;
+
+fn main() {
+    let args = Args::parse();
+    let m = model(&args.get("model", "bert"));
+
+    let stock = Accelerator::edge();
+    let mut two_level = Accelerator::edge();
+    two_level.name = "edge+L2".to_owned();
+    two_level.l2_sram = Some(L2Sram::new(Bytes::from_mib(8), 200.0e9));
+    let big_sg = {
+        let mut a = Accelerator::edge().with_sg(Bytes::from_kib(512 + 8 * 1024));
+        a.name = "edge-bigSG".to_owned();
+        a
+    };
+
+    println!("# Two-level on-chip hierarchy — {m}, FLAT fused L-A utilization");
+    row(["seq", "R", "512KiB SG", "+8MiB L2 (200GB/s)", "8.5MiB SG (1TB/s)"]
+        .map(String::from));
+    for (seq, r) in [(4096u64, 64u64), (8192, 64), (16_384, 64), (32_768, 32)] {
+        let block = m.block(BATCH, seq);
+        let df = FusedDataflow::new(Granularity::Row(r));
+        let util = |a: &Accelerator| CostModel::new(a).fused_la_cost(&block, &df).util();
+        row([
+            seq_label(seq),
+            r.to_string(),
+            format!("{:.3}", util(&stock)),
+            format!("{:.3}", util(&two_level)),
+            format!("{:.3}", util(&big_sg)),
+        ]);
+    }
+    println!();
+    println!("# A cheap second level recovers most of what an 8.5 MiB first-level buffer");
+    println!("# would buy: the overflow tensors tolerate its lower bandwidth, which is");
+    println!("# why the paper's ideas 'apply to multi-level hierarchies as well' (3.1).");
+}

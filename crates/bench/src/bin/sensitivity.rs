@@ -1,0 +1,63 @@
+//! Sensitivity analysis: how FLAT's advantage over the sequential
+//! baseline responds to each architectural and workload knob — heads,
+//! per-head dimension, batch, off-chip bandwidth, and NoC — holding
+//! everything else at the paper's defaults.
+//!
+//! Run: `cargo run --release -p flat-bench --bin sensitivity -- [--platform cloud] [--seq 16384]`
+
+use flat_arch::Noc;
+use flat_bench::{args::Args, platform, row};
+use flat_dse::{Dse, Objective, SpaceKind};
+use flat_workloads::Model;
+
+fn speedup(accel: &flat_arch::Accelerator, model: &Model, batch: u64, seq: u64) -> (f64, f64, f64) {
+    let block = model.block(batch, seq);
+    let dse = Dse::new(accel, &block);
+    let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+    let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+    (base.report.util(), flat.report.util(), base.report.cycles / flat.report.cycles)
+}
+
+fn main() {
+    let args = Args::parse();
+    let accel = platform(&args.get("platform", "cloud"));
+    let seq = args.get_u64("seq", 16_384);
+    println!("# Sensitivity of FLAT-opt vs Base-opt (L-A scope) on {accel}, N={seq}\n");
+
+    println!("## heads (D=2048 fixed, dk = D/H)");
+    row(["H", "dk", "base util", "flat util", "speedup"].map(String::from));
+    for h in [4u64, 8, 16, 32, 64] {
+        let m = Model::custom(12, h, 2048, 8192);
+        let (b, f, s) = speedup(&accel, &m, 64, seq);
+        row([h.to_string(), (2048 / h).to_string(), format!("{b:.3}"), format!("{f:.3}"), format!("{s:.2}x")]);
+    }
+
+    println!("\n## batch size (XLM)");
+    row(["B", "base util", "flat util", "speedup"].map(String::from));
+    for b in [1u64, 8, 32, 64, 128] {
+        let (bu, fu, s) = speedup(&accel, &Model::xlm(), b, seq);
+        row([b.to_string(), format!("{bu:.3}"), format!("{fu:.3}"), format!("{s:.2}x")]);
+    }
+
+    println!("\n## off-chip bandwidth (XLM, B=64)");
+    row(["GB/s", "base util", "flat util", "speedup"].map(String::from));
+    for gbps in [100.0f64, 200.0, 400.0, 800.0, 1600.0] {
+        let a = accel.with_offchip_bw(gbps * 1e9);
+        let (b, f, s) = speedup(&a, &Model::xlm(), 64, seq);
+        row([format!("{gbps:.0}"), format!("{b:.3}"), format!("{f:.3}"), format!("{s:.2}x")]);
+    }
+
+    println!("\n## NoC fabric (XLM, B=64)");
+    row(["noc", "base util", "flat util", "speedup"].map(String::from));
+    for noc in Noc::all() {
+        let mut a = accel.clone();
+        a.noc = noc;
+        let (b, f, s) = speedup(&a, &Model::xlm(), 64, seq);
+        row([noc.to_string(), format!("{b:.3}"), format!("{f:.3}"), format!("{s:.2}x")]);
+    }
+
+    println!();
+    println!("# Expected shapes: more heads -> lower baseline OI (2.2's H/D term) -> bigger");
+    println!("# FLAT win; batch barely matters (activation-activation!); more bandwidth");
+    println!("# narrows the gap; the NoC mostly moves the fused curve.");
+}

@@ -1,0 +1,34 @@
+//! Table 1: on-chip buffer requirement to stage weights and activations
+//! fully on-chip — K/Q/V/O vs L/A, across heads and sequence lengths.
+//!
+//! Run: `cargo run -p flat-bench --bin table1`
+
+use flat_bench::row;
+use flat_workloads::AttentionConfig;
+
+fn main() {
+    println!("# Table 1 — staging buffer requirement (16-bit, D=1024), decimal MB/GB as in the paper");
+    row(["H", "N", "K/Q/V/O buf", "L/A buf"].map(String::from));
+    for (h, n) in [(1, 512), (16, 512), (1, 2048), (16, 2048), (1, 14 * 1024), (16, 14 * 1024)] {
+        let cfg = AttentionConfig::self_attention(1, h, n, 1024, 4096);
+        row([
+            h.to_string(),
+            flat_bench::seq_label(n),
+            fmt_decimal(cfg.qkvo_staging_size().as_u64()),
+            fmt_decimal(cfg.la_staging_size().as_u64()),
+        ]);
+    }
+    println!();
+    println!("paper row K/Q/V/O: 4MB 4MB 10MB 19MB 62MB 62MB");
+    println!("paper row L/A    : 2.5MB 10MB 16MB 142MB 474MB 6.6GB");
+}
+
+/// Formats bytes in decimal MB/GB, which is what the paper's Table 1 uses.
+fn fmt_decimal(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.1}GB", b / 1e9)
+    } else {
+        format!("{:.1}MB", b / 1e6)
+    }
+}

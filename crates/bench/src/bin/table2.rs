@@ -1,0 +1,28 @@
+//! Table 2: live-memory footprint per cross-operator granularity, both as
+//! the symbolic Table 2 formulas (verified by flat-core's tests) and as
+//! concrete numbers for the evaluation workloads.
+//!
+//! Run: `cargo run -p flat-bench --bin table2 [--seq N] [--rows R]`
+
+use flat_bench::{args::Args, row, seq_label};
+use flat_core::table2_row_elems;
+use flat_tensor::Bytes;
+use flat_workloads::AttentionConfig;
+
+fn main() {
+    let args = Args::parse();
+    let rows = args.get_u64("rows", 64);
+    println!("# Table 2 — live memory footprint by granularity (B=64, H=16, D=1024, 16-bit)");
+    println!("# symbolic: M: 8BDN+BHN^2   B: 8DN+HN^2   H: 8Ndk+N^2   R: 4Rdk+4Ndk+RN");
+    row(["N", "M-Gran", "B-Gran", "H-Gran", &format!("R-Gran (R={rows})")].map(String::from));
+    for seq in [512u64, 2048, 16_384, 65_536, 262_144] {
+        let cfg = AttentionConfig::self_attention(64, 16, seq, 1024, 4096);
+        let elems = table2_row_elems(&cfg, rows);
+        let cells: Vec<String> = std::iter::once(seq_label(seq))
+            .chain(elems.iter().map(|&e| Bytes::new(e * 2).to_string()))
+            .collect();
+        row(cells);
+    }
+    println!();
+    println!("# R-Gran grows O(N) while every other granularity grows O(N^2).");
+}

@@ -1,0 +1,42 @@
+//! The §1 motivation, priced: for each long-sequence task the paper
+//! names, what does the best sequential accelerator achieve, what does
+//! ATTACC achieve, and how much buffer does FLAT's O(N) working set need?
+//!
+//! Run: `cargo run --release -p flat-bench --bin tasks -- [--platform cloud] [--model bert]`
+
+use flat_bench::{args::Args, model, platform, row, seq_label, BATCH};
+use flat_core::LaExecution;
+use flat_dse::{Dse, Objective, SpaceKind};
+use flat_workloads::Task;
+
+fn main() {
+    let args = Args::parse();
+    let accel = platform(&args.get("platform", "cloud"));
+    let m = model(&args.get("model", "bert"));
+
+    println!("# Long-sequence tasks (§1) — {m} on {accel}, B={BATCH}");
+    row(["task", "N", "Base-opt util", "FLAT-opt util", "speedup", "FLAT dataflow", "footprint"]
+        .map(String::from));
+    for task in Task::all() {
+        let seq = task.sequence_length();
+        // Music processing at 1M tokens x batch 64 is astronomically large
+        // but the analytical model prices it fine.
+        let block = m.block(BATCH, seq);
+        let dse = Dse::new(&accel, &block);
+        let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+        let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+        let label = match flat.la {
+            LaExecution::Fused(f) => format!("FLAT-{}", f.granularity),
+            LaExecution::Sequential { .. } => "sequential".to_owned(),
+        };
+        row([
+            task.to_string(),
+            seq_label(seq),
+            format!("{:.3}", base.report.util()),
+            format!("{:.3}", flat.report.util()),
+            format!("{:.2}x", base.report.cycles / flat.report.cycles),
+            label,
+            flat.report.footprint.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index). This library holds
+//! what they share: platform lookup, the buffer/sequence sweep grids,
+//! the Figure 8/9 sweep engine, and plain-TSV output helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod plot;
+pub mod sweep;
+
+use flat_arch::Accelerator;
+use flat_tensor::Bytes;
+use flat_workloads::Model;
+
+/// Looks up one of the Figure 7(a) platform presets by name.
+///
+/// # Panics
+///
+/// Panics on an unknown platform name.
+#[must_use]
+pub fn platform(name: &str) -> Accelerator {
+    match name {
+        "edge" => Accelerator::edge(),
+        "cloud" => Accelerator::cloud(),
+        other => panic!("unknown platform {other:?} (expected edge|cloud)"),
+    }
+}
+
+/// Looks up a model by short name.
+///
+/// # Panics
+///
+/// Panics on an unknown model name.
+#[must_use]
+pub fn model(name: &str) -> Model {
+    Model::by_name(name).unwrap_or_else(|| panic!("unknown model {name:?}"))
+}
+
+/// The on-chip buffer sweep of Figures 8/9: 20 KiB to 2 GiB,
+/// doubling. `quick` keeps every fourth point.
+#[must_use]
+pub fn sg_sweep(quick: bool) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    let mut kb = 20u64;
+    let mut idx = 0;
+    while kb <= 2 * 1024 * 1024 {
+        if !quick || idx % 4 == 0 || kb > 1024 * 1024 {
+            out.push(Bytes::from_kib(kb));
+        }
+        kb *= 2;
+        idx += 1;
+    }
+    out
+}
+
+/// The sequence lengths of the Figure 8(a) edge rows.
+#[must_use]
+pub fn edge_seqs(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![512, 65_536]
+    } else {
+        vec![512, 4096, 65_536, 262_144]
+    }
+}
+
+/// The sequence lengths of the Figure 8(b) cloud rows.
+#[must_use]
+pub fn cloud_seqs(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![4096, 65_536]
+    } else {
+        vec![4096, 16_384, 65_536, 262_144]
+    }
+}
+
+/// The model-comparison sequence lengths of Figure 12(a).
+#[must_use]
+pub fn fig12_seqs(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![512, 16_384, 262_144]
+    } else {
+        vec![512, 4096, 16_384, 65_536, 262_144]
+    }
+}
+
+/// The evaluation's batch size (§6.1: "batch size of 64").
+pub const BATCH: u64 = 64;
+
+/// Prints a TSV row.
+pub fn row<I: IntoIterator<Item = String>>(cells: I) {
+    let cells: Vec<String> = cells.into_iter().collect();
+    println!("{}", cells.join("\t"));
+}
+
+/// Formats a sequence length the way the paper labels it (`512`, `4K`,
+/// `64K`, `256K`).
+#[must_use]
+pub fn seq_label(seq: u64) -> String {
+    if seq >= 1024 && seq.is_multiple_of(1024) {
+        format!("{}K", seq / 1024)
+    } else {
+        seq.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_spans_20kb_to_2gb() {
+        let s = sg_sweep(false);
+        assert_eq!(*s.first().unwrap(), Bytes::from_kib(20));
+        assert!(*s.last().unwrap() >= Bytes::from_gib(1));
+        assert!(s.len() > 12);
+        let q = sg_sweep(true);
+        assert!(q.len() < s.len());
+    }
+
+    #[test]
+    fn seq_labels_match_paper_style() {
+        assert_eq!(seq_label(512), "512");
+        assert_eq!(seq_label(4096), "4K");
+        assert_eq!(seq_label(262_144), "256K");
+    }
+
+    #[test]
+    fn platforms_resolve() {
+        assert_eq!(platform("edge").pe.count(), 1024);
+        assert_eq!(platform("cloud").pe.count(), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platform")]
+    fn bad_platform_panics() {
+        let _ = platform("tpu");
+    }
+}

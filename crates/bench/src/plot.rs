@@ -1,0 +1,112 @@
+//! Terminal plotting: Unicode sparklines and labeled curve bundles, so
+//! the Figure 8/9 sweeps are readable without leaving the shell.
+
+/// Renders values in `[0, 1]` as a Unicode block sparkline.
+///
+/// # Example
+///
+/// ```
+/// use flat_bench::plot::sparkline;
+///
+/// let s = sparkline(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+/// assert_eq!(s.chars().count(), 5);
+/// assert!(s.ends_with('█'));
+/// ```
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (v.clamp(0.0, 1.0) * 8.0).round() as usize;
+            BLOCKS[idx.min(8)]
+        })
+        .collect()
+}
+
+/// One labeled curve for [`render_curves`].
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label.
+    pub label: String,
+    /// Y values in `[0, 1]` (utilization or normalized energy).
+    pub values: Vec<f64>,
+}
+
+/// Renders a bundle of curves as aligned sparklines with labels and the
+/// final value — a terminal stand-in for one Figure 8 subplot.
+///
+/// # Example
+///
+/// ```
+/// use flat_bench::plot::{render_curves, Curve};
+///
+/// let text = render_curves(
+///     "util vs buffer",
+///     &[Curve { label: "Base".into(), values: vec![0.2, 0.4, 0.6] }],
+/// );
+/// assert!(text.contains("Base"));
+/// assert!(text.contains("0.600"));
+/// ```
+#[must_use]
+pub fn render_curves(title: &str, curves: &[Curve]) -> String {
+    let width = curves.iter().map(|c| c.label.chars().count()).max().unwrap_or(0);
+    let mut out = format!("## {title}\n");
+    for c in curves {
+        out.push_str(&format!(
+            "{:width$}  {}  {:.3}\n",
+            c.label,
+            sparkline(&c.values),
+            c.values.last().copied().unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s: Vec<char> = sparkline(&[0.0, 1.0]).chars().collect();
+        assert_eq!(s[0], ' ');
+        assert_eq!(s[1], '█');
+    }
+
+    #[test]
+    fn sparkline_clamps_out_of_range() {
+        let s: Vec<char> = sparkline(&[-3.0, 7.0]).chars().collect();
+        assert_eq!(s[0], ' ');
+        assert_eq!(s[1], '█');
+    }
+
+    #[test]
+    fn sparkline_is_monotone_in_value() {
+        const ORDER: &str = " ▁▂▃▄▅▆▇█";
+        let chars: Vec<char> = sparkline(&[0.1, 0.2, 0.5, 0.9]).chars().collect();
+        let pos = |c: char| ORDER.chars().position(|x| x == c).unwrap();
+        for w in chars.windows(2) {
+            assert!(pos(w[0]) <= pos(w[1]));
+        }
+    }
+
+    #[test]
+    fn curves_align_labels() {
+        let text = render_curves(
+            "t",
+            &[
+                Curve { label: "a".into(), values: vec![0.5] },
+                Curve { label: "longer".into(), values: vec![0.9] },
+            ],
+        );
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let col = |l: &str| l.chars().position(|c| "▁▂▃▄▅▆▇█".contains(c)).unwrap();
+        assert_eq!(col(lines[0]), col(lines[1]), "sparklines start in the same column");
+    }
+
+    #[test]
+    fn empty_curves_render_header_only() {
+        assert_eq!(render_curves("x", &[]), "## x\n");
+    }
+}

@@ -1,0 +1,349 @@
+//! The CLI subcommands.
+
+use crate::parse;
+use flat_bench::args::Args;
+use flat_core::{CostModel, CostReport, LaExecution};
+use flat_dse::{Dse, SpaceKind};
+use flat_workloads::{Model, Scope};
+use serde_json::json;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+flat — FLAT dataflow cost model, DSE, and tracer
+
+USAGE:
+  flat info
+  flat cost  --platform edge --model bert --seq 4096 --dataflow flat-r64 [--scope la|block|model] [--json]
+  flat dse   --platform cloud --model xlm --seq 16384 [--space base|full] [--objective max-util] [--json]
+  flat trace --platform edge --model bert --seq 512 --dataflow flat-r64 [--width 48]
+  flat loopnest --dataflow flat-r64 [--seq N]   # Figure 4-style loop nest
+  flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64
+  flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
+  flat run   --config experiments.json [--out results.json]
+
+COMMON OPTIONS:
+  --batch N           batch size (default 64)
+  --sg-kib N          override on-chip scratchpad capacity
+  --offchip-gbps N    override off-chip bandwidth
+  --accel-json FILE   load a serialized accelerator instead of a preset
+  --model-json FILE   load a HuggingFace-style model config instead of a zoo name
+  --no-double-buffer  charge every tile switch and serialize transfers
+  --serial-softmax    the paper's stricter baseline softmax phase";
+
+/// `flat run` — execute a JSON experiment config: a list of jobs, each
+/// either a fixed-dataflow pricing or a DSE, producing a JSON result
+/// array (the Timeloop-style batch workflow).
+///
+/// Config shape:
+/// ```json
+/// { "jobs": [
+///   { "platform": "edge", "model": "bert", "seq": 4096, "dataflow": "flat-r64" },
+///   { "platform": "cloud", "model": "xlm", "seq": 16384, "space": "full", "objective": "max-util" }
+/// ] }
+/// ```
+pub fn run(args: &Args) -> Result<(), String> {
+    let path = args.get("config", "");
+    if path.is_empty() {
+        return Err("--config FILE is required".to_owned());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let config: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let jobs = config
+        .get("jobs")
+        .and_then(|j| j.as_array())
+        .ok_or_else(|| "config must contain a \"jobs\" array".to_owned())?;
+
+    let mut results = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        let get = |key: &str, default: &str| -> String {
+            job.get(key).and_then(|v| v.as_str()).unwrap_or(default).to_owned()
+        };
+        let get_u64 = |key: &str, default: u64| -> u64 {
+            job.get(key).and_then(serde_json::Value::as_u64).unwrap_or(default)
+        };
+        // Rebuild an Args so the job shares the CLI's resolution logic.
+        let mut argv = vec![
+            "--platform".to_owned(),
+            get("platform", "edge"),
+            "--model".to_owned(),
+            get("model", "bert"),
+            "--seq".to_owned(),
+            get_u64("seq", 4096).to_string(),
+            "--batch".to_owned(),
+            get_u64("batch", 64).to_string(),
+        ];
+        if let Some(sg) = job.get("sg_kib").and_then(serde_json::Value::as_u64) {
+            argv.extend(["--sg-kib".to_owned(), sg.to_string()]);
+        }
+        let job_args = Args::parse_from(argv);
+        let setup = parse::setup(&job_args).map_err(|e| format!("job {idx}: {e}"))?;
+
+        let mut value = if job.get("space").is_some() || job.get("objective").is_some() {
+            let space = match get("space", "full").as_str() {
+                "base" | "sequential" => SpaceKind::Sequential,
+                "fused" => SpaceKind::Fused,
+                _ => SpaceKind::Full,
+            };
+            let obj_args = Args::parse_from(vec![
+                "--objective".to_owned(),
+                get("objective", "max-util"),
+            ]);
+            let objective = parse::objective(&obj_args).map_err(|e| format!("job {idx}: {e}"))?;
+            let best = Dse::new(&setup.accel, &setup.block).best_la(space, objective);
+            report_json(&best.report, &la_label(&best.la), Scope::LogitAttend)
+        } else {
+            let df = parse::dataflow(&get("dataflow", "flat-r64"))
+                .map_err(|e| format!("job {idx}: {e}"))?;
+            let report =
+                CostModel::new(&setup.accel).scope_cost(&setup.block, &df, Scope::LogitAttend);
+            report_json(&report, &df.label(), Scope::LogitAttend)
+        };
+        value["job"] = json!(idx);
+        value["platform"] = json!(setup.accel.name);
+        value["model"] = json!(setup.model.to_string());
+        value["seq"] = json!(setup.seq);
+        results.push(value);
+    }
+
+    let out = serde_json::to_string_pretty(&serde_json::Value::Array(results))
+        .expect("results serialize");
+    let out_path = args.get("out", "");
+    if out_path.is_empty() {
+        println!("{out}");
+    } else {
+        std::fs::write(&out_path, out).map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+    }
+    Ok(())
+}
+
+/// `flat info` — list the available building blocks.
+pub fn info() -> Result<(), String> {
+    println!("platforms: edge (32x32 PEs, 512 KiB, 50 GB/s), cloud (256x256 PEs, 32 MiB, 400 GB/s)");
+    println!("models:");
+    for m in Model::suite() {
+        println!(
+            "  {:10} blocks={} D={} H={} ffn={}",
+            m.to_string(),
+            m.blocks(),
+            m.hidden(),
+            m.heads(),
+            m.ffn_hidden()
+        );
+    }
+    println!("dataflows: base, base-m, base-b, base-h, flat-m, flat-b, flat-h, flat-rN");
+    println!("objectives: max-util, min-energy, min-edp, min-footprint, util-per-footprint");
+    Ok(())
+}
+
+fn report_json(report: &CostReport, label: &str, scope: Scope) -> serde_json::Value {
+    json!({
+        "dataflow": label,
+        "scope": scope.to_string(),
+        "cycles": report.cycles,
+        "ideal_cycles": report.ideal_cycles,
+        "util": report.util(),
+        "offchip_bytes": report.traffic.offchip.as_u64(),
+        "onchip_bytes": report.traffic.onchip.as_u64(),
+        "footprint_bytes": report.footprint.as_u64(),
+        "energy_pj": report.energy.total_pj(),
+        "energy": {
+            "compute_pj": report.energy.compute_pj,
+            "sl_pj": report.energy.sl_pj,
+            "sg_pj": report.energy.sg_pj,
+            "dram_pj": report.energy.dram_pj,
+            "sfu_pj": report.energy.sfu_pj,
+        },
+    })
+}
+
+/// `flat cost` — price one dataflow.
+pub fn cost(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let df = parse::dataflow(&args.get("dataflow", "flat-r64"))?;
+    let scope = parse::scope(args)?;
+    let cm = CostModel::with_options(&setup.accel, parse::model_options(args));
+    let mut report = cm.scope_cost(&setup.block, &df, scope);
+    if scope == Scope::Model {
+        report = report.repeat(setup.model.blocks());
+    }
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report_json(&report, &df.label(), scope))
+                .expect("report serializes")
+        );
+    } else {
+        println!("accelerator: {}", setup.accel);
+        println!("workload:    {} (B={}, N={})", setup.model, setup.batch, setup.seq);
+        println!("dataflow:    {} at {} scope", df.label(), scope);
+        println!();
+        println!("cycles:      {:.4e} ({:.3} ms at {:.1} GHz)",
+            report.cycles,
+            setup.accel.cycles_to_seconds(report.cycles) * 1e3,
+            setup.accel.clock_hz / 1e9);
+        println!("utilization: {:.4}", report.util());
+        println!("off-chip:    {}", report.traffic.offchip);
+        println!("on-chip:     {}", report.traffic.onchip);
+        println!("footprint:   {}", report.footprint);
+        println!("energy:      {}", report.energy);
+    }
+    Ok(())
+}
+
+fn la_label(la: &LaExecution) -> String {
+    match la {
+        LaExecution::Fused(f) => format!("FLAT-{}", f.granularity),
+        LaExecution::Sequential { logit, .. } => match logit.l3 {
+            None => "Base".to_owned(),
+            Some(l3) => format!("Base-{}", l3.granularity),
+        },
+    }
+}
+
+/// `flat dse` — search a design space.
+pub fn dse(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let objective = parse::objective(args)?;
+    let space = match args.get("space", "full").as_str() {
+        "base" | "sequential" => SpaceKind::Sequential,
+        "base-m" => SpaceKind::SequentialMGran,
+        "fused" => SpaceKind::Fused,
+        "full" => SpaceKind::Full,
+        other => return Err(format!("unknown space {other:?} (base|base-m|fused|full)")),
+    };
+    let dse = Dse::new(&setup.accel, &setup.block);
+    let best = dse.best_la(space, objective);
+    let (others, _) = dse.best_others(objective);
+    if args.flag("json") {
+        let mut v = report_json(&best.report, &la_label(&best.la), Scope::LogitAttend);
+        v["objective"] = json!(objective.to_string());
+        v["others_dataflow"] = json!(others.to_string());
+        println!("{}", serde_json::to_string_pretty(&v).expect("serializes"));
+    } else {
+        println!("accelerator: {}", setup.accel);
+        println!("workload:    {} (B={}, N={})", setup.model, setup.batch, setup.seq);
+        println!("objective:   {objective}");
+        println!();
+        println!("best L-A dataflow:   {}", la_label(&best.la));
+        println!("  util {:.4}, off-chip {}, footprint {}",
+            best.report.util(), best.report.traffic.offchip, best.report.footprint);
+        println!("best non-fused ops:  {others}");
+    }
+    Ok(())
+}
+
+/// `flat loopnest` — print the Figure 4-style loop nest of a dataflow.
+pub fn loopnest(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let df = parse::dataflow(&args.get("dataflow", "flat-r64"))?;
+    println!(
+        "# {} — {} (B={}, N={})\n",
+        df.label(),
+        setup.model,
+        setup.batch,
+        setup.seq
+    );
+    print!("{}", flat_core::loop_nest(&df, setup.block.config()));
+    Ok(())
+}
+
+/// `flat trace` — print the execution timeline.
+pub fn trace(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let df = parse::dataflow(&args.get("dataflow", "flat-r64"))?;
+    let width = args.get_u64("width", 48) as usize;
+    let cm = CostModel::new(&setup.accel);
+    let schedule = cm.la_schedule(&setup.block, &df);
+    println!(
+        "# {} on {} — {} (B={}, N={})",
+        df.label(),
+        setup.accel.name,
+        setup.model,
+        setup.batch,
+        setup.seq
+    );
+    println!("# makespan {:.4e} cycles, util {:.3}\n", schedule.makespan(), schedule.total.util());
+    print!("{}", schedule.render(width));
+    Ok(())
+}
+
+/// `flat sim` — event-simulate a dataflow and compare with the analytical
+/// model.
+pub fn sim(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let df = parse::dataflow(&args.get("dataflow", "flat-r64"))?;
+    let trace_path = args.get("trace-json", "");
+    let opts = flat_sim::SimOptions {
+        record_trace: !trace_path.is_empty(),
+        // Keep exported traces viewable.
+        max_simulated_iterations: if trace_path.is_empty() { 4096 } else { 512 },
+        ..flat_sim::SimOptions::default()
+    };
+    let cm = CostModel::new(&setup.accel);
+    let analytical = cm.la_cost(&setup.block, &df.la);
+    let simulated = match df.la {
+        flat_core::LaExecution::Fused(fused) => {
+            flat_sim::simulate_fused(&setup.accel, &setup.block, &fused, opts)
+        }
+        flat_core::LaExecution::Sequential { .. } => {
+            flat_sim::simulate_sequential(&setup.accel, &setup.block, opts)
+        }
+    };
+    if !trace_path.is_empty() {
+        std::fs::write(&trace_path, simulated.to_chrome_trace())
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {trace_path} (open in chrome://tracing or Perfetto)");
+    }
+    println!("workload:    {} (B={}, N={}) on {}", setup.model, setup.batch, setup.seq, setup.accel.name);
+    println!("dataflow:    {}", df.label());
+    println!();
+    println!("analytical:  {:.4e} cycles (util {:.3})", analytical.cycles, analytical.util());
+    println!("simulated:   {simulated}");
+    println!("sim/analytical: {:.3}", simulated.cycles / analytical.cycles);
+    println!();
+    for u in &simulated.resources {
+        println!("  {:5} busy {:.3e} cycles ({:.1}% of makespan)", u.name, u.busy_cycles, u.occupancy * 100.0);
+    }
+    Ok(())
+}
+
+/// `flat bw` — minimum off-chip bandwidth for a target L-A utilization.
+pub fn bw(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let target = args.get_u64("target-milli", 950) as f64 / 1000.0;
+    for (name, df) in [
+        ("Base-opt", SpaceKind::Sequential),
+        ("FLAT-opt", SpaceKind::Full),
+    ] {
+        let need = {
+            let (mut lo, mut hi) = (1.0e8f64, 1.0e14f64);
+            let util_at = |bw: f64| {
+                let a = setup.accel.with_offchip_bw(bw);
+                Dse::new(&a, &setup.block)
+                    .best_la(df, flat_dse::Objective::MaxUtil)
+                    .report
+                    .util()
+            };
+            if util_at(hi) < target {
+                None
+            } else {
+                while hi / lo > 1.05 {
+                    let mid = (lo * hi).sqrt();
+                    if util_at(mid) >= target {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                Some(hi)
+            }
+        };
+        match need {
+            Some(bw) => println!("{name:9} needs {:.1} GB/s for util >= {target}", bw / 1e9),
+            None => println!("{name:9} cannot reach util {target} at any bandwidth"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! `flat` — command-line interface to the FLAT reproduction stack.
+//!
+//! ```text
+//! flat info
+//! flat cost  --platform edge --model bert --seq 4096 --dataflow flat-r64 [--scope la|block|model] [--json]
+//! flat dse   --platform cloud --model xlm --seq 16384 [--space base|full] [--objective max-util|min-energy|min-edp] [--json]
+//! flat trace --platform edge --model bert --seq 512 --dataflow flat-r64
+//! flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
+//! ```
+//!
+//! Common overrides: `--batch N`, `--sg-kib N`, `--offchip-gbps N`,
+//! `--accel-json FILE` (load a serialized [`flat_arch::Accelerator`]).
+
+mod commands;
+mod parse;
+
+use flat_bench::args::Args;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    };
+    let args = Args::parse_from(argv);
+    let result = match command.as_str() {
+        "info" => commands::info(),
+        "cost" => commands::cost(&args),
+        "dse" => commands::dse(&args),
+        "trace" => commands::trace(&args),
+        "loopnest" => commands::loopnest(&args),
+        "sim" => commands::sim(&args),
+        "bw" => commands::bw(&args),
+        "run" => commands::run(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared argument resolution for the CLI commands.
+
+use flat_arch::Accelerator;
+use flat_bench::args::Args;
+use flat_core::BlockDataflow;
+use flat_dse::Objective;
+use flat_tensor::Bytes;
+use flat_workloads::{AttentionBlock, Model, Scope};
+
+/// A resolved (accelerator, workload) pair.
+pub struct Setup {
+    pub accel: Accelerator,
+    pub model: Model,
+    pub block: AttentionBlock,
+    pub batch: u64,
+    pub seq: u64,
+}
+
+/// Resolves the platform/model/seq/batch arguments, applying overrides.
+pub fn setup(args: &Args) -> Result<Setup, String> {
+    let accel = accelerator(args)?;
+    let model = if let Some(path) = optional(args, "model-json") {
+        model_from_json(&path)?
+    } else {
+        let name = args.get("model", "bert");
+        Model::by_name(&name).ok_or_else(|| format!("unknown model {name:?}"))?
+    };
+    let batch = args.get_u64("batch", 64);
+    let seq = args.get_u64("seq", 4096);
+    let block = model.block(batch, seq);
+    Ok(Setup { accel, model, block, batch, seq })
+}
+
+/// Loads a HuggingFace-style config file: `hidden_size`,
+/// `num_attention_heads`, `num_hidden_layers`, `intermediate_size`
+/// (falling back to `4 * hidden_size` when absent, as HF does for models
+/// that omit it).
+pub fn model_from_json(path: &str) -> Result<Model, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let get = |key: &str| -> Option<u64> { v.get(key).and_then(serde_json::Value::as_u64) };
+    let hidden = get("hidden_size")
+        .or_else(|| get("d_model"))
+        .ok_or_else(|| format!("{path}: missing hidden_size/d_model"))?;
+    let heads = get("num_attention_heads")
+        .or_else(|| get("num_heads"))
+        .ok_or_else(|| format!("{path}: missing num_attention_heads"))?;
+    let blocks = get("num_hidden_layers")
+        .or_else(|| get("num_layers"))
+        .ok_or_else(|| format!("{path}: missing num_hidden_layers"))?;
+    let ffn = get("intermediate_size").or_else(|| get("d_ff")).unwrap_or(4 * hidden);
+    if hidden % heads != 0 {
+        return Err(format!("{path}: hidden_size {hidden} not divisible by {heads} heads"));
+    }
+    Ok(Model::custom(blocks, heads, hidden, ffn))
+}
+
+/// Resolves the accelerator: a platform preset or a JSON file, plus knob
+/// overrides.
+pub fn accelerator(args: &Args) -> Result<Accelerator, String> {
+    let mut accel = if let Some(path) = optional(args, "accel-json") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        match args.get("platform", "edge").as_str() {
+            "edge" => Accelerator::edge(),
+            "cloud" => Accelerator::cloud(),
+            other => return Err(format!("unknown platform {other:?} (edge|cloud)")),
+        }
+    };
+    if let Some(kib) = optional(args, "sg-kib") {
+        let kib: u64 = kib.parse().map_err(|_| "--sg-kib expects an integer".to_owned())?;
+        accel = accel.with_sg(Bytes::from_kib(kib));
+    }
+    if let Some(gbps) = optional(args, "offchip-gbps") {
+        let gbps: f64 =
+            gbps.parse().map_err(|_| "--offchip-gbps expects a number".to_owned())?;
+        accel = accel.with_offchip_bw(gbps * 1e9);
+    }
+    Ok(accel)
+}
+
+/// Parses a dataflow label (`base`, `base-m|b|h`, `flat-m|b|h`,
+/// `flat-rN`, `flat-tBxHxrN`) via [`BlockDataflow`]'s `FromStr`.
+pub fn dataflow(label: &str) -> Result<BlockDataflow, String> {
+    label.parse().map_err(|e: flat_core::ParseDataflowError| e.to_string())
+}
+
+/// Model-option flags shared by `cost`/`sim`/`trace`:
+/// `--no-double-buffer`, `--serial-softmax`.
+pub fn model_options(args: &Args) -> flat_core::ModelOptions {
+    flat_core::ModelOptions {
+        double_buffered: !args.flag("no-double-buffer"),
+        overlap_softmax: !args.flag("serial-softmax"),
+    }
+}
+
+/// Parses a scope label.
+pub fn scope(args: &Args) -> Result<Scope, String> {
+    match args.get("scope", "la").as_str() {
+        "la" | "l-a" => Ok(Scope::LogitAttend),
+        "block" => Ok(Scope::Block),
+        "model" => Ok(Scope::Model),
+        other => Err(format!("unknown scope {other:?} (la|block|model)")),
+    }
+}
+
+/// Parses an objective label.
+pub fn objective(args: &Args) -> Result<Objective, String> {
+    match args.get("objective", "max-util").as_str() {
+        "max-util" => Ok(Objective::MaxUtil),
+        "min-energy" => Ok(Objective::MinEnergy),
+        "min-edp" => Ok(Objective::MinEdp),
+        "min-footprint" => Ok(Objective::MinFootprint),
+        "util-per-footprint" => Ok(Objective::UtilPerFootprint),
+        other => Err(format!("unknown objective {other:?}")),
+    }
+}
+
+fn optional(args: &Args, key: &str) -> Option<String> {
+    let v = args.get(key, "\u{0}");
+    if v == "\u{0}" {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataflow_labels_parse() {
+        assert_eq!(dataflow("base").unwrap().label(), "Base");
+        assert_eq!(dataflow("base-h").unwrap().label(), "Base-H");
+        assert_eq!(dataflow("flat-r64").unwrap().label(), "FLAT-R64");
+        assert_eq!(dataflow("FLAT-M").unwrap().label(), "FLAT-M");
+        assert!(dataflow("base-r64").is_err());
+        assert!(dataflow("nope").is_err());
+    }
+
+    #[test]
+    fn accelerator_overrides_apply() {
+        let args = flat_bench::args::Args::parse_from(
+            ["--platform", "cloud", "--sg-kib", "1024", "--offchip-gbps", "100"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        let a = accelerator(&args).unwrap();
+        assert_eq!(a.sg, Bytes::from_kib(1024));
+        assert_eq!(a.mem.offchip_bytes_per_s, 100.0e9);
+        assert_eq!(a.pe.count(), 65536);
+    }
+
+    #[test]
+    fn hf_config_loads() {
+        let path = std::env::temp_dir().join("flat_cli_test_model.json");
+        std::fs::write(
+            &path,
+            r#"{"hidden_size": 4096, "num_attention_heads": 32, "num_hidden_layers": 32,
+                "intermediate_size": 11008, "model_type": "llama"}"#,
+        )
+        .unwrap();
+        let m = model_from_json(&path.display().to_string()).unwrap();
+        assert_eq!(m.hidden(), 4096);
+        assert_eq!(m.heads(), 32);
+        assert_eq!(m.blocks(), 32);
+        assert_eq!(m.ffn_hidden(), 11008);
+    }
+
+    #[test]
+    fn hf_config_defaults_ffn_to_4x() {
+        let path = std::env::temp_dir().join("flat_cli_test_model2.json");
+        std::fs::write(&path, r#"{"d_model": 512, "num_heads": 8, "num_layers": 6}"#).unwrap();
+        let m = model_from_json(&path.display().to_string()).unwrap();
+        assert_eq!(m.ffn_hidden(), 2048);
+    }
+
+    #[test]
+    fn accel_json_round_trips() {
+        let a = Accelerator::edge();
+        let json = serde_json::to_string(&a).unwrap();
+        let path = std::env::temp_dir().join("flat_cli_test_accel.json");
+        std::fs::write(&path, json).unwrap();
+        let args = flat_bench::args::Args::parse_from(
+            ["--accel-json".to_owned(), path.display().to_string()],
+        );
+        let b = accelerator(&args).unwrap();
+        assert_eq!(a, b);
+    }
+}

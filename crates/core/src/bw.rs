@@ -1,0 +1,144 @@
+//! Off-chip bandwidth requirement search (Figure 12(b)): the smallest
+//! DRAM bandwidth at which a dataflow sustains a target utilization.
+
+use crate::{BlockDataflow, CostModel, ModelOptions};
+use flat_arch::Accelerator;
+use flat_workloads::{AttentionBlock, Scope};
+
+/// Bounds of the bandwidth bisection, bytes/s.
+const BW_LO: f64 = 1.0e8; // 100 MB/s
+const BW_HI: f64 = 1.0e14; // 100 TB/s
+
+/// Utilization of `df` on `accel` with its off-chip bandwidth replaced.
+#[must_use]
+pub fn util_at_bw(
+    accel: &Accelerator,
+    block: &AttentionBlock,
+    df: &BlockDataflow,
+    scope: Scope,
+    offchip_bytes_per_s: f64,
+) -> f64 {
+    let accel = accel.with_offchip_bw(offchip_bytes_per_s);
+    CostModel::with_options(&accel, ModelOptions::default())
+        .scope_cost(block, df, scope)
+        .util()
+}
+
+/// Finds the minimum off-chip bandwidth (bytes/s) at which `df` reaches
+/// `target_util` at `scope`, by bisection. Returns `None` if even
+/// the 100 TB/s search ceiling cannot reach the target (the dataflow is compute- or
+/// NoC-limited below it).
+///
+/// Utilization is monotone non-decreasing in off-chip bandwidth — more
+/// bandwidth never slows the modeled accelerator — so bisection is exact
+/// to the returned tolerance (±2%).
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Accelerator;
+/// use flat_core::bw::required_offchip_bw;
+/// use flat_core::{BlockDataflow, Granularity};
+/// use flat_workloads::{Model, Scope};
+///
+/// let accel = Accelerator::cloud();
+/// let block = Model::xlm().block(64, 4096);
+/// let flat = required_offchip_bw(
+///     &accel, &block, &BlockDataflow::flat(Granularity::Row(1024)), Scope::LogitAttend, 0.9,
+/// );
+/// let base = required_offchip_bw(
+///     &accel, &block, &BlockDataflow::base(), Scope::LogitAttend, 0.9,
+/// );
+/// match (flat, base) {
+///     (Some(f), Some(b)) => assert!(f < b),
+///     (Some(_), None) => {} // base can't reach 0.9 at any bandwidth
+///     _ => panic!("FLAT must reach the target"),
+/// }
+/// ```
+#[must_use]
+pub fn required_offchip_bw(
+    accel: &Accelerator,
+    block: &AttentionBlock,
+    df: &BlockDataflow,
+    scope: Scope,
+    target_util: f64,
+) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&target_util), "target utilization must be in [0, 1]");
+    if util_at_bw(accel, block, df, scope, BW_HI) < target_util {
+        return None;
+    }
+    let (mut lo, mut hi) = (BW_LO, BW_HI);
+    // ~40 halvings of a 6-decade range: well under 2% relative error.
+    for _ in 0..40 {
+        let mid = (lo * hi).sqrt();
+        if util_at_bw(accel, block, df, scope, mid) >= target_util {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi / lo < 1.02 {
+            break;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Granularity;
+    use flat_workloads::Model;
+
+    #[test]
+    fn util_monotone_in_bandwidth() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 4096);
+        let df = BlockDataflow::base();
+        let mut last = 0.0;
+        for bw in [1.0e9, 1.0e10, 1.0e11, 1.0e12, 1.0e13] {
+            let u = util_at_bw(&accel, &block, &df, Scope::LogitAttend, bw);
+            assert!(u >= last - 1e-9, "util not monotone at {bw}: {u} < {last}");
+            last = u;
+        }
+    }
+
+    /// Figure 12(b)'s core claim: FLAT needs far less off-chip bandwidth
+    /// than the sequential baseline to sustain high utilization.
+    #[test]
+    fn flat_needs_less_bandwidth_than_base() {
+        let accel = Accelerator::cloud();
+        let block = Model::xlm().block(64, 8192);
+        let flat = required_offchip_bw(
+            &accel,
+            &block,
+            &BlockDataflow::flat(Granularity::Row(512)),
+            Scope::LogitAttend,
+            0.9,
+        )
+        .expect("FLAT reaches 0.9");
+        if let Some(base) =
+            required_offchip_bw(&accel, &block, &BlockDataflow::base(), Scope::LogitAttend, 0.9)
+        {
+            assert!(flat < base * 0.5, "flat {flat} vs base {base}");
+        }
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        // Util 1.0 exactly is unreachable: NoC overhead always exists.
+        let res =
+            required_offchip_bw(&accel, &block, &BlockDataflow::base(), Scope::LogitAttend, 1.0);
+        assert!(res.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "target utilization")]
+    fn invalid_target_rejected() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(1, 128);
+        let _ =
+            required_offchip_bw(&accel, &block, &BlockDataflow::base(), Scope::LogitAttend, 1.5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Selective enabling of L3-/FLAT-tiles per tensor (§4.2.2, "Selectively
+//! Enabled FLAT-tile").
+
+use serde::{Deserialize, Serialize};
+
+/// Which tensors of a *single* (non-fused) operator get staged in the
+/// global scratchpad at the L3-tile granularity.
+///
+/// A disabled tensor "follows the baseline dataflow which has higher BW
+/// requirements" — it streams from DRAM with the full intra-operator reuse
+/// multiplier, but costs no SG footprint.
+///
+/// # Example
+///
+/// ```
+/// use flat_core::OperandEnables;
+///
+/// let all = OperandEnables::all();
+/// assert_eq!(all.count_enabled(), 3);
+/// assert_eq!(OperandEnables::none().count_enabled(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperandEnables {
+    /// Stage the `A` operand (input activation).
+    pub input_a: bool,
+    /// Stage the `B` operand (weight or second activation).
+    pub input_b: bool,
+    /// Stage the output.
+    pub output: bool,
+}
+
+impl OperandEnables {
+    /// Every tensor staged.
+    #[must_use]
+    pub const fn all() -> Self {
+        OperandEnables { input_a: true, input_b: true, output: true }
+    }
+
+    /// Nothing staged: pure baseline streaming.
+    #[must_use]
+    pub const fn none() -> Self {
+        OperandEnables { input_a: false, input_b: false, output: false }
+    }
+
+    /// Number of staged tensors.
+    #[must_use]
+    pub const fn count_enabled(&self) -> u32 {
+        self.input_a as u32 + self.input_b as u32 + self.output as u32
+    }
+
+    /// All 2³ enable combinations, for DSE.
+    #[must_use]
+    pub fn enumerate() -> Vec<OperandEnables> {
+        let mut out = Vec::with_capacity(8);
+        for bits in 0u8..8 {
+            out.push(OperandEnables {
+                input_a: bits & 1 != 0,
+                input_b: bits & 2 != 0,
+                output: bits & 4 != 0,
+            });
+        }
+        out
+    }
+}
+
+impl Default for OperandEnables {
+    /// Defaults to staging everything (the common best choice when the
+    /// buffer allows it).
+    fn default() -> Self {
+        OperandEnables::all()
+    }
+}
+
+/// Which tensors of the *fused* L-A operator get a FLAT-tile.
+///
+/// §4.3: the fused operator has 2⁵ enable/disable choices — the two inputs
+/// of L (Q, K), the second input of A (V), the output of A, and the
+/// intermediate (logit) tensor between them. Disabling the intermediate
+/// FLAT-tile degrades the fusion to a DRAM round trip and is almost never
+/// profitable, but it is part of the paper's design space, so it is part of
+/// ours.
+///
+/// # Example
+///
+/// ```
+/// use flat_core::FusedEnables;
+///
+/// assert_eq!(FusedEnables::enumerate().len(), 32);
+/// assert!(FusedEnables::all().intermediate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FusedEnables {
+    /// Stage the query slice (input A of L).
+    pub query: bool,
+    /// Stage the key slice (input B of L).
+    pub key: bool,
+    /// Stage the value slice (input B of A).
+    pub value: bool,
+    /// Stage the attended-output slice (output of A).
+    pub output: bool,
+    /// Keep the intermediate logit slice on-chip between L and A — the
+    /// essence of FLAT.
+    pub intermediate: bool,
+}
+
+impl FusedEnables {
+    /// Every FLAT-tile enabled.
+    #[must_use]
+    pub const fn all() -> Self {
+        FusedEnables { query: true, key: true, value: true, output: true, intermediate: true }
+    }
+
+    /// Only the intermediate tensor staged (the Figure 4(b) walk-through
+    /// configuration).
+    #[must_use]
+    pub const fn intermediate_only() -> Self {
+        FusedEnables {
+            query: false,
+            key: false,
+            value: false,
+            output: false,
+            intermediate: true,
+        }
+    }
+
+    /// Number of staged tensors.
+    #[must_use]
+    pub const fn count_enabled(&self) -> u32 {
+        self.query as u32
+            + self.key as u32
+            + self.value as u32
+            + self.output as u32
+            + self.intermediate as u32
+    }
+
+    /// All 2⁵ enable combinations, for DSE.
+    #[must_use]
+    pub fn enumerate() -> Vec<FusedEnables> {
+        let mut out = Vec::with_capacity(32);
+        for bits in 0u8..32 {
+            out.push(FusedEnables {
+                query: bits & 1 != 0,
+                key: bits & 2 != 0,
+                value: bits & 4 != 0,
+                output: bits & 8 != 0,
+                intermediate: bits & 16 != 0,
+            });
+        }
+        out
+    }
+}
+
+impl Default for FusedEnables {
+    fn default() -> Self {
+        FusedEnables::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_enumeration_is_exhaustive_and_distinct() {
+        let combos = OperandEnables::enumerate();
+        assert_eq!(combos.len(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for c in combos {
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn fused_enumeration_is_exhaustive_and_distinct() {
+        let combos = FusedEnables::enumerate();
+        assert_eq!(combos.len(), 32);
+        let mut seen = std::collections::HashSet::new();
+        for c in combos {
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn counts_match_flags() {
+        assert_eq!(FusedEnables::all().count_enabled(), 5);
+        assert_eq!(FusedEnables::intermediate_only().count_enabled(), 1);
+        assert_eq!(OperandEnables::none().count_enabled(), 0);
+    }
+}

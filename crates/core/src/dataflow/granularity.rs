@@ -1,0 +1,284 @@
+//! Cross-operator tiling granularity (§4.2.2).
+
+use flat_workloads::AttentionConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How much of the intermediate (logit) tensor one FLAT-tile / L3-tile
+/// covers.
+///
+/// The ladder from coarsest to finest (Figure 3(b), Table 2):
+///
+/// * [`Granularity::BatchMultiHead`] (*M-Gran*) — the entire tensor: all
+///   batches, all heads. The "naive" choice when the buffer is huge.
+/// * [`Granularity::Batch`] (*B-Gran*) — one batch sample, all its heads.
+/// * [`Granularity::Head`] (*H-Gran*) — one (batch, head) pair.
+/// * [`Granularity::Row`] (*R-Gran*) — `R` logit rows of one head: the
+///   finest legal unit, because softmax reduces along a full key row. Only
+///   a *fused* dataflow can exploit R-Gran — a sequential baseline must
+///   finish all of L before A starts, so slicing rows buys it nothing.
+///
+/// # Example
+///
+/// ```
+/// use flat_core::Granularity;
+/// use flat_workloads::AttentionConfig;
+///
+/// let cfg = AttentionConfig::self_attention(64, 16, 512, 1024, 4096);
+/// // One R-Gran slice holds 4 rows x N columns of logits for one head.
+/// assert_eq!(Granularity::Row(4).slice_logit_elements(&cfg), 4 * 512);
+/// // An M-Gran slice holds the whole B x H x N x N tensor.
+/// assert_eq!(
+///     Granularity::BatchMultiHead.slice_logit_elements(&cfg),
+///     cfg.logit_elements()
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// M-Gran: the entire batched multi-head tensor at once.
+    BatchMultiHead,
+    /// B-Gran: one batch sample (all heads).
+    Batch,
+    /// H-Gran: one (batch, head) pair.
+    Head,
+    /// R-Gran: `R` logit rows of one (batch, head) pair.
+    Row(u64),
+    /// The general FLAT-tile of §4.2.2: `B_t` batch samples × `H_t` heads
+    /// × `R` logit rows per slice. The named granularities are corners of
+    /// this space (`M = (B, H, N)`, `B = (1, H, N)`, `H = (1, 1, N)`,
+    /// `R = (1, 1, r)`); composite tiles trade head-level parallelism
+    /// against slice footprint, which matters when `dk` underfills a wide
+    /// PE array.
+    Composite {
+        /// Batch samples per slice (`B_t`).
+        batch_t: u64,
+        /// Heads per slice (`H_t`).
+        head_t: u64,
+        /// Logit rows per slice per (batch, head) (`R`).
+        rows: u64,
+    },
+}
+
+impl Granularity {
+    /// Short name used in the paper's plots (`M`, `B`, `H`, `R64`,
+    /// `T2x4xR64`, …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Granularity::BatchMultiHead => "M".to_owned(),
+            Granularity::Batch => "B".to_owned(),
+            Granularity::Head => "H".to_owned(),
+            Granularity::Row(r) => format!("R{r}"),
+            Granularity::Composite { batch_t, head_t, rows } => {
+                format!("T{batch_t}x{head_t}xR{rows}")
+            }
+        }
+    }
+
+    /// Number of cross-loop iterations the fused operator makes over the
+    /// whole workload at this granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row or tile extent is zero.
+    #[must_use]
+    pub fn iterations(&self, cfg: &AttentionConfig) -> u64 {
+        match *self {
+            Granularity::BatchMultiHead => 1,
+            Granularity::Batch => cfg.batch,
+            Granularity::Head => cfg.batch * cfg.heads,
+            Granularity::Row(r) => {
+                assert!(r > 0, "row granularity must be positive");
+                cfg.batch * cfg.heads * cfg.seq_q.div_ceil(r)
+            }
+            Granularity::Composite { batch_t, head_t, rows } => {
+                assert!(
+                    batch_t > 0 && head_t > 0 && rows > 0,
+                    "composite tile extents must be positive"
+                );
+                cfg.batch.div_ceil(batch_t)
+                    * cfg.heads.div_ceil(head_t)
+                    * cfg.seq_q.div_ceil(rows)
+            }
+        }
+    }
+
+    /// Query rows covered by one iteration's slice (per covered head).
+    #[must_use]
+    pub fn rows_per_slice(&self, cfg: &AttentionConfig) -> u64 {
+        match *self {
+            Granularity::Row(r) | Granularity::Composite { rows: r, .. } => r.min(cfg.seq_q),
+            _ => cfg.seq_q,
+        }
+    }
+
+    /// Heads covered by one iteration's slice (per covered batch).
+    #[must_use]
+    pub fn heads_per_slice(&self, cfg: &AttentionConfig) -> u64 {
+        match *self {
+            Granularity::BatchMultiHead | Granularity::Batch => cfg.heads,
+            Granularity::Head | Granularity::Row(_) => 1,
+            Granularity::Composite { head_t, .. } => head_t.min(cfg.heads),
+        }
+    }
+
+    /// Batch samples covered by one iteration's slice.
+    #[must_use]
+    pub fn batches_per_slice(&self, cfg: &AttentionConfig) -> u64 {
+        match *self {
+            Granularity::BatchMultiHead => cfg.batch,
+            Granularity::Composite { batch_t, .. } => batch_t.min(cfg.batch),
+            _ => 1,
+        }
+    }
+
+    /// True when consecutive iterations at this granularity revisit the
+    /// same key/value slice (row slicing within a head), letting a fused
+    /// dataflow keep K/V resident without a second buffer.
+    #[must_use]
+    pub fn reuses_kv_across_iterations(&self, cfg: &AttentionConfig) -> bool {
+        self.rows_per_slice(cfg) < cfg.seq_q
+    }
+
+    /// Elements of the intermediate (logit) tensor in one slice.
+    #[must_use]
+    pub fn slice_logit_elements(&self, cfg: &AttentionConfig) -> u64 {
+        self.batches_per_slice(cfg)
+            * self.heads_per_slice(cfg)
+            * self.rows_per_slice(cfg)
+            * cfg.seq_kv
+    }
+
+    /// True when this granularity requires cross-operator fusion to be
+    /// useful (row slices are meaningless for a run-L-to-completion
+    /// baseline).
+    #[must_use]
+    pub const fn requires_fusion(&self) -> bool {
+        matches!(self, Granularity::Row(_) | Granularity::Composite { .. })
+    }
+
+    /// The coarse granularities available to both baseline (Base-X) and
+    /// FLAT dataflows.
+    #[must_use]
+    pub const fn coarse() -> [Granularity; 3] {
+        [Granularity::BatchMultiHead, Granularity::Batch, Granularity::Head]
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig::self_attention(64, 16, 512, 1024, 4096)
+    }
+
+    #[test]
+    fn iterations_times_slice_covers_tensor() {
+        let cfg = cfg();
+        for g in [
+            Granularity::BatchMultiHead,
+            Granularity::Batch,
+            Granularity::Head,
+            Granularity::Row(64),
+            Granularity::Row(512),
+        ] {
+            assert_eq!(
+                g.iterations(&cfg) * g.slice_logit_elements(&cfg),
+                cfg.logit_elements(),
+                "{g}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_granularity_rounds_up_iterations() {
+        let cfg = cfg();
+        // 512 rows in slices of 100 -> 6 slices per head.
+        assert_eq!(Granularity::Row(100).iterations(&cfg), 64 * 16 * 6);
+    }
+
+    #[test]
+    fn row_slice_clamps_to_seq() {
+        let cfg = cfg();
+        assert_eq!(Granularity::Row(10_000).rows_per_slice(&cfg), 512);
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(Granularity::BatchMultiHead.label(), "M");
+        assert_eq!(Granularity::Row(64).label(), "R64");
+    }
+
+    #[test]
+    fn only_rows_require_fusion() {
+        assert!(Granularity::Row(1).requires_fusion());
+        for g in Granularity::coarse() {
+            assert!(!g.requires_fusion());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rows_rejected() {
+        let _ = Granularity::Row(0).iterations(&cfg());
+    }
+
+    #[test]
+    fn composite_tiles_cover_tensor_exactly() {
+        let cfg = cfg();
+        for g in [
+            Granularity::Composite { batch_t: 1, head_t: 4, rows: 64 },
+            Granularity::Composite { batch_t: 2, head_t: 1, rows: 128 },
+            Granularity::Composite { batch_t: 64, head_t: 16, rows: 512 },
+        ] {
+            assert_eq!(
+                g.iterations(&cfg) * g.slice_logit_elements(&cfg),
+                cfg.logit_elements(),
+                "{g}"
+            );
+        }
+    }
+
+    #[test]
+    fn named_granularities_are_composite_corners() {
+        let cfg = cfg();
+        let corner = |b, h, r| Granularity::Composite { batch_t: b, head_t: h, rows: r };
+        for (named, composite) in [
+            (Granularity::BatchMultiHead, corner(64, 16, 512)),
+            (Granularity::Batch, corner(1, 16, 512)),
+            (Granularity::Head, corner(1, 1, 512)),
+            (Granularity::Row(64), corner(1, 1, 64)),
+        ] {
+            assert_eq!(named.iterations(&cfg), composite.iterations(&cfg));
+            assert_eq!(
+                named.slice_logit_elements(&cfg),
+                composite.slice_logit_elements(&cfg)
+            );
+        }
+    }
+
+    #[test]
+    fn kv_reuse_iff_rows_sliced() {
+        let cfg = cfg();
+        assert!(Granularity::Row(64).reuses_kv_across_iterations(&cfg));
+        assert!(Granularity::Composite { batch_t: 1, head_t: 2, rows: 64 }
+            .reuses_kv_across_iterations(&cfg));
+        assert!(!Granularity::Head.reuses_kv_across_iterations(&cfg));
+        assert!(!Granularity::Row(512).reuses_kv_across_iterations(&cfg));
+    }
+
+    #[test]
+    fn composite_label_is_distinct() {
+        assert_eq!(
+            Granularity::Composite { batch_t: 2, head_t: 4, rows: 64 }.label(),
+            "T2x4xR64"
+        );
+    }
+}

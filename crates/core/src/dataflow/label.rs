@@ -1,0 +1,135 @@
+//! Parsing dataflow labels (`"base-h"`, `"flat-r64"`, `"flat-t2x4xr64"`).
+
+use crate::{BlockDataflow, Granularity};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when a dataflow label does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDataflowError {
+    input: String,
+}
+
+impl ParseDataflowError {
+    fn new(input: &str) -> Self {
+        ParseDataflowError { input: input.to_owned() }
+    }
+
+    /// The label that failed to parse.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseDataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown dataflow {:?} (expected base, base-m|b|h, flat-m|b|h, flat-rN, or flat-tBxHxrN)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseDataflowError {}
+
+fn parse_granularity(s: &str) -> Option<Granularity> {
+    match s {
+        "m" => Some(Granularity::BatchMultiHead),
+        "b" => Some(Granularity::Batch),
+        "h" => Some(Granularity::Head),
+        _ => {
+            if let Some(r) = s.strip_prefix('r') {
+                return r.parse().ok().filter(|&r| r > 0).map(Granularity::Row);
+            }
+            // Composite: tBxHxrR.
+            let t = s.strip_prefix('t')?;
+            let mut parts = t.split('x');
+            let batch_t: u64 = parts.next()?.parse().ok()?;
+            let head_t: u64 = parts.next()?.parse().ok()?;
+            let rows: u64 = parts.next()?.strip_prefix('r')?.parse().ok()?;
+            if parts.next().is_some() || batch_t == 0 || head_t == 0 || rows == 0 {
+                return None;
+            }
+            Some(Granularity::Composite { batch_t, head_t, rows })
+        }
+    }
+}
+
+impl FromStr for BlockDataflow {
+    type Err = ParseDataflowError;
+
+    /// Parses the labels the evaluation uses (case-insensitive):
+    /// `base`, `base-m|b|h`, `flat-m|b|h`, `flat-rN`, `flat-tBxHxrN`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flat_core::BlockDataflow;
+    ///
+    /// let df: BlockDataflow = "flat-r64".parse()?;
+    /// assert_eq!(df.label(), "FLAT-R64");
+    /// # Ok::<(), flat_core::ParseDataflowError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_lowercase();
+        if lower == "base" {
+            return Ok(BlockDataflow::base());
+        }
+        if let Some(g) = lower.strip_prefix("base-") {
+            let g = parse_granularity(g).ok_or_else(|| ParseDataflowError::new(s))?;
+            if g.requires_fusion() {
+                return Err(ParseDataflowError::new(s));
+            }
+            return Ok(BlockDataflow::base_staged(g));
+        }
+        if let Some(g) = lower.strip_prefix("flat-") {
+            let g = parse_granularity(g).ok_or_else(|| ParseDataflowError::new(s))?;
+            return Ok(BlockDataflow::flat(g));
+        }
+        Err(ParseDataflowError::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_labels_round_trip() {
+        for label in ["Base", "Base-M", "Base-B", "Base-H", "FLAT-M", "FLAT-B", "FLAT-H",
+            "FLAT-R64", "FLAT-R1"] {
+            let df: BlockDataflow = label.parse().unwrap();
+            assert_eq!(df.label(), label, "round trip of {label}");
+        }
+    }
+
+    #[test]
+    fn composite_labels_parse() {
+        let df: BlockDataflow = "flat-t2x4xr64".parse().unwrap();
+        assert_eq!(df.label(), "FLAT-T2x4xR64");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let a: BlockDataflow = "FLAT-r64".parse().unwrap();
+        let b: BlockDataflow = "flat-R64".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_labels_error_with_context() {
+        for bad in ["", "nope", "base-r64", "flat-", "flat-r0", "flat-t1x1", "flat-t0x1xr4"] {
+            let err = bad.parse::<BlockDataflow>().unwrap_err();
+            assert_eq!(err.input(), bad);
+            assert!(err.to_string().contains("unknown dataflow"));
+        }
+    }
+
+    #[test]
+    fn error_type_is_well_behaved() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ParseDataflowError>();
+    }
+}

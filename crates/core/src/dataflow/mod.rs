@@ -1,0 +1,26 @@
+//! Dataflow configuration: everything Figure 6(a) lists under "Dataflow".
+//!
+//! A dataflow is the combination of
+//!
+//! * a cross-operator [`Granularity`] (M/B/H/R — how much of the logit
+//!   tensor one FLAT-/L3-tile covers),
+//! * per-tensor staging [`OperandEnables`] / [`FusedEnables`],
+//! * an intra-operator [`Stationarity`] per GEMM stage,
+//! * and the fused-vs-sequential execution choice ([`LaExecution`]).
+//!
+//! [`BlockDataflow`] bundles these for a whole attention block and provides
+//! the named baselines of Figure 7(b).
+
+mod config;
+mod enables;
+mod granularity;
+mod label;
+mod stationary;
+
+pub use config::{
+    BlockDataflow, FusedDataflow, FusedExecution, L3Config, LaExecution, OperatorDataflow,
+};
+pub use label::ParseDataflowError;
+pub use enables::{FusedEnables, OperandEnables};
+pub use granularity::Granularity;
+pub use stationary::Stationarity;

@@ -1,0 +1,72 @@
+//! Intra-operator dataflow: which operand stays resident in the PE array.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The classic stationary-operand taxonomy of intra-operator dataflows.
+///
+/// For a GEMM `C = A·B`, the PE array holds an L1/L2 tile of one operand
+/// resident while the others stream through (§5.3.1: *"The compute array can
+/// support any intra-operator dataflow (weight/input/output stationary)"*).
+/// The choice fixes both the spatial mapping (which two GEMM dimensions
+/// spread across the array) and the per-operand reuse multipliers the
+/// traffic model charges:
+///
+/// | dataflow           | array holds     | spatial dims | streams        |
+/// |--------------------|-----------------|--------------|----------------|
+/// | `Weight` (TPU)     | `B[k, n]` tile  | `k × n`      | `A` rows, `C`  |
+/// | `Input`            | `A[m, k]` tile  | `m × k`      | `B` cols, `C`  |
+/// | `Output` (ShiDianNao) | `C[m, n]` tile | `m × n`   | `A`, `B`       |
+///
+/// # Example
+///
+/// ```
+/// use flat_core::Stationarity;
+/// assert_eq!(Stationarity::all().len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stationarity {
+    /// Hold the `B` operand (the weight in activation-weight GEMMs).
+    Weight,
+    /// Hold the `A` operand (the input activation).
+    Input,
+    /// Hold the `C` accumulators; stream both inputs.
+    Output,
+}
+
+impl Stationarity {
+    /// All three choices, for DSE sweeps.
+    #[must_use]
+    pub const fn all() -> [Stationarity; 3] {
+        [Stationarity::Weight, Stationarity::Input, Stationarity::Output]
+    }
+}
+
+impl fmt::Display for Stationarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stationarity::Weight => "weight-stationary",
+            Stationarity::Input => "input-stationary",
+            Stationarity::Output => "output-stationary",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_are_distinct() {
+        let all = Stationarity::all();
+        assert_eq!(all.len(), 3);
+        assert_ne!(all[0], all[1]);
+        assert_ne!(all[1], all[2]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Stationarity::Weight.to_string(), "weight-stationary");
+    }
+}

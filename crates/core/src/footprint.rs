@@ -1,0 +1,206 @@
+//! Live-memory footprint algebra — the Table 2 formulas.
+
+use crate::{FusedDataflow, Granularity};
+use flat_tensor::Bytes;
+use flat_workloads::AttentionConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-iteration slice sizes (in elements) of the five tensors touched by
+/// the fused L-A operator at a given granularity.
+///
+/// # Example
+///
+/// ```
+/// use flat_core::{FusedSlices, Granularity};
+/// use flat_workloads::AttentionConfig;
+///
+/// let cfg = AttentionConfig::self_attention(64, 16, 512, 1024, 4096);
+/// let s = FusedSlices::new(Granularity::Row(64), &cfg);
+/// assert_eq!(s.query, 64 * 64);          // R x dk
+/// assert_eq!(s.intermediate, 64 * 512);  // R x N
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusedSlices {
+    /// Query slice elements (input A of the Logit stage).
+    pub query: u64,
+    /// Key slice elements (input B of the Logit stage).
+    pub key: u64,
+    /// Value slice elements (input B of the Attend stage).
+    pub value: u64,
+    /// Attended-output slice elements.
+    pub output: u64,
+    /// Intermediate (logit) slice elements.
+    pub intermediate: u64,
+    /// Cross-loop iterations to cover the whole workload.
+    pub iterations: u64,
+    /// Batches × heads covered per iteration (the batch count of the
+    /// per-iteration sub-GEMMs).
+    pub groups: u64,
+    /// Query rows covered per iteration per (batch, head).
+    pub rows: u64,
+}
+
+impl FusedSlices {
+    /// Computes slice sizes for `granularity` over `cfg`.
+    #[must_use]
+    pub fn new(granularity: Granularity, cfg: &AttentionConfig) -> Self {
+        let rows = granularity.rows_per_slice(cfg);
+        let heads = granularity.heads_per_slice(cfg);
+        let batches = granularity.batches_per_slice(cfg);
+        let groups = batches * heads;
+        let dk = cfg.dk();
+        FusedSlices {
+            query: groups * rows * dk,
+            key: groups * cfg.seq_kv * dk,
+            value: groups * cfg.seq_kv * dk,
+            output: groups * rows * dk,
+            intermediate: granularity.slice_logit_elements(cfg),
+            iterations: granularity.iterations(cfg),
+            groups,
+            rows,
+        }
+    }
+}
+
+/// The live-memory footprint of the fused L-A operator (Table 2): the
+/// DRAM-facing FLAT-tiles are double-buffered; the intermediate slice is
+/// not, because it never interacts with off-chip memory (§4.4).
+///
+/// Only *enabled* tensors contribute — disabling a FLAT-tile trades
+/// footprint for bandwidth (§4.2.2).
+///
+/// # Example
+///
+/// ```
+/// use flat_core::{fused_footprint, FusedDataflow, Granularity};
+/// use flat_workloads::AttentionConfig;
+///
+/// let cfg = AttentionConfig::self_attention(64, 16, 512, 1024, 4096);
+/// let r = fused_footprint(&FusedDataflow::new(Granularity::Row(64)), &cfg);
+/// let h = fused_footprint(&FusedDataflow::new(Granularity::Head), &cfg);
+/// assert!(r < h);
+/// ```
+#[must_use]
+pub fn fused_footprint(df: &FusedDataflow, cfg: &AttentionConfig) -> Bytes {
+    Bytes::new(fused_footprint_elems(df, cfg) * cfg.dtype.size_bytes())
+}
+
+/// [`fused_footprint`] in elements rather than bytes.
+#[must_use]
+pub fn fused_footprint_elems(df: &FusedDataflow, cfg: &AttentionConfig) -> u64 {
+    let s = FusedSlices::new(df.granularity, cfg);
+    let e = df.enables;
+    let mut elems = 0;
+    if e.query {
+        elems += 2 * s.query;
+    }
+    if e.key {
+        elems += 2 * s.key;
+    }
+    if e.value {
+        elems += 2 * s.value;
+    }
+    if e.output {
+        elems += 2 * s.output;
+    }
+    if e.intermediate {
+        elems += s.intermediate;
+    }
+    elems
+}
+
+#[must_use]
+fn fused_footprint_elems_at(g: Granularity, cfg: &AttentionConfig) -> u64 {
+    fused_footprint_elems(&FusedDataflow::new(g), cfg)
+}
+
+/// The four Table 2 rows, in elements, for a configuration (fully enabled
+/// FLAT-tiles). Returned in `[M, B, H, R(rows)]` order.
+#[must_use]
+pub fn table2_row_elems(cfg: &AttentionConfig, rows: u64) -> [u64; 4] {
+    [
+        fused_footprint_elems_at(Granularity::BatchMultiHead, cfg),
+        fused_footprint_elems_at(Granularity::Batch, cfg),
+        fused_footprint_elems_at(Granularity::Head, cfg),
+        fused_footprint_elems_at(Granularity::Row(rows), cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig::self_attention(64, 16, 512, 1024, 4096)
+    }
+
+    /// Table 2, R-Gran: `O(4·R·dk + 4·N·dk + R·N)`.
+    #[test]
+    fn r_gran_matches_closed_form() {
+        let cfg = cfg();
+        let (r, dk, n) = (64u64, cfg.dk(), cfg.seq_kv);
+        let expect = 4 * r * dk + 4 * n * dk + r * n;
+        assert_eq!(fused_footprint_elems_at(Granularity::Row(r), &cfg), expect);
+    }
+
+    /// Table 2, H-Gran: `O(8·N·dk + N²)`.
+    #[test]
+    fn h_gran_matches_closed_form() {
+        let cfg = cfg();
+        let (dk, n) = (cfg.dk(), cfg.seq_kv);
+        assert_eq!(fused_footprint_elems_at(Granularity::Head, &cfg), 8 * n * dk + n * n);
+    }
+
+    /// Table 2, B-Gran: `O(8·D·N + H·N²)`.
+    #[test]
+    fn b_gran_matches_closed_form() {
+        let cfg = cfg();
+        let (d, h, n) = (cfg.hidden, cfg.heads, cfg.seq_kv);
+        assert_eq!(fused_footprint_elems_at(Granularity::Batch, &cfg), 8 * d * n + h * n * n);
+    }
+
+    /// Table 2, M-Gran: `O(8·B·D·N + B·H·N²)`.
+    #[test]
+    fn m_gran_matches_closed_form() {
+        let cfg = cfg();
+        let (b, d, h, n) = (cfg.batch, cfg.hidden, cfg.heads, cfg.seq_kv);
+        assert_eq!(
+            fused_footprint_elems_at(Granularity::BatchMultiHead, &cfg),
+            8 * b * d * n + b * h * n * n
+        );
+    }
+
+    /// R-Gran footprint is O(N); coarser granularities are Ω(N²).
+    #[test]
+    fn r_gran_scales_linearly_with_sequence() {
+        let short = cfg();
+        let long = short.with_seq(short.seq_q * 4);
+        let r = |c: &AttentionConfig| fused_footprint_elems_at(Granularity::Row(64), c);
+        let h = |c: &AttentionConfig| fused_footprint_elems_at(Granularity::Head, c);
+        // Linear growth: x4 seq -> ~x4 footprint.
+        assert!(r(&long) <= 5 * r(&short));
+        // Quadratic growth: x4 seq -> >x8 footprint.
+        assert!(h(&long) >= 8 * h(&short));
+    }
+
+    #[test]
+    fn disabling_tiles_reduces_footprint() {
+        let cfg = cfg();
+        let mut df = FusedDataflow::new(Granularity::Row(64));
+        let full = fused_footprint(&df, &cfg);
+        df.enables.key = false;
+        df.enables.value = false;
+        let partial = fused_footprint(&df, &cfg);
+        assert!(partial < full);
+    }
+
+    #[test]
+    fn slices_cover_tensor_exactly() {
+        let cfg = cfg();
+        for g in [Granularity::Batch, Granularity::Head, Granularity::Row(128)] {
+            let s = FusedSlices::new(g, &cfg);
+            assert_eq!(s.iterations * s.intermediate, cfg.logit_elements(), "{g}");
+            assert_eq!(s.iterations * s.query, cfg.batch * cfg.heads * cfg.seq_q * cfg.dk());
+        }
+    }
+}

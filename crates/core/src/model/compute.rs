@@ -1,0 +1,235 @@
+//! PE-array timing and on-chip (SG ↔ PE) traffic for one GEMM.
+//!
+//! The spatial mapping follows the [`Stationarity`] choice: the stationary
+//! operand's two dimensions spread across the PE array; the remaining
+//! dimension streams temporally. Every spatial-tile switch pays the NoC
+//! fill/drain overhead (§5.3.1's "cold start and tailing effect").
+
+use crate::Stationarity;
+use flat_arch::Accelerator;
+use flat_tensor::{ceil_div, Gemm};
+
+/// Timing of a GEMM on the PE array.
+///
+/// `steps` is raw streaming occupancy; how much of the per-switch NoC
+/// fill/drain is *exposed* depends on double buffering and is decided by
+/// the assembly layer: with double-buffered stationary tiles only the cold
+/// start and tail of each execution segment shows, without it every switch
+/// pays the full NoC latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeCost {
+    /// Cycles the array spends streaming MACs (including idle lanes from
+    /// edge effects).
+    pub steps: u64,
+    /// Number of stationary-tile switches.
+    pub switches: u64,
+    /// Useful MACs executed.
+    pub macs: u64,
+}
+
+impl ComputeCost {
+    /// Compute cycles with double-buffered tiles: streaming plus one
+    /// exposed fill/drain (cold start + tail) per execution segment.
+    #[must_use]
+    pub fn cycles_double_buffered(&self, accel: &Accelerator, segments: u64) -> u64 {
+        self.steps + segments * accel.noc.tile_switch_overhead(accel.pe)
+    }
+
+    /// Compute cycles without double buffering: every tile switch exposes
+    /// the full NoC fill/drain latency.
+    #[must_use]
+    pub fn cycles_unbuffered(&self, accel: &Accelerator) -> u64 {
+        self.steps + self.switches * accel.noc.tile_switch_overhead(accel.pe)
+    }
+
+    /// Ideal cycles with every PE busy every cycle.
+    #[must_use]
+    pub fn ideal_cycles(&self, accel: &Accelerator) -> f64 {
+        self.macs as f64 / accel.peak_macs_per_cycle() as f64
+    }
+}
+
+/// Models `gemm` on `accel`'s array under `stat`.
+///
+/// Mapping per stationarity (array is `Px × Py`):
+///
+/// * `Weight`: `k × n` of the `B` tile across the array, stream `m` rows —
+///   `steps = G · ⌈k/Px⌉ · ⌈n/Py⌉ · m`. When the weight is shared across
+///   the batch the tile switches (and their NoC cost) amortize over the
+///   whole batch.
+/// * `Input`: `m × k` of the `A` tile across, stream `n` —
+///   `steps = G · ⌈m/Px⌉ · ⌈k/Py⌉ · n`.
+/// * `Output`: `m × n` accumulators across, stream `k` —
+///   `steps = G · ⌈m/Px⌉ · ⌈n/Py⌉ · k`.
+#[must_use]
+pub fn gemm_compute(gemm: &Gemm, stat: Stationarity, accel: &Accelerator) -> ComputeCost {
+    let (px, py) = (accel.pe.rows, accel.pe.cols);
+    let g = gemm.batch;
+    // Independent batch GEMMs fold into the row dimension of the spatial
+    // mapping: a half-empty array packs two batches' output (or input)
+    // rows side by side. The weight-stationary mapping cannot fold a
+    // per-batch weight, but a shared weight streams the whole batch.
+    let (steps, switches) = match stat {
+        Stationarity::Weight => {
+            let tiles = ceil_div(gemm.k, px) * ceil_div(gemm.n, py);
+            if gemm.weight_shared {
+                (tiles * g * gemm.m, tiles)
+            } else {
+                (g * tiles * gemm.m, g * tiles)
+            }
+        }
+        Stationarity::Input => {
+            let tiles = ceil_div(g * gemm.m, px) * ceil_div(gemm.k, py);
+            (tiles * gemm.n, tiles)
+        }
+        Stationarity::Output => {
+            let tiles = ceil_div(g * gemm.m, px) * ceil_div(gemm.n, py);
+            (tiles * gemm.k, tiles)
+        }
+    };
+    ComputeCost { steps, switches, macs: gemm.macs() }
+}
+
+/// On-chip (SG ↔ PE) traffic of one GEMM, in elements.
+///
+/// The spatial tile is the unit of reuse: the stationary operand crosses
+/// the interconnect once; the streaming operands cross once per spatial
+/// tile that needs them; partial sums cross once per contraction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OnchipTraffic {
+    /// `A`-operand elements fetched from SG.
+    pub a: u64,
+    /// `B`-operand elements fetched from SG.
+    pub b: u64,
+    /// Output (and partial-sum) elements moved to/from SG.
+    pub c: u64,
+}
+
+impl OnchipTraffic {
+    /// Total elements over the on-chip interconnect.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.a + self.b + self.c
+    }
+}
+
+/// Computes [`OnchipTraffic`] for `gemm` under `stat` on `accel`'s array.
+#[must_use]
+pub fn gemm_onchip_traffic(gemm: &Gemm, stat: Stationarity, accel: &Accelerator) -> OnchipTraffic {
+    let (px, py) = (accel.pe.rows, accel.pe.cols);
+    let g = gemm.batch;
+    let (m, k, n) = (gemm.m, gemm.k, gemm.n);
+    match stat {
+        Stationarity::Weight => OnchipTraffic {
+            a: g * m * k * ceil_div(n, py),
+            b: if gemm.weight_shared { k * n } else { g * k * n },
+            c: g * m * n * (2 * ceil_div(k, px) - 1),
+        },
+        Stationarity::Input => OnchipTraffic {
+            a: g * m * k,
+            b: g * k * n * ceil_div(m, px),
+            c: g * m * n * (2 * ceil_div(k, py) - 1),
+        },
+        Stationarity::Output => OnchipTraffic {
+            a: g * m * k * ceil_div(n, py),
+            b: g * k * n * ceil_div(m, px),
+            c: g * m * n,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_arch::Accelerator;
+
+    fn edge() -> Accelerator {
+        Accelerator::edge()
+    }
+
+    #[test]
+    fn steps_lower_bounded_by_ideal() {
+        let accel = edge();
+        let gemm = Gemm::new(8, 500, 60, 500);
+        for stat in Stationarity::all() {
+            let c = gemm_compute(&gemm, stat, &accel);
+            assert!(
+                c.steps as f64 >= c.ideal_cycles(&accel) - 1e-9,
+                "{stat}: steps {} < ideal {}",
+                c.steps,
+                c.ideal_cycles(&accel)
+            );
+        }
+    }
+
+    #[test]
+    fn perfectly_tiled_gemm_reaches_ideal_steps() {
+        let accel = edge(); // 32x32
+        let gemm = Gemm::new(2, 64, 64, 64);
+        let c = gemm_compute(&gemm, Stationarity::Output, &accel);
+        // 2 * (64/32)^2 * 64 = 512 steps; macs / 1024 PEs = 512.
+        assert_eq!(c.steps, 512);
+        assert_eq!(c.steps as f64, c.ideal_cycles(&accel));
+    }
+
+    /// dk=64 < 32 rows? For the Logit operator (small k) weight-stationary
+    /// mapping keeps the array fuller than output-stationary does per step
+    /// count when k is the streamed dimension.
+    #[test]
+    fn stationarity_changes_switch_counts() {
+        let accel = edge();
+        // L-like GEMM: m=512, k=64, n=512.
+        let gemm = Gemm::new(4, 512, 64, 512);
+        let ws = gemm_compute(&gemm, Stationarity::Weight, &accel);
+        let os = gemm_compute(&gemm, Stationarity::Output, &accel);
+        // OS switches once per 32x32 output tile: 4*16*16; WS once per
+        // 32x32 weight tile: 4*2*16.
+        assert_eq!(os.switches, 4 * 16 * 16);
+        assert_eq!(ws.switches, 4 * 2 * 16);
+        assert!(ws.cycles_unbuffered(&accel) < os.cycles_unbuffered(&accel));
+    }
+
+    #[test]
+    fn shared_weight_amortizes_switches() {
+        let accel = edge();
+        let shared = Gemm::with_shared_weight(64, 512, 768, 768);
+        let private = Gemm::new(64, 512, 768, 768);
+        let cs = gemm_compute(&shared, Stationarity::Weight, &accel);
+        let cp = gemm_compute(&private, Stationarity::Weight, &accel);
+        assert_eq!(cs.switches * 64, cp.switches);
+        assert_eq!(cs.steps, cp.steps);
+    }
+
+    #[test]
+    fn stationary_operand_crosses_once() {
+        let accel = edge();
+        let gemm = Gemm::new(2, 512, 64, 512);
+        let ws = gemm_onchip_traffic(&gemm, Stationarity::Weight, &accel);
+        assert_eq!(ws.b, 2 * 64 * 512);
+        let is = gemm_onchip_traffic(&gemm, Stationarity::Input, &accel);
+        assert_eq!(is.a, 2 * 512 * 64);
+        let os = gemm_onchip_traffic(&gemm, Stationarity::Output, &accel);
+        assert_eq!(os.c, 2 * 512 * 512);
+    }
+
+    #[test]
+    fn output_stationary_writes_each_output_once() {
+        let accel = edge();
+        // k = 32 exactly fills one array row span: WS psum multiplier is 1.
+        let gemm = Gemm::new(1, 64, 32, 64);
+        let ws = gemm_onchip_traffic(&gemm, Stationarity::Weight, &accel);
+        assert_eq!(ws.c, 64 * 64, "2*ceil(32/32)-1 == 1 pass");
+    }
+
+    #[test]
+    fn traffic_at_least_compulsory() {
+        let accel = edge();
+        let gemm = Gemm::new(3, 100, 50, 200);
+        for stat in Stationarity::all() {
+            let t = gemm_onchip_traffic(&gemm, stat, &accel);
+            assert!(t.a >= gemm.a_elements());
+            assert!(t.b >= gemm.b_elements());
+            assert!(t.c >= gemm.c_elements());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Cost-model outputs.
+
+use flat_arch::{ActivityCounts, EnergyBreakdown};
+use flat_tensor::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Data moved over the two shared memory interfaces, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Traffic {
+    /// SG ↔ PE-array/SFU traffic (on-chip interconnect).
+    pub onchip: Bytes,
+    /// DRAM ↔ SG traffic (off-chip link).
+    pub offchip: Bytes,
+}
+
+impl Add for Traffic {
+    type Output = Traffic;
+    fn add(self, rhs: Traffic) -> Traffic {
+        Traffic { onchip: self.onchip + rhs.onchip, offchip: self.offchip + rhs.offchip }
+    }
+}
+
+impl Sum for Traffic {
+    fn sum<I: Iterator<Item = Traffic>>(iter: I) -> Traffic {
+        iter.fold(Traffic::default(), Add::add)
+    }
+}
+
+/// The cost-model verdict for a piece of work (one operator, the fused L-A
+/// pair, a block, or a model): runtime, utilization, traffic, activity, and
+/// the SG footprint it needed.
+///
+/// Reports compose: [`CostReport::then`] concatenates sequential work
+/// (cycles add, footprints take the max — the SG is reused between
+/// operators).
+///
+/// # Example
+///
+/// ```
+/// use flat_core::CostReport;
+///
+/// let a = CostReport::ideal(1000.0);
+/// let b = CostReport::ideal(500.0);
+/// let both = a.then(&b);
+/// assert_eq!(both.cycles, 1500.0);
+/// assert_eq!(both.util(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Modeled runtime in cycles.
+    pub cycles: f64,
+    /// Runtime with fully utilized PEs and no memory stalls
+    /// (`Runtime_ideal` of §6.1).
+    pub ideal_cycles: f64,
+    /// Interconnect traffic.
+    pub traffic: Traffic,
+    /// Activity counts for the energy model.
+    pub activity: ActivityCounts,
+    /// Peak live SG requirement while this work ran.
+    pub footprint: Bytes,
+    /// Energy, from the accelerator's table applied to `activity`.
+    pub energy: EnergyBreakdown,
+}
+
+impl CostReport {
+    /// A report for perfectly utilized compute (used in tests and for
+    /// non-stall reference lines in Figure 11).
+    #[must_use]
+    pub fn ideal(cycles: f64) -> Self {
+        CostReport { cycles, ideal_cycles: cycles, ..CostReport::default() }
+    }
+
+    /// Compute-resource utilization: `Runtime_ideal / Runtime_actual`
+    /// (§6.1). Returns 1.0 for empty work.
+    #[must_use]
+    pub fn util(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            1.0
+        } else {
+            (self.ideal_cycles / self.cycles).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Sequential composition: cycles and traffic add; the footprint is the
+    /// max, because the SG is recycled between phases.
+    #[must_use]
+    pub fn then(&self, later: &CostReport) -> CostReport {
+        CostReport {
+            cycles: self.cycles + later.cycles,
+            ideal_cycles: self.ideal_cycles + later.ideal_cycles,
+            traffic: self.traffic + later.traffic,
+            activity: self.activity + later.activity,
+            footprint: self.footprint.max(later.footprint),
+            energy: self.energy + later.energy,
+        }
+    }
+
+    /// Repeats this work `times` in sequence (e.g. identical blocks of a
+    /// model).
+    #[must_use]
+    pub fn repeat(&self, times: u64) -> CostReport {
+        let t = times as f64;
+        CostReport {
+            cycles: self.cycles * t,
+            ideal_cycles: self.ideal_cycles * t,
+            traffic: Traffic {
+                onchip: self.traffic.onchip * times,
+                offchip: self.traffic.offchip * times,
+            },
+            activity: flat_arch::ActivityCounts {
+                macs: self.activity.macs * times,
+                sl_accesses: self.activity.sl_accesses * times,
+                sg_accesses: self.activity.sg_accesses * times,
+                dram_accesses: self.activity.dram_accesses * times,
+                sfu_elements: self.activity.sfu_elements * times,
+            },
+            footprint: self.footprint,
+            energy: EnergyBreakdown {
+                compute_pj: self.energy.compute_pj * t,
+                sl_pj: self.energy.sl_pj * t,
+                sg_pj: self.energy.sg_pj * t,
+                dram_pj: self.energy.dram_pj * t,
+                sfu_pj: self.energy.sfu_pj * t,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3e} cycles (util {:.3}), off-chip {}, on-chip {}, footprint {}",
+            self.cycles,
+            self.util(),
+            self.traffic.offchip,
+            self.traffic.onchip,
+            self.footprint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn util_is_bounded() {
+        let r = CostReport { cycles: 100.0, ideal_cycles: 250.0, ..CostReport::default() };
+        assert_eq!(r.util(), 1.0, "clamped");
+        let r = CostReport { cycles: 200.0, ideal_cycles: 100.0, ..CostReport::default() };
+        assert_eq!(r.util(), 0.5);
+    }
+
+    #[test]
+    fn empty_work_is_fully_utilized() {
+        assert_eq!(CostReport::default().util(), 1.0);
+    }
+
+    #[test]
+    fn then_adds_cycles_and_maxes_footprint() {
+        let mut a = CostReport::ideal(10.0);
+        a.footprint = Bytes::from_kib(100);
+        let mut b = CostReport::ideal(5.0);
+        b.footprint = Bytes::from_kib(40);
+        let c = a.then(&b);
+        assert_eq!(c.cycles, 15.0);
+        assert_eq!(c.footprint, Bytes::from_kib(100));
+    }
+
+    #[test]
+    fn repeat_scales_linearly() {
+        let mut r = CostReport::ideal(10.0);
+        r.traffic.offchip = Bytes::new(7);
+        r.activity.macs = 3;
+        let r12 = r.repeat(12);
+        assert_eq!(r12.cycles, 120.0);
+        assert_eq!(r12.traffic.offchip, Bytes::new(84));
+        assert_eq!(r12.activity.macs, 36);
+        assert_eq!(r12.footprint, r.footprint);
+    }
+}

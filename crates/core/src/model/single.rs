@@ -1,0 +1,355 @@
+//! Cost assembly for one (non-fused) operator.
+
+use crate::model::compute::{gemm_compute, gemm_onchip_traffic};
+use crate::model::l2::{choose_l2_tiling, dram_traffic, L2Tiling};
+use crate::model::staging::{offchip_elems, Staging};
+use crate::model::{CostModel, Traffic};
+use crate::{CostReport, Granularity, OperatorDataflow, Stationarity};
+use flat_arch::ActivityCounts;
+use flat_tensor::{ceil_div, Bytes, DataType, Gemm};
+use flat_workloads::{AttentionConfig, Operator};
+
+/// Staging states of a GEMM's three tensors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TensorStates {
+    pub a: Staging,
+    pub b: Staging,
+    pub c: Staging,
+}
+
+impl TensorStates {
+    pub(crate) const STREAMED: TensorStates =
+        TensorStates { a: Staging::Streamed, b: Staging::Streamed, c: Staging::Streamed };
+}
+
+/// L3-slice sizes (elements) of a single operator at a granularity.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpSlices {
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+}
+
+impl OpSlices {
+    /// Slices the GEMM's batch dimension by the granularity's iteration
+    /// count. Projections (batch = B) see H-Gran degrade to B-Gran; a
+    /// sequential dataflow cannot use row slices, so `Row` is clamped to
+    /// head granularity here.
+    pub(crate) fn new(g: Granularity, gemm: &Gemm, cfg: &AttentionConfig) -> Self {
+        let iterations = match g {
+            Granularity::BatchMultiHead => 1,
+            Granularity::Batch => cfg.batch.min(gemm.batch),
+            Granularity::Head | Granularity::Row(_) | Granularity::Composite { .. } => {
+                (cfg.batch * cfg.heads).min(gemm.batch)
+            }
+        };
+        let gb = ceil_div(gemm.batch, iterations);
+        OpSlices {
+            a: gb * gemm.m * gemm.k,
+            b: if gemm.weight_shared { gemm.k * gemm.n } else { gb * gemm.k * gemm.n },
+            c: gb * gemm.m * gemm.n,
+        }
+    }
+}
+
+impl CostModel<'_> {
+    /// SG budget (elements) the L2 tile chooser may claim: the whole
+    /// scratchpad when nothing is staged, half when an L3/FLAT tier shares
+    /// it.
+    pub(crate) fn l2_budget_elems(&self, staging_present: bool, dtype: DataType) -> u64 {
+        let total = self.accel.sg.as_u64() / dtype.size_bytes();
+        if staging_present {
+            total / 2
+        } else {
+            total
+        }
+    }
+
+    /// Double-buffer multiplier for DRAM-facing staged slices.
+    pub(crate) fn db_mult(&self) -> u64 {
+        if self.opts.double_buffered {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Combines compute and transfer demands into phase cycles. With
+    /// double buffering the three streams overlap (the phase takes the
+    /// slowest); without it they serialize.
+    pub(crate) fn combine_cycles(
+        &self,
+        compute_cycles: f64,
+        onchip_bytes: f64,
+        offchip_bytes: f64,
+    ) -> f64 {
+        let t_on = onchip_bytes / self.accel.onchip_bytes_per_cycle();
+        let t_off = offchip_bytes / self.accel.offchip_bytes_per_cycle();
+        if self.opts.double_buffered {
+            compute_cycles.max(t_on).max(t_off)
+        } else {
+            compute_cycles + t_on + t_off
+        }
+    }
+
+    /// Full cost of one GEMM phase given resolved staging states.
+    ///
+    /// `staging_footprint` is the SG demand of this op's staged slices
+    /// (plus any tensors the caller is keeping resident on its behalf);
+    /// `tiling` is the L2 tiling the streamed-traffic model uses.
+    pub(crate) fn gemm_phase(
+        &self,
+        gemm: &Gemm,
+        stat: Stationarity,
+        states: TensorStates,
+        staging_footprint: Bytes,
+        tiling: L2Tiling,
+        dtype: DataType,
+    ) -> CostReport {
+        let e = dtype.size_bytes();
+        let streamed = dram_traffic(gemm, stat, tiling.tm, tiling.tk, tiling.tn);
+
+        let off_a = offchip_elems(gemm.a_elements(), streamed.a, states.a);
+        let off_b = offchip_elems(gemm.b_elements(), streamed.b, states.b);
+        let off_c = offchip_elems(gemm.c_elements(), streamed.c, states.c);
+        let off_elems = off_a + off_b + off_c;
+        let offchip_bytes = off_elems * e as f64;
+
+        // Everything arriving from DRAM passes through the SG once more.
+        let on = gemm_onchip_traffic(gemm, stat, self.accel);
+        let on_elems = on.total() as f64 + off_elems;
+        let onchip_bytes = on_elems * e as f64;
+
+        let comp = gemm_compute(gemm, stat, self.accel);
+        let compute_cycles = if self.opts.double_buffered {
+            comp.cycles_double_buffered(self.accel, 1)
+        } else {
+            comp.cycles_unbuffered(self.accel)
+        } as f64;
+
+        // Cold-start: the first tile's operands cannot be overlapped.
+        let first_tile_bytes = ((tiling.tm * tiling.tk + tiling.tk * tiling.tn) * e) as f64;
+        let warmup = first_tile_bytes.min(offchip_bytes) / self.accel.offchip_bytes_per_cycle();
+
+        let cycles = self.combine_cycles(compute_cycles, onchip_bytes, offchip_bytes) + warmup;
+
+        let activity = ActivityCounts {
+            macs: comp.macs,
+            sl_accesses: 2 * comp.macs,
+            sg_accesses: on_elems as u64,
+            dram_accesses: off_elems as u64,
+            sfu_elements: 0,
+        };
+        CostReport {
+            cycles,
+            ideal_cycles: comp.ideal_cycles(self.accel),
+            traffic: Traffic {
+                onchip: Bytes::new(onchip_bytes as u64),
+                offchip: Bytes::new(offchip_bytes as u64),
+            },
+            activity,
+            footprint: Bytes::new(tiling.working_set_elems * e) + staging_footprint,
+            energy: self.accel.energy.scaled_for(dtype).energy(&activity),
+        }
+    }
+
+    /// Cost of one standalone operator under its dataflow.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flat_arch::Accelerator;
+    /// use flat_core::{CostModel, OperatorDataflow, Stationarity};
+    /// use flat_workloads::{Model, OpKind, Operator};
+    ///
+    /// let accel = Accelerator::edge();
+    /// let cm = CostModel::new(&accel);
+    /// let block = Model::bert().block(64, 512);
+    /// let cfg = *block.config();
+    /// let q = block.operator(OpKind::Query);
+    /// let report = cm.operator_cost(q, &OperatorDataflow::baseline(Stationarity::Weight), &cfg);
+    /// assert!(report.util() > 0.0 && report.util() <= 1.0);
+    /// ```
+    #[must_use]
+    pub fn operator_cost(
+        &self,
+        op: &Operator,
+        df: &OperatorDataflow,
+        cfg: &AttentionConfig,
+    ) -> CostReport {
+        let dtype = cfg.dtype;
+        let e = dtype.size_bytes();
+        let gemm = op.gemm;
+        match df.l3 {
+            None => {
+                let budget = self.l2_budget_elems(false, dtype);
+                let tiling = choose_l2_tiling(&gemm, df.stationarity, budget);
+                self.gemm_phase(
+                    &gemm,
+                    df.stationarity,
+                    TensorStates::STREAMED,
+                    Bytes::ZERO,
+                    tiling,
+                    dtype,
+                )
+            }
+            Some(l3) => {
+                let budget = self.l2_budget_elems(true, dtype);
+                let tiling = choose_l2_tiling(&gemm, df.stationarity, budget);
+                let slices = OpSlices::new(l3.granularity, &gemm, cfg);
+                let dbm = self.db_mult();
+                let mut req_elems = 0u64;
+                if l3.enables.input_a {
+                    req_elems += dbm * slices.a;
+                }
+                if l3.enables.input_b {
+                    req_elems += dbm * slices.b;
+                }
+                if l3.enables.output {
+                    req_elems += dbm * slices.c;
+                }
+                let req = Bytes::new(req_elems * e);
+                let ws = Bytes::new(tiling.working_set_elems * e);
+                let avail = self.accel.sg.saturating_sub(ws);
+                let f = if req.is_zero() {
+                    1.0
+                } else {
+                    (avail.as_f64() / req.as_f64()).min(1.0)
+                };
+                let pick = |enabled: bool| -> Staging {
+                    if enabled {
+                        Staging::Staged { fraction: f }
+                    } else {
+                        Staging::Streamed
+                    }
+                };
+                let states = TensorStates {
+                    a: pick(l3.enables.input_a),
+                    b: pick(l3.enables.input_b),
+                    c: pick(l3.enables.output),
+                };
+                self.gemm_phase(&gemm, df.stationarity, states, req, tiling, dtype)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Granularity;
+    use flat_arch::Accelerator;
+    use flat_workloads::{Model, OpKind};
+
+    fn setup() -> (Accelerator, flat_workloads::AttentionBlock) {
+        (Accelerator::edge(), Model::bert().block(64, 512))
+    }
+
+    #[test]
+    fn op_slices_cover_whole_tensors_at_m_gran() {
+        let block = Model::bert().block(64, 512);
+        let cfg = *block.config();
+        let l = block.operator(OpKind::Logit).gemm;
+        let s = OpSlices::new(Granularity::BatchMultiHead, &l, &cfg);
+        assert_eq!(s.a, l.a_elements());
+        assert_eq!(s.c, l.c_elements());
+    }
+
+    #[test]
+    fn op_slices_shrink_with_finer_granularity() {
+        let block = Model::bert().block(64, 512);
+        let cfg = *block.config();
+        let l = block.operator(OpKind::Logit).gemm;
+        let m = OpSlices::new(Granularity::BatchMultiHead, &l, &cfg);
+        let b = OpSlices::new(Granularity::Batch, &l, &cfg);
+        let h = OpSlices::new(Granularity::Head, &l, &cfg);
+        assert!(m.c > b.c);
+        assert!(b.c > h.c);
+        assert_eq!(h.c, 512 * 512, "one head's logit slice");
+    }
+
+    #[test]
+    fn projection_cost_is_reasonable_on_edge() {
+        let (accel, block) = setup();
+        let cm = CostModel::new(&accel);
+        let cfg = *block.config();
+        let q = block.operator(OpKind::Query);
+        let r = cm.operator_cost(q, &OperatorDataflow::baseline(Stationarity::Weight), &cfg);
+        // A batched projection has plenty of weight reuse: util well above
+        // the memory-bound floor.
+        assert!(r.util() > 0.3, "util = {}", r.util());
+        assert!(r.traffic.offchip >= q.gemm.b_size(cfg.dtype));
+    }
+
+    #[test]
+    fn staging_reduces_offchip_traffic_when_it_fits() {
+        let (accel, block) = setup();
+        // Give the edge platform a huge SG so staging definitely fits.
+        let big = accel.with_sg(Bytes::from_gib(4));
+        let cm = CostModel::new(&big);
+        let cfg = *block.config();
+        let logit = block.operator(OpKind::Logit);
+        let base = cm.operator_cost(
+            logit,
+            &OperatorDataflow::baseline(Stationarity::Weight),
+            &cfg,
+        );
+        let staged = cm.operator_cost(
+            logit,
+            &OperatorDataflow::staged(Stationarity::Weight, Granularity::Head),
+            &cfg,
+        );
+        assert!(staged.traffic.offchip <= base.traffic.offchip);
+    }
+
+    #[test]
+    fn insufficient_buffer_makes_staging_counterproductive() {
+        let (accel, block) = setup();
+        // Tiny SG: staging attempts cost the extra pass.
+        let tiny = accel.with_sg(Bytes::from_kib(24));
+        let cm = CostModel::new(&tiny);
+        let cfg = *block.config();
+        let logit = block.operator(OpKind::Logit);
+        let base =
+            cm.operator_cost(logit, &OperatorDataflow::baseline(Stationarity::Weight), &cfg);
+        let staged_m = cm.operator_cost(
+            logit,
+            &OperatorDataflow::staged(Stationarity::Weight, Granularity::BatchMultiHead),
+            &cfg,
+        );
+        assert!(
+            staged_m.traffic.offchip >= base.traffic.offchip,
+            "staging without capacity must not beat streaming: {} vs {}",
+            staged_m.traffic.offchip,
+            base.traffic.offchip
+        );
+    }
+
+    #[test]
+    fn double_buffering_improves_runtime() {
+        let (accel, block) = setup();
+        let cfg = *block.config();
+        let q = block.operator(OpKind::Query);
+        let df = OperatorDataflow::baseline(Stationarity::Weight);
+        let with = CostModel::new(&accel).operator_cost(q, &df, &cfg);
+        let without = CostModel::with_options(
+            &accel,
+            crate::ModelOptions { double_buffered: false, ..Default::default() },
+        )
+        .operator_cost(q, &df, &cfg);
+        assert!(with.cycles < without.cycles);
+    }
+
+    #[test]
+    fn util_never_exceeds_one() {
+        let (accel, block) = setup();
+        let cm = CostModel::new(&accel);
+        let cfg = *block.config();
+        for op in block.operators() {
+            for stat in Stationarity::all() {
+                let r = cm.operator_cost(op, &OperatorDataflow::baseline(stat), &cfg);
+                assert!(r.util() > 0.0 && r.util() <= 1.0, "{}: {}", op.kind, r.util());
+            }
+        }
+    }
+}

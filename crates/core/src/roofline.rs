@@ -1,0 +1,161 @@
+//! Roofline analysis (Figure 2): operational intensity vs. attainable
+//! performance, with and without on-chip staging.
+
+use flat_arch::Accelerator;
+use flat_tensor::OperationalIntensity;
+use flat_workloads::{AttentionBlock, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// One roofline: a peak-compute ceiling and a bandwidth slope.
+///
+/// Staging data on-chip swaps the off-chip slope for the on-chip one —
+/// Figure 2(c)'s "raised ceiling".
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Accelerator;
+/// use flat_core::roofline::Roofline;
+///
+/// let edge = Accelerator::edge();
+/// let off = Roofline::offchip(&edge);
+/// let on = Roofline::onchip(&edge);
+/// // The on-chip roofline's ridge sits 20x further left.
+/// assert!(on.ridge_intensity() < off.ridge_intensity());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute, FLOP/s.
+    pub peak_flops: f64,
+    /// Bandwidth of the limiting memory level, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Roofline {
+    /// Roofline against the off-chip link (data streamed from DRAM).
+    #[must_use]
+    pub fn offchip(accel: &Accelerator) -> Self {
+        Roofline { peak_flops: accel.peak_flops(), bandwidth: accel.mem.offchip_bytes_per_s }
+    }
+
+    /// Roofline against the on-chip interconnect (data staged in the SG).
+    #[must_use]
+    pub fn onchip(accel: &Accelerator) -> Self {
+        Roofline { peak_flops: accel.peak_flops(), bandwidth: accel.mem.onchip_bytes_per_s }
+    }
+
+    /// Attainable performance (FLOP/s) at an operational intensity.
+    #[must_use]
+    pub fn attainable(&self, oi: &OperationalIntensity) -> f64 {
+        oi.attainable_flops(self.peak_flops, self.bandwidth)
+    }
+
+    /// Attainable performance as a fraction of peak — directly comparable
+    /// to the paper's `Util` metric upper bound.
+    #[must_use]
+    pub fn attainable_fraction(&self, oi: &OperationalIntensity) -> f64 {
+        self.attainable(oi) / self.peak_flops
+    }
+
+    /// The ridge point: the operational intensity (FLOP/byte) above which
+    /// an operator is compute-bound on this roofline.
+    #[must_use]
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_flops / self.bandwidth
+    }
+}
+
+/// An operator's position on the roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Which attention operator.
+    pub kind: OpKind,
+    /// Operational intensity, FLOP/byte (compulsory traffic).
+    pub intensity: f64,
+    /// Attainable fraction of peak against the off-chip roofline.
+    pub offchip_fraction: f64,
+    /// Attainable fraction of peak against the on-chip roofline (if the
+    /// live footprint could be staged — L/A at long N cannot, which is the
+    /// paper's point).
+    pub onchip_fraction: f64,
+}
+
+/// Places each of a block's operators on the accelerator's rooflines
+/// (the Figure 2(a)/(c) scatter).
+#[must_use]
+pub fn block_roofline(block: &AttentionBlock, accel: &Accelerator) -> Vec<RooflinePoint> {
+    let dtype = block.config().dtype;
+    let off = Roofline::offchip(accel);
+    let on = Roofline::onchip(accel);
+    block
+        .operators()
+        .iter()
+        .map(|op| {
+            let oi = op.gemm.operational_intensity(dtype);
+            RooflinePoint {
+                kind: op.kind,
+                intensity: oi.flops_per_byte(),
+                offchip_fraction: off.attainable_fraction(&oi),
+                onchip_fraction: on.attainable_fraction(&oi),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_workloads::Model;
+
+    /// Figure 2(a): attention operators sit left of the projections on the
+    /// intensity axis.
+    #[test]
+    fn attention_ops_have_lowest_intensity() {
+        let block = Model::bert().block(64, 4096);
+        let accel = Accelerator::edge();
+        let pts = block_roofline(&block, &accel);
+        let get = |k: OpKind| pts.iter().find(|p| p.kind == k).unwrap().intensity;
+        assert!(get(OpKind::Logit) < get(OpKind::Query));
+        assert!(get(OpKind::Attend) < get(OpKind::FeedForward1));
+    }
+
+    /// Figure 2(c): staging on-chip lifts attainable performance for
+    /// bandwidth-bound operators.
+    #[test]
+    fn onchip_roofline_dominates() {
+        let block = Model::bert().block(64, 512);
+        let accel = Accelerator::edge();
+        for p in block_roofline(&block, &accel) {
+            assert!(p.onchip_fraction >= p.offchip_fraction, "{:?}", p.kind);
+            assert!(p.onchip_fraction <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Figure 2(b): batching lifts projection intensity but leaves L/A
+    /// where they were.
+    #[test]
+    fn batching_moves_only_projections() {
+        let accel = Accelerator::edge();
+        let b1 = block_roofline(&Model::bert().block(1, 512), &accel);
+        let b64 = block_roofline(&Model::bert().block(64, 512), &accel);
+        let get = |pts: &[RooflinePoint], k: OpKind| {
+            pts.iter().find(|p| p.kind == k).unwrap().intensity
+        };
+        assert!(get(&b64, OpKind::Query) > get(&b1, OpKind::Query));
+        let l1 = get(&b1, OpKind::Logit);
+        let l64 = get(&b64, OpKind::Logit);
+        assert!((l1 - l64).abs() / l1 < 1e-9);
+    }
+
+    #[test]
+    fn ridge_scales_with_bandwidth() {
+        let edge = Accelerator::edge();
+        assert!(
+            (Roofline::offchip(&edge).ridge_intensity()
+                / Roofline::onchip(&edge).ridge_intensity()
+                - 20.0)
+                .abs()
+                < 1e-9
+        );
+    }
+}

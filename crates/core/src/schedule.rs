@@ -1,0 +1,314 @@
+//! Execution schedules: a phase-by-phase timeline of how a dataflow runs
+//! on the accelerator — the observable counterpart of the aggregate cost
+//! numbers, and the basis of the `trace` CLI command.
+//!
+//! The cost model collapses execution into totals; this module expands the
+//! same model into an explicit sequence of [`Phase`]s (what the PE array,
+//! SFU, and memory system are doing, and which resource bounds each span),
+//! so a user can *see* why a dataflow is slow.
+
+use crate::model::CostModel;
+use crate::{BlockDataflow, CostReport, FusedDataflow, FusedSlices, Granularity, LaExecution};
+use flat_tensor::Gemm;
+use flat_workloads::AttentionBlock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What limits a phase's duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// PE-array streaming (plus NoC fill/drain).
+    Compute,
+    /// The on-chip SG interconnect.
+    OnChip,
+    /// The off-chip DRAM link.
+    OffChip,
+    /// The softmax unit.
+    Sfu,
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Bound::Compute => "compute",
+            Bound::OnChip => "on-chip BW",
+            Bound::OffChip => "off-chip BW",
+            Bound::Sfu => "softmax",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One span of the execution timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable label (`"L (logit)"`, `"FLAT-tile 3/128"`, …).
+    pub label: String,
+    /// Start time, cycles from operator start.
+    pub start: f64,
+    /// End time in cycles.
+    pub end: f64,
+    /// The binding resource.
+    pub bound: Bound,
+    /// Compute utilization within the phase.
+    pub util: f64,
+}
+
+impl Phase {
+    /// Phase duration in cycles.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A complete timeline for the L-A pair under a dataflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Dataflow label the schedule was built for.
+    pub dataflow: String,
+    /// The timeline spans. For fused dataflows with many iterations, the
+    /// steady state is folded: the first few iterations are explicit and
+    /// one span summarizes the rest.
+    pub phases: Vec<Phase>,
+    /// Totals, identical to [`CostModel::la_cost`] for the same inputs.
+    pub total: CostReport,
+}
+
+impl Schedule {
+    /// Total runtime in cycles.
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.phases.last().map_or(0.0, |p| p.end)
+    }
+
+    /// Renders an ASCII Gantt-style view, `width` characters wide.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let span = self.makespan().max(1.0);
+        let mut out = String::new();
+        for p in &self.phases {
+            let w = ((p.duration() / span) * width as f64).round().max(1.0) as usize;
+            let off = ((p.start / span) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:28} {}{} {:>12.3e} cyc  [{}]\n",
+                p.label,
+                " ".repeat(off.min(width)),
+                "#".repeat(w.min(width + 1 - off.min(width))),
+                p.duration(),
+                p.bound,
+            ));
+        }
+        out
+    }
+}
+
+/// Classifies which resource bound a phase, given its candidate times.
+fn classify(compute: f64, onchip: f64, offchip: f64, sfu: f64) -> Bound {
+    let max = compute.max(onchip).max(offchip).max(sfu);
+    if max == compute {
+        Bound::Compute
+    } else if max == offchip {
+        Bound::OffChip
+    } else if max == onchip {
+        Bound::OnChip
+    } else {
+        Bound::Sfu
+    }
+}
+
+impl CostModel<'_> {
+    /// Builds the execution timeline of the L-A pair under `df`.
+    ///
+    /// The totals agree with [`CostModel::la_cost`]; the timeline shows
+    /// how they decompose.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flat_arch::Accelerator;
+    /// use flat_core::{BlockDataflow, CostModel, Granularity};
+    /// use flat_workloads::Model;
+    ///
+    /// let accel = Accelerator::edge();
+    /// let block = Model::bert().block(64, 512);
+    /// let cm = CostModel::new(&accel);
+    /// let schedule = cm.la_schedule(&block, &BlockDataflow::flat(Granularity::Row(64)));
+    /// assert!(schedule.makespan() > 0.0);
+    /// println!("{}", schedule.render(40));
+    /// ```
+    #[must_use]
+    pub fn la_schedule(&self, block: &AttentionBlock, df: &BlockDataflow) -> Schedule {
+        match &df.la {
+            LaExecution::Sequential { logit, attend } => {
+                // Re-derive the three sequential phases with their own
+                // reports so the timeline matches the cost function.
+                let cfg = *block.config();
+                let l_only = self.operator_cost(
+                    block.operator(flat_workloads::OpKind::Logit),
+                    logit,
+                    &cfg,
+                );
+                let a_only = self.operator_cost(
+                    block.operator(flat_workloads::OpKind::Attend),
+                    attend,
+                    &cfg,
+                );
+                let total = self.sequential_la_cost(block, logit, attend);
+                let softmax_cycles =
+                    (total.cycles - l_only.cycles - a_only.cycles).max(0.0);
+                let mut phases = Vec::new();
+                let mut t = 0.0;
+                for (label, report) in [("L (logit)", &l_only), ("A (attend)", &a_only)] {
+                    let off =
+                        report.traffic.offchip.as_f64() / self.accel.offchip_bytes_per_cycle();
+                    let on =
+                        report.traffic.onchip.as_f64() / self.accel.onchip_bytes_per_cycle();
+                    let compute = report.cycles - off.max(on).min(report.cycles);
+                    if label == "A (attend)" && softmax_cycles > 0.0 {
+                        phases.push(Phase {
+                            label: "softmax (whole tensor)".to_owned(),
+                            start: t,
+                            end: t + softmax_cycles,
+                            bound: Bound::Sfu,
+                            util: 0.0,
+                        });
+                        t += softmax_cycles;
+                    }
+                    phases.push(Phase {
+                        label: label.to_owned(),
+                        start: t,
+                        end: t + report.cycles,
+                        bound: classify(compute, on, off, 0.0),
+                        util: report.util(),
+                    });
+                    t += report.cycles;
+                }
+                Schedule { dataflow: df.label(), phases, total }
+            }
+            LaExecution::Fused(fused) => self.fused_schedule(block, fused, df.label()),
+        }
+    }
+
+    fn fused_schedule(
+        &self,
+        block: &AttentionBlock,
+        df: &FusedDataflow,
+        label: String,
+    ) -> Schedule {
+        let cfg = *block.config();
+        let total = self.fused_la_cost(block, df);
+        let s = FusedSlices::new(df.granularity, &cfg);
+        let iters = s.iterations;
+        let per_iter = total.cycles / iters as f64;
+
+        // Per-iteration resource times, reconstructed from totals.
+        let off = total.traffic.offchip.as_f64()
+            / self.accel.offchip_bytes_per_cycle()
+            / iters as f64;
+        let on = total.traffic.onchip.as_f64()
+            / self.accel.onchip_bytes_per_cycle()
+            / iters as f64;
+        let sfu = self.accel.sfu.softmax_cycles(s.intermediate) as f64;
+        let l_sub = Gemm::new(s.groups, s.rows, cfg.dk(), cfg.seq_kv);
+        let compute = 2.0
+            * crate::gemm_compute(&l_sub, df.stationarity_l, self.accel).steps as f64;
+        let bound = classify(compute, on, off, sfu);
+
+        let explicit = iters.min(3);
+        let mut phases = Vec::new();
+        let mut t = 0.0;
+        for i in 0..explicit {
+            let gran = match df.granularity {
+                Granularity::Row(r) => format!("R{r}"),
+                g => g.label(),
+            };
+            phases.push(Phase {
+                label: format!("FLAT-tile {}/{} ({gran}: L+softmax+A)", i + 1, iters),
+                start: t,
+                end: t + per_iter,
+                bound,
+                util: total.util(),
+            });
+            t += per_iter;
+        }
+        if iters > explicit {
+            let rest = iters - explicit;
+            phases.push(Phase {
+                label: format!("... {rest} more FLAT-tiles (steady state)"),
+                start: t,
+                end: total.cycles,
+                bound,
+                util: total.util(),
+            });
+        }
+        Schedule { dataflow: label, phases, total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_arch::Accelerator;
+    use flat_workloads::Model;
+
+    fn setup() -> (Accelerator, AttentionBlock) {
+        (Accelerator::edge(), Model::bert().block(64, 512))
+    }
+
+    #[test]
+    fn fused_schedule_makespan_matches_cost() {
+        let (accel, block) = setup();
+        let cm = CostModel::new(&accel);
+        let df = BlockDataflow::flat(Granularity::Row(64));
+        let sched = cm.la_schedule(&block, &df);
+        let cost = cm.la_cost(&block, &df.la);
+        assert!((sched.makespan() - cost.cycles).abs() / cost.cycles < 1e-9);
+        assert_eq!(sched.total, cost);
+    }
+
+    #[test]
+    fn sequential_schedule_has_three_phases() {
+        let (accel, block) = setup();
+        let cm = CostModel::new(&accel);
+        let sched = cm.la_schedule(&block, &BlockDataflow::base());
+        let labels: Vec<&str> = sched.phases.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.contains(&"L (logit)"));
+        assert!(labels.contains(&"A (attend)"));
+    }
+
+    #[test]
+    fn phases_are_contiguous_and_ordered() {
+        let (accel, block) = setup();
+        let cm = CostModel::new(&accel);
+        for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(32))] {
+            let sched = cm.la_schedule(&block, &df);
+            let mut t = 0.0;
+            for p in &sched.phases {
+                assert!((p.start - t).abs() < 1e-6, "{}: gap at {}", df.label(), p.label);
+                assert!(p.end >= p.start);
+                t = p.end;
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_nonempty_and_bounded() {
+        let (accel, block) = setup();
+        let cm = CostModel::new(&accel);
+        let sched = cm.la_schedule(&block, &BlockDataflow::flat(Granularity::Head));
+        let text = sched.render(40);
+        assert!(!text.is_empty());
+        assert!(text.lines().count() >= sched.phases.len());
+    }
+
+    #[test]
+    fn steady_state_folding_caps_phase_count() {
+        let (accel, block) = setup();
+        let cm = CostModel::new(&accel);
+        // R=1 gives thousands of iterations; the schedule must fold them.
+        let sched = cm.la_schedule(&block, &BlockDataflow::flat(Granularity::Row(1)));
+        assert!(sched.phases.len() <= 4);
+        assert!(sched.phases.last().unwrap().label.contains("steady state"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Joint hardware + dataflow search under an area budget — the §8 design
+//! question ("how should available area be provisioned and balanced across
+//! compute/memory?") as a first-class API.
+
+use crate::{Dse, Objective, SpaceKind};
+use flat_arch::{Accelerator, AreaModel, MemorySystem, Sfu};
+use flat_core::CostReport;
+use flat_tensor::Bytes;
+use flat_workloads::AttentionBlock;
+use serde::{Deserialize, Serialize};
+
+/// The hardware half of the search space: a fixed memory system and area
+/// model, with the die split between PE array and scratchpad varying.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwSearchSpec {
+    /// Total die budget in mm².
+    pub area_budget_mm2: f64,
+    /// Component cost model.
+    pub area: AreaModel,
+    /// Off-/on-chip bandwidths (fixed across candidates).
+    pub mem: MemorySystem,
+    /// SFU throughput (fixed across candidates).
+    pub sfu_lanes: u64,
+    /// Scratchpad capacities to try, in KiB.
+    pub sg_options_kib: Vec<u64>,
+}
+
+impl HwSearchSpec {
+    /// An edge-class search: a handful of mm², edge memory system,
+    /// 64 KiB – 4 MiB scratchpad options.
+    #[must_use]
+    pub fn edge_class(area_budget_mm2: f64) -> Self {
+        HwSearchSpec {
+            area_budget_mm2,
+            area: AreaModel::default_28nm(),
+            mem: MemorySystem::new(1.0e12, 50.0e9),
+            sfu_lanes: 256,
+            sg_options_kib: vec![64, 128, 256, 512, 1024, 2048, 4096],
+        }
+    }
+
+    /// Enumerates the affordable (accelerator, area) candidates.
+    #[must_use]
+    pub fn candidates(&self) -> Vec<HwCandidate> {
+        self.sg_options_kib
+            .iter()
+            .filter_map(|&sg_kib| {
+                let dim =
+                    self.area.pe_dim_for_budget(self.area_budget_mm2, sg_kib as f64, self.sfu_lanes)?;
+                let accel = Accelerator::builder(format!("hw-{sg_kib}k-{dim}x{dim}"))
+                    .pe(dim, dim)
+                    .sg(Bytes::from_kib(sg_kib))
+                    .sfu(Sfu::new(self.sfu_lanes, 16))
+                    .memory(self.mem)
+                    .build();
+                let area_mm2 = self.area.area_mm2(&accel);
+                Some(HwCandidate { accel, area_mm2 })
+            })
+            .collect()
+    }
+}
+
+/// One affordable hardware point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwCandidate {
+    /// The accelerator configuration.
+    pub accel: Accelerator,
+    /// Its die area under the spec's model.
+    pub area_mm2: f64,
+}
+
+/// Outcome of the joint search: the winning hardware split and its best
+/// dataflow's cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwSearchResult {
+    /// Winning hardware.
+    pub hw: HwCandidate,
+    /// Cost of the best dataflow on it.
+    pub report: CostReport,
+    /// Useful MAC throughput (peak × utilization), the cross-hardware
+    /// figure of merit — utilization alone would favor tiny arrays.
+    pub useful_macs_per_cycle: f64,
+}
+
+/// Searches hardware × dataflow jointly: for every affordable split, runs
+/// the dataflow DSE in `space` and keeps the split with the highest useful
+/// throughput.
+///
+/// Returns `None` when no candidate fits the budget.
+///
+/// # Example
+///
+/// ```
+/// use flat_dse::{best_hardware, HwSearchSpec, Objective, SpaceKind};
+/// use flat_workloads::Model;
+///
+/// let spec = HwSearchSpec::edge_class(4.0);
+/// let block = Model::bert().block(64, 4096);
+/// let base = best_hardware(&spec, &block, SpaceKind::Sequential, Objective::MaxUtil).unwrap();
+/// let flat = best_hardware(&spec, &block, SpaceKind::Full, Objective::MaxUtil).unwrap();
+/// // §8: the FLAT-capable design needs no more scratchpad than the
+/// // sequential one, and turns the same silicon into more throughput.
+/// assert!(flat.hw.accel.sg <= base.hw.accel.sg);
+/// assert!(flat.useful_macs_per_cycle >= base.useful_macs_per_cycle);
+/// ```
+#[must_use]
+pub fn best_hardware(
+    spec: &HwSearchSpec,
+    block: &AttentionBlock,
+    space: SpaceKind,
+    objective: Objective,
+) -> Option<HwSearchResult> {
+    spec.candidates()
+        .into_iter()
+        .map(|hw| {
+            let best = Dse::new(&hw.accel, block).best_la(space, objective);
+            let useful = hw.accel.peak_macs_per_cycle() as f64 * best.report.util();
+            HwSearchResult { hw, report: best.report, useful_macs_per_cycle: useful }
+        })
+        .max_by(|a, b| {
+            a.useful_macs_per_cycle
+                .partial_cmp(&b.useful_macs_per_cycle)
+                .expect("finite throughput")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_workloads::Model;
+
+    #[test]
+    fn candidates_respect_the_budget() {
+        let spec = HwSearchSpec::edge_class(4.0);
+        let cands = spec.candidates();
+        assert!(cands.len() >= 4);
+        for c in &cands {
+            assert!(c.area_mm2 <= 4.0 + 1e-9, "{} at {}", c.accel, c.area_mm2);
+        }
+    }
+
+    #[test]
+    fn more_sram_means_fewer_pes() {
+        let spec = HwSearchSpec::edge_class(4.0);
+        let cands = spec.candidates();
+        for w in cands.windows(2) {
+            assert!(w[0].accel.sg < w[1].accel.sg);
+            assert!(w[0].accel.pe.count() >= w[1].accel.pe.count());
+        }
+    }
+
+    /// The §8 claim as a test: under the same budget, the FLAT-capable
+    /// design beats the sequential-only one on useful throughput, with
+    /// a scratchpad no larger.
+    #[test]
+    fn flat_rebalances_area_toward_compute() {
+        let spec = HwSearchSpec::edge_class(4.0);
+        let block = Model::bert().block(64, 4096);
+        let base =
+            best_hardware(&spec, &block, SpaceKind::Sequential, Objective::MaxUtil).unwrap();
+        let flat = best_hardware(&spec, &block, SpaceKind::Full, Objective::MaxUtil).unwrap();
+        assert!(
+            flat.useful_macs_per_cycle > 1.2 * base.useful_macs_per_cycle,
+            "flat {} vs base {}",
+            flat.useful_macs_per_cycle,
+            base.useful_macs_per_cycle
+        );
+        assert!(flat.hw.accel.sg <= base.hw.accel.sg);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let mut spec = HwSearchSpec::edge_class(0.05);
+        spec.sg_options_kib = vec![100_000];
+        let block = Model::bert().block(8, 512);
+        assert!(best_hardware(&spec, &block, SpaceKind::Full, Objective::MaxUtil).is_none());
+    }
+}

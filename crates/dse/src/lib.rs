@@ -1,0 +1,51 @@
+//! Design-space exploration for FLAT dataflows and ATTACC accelerators
+//! (§5.3.3).
+//!
+//! The DSE enumerates every dataflow hyper-parameter of Figure 6(a) —
+//! cross-operator granularity (M/B/H/R with candidate row counts),
+//! FLAT-tile enables, stage stationarities, and the sequential-baseline
+//! equivalents — prices each point with the `flat-core` cost model, and
+//! optimizes a pluggable [`Objective`] (utilization, energy, EDP,
+//! footprint).
+//!
+//! [`SpaceKind`] restricts the search to what a given accelerator's
+//! controller can express; [`AccelClass`] packages the Figure 7(c)
+//! comparison matrix (BaseAccel / FlexAccel-M / FlexAccel / ATTACC-*).
+//!
+//! # Example
+//!
+//! ```
+//! use flat_arch::Accelerator;
+//! use flat_dse::{Dse, Objective, SpaceKind};
+//! use flat_workloads::Model;
+//!
+//! let accel = Accelerator::cloud();
+//! let block = Model::xlm().block(64, 16_384);
+//! let dse = Dse::new(&accel, &block);
+//!
+//! let base_opt = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+//! let flat_opt = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+//! assert!(flat_opt.report.util() >= base_opt.report.util());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accel;
+mod hw;
+mod objective;
+mod search;
+mod space;
+
+pub use accel::{AccelClass, AccelEvaluation};
+pub use hw::{best_hardware, HwCandidate, HwSearchResult, HwSearchSpec};
+pub use objective::Objective;
+pub use search::{pareto_frontier, DesignPoint, Dse};
+pub use space::{la_points, others_points, row_candidates, SpaceKind};
+
+/// Cost of a searched decoder block (wrapper for future breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecoderCost {
+    /// The per-category block cost.
+    pub cost: flat_core::BlockCost,
+}

@@ -1,0 +1,113 @@
+//! Optimization objectives for the design-space exploration (§5.3.3,
+//! §6.4: "the objective target in the DSE is flexible").
+
+use flat_core::CostReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the DSE maximizes. Every objective is expressed as a
+/// higher-is-better score over a [`CostReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximize compute-resource utilization (the paper's default).
+    MaxUtil,
+    /// Minimize total energy.
+    MinEnergy,
+    /// Minimize energy-delay product.
+    MinEdp,
+    /// Minimize live memory footprint (the Figure 10 "left-most region").
+    MinFootprint,
+    /// Maximize utilization per MiB of live footprint (the Figure 10
+    /// "top-left corner").
+    UtilPerFootprint,
+}
+
+impl Objective {
+    /// Higher-is-better score of a report under this objective.
+    #[must_use]
+    pub fn score(&self, report: &CostReport) -> f64 {
+        match self {
+            Objective::MaxUtil => report.util(),
+            Objective::MinEnergy => -report.energy.total_pj(),
+            Objective::MinEdp => -(report.energy.total_pj() * report.cycles),
+            Objective::MinFootprint => -report.footprint.as_f64(),
+            Objective::UtilPerFootprint => {
+                report.util() / report.footprint.as_f64().max(1.0) * (1024.0 * 1024.0)
+            }
+        }
+    }
+
+    /// All objectives, for sweeps.
+    #[must_use]
+    pub const fn all() -> [Objective; 5] {
+        [
+            Objective::MaxUtil,
+            Objective::MinEnergy,
+            Objective::MinEdp,
+            Objective::MinFootprint,
+            Objective::UtilPerFootprint,
+        ]
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Objective::MaxUtil => "max-util",
+            Objective::MinEnergy => "min-energy",
+            Objective::MinEdp => "min-edp",
+            Objective::MinFootprint => "min-footprint",
+            Objective::UtilPerFootprint => "util-per-footprint",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_arch::EnergyBreakdown;
+    use flat_tensor::Bytes;
+
+    fn report(cycles: f64, ideal: f64, pj: f64, fp: u64) -> CostReport {
+        CostReport {
+            cycles,
+            ideal_cycles: ideal,
+            energy: EnergyBreakdown { compute_pj: pj, ..Default::default() },
+            footprint: Bytes::new(fp),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn max_util_prefers_higher_util() {
+        let good = report(100.0, 90.0, 1.0, 1);
+        let bad = report(100.0, 20.0, 1.0, 1);
+        assert!(Objective::MaxUtil.score(&good) > Objective::MaxUtil.score(&bad));
+    }
+
+    #[test]
+    fn min_energy_prefers_lower_energy() {
+        let frugal = report(100.0, 50.0, 10.0, 1);
+        let hungry = report(100.0, 50.0, 99.0, 1);
+        assert!(Objective::MinEnergy.score(&frugal) > Objective::MinEnergy.score(&hungry));
+    }
+
+    #[test]
+    fn edp_trades_both_axes() {
+        let fast_hungry = report(10.0, 9.0, 100.0, 1);
+        let slow_frugal = report(1000.0, 900.0, 10.0, 1);
+        // EDP: 1000 vs 10000 -> fast wins despite higher energy.
+        assert!(Objective::MinEdp.score(&fast_hungry) > Objective::MinEdp.score(&slow_frugal));
+    }
+
+    #[test]
+    fn footprint_objectives_reward_small_buffers() {
+        let lean = report(100.0, 80.0, 1.0, 1024);
+        let fat = report(100.0, 80.0, 1.0, 1 << 30);
+        assert!(Objective::MinFootprint.score(&lean) > Objective::MinFootprint.score(&fat));
+        assert!(
+            Objective::UtilPerFootprint.score(&lean) > Objective::UtilPerFootprint.score(&fat)
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Exhaustive (parallel) search over the dataflow design space.
+
+use crate::{la_points, others_points, Objective, SpaceKind};
+use flat_core::{BlockCost, BlockDataflow, CostModel, CostReport, LaExecution, OperatorDataflow};
+use flat_workloads::{AttentionBlock, OpCategory, Scope};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated design point: a dataflow and its cost at the searched
+/// scope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The L-A execution this point uses.
+    pub la: LaExecution,
+    /// Cost of the L-A pair under it.
+    pub report: CostReport,
+}
+
+/// The search driver: a cost model plus a workload block.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Accelerator;
+/// use flat_dse::{Dse, Objective, SpaceKind};
+/// use flat_workloads::Model;
+///
+/// let accel = Accelerator::edge();
+/// let block = Model::bert().block(64, 512);
+/// let dse = Dse::new(&accel, &block);
+/// let base_opt = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+/// let flat_opt = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+/// // FLAT-opt searches a superset of Base-opt's space: it can never lose.
+/// assert!(flat_opt.report.util() >= base_opt.report.util());
+/// ```
+#[derive(Debug)]
+pub struct Dse<'a> {
+    accel: &'a flat_arch::Accelerator,
+    block: &'a AttentionBlock,
+}
+
+impl<'a> Dse<'a> {
+    /// Creates a search driver for a block on an accelerator.
+    #[must_use]
+    pub fn new(accel: &'a flat_arch::Accelerator, block: &'a AttentionBlock) -> Self {
+        Dse { accel, block }
+    }
+
+    /// Evaluates every L-A point in `space` (in parallel) and returns them
+    /// all — the raw material of the Figure 10 design-space scatter.
+    #[must_use]
+    pub fn explore_la(&self, space: SpaceKind) -> Vec<DesignPoint> {
+        let points = la_points(space, self.block.config().seq_q);
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        let chunk = points.len().div_ceil(threads).max(1);
+        let mut results: Vec<Vec<DesignPoint>> = Vec::new();
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = points
+                .chunks(chunk)
+                .map(|chunk| {
+                    s.spawn(move |_| {
+                        let cm = CostModel::new(self.accel);
+                        chunk
+                            .iter()
+                            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("search worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.into_iter().flatten().collect()
+    }
+
+    /// Best L-A point in `space` under `objective`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty (it never is for the provided
+    /// [`SpaceKind`]s).
+    #[must_use]
+    pub fn best_la(&self, space: SpaceKind, objective: Objective) -> DesignPoint {
+        self.explore_la(space)
+            .into_iter()
+            .max_by(|a, b| {
+                objective
+                    .score(&a.report)
+                    .partial_cmp(&objective.score(&b.report))
+                    .expect("scores are finite")
+            })
+            .expect("design space is never empty")
+    }
+
+    /// Sampled search: evaluates `samples` uniformly drawn points instead
+    /// of the whole space. Exhaustive search is cheap at this space's
+    /// size, but larger spaces (joint HW + dataflow search, the GAMMA
+    /// \[40\] setting the paper cites) need exactly this mode; the tests pin
+    /// the sampling/exhaustive quality relationship.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    #[must_use]
+    pub fn best_la_sampled(
+        &self,
+        space: SpaceKind,
+        objective: Objective,
+        samples: usize,
+        seed: u64,
+    ) -> DesignPoint {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        assert!(samples > 0, "need at least one sample");
+        let points = la_points(space, self.block.config().seq_q);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cm = CostModel::new(self.accel);
+        points
+            .choose_multiple(&mut rng, samples.min(points.len()))
+            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
+            .max_by(|a, b| {
+                objective
+                    .score(&a.report)
+                    .partial_cmp(&objective.score(&b.report))
+                    .expect("scores are finite")
+            })
+            .expect("sampled at least one point")
+    }
+
+    /// Best dataflow for the non-fused operators, judged on the block's
+    /// projection + FC cost under `objective`.
+    #[must_use]
+    pub fn best_others(&self, objective: Objective) -> (OperatorDataflow, CostReport) {
+        let cfg = *self.block.config();
+        let cm = CostModel::new(self.accel);
+        others_points()
+            .into_iter()
+            .map(|df| {
+                let cost = self
+                    .block
+                    .operators_in_category(OpCategory::Projection)
+                    .chain(self.block.operators_in_category(OpCategory::FeedForward))
+                    .map(|op| cm.operator_cost(op, &df, &cfg))
+                    .fold(CostReport::default(), |acc, r| acc.then(&r));
+                (df, cost)
+            })
+            .max_by(|a, b| {
+                objective.score(&a.1).partial_cmp(&objective.score(&b.1)).expect("finite")
+            })
+            .expect("others space is never empty")
+    }
+
+    /// Best full-block dataflow: the optimal L-A execution combined with
+    /// the optimal non-fused-operator dataflow.
+    #[must_use]
+    pub fn best_block(&self, space: SpaceKind, objective: Objective) -> (BlockDataflow, BlockCost) {
+        let la = self.best_la(space, objective);
+        let (others, _) = self.best_others(objective);
+        let df = BlockDataflow { la: la.la, others };
+        let cost = CostModel::new(self.accel).block_cost(self.block, &df);
+        (df, cost)
+    }
+
+    /// Best dataflow for a *decoder* block: the L-A strategy is searched
+    /// on the cross-attention layer (its `[dec, enc]` logits dominate when
+    /// the encoder context is long) and applied to both attention layers;
+    /// non-fused operators get their own search.
+    #[must_use]
+    pub fn best_decoder_block(
+        accel: &flat_arch::Accelerator,
+        block: &flat_workloads::DecoderBlock,
+        space: SpaceKind,
+        objective: Objective,
+    ) -> (BlockDataflow, crate::DecoderCost) {
+        let cross_dse = Dse::new(accel, block.cross_attention());
+        let la = cross_dse.best_la(space, objective);
+        let (others, _) = cross_dse.best_others(objective);
+        let df = BlockDataflow { la: la.la, others };
+        let cost = CostModel::new(accel).decoder_block_cost(block, &df);
+        (df, crate::DecoderCost { cost })
+    }
+
+    /// Best block dataflow judged at one of the Figure 8 scopes.
+    #[must_use]
+    pub fn best_at_scope(
+        &self,
+        space: SpaceKind,
+        scope: Scope,
+        objective: Objective,
+    ) -> (BlockDataflow, CostReport) {
+        match scope {
+            Scope::LogitAttend => {
+                let la = self.best_la(space, objective);
+                let (others, _) = self.best_others(objective);
+                (BlockDataflow { la: la.la, others }, la.report)
+            }
+            Scope::Block | Scope::Model => {
+                let (df, cost) = self.best_block(space, objective);
+                (df, cost.total())
+            }
+        }
+    }
+}
+
+/// Pareto frontier of `(footprint, util)` points: keeps points not
+/// dominated by any other (smaller-or-equal footprint *and* greater util).
+/// Returned sorted by footprint — the top-left boundary of Figure 10.
+#[must_use]
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut sorted: Vec<DesignPoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.report
+            .footprint
+            .cmp(&b.report.footprint)
+            .then(b.report.util().partial_cmp(&a.report.util()).expect("finite"))
+    });
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    let mut best_util = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.report.util() > best_util {
+            best_util = p.report.util();
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_arch::Accelerator;
+    use flat_workloads::Model;
+
+    #[test]
+    fn flat_opt_dominates_base_opt() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let dse = Dse::new(&accel, &block);
+        let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+        let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+        assert!(flat.report.util() >= base.report.util());
+    }
+
+    #[test]
+    fn fused_space_wins_big_at_long_sequences() {
+        let accel = Accelerator::cloud();
+        let block = Model::xlm().block(64, 16_384);
+        let dse = Dse::new(&accel, &block);
+        let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+        let flat = dse.best_la(SpaceKind::Fused, Objective::MaxUtil);
+        assert!(
+            flat.report.util() > 1.3 * base.report.util(),
+            "flat {} vs base {}",
+            flat.report.util(),
+            base.report.util()
+        );
+    }
+
+    #[test]
+    fn min_energy_objective_never_picks_higher_energy() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let dse = Dse::new(&accel, &block);
+        let by_util = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+        let by_energy = dse.best_la(SpaceKind::Full, Objective::MinEnergy);
+        assert!(by_energy.report.energy.total_pj() <= by_util.report.energy.total_pj());
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let points = Dse::new(&accel, &block).explore_la(SpaceKind::Full);
+        let frontier = pareto_frontier(&points);
+        assert!(!frontier.is_empty());
+        for w in frontier.windows(2) {
+            assert!(w[0].report.footprint <= w[1].report.footprint);
+            assert!(w[0].report.util() < w[1].report.util());
+        }
+        // Every point is dominated by or on the frontier.
+        let best = frontier.last().unwrap().report.util();
+        assert!(points.iter().all(|p| p.report.util() <= best + 1e-12));
+    }
+
+    #[test]
+    fn sampled_search_never_beats_exhaustive_and_converges() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let dse = Dse::new(&accel, &block);
+        let exhaustive = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+        let few = dse.best_la_sampled(SpaceKind::Full, Objective::MaxUtil, 10, 42);
+        let many = dse.best_la_sampled(SpaceKind::Full, Objective::MaxUtil, 100_000, 42);
+        assert!(few.report.util() <= exhaustive.report.util() + 1e-12);
+        // Sampling more than the space size degenerates to exhaustive.
+        assert!((many.report.util() - exhaustive.report.util()).abs() < 1e-12);
+        // Determinism in the seed.
+        let again = dse.best_la_sampled(SpaceKind::Full, Objective::MaxUtil, 10, 42);
+        assert_eq!(few.report.util(), again.report.util());
+    }
+
+    #[test]
+    fn decoder_search_beats_fixed_base() {
+        let accel = Accelerator::cloud();
+        let block = flat_workloads::DecoderBlock::for_model(&Model::t5_small(), 64, 1024, 16_384);
+        let (df, best) = Dse::best_decoder_block(
+            &accel,
+            &block,
+            SpaceKind::Full,
+            Objective::MaxUtil,
+        );
+        let base = flat_core::CostModel::new(&accel)
+            .decoder_block_cost(&block, &flat_core::BlockDataflow::base());
+        assert!(df.la.is_fused(), "long encoder context demands fusion");
+        assert!(best.cost.total().cycles < base.total().cycles * 0.6);
+    }
+
+    #[test]
+    fn best_others_beats_naive_default() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let dse = Dse::new(&accel, &block);
+        let (_, best) = dse.best_others(Objective::MaxUtil);
+        assert!(best.util() > 0.3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Design-space enumeration: every hyper-parameter Figure 6(a) lists
+//! under "Dataflow".
+
+use flat_core::{
+    FusedDataflow, FusedEnables, Granularity, LaExecution, OperandEnables, OperatorDataflow,
+    Stationarity,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which part of the dataflow design space a search may draw from —
+/// the "Flexible dataflow support" / "Granularity" columns of Figure 7(c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpaceKind {
+    /// Sequential dataflows only, no L3 tier: the fixed `Base` point.
+    BaseOnly,
+    /// Sequential dataflows with L3 restricted to M-Gran (FlexAccel-M:
+    /// programmable scratchpad, but no finer-grained cross-operator tiles).
+    SequentialMGran,
+    /// The full sequential space: `Base-opt`'s search domain (FlexAccel).
+    Sequential,
+    /// Fused dataflows restricted to M-Gran (ATTACC-M).
+    FusedMGran,
+    /// Fused dataflows restricted to one row count (ATTACC-Rx).
+    FusedRow(u64),
+    /// The full fused space (FLAT-opt's domain minus the sequential
+    /// points).
+    Fused,
+    /// Everything: sequential ∪ fused — ATTACC's domain. FLAT can express
+    /// every baseline dataflow by degrading to single-operator tiling
+    /// (§4.5), so this is the superset.
+    Full,
+}
+
+/// Candidate row counts for R-Gran at a sequence length: powers of four up
+/// to the sequence, which spans the interesting range without blowing up
+/// the search.
+#[must_use]
+pub fn row_candidates(seq: u64) -> Vec<u64> {
+    let mut rows: Vec<u64> = [4u64, 16, 64, 256, 1024, 4096]
+        .into_iter()
+        .filter(|&r| r < seq)
+        .collect();
+    rows.push(seq.min(8192));
+    rows.dedup();
+    rows
+}
+
+/// The staging-enable presets the search tries for sequential operators.
+fn operand_enable_presets() -> Vec<OperandEnables> {
+    vec![
+        OperandEnables::all(),
+        OperandEnables { input_a: true, input_b: true, output: false },
+        OperandEnables { input_a: false, input_b: false, output: true },
+    ]
+}
+
+/// The FLAT-tile enable presets the search tries for fused dataflows.
+fn fused_enable_presets() -> Vec<FusedEnables> {
+    vec![
+        FusedEnables::all(),
+        FusedEnables::intermediate_only(),
+        // Keep the reused K/V tiles and the intermediate; stream Q and O
+        // (they are touched once anyway) — the lean footprint choice.
+        FusedEnables { query: false, key: true, value: true, output: false, intermediate: true },
+        // Everything but the intermediate: what fusion-less staging buys.
+        FusedEnables { query: true, key: true, value: true, output: true, intermediate: false },
+    ]
+}
+
+/// Stage-stationarity pairs (L, A) the fused search tries.
+fn fused_stationarity_presets() -> Vec<(Stationarity, Stationarity)> {
+    vec![
+        (Stationarity::Output, Stationarity::Input),
+        (Stationarity::Output, Stationarity::Output),
+        (Stationarity::Input, Stationarity::Input),
+        (Stationarity::Weight, Stationarity::Weight),
+        (Stationarity::Weight, Stationarity::Input),
+    ]
+}
+
+/// Enumerates the sequential L-A design points for a space.
+fn sequential_points(space: SpaceKind) -> Vec<LaExecution> {
+    let grans: Vec<Granularity> = match space {
+        SpaceKind::BaseOnly => vec![],
+        SpaceKind::SequentialMGran => vec![Granularity::BatchMultiHead],
+        _ => Granularity::coarse().to_vec(),
+    };
+    let mut out = Vec::new();
+    for stat_l in Stationarity::all() {
+        for stat_a in Stationarity::all() {
+            out.push(LaExecution::Sequential {
+                logit: OperatorDataflow::baseline(stat_l),
+                attend: OperatorDataflow::baseline(stat_a),
+            });
+            for &gran in &grans {
+                for enables in operand_enable_presets() {
+                    let mk = |stat| OperatorDataflow {
+                        stationarity: stat,
+                        l3: Some(flat_core::L3Config { granularity: gran, enables }),
+                    };
+                    out.push(LaExecution::Sequential { logit: mk(stat_l), attend: mk(stat_a) });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the fused L-A design points for a space at a sequence
+/// length.
+fn fused_points(space: SpaceKind, seq: u64) -> Vec<LaExecution> {
+    let grans: Vec<Granularity> = match space {
+        SpaceKind::FusedMGran => vec![Granularity::BatchMultiHead],
+        SpaceKind::FusedRow(r) => vec![Granularity::Row(r)],
+        SpaceKind::Fused | SpaceKind::Full => {
+            let mut g = Granularity::coarse().to_vec();
+            let rows = row_candidates(seq);
+            g.extend(rows.iter().copied().map(Granularity::Row));
+            // Composite (B_t, H_t, R) tiles (§4.2.2): a few head/batch
+            // multiples of the most promising row counts, which recover
+            // array parallelism when dk underfills it.
+            for &r in rows.iter().rev().take(2) {
+                for (batch_t, head_t) in [(1, 2), (1, 4), (2, 1), (4, 2)] {
+                    g.push(Granularity::Composite { batch_t, head_t, rows: r });
+                }
+            }
+            g
+        }
+        _ => vec![],
+    };
+    let mut out = Vec::new();
+    for &granularity in &grans {
+        for enables in fused_enable_presets() {
+            for (stationarity_l, stationarity_a) in fused_stationarity_presets() {
+                out.push(LaExecution::Fused(FusedDataflow {
+                    granularity,
+                    enables,
+                    stationarity_l,
+                    stationarity_a,
+                    execution: flat_core::FusedExecution::Interleaved,
+                }));
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates every L-A execution point in `space` for a workload with
+/// sequence length `seq`.
+///
+/// # Example
+///
+/// ```
+/// use flat_dse::{la_points, SpaceKind};
+///
+/// let base = la_points(SpaceKind::Sequential, 4096);
+/// let full = la_points(SpaceKind::Full, 4096);
+/// // FLAT's space strictly contains the sequential space.
+/// assert!(full.len() > base.len());
+/// ```
+#[must_use]
+pub fn la_points(space: SpaceKind, seq: u64) -> Vec<LaExecution> {
+    match space {
+        SpaceKind::BaseOnly | SpaceKind::SequentialMGran | SpaceKind::Sequential => {
+            sequential_points(space)
+        }
+        SpaceKind::FusedMGran | SpaceKind::FusedRow(_) | SpaceKind::Fused => {
+            fused_points(space, seq)
+        }
+        SpaceKind::Full => {
+            let mut pts = sequential_points(SpaceKind::Sequential);
+            pts.extend(fused_points(SpaceKind::Full, seq));
+            pts
+        }
+    }
+}
+
+/// Enumerates dataflow candidates for the non-fused operators
+/// (Q/K/V/O/FC): stationarity × {no L3, M-Gran all-staged}.
+#[must_use]
+pub fn others_points() -> Vec<OperatorDataflow> {
+    let mut out = Vec::new();
+    for stat in Stationarity::all() {
+        out.push(OperatorDataflow::baseline(stat));
+        out.push(OperatorDataflow::staged(stat, Granularity::BatchMultiHead));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_only_has_nine_points() {
+        // 3 stationarities per operator, no L3 options.
+        assert_eq!(la_points(SpaceKind::BaseOnly, 512).len(), 9);
+    }
+
+    #[test]
+    fn sequential_space_nests() {
+        let base = la_points(SpaceKind::BaseOnly, 512).len();
+        let m = la_points(SpaceKind::SequentialMGran, 512).len();
+        let seq = la_points(SpaceKind::Sequential, 512).len();
+        assert!(base < m && m < seq);
+    }
+
+    #[test]
+    fn full_space_contains_both() {
+        let seq = la_points(SpaceKind::Sequential, 512).len();
+        let fused = la_points(SpaceKind::Fused, 512).len();
+        assert_eq!(la_points(SpaceKind::Full, 512).len(), seq + fused);
+    }
+
+    #[test]
+    fn fused_row_space_fixes_granularity() {
+        for p in la_points(SpaceKind::FusedRow(64), 512) {
+            match p {
+                LaExecution::Fused(f) => {
+                    assert_eq!(f.granularity, Granularity::Row(64));
+                }
+                LaExecution::Sequential { .. } => panic!("row space is fused-only"),
+            }
+        }
+    }
+
+    #[test]
+    fn row_candidates_respect_sequence_length() {
+        assert_eq!(row_candidates(8), vec![4, 8]);
+        let long = row_candidates(262_144);
+        assert!(long.contains(&4096));
+        assert!(long.iter().all(|&r| r <= 262_144));
+    }
+
+    #[test]
+    fn others_points_cover_all_stationarities() {
+        let pts = others_points();
+        assert_eq!(pts.len(), 6);
+        assert!(pts.iter().any(|p| p.l3.is_none()));
+        assert!(pts.iter().any(|p| p.l3.is_some()));
+    }
+}

@@ -1,0 +1,33 @@
+//! GPU-class machine model — the paper's footnote 5 ("FLAT can be
+//! implemented and run over a GPU as well"), made concrete.
+//!
+//! A GPU maps onto the paper's vocabulary directly: an SM's shared memory
+//! is the high-bandwidth, low-capacity on-chip buffer; HBM is the slow
+//! off-chip memory; a fused attention kernel (one thread block per FLAT
+//! tile) keeps the logit slice in shared memory exactly like FLAT keeps it
+//! in the scratchpad; the unfused baseline (`matmul → softmax → matmul` as
+//! three kernels) round-trips the `O(N²)` tensor through HBM. This module
+//! prices both mappings, which is also the bridge from FLAT to its
+//! better-known successor, FlashAttention.
+//!
+//! # Example
+//!
+//! ```
+//! use flat_gpu::{Gpu, GpuAttention};
+//! use flat_workloads::Model;
+//!
+//! let gpu = Gpu::a100_like();
+//! let cfg = Model::bert().config(64, 4096);
+//! let fused = GpuAttention::fused(&gpu, &cfg, 64);
+//! let unfused = GpuAttention::unfused(&gpu, &cfg);
+//! assert!(fused.seconds < unfused.seconds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod machine;
+
+pub use kernel::GpuAttention;
+pub use machine::Gpu;

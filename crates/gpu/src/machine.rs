@@ -1,0 +1,145 @@
+//! The GPU machine description.
+
+use flat_tensor::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A GPU-class device: streaming multiprocessors with per-SM shared
+/// memory, a shared L2, and HBM.
+///
+/// In the paper's terms (§3.1): shared memory plays the global scratchpad
+/// (high bandwidth, tiny capacity), HBM plays off-chip memory, and the SM
+/// grid plays the PE array.
+///
+/// # Example
+///
+/// ```
+/// use flat_gpu::Gpu;
+///
+/// let gpu = Gpu::a100_like();
+/// assert!(gpu.peak_flops() > 1.0e14);
+/// assert!(gpu.total_shared_memory() < gpu.l2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gpu {
+    /// Device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sms: u64,
+    /// Half-precision MACs per cycle per SM (tensor-core lanes).
+    pub macs_per_cycle_per_sm: u64,
+    /// Shared memory (scratchpad) per SM.
+    pub shared_per_sm: Bytes,
+    /// Device-wide L2 cache capacity.
+    pub l2: Bytes,
+    /// L2 bandwidth, bytes per second.
+    pub l2_bytes_per_s: f64,
+    /// HBM bandwidth, bytes per second.
+    pub hbm_bytes_per_s: f64,
+    /// Core clock in hertz.
+    pub clock_hz: f64,
+}
+
+impl Gpu {
+    /// An A100-class device: 108 SMs, 1024 fp16 MACs/cycle/SM (312
+    /// TFLOP/s at 1.41 GHz), 192 KiB shared memory per SM, 40 MiB L2 at
+    /// ~5 TB/s, 1.9 TB/s HBM.
+    #[must_use]
+    pub fn a100_like() -> Self {
+        Gpu {
+            name: "a100-like".to_owned(),
+            sms: 108,
+            macs_per_cycle_per_sm: 1024,
+            shared_per_sm: Bytes::from_kib(192),
+            l2: Bytes::from_mib(40),
+            l2_bytes_per_s: 5.0e12,
+            hbm_bytes_per_s: 1.9e12,
+            clock_hz: 1.41e9,
+        }
+    }
+
+    /// A V100-class device (the cloud-accelerator era the paper compares
+    /// against): 80 SMs, 512 MACs/cycle/SM, 96 KiB shared per SM, 6 MiB
+    /// L2, 0.9 TB/s HBM.
+    #[must_use]
+    pub fn v100_like() -> Self {
+        Gpu {
+            name: "v100-like".to_owned(),
+            sms: 80,
+            macs_per_cycle_per_sm: 512,
+            shared_per_sm: Bytes::from_kib(96),
+            l2: Bytes::from_mib(6),
+            l2_bytes_per_s: 2.5e12,
+            hbm_bytes_per_s: 0.9e12,
+            clock_hz: 1.38e9,
+        }
+    }
+
+    /// Peak half-precision throughput in FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        2.0 * (self.sms * self.macs_per_cycle_per_sm) as f64 * self.clock_hz
+    }
+
+    /// Aggregate shared memory across SMs.
+    #[must_use]
+    pub fn total_shared_memory(&self) -> Bytes {
+        self.shared_per_sm * self.sms
+    }
+
+    /// Seconds to move `bytes` over HBM.
+    #[must_use]
+    pub fn hbm_seconds(&self, bytes: f64) -> f64 {
+        bytes / self.hbm_bytes_per_s
+    }
+
+    /// Seconds to execute `macs` at peak.
+    #[must_use]
+    pub fn compute_seconds(&self, macs: f64) -> f64 {
+        2.0 * macs / self.peak_flops()
+    }
+}
+
+impl fmt::Display for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} SMs, {:.0} TFLOP/s fp16, {} shared/SM, {} L2, {:.1} TB/s HBM",
+            self.name,
+            self.sms,
+            self.peak_flops() / 1e12,
+            self.shared_per_sm,
+            self.l2,
+            self.hbm_bytes_per_s / 1e12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_headline_numbers() {
+        let g = Gpu::a100_like();
+        // ~312 TFLOP/s fp16 dense.
+        assert!((g.peak_flops() / 1e12 - 312.0).abs() < 10.0);
+        assert_eq!(g.total_shared_memory(), Bytes::from_kib(192 * 108));
+    }
+
+    #[test]
+    fn newer_device_dominates_older() {
+        let (a, v) = (Gpu::a100_like(), Gpu::v100_like());
+        assert!(a.peak_flops() > v.peak_flops());
+        assert!(a.hbm_bytes_per_s > v.hbm_bytes_per_s);
+        assert!(a.l2 > v.l2);
+    }
+
+    #[test]
+    fn time_helpers_are_consistent() {
+        let g = Gpu::a100_like();
+        assert!((g.hbm_seconds(1.9e12) - 1.0).abs() < 1e-12);
+        let macs = g.peak_flops() / 2.0;
+        assert!((g.compute_seconds(macs) - 1.0).abs() < 1e-12);
+    }
+}

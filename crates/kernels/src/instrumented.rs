@@ -1,0 +1,180 @@
+//! Instrumented fused execution: the same FLAT row-tiled attention as
+//! [`flat_attention`](crate::flat_attention), but counting every buffer
+//! touch — so the cost model's traffic accounting can be validated against
+//! what a real execution actually does.
+
+use crate::{softmax_row, Mask, Mat, MultiHeadInput};
+
+/// Memory-touch counters for one execution, in elements.
+///
+/// "DRAM" here means the backing store of the full Q/K/V/O tensors;
+/// "slice" means the on-chip FLAT-tile holding the live logit rows.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::{instrumented_flat_attention, Mask, MultiHeadInput};
+///
+/// let input = MultiHeadInput::random(1, 2, 32, 32, 8, 3);
+/// let (out, stats) = instrumented_flat_attention(&input, 8, Mask::None);
+/// assert_eq!(out.len(), 2);
+/// // Q is read exactly once per element.
+/// assert_eq!(stats.q_reads, 2 * 32 * 8);
+/// // The live slice never exceeds R x N.
+/// assert_eq!(stats.peak_live_logits, 8 * 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutionStats {
+    /// Query elements read from backing store.
+    pub q_reads: u64,
+    /// Key elements read from backing store.
+    pub k_reads: u64,
+    /// Value elements read from backing store.
+    pub v_reads: u64,
+    /// Output elements written to backing store.
+    pub o_writes: u64,
+    /// Logit elements written into the live slice.
+    pub logit_writes: u64,
+    /// Logit elements read back out of the live slice (softmax + Attend).
+    pub logit_reads: u64,
+    /// Largest number of logit elements live at any instant.
+    pub peak_live_logits: u64,
+    /// Number of FLAT-tile iterations executed.
+    pub iterations: u64,
+}
+
+impl ExecutionStats {
+    /// Total backing-store (DRAM-like) traffic in elements.
+    #[must_use]
+    pub fn backing_store_elements(&self) -> u64 {
+        self.q_reads + self.k_reads + self.v_reads + self.o_writes
+    }
+}
+
+/// [`flat_attention`](crate::flat_attention) with touch counting. Returns
+/// the identical output plus the [`ExecutionStats`].
+///
+/// K and V are modeled as staged: read from backing store once per
+/// (batch, head) group and reused across that group's row iterations —
+/// the `key`/`value` FLAT-tile behavior the cost model prices.
+///
+/// # Panics
+///
+/// Panics if `rows_per_tile` is zero.
+#[must_use]
+pub fn instrumented_flat_attention(
+    input: &MultiHeadInput,
+    rows_per_tile: usize,
+    mask: Mask,
+) -> (Vec<Mat>, ExecutionStats) {
+    assert!(rows_per_tile > 0, "row tile must be positive");
+    let scale = input.scale();
+    let mut stats = ExecutionStats::default();
+    let outs = (0..input.groups())
+        .map(|g| {
+            let q = &input.q[g];
+            // Stage K and V once per group (the K/V FLAT-tiles).
+            let k = &input.k[g];
+            let v = &input.v[g];
+            stats.k_reads += (input.seq_kv * input.dk) as u64;
+            stats.v_reads += (input.seq_kv * input.dk) as u64;
+
+            let mut out = Mat::zeros(input.seq_q, input.dk);
+            let mut row_lo = 0;
+            while row_lo < input.seq_q {
+                let row_hi = (row_lo + rows_per_tile).min(input.seq_q);
+                stats.iterations += 1;
+                let rows = row_hi - row_lo;
+                stats.q_reads += (rows * input.dk) as u64;
+
+                let q_tile = q.row_slice(row_lo, row_hi);
+                let mut tile = q_tile.matmul_transposed(k);
+                let live = (rows * input.seq_kv) as u64;
+                stats.logit_writes += live;
+                stats.peak_live_logits = stats.peak_live_logits.max(live);
+
+                for i in 0..tile.rows() {
+                    for j in 0..tile.cols() {
+                        let val = tile.at(i, j) * scale;
+                        tile.set(
+                            i,
+                            j,
+                            if mask.allows(row_lo + i, j) { val } else { f32::NEG_INFINITY },
+                        );
+                    }
+                }
+                // SFU pass reads and rewrites the slice in place.
+                stats.logit_reads += live;
+                stats.logit_writes += live;
+                for i in 0..tile.rows() {
+                    softmax_row(tile.row_mut(i));
+                }
+                // Stage A reads the slice once more.
+                stats.logit_reads += live;
+                let o_tile = tile.matmul(v);
+                stats.o_writes += (rows * input.dk) as u64;
+                for i in 0..o_tile.rows() {
+                    for j in 0..o_tile.cols() {
+                        out.set(row_lo + i, j, o_tile.at(i, j));
+                    }
+                }
+                row_lo = row_hi;
+            }
+            out
+        })
+        .collect();
+    (outs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat_attention;
+
+    #[test]
+    fn output_matches_uninstrumented() {
+        let input = MultiHeadInput::random(2, 2, 24, 24, 8, 5);
+        let (inst, _) = instrumented_flat_attention(&input, 6, Mask::None);
+        let plain = flat_attention(&input, 6, Mask::None);
+        for (a, b) in inst.iter().zip(&plain) {
+            assert_eq!(a.max_abs_diff(b), 0.0, "identical arithmetic path");
+        }
+    }
+
+    #[test]
+    fn compulsory_traffic_touched_exactly_once() {
+        let input = MultiHeadInput::random(2, 3, 32, 40, 8, 7);
+        let (_, s) = instrumented_flat_attention(&input, 8, Mask::None);
+        let groups = 6u64;
+        assert_eq!(s.q_reads, groups * 32 * 8);
+        assert_eq!(s.k_reads, groups * 40 * 8);
+        assert_eq!(s.v_reads, groups * 40 * 8);
+        assert_eq!(s.o_writes, groups * 32 * 8);
+    }
+
+    #[test]
+    fn peak_live_is_r_times_n() {
+        let input = MultiHeadInput::random(1, 1, 64, 64, 4, 9);
+        for r in [1usize, 4, 16, 64] {
+            let (_, s) = instrumented_flat_attention(&input, r, Mask::None);
+            assert_eq!(s.peak_live_logits, (r * 64) as u64, "R={r}");
+        }
+    }
+
+    #[test]
+    fn logit_tensor_fully_produced_and_consumed() {
+        let input = MultiHeadInput::random(1, 2, 17, 23, 4, 11);
+        let (_, s) = instrumented_flat_attention(&input, 5, Mask::None);
+        let logits = 2 * 17 * 23u64;
+        // Written by L, rewritten by softmax; read by softmax and by A.
+        assert_eq!(s.logit_writes, 2 * logits);
+        assert_eq!(s.logit_reads, 2 * logits);
+    }
+
+    #[test]
+    fn iteration_count_matches_ceiling_division() {
+        let input = MultiHeadInput::random(2, 2, 37, 37, 4, 13);
+        let (_, s) = instrumented_flat_attention(&input, 8, Mask::None);
+        assert_eq!(s.iterations, 4 * 37u64.div_ceil(8));
+    }
+}

@@ -1,0 +1,55 @@
+//! Numerical reference kernels: the arithmetic witness that FLAT's tiling
+//! is exact.
+//!
+//! The cost model in `flat-core` argues about cycles and bytes; this crate
+//! argues about *values*. It implements
+//!
+//! * [`naive_attention`] — the baseline that materializes the full
+//!   `O(N²)` logit tensor,
+//! * [`flat_attention`] — the FLAT row-granularity fused execution
+//!   (compute a `[R, N]` logit slice, softmax it, consume it, discard it),
+//! * [`streaming_attention`] — key-dimension tiling with
+//!   [`OnlineSoftmax`] rescaling, the extension FLAT's row-granularity
+//!   constraint points at (and FlashAttention later built on),
+//!
+//! and proves, by unit and property tests, that all three agree to f32
+//! rounding for every shape, tile size, and mask — including
+//! cross-attention (`seq_q ≠ seq_kv`) and causal decoding.
+//!
+//! # Example
+//!
+//! ```
+//! use flat_kernels::{flat_attention, naive_attention, Mask, MultiHeadInput};
+//!
+//! let input = MultiHeadInput::random(2, 4, 64, 64, 16, 1);
+//! let naive = naive_attention(&input, Mask::None);
+//! let fused = flat_attention(&input, 8, Mask::None); // R-Gran, R = 8
+//! for (f, n) in fused.iter().zip(&naive) {
+//!     assert!(f.max_abs_diff(n) < 1e-5);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attention;
+mod fused;
+mod instrumented;
+mod mat;
+mod parallel;
+mod precision;
+mod quantized;
+mod softmax;
+mod streaming;
+
+pub(crate) use fused::flat_attention_group;
+
+pub use attention::{naive_attention, Mask, MultiHeadInput};
+pub use fused::flat_attention;
+pub use parallel::parallel_flat_attention;
+pub use instrumented::{instrumented_flat_attention, ExecutionStats};
+pub use mat::Mat;
+pub use precision::{online_softmax_bf16, round_bf16, softmax_error, softmax_row_bf16};
+pub use quantized::{quantized_flat_attention, QuantizedMat};
+pub use softmax::{softmax_row, OnlineSoftmax};
+pub use streaming::streaming_attention;

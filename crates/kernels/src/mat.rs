@@ -1,0 +1,239 @@
+//! A minimal dense row-major matrix for the reference kernels.
+
+use rand::Rng;
+use std::fmt;
+
+/// Dense `rows × cols` matrix of `f32`, row-major.
+///
+/// Deliberately simple: the kernels crate is a correctness witness for the
+/// FLAT tiling, not a performance library.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::Mat;
+///
+/// let a = Mat::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+/// let b = Mat::identity(3);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.at(1, 2), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// An all-zeros matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A matrix filled by `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// The identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Mat::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// A matrix with entries drawn uniformly from `[-1, 1)`.
+    #[must_use]
+    pub fn random<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrows row `i` as a slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.data[i * self.cols + l];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[l * other.cols..(l + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, &b) in crow.iter_mut().zip(orow) {
+                    *c += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — the Logit operator's shape (`[m, k] × [n, k]ᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two column counts differ.
+    #[must_use]
+    pub fn matmul_transposed(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "contraction dimensions must agree");
+        Mat::from_fn(self.rows, other.rows, |i, j| {
+            self.row(i).iter().zip(other.row(j)).map(|(a, b)| a * b).sum()
+        })
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self.at(j, i))
+    }
+
+    /// A copy of rows `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    #[must_use]
+    pub fn row_slice(&self, lo: usize, hi: usize) -> Mat {
+        assert!(lo < hi && hi <= self.rows, "bad row range {lo}..{hi}");
+        Mat {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
+    }
+
+    /// Largest absolute element-wise difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Mat) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Raw data, row-major.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mat[{}x{}]", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_against_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mat::random(4, 7, &mut rng);
+        assert_eq!(a.matmul(&Mat::identity(7)).max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Mat::random(5, 8, &mut rng);
+        let b = Mat::random(6, 8, &mut rng);
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_transposed(&b);
+        assert!(via_t.max_abs_diff(&direct) < 1e-5);
+    }
+
+    #[test]
+    fn row_slice_copies_rows() {
+        let m = Mat::from_fn(4, 3, |i, j| (i * 10 + j) as f32);
+        let s = m.row_slice(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.at(0, 0), 10.0);
+        assert_eq!(s.at(1, 2), 22.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let _ = Mat::zeros(2, 3).matmul(&Mat::zeros(4, 2));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Mat::random(3, 9, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,169 @@
+//! Low-precision numerics of the two softmax strategies.
+//!
+//! FLAT's row-granularity constraint buys an *exact* softmax: every row is
+//! complete before normalization, so the only rounding is the final scale.
+//! The streaming (online) alternative repeatedly rescales its running
+//! accumulators — each new running max multiplies every previous weight by
+//! `exp(old − new)` — and in reduced precision those rescalings compound.
+//! This module emulates bf16 arithmetic in both paths so the difference is
+//! measurable, which is a concrete numerical argument for the paper's
+//! choice of row granularity.
+
+
+/// Rounds an `f32` to bfloat16 precision (8-bit mantissa,
+/// round-to-nearest-even), returned as `f32`.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::round_bf16;
+///
+/// // bf16 has ~3 significant decimal digits.
+/// let x = round_bf16(1.2345678);
+/// assert!((x - 1.234).abs() < 0.01);
+/// assert_eq!(round_bf16(0.0), 0.0);
+/// ```
+#[must_use]
+pub fn round_bf16(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // Round-to-nearest-even on the truncated 16 bits.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    f32::from_bits(((bits.wrapping_add(rounding_bias)) >> 16) << 16)
+}
+
+/// Two-pass softmax with every intermediate rounded to bf16 — the FLAT
+/// (complete-row) path under reduced precision.
+pub fn softmax_row_bf16(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = round_bf16((*v - max).exp());
+        sum = round_bf16(sum + *v);
+    }
+    let inv = round_bf16(1.0 / sum);
+    for v in row.iter_mut() {
+        *v = round_bf16(*v * inv);
+    }
+}
+
+/// Online softmax over chunks with every intermediate rounded to bf16 —
+/// the streaming path under reduced precision (running max, running sum,
+/// and every rescaling of previously produced weights all round). Returns
+/// the normalized weights.
+#[must_use]
+pub fn online_softmax_bf16(row: &[f32], chunk: usize) -> Vec<f32> {
+    assert!(chunk > 0, "chunk must be positive");
+    let mut max = f32::NEG_INFINITY;
+    let mut sum = 0.0f32;
+    let mut weights: Vec<f32> = Vec::with_capacity(row.len());
+    for c in row.chunks(chunk) {
+        let cmax = c.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let new_max = max.max(cmax);
+        if new_max > max && max != f32::NEG_INFINITY {
+            let scale = round_bf16((max - new_max).exp());
+            sum = round_bf16(sum * scale);
+            for w in &mut weights {
+                *w = round_bf16(*w * scale);
+            }
+        }
+        max = new_max;
+        for &x in c {
+            let w = round_bf16((x - max).exp());
+            weights.push(w);
+            sum = round_bf16(sum + w);
+        }
+    }
+    let inv = round_bf16(1.0 / sum);
+    for w in &mut weights {
+        *w = round_bf16(*w * inv);
+    }
+    weights
+}
+
+/// Maximum absolute error of a low-precision softmax against the exact
+/// f32 two-pass reference.
+#[must_use]
+pub fn softmax_error(row: &[f32], low_precision: &[f32]) -> f32 {
+    let mut exact = row.to_vec();
+    crate::softmax_row(&mut exact);
+    exact
+        .iter()
+        .zip(low_precision)
+        .map(|(e, l)| (e - l).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bf16_rounding_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen_range(-1e6..1e6);
+            let r = round_bf16(x);
+            assert_eq!(round_bf16(r), r);
+            // Relative error bounded by bf16's epsilon (2^-8).
+            if x != 0.0 {
+                assert!(((r - x) / x).abs() <= 1.0 / 256.0, "{x} -> {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_paths_stay_distributions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let row: Vec<f32> = (0..256).map(|_| rng.gen_range(-8.0..8.0)).collect();
+        let mut two_pass = row.clone();
+        softmax_row_bf16(&mut two_pass);
+        let online = online_softmax_bf16(&row, 16);
+        for v in two_pass.iter().chain(&online) {
+            assert!((0.0..=1.001).contains(v));
+        }
+        let s1: f32 = two_pass.iter().sum();
+        let s2: f32 = online.iter().sum();
+        assert!((s1 - 1.0).abs() < 0.05, "two-pass sum {s1}");
+        assert!((s2 - 1.0).abs() < 0.05, "online sum {s2}");
+    }
+
+    /// The headline: averaged over random rows, the complete-row (FLAT)
+    /// softmax is at least as accurate in bf16 as the online rescaling
+    /// path — the numerical dividend of row granularity.
+    #[test]
+    fn complete_rows_are_at_least_as_accurate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut err_two_pass, mut err_online) = (0.0f64, 0.0f64);
+        for _ in 0..200 {
+            // Ascending-ish rows force the online path to rescale often.
+            let mut row: Vec<f32> = (0..128)
+                .map(|i| i as f32 * 0.05 + rng.gen_range(-1.0..1.0))
+                .collect();
+            let online = online_softmax_bf16(&row, 4);
+            err_online += f64::from(softmax_error(&row, &online));
+            let reference = row.clone();
+            softmax_row_bf16(&mut row);
+            err_two_pass += f64::from(softmax_error(&reference, &row));
+        }
+        assert!(
+            err_two_pass <= err_online * 1.05,
+            "two-pass {err_two_pass} vs online {err_online}"
+        );
+    }
+
+    #[test]
+    fn errors_are_small_in_absolute_terms() {
+        let row: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 4.0).collect();
+        let mut r = row.clone();
+        softmax_row_bf16(&mut r);
+        assert!(softmax_error(&row, &r) < 0.01);
+    }
+}

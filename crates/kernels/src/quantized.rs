@@ -1,0 +1,202 @@
+//! Int8-quantized attention: the §7 orthogonality claim at the numerical
+//! level. FLAT is a dataflow; quantization is a model-level compression —
+//! this module runs the *same fused row-tiled execution* over int8 tensors
+//! (per-tensor symmetric scales, i32 accumulation, fp32 softmax) and
+//! measures what the precision costs, proving the two techniques compose
+//! without interfering.
+
+use crate::{softmax_row, Mask, Mat, MultiHeadInput};
+
+/// A symmetric per-tensor int8 quantization of a matrix.
+#[derive(Debug, Clone)]
+pub struct QuantizedMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    /// Dequantization scale: `real ≈ q · scale`.
+    pub scale: f32,
+}
+
+impl QuantizedMat {
+    /// Quantizes `m` symmetrically to int8.
+    #[must_use]
+    pub fn quantize(m: &Mat) -> Self {
+        let max = m.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+        QuantizedMat {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect(),
+            scale,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Quantized element at `(i, j)`.
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize) -> i8 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Integer GEMM `self · otherᵀ` with i32 accumulation, dequantized to
+    /// f32 via the product of the two scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the contraction dimensions differ.
+    #[must_use]
+    pub fn matmul_transposed_dequant(&self, other: &QuantizedMat) -> Mat {
+        assert_eq!(self.cols, other.cols, "contraction dimensions must agree");
+        let s = self.scale * other.scale;
+        Mat::from_fn(self.rows, other.rows, |i, j| {
+            let mut acc: i32 = 0;
+            for k in 0..self.cols {
+                acc += i32::from(self.at(i, k)) * i32::from(other.at(j, k));
+            }
+            acc as f32 * s
+        })
+    }
+}
+
+/// FLAT row-tiled attention over int8-quantized Q/K/V: integer logit
+/// GEMM, fp32 softmax in the slice, integer attend GEMM (with the
+/// softmaxed probabilities requantized to int8), fp32 output.
+///
+/// # Panics
+///
+/// Panics if `rows_per_tile` is zero.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::{naive_attention, quantized_flat_attention, Mask, MultiHeadInput};
+///
+/// let input = MultiHeadInput::random(1, 2, 32, 32, 8, 5);
+/// let q8 = quantized_flat_attention(&input, 8, Mask::None);
+/// let f32 = naive_attention(&input, Mask::None);
+/// // Int8 attention tracks fp32 to a few percent of the value range.
+/// assert!(q8[0].max_abs_diff(&f32[0]) < 0.1);
+/// ```
+#[must_use]
+pub fn quantized_flat_attention(
+    input: &MultiHeadInput,
+    rows_per_tile: usize,
+    mask: Mask,
+) -> Vec<Mat> {
+    assert!(rows_per_tile > 0, "row tile must be positive");
+    let scale = input.scale();
+    (0..input.groups())
+        .map(|g| {
+            let q = QuantizedMat::quantize(&input.q[g]);
+            let k = QuantizedMat::quantize(&input.k[g]);
+            let v = QuantizedMat::quantize(&input.v[g]);
+            let mut out = Mat::zeros(input.seq_q, input.dk);
+            let mut row_lo = 0;
+            while row_lo < input.seq_q {
+                let row_hi = (row_lo + rows_per_tile).min(input.seq_q);
+                // Stage L: integer GEMM on the quantized slice.
+                let q_ref = &q;
+                let q_slice = QuantizedMat {
+                    rows: row_hi - row_lo,
+                    cols: input.dk,
+                    data: (row_lo..row_hi)
+                        .flat_map(|i| (0..input.dk).map(move |j| q_ref.at(i, j)))
+                        .collect(),
+                    scale: q.scale,
+                };
+                let mut tile = q_slice.matmul_transposed_dequant(&k);
+                for i in 0..tile.rows() {
+                    for j in 0..tile.cols() {
+                        let val = tile.at(i, j) * scale;
+                        tile.set(
+                            i,
+                            j,
+                            if mask.allows(row_lo + i, j) { val } else { f32::NEG_INFINITY },
+                        );
+                    }
+                }
+                // SFU: fp32 softmax (probabilities need the dynamic range).
+                for i in 0..tile.rows() {
+                    softmax_row(tile.row_mut(i));
+                }
+                // Stage A: requantize the probabilities, integer GEMM with V.
+                let p = QuantizedMat::quantize(&tile);
+                for i in 0..p.rows() {
+                    for d in 0..input.dk {
+                        let mut acc: i32 = 0;
+                        for j in 0..input.seq_kv {
+                            acc += i32::from(p.at(i, j)) * i32::from(v.at(j, d));
+                        }
+                        out.set(row_lo + i, d, acc as f32 * p.scale * v.scale);
+                    }
+                }
+                row_lo = row_hi;
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_attention;
+
+    #[test]
+    fn quantization_round_trips_within_scale() {
+        let m = Mat::from_fn(8, 8, |i, j| ((i * 8 + j) as f32 - 32.0) / 7.0);
+        let q = QuantizedMat::quantize(&m);
+        for i in 0..8 {
+            for j in 0..8 {
+                let deq = f32::from(q.at(i, j)) * q.scale;
+                assert!((deq - m.at(i, j)).abs() <= q.scale, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_attention_tracks_fp32() {
+        let input = MultiHeadInput::random(2, 2, 48, 48, 8, 17);
+        let exact = naive_attention(&input, Mask::None);
+        let q8 = quantized_flat_attention(&input, 16, Mask::None);
+        for (e, q) in exact.iter().zip(&q8) {
+            let d = e.max_abs_diff(q);
+            assert!(d < 0.08, "int8 deviation {d}");
+        }
+    }
+
+    #[test]
+    fn tile_size_does_not_change_quantized_result_much() {
+        let input = MultiHeadInput::random(1, 1, 32, 32, 4, 19);
+        let a = quantized_flat_attention(&input, 4, Mask::None);
+        let b = quantized_flat_attention(&input, 32, Mask::None);
+        // Per-slice requantization makes tiles differ slightly, bounded by
+        // a couple of quantization steps.
+        assert!(a[0].max_abs_diff(&b[0]) < 0.1);
+    }
+
+    #[test]
+    fn causal_masking_survives_quantization() {
+        let input = MultiHeadInput::random(1, 1, 12, 12, 4, 23);
+        let exact = naive_attention(&input, Mask::Causal);
+        let q8 = quantized_flat_attention(&input, 4, Mask::Causal);
+        assert!(exact[0].max_abs_diff(&q8[0]) < 0.1);
+        // Row 0 attends only to key 0 in both.
+        for d in 0..4 {
+            assert!((q8[0].at(0, d) - input.v[0].at(0, d)).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_safely() {
+        let z = Mat::zeros(4, 4);
+        let q = QuantizedMat::quantize(&z);
+        assert_eq!(q.scale, 1.0);
+        assert!(q.data.iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Key-dimension streaming attention (online softmax) — the extension
+//! beyond FLAT's row granularity.
+//!
+//! FLAT's finest slice is a complete logit row, because exact softmax
+//! reduces along the key dimension (§4.2.1). The online-softmax rescaling
+//! trick relaxes even that: logit *columns* can be produced in chunks and
+//! consumed immediately, shrinking the live slice from `R × N` to
+//! `R × C`. This module implements that execution as the natural
+//! future-work direction (it is the algorithmic core FlashAttention later
+//! built on), and the tests prove it equivalent to the exact computation.
+
+use crate::{Mask, Mat, MultiHeadInput, OnlineSoftmax};
+
+/// Streaming attention: tiles of `rows_per_tile × kv_tile` logits are
+/// produced and folded into a running output with online-softmax
+/// rescaling. No logit row is ever complete in memory.
+///
+/// # Panics
+///
+/// Panics if either tile extent is zero.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::{naive_attention, streaming_attention, Mask, MultiHeadInput};
+///
+/// let input = MultiHeadInput::random(1, 1, 16, 16, 8, 5);
+/// let streamed = streaming_attention(&input, 4, 4, Mask::None);
+/// let exact = naive_attention(&input, Mask::None);
+/// assert!(streamed[0].max_abs_diff(&exact[0]) < 1e-4);
+/// ```
+#[must_use]
+pub fn streaming_attention(
+    input: &MultiHeadInput,
+    rows_per_tile: usize,
+    kv_tile: usize,
+    mask: Mask,
+) -> Vec<Mat> {
+    assert!(rows_per_tile > 0 && kv_tile > 0, "tile extents must be positive");
+    let scale = input.scale();
+    (0..input.groups())
+        .map(|g| {
+            let q = &input.q[g];
+            let k = &input.k[g];
+            let v = &input.v[g];
+            let mut out = Mat::zeros(input.seq_q, input.dk);
+            let mut row_lo = 0;
+            while row_lo < input.seq_q {
+                let row_hi = (row_lo + rows_per_tile).min(input.seq_q);
+                // Per-row online state and unnormalized accumulators.
+                let mut states = vec![OnlineSoftmax::new(); row_hi - row_lo];
+                let mut acc = Mat::zeros(row_hi - row_lo, input.dk);
+                let mut col_lo = 0;
+                while col_lo < input.seq_kv {
+                    let col_hi = (col_lo + kv_tile).min(input.seq_kv);
+                    for (r, state) in states.iter_mut().enumerate() {
+                        let qi = row_lo + r;
+                        // Chunk of this row's logits.
+                        let chunk: Vec<f32> = (col_lo..col_hi)
+                            .map(|j| {
+                                if mask.allows(qi, j) {
+                                    q.row(qi)
+                                        .iter()
+                                        .zip(k.row(j))
+                                        .map(|(a, b)| a * b)
+                                        .sum::<f32>()
+                                        * scale
+                                } else {
+                                    f32::NEG_INFINITY
+                                }
+                            })
+                            .collect();
+                        let rescale = state.absorb(&chunk);
+                        for d in 0..input.dk {
+                            let mut a = acc.at(r, d) * rescale;
+                            for (off, &x) in chunk.iter().enumerate() {
+                                let w = state.weight(x);
+                                if w > 0.0 {
+                                    a += w * v.at(col_lo + off, d);
+                                }
+                            }
+                            acc.set(r, d, a);
+                        }
+                    }
+                    col_lo = col_hi;
+                }
+                for (r, state) in states.iter().enumerate() {
+                    let inv = 1.0 / state.normalizer();
+                    for d in 0..input.dk {
+                        out.set(row_lo + r, d, acc.at(r, d) * inv);
+                    }
+                }
+                row_lo = row_hi;
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_attention;
+
+    fn assert_matches_naive(input: &MultiHeadInput, rows: usize, cols: usize, mask: Mask) {
+        let streamed = streaming_attention(input, rows, cols, mask);
+        let exact = naive_attention(input, mask);
+        for (g, (s, e)) in streamed.iter().zip(&exact).enumerate() {
+            let d = s.max_abs_diff(e);
+            assert!(d < 1e-4, "group {g}, tile {rows}x{cols}: diff {d}");
+        }
+    }
+
+    #[test]
+    fn equivalent_across_kv_tilings() {
+        let input = MultiHeadInput::random(1, 2, 12, 20, 8, 31);
+        for cols in [1, 3, 7, 20, 64] {
+            assert_matches_naive(&input, 4, cols, Mask::None);
+        }
+    }
+
+    #[test]
+    fn equivalent_under_causal_mask() {
+        let input = MultiHeadInput::random(1, 1, 10, 10, 4, 37);
+        assert_matches_naive(&input, 3, 4, Mask::Causal);
+    }
+
+    #[test]
+    fn single_element_tiles_still_exact() {
+        let input = MultiHeadInput::random(1, 1, 6, 6, 2, 41);
+        assert_matches_naive(&input, 1, 1, Mask::None);
+    }
+
+    #[test]
+    fn matches_flat_execution_too() {
+        let input = MultiHeadInput::random(2, 2, 16, 16, 4, 43);
+        let streamed = streaming_attention(&input, 4, 8, Mask::None);
+        let flat = crate::flat_attention(&input, 4, Mask::None);
+        for (s, f) in streamed.iter().zip(&flat) {
+            assert!(s.max_abs_diff(f) < 1e-4);
+        }
+    }
+}

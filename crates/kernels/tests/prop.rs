@@ -1,0 +1,102 @@
+//! Property tests: the correctness theorem behind FLAT.
+//!
+//! For every shape, tile size, and mask, the fused row-tiled execution and
+//! the streaming (online-softmax) execution agree with the naive baseline
+//! that materializes the full logit tensor.
+
+use flat_kernels::{
+    flat_attention, naive_attention, softmax_row, streaming_attention, Mask, MultiHeadInput,
+};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize, usize, usize, u64)> {
+    // (batch, heads, seq_q, seq_kv, dk, seed)
+    (1usize..3, 1usize..4, 1usize..24, 1usize..24, 1usize..12, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FLAT's fused row-tiled execution ≡ naive attention, ∀ shapes and R.
+    #[test]
+    fn fused_equals_naive((b, h, nq, nkv, dk, seed) in dims(), rows in 1usize..32) {
+        let input = MultiHeadInput::random(b, h, nq, nkv, dk, seed);
+        let naive = naive_attention(&input, Mask::None);
+        let fused = flat_attention(&input, rows, Mask::None);
+        for (f, n) in fused.iter().zip(&naive) {
+            prop_assert!(f.max_abs_diff(n) < 1e-4);
+        }
+    }
+
+    /// Same theorem under a causal mask (decoder workloads).
+    #[test]
+    fn fused_equals_naive_causal((b, h, n, _unused, dk, seed) in dims(), rows in 1usize..32) {
+        let input = MultiHeadInput::random(b, h, n, n, dk, seed);
+        let naive = naive_attention(&input, Mask::Causal);
+        let fused = flat_attention(&input, rows, Mask::Causal);
+        for (f, n) in fused.iter().zip(&naive) {
+            prop_assert!(f.max_abs_diff(n) < 1e-4);
+        }
+    }
+
+    /// Streaming (online softmax, key-dimension tiling) ≡ naive attention.
+    #[test]
+    fn streaming_equals_naive(
+        (b, h, nq, nkv, dk, seed) in dims(),
+        rows in 1usize..16,
+        cols in 1usize..16,
+    ) {
+        let input = MultiHeadInput::random(b, h, nq, nkv, dk, seed);
+        let naive = naive_attention(&input, Mask::None);
+        let streamed = streaming_attention(&input, rows, cols, Mask::None);
+        for (s, n) in streamed.iter().zip(&naive) {
+            prop_assert!(s.max_abs_diff(n) < 1e-3);
+        }
+    }
+
+    /// Softmax outputs are a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_a_distribution(row in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let mut r = row;
+        softmax_row(&mut r);
+        let sum: f32 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(r.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+    }
+
+    /// Softmax is invariant under a constant shift of the logits.
+    #[test]
+    fn softmax_shift_invariant(
+        row in proptest::collection::vec(-20.0f32..20.0, 1..32),
+        shift in -100.0f32..100.0,
+    ) {
+        let mut a = row.clone();
+        let mut b: Vec<f32> = row.iter().map(|v| v + shift).collect();
+        softmax_row(&mut a);
+        softmax_row(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Attention outputs lie in the convex hull of the value rows: their
+    /// per-column extrema are bounded by the values' extrema.
+    #[test]
+    fn outputs_in_value_hull((b, h, nq, nkv, dk, seed) in dims()) {
+        let input = MultiHeadInput::random(b, h, nq, nkv, dk, seed);
+        let out = naive_attention(&input, Mask::None);
+        for (g, o) in out.iter().enumerate() {
+            for d in 0..dk {
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for j in 0..nkv {
+                    lo = lo.min(input.v[g].at(j, d));
+                    hi = hi.max(input.v[g].at(j, d));
+                }
+                for i in 0..nq {
+                    let v = o.at(i, d);
+                    prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Block-level simulation: the fused L-A pipeline plus the sequential
+//! projections and FFN, end to end — the simulator counterpart of
+//! `CostModel::block_cost` and the Figure 11 breakdown.
+
+use crate::{simulate_fused, simulate_sequential, SimOptions, SimReport};
+use flat_arch::Accelerator;
+use flat_core::{gemm_compute, gemm_onchip_traffic, BlockDataflow, LaExecution, Stationarity};
+use flat_workloads::{AttentionBlock, OpCategory};
+
+/// Simulates one non-fused operator as a fetch/compute/write-back pipeline
+/// at whole-operator granularity (projections and FCs are weight-reuse
+/// friendly; slice-level detail changes little).
+fn simulate_operator(
+    accel: &Accelerator,
+    op: &flat_workloads::Operator,
+    e: f64,
+    opts: SimOptions,
+) -> f64 {
+    let gemm = op.gemm;
+    let fill = accel.noc.fill_latency(accel.pe) as f64;
+    let comp = gemm_compute(&gemm, Stationarity::Weight, accel).steps as f64 + fill;
+    let sg = gemm_onchip_traffic(&gemm, Stationarity::Weight, accel).total() as f64 * e
+        / accel.onchip_bytes_per_cycle();
+    let dur = comp.max(sg);
+    let t_in =
+        (gemm.a_elements() + gemm.b_elements()) as f64 * e / accel.offchip_bytes_per_cycle();
+    let t_out = gemm.c_elements() as f64 * e / accel.offchip_bytes_per_cycle();
+    // With double buffering the transfers overlap the streaming compute;
+    // without it, the three stages serialize.
+    if opts.double_buffered {
+        dur.max(t_in).max(t_out) + fill
+    } else {
+        t_in + dur + t_out
+    }
+}
+
+/// Per-category simulated cycles for one attention block — the Figure 11
+/// stack, from the event simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSim {
+    /// The L-A pair's simulation.
+    pub logit_attend: SimReport,
+    /// Simulated cycles of the four projections.
+    pub projection_cycles: f64,
+    /// Simulated cycles of the FFN pair.
+    pub feed_forward_cycles: f64,
+}
+
+impl BlockSim {
+    /// Total block cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.logit_attend.cycles + self.projection_cycles + self.feed_forward_cycles
+    }
+}
+
+/// Simulates a whole block under `df`: the L-A pair through the fused or
+/// sequential pipeline simulator, everything else as operator pipelines.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Accelerator;
+/// use flat_core::{BlockDataflow, CostModel, Granularity};
+/// use flat_sim::{simulate_block, SimOptions};
+/// use flat_workloads::Model;
+///
+/// let accel = Accelerator::edge();
+/// let block = Model::bert().block(64, 512);
+/// let df = BlockDataflow::flat(Granularity::Row(64));
+/// let sim = simulate_block(&accel, &block, &df, SimOptions::default());
+/// let model = CostModel::new(&accel).block_cost(&block, &df).total();
+/// let ratio = sim.total_cycles() / model.cycles;
+/// assert!(ratio > 0.6 && ratio < 1.6, "block-level agreement: {ratio}");
+/// ```
+#[must_use]
+pub fn simulate_block(
+    accel: &Accelerator,
+    block: &AttentionBlock,
+    df: &BlockDataflow,
+    opts: SimOptions,
+) -> BlockSim {
+    let e = block.config().dtype.size_bytes() as f64;
+    let logit_attend = match &df.la {
+        LaExecution::Fused(fused) => simulate_fused(accel, block, fused, opts),
+        LaExecution::Sequential { .. } => simulate_sequential(accel, block, opts),
+    };
+    let sum = |cat: OpCategory| -> f64 {
+        block
+            .operators_in_category(cat)
+            .map(|op| simulate_operator(accel, op, e, opts))
+            .sum()
+    };
+    BlockSim {
+        logit_attend,
+        projection_cycles: sum(OpCategory::Projection),
+        feed_forward_cycles: sum(OpCategory::FeedForward),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_core::{CostModel, Granularity};
+    use flat_workloads::Model;
+
+    #[test]
+    fn block_sim_tracks_block_cost() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(64))] {
+            let sim = simulate_block(&accel, &block, &df, SimOptions::default());
+            let model = CostModel::new(&accel).block_cost(&block, &df).total();
+            let ratio = sim.total_cycles() / model.cycles;
+            assert!((0.5..2.0).contains(&ratio), "{}: ratio {ratio}", df.label());
+        }
+    }
+
+    #[test]
+    fn la_dominates_block_sim_at_long_seq() {
+        let accel = Accelerator::cloud();
+        let block = Model::xlm().block(64, 16_384);
+        let sim =
+            simulate_block(&accel, &block, &BlockDataflow::base(), SimOptions::default());
+        assert!(
+            sim.logit_attend.cycles
+                > 2.0 * (sim.projection_cycles + sim.feed_forward_cycles)
+        );
+    }
+
+    #[test]
+    fn fused_block_beats_base_block() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 4096);
+        let base =
+            simulate_block(&accel, &block, &BlockDataflow::base(), SimOptions::default());
+        let flat = simulate_block(
+            &accel,
+            &block,
+            &BlockDataflow::flat(Granularity::Row(64)),
+            SimOptions::default(),
+        );
+        assert!(flat.total_cycles() < base.total_cycles());
+    }
+}

@@ -1,0 +1,344 @@
+//! Event simulation of the fused (interleaved) FLAT execution.
+
+use crate::{Resource, ResourceUsage, SimOptions, SimReport};
+use flat_arch::Accelerator;
+use flat_core::{gemm_compute, gemm_onchip_traffic, FusedDataflow, FusedSlices};
+use flat_tensor::Gemm;
+use flat_workloads::AttentionBlock;
+
+/// Simulates the fused L-A execution tile by tile.
+///
+/// Each cross-loop iteration becomes four jobs with explicit dependencies:
+///
+/// * `FETCH_i` on the DRAM link — the iteration's staged inputs (Q slice
+///   every iteration; K/V slices only when the head changes, since row
+///   iterations reuse them in place). With double buffering, `FETCH_{i+1}`
+///   may start as soon as iteration `i` begins consuming its buffer.
+/// * `L_i` on the PE array — needs `FETCH_i` and a free logit-slice slot.
+/// * `SM_i` on the SFU — needs `L_i`.
+/// * `A_i` on the PE array — needs `SM_i`; its output write-back `WB_i`
+///   follows on the DRAM link.
+///
+/// The PE array serves jobs in software-pipelined order (`L_0, L_1, A_0,
+/// L_2, A_1, …`) when the options grant two slice buffers, or strictly
+/// (`L_i, A_i`) with one. A slice that exceeds the scratchpad spills its
+/// overflow across the DRAM link around the softmax, exactly as the
+/// analytical model charges it.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Accelerator;
+/// use flat_core::{FusedDataflow, Granularity};
+/// use flat_sim::{simulate_fused, SimOptions};
+/// use flat_workloads::Model;
+///
+/// let accel = Accelerator::edge();
+/// let block = Model::bert().block(64, 512);
+/// let report = simulate_fused(
+///     &accel, &block, &FusedDataflow::new(Granularity::Row(64)), SimOptions::default(),
+/// );
+/// assert!(report.util() > 0.8);
+/// ```
+#[must_use]
+pub fn simulate_fused(
+    accel: &Accelerator,
+    block: &AttentionBlock,
+    df: &FusedDataflow,
+    opts: SimOptions,
+) -> SimReport {
+    let cfg = *block.config();
+    let e = cfg.dtype.size_bytes() as f64;
+    let s = FusedSlices::new(df.granularity, &cfg);
+    let dk = cfg.dk();
+
+    let l_sub = Gemm::new(s.groups, s.rows, dk, cfg.seq_kv);
+    let a_sub = Gemm::new(s.groups, s.rows, cfg.seq_kv, dk);
+    let fill = accel.noc.fill_latency(accel.pe) as f64;
+    let on_bpc = accel.onchip_bytes_per_cycle();
+    let off_bpc = accel.offchip_bytes_per_cycle();
+
+    // Stage durations: PE streaming bounded below by the stage's SG
+    // traffic over the on-chip link.
+    let stage = |gemm: &Gemm, stat| -> f64 {
+        let comp = gemm_compute(gemm, stat, accel).steps as f64 + fill;
+        let sg = gemm_onchip_traffic(gemm, stat, accel).total() as f64 * e / on_bpc;
+        comp.max(sg)
+    };
+    let dur_l = stage(&l_sub, df.stationarity_l);
+    let dur_a = stage(&a_sub, df.stationarity_a);
+    let dur_sm = accel.sfu.softmax_cycles(s.intermediate) as f64;
+
+    // Per-iteration transfer bytes.
+    let q_bytes = s.query as f64 * e;
+    let kv_bytes = (s.key + s.value) as f64 * e;
+    let o_bytes = s.output as f64 * e;
+    // Slice spill: whatever of the logit slice exceeds the SG (minus a
+    // small working-set share) crosses DRAM twice per iteration.
+    let slice_bytes = s.intermediate as f64 * e;
+    let avail = accel.sg.as_f64() * 0.75 - kv_bytes;
+    let spill_bytes = (slice_bytes - avail.max(0.0)).max(0.0).min(slice_bytes);
+
+    let row_iters_per_head = cfg.seq_q.div_ceil(s.rows).max(1);
+    let total_iters = s.iterations;
+    let sim_iters = total_iters.min(opts.max_simulated_iterations.max(4));
+
+    let mut pe = Resource::new("pe");
+    let mut sfu = Resource::new("sfu");
+    let mut dram = Resource::new("dram");
+
+    let n = sim_iters as usize;
+    let mut fetch_done = vec![0.0f64; n];
+    let mut l_start = vec![0.0f64; n];
+    let mut sm_done = vec![0.0f64; n];
+    let mut a_done = vec![0.0f64; n];
+    // Software pipelining needs both double buffering and a second slice
+    // slot; without either, stages run strictly in order.
+    let pipelined_slots =
+        if opts.slice_buffers >= 2 && opts.double_buffered { 2usize } else { 1 };
+
+    let mut trace: Vec<crate::TraceEvent> = Vec::new();
+    let record = |trace: &mut Vec<crate::TraceEvent>, name: String, resource: &str, end: f64, dur: f64| {
+        // Guard: a runaway trace of a huge simulation is useless and big.
+        if opts.record_trace && trace.len() < 200_000 {
+            trace.push(crate::TraceEvent { name, resource: resource.to_owned(), start: end - dur, end });
+        }
+    };
+
+    let submit_a = |i: usize,
+                    pe: &mut Resource,
+                    dram: &mut Resource,
+                    sm_done: &[f64],
+                    a_done: &mut [f64],
+                    trace: &mut Vec<crate::TraceEvent>| {
+        // Spilled slice must be read back before A consumes it.
+        let ready = if spill_bytes > 0.0 {
+            let d = spill_bytes / off_bpc;
+            let done = dram.acquire_backfill(sm_done[i], d);
+            record(trace, format!("SPILL-IN {i}"), "dram", done, d);
+            done
+        } else {
+            sm_done[i]
+        };
+        a_done[i] = pe.acquire(ready, dur_a);
+        record(trace, format!("A {i}"), "pe", a_done[i], dur_a);
+        let wb = dram.acquire_backfill(a_done[i], o_bytes / off_bpc);
+        record(trace, format!("WB {i}"), "dram", wb, o_bytes / off_bpc);
+    };
+
+    for i in 0..n {
+        // FETCH_i: K/V refresh only on head boundaries.
+        let bytes =
+            q_bytes + if (i as u64).is_multiple_of(row_iters_per_head) { kv_bytes } else { 0.0 };
+        let release = if opts.double_buffered {
+            if i >= 1 {
+                l_start[i - 1]
+            } else {
+                0.0
+            }
+        } else if i >= 1 {
+            a_done[i - 1]
+        } else {
+            0.0
+        };
+        fetch_done[i] = dram.acquire_backfill(release, bytes / off_bpc);
+        record(&mut trace, format!("FETCH {i}"), "dram", fetch_done[i], bytes / off_bpc);
+
+        // L_i: needs its inputs and a free slice slot.
+        let slot_free = if i >= pipelined_slots { a_done[i - pipelined_slots] } else { 0.0 };
+        let l_done = {
+            let start_ready = fetch_done[i].max(slot_free);
+            let done = pe.acquire(start_ready, dur_l);
+            l_start[i] = done - dur_l;
+            done
+        };
+        record(&mut trace, format!("L {i}"), "pe", l_done, dur_l);
+
+        // Spilled slice writes out after L.
+        let l_out = if spill_bytes > 0.0 {
+            let d = spill_bytes / off_bpc;
+            let done = dram.acquire_backfill(l_done, d);
+            record(&mut trace, format!("SPILL-OUT {i}"), "dram", done, d);
+            done
+        } else {
+            l_done
+        };
+        sm_done[i] = sfu.acquire(l_out, dur_sm);
+        record(&mut trace, format!("SM {i}"), "sfu", sm_done[i], dur_sm);
+
+        // With two slots, A_{i-1} is submitted after L_i (software
+        // pipelining); with one, A_i follows immediately.
+        if pipelined_slots == 2 {
+            if i >= 1 {
+                submit_a(i - 1, &mut pe, &mut dram, &sm_done, &mut a_done, &mut trace);
+            }
+        } else {
+            submit_a(i, &mut pe, &mut dram, &sm_done, &mut a_done, &mut trace);
+        }
+    }
+    if pipelined_slots == 2 && n >= 1 {
+        submit_a(n - 1, &mut pe, &mut dram, &sm_done, &mut a_done, &mut trace);
+    }
+
+    let sim_end = pe.next_free().max(sfu.next_free()).max(dram.next_free());
+
+    // Extrapolate the steady state when the workload exceeds the cap.
+    let (cycles, extrapolated) = if total_iters > sim_iters {
+        let half = (n / 2).max(1);
+        let rate = (sim_end - a_done[half - 1]) / (n - half).max(1) as f64;
+        (sim_end + rate * (total_iters - sim_iters) as f64, true)
+    } else {
+        (sim_end, false)
+    };
+
+    let scale = total_iters as f64 / sim_iters as f64;
+    let ideal = (2 * cfg.batch * cfg.seq_q * cfg.seq_kv * cfg.hidden) as f64
+        / accel.peak_macs_per_cycle() as f64;
+    SimReport {
+        cycles,
+        ideal_cycles: ideal,
+        resources: [&pe, &sfu, &dram]
+            .into_iter()
+            .map(|r| ResourceUsage {
+                name: r.name().to_owned(),
+                busy_cycles: r.busy_cycles() * scale,
+                occupancy: r.occupancy(sim_end),
+            })
+            .collect(),
+        simulated_iterations: sim_iters,
+        total_iterations: total_iters,
+        extrapolated,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_core::Granularity;
+    use flat_workloads::Model;
+
+    #[test]
+    fn trace_records_every_job_kind() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(1, 64);
+        let r = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(16)),
+            SimOptions { record_trace: true, ..SimOptions::default() },
+        );
+        assert!(!r.trace.is_empty());
+        for kind in ["FETCH", "L ", "SM", "A ", "WB"] {
+            assert!(
+                r.trace.iter().any(|e| e.name.starts_with(kind)),
+                "missing {kind} events"
+            );
+        }
+        // Events never run backwards, and the Chrome export is valid JSON.
+        for e in &r.trace {
+            assert!(e.end >= e.start);
+        }
+        let json = r.to_chrome_trace();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn trace_is_empty_by_default() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(1, 64);
+        let r = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(16)),
+            SimOptions::default(),
+        );
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn compute_bound_case_tracks_ideal() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let r = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(64)),
+            SimOptions::default(),
+        );
+        assert!(r.util() > 0.85, "util = {}", r.util());
+        assert!(r.cycles >= r.ideal_cycles);
+    }
+
+    #[test]
+    fn single_slice_buffer_exposes_softmax() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let two = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(16)),
+            SimOptions::default(),
+        );
+        let one = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(16)),
+            SimOptions { slice_buffers: 1, ..SimOptions::default() },
+        );
+        assert!(one.cycles >= two.cycles, "{} < {}", one.cycles, two.cycles);
+    }
+
+    #[test]
+    fn no_double_buffering_serializes_fetches() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        // Fully simulate (no extrapolation) so the comparison is exact.
+        let opts = SimOptions { max_simulated_iterations: 10_000, ..SimOptions::default() };
+        let with =
+            simulate_fused(&accel, &block, &FusedDataflow::new(Granularity::Row(64)), opts);
+        let without = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(64)),
+            SimOptions { double_buffered: false, ..opts },
+        );
+        assert!(!with.extrapolated);
+        assert!(without.cycles > with.cycles, "{} <= {}", without.cycles, with.cycles);
+    }
+
+    #[test]
+    fn extrapolation_kicks_in_beyond_cap() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 4096);
+        let r = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(4)),
+            SimOptions { max_simulated_iterations: 256, ..SimOptions::default() },
+        );
+        assert!(r.extrapolated);
+        assert_eq!(r.simulated_iterations, 256);
+        assert!(r.total_iterations > 256);
+        assert!(r.cycles > 0.0);
+    }
+
+    #[test]
+    fn resource_occupancies_are_sane() {
+        let accel = Accelerator::cloud();
+        let block = Model::xlm().block(64, 4096);
+        let r = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(1024)),
+            SimOptions::default(),
+        );
+        for u in &r.resources {
+            assert!((0.0..=1.0).contains(&u.occupancy), "{}: {}", u.name, u.occupancy);
+        }
+        // The PE array dominates in this compute-friendly regime.
+        let pe = r.resources.iter().find(|u| u.name == "pe").unwrap();
+        assert!(pe.occupancy > 0.5);
+    }
+}

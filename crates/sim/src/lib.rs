@@ -1,0 +1,74 @@
+//! Discrete-event pipeline simulator for FLAT dataflows.
+//!
+//! The analytical cost model in `flat-core` aggregates execution into
+//! closed-form phase maxima; this crate *executes* the same dataflows as a
+//! job graph over serially shared resources (PE array, SFU, DRAM link)
+//! with explicit dependencies, double-buffer slots, and link arbitration —
+//! the SCALE-Sim-class counterpart the paper's cost-model family is built
+//! on. Cross-validating the two (see `tests/` and the `sim_vs_model`
+//! bench) is the repository's answer to "why should I trust the
+//! closed-form numbers?".
+//!
+//! # Example
+//!
+//! ```
+//! use flat_arch::Accelerator;
+//! use flat_core::{CostModel, FusedDataflow, Granularity};
+//! use flat_sim::{simulate_fused, SimOptions};
+//! use flat_workloads::Model;
+//!
+//! let accel = Accelerator::edge();
+//! let block = Model::bert().block(64, 512);
+//! let df = FusedDataflow::new(Granularity::Row(64));
+//!
+//! let simulated = simulate_fused(&accel, &block, &df, SimOptions::default());
+//! let analytical = CostModel::new(&accel).fused_la_cost(&block, &df);
+//!
+//! let ratio = simulated.cycles / analytical.cycles;
+//! assert!(ratio > 0.7 && ratio < 1.4, "the two models agree: {ratio}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod fused;
+mod report;
+mod resource;
+mod sequential;
+
+pub use block::{simulate_block, BlockSim};
+pub use fused::simulate_fused;
+pub use report::{ResourceUsage, SimReport, TraceEvent};
+pub use resource::Resource;
+pub use sequential::simulate_sequential;
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Overlap the next tile's fetch with the current tile's execution.
+    pub double_buffered: bool,
+    /// Logit-slice buffers in the SG: 2 lets the SFU softmax tile `i`
+    /// while the PE array computes `L_{i+1}`; 1 serializes the stages
+    /// strictly.
+    pub slice_buffers: u32,
+    /// Event-simulation cap; longer workloads extrapolate the measured
+    /// steady-state rate.
+    pub max_simulated_iterations: u64,
+    /// Record every job into [`SimReport::trace`] (for Chrome trace
+    /// export). Off by default — traces of long runs are large.
+    pub record_trace: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            double_buffered: true,
+            slice_buffers: 2,
+            max_simulated_iterations: 4096,
+            record_trace: false,
+        }
+    }
+}

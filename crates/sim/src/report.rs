@@ -1,0 +1,126 @@
+//! Simulation outputs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Busy time of one simulated resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Resource name (`"pe"`, `"sfu"`, `"dram"`).
+    pub name: String,
+    /// Cycles spent serving jobs.
+    pub busy_cycles: f64,
+    /// Busy fraction of the makespan.
+    pub occupancy: f64,
+}
+
+/// One recorded job, for trace export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Job label (`"L 3"`, `"FETCH 4"`, `"softmax 3"`, …).
+    pub name: String,
+    /// The resource that served it (`"pe"`, `"sfu"`, `"dram"`).
+    pub resource: String,
+    /// Start cycle.
+    pub start: f64,
+    /// End cycle.
+    pub end: f64,
+}
+
+/// Outcome of a discrete-event simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated end-to-end runtime in cycles (extrapolated past the
+    /// simulation cap when noted).
+    pub cycles: f64,
+    /// Ideal runtime with fully utilized PEs.
+    pub ideal_cycles: f64,
+    /// Per-resource usage over the simulated window.
+    pub resources: Vec<ResourceUsage>,
+    /// Iterations actually event-simulated.
+    pub simulated_iterations: u64,
+    /// Iterations the workload needs in total.
+    pub total_iterations: u64,
+    /// True when `cycles` extends the simulated window at the measured
+    /// steady-state rate.
+    pub extrapolated: bool,
+    /// Recorded jobs (empty unless `SimOptions::record_trace`).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Compute-resource utilization, same definition as the analytical
+    /// model (§6.1).
+    #[must_use]
+    pub fn util(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            1.0
+        } else {
+            (self.ideal_cycles / self.cycles).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Renders the recorded trace as Chrome trace-event JSON (the format
+    /// `chrome://tracing` and Perfetto load): complete events (`ph: "X"`)
+    /// with one thread row per hardware resource and cycles as
+    /// microseconds.
+    ///
+    /// Returns an empty event array when nothing was recorded.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in self.trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let tid = match ev.resource.as_str() {
+                "pe" => 1,
+                "sfu" => 2,
+                _ => 3,
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                ev.name,
+                ev.resource,
+                ev.start,
+                (ev.end - ev.start).max(0.001),
+                tid
+            ));
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3e} cycles (util {:.3}{}), {} of {} iterations simulated",
+            self.cycles,
+            self.util(),
+            if self.extrapolated { ", extrapolated" } else { "" },
+            self.simulated_iterations,
+            self.total_iterations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn util_definition_matches_analytical() {
+        let r = SimReport {
+            cycles: 200.0,
+            ideal_cycles: 150.0,
+            resources: vec![],
+            simulated_iterations: 10,
+            total_iterations: 10,
+            extrapolated: false,
+            trace: vec![],
+        };
+        assert_eq!(r.util(), 0.75);
+    }
+}

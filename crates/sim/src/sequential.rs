@@ -1,0 +1,217 @@
+//! Event simulation of the sequential (baseline) L → softmax → A
+//! execution, at head-slice granularity.
+
+use crate::{Resource, ResourceUsage, SimOptions, SimReport};
+use flat_arch::Accelerator;
+use flat_core::{gemm_compute, gemm_onchip_traffic, Stationarity};
+use flat_tensor::Gemm;
+use flat_workloads::AttentionBlock;
+
+/// Simulates the streamed sequential baseline: the whole L operator runs
+/// (one job set per (batch, head) slice), then the softmax pass, then the
+/// whole A operator — the strict phase structure of Figure 4(a).
+///
+/// Per slice and phase: a DRAM fetch of the slice's inputs, a PE (or SFU)
+/// job, and a DRAM write-back of its outputs. The intermediate tensor
+/// round-trips DRAM between phases because a sequential execution cannot
+/// retain more than a scratchpad's worth of it.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Accelerator;
+/// use flat_sim::{simulate_sequential, SimOptions};
+/// use flat_workloads::Model;
+///
+/// let accel = Accelerator::edge();
+/// let block = Model::bert().block(64, 512);
+/// let report = simulate_sequential(&accel, &block, SimOptions::default());
+/// assert!(report.util() < 0.9, "the baseline stalls on the logit round trip");
+/// ```
+#[must_use]
+pub fn simulate_sequential(
+    accel: &Accelerator,
+    block: &AttentionBlock,
+    opts: SimOptions,
+) -> SimReport {
+    let cfg = *block.config();
+    let e = cfg.dtype.size_bytes() as f64;
+    let dk = cfg.dk();
+    let groups = cfg.batch * cfg.heads;
+    let on_bpc = accel.onchip_bytes_per_cycle();
+    let off_bpc = accel.offchip_bytes_per_cycle();
+    let fill = accel.noc.fill_latency(accel.pe) as f64;
+
+    // Per-(batch, head) sub-GEMMs.
+    let l_sub = Gemm::new(1, cfg.seq_q, dk, cfg.seq_kv);
+    let a_sub = Gemm::new(1, cfg.seq_q, cfg.seq_kv, dk);
+    let stage = |gemm: &Gemm, stat: Stationarity| -> f64 {
+        let comp = gemm_compute(gemm, stat, accel).steps as f64 + fill;
+        let sg = gemm_onchip_traffic(gemm, stat, accel).total() as f64 * e / on_bpc;
+        comp.max(sg)
+    };
+    let dur_l = stage(&l_sub, Stationarity::Output);
+    let dur_a = stage(&a_sub, Stationarity::Input);
+
+    let logit_slice = (cfg.seq_q * cfg.seq_kv) as f64 * e;
+    let qk_bytes = ((cfg.seq_q + cfg.seq_kv) * dk) as f64 * e;
+    let v_bytes = (cfg.seq_kv * dk) as f64 * e;
+    let o_bytes = (cfg.seq_q * dk) as f64 * e;
+    let dur_sm = accel.sfu.softmax_cycles(cfg.seq_q * cfg.seq_kv) as f64;
+
+    let total_iters = groups;
+    let sim_iters = total_iters.min(opts.max_simulated_iterations.max(4));
+    let n = sim_iters as usize;
+
+    let mut pe = Resource::new("pe");
+    let mut sfu = Resource::new("sfu");
+    let mut dram = Resource::new("dram");
+
+    let mut trace: Vec<crate::TraceEvent> = Vec::new();
+
+    // Each phase runs to completion over all slices before the next
+    // starts; within a phase, the next slice's fetch overlaps the current
+    // slice's compute when double-buffered.
+    let phase = |unit: &mut Resource,
+                 dram: &mut Resource,
+                 trace: &mut Vec<crate::TraceEvent>,
+                 label: &str,
+                 barrier: f64,
+                 in_bytes: f64,
+                 dur: f64,
+                 out_bytes: f64|
+     -> f64 {
+        let mut done = vec![barrier; n];
+        let mut fetch_done = vec![barrier; n];
+        for i in 0..n {
+            let release = if opts.double_buffered {
+                if i >= 1 {
+                    fetch_done[i - 1].max(barrier)
+                } else {
+                    barrier
+                }
+            } else if i >= 1 {
+                done[i - 1]
+            } else {
+                barrier
+            };
+            fetch_done[i] = dram.acquire_backfill(release, in_bytes / off_bpc);
+            done[i] = unit.acquire(fetch_done[i], dur);
+            if opts.record_trace && trace.len() < 200_000 {
+                trace.push(crate::TraceEvent {
+                    name: format!("{label}-FETCH {i}"),
+                    resource: "dram".to_owned(),
+                    start: fetch_done[i] - in_bytes / off_bpc,
+                    end: fetch_done[i],
+                });
+                trace.push(crate::TraceEvent {
+                    name: format!("{label} {i}"),
+                    resource: unit.name().to_owned(),
+                    start: done[i] - dur,
+                    end: done[i],
+                });
+            }
+            if out_bytes > 0.0 {
+                let wb = dram.acquire_backfill(done[i], out_bytes / off_bpc);
+                if opts.record_trace && trace.len() < 200_000 {
+                    trace.push(crate::TraceEvent {
+                        name: format!("{label}-WB {i}"),
+                        resource: "dram".to_owned(),
+                        start: wb - out_bytes / off_bpc,
+                        end: wb,
+                    });
+                }
+            }
+        }
+        done[n - 1].max(dram.next_free())
+    };
+
+    // Phase 1: L — fetch Q,K; compute; write the logit slice out.
+    let l_end = phase(&mut pe, &mut dram, &mut trace, "L", 0.0, qk_bytes, dur_l, logit_slice);
+    // Phase 2: softmax — read the slice, rewrite it.
+    let sm_end =
+        phase(&mut sfu, &mut dram, &mut trace, "SM", l_end, logit_slice, dur_sm, logit_slice);
+    // Phase 3: A — fetch the softmaxed slice and V; compute; write O.
+    let a_end = phase(
+        &mut pe,
+        &mut dram,
+        &mut trace,
+        "A",
+        sm_end,
+        logit_slice + v_bytes,
+        dur_a,
+        o_bytes,
+    );
+
+    let sim_end = a_end.max(dram.next_free());
+    let (cycles, extrapolated) = if total_iters > sim_iters {
+        (sim_end * total_iters as f64 / sim_iters as f64, true)
+    } else {
+        (sim_end, false)
+    };
+
+    let scale = total_iters as f64 / sim_iters as f64;
+    let ideal = (2 * cfg.batch * cfg.seq_q * cfg.seq_kv * cfg.hidden) as f64
+        / accel.peak_macs_per_cycle() as f64;
+    SimReport {
+        cycles,
+        ideal_cycles: ideal,
+        resources: [&pe, &sfu, &dram]
+            .into_iter()
+            .map(|r| ResourceUsage {
+                name: r.name().to_owned(),
+                busy_cycles: r.busy_cycles() * scale,
+                occupancy: r.occupancy(sim_end),
+            })
+            .collect(),
+        simulated_iterations: sim_iters,
+        total_iterations: total_iters,
+        extrapolated,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_core::{FusedDataflow, Granularity};
+    use flat_workloads::Model;
+
+    #[test]
+    fn baseline_is_slower_than_fused_sim() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let base = simulate_sequential(&accel, &block, SimOptions::default());
+        let fused = crate::simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(64)),
+            SimOptions::default(),
+        );
+        assert!(base.cycles > fused.cycles, "{} <= {}", base.cycles, fused.cycles);
+    }
+
+    #[test]
+    fn dram_dominates_the_baseline_at_long_seq() {
+        let accel = Accelerator::cloud();
+        let block = Model::xlm().block(64, 16_384);
+        let r = simulate_sequential(&accel, &block, SimOptions::default());
+        let dram = r.resources.iter().find(|u| u.name == "dram").unwrap();
+        let pe = r.resources.iter().find(|u| u.name == "pe").unwrap();
+        assert!(dram.occupancy > pe.occupancy, "dram {} vs pe {}", dram.occupancy, pe.occupancy);
+        assert!(r.util() < 0.5);
+    }
+
+    #[test]
+    fn extrapolates_past_the_cap() {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let r = simulate_sequential(
+            &accel,
+            &block,
+            SimOptions { max_simulated_iterations: 16, ..SimOptions::default() },
+        );
+        assert!(r.extrapolated);
+        assert!(r.cycles > 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the event simulator, including its agreement band
+//! with the analytical model.
+
+use flat_arch::Accelerator;
+use flat_core::{CostModel, FusedDataflow, Granularity};
+use flat_sim::{simulate_fused, simulate_sequential, Resource, SimOptions};
+use flat_workloads::Model;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FIFO resources serve jobs in order and never overlap them.
+    #[test]
+    fn fifo_resource_laws(durations in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+        let mut r = Resource::new("x");
+        let mut last_end = 0.0;
+        let mut total = 0.0;
+        for &d in &durations {
+            let end = r.acquire(0.0, d);
+            prop_assert!(end >= last_end + d - 1e-9);
+            last_end = end;
+            total += d;
+        }
+        prop_assert!((r.busy_cycles() - total).abs() < 1e-6);
+        prop_assert!((r.next_free() - total).abs() < 1e-6);
+    }
+
+    /// Backfill never finishes a job earlier than an empty resource could,
+    /// never loses busy time, and respects ready times.
+    #[test]
+    fn backfill_laws(jobs in proptest::collection::vec((0.0f64..1e5, 0.1f64..1e4), 1..48)) {
+        let mut r = Resource::new("x");
+        let mut total = 0.0;
+        for &(ready, dur) in &jobs {
+            let end = r.acquire_backfill(ready, dur);
+            prop_assert!(end >= ready + dur - 1e-9, "finished before ready+dur");
+            total += dur;
+        }
+        prop_assert!((r.busy_cycles() - total).abs() < 1e-3);
+        // Makespan is at least the total work (one server).
+        prop_assert!(r.next_free() >= total * (1.0 - 1e-9) || r.next_free() >= total - 1e-3);
+    }
+
+    /// The simulator and the analytical model agree within a band across
+    /// random compute-friendly operating points, and both exceed ideal.
+    #[test]
+    fn sim_tracks_model(
+        seq in prop::sample::select(vec![256u64, 512, 1024, 2048]),
+        r in prop::sample::select(vec![16u64, 32, 64]),
+        batch in prop::sample::select(vec![8u64, 32, 64]),
+    ) {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(batch, seq);
+        let df = FusedDataflow::new(Granularity::Row(r.min(seq)));
+        let analytical = CostModel::new(&accel).fused_la_cost(&block, &df);
+        let simulated = simulate_fused(&accel, &block, &df, SimOptions::default());
+        let ratio = simulated.cycles / analytical.cycles;
+        prop_assert!((0.7..1.5).contains(&ratio), "ratio {ratio}");
+        prop_assert!(simulated.cycles >= simulated.ideal_cycles * (1.0 - 1e-9));
+    }
+
+    /// Sequential simulation is slower than fused simulation wherever the
+    /// logit tensor dwarfs the scratchpad.
+    #[test]
+    fn sim_agrees_on_the_winner(
+        seq in prop::sample::select(vec![512u64, 1024, 2048]),
+        batch in prop::sample::select(vec![16u64, 64]),
+    ) {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(batch, seq);
+        let fused = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(64.min(seq))),
+            SimOptions::default(),
+        );
+        let base = simulate_sequential(&accel, &block, SimOptions::default());
+        prop_assert!(base.cycles > fused.cycles);
+    }
+}

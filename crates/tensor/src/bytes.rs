@@ -1,0 +1,229 @@
+//! A memory quantity with arithmetic and human-readable formatting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A number of bytes.
+///
+/// Used for buffer capacities, tensor footprints, and traffic volumes.
+/// Formats as a human-readable quantity (`512.0 KiB`, `6.6 GiB`) matching the
+/// way the paper reports buffer requirements (Table 1).
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::Bytes;
+///
+/// let sg = Bytes::from_kib(512);
+/// assert_eq!(sg.as_u64(), 512 * 1024);
+/// assert_eq!(sg.to_string(), "512.0 KiB");
+/// assert!(Bytes::from_mib(32) > sg);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte count.
+    #[must_use]
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a byte count from binary kilobytes.
+    #[must_use]
+    pub const fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+
+    /// Creates a byte count from binary megabytes.
+    #[must_use]
+    pub const fn from_mib(mib: u64) -> Self {
+        Bytes(mib * 1024 * 1024)
+    }
+
+    /// Creates a byte count from binary gigabytes.
+    #[must_use]
+    pub const fn from_gib(gib: u64) -> Self {
+        Bytes(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Byte count as `f64` (for rates and ratios).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Byte count in binary kilobytes.
+    #[must_use]
+    pub fn as_kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Byte count in binary megabytes.
+    #[must_use]
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Byte count in binary gigabytes.
+    #[must_use]
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the smaller of two byte counts.
+    #[must_use]
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two byte counts.
+    #[must_use]
+    pub fn max(self, other: Bytes) -> Bytes {
+        Bytes(self.0.max(other.0))
+    }
+
+    /// True when the count is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for Bytes {
+    fn from(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+}
+
+impl From<Bytes> for u64 {
+    fn from(bytes: Bytes) -> Self {
+        bytes.0
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    /// # Panics
+    ///
+    /// Panics on underflow in debug builds, like integer subtraction. Use
+    /// [`Bytes::saturating_sub`] when the difference may be negative.
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+    fn div(self, rhs: u64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: f64 = 1024.0;
+        const MIB: f64 = 1024.0 * 1024.0;
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        let b = self.0 as f64;
+        if b >= GIB {
+            write!(f, "{:.1} GiB", b / GIB)
+        } else if b >= MIB {
+            write!(f, "{:.1} MiB", b / MIB)
+        } else if b >= KIB {
+            write!(f, "{:.1} KiB", b / KIB)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Bytes::from_kib(1).as_u64(), 1024);
+        assert_eq!(Bytes::from_mib(1).as_u64(), 1024 * 1024);
+        assert_eq!(Bytes::from_gib(1).as_u64(), 1 << 30);
+    }
+
+    #[test]
+    fn display_picks_sane_unit() {
+        assert_eq!(Bytes::new(100).to_string(), "100 B");
+        assert_eq!(Bytes::from_kib(512).to_string(), "512.0 KiB");
+        assert_eq!(Bytes::from_mib(32).to_string(), "32.0 MiB");
+        assert_eq!(Bytes::from_gib(2).to_string(), "2.0 GiB");
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Bytes::from_kib(3);
+        let b = Bytes::from_kib(1);
+        assert_eq!(a + b, Bytes::from_kib(4));
+        assert_eq!(a - b, Bytes::from_kib(2));
+        assert_eq!(b * 4, Bytes::from_kib(4));
+        assert_eq!(a / 3, Bytes::from_kib(1));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Bytes = (1..=4).map(Bytes::from_kib).sum();
+        assert_eq!(total, Bytes::from_kib(10));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Bytes::new(10);
+        let b = Bytes::new(20);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

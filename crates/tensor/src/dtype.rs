@@ -1,0 +1,102 @@
+//! Numeric data types and their storage widths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric precision of a tensor element.
+///
+/// The paper evaluates everything at 16-bit (`Fp16`), but the cost model is
+/// parametric in precision: footprints, traffic, and bandwidth demands all
+/// scale with [`DataType::size_bytes`].
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::DataType;
+/// assert_eq!(DataType::Fp16.size_bytes(), 2);
+/// assert_eq!(DataType::Fp32.size_bits(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataType {
+    /// 8-bit integer (post-quantization deployments).
+    Int8,
+    /// IEEE 754 half precision — the paper's evaluation setting.
+    Fp16,
+    /// bfloat16 (same storage width as `Fp16`).
+    Bf16,
+    /// IEEE 754 single precision.
+    Fp32,
+}
+
+impl DataType {
+    /// Storage size of one element, in bytes.
+    #[must_use]
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DataType::Int8 => 1,
+            DataType::Fp16 | DataType::Bf16 => 2,
+            DataType::Fp32 => 4,
+        }
+    }
+
+    /// Storage size of one element, in bits.
+    #[must_use]
+    pub const fn size_bits(self) -> u64 {
+        self.size_bytes() * 8
+    }
+
+    /// All supported data types, widest first.
+    #[must_use]
+    pub const fn all() -> [DataType; 4] {
+        [DataType::Fp32, DataType::Bf16, DataType::Fp16, DataType::Int8]
+    }
+}
+
+impl Default for DataType {
+    /// Defaults to the paper's 16-bit evaluation setting.
+    fn default() -> Self {
+        DataType::Fp16
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Int8 => "int8",
+            DataType::Fp16 => "fp16",
+            DataType::Bf16 => "bf16",
+            DataType::Fp32 => "fp32",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_consistent() {
+        for dt in DataType::all() {
+            assert_eq!(dt.size_bits(), dt.size_bytes() * 8);
+        }
+    }
+
+    #[test]
+    fn default_matches_paper_setting() {
+        assert_eq!(DataType::default(), DataType::Fp16);
+        assert_eq!(DataType::default().size_bits(), 16);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DataType::Fp16.to_string(), "fp16");
+        assert_eq!(DataType::Int8.to_string(), "int8");
+    }
+
+    #[test]
+    fn ordering_follows_width_among_distinct_widths() {
+        assert!(DataType::Int8.size_bytes() < DataType::Fp16.size_bytes());
+        assert!(DataType::Fp16.size_bytes() < DataType::Fp32.size_bytes());
+    }
+}

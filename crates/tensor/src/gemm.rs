@@ -1,0 +1,300 @@
+//! Batched GEMM descriptors and operational-intensity analysis.
+
+use crate::{Bytes, DataType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A batched matrix multiplication `C[b] = A[b] · B[b]` with
+/// `A: [m, k]`, `B: [k, n]`, `C: [m, n]`, repeated `batch` times.
+///
+/// Every operator in an attention layer reduces to this descriptor:
+///
+/// * **Q/K/V/O** (activation-weight): `batch = B`, `m = N`, `k = D`, `n = D`,
+///   with [`weight_shared`](Gemm::weight_shared) set — the `[D, D]` weight is
+///   the *same* matrix for every sample in the batch, which is exactly the
+///   reuse opportunity batching exploits (§2.2).
+/// * **L** (activation-activation): `batch = B·H`, `m = N`, `k = dk`,
+///   `n = N`, weights *not* shared — each (batch, head) pair brings its own
+///   key matrix, which is why batching cannot raise the operational
+///   intensity of attention operators.
+/// * **A**: `batch = B·H`, `m = N`, `k = N`, `n = dk`, not shared.
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::Gemm;
+///
+/// let q = Gemm::with_shared_weight(64, 512, 1024, 1024);
+/// let l = Gemm::new(64 * 16, 512, 64, 512);
+/// // Batching helps Q (weight amortized) but cannot help L.
+/// assert!(q.operational_intensity(Default::default()).flops_per_byte()
+///     > l.operational_intensity(Default::default()).flops_per_byte());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gemm {
+    /// Number of independent matrix products.
+    pub batch: u64,
+    /// Rows of `A` and `C`.
+    pub m: u64,
+    /// Contraction dimension (columns of `A`, rows of `B`).
+    pub k: u64,
+    /// Columns of `B` and `C`.
+    pub n: u64,
+    /// When true, operand `B` is a weight shared across the batch dimension
+    /// (activation-weight operator); when false each batch has a unique `B`
+    /// (activation-activation operator).
+    pub weight_shared: bool,
+}
+
+impl Gemm {
+    /// Creates an activation-activation GEMM (unique `B` operand per batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(batch: u64, m: u64, k: u64, n: u64) -> Self {
+        assert!(
+            batch > 0 && m > 0 && k > 0 && n > 0,
+            "GEMM dimensions must be positive: batch={batch} m={m} k={k} n={n}"
+        );
+        Gemm { batch, m, k, n, weight_shared: false }
+    }
+
+    /// Creates an activation-weight GEMM whose `B` operand (the weight) is
+    /// shared across the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn with_shared_weight(batch: u64, m: u64, k: u64, n: u64) -> Self {
+        let mut g = Gemm::new(batch, m, k, n);
+        g.weight_shared = true;
+        g
+    }
+
+    /// Total multiply-accumulate operations.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.batch * self.m * self.k * self.n
+    }
+
+    /// Total floating-point operations (2 per MAC).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Elements of the `A` operand across the whole batch.
+    #[must_use]
+    pub fn a_elements(&self) -> u64 {
+        self.batch * self.m * self.k
+    }
+
+    /// Elements of the `B` operand: shared weights are counted once.
+    #[must_use]
+    pub fn b_elements(&self) -> u64 {
+        if self.weight_shared {
+            self.k * self.n
+        } else {
+            self.batch * self.k * self.n
+        }
+    }
+
+    /// Elements of the output `C` across the whole batch.
+    #[must_use]
+    pub fn c_elements(&self) -> u64 {
+        self.batch * self.m * self.n
+    }
+
+    /// Bytes of the `A` operand at the given precision.
+    #[must_use]
+    pub fn a_size(&self, dtype: DataType) -> Bytes {
+        Bytes::new(self.a_elements() * dtype.size_bytes())
+    }
+
+    /// Bytes of the `B` operand at the given precision.
+    #[must_use]
+    pub fn b_size(&self, dtype: DataType) -> Bytes {
+        Bytes::new(self.b_elements() * dtype.size_bytes())
+    }
+
+    /// Bytes of the `C` operand at the given precision.
+    #[must_use]
+    pub fn c_size(&self, dtype: DataType) -> Bytes {
+        Bytes::new(self.c_elements() * dtype.size_bytes())
+    }
+
+    /// Sum of operand and output footprints at the given precision.
+    #[must_use]
+    pub fn total_size(&self, dtype: DataType) -> Bytes {
+        self.a_size(dtype) + self.b_size(dtype) + self.c_size(dtype)
+    }
+
+    /// Algorithmic operational intensity: FLOPs divided by the *compulsory*
+    /// memory traffic (each operand and the output touched exactly once).
+    ///
+    /// This is the §2.2 figure of merit. Real traffic can only be higher
+    /// (tiling re-fetches), so this is an upper bound on achievable OI and a
+    /// lower bound on bandwidth-boundedness.
+    #[must_use]
+    pub fn operational_intensity(&self, dtype: DataType) -> OperationalIntensity {
+        OperationalIntensity {
+            flops: self.flops(),
+            bytes: self.total_size(dtype),
+        }
+    }
+
+    /// Restricts the descriptor to a sub-problem (a tile), clamping each
+    /// dimension to the original extent.
+    #[must_use]
+    pub fn tile(&self, batch: u64, m: u64, k: u64, n: u64) -> Gemm {
+        Gemm {
+            batch: batch.clamp(1, self.batch),
+            m: m.clamp(1, self.m),
+            k: k.clamp(1, self.k),
+            n: n.clamp(1, self.n),
+            weight_shared: self.weight_shared,
+        }
+    }
+}
+
+impl fmt::Display for Gemm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x([{}, {}] x [{}, {}]){}",
+            self.batch,
+            self.m,
+            self.k,
+            self.k,
+            self.n,
+            if self.weight_shared { " (shared W)" } else { "" }
+        )
+    }
+}
+
+/// FLOPs-per-byte of an operator: the x-axis of a roofline plot.
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::{DataType, Gemm};
+///
+/// let fc = Gemm::with_shared_weight(64, 512, 1024, 1024);
+/// let oi = fc.operational_intensity(DataType::Fp16);
+/// // With peak 100 GFLOP/s and 1 TB/s, this FC would be compute-bound.
+/// assert!(!oi.is_memory_bound(100.0e9, 1.0e12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperationalIntensity {
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Compulsory memory traffic.
+    pub bytes: Bytes,
+}
+
+impl OperationalIntensity {
+    /// FLOPs per byte of compulsory traffic.
+    #[must_use]
+    pub fn flops_per_byte(&self) -> f64 {
+        self.flops as f64 / self.bytes.as_f64().max(1.0)
+    }
+
+    /// Attainable performance (FLOP/s) under the classic roofline:
+    /// `min(peak_flops, OI × bandwidth)`.
+    #[must_use]
+    pub fn attainable_flops(&self, peak_flops: f64, bandwidth_bytes_per_s: f64) -> f64 {
+        peak_flops.min(self.flops_per_byte() * bandwidth_bytes_per_s)
+    }
+
+    /// True when the operator sits left of the roofline ridge point — i.e.
+    /// bandwidth, not compute, limits it.
+    #[must_use]
+    pub fn is_memory_bound(&self, peak_flops: f64, bandwidth_bytes_per_s: f64) -> bool {
+        self.flops_per_byte() * bandwidth_bytes_per_s < peak_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §2.2: OI of Q/K/V/O is ~ BND² / (2BND + D²); batching raises it.
+    #[test]
+    fn batching_raises_projection_intensity() {
+        let dt = DataType::Fp16;
+        let b1 = Gemm::with_shared_weight(1, 512, 1024, 1024);
+        let b64 = Gemm::with_shared_weight(64, 512, 1024, 1024);
+        assert!(
+            b64.operational_intensity(dt).flops_per_byte()
+                > b1.operational_intensity(dt).flops_per_byte()
+        );
+    }
+
+    /// §2.2: batching does NOT raise the OI of activation-activation ops.
+    #[test]
+    fn batching_does_not_help_logit_intensity() {
+        let dt = DataType::Fp16;
+        let b1 = Gemm::new(16, 512, 64, 512);
+        let b64 = Gemm::new(64 * 16, 512, 64, 512);
+        let oi1 = b1.operational_intensity(dt).flops_per_byte();
+        let oi64 = b64.operational_intensity(dt).flops_per_byte();
+        assert!((oi1 - oi64).abs() < 1e-9, "{oi1} vs {oi64}");
+    }
+
+    /// §2.2: multi-head lowers the OI of L/A (1/OI = 2/N + H/D, up from 1/D).
+    #[test]
+    fn more_heads_lower_logit_intensity() {
+        let dt = DataType::Fp16;
+        let (b, n, d) = (4, 512, 1024);
+        let single = Gemm::new(b, n, d, n);
+        let multi = Gemm::new(b * 16, n, d / 16, n);
+        assert_eq!(single.macs() , multi.macs(), "same total work");
+        assert!(
+            multi.operational_intensity(dt).flops_per_byte()
+                < single.operational_intensity(dt).flops_per_byte()
+        );
+    }
+
+    #[test]
+    fn counts_match_closed_forms() {
+        let g = Gemm::new(3, 4, 5, 6);
+        assert_eq!(g.macs(), 3 * 4 * 5 * 6);
+        assert_eq!(g.flops(), 2 * g.macs());
+        assert_eq!(g.a_elements(), 3 * 4 * 5);
+        assert_eq!(g.b_elements(), 3 * 5 * 6);
+        assert_eq!(g.c_elements(), 3 * 4 * 6);
+    }
+
+    #[test]
+    fn shared_weight_counted_once() {
+        let g = Gemm::with_shared_weight(8, 4, 5, 6);
+        assert_eq!(g.b_elements(), 5 * 6);
+    }
+
+    #[test]
+    fn tile_clamps_to_extents() {
+        let g = Gemm::new(2, 8, 8, 8);
+        let t = g.tile(4, 100, 4, 0);
+        assert_eq!((t.batch, t.m, t.k, t.n), (2, 8, 4, 1));
+    }
+
+    #[test]
+    fn roofline_ridge_behaviour() {
+        let oi = OperationalIntensity { flops: 1000, bytes: Bytes::new(100) };
+        // OI = 10 flop/B. With BW 1 B/s and peak 100 flop/s → memory bound.
+        assert!(oi.is_memory_bound(100.0, 1.0));
+        assert!((oi.attainable_flops(100.0, 1.0) - 10.0).abs() < 1e-12);
+        // With BW 100 B/s → compute bound.
+        assert!(!oi.is_memory_bound(100.0, 100.0));
+        assert!((oi.attainable_flops(100.0, 100.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = Gemm::new(1, 0, 1, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dense tensor extents.
+
+use crate::{Bytes, DataType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The extent of a dense tensor, e.g. `[B, H, N, N]` for the logit tensor.
+///
+/// A `Shape` knows how many elements it holds and how many bytes those
+/// elements occupy at a given [`DataType`]; the buffer model in `flat-core`
+/// is built on these two queries.
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::{DataType, Shape};
+///
+/// // The intermediate (logit) tensor for B=64, H=16, N=512.
+/// let logits = Shape::new([64, 16, 512, 512]);
+/// assert_eq!(logits.elements(), 64 * 16 * 512 * 512);
+/// assert_eq!(logits.size(DataType::Fp16).as_u64(), logits.elements() * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<u64>);
+
+impl Shape {
+    /// Creates a shape from its per-dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero — zero-extent tensors have no meaning in
+    /// the cost model and almost always indicate a configuration bug.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = u64>>(dims: I) -> Self {
+        let dims: Vec<u64> = dims.into_iter().collect();
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape extents must be positive, got {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// A scalar (rank-0) shape with a single element.
+    #[must_use]
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Per-dimension extents.
+    #[must_use]
+    pub fn dims(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    #[must_use]
+    pub fn elements(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// Storage footprint at the given precision.
+    #[must_use]
+    pub fn size(&self, dtype: DataType) -> Bytes {
+        Bytes::new(self.elements() * dtype.size_bytes())
+    }
+
+    /// Returns a new shape with `extent` appended as the innermost dimension.
+    #[must_use]
+    pub fn with_inner(&self, extent: u64) -> Shape {
+        let mut dims = self.0.clone();
+        dims.push(extent);
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<u64> for Shape {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Shape::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_is_product_of_dims() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.elements(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        assert_eq!(Shape::scalar().elements(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn size_scales_with_dtype() {
+        let s = Shape::new([8, 8]);
+        assert_eq!(s.size(DataType::Int8).as_u64(), 64);
+        assert_eq!(s.size(DataType::Fp32).as_u64(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let _ = Shape::new([4, 0]);
+    }
+
+    #[test]
+    fn with_inner_appends() {
+        let s = Shape::new([2, 3]).with_inner(5);
+        assert_eq!(s.dims(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn display_looks_like_a_list() {
+        assert_eq!(Shape::new([64, 16, 512, 512]).to_string(), "[64, 16, 512, 512]");
+    }
+}

@@ -1,0 +1,65 @@
+//! Small integer helpers used throughout the cost model.
+
+/// Ceiling division: the number of `divisor`-sized tiles needed to cover
+/// `value`.
+///
+/// # Panics
+///
+/// Panics if `divisor` is zero.
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::ceil_div;
+/// assert_eq!(ceil_div(10, 4), 3);
+/// assert_eq!(ceil_div(8, 4), 2);
+/// assert_eq!(ceil_div(0, 4), 0);
+/// ```
+#[must_use]
+pub fn ceil_div(value: u64, divisor: u64) -> u64 {
+    assert!(divisor > 0, "division by zero tile size");
+    value.div_ceil(divisor)
+}
+
+/// Rounds `value` up to the next multiple of `multiple`.
+///
+/// # Panics
+///
+/// Panics if `multiple` is zero.
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::round_up_to;
+/// assert_eq!(round_up_to(10, 4), 12);
+/// assert_eq!(round_up_to(8, 4), 8);
+/// ```
+#[must_use]
+pub fn round_up_to(value: u64, multiple: u64) -> u64 {
+    ceil_div(value, multiple) * multiple
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_covers_remainders() {
+        assert_eq!(ceil_div(1, 1), 1);
+        assert_eq!(ceil_div(7, 3), 3);
+        assert_eq!(ceil_div(9, 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn ceil_div_rejects_zero_divisor() {
+        let _ = ceil_div(1, 0);
+    }
+
+    #[test]
+    fn round_up_is_idempotent_on_multiples() {
+        for v in [4u64, 8, 12, 4096] {
+            assert_eq!(round_up_to(v, 4), v);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the tensor substrate.
+
+use flat_tensor::{ceil_div, round_up_to, Bytes, DataType, Gemm, Shape};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tiling a GEMM never increases any dimension and never changes the
+    /// weight-sharing flag.
+    #[test]
+    fn tile_is_contractive(
+        batch in 1u64..64, m in 1u64..512, k in 1u64..512, n in 1u64..512,
+        tb in 0u64..128, tm in 0u64..1024, tk in 0u64..1024, tn in 0u64..1024,
+    ) {
+        let g = Gemm::new(batch, m, k, n);
+        let t = g.tile(tb, tm, tk, tn);
+        prop_assert!(t.batch <= g.batch && t.m <= g.m && t.k <= g.k && t.n <= g.n);
+        prop_assert!(t.batch >= 1 && t.m >= 1 && t.k >= 1 && t.n >= 1);
+        prop_assert_eq!(t.weight_shared, g.weight_shared);
+        prop_assert!(t.macs() <= g.macs());
+    }
+
+    /// The compulsory-traffic operational intensity of an
+    /// activation-activation GEMM is invariant under batching.
+    #[test]
+    fn act_act_oi_batch_invariant(b in 1u64..64, m in 1u64..256, k in 1u64..256, n in 1u64..256) {
+        let one = Gemm::new(1, m, k, n).operational_intensity(DataType::Fp16);
+        let many = Gemm::new(b, m, k, n).operational_intensity(DataType::Fp16);
+        prop_assert!((one.flops_per_byte() - many.flops_per_byte()).abs() < 1e-6);
+    }
+
+    /// Weight sharing never lowers operational intensity.
+    #[test]
+    fn weight_sharing_never_hurts(b in 1u64..64, m in 1u64..256, k in 1u64..256, n in 1u64..256) {
+        let private = Gemm::new(b, m, k, n).operational_intensity(DataType::Fp16);
+        let shared = Gemm::with_shared_weight(b, m, k, n).operational_intensity(DataType::Fp16);
+        prop_assert!(shared.flops_per_byte() >= private.flops_per_byte() - 1e-12);
+    }
+
+    /// Shape byte size is elements x element width, for every dtype.
+    #[test]
+    fn shape_size_closed_form(dims in proptest::collection::vec(1u64..64, 1..5)) {
+        let s: Shape = dims.iter().copied().collect();
+        for dt in DataType::all() {
+            prop_assert_eq!(s.size(dt).as_u64(), s.elements() * dt.size_bytes());
+        }
+    }
+
+    /// ceil_div and round_up_to agree: round_up_to(v, m) == ceil_div(v, m) * m,
+    /// and the rounded value covers v by less than one extra multiple.
+    #[test]
+    fn rounding_laws(v in 0u64..1_000_000, m in 1u64..10_000) {
+        let r = round_up_to(v, m);
+        prop_assert_eq!(r, ceil_div(v, m) * m);
+        prop_assert!(r >= v);
+        prop_assert!(r - v < m);
+    }
+
+    /// Bytes addition is commutative and Display round-trips the magnitude
+    /// ordering.
+    #[test]
+    fn bytes_algebra(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (ba, bb) = (Bytes::new(a), Bytes::new(b));
+        prop_assert_eq!(ba + bb, bb + ba);
+        prop_assert_eq!(ba.max(bb).as_u64(), a.max(b));
+        prop_assert_eq!(ba.saturating_sub(bb).as_u64(), a.saturating_sub(b));
+    }
+
+    /// Attainable roofline performance is monotone in both peak and BW and
+    /// never exceeds the peak.
+    #[test]
+    fn roofline_monotone(
+        flops in 1u64..1_000_000_000,
+        bytes in 1u64..1_000_000_000,
+        peak in 1.0e6f64..1.0e15,
+        bw in 1.0e6f64..1.0e13,
+    ) {
+        let oi = Gemm::new(1, 16, 16, 16).operational_intensity(DataType::Fp16);
+        let _ = (flops, bytes); // shape-independent law, exercised via oi below
+        let perf = oi.attainable_flops(peak, bw);
+        prop_assert!(perf <= peak + 1e-6);
+        prop_assert!(oi.attainable_flops(peak * 2.0, bw) >= perf - 1e-6);
+        prop_assert!(oi.attainable_flops(peak, bw * 2.0) >= perf - 1e-6);
+    }
+}

@@ -1,0 +1,181 @@
+//! The attention block: the eight operators plus evaluation scopes.
+
+use crate::{AttentionConfig, OpCategory, OpKind, Operator};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One attention block: attention layer (Q/K/V/L/A/O) followed by the
+/// two-layer feed-forward network (Figure 1(a); normalization layers are
+/// element-wise and negligible next to the GEMMs, as in the paper's model).
+///
+/// # Example
+///
+/// ```
+/// use flat_workloads::{AttentionBlock, AttentionConfig, Scope};
+///
+/// let block = AttentionBlock::new(AttentionConfig::self_attention(64, 16, 512, 1024, 4096));
+/// assert_eq!(block.operators().len(), 8);
+/// assert_eq!(block.operators_in_scope(Scope::LogitAttend).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionBlock {
+    config: AttentionConfig,
+    operators: Vec<Operator>,
+}
+
+impl AttentionBlock {
+    /// Builds the block's operator list from the layer configuration.
+    #[must_use]
+    pub fn new(config: AttentionConfig) -> Self {
+        let operators =
+            OpKind::all().iter().map(|&k| Operator::from_config(k, &config)).collect();
+        AttentionBlock { config, operators }
+    }
+
+    /// The layer configuration this block was built from.
+    #[must_use]
+    pub fn config(&self) -> &AttentionConfig {
+        &self.config
+    }
+
+    /// All eight operators in dataflow order.
+    #[must_use]
+    pub fn operators(&self) -> &[Operator] {
+        &self.operators
+    }
+
+    /// The operator of a particular kind.
+    #[must_use]
+    pub fn operator(&self, kind: OpKind) -> &Operator {
+        self.operators
+            .iter()
+            .find(|op| op.kind == kind)
+            .expect("block always contains all eight operator kinds")
+    }
+
+    /// Operators included in an evaluation scope.
+    pub fn operators_in_scope(&self, scope: Scope) -> impl Iterator<Item = &Operator> {
+        self.operators.iter().filter(move |op| scope.includes(op.kind))
+    }
+
+    /// Operators of one Figure 11 category.
+    pub fn operators_in_category(&self, category: OpCategory) -> impl Iterator<Item = &Operator> {
+        self.operators.iter().filter(move |op| op.category() == category)
+    }
+
+    /// Total MACs across the whole block.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.operators.iter().map(|op| op.gemm.macs()).sum()
+    }
+
+    /// Total MACs in a scope.
+    #[must_use]
+    pub fn macs_in_scope(&self, scope: Scope) -> u64 {
+        self.operators_in_scope(scope).map(|op| op.gemm.macs()).sum()
+    }
+}
+
+impl fmt::Display for AttentionBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attention block ({})", self.config)
+    }
+}
+
+/// The three performance-analysis levels of Figure 8: just the fused pair,
+/// the whole block, or the whole model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Only the Logit and Attend operators.
+    LogitAttend,
+    /// All operators of one attention block.
+    Block,
+    /// All blocks of the model (identical blocks — cost scales linearly).
+    Model,
+}
+
+impl Scope {
+    /// Whether an operator kind is inside this scope (for a single block;
+    /// `Model` and `Block` include the same kinds, `Model` just multiplies
+    /// by the block count downstream).
+    #[must_use]
+    pub fn includes(self, kind: OpKind) -> bool {
+        match self {
+            Scope::LogitAttend => kind.is_activation_activation(),
+            Scope::Block | Scope::Model => true,
+        }
+    }
+
+    /// All scopes in Figure 8's row order.
+    #[must_use]
+    pub const fn all() -> [Scope; 3] {
+        [Scope::LogitAttend, Scope::Block, Scope::Model]
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scope::LogitAttend => "L-A",
+            Scope::Block => "Block",
+            Scope::Model => "Model",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> AttentionBlock {
+        AttentionBlock::new(AttentionConfig::self_attention(64, 16, 512, 1024, 4096))
+    }
+
+    #[test]
+    fn block_has_all_eight_ops_in_order() {
+        let b = block();
+        let kinds: Vec<OpKind> = b.operators().iter().map(|o| o.kind).collect();
+        assert_eq!(kinds, OpKind::all());
+    }
+
+    #[test]
+    fn scope_filters_operator_counts() {
+        let b = block();
+        assert_eq!(b.operators_in_scope(Scope::LogitAttend).count(), 2);
+        assert_eq!(b.operators_in_scope(Scope::Block).count(), 8);
+        assert_eq!(b.operators_in_scope(Scope::Model).count(), 8);
+    }
+
+    #[test]
+    fn la_macs_grow_quadratically_with_seq() {
+        let short = block();
+        let long = AttentionBlock::new(short.config().with_seq(1024));
+        assert_eq!(
+            long.macs_in_scope(Scope::LogitAttend),
+            4 * short.macs_in_scope(Scope::LogitAttend)
+        );
+        // While projection MACs only double.
+        let proj = |b: &AttentionBlock| -> u64 {
+            b.operators_in_category(OpCategory::Projection).map(|o| o.gemm.macs()).sum()
+        };
+        assert_eq!(proj(&long), 2 * proj(&short));
+    }
+
+    #[test]
+    fn operator_lookup_by_kind() {
+        let b = block();
+        assert_eq!(b.operator(OpKind::Logit).kind, OpKind::Logit);
+    }
+
+    #[test]
+    fn total_is_sum_of_scopes_partition() {
+        let b = block();
+        let by_cat: u64 = OpCategory::all()
+            .iter()
+            .flat_map(|&c| b.operators_in_category(c))
+            .map(|o| o.gemm.macs())
+            .sum();
+        assert_eq!(by_cat, b.total_macs());
+    }
+}

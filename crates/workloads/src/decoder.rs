@@ -1,0 +1,189 @@
+//! Encoder-decoder blocks: a decoder layer carries *two* attention layers
+//! — causal self-attention over the target sequence and cross-attention
+//! into the encoder's output — plus one feed-forward pair. T5 (in the
+//! evaluation suite) is this architecture; the paper prices its encoder
+//! stack, and this module extends the workload coverage to the decoder.
+
+use crate::{AttentionBlock, AttentionConfig, OpCategory, OpKind, Operator};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One decoder block: self-attention (Q/K/V/L/A/O over the decoder
+/// sequence), cross-attention (queries from the decoder, keys/values from
+/// the encoder output), and the FFN pair.
+///
+/// Both attention layers expose a fusable L-A pair; the cross-attention
+/// one is where `seq_q ≠ seq_kv` matters.
+///
+/// # Example
+///
+/// ```
+/// use flat_workloads::{DecoderBlock, Model};
+///
+/// let block = DecoderBlock::for_model(&Model::t5_small(), 8, 1024, 4096);
+/// assert_eq!(block.operators().count(), 14);
+/// assert_eq!(block.cross_attention().config().seq_kv, 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecoderBlock {
+    self_attn: AttentionBlock,
+    cross_attn: AttentionBlock,
+}
+
+impl DecoderBlock {
+    /// Builds a decoder block from explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid attention dimensions (see
+    /// [`AttentionConfig::cross_attention`]).
+    #[must_use]
+    pub fn new(
+        batch: u64,
+        heads: u64,
+        dec_seq: u64,
+        enc_seq: u64,
+        hidden: u64,
+        ffn_hidden: u64,
+    ) -> Self {
+        DecoderBlock {
+            self_attn: AttentionBlock::new(AttentionConfig::self_attention(
+                batch, heads, dec_seq, hidden, ffn_hidden,
+            )),
+            cross_attn: AttentionBlock::new(AttentionConfig::cross_attention(
+                batch, heads, dec_seq, enc_seq, hidden, ffn_hidden,
+            )),
+        }
+    }
+
+    /// Builds a decoder block with a zoo model's layer dimensions.
+    #[must_use]
+    pub fn for_model(model: &crate::Model, batch: u64, dec_seq: u64, enc_seq: u64) -> Self {
+        DecoderBlock::new(
+            batch,
+            model.heads(),
+            dec_seq,
+            enc_seq,
+            model.hidden(),
+            model.ffn_hidden(),
+        )
+    }
+
+    /// The self-attention layer (as a full block; its FFN operators are
+    /// excluded from [`DecoderBlock::operators`] so the pair is counted
+    /// once).
+    #[must_use]
+    pub fn self_attention(&self) -> &AttentionBlock {
+        &self.self_attn
+    }
+
+    /// The cross-attention layer.
+    #[must_use]
+    pub fn cross_attention(&self) -> &AttentionBlock {
+        &self.cross_attn
+    }
+
+    /// The block's fourteen operators: both attention layers' Q/K/V/L/A/O
+    /// plus one FFN pair.
+    pub fn operators(&self) -> impl Iterator<Item = &Operator> {
+        const ATTN: [OpKind; 6] = [
+            OpKind::Query,
+            OpKind::Key,
+            OpKind::Value,
+            OpKind::Logit,
+            OpKind::Attend,
+            OpKind::Output,
+        ];
+        let self_ops = ATTN.map(|k| self.self_attn.operator(k));
+        let cross_ops = ATTN.map(|k| self.cross_attn.operator(k));
+        self_ops
+            .into_iter()
+            .chain(cross_ops)
+            .chain([
+                self.self_attn.operator(OpKind::FeedForward1),
+                self.self_attn.operator(OpKind::FeedForward2),
+            ])
+    }
+
+    /// Operators of one category, across both attention layers.
+    pub fn operators_in_category(
+        &self,
+        category: OpCategory,
+    ) -> impl Iterator<Item = &Operator> {
+        self.operators().filter(move |op| op.category() == category)
+    }
+
+    /// Total MACs across the block.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.operators().map(|op| op.gemm.macs()).sum()
+    }
+}
+
+impl fmt::Display for DecoderBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.self_attn.config();
+        let c = self.cross_attn.config();
+        write!(
+            f,
+            "decoder block (B={} H={} dec={} enc={} D={})",
+            s.batch, s.heads, s.seq_q, c.seq_kv, s.hidden
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    fn block() -> DecoderBlock {
+        DecoderBlock::for_model(&Model::t5_small(), 8, 512, 2048)
+    }
+
+    #[test]
+    fn has_fourteen_operators() {
+        assert_eq!(block().operators().count(), 14);
+    }
+
+    #[test]
+    fn category_split_is_2_la_pairs_8_projections_2_fc() {
+        let b = block();
+        assert_eq!(b.operators_in_category(OpCategory::LogitAttend).count(), 4);
+        assert_eq!(b.operators_in_category(OpCategory::Projection).count(), 8);
+        assert_eq!(b.operators_in_category(OpCategory::FeedForward).count(), 2);
+    }
+
+    #[test]
+    fn cross_attention_sees_both_sequence_lengths() {
+        let b = block();
+        let logit = b.cross_attention().operator(OpKind::Logit);
+        assert_eq!((logit.gemm.m, logit.gemm.n), (512, 2048));
+        // Keys and values project the encoder side.
+        assert_eq!(b.cross_attention().operator(OpKind::Key).gemm.m, 2048);
+        assert_eq!(b.cross_attention().operator(OpKind::Query).gemm.m, 512);
+    }
+
+    #[test]
+    fn ffn_counted_once() {
+        let b = block();
+        let ffn_macs: u64 = b
+            .operators_in_category(OpCategory::FeedForward)
+            .map(|o| o.gemm.macs())
+            .sum();
+        let single = b.self_attention().operator(OpKind::FeedForward1).gemm.macs()
+            + b.self_attention().operator(OpKind::FeedForward2).gemm.macs();
+        assert_eq!(ffn_macs, single);
+    }
+
+    #[test]
+    fn total_macs_is_sum_of_parts() {
+        let b = block();
+        let by_cat: u64 = OpCategory::all()
+            .iter()
+            .flat_map(|&c| b.operators_in_category(c))
+            .map(|o| o.gemm.macs())
+            .sum();
+        assert_eq!(by_cat, b.total_macs());
+    }
+}

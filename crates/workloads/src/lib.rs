@@ -1,0 +1,45 @@
+//! Attention workloads: the model zoo and the attention-block operator
+//! graph.
+//!
+//! This crate turns a model name plus `(batch, sequence length)` into the
+//! list of batched GEMMs the cost model prices:
+//!
+//! * [`AttentionConfig`] — the `B/H/N/D/ffn` dimension bundle of one layer,
+//!   including cross-attention (`seq_q ≠ seq_kv`) and the Table 1 staging
+//!   footprint formulas,
+//! * [`Operator`] / [`OpKind`] — the eight operators Q, K, V, L, A, O,
+//!   FC1, FC2 with their GEMM forms, tagged by the evaluation's
+//!   [`OpCategory`] taxonomy (L-A / Projection / FC),
+//! * [`AttentionBlock`] and [`Scope`] — Figure 8's L-A / Block / Model
+//!   analysis levels,
+//! * [`Model`] — the evaluation suite: BERT, FlauBERT, XLM, TransformerXL,
+//!   T5 (§6.1).
+//!
+//! # Example
+//!
+//! ```
+//! use flat_workloads::{Model, Scope};
+//!
+//! let block = Model::bert().block(64, 32_768);
+//! let la = block.macs_in_scope(Scope::LogitAttend);
+//! let all = block.total_macs();
+//! // At long sequence lengths L-A dominates the block's compute.
+//! assert!(la * 2 > all);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attention;
+mod block;
+mod decoder;
+mod models;
+mod operator;
+mod tasks;
+
+pub use attention::AttentionConfig;
+pub use block::{AttentionBlock, Scope};
+pub use decoder::DecoderBlock;
+pub use models::{Model, ModelKind};
+pub use operator::{OpCategory, OpKind, Operator};
+pub use tasks::{LraTask, Task};

@@ -1,0 +1,279 @@
+//! The model zoo used in the paper's evaluation (§6.1).
+
+use crate::{AttentionBlock, AttentionConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five attention-based models of the evaluation suite.
+///
+/// Layer dimensions come from the models' published configurations; only
+/// `D`, `H`, the FFN width, and the block count matter to the cost model.
+///
+/// # Example
+///
+/// ```
+/// use flat_workloads::Model;
+///
+/// let bert = Model::bert();
+/// assert_eq!(bert.hidden(), 768);
+/// let block = bert.block(64, 512);
+/// assert_eq!(block.config().heads, 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Model {
+    kind: ModelKind,
+    blocks: u64,
+    heads: u64,
+    hidden: u64,
+    ffn_hidden: u64,
+}
+
+/// Identifier for a zoo model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// BERT-base.
+    Bert,
+    /// FlauBERT (large).
+    FlauBert,
+    /// XLM (xlm-mlm-en-2048).
+    Xlm,
+    /// Transformer-XL (large).
+    TransformerXl,
+    /// T5-small (encoder stack).
+    T5,
+    /// A user-supplied configuration (e.g. loaded from a HuggingFace-style
+    /// config file).
+    Custom,
+}
+
+impl Model {
+    /// BERT-base: 12 blocks, D=768, H=12, FFN=3072.
+    #[must_use]
+    pub const fn bert() -> Self {
+        Model { kind: ModelKind::Bert, blocks: 12, heads: 12, hidden: 768, ffn_hidden: 3072 }
+    }
+
+    /// FlauBERT-large: 24 blocks, D=1024, H=16, FFN=4096.
+    #[must_use]
+    pub const fn flaubert() -> Self {
+        Model { kind: ModelKind::FlauBert, blocks: 24, heads: 16, hidden: 1024, ffn_hidden: 4096 }
+    }
+
+    /// XLM (xlm-mlm-en-2048): 12 blocks, D=2048, H=16, FFN=8192.
+    #[must_use]
+    pub const fn xlm() -> Self {
+        Model { kind: ModelKind::Xlm, blocks: 12, heads: 16, hidden: 2048, ffn_hidden: 8192 }
+    }
+
+    /// Transformer-XL large: 18 blocks, D=1024, H=16, FFN=4096.
+    #[must_use]
+    pub const fn transformer_xl() -> Self {
+        Model {
+            kind: ModelKind::TransformerXl,
+            blocks: 18,
+            heads: 16,
+            hidden: 1024,
+            ffn_hidden: 4096,
+        }
+    }
+
+    /// T5-small encoder: 6 blocks, D=512, H=8, FFN=2048.
+    #[must_use]
+    pub const fn t5_small() -> Self {
+        Model { kind: ModelKind::T5, blocks: 6, heads: 8, hidden: 512, ffn_hidden: 2048 }
+    }
+
+    /// A custom model from explicit dimensions (the knobs a
+    /// HuggingFace-style config file carries: `num_hidden_layers`,
+    /// `num_attention_heads`, `hidden_size`, `intermediate_size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `hidden` is not divisible by
+    /// `heads`.
+    #[must_use]
+    pub fn custom(blocks: u64, heads: u64, hidden: u64, ffn_hidden: u64) -> Self {
+        assert!(
+            blocks > 0 && heads > 0 && hidden > 0 && ffn_hidden > 0,
+            "model dimensions must be positive"
+        );
+        assert!(hidden.is_multiple_of(heads), "hidden {hidden} must divide across {heads} heads");
+        Model { kind: ModelKind::Custom, blocks, heads, hidden, ffn_hidden }
+    }
+
+    /// The whole evaluation suite, in the row order of Figure 12(a).
+    #[must_use]
+    pub fn suite() -> Vec<Model> {
+        vec![
+            Model::bert(),
+            Model::transformer_xl(),
+            Model::flaubert(),
+            Model::t5_small(),
+            Model::xlm(),
+        ]
+    }
+
+    /// Looks a model up by its lowercase short name
+    /// (`bert`, `trxl`, `flaubert`, `t5`, `xlm`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Model> {
+        match name {
+            "bert" => Some(Model::bert()),
+            "trxl" | "transformerxl" | "transformer-xl" => Some(Model::transformer_xl()),
+            "flaubert" => Some(Model::flaubert()),
+            "t5" | "t5-small" => Some(Model::t5_small()),
+            "xlm" => Some(Model::xlm()),
+            _ => None,
+        }
+    }
+
+    /// Which zoo model this is.
+    #[must_use]
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Number of (identically parameterized) attention blocks.
+    #[must_use]
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Attention heads per layer.
+    #[must_use]
+    pub fn heads(&self) -> u64 {
+        self.heads
+    }
+
+    /// Hidden dimension D.
+    #[must_use]
+    pub fn hidden(&self) -> u64 {
+        self.hidden
+    }
+
+    /// Feed-forward inner dimension.
+    #[must_use]
+    pub fn ffn_hidden(&self) -> u64 {
+        self.ffn_hidden
+    }
+
+    /// Instantiates one attention block at a batch size and sequence length.
+    #[must_use]
+    pub fn block(&self, batch: u64, seq: u64) -> AttentionBlock {
+        AttentionBlock::new(self.config(batch, seq))
+    }
+
+    /// The layer configuration at a batch size and sequence length.
+    #[must_use]
+    pub fn config(&self, batch: u64, seq: u64) -> AttentionConfig {
+        AttentionConfig::self_attention(batch, self.heads, seq, self.hidden, self.ffn_hidden)
+    }
+
+    /// One autoregressive *decode step* with a KV cache: a single query
+    /// token attending to `context` cached keys/values (`seq_q = 1`,
+    /// `seq_kv = context`).
+    ///
+    /// The logit tensor of a decode step is `B·H·1·context` — *linear* in
+    /// the context, so the quadratic bottleneck FLAT targets does not
+    /// arise; what remains bandwidth-bound is streaming the KV cache
+    /// itself. Useful as the contrast case to the prefill/encoder
+    /// workloads of the paper.
+    #[must_use]
+    pub fn decode_step(&self, batch: u64, context: u64) -> AttentionBlock {
+        AttentionBlock::new(AttentionConfig::cross_attention(
+            batch,
+            self.heads,
+            1,
+            context,
+            self.hidden,
+            self.ffn_hidden,
+        ))
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.kind {
+            ModelKind::Bert => "BERT",
+            ModelKind::FlauBert => "FlauBERT",
+            ModelKind::Xlm => "XLM",
+            ModelKind::TransformerXl => "TrXL",
+            ModelKind::T5 => "T5",
+            ModelKind::Custom => "custom",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_five_models() {
+        let suite = Model::suite();
+        assert_eq!(suite.len(), 5);
+        let mut kinds: Vec<ModelKind> = suite.iter().map(Model::kind).collect();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 5, "all suite entries distinct");
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for m in Model::suite() {
+            let name = m.to_string().to_lowercase();
+            assert_eq!(Model::by_name(&name), Some(m), "{name}");
+        }
+        assert_eq!(Model::by_name("nope"), None);
+    }
+
+    #[test]
+    fn heads_divide_hidden_for_all_models() {
+        for m in Model::suite() {
+            assert_eq!(m.hidden() % m.heads(), 0, "{m}");
+            // Instantiation must not panic.
+            let _ = m.block(64, 512);
+        }
+    }
+
+    #[test]
+    fn bert_base_dimensions() {
+        let b = Model::bert();
+        assert_eq!((b.blocks(), b.heads(), b.hidden(), b.ffn_hidden()), (12, 12, 768, 3072));
+    }
+
+    #[test]
+    fn custom_model_builds_blocks() {
+        let m = Model::custom(4, 32, 4096, 16_384);
+        assert_eq!(m.kind(), ModelKind::Custom);
+        let block = m.block(8, 1024);
+        assert_eq!(block.config().dk(), 128);
+        assert_eq!(m.to_string(), "custom");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn custom_model_validates_heads() {
+        let _ = Model::custom(2, 3, 1024, 4096);
+    }
+
+    #[test]
+    fn decode_step_logits_are_linear_in_context() {
+        let m = Model::bert();
+        let short = m.decode_step(64, 1024);
+        let long = m.decode_step(64, 4096);
+        assert_eq!(
+            long.config().logit_elements(),
+            4 * short.config().logit_elements(),
+            "decode logits scale linearly, not quadratically"
+        );
+        assert_eq!(short.config().seq_q, 1);
+        assert!(!short.config().is_self_attention());
+    }
+
+    #[test]
+    fn xlm_is_the_widest() {
+        let widest = Model::suite().into_iter().max_by_key(Model::hidden).unwrap();
+        assert_eq!(widest.kind(), ModelKind::Xlm);
+    }
+}

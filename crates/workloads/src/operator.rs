@@ -1,0 +1,248 @@
+//! The eight operators of an attention block and their GEMM forms.
+
+use crate::AttentionConfig;
+use flat_tensor::Gemm;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which operator of the attention block this is (Figure 1(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Query projection `X·Wq`.
+    Query,
+    /// Key projection `X·Wk`.
+    Key,
+    /// Value projection `X·Wv`.
+    Value,
+    /// Logit: `Q·Kᵀ` per (batch, head) — activation-activation.
+    Logit,
+    /// Attend: `softmax(L)·V` per (batch, head) — activation-activation.
+    Attend,
+    /// Output projection of the attended tensor.
+    Output,
+    /// First feed-forward layer (`D → ffn`).
+    FeedForward1,
+    /// Second feed-forward layer (`ffn → D`).
+    FeedForward2,
+}
+
+impl OpKind {
+    /// True for the two activation-activation operators (L, A) — the ones
+    /// with the quadratic intermediate tensor and no batching reuse.
+    #[must_use]
+    pub const fn is_activation_activation(self) -> bool {
+        matches!(self, OpKind::Logit | OpKind::Attend)
+    }
+
+    /// The evaluation's three-way operator taxonomy (§6.5.1).
+    #[must_use]
+    pub const fn category(self) -> OpCategory {
+        match self {
+            OpKind::Logit | OpKind::Attend => OpCategory::LogitAttend,
+            OpKind::Query | OpKind::Key | OpKind::Value | OpKind::Output => OpCategory::Projection,
+            OpKind::FeedForward1 | OpKind::FeedForward2 => OpCategory::FeedForward,
+        }
+    }
+
+    /// All operator kinds in dataflow order.
+    #[must_use]
+    pub const fn all() -> [OpKind; 8] {
+        [
+            OpKind::Query,
+            OpKind::Key,
+            OpKind::Value,
+            OpKind::Logit,
+            OpKind::Attend,
+            OpKind::Output,
+            OpKind::FeedForward1,
+            OpKind::FeedForward2,
+        ]
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpKind::Query => "Q",
+            OpKind::Key => "K",
+            OpKind::Value => "V",
+            OpKind::Logit => "L",
+            OpKind::Attend => "A",
+            OpKind::Output => "O",
+            OpKind::FeedForward1 => "FC1",
+            OpKind::FeedForward2 => "FC2",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The latency-breakdown categories of Figure 11: L-A, projections
+/// (K/Q/V/O), and the block's two FC layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Logit and Attend — the fusion target.
+    LogitAttend,
+    /// Q/K/V/O projections inside the attention layer.
+    Projection,
+    /// The two FCs outside the attention layer.
+    FeedForward,
+}
+
+impl OpCategory {
+    /// All categories in the order Figure 11 stacks them.
+    #[must_use]
+    pub const fn all() -> [OpCategory; 3] {
+        [OpCategory::LogitAttend, OpCategory::Projection, OpCategory::FeedForward]
+    }
+}
+
+impl fmt::Display for OpCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpCategory::LogitAttend => "L-A",
+            OpCategory::Projection => "Projection",
+            OpCategory::FeedForward => "FC",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One concrete operator: its role in the block plus its GEMM dimensions.
+///
+/// # Example
+///
+/// ```
+/// use flat_workloads::{AttentionConfig, Operator, OpKind};
+///
+/// let cfg = AttentionConfig::self_attention(64, 16, 512, 1024, 4096);
+/// let logit = Operator::from_config(OpKind::Logit, &cfg);
+/// assert_eq!(logit.gemm.batch, 64 * 16);
+/// assert_eq!(logit.gemm.n, 512);
+/// assert!(!logit.gemm.weight_shared);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Operator {
+    /// Role in the attention block.
+    pub kind: OpKind,
+    /// Batched GEMM dimensions.
+    pub gemm: Gemm,
+}
+
+impl Operator {
+    /// Instantiates the GEMM for `kind` at the given layer dimensions.
+    #[must_use]
+    pub fn from_config(kind: OpKind, cfg: &AttentionConfig) -> Self {
+        let (b, h, nq, nkv, d, dk, ffn) = (
+            cfg.batch,
+            cfg.heads,
+            cfg.seq_q,
+            cfg.seq_kv,
+            cfg.hidden,
+            cfg.dk(),
+            cfg.ffn_hidden,
+        );
+        let gemm = match kind {
+            // Projections: activation [N, D] × weight [D, D], weight shared
+            // across the batch.
+            OpKind::Query => Gemm::with_shared_weight(b, nq, d, d),
+            OpKind::Key | OpKind::Value => Gemm::with_shared_weight(b, nkv, d, d),
+            OpKind::Output => Gemm::with_shared_weight(b, nq, d, d),
+            // Activation-activation pair, one GEMM per (batch, head).
+            OpKind::Logit => Gemm::new(b * h, nq, dk, nkv),
+            OpKind::Attend => Gemm::new(b * h, nq, nkv, dk),
+            // Feed-forward pair.
+            OpKind::FeedForward1 => Gemm::with_shared_weight(b, nq, d, ffn),
+            OpKind::FeedForward2 => Gemm::with_shared_weight(b, nq, ffn, d),
+        };
+        Operator { kind, gemm }
+    }
+
+    /// The Figure 11 category of this operator.
+    #[must_use]
+    pub fn category(&self) -> OpCategory {
+        self.kind.category()
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.gemm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_tensor::DataType;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig::self_attention(64, 16, 512, 1024, 4096)
+    }
+
+    #[test]
+    fn logit_and_attend_do_same_work() {
+        let l = Operator::from_config(OpKind::Logit, &cfg());
+        let a = Operator::from_config(OpKind::Attend, &cfg());
+        assert_eq!(l.gemm.macs(), a.gemm.macs());
+        // Both equal B·N²·D MACs.
+        let c = cfg();
+        assert_eq!(l.gemm.macs(), c.batch * c.seq_q * c.seq_kv * c.hidden);
+    }
+
+    #[test]
+    fn projections_share_weights_and_attention_does_not() {
+        for kind in OpKind::all() {
+            let op = Operator::from_config(kind, &cfg());
+            assert_eq!(op.gemm.weight_shared, !kind.is_activation_activation());
+        }
+    }
+
+    #[test]
+    fn categories_partition_the_block() {
+        let mut la = 0;
+        let mut proj = 0;
+        let mut fc = 0;
+        for kind in OpKind::all() {
+            match kind.category() {
+                OpCategory::LogitAttend => la += 1,
+                OpCategory::Projection => proj += 1,
+                OpCategory::FeedForward => fc += 1,
+            }
+        }
+        assert_eq!((la, proj, fc), (2, 4, 2));
+    }
+
+    /// §2.2: the L operator's OI is far below a projection's at long N and
+    /// many heads.
+    #[test]
+    fn logit_oi_below_projection_oi() {
+        let c = cfg().with_seq(4096);
+        let l = Operator::from_config(OpKind::Logit, &c);
+        let q = Operator::from_config(OpKind::Query, &c);
+        assert!(
+            l.gemm.operational_intensity(DataType::Fp16).flops_per_byte()
+                < q.gemm.operational_intensity(DataType::Fp16).flops_per_byte()
+        );
+    }
+
+    #[test]
+    fn cross_attention_shapes_differ_per_side() {
+        let c = AttentionConfig::cross_attention(2, 8, 128, 512, 1024, 4096);
+        let q = Operator::from_config(OpKind::Query, &c);
+        let k = Operator::from_config(OpKind::Key, &c);
+        let l = Operator::from_config(OpKind::Logit, &c);
+        assert_eq!(q.gemm.m, 128);
+        assert_eq!(k.gemm.m, 512);
+        assert_eq!((l.gemm.m, l.gemm.n), (128, 512));
+    }
+
+    #[test]
+    fn ffn_expands_then_contracts() {
+        let c = cfg();
+        let f1 = Operator::from_config(OpKind::FeedForward1, &c);
+        let f2 = Operator::from_config(OpKind::FeedForward2, &c);
+        assert_eq!(f1.gemm.n, c.ffn_hidden);
+        assert_eq!(f2.gemm.k, c.ffn_hidden);
+        assert_eq!(f2.gemm.n, c.hidden);
+    }
+}

@@ -1,0 +1,149 @@
+//! Long-sequence task presets — the paper's §1 motivation, as data.
+//!
+//! "Image generation (sequence length N=12K), paragraph summarization
+//! (N=64K), language modeling (N=69K), music processing (N=1024K), and
+//! more upcoming new applications."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A long-sequence application domain and its working sequence length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    /// Token classification / translation style NLP (the classic 512).
+    ShortNlp,
+    /// Autoregressive image generation (≈12K tokens).
+    ImageGeneration,
+    /// Paragraph / document summarization (≈64K).
+    Summarization,
+    /// Long-context language modeling (≈69K).
+    LanguageModeling,
+    /// Music generation (≈1M tokens).
+    MusicProcessing,
+}
+
+impl Task {
+    /// The representative sequence length the paper quotes for this task.
+    #[must_use]
+    pub const fn sequence_length(self) -> u64 {
+        match self {
+            Task::ShortNlp => 512,
+            Task::ImageGeneration => 12 * 1024,
+            Task::Summarization => 64 * 1024,
+            Task::LanguageModeling => 69 * 1024,
+            Task::MusicProcessing => 1024 * 1024,
+        }
+    }
+
+    /// All tasks, shortest first.
+    #[must_use]
+    pub const fn all() -> [Task; 5] {
+        [
+            Task::ShortNlp,
+            Task::ImageGeneration,
+            Task::Summarization,
+            Task::LanguageModeling,
+            Task::MusicProcessing,
+        ]
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Task::ShortNlp => "short NLP",
+            Task::ImageGeneration => "image generation",
+            Task::Summarization => "summarization",
+            Task::LanguageModeling => "language modeling",
+            Task::MusicProcessing => "music processing",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The Long Range Arena tasks (Tay et al., cited by the paper as "the
+/// benchmark for efficient transformers" [71]) with their sequence
+/// lengths — a second, externally defined long-sequence suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LraTask {
+    /// ListOps: hierarchical expressions, 2K tokens.
+    ListOps,
+    /// Byte-level text classification, 4K.
+    Text,
+    /// Byte-level document retrieval, 8K (dual 4K documents).
+    Retrieval,
+    /// Pixel-level CIFAR-10, 1K.
+    Image,
+    /// Pathfinder, 1K.
+    Pathfinder,
+    /// Pathfinder-X, 16K — the task most LRA entrants cannot run at all.
+    PathX,
+}
+
+impl LraTask {
+    /// The task's sequence length.
+    #[must_use]
+    pub const fn sequence_length(self) -> u64 {
+        match self {
+            LraTask::ListOps => 2048,
+            LraTask::Text => 4096,
+            LraTask::Retrieval => 8192,
+            LraTask::Image | LraTask::Pathfinder => 1024,
+            LraTask::PathX => 16_384,
+        }
+    }
+
+    /// All six tasks.
+    #[must_use]
+    pub const fn all() -> [LraTask; 6] {
+        [
+            LraTask::ListOps,
+            LraTask::Text,
+            LraTask::Retrieval,
+            LraTask::Image,
+            LraTask::Pathfinder,
+            LraTask::PathX,
+        ]
+    }
+}
+
+impl fmt::Display for LraTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LraTask::ListOps => "ListOps",
+            LraTask::Text => "Text",
+            LraTask::Retrieval => "Retrieval",
+            LraTask::Image => "Image",
+            LraTask::Pathfinder => "Pathfinder",
+            LraTask::PathX => "Path-X",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lra_lengths_are_canonical() {
+        assert_eq!(LraTask::ListOps.sequence_length(), 2048);
+        assert_eq!(LraTask::PathX.sequence_length(), 16_384);
+        assert_eq!(LraTask::all().len(), 6);
+    }
+
+    #[test]
+    fn lengths_match_the_paper() {
+        assert_eq!(Task::ImageGeneration.sequence_length(), 12_288);
+        assert_eq!(Task::Summarization.sequence_length(), 65_536);
+        assert_eq!(Task::MusicProcessing.sequence_length(), 1_048_576);
+    }
+
+    #[test]
+    fn tasks_are_sorted_by_length() {
+        let all = Task::all();
+        for w in all.windows(2) {
+            assert!(w[0].sequence_length() < w[1].sequence_length());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the workload substrate.
+
+use flat_workloads::{
+    AttentionBlock, AttentionConfig, DecoderBlock, Model, OpCategory, OpKind, Scope,
+};
+use proptest::prelude::*;
+
+fn configs() -> impl Strategy<Value = AttentionConfig> {
+    (1u64..=16, prop::sample::select(vec![1u64, 2, 4, 8, 16]), 1u64..2048, 1u64..2048,
+        prop::sample::select(vec![128u64, 256, 512, 1024, 2048]))
+        .prop_filter("divisible", |(_, h, _, _, d)| d % h == 0)
+        .prop_map(|(b, h, nq, nkv, d)| AttentionConfig::cross_attention(b, h, nq, nkv, d, 4 * d))
+}
+
+proptest! {
+    /// The L and A operators always do identical MAC counts, equal to
+    /// B·Nq·Nkv·D each.
+    #[test]
+    fn l_and_a_work_is_symmetric(cfg in configs()) {
+        let block = AttentionBlock::new(cfg);
+        let l = block.operator(OpKind::Logit).gemm.macs();
+        let a = block.operator(OpKind::Attend).gemm.macs();
+        prop_assert_eq!(l, a);
+        prop_assert_eq!(l, cfg.batch * cfg.seq_q * cfg.seq_kv * cfg.hidden);
+    }
+
+    /// Multi-head reshaping never changes total work: H is invisible to
+    /// the block's MAC count.
+    #[test]
+    fn heads_preserve_total_macs(b in 1u64..16, n in 1u64..1024, d in prop::sample::select(vec![256u64, 512, 1024])) {
+        let one = AttentionBlock::new(AttentionConfig::self_attention(b, 1, n, d, 4 * d));
+        let many = AttentionBlock::new(AttentionConfig::self_attention(b, d / 64, n, d, 4 * d));
+        prop_assert_eq!(one.total_macs(), many.total_macs());
+    }
+
+    /// The three Figure 11 categories partition the block exactly.
+    #[test]
+    fn categories_partition(cfg in configs()) {
+        let block = AttentionBlock::new(cfg);
+        let sum: usize = OpCategory::all()
+            .iter()
+            .map(|&c| block.operators_in_category(c).count())
+            .sum();
+        prop_assert_eq!(sum, block.operators().len());
+        prop_assert_eq!(block.macs_in_scope(Scope::Block), block.total_macs());
+    }
+
+    /// The logit tensor is the only O(Nq·Nkv) object: its elements equal
+    /// the product of the two sequence lengths times batch and heads.
+    #[test]
+    fn logit_tensor_size(cfg in configs()) {
+        prop_assert_eq!(
+            cfg.logit_elements(),
+            cfg.batch * cfg.heads * cfg.seq_q * cfg.seq_kv
+        );
+        prop_assert_eq!(
+            cfg.logit_size().as_u64(),
+            cfg.logit_elements() * cfg.dtype.size_bytes()
+        );
+    }
+
+    /// Table 1 staging formulas are monotone in sequence length and the
+    /// L/A one eventually dominates the projection one (the paper's
+    /// motivating crossover).
+    #[test]
+    fn staging_footprints_cross(h in prop::sample::select(vec![4u64, 8, 16])) {
+        let at = |n: u64| AttentionConfig::self_attention(1, h, n, 1024, 4096);
+        prop_assert!(at(512).la_staging_size() < at(4096).la_staging_size());
+        // At long N, L/A staging exceeds projection staging.
+        prop_assert!(at(16_384).la_staging_size() > at(16_384).qkvo_staging_size());
+    }
+
+    /// A decoder block is exactly one self-attention and one
+    /// cross-attention worth of L-A work plus a single FFN.
+    #[test]
+    fn decoder_block_work_decomposes(
+        b in 1u64..8,
+        dec in 1u64..512,
+        enc in 1u64..2048,
+    ) {
+        let model = Model::t5_small();
+        let block = DecoderBlock::for_model(&model, b, dec, enc);
+        let la: u64 = block
+            .operators_in_category(OpCategory::LogitAttend)
+            .map(|o| o.gemm.macs())
+            .sum();
+        let expected = 2 * b * dec * dec * model.hidden()     // self L+A
+            + 2 * b * dec * enc * model.hidden();              // cross L+A
+        prop_assert_eq!(la, expected);
+    }
+
+    /// Decode steps are linear in context: doubling the KV cache doubles
+    /// the decode logit tensor.
+    #[test]
+    fn decode_step_linearity(b in 1u64..32, ctx in 1u64..32_768) {
+        let m = Model::bert();
+        let one = m.decode_step(b, ctx).config().logit_elements();
+        let two = m.decode_step(b, 2 * ctx).config().logit_elements();
+        prop_assert_eq!(two, 2 * one);
+    }
+}

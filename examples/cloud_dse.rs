@@ -1,0 +1,58 @@
+//! Cloud design-space exploration: run the full FLAT DSE for XLM on the
+//! cloud platform, compare objectives (§6.4), and print the Pareto
+//! frontier of utilization vs live footprint (the Figure 10 view).
+//!
+//! Run: `cargo run --release --example cloud_dse`
+
+use flat::arch::Accelerator;
+use flat::core::LaExecution;
+use flat::dse::{pareto_frontier, Dse, Objective, SpaceKind};
+use flat::workloads::Model;
+
+fn label(la: &LaExecution) -> String {
+    match la {
+        LaExecution::Fused(f) => format!("FLAT-{}", f.granularity),
+        LaExecution::Sequential { logit, .. } => match logit.l3 {
+            None => "Base".to_owned(),
+            Some(l3) => format!("Base-{}", l3.granularity),
+        },
+    }
+}
+
+fn main() {
+    let accel = Accelerator::cloud();
+    let block = Model::xlm().block(64, 16_384);
+    println!("# DSE for {block} on {accel}");
+    let dse = Dse::new(&accel, &block);
+
+    // One optimum per objective — the paper's point that the DSE target is
+    // flexible (best-Util vs best-energy pick different corners).
+    println!("\n## optimum per objective");
+    for obj in Objective::all() {
+        let best = dse.best_la(SpaceKind::Full, obj);
+        println!(
+            "  {:20} -> {:12}  util {:.3}  energy {:.3e} pJ  footprint {}",
+            obj.to_string(),
+            label(&best.la),
+            best.report.util(),
+            best.report.energy.total_pj(),
+            best.report.footprint,
+        );
+    }
+
+    // The Pareto frontier of the whole space: the top-left corner of
+    // Figure 10.
+    let points = dse.explore_la(SpaceKind::Full);
+    let frontier = pareto_frontier(&points);
+    println!("\n## Pareto frontier (footprint vs util) over {} points", points.len());
+    for p in &frontier {
+        println!(
+            "  {:>12}  util {:.3}  ({})",
+            p.report.footprint.to_string(),
+            p.report.util(),
+            label(&p.la),
+        );
+    }
+    println!("\nEvery frontier step buys utilization with footprint; FLAT's R-granularity");
+    println!("populates the region sequential dataflows cannot reach.");
+}

@@ -1,0 +1,60 @@
+//! Encoder-decoder (T5-style) pricing: both attention flavors of a
+//! decoder block — causal self-attention and cross-attention into a long
+//! encoder context — under baseline and FLAT dataflows, plus a simple
+//! end-to-end summarization-serving estimate.
+//!
+//! Run: `cargo run --release --example encoder_decoder`
+
+use flat::arch::Accelerator;
+use flat::core::{BlockDataflow, CostModel, Granularity};
+use flat::workloads::{DecoderBlock, Model};
+
+fn main() {
+    let accel = Accelerator::cloud();
+    let model = Model::t5_small();
+    let (batch, enc_seq, dec_seq) = (64u64, 16_384u64, 1024u64);
+    let cm = CostModel::new(&accel);
+
+    println!("# T5-style summarization on {accel}");
+    println!("# encoder context {enc_seq}, decoder window {dec_seq}, batch {batch}\n");
+
+    let dec_block = DecoderBlock::for_model(&model, batch, dec_seq, enc_seq);
+    println!("## one decoder block ({dec_block})");
+    for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(256))] {
+        let cost = cm.decoder_block_cost(&dec_block, &df);
+        let total = cost.total();
+        println!(
+            "  {:10}  total {:.3e} cyc (util {:.3}) | L-A {:.3e}  proj {:.3e}  FC {:.3e}",
+            df.label(),
+            total.cycles,
+            total.util(),
+            cost.logit_attend.cycles,
+            cost.projection.cycles,
+            cost.feed_forward.cycles,
+        );
+    }
+
+    // End-to-end: encode the document once, then run the decoder stack.
+    println!("\n## end-to-end estimate (encoder stack + decoder stack, {} blocks each)", model.blocks());
+    for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(256))] {
+        let enc = cm.model_cost(&model, batch, enc_seq, &df).total();
+        let dec = cm
+            .decoder_block_cost(&dec_block, &df)
+            .total()
+            .repeat(model.blocks());
+        let total_s = accel.cycles_to_seconds(enc.cycles + dec.cycles);
+        println!(
+            "  {:10}  encode {:.3e} + decode {:.3e} cyc = {:.1} ms/batch ({:.0} docs/s)",
+            df.label(),
+            enc.cycles,
+            dec.cycles,
+            total_s * 1e3,
+            batch as f64 / total_s,
+        );
+    }
+    println!();
+    println!("The cross-attention layer reads a 16K-token encoder memory from every");
+    println!("decoder position - its [dec, enc] logit slice is exactly the tensor FLAT");
+    println!("keeps on-chip, so the fused dataflow accelerates the decoder as well as");
+    println!("the encoder.");
+}

@@ -1,0 +1,75 @@
+//! Numerical witness: run real attention arithmetic three ways — naive,
+//! FLAT row-tiled, and streaming (online softmax) — and verify they agree
+//! while using wildly different live intermediate footprints.
+//!
+//! Run: `cargo run --release --example kernel_fusion`
+
+use flat::kernels::{
+    flat_attention, naive_attention, quantized_flat_attention, streaming_attention, Mask,
+    MultiHeadInput,
+};
+
+fn main() {
+    let (batch, heads, seq, dk) = (2usize, 8usize, 256usize, 64usize);
+    let input = MultiHeadInput::random(batch, heads, seq, seq, dk, 2023);
+    println!("# attention: B={batch} H={heads} N={seq} dk={dk} (f32)");
+    println!();
+
+    let naive = naive_attention(&input, Mask::None);
+    let naive_live = seq * seq;
+    println!("naive:     live logit elements per head = {naive_live} (the O(N^2) tensor)");
+
+    for rows in [4usize, 16, 64] {
+        let fused = flat_attention(&input, rows, Mask::None);
+        let max_diff = fused
+            .iter()
+            .zip(&naive)
+            .map(|(f, n)| f.max_abs_diff(n))
+            .fold(0.0f32, f32::max);
+        println!(
+            "FLAT R={rows:<3}: live logit elements = {:>6} ({}x smaller), max |diff| vs naive = {max_diff:.2e}",
+            rows * seq,
+            naive_live / (rows * seq),
+        );
+        assert!(max_diff < 1e-4);
+    }
+
+    let streamed = streaming_attention(&input, 16, 32, Mask::None);
+    let max_diff = streamed
+        .iter()
+        .zip(&naive)
+        .map(|(s, n)| s.max_abs_diff(n))
+        .fold(0.0f32, f32::max);
+    println!(
+        "streaming (16x32 tiles, online softmax): live = {:>6} elements, max |diff| = {max_diff:.2e}",
+        16 * 32
+    );
+    assert!(max_diff < 1e-3);
+
+    println!();
+    println!("Causal (decoder) masking, cross-checked the same way:");
+    let causal_naive = naive_attention(&input, Mask::Causal);
+    let causal_fused = flat_attention(&input, 16, Mask::Causal);
+    let max_diff = causal_fused
+        .iter()
+        .zip(&causal_naive)
+        .map(|(f, n)| f.max_abs_diff(n))
+        .fold(0.0f32, f32::max);
+    println!("FLAT R=16 causal: max |diff| = {max_diff:.2e}");
+    assert!(max_diff < 1e-4);
+
+    println!();
+    println!("Quantization is orthogonal (§7): the same fused execution over int8 tensors:");
+    let q8 = quantized_flat_attention(&input, 16, Mask::None);
+    let max_diff = q8
+        .iter()
+        .zip(&naive)
+        .map(|(q, n)| q.max_abs_diff(n))
+        .fold(0.0f32, f32::max);
+    println!("int8 FLAT R=16: max |diff| vs fp32 = {max_diff:.3} (quantization noise, not dataflow error)");
+
+    println!();
+    println!("All executions compute the same attention; only the live slice of");
+    println!("the logit tensor differs. FLAT needs complete rows (exact softmax); the");
+    println!("streaming variant relaxes even that with online rescaling.");
+}

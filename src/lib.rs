@@ -1,0 +1,26 @@
+//! FLAT — facade crate for the full reproduction stack.
+//!
+//! Re-exports every sub-crate under one roof so examples and downstream
+//! users can depend on a single crate. See the individual crates for the
+//! substance:
+//!
+//! * [`tensor`] — shapes, dtypes, GEMM descriptors, operational intensity.
+//! * [`arch`] — the abstract accelerator (PE array, scratchpads, NoC, SFU,
+//!   memory system, energy table) plus the paper's edge/cloud presets.
+//! * [`workloads`] — the model zoo (BERT, FlauBERT, XLM, TransformerXL, T5)
+//!   and the attention-block operator graph.
+//! * [`core`] — the FLAT dataflow and its analytical cost model.
+//! * [`kernels`] — numerical witness: fused row-tiled attention with
+//!   streaming softmax, proven equivalent to the naive computation.
+//! * [`dse`] — design-space exploration and the ATTACC accelerator configs.
+
+#![forbid(unsafe_code)]
+
+pub use flat_arch as arch;
+pub use flat_core as core;
+pub use flat_dse as dse;
+pub use flat_gpu as gpu;
+pub use flat_kernels as kernels;
+pub use flat_sim as sim;
+pub use flat_tensor as tensor;
+pub use flat_workloads as workloads;

@@ -1,0 +1,108 @@
+//! Integration tests tying the numerical kernels to the cost model: the
+//! quantities the cost model *prices* (slice sizes, iteration counts,
+//! arithmetic work) must match what the kernels *do*.
+
+use flat::core::{FusedSlices, Granularity};
+use flat::kernels::{flat_attention, naive_attention, Mask, MultiHeadInput};
+use flat::workloads::{AttentionConfig, Model, OpKind};
+
+/// The cost model's MAC count for L+A equals the actual multiply count of
+/// the kernel computation.
+#[test]
+fn modeled_macs_match_kernel_arithmetic() {
+    let cfg = AttentionConfig::self_attention(2, 4, 32, 512, 64);
+    let block = flat::workloads::AttentionBlock::new(cfg);
+    let l = block.operator(OpKind::Logit).gemm;
+    let a = block.operator(OpKind::Attend).gemm;
+    // L: (B·H) x [Nq, dk] x [dk, Nkv]; A: (B·H) x [Nq, Nkv] x [Nkv, dk].
+    let expected_l = 2 * 4 * 32 * (512 / 4) * 32;
+    let expected_a = 2 * 4 * 32 * 32 * (512 / 4);
+    assert_eq!(l.macs(), expected_l);
+    assert_eq!(a.macs(), expected_a);
+}
+
+/// The cost model's FLAT-tile iteration count matches the number of tile
+/// passes the fused kernel makes.
+#[test]
+fn modeled_iterations_match_kernel_tiling() {
+    let cfg = AttentionConfig::self_attention(2, 2, 37, 512, 64);
+    for rows in [1u64, 5, 16, 37] {
+        let s = FusedSlices::new(Granularity::Row(rows), &cfg);
+        let tile_passes_per_group = 37u64.div_ceil(rows);
+        assert_eq!(s.iterations, 2 * 2 * tile_passes_per_group, "R={rows}");
+    }
+}
+
+/// The fused kernel at the exact granularities the model prices produces
+/// the same values as the baseline — the correctness half of the paper's
+/// performance claim, at model-zoo dimensions (scaled down in sequence
+/// length so the test stays fast).
+#[test]
+fn fused_kernel_exact_at_model_zoo_heads() {
+    for model in [Model::bert(), Model::t5_small()] {
+        let dk = (model.hidden() / model.heads()) as usize;
+        let input = MultiHeadInput::random(1, model.heads() as usize, 48, 48, dk, 99);
+        let naive = naive_attention(&input, Mask::None);
+        for rows in [4usize, 16, 48] {
+            let fused = flat_attention(&input, rows, Mask::None);
+            for (f, n) in fused.iter().zip(&naive) {
+                assert!(f.max_abs_diff(n) < 1e-4, "{model} R={rows}");
+            }
+        }
+    }
+}
+
+/// The instrumented kernel's *measured* memory behavior equals the cost
+/// model's *predicted* accounting: iteration counts, peak live slice, and
+/// compulsory backing-store traffic — the two halves of the repo agree on
+/// the numbers, not just the trend.
+#[test]
+fn instrumented_execution_matches_model_accounting() {
+    use flat::kernels::instrumented_flat_attention;
+
+    let (b, h, n, dk, rows) = (2usize, 4usize, 48usize, 8usize, 16usize);
+    let cfg = AttentionConfig::self_attention(
+        b as u64,
+        h as u64,
+        n as u64,
+        (h * dk) as u64,
+        4 * (h * dk) as u64,
+    );
+    let input = MultiHeadInput::random(b, h, n, n, dk, 55);
+    let (_, stats) = instrumented_flat_attention(&input, rows, Mask::None);
+    let slices = FusedSlices::new(Granularity::Row(rows as u64), &cfg);
+
+    // Iterations and peak live intermediate: model == measurement.
+    assert_eq!(stats.iterations, slices.iterations);
+    assert_eq!(stats.peak_live_logits, slices.intermediate);
+
+    // Compulsory backing-store traffic: Q, K, V read once; O written once.
+    let qo = (b * h * n * dk) as u64;
+    let kv = (b * h * n * dk) as u64;
+    assert_eq!(stats.backing_store_elements(), 2 * qo + 2 * kv);
+
+    // The logit tensor is produced and consumed exactly twice each (L
+    // write + softmax rewrite; softmax read + A read) — and never touches
+    // the backing store, which is FLAT's entire point.
+    let logits = cfg.logit_elements();
+    assert_eq!(stats.logit_writes, 2 * logits);
+    assert_eq!(stats.logit_reads, 2 * logits);
+}
+
+/// Cross-attention: the workloads crate, cost model, and kernels all agree
+/// on the asymmetric shapes.
+#[test]
+fn cross_attention_consistency() {
+    let cfg = AttentionConfig::cross_attention(1, 2, 16, 48, 32, 128);
+    let block = flat::workloads::AttentionBlock::new(cfg);
+    let l = block.operator(OpKind::Logit).gemm;
+    assert_eq!((l.m, l.n), (16, 48));
+
+    let input = MultiHeadInput::random(1, 2, 16, 48, 16, 7);
+    let naive = naive_attention(&input, Mask::None);
+    let fused = flat_attention(&input, 4, Mask::None);
+    for (f, n) in fused.iter().zip(&naive) {
+        assert!(f.max_abs_diff(n) < 1e-4);
+    }
+    assert_eq!(cfg.logit_elements(), 2 * 16 * 48);
+}

@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: the paper's headline claims, end to end.
+//!
+//! Each test names the paper section/figure it checks. These run the real
+//! pipeline — workloads → dataflow → cost model → DSE — on the real
+//! platform presets.
+
+use flat::arch::Accelerator;
+use flat::core::{BlockDataflow, CostModel, Granularity, LaExecution};
+use flat::dse::{AccelClass, Dse, Objective, SpaceKind};
+use flat::tensor::Bytes;
+use flat::workloads::{Model, Scope};
+
+/// §1: "a state-of-the-art datacenter-class accelerator with a BW of
+/// 400 GB/s can run a max sequence length of 4K before failing to maintain
+/// 80% compute utilization."
+///
+/// Our model charges all four DRAM passes of the *batched* logit tensor
+/// (write, softmax read+write, read), so the sequential baseline's L-A
+/// collapse arrives even earlier than the paper's 4K bound — see
+/// EXPERIMENTS.md for the divergence discussion. The claim's direction
+/// (long sequences break the baseline; FLAT does not) is what we assert.
+#[test]
+fn cloud_baseline_fails_80pct_beyond_4k() {
+    let accel = Accelerator::cloud();
+    let model = Model::bert();
+    let util_at = |space: SpaceKind, seq: u64| {
+        let block = model.block(64, seq);
+        Dse::new(&accel, &block).best_la(space, Objective::MaxUtil).report.util()
+    };
+    assert!(
+        util_at(SpaceKind::Sequential, 4096) < 0.8,
+        "the baseline must fail 80% at 4K+"
+    );
+    // While FLAT sustains high utilization at the same point.
+    assert!(
+        util_at(SpaceKind::Full, 4096) > 0.8,
+        "FLAT holds 80%+ at 4K: {}",
+        util_at(SpaceKind::Full, 4096)
+    );
+}
+
+/// §4.4 / Table 2: FLAT at R-Gran has O(N) live footprint; every
+/// sequential-compatible granularity is Ω(N²).
+#[test]
+fn r_gran_footprint_linear_others_quadratic() {
+    let fp = |seq: u64, g: Granularity| {
+        let cfg = Model::bert().config(64, seq);
+        flat::core::fused_footprint(&flat::core::FusedDataflow::new(g), &cfg).as_f64()
+    };
+    let ratio_r = fp(65_536, Granularity::Row(64)) / fp(4096, Granularity::Row(64));
+    let ratio_h = fp(65_536, Granularity::Head) / fp(4096, Granularity::Head);
+    assert!(ratio_r < 32.0, "R-gran should grow ~16x for 16x seq: {ratio_r}");
+    assert!(ratio_h > 128.0, "H-gran should grow ~256x for 16x seq: {ratio_h}");
+}
+
+/// Figure 8: on the real edge part (512 KiB), FLAT-opt's L-A utilization
+/// beats Base-opt's at every sequence length, and by a growing margin
+/// once the logit tensor stops fitting anywhere.
+#[test]
+fn flat_opt_beats_base_opt_across_sequence_lengths() {
+    let accel = Accelerator::edge();
+    for seq in [512u64, 4096, 16_384] {
+        let block = Model::bert().block(64, seq);
+        let dse = Dse::new(&accel, &block);
+        let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil).report.util();
+        let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil).report.util();
+        assert!(flat >= base, "seq {seq}: flat {flat} < base {base}");
+    }
+    // At 512 the gap is decisive on the real buffer.
+    let block = Model::bert().block(64, 512);
+    let dse = Dse::new(&accel, &block);
+    let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil).report.util();
+    let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil).report.util();
+    assert!(flat > base + 0.2, "512: flat {flat} vs base {base}");
+}
+
+/// Figure 8: FLAT-R reaches its utilization cap with a much smaller
+/// buffer than any Base-X dataflow needs.
+#[test]
+fn flat_r_needs_less_buffer_for_peak_util() {
+    let model = Model::bert();
+    let block = model.block(64, 512);
+    let util = |df: &BlockDataflow, sg: Bytes| {
+        let accel = Accelerator::edge().with_sg(sg);
+        CostModel::new(&accel).scope_cost(&block, df, Scope::LogitAttend).util()
+    };
+    let flat_r = BlockDataflow::flat(Granularity::Row(32));
+    let base_m = BlockDataflow::base_staged(Granularity::BatchMultiHead);
+    // FLAT-R32 is near its cap at 1 MiB; Base-M needs ~1 GiB to match.
+    let flat_small = util(&flat_r, Bytes::from_mib(1));
+    let base_small = util(&base_m, Bytes::from_mib(1));
+    let base_huge = util(&base_m, Bytes::from_gib(2));
+    assert!(flat_small > 0.85, "FLAT-R32 at 1 MiB: {flat_small}");
+    assert!(base_small < flat_small);
+    assert!(base_huge > base_small + 0.2, "Base-M should recover with 2 GiB");
+}
+
+/// Figure 4 / §5.3.2: FLAT's advantage is eliminated off-chip traffic for
+/// the intermediate tensor — same MACs, far fewer DRAM accesses.
+#[test]
+fn fusion_removes_intermediate_dram_traffic() {
+    let accel = Accelerator::cloud();
+    let block = Model::xlm().block(64, 16_384);
+    let cm = CostModel::new(&accel);
+    let base = cm.la_cost(&block, &BlockDataflow::base().la);
+    let flat = cm.la_cost(&block, &BlockDataflow::flat(Granularity::Row(256)).la);
+    assert_eq!(base.activity.macs, flat.activity.macs, "same work");
+    let logit_bytes = block.config().logit_size().as_f64();
+    let saved = base.traffic.offchip.as_f64() - flat.traffic.offchip.as_f64();
+    assert!(
+        saved > 3.0 * logit_bytes,
+        "should save >=3 logit passes: saved {saved:.3e}, logit {logit_bytes:.3e}"
+    );
+    assert!(flat.energy.total_pj() < base.energy.total_pj());
+}
+
+/// Figure 11/12: the accelerator-class ladder is monotone, and ATTACC's
+/// model-level win over FlexAccel on the cloud platform at 16K is
+/// decisive (paper: 1.46x; our baseline is overlap-friendlier, so we
+/// accept anything clearly > 1).
+#[test]
+fn attacc_beats_flexaccel_on_cloud_16k() {
+    let accel = Accelerator::cloud();
+    let model = Model::xlm();
+    let flex = AccelClass::FlexAccel.evaluate(&accel, &model, 64, 16_384, Objective::MaxUtil);
+    let attacc = AccelClass::AttAcc.evaluate(&accel, &model, 64, 16_384, Objective::MaxUtil);
+    let speedup = attacc.speedup_over(&flex);
+    assert!(speedup > 1.5, "speedup {speedup}");
+    assert!(attacc.energy_ratio_vs(&flex) < 0.9);
+}
+
+/// Figure 12(b): ATTACC needs far less off-chip bandwidth than the
+/// sequential classes to sustain 0.95 utilization on L-A.
+#[test]
+fn attacc_reduces_bandwidth_requirement() {
+    let accel = Accelerator::cloud();
+    let block = Model::xlm().block(64, 8192);
+    let need = |space: SpaceKind| -> Option<f64> {
+        let (mut lo, mut hi) = (1.0e8f64, 1.0e14f64);
+        let util_at = |bw: f64| {
+            let a = accel.with_offchip_bw(bw);
+            Dse::new(&a, &block).best_la(space, Objective::MaxUtil).report.util()
+        };
+        if util_at(hi) < 0.95 {
+            return None;
+        }
+        while hi / lo > 1.1 {
+            let mid = (lo * hi).sqrt();
+            if util_at(mid) >= 0.95 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    };
+    let attacc = need(SpaceKind::Full).expect("ATTACC reaches 0.95 at 8K");
+    if let Some(flex) = need(SpaceKind::Sequential) {
+        assert!(attacc < 0.5 * flex, "attacc {attacc:.3e} vs flex {flex:.3e}");
+    }
+}
+
+/// §4.5: expressing a non-fused operator through FLAT (sequential L-A in
+/// the Full space) can never be worse than the dedicated sequential
+/// search — the spaces nest.
+#[test]
+fn full_space_contains_sequential_results() {
+    let accel = Accelerator::edge();
+    for seq in [512u64, 4096] {
+        let block = Model::t5_small().block(64, seq);
+        let dse = Dse::new(&accel, &block);
+        let seq_best = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
+        let full_best = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+        assert!(full_best.report.util() >= seq_best.report.util() - 1e-12);
+    }
+}
+
+/// §4.2.2's composite FLAT-tiles at work: when the scratchpad forces a
+/// small row count, a single head's `R` rows underfill the wide cloud
+/// array — packing several heads per tile restores the spatial
+/// parallelism at the same per-head row count.
+#[test]
+fn composite_tiles_fill_wide_arrays_at_small_r() {
+    let accel = Accelerator::cloud();
+    let block = Model::xlm().block(64, 2048);
+    let util_of = |g: Granularity| {
+        CostModel::new(&accel)
+            .fused_la_cost(&block, &flat::core::FusedDataflow::new(g))
+            .util()
+    };
+    let thin = util_of(Granularity::Row(64)); // 64 of 256 array rows busy
+    let packed = util_of(Granularity::Composite { batch_t: 1, head_t: 4, rows: 64 });
+    assert!(packed > 1.5 * thin, "packed {packed} vs thin {thin}");
+    assert!(packed > 0.6, "packed heads fill the array: {packed}");
+}
+
+/// The fused execution reported by the DSE is actually fused (sanity on
+/// the winning dataflow's structure at a FLAT-friendly operating point).
+#[test]
+fn winning_dataflow_is_fused_when_it_matters() {
+    let accel = Accelerator::cloud();
+    let block = Model::bert().block(64, 16_384);
+    let best = Dse::new(&accel, &block).best_la(SpaceKind::Full, Objective::MaxUtil);
+    match best.la {
+        LaExecution::Fused(f) => {
+            assert!(f.enables.intermediate, "the winning FLAT point stages the intermediate");
+        }
+        LaExecution::Sequential { .. } => {
+            panic!("at cloud/16K the fused dataflow must win (util {})", best.report.util())
+        }
+    }
+}
