@@ -1,0 +1,150 @@
+//! `snapshot` — the benchmark-trajectory harness.
+//!
+//! Times the two hot paths this repo optimizes — the blocked attention
+//! kernels and the incremental parallel sweep engine — against their
+//! naive baselines, and writes the results to a `BENCH_<tag>.json` file
+//! at the repo root. One snapshot is committed per performance PR, so
+//! the series of files records the performance trajectory of the
+//! codebase over time.
+//!
+//! ```text
+//! cargo run --release -p flat-bench --bin snapshot -- [--tag PR1] [--quick] [--out path]
+//! ```
+//!
+//! Schema (`flat-bench-snapshot/v1`): a top-level object with the grid
+//! configuration and an `entries` array; each entry carries `group`
+//! (`kernel` or `sweep`), `name`, `config`, rep counts, `mean_ms` /
+//! `min_ms` wall times, and `speedup_vs_baseline` (the baseline entry of
+//! each group has speedup 1.0, computed min-over-min).
+
+use flat_bench::args::Args;
+use flat_bench::sweep::{buffer_sweep, buffer_sweep_serial};
+use flat_kernels::{flat_attention, naive_attention, parallel_flat_attention, Mask, MultiHeadInput};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    schema: String,
+    tag: String,
+    pool_threads: usize,
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Entry {
+    group: String,
+    name: String,
+    config: String,
+    reps: u64,
+    mean_ms: f64,
+    min_ms: f64,
+    speedup_vs_baseline: f64,
+}
+
+/// Times `f` over `reps` repetitions (after one untimed warm-up run),
+/// keeping a result alive so the work is not optimized out.
+fn time<T>(group: &str, name: &str, config: &str, reps: u64, mut f: impl FnMut() -> T) -> Entry {
+    let warmup = f();
+    drop(warmup);
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        drop(out);
+        total += ms;
+        min = min.min(ms);
+    }
+    let entry = Entry {
+        group: group.to_owned(),
+        name: name.to_owned(),
+        config: config.to_owned(),
+        reps,
+        mean_ms: total / reps as f64,
+        min_ms: min,
+        speedup_vs_baseline: 1.0,
+    };
+    println!(
+        "{:<8} {:<28} mean {:>9.3} ms   min {:>9.3} ms   ({} reps)",
+        entry.group, entry.name, entry.mean_ms, entry.min_ms, reps
+    );
+    entry
+}
+
+/// Fills in `speedup_vs_baseline` for a group: baseline min over each
+/// entry's min.
+fn with_speedups(mut group: Vec<Entry>) -> Vec<Entry> {
+    let base = group[0].min_ms;
+    for e in &mut group {
+        e.speedup_vs_baseline = base / e.min_ms;
+    }
+    group
+}
+
+fn kernel_entries(args: &Args, quick: bool) -> Vec<Entry> {
+    // At 4K the baseline's full logit matrix (seq² × 4 B = 64 MiB) falls
+    // out of the cache hierarchy, while FLAT's row tile stays resident —
+    // the memory-traffic gap the paper targets, visible on one core.
+    let (default_seq, reps) = if quick { (256, 2) } else { (4096, 3) };
+    let seq = args.get_u64("seq", default_seq) as usize;
+    let tile = args.get_u64("tile", 64) as usize;
+    let (batch, heads, dk) = (1, 4, 64);
+    let config = format!("batch={batch} heads={heads} seq={seq} dk={dk} f32");
+    let input = MultiHeadInput::random(batch, heads, seq, seq, dk, 0xF1A7);
+    let entries = vec![
+        time("kernel", "naive_attention", &config, reps, || {
+            naive_attention(&input, Mask::None)
+        }),
+        time("kernel", "flat_attention", &format!("{config} rows_per_tile={tile}"), reps, || {
+            flat_attention(&input, tile, Mask::None)
+        }),
+        time(
+            "kernel",
+            "parallel_flat_attention",
+            &format!("{config} rows_per_tile={tile}"),
+            reps,
+            || parallel_flat_attention(&input, tile, Mask::None, rayon::current_num_threads()),
+        ),
+    ];
+    with_speedups(entries)
+}
+
+fn sweep_entries(quick: bool) -> Vec<Entry> {
+    let reps = if quick { 1 } else { 2 };
+    let platform = flat_bench::platform("edge");
+    let model = flat_bench::model("bert");
+    let seqs: Vec<u64> = if quick { vec![256] } else { vec![256, 512] };
+    let sgs = flat_bench::sg_sweep(true);
+    let config = format!("edge/bert seqs={:?} sg_points={}", seqs, sgs.len());
+    let entries = vec![
+        time("sweep", "buffer_sweep_serial", &config, reps, || {
+            buffer_sweep_serial(&platform, &model, &seqs, &sgs)
+        }),
+        time("sweep", "buffer_sweep", &config, reps, || {
+            buffer_sweep(&platform, &model, &seqs, &sgs)
+        }),
+    ];
+    with_speedups(entries)
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let tag = args.get("tag", "PR1");
+    let out_path = args.get("out", &format!("BENCH_{tag}.json"));
+
+    let mut entries = kernel_entries(&args, quick);
+    entries.extend(sweep_entries(quick));
+
+    let snapshot = Snapshot {
+        schema: "flat-bench-snapshot/v1".to_owned(),
+        tag,
+        pool_threads: rayon::current_num_threads(),
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::write(&out_path, json + "\n").expect("write snapshot file");
+    println!("wrote {out_path}");
+}

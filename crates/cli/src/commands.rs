@@ -148,13 +148,13 @@ fn report_json(report: &CostReport, label: &str, scope: Scope) -> serde_json::Va
         "onchip_bytes": report.traffic.onchip.as_u64(),
         "footprint_bytes": report.footprint.as_u64(),
         "energy_pj": report.energy.total_pj(),
-        "energy": {
+        "energy": json!({
             "compute_pj": report.energy.compute_pj,
             "sl_pj": report.energy.sl_pj,
             "sg_pj": report.energy.sg_pj,
             "dram_pj": report.energy.dram_pj,
             "sfu_pj": report.energy.sfu_pj,
-        },
+        }),
     })
 }
 

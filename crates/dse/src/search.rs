@@ -45,33 +45,18 @@ impl<'a> Dse<'a> {
         Dse { accel, block }
     }
 
-    /// Evaluates every L-A point in `space` (in parallel) and returns them
-    /// all — the raw material of the Figure 10 design-space scatter.
+    /// Evaluates every L-A point in `space` (in parallel, on the shared
+    /// pool) and returns them all — the raw material of the Figure 10
+    /// design-space scatter.
     #[must_use]
     pub fn explore_la(&self, space: SpaceKind) -> Vec<DesignPoint> {
+        use rayon::prelude::*;
         let points = la_points(space, self.block.config().seq_q);
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-        let chunk = points.len().div_ceil(threads).max(1);
-        let mut results: Vec<Vec<DesignPoint>> = Vec::new();
-        crossbeam::scope(|s| {
-            let handles: Vec<_> = points
-                .chunks(chunk)
-                .map(|chunk| {
-                    s.spawn(move |_| {
-                        let cm = CostModel::new(self.accel);
-                        chunk
-                            .iter()
-                            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("search worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        results.into_iter().flatten().collect()
+        let cm = CostModel::new(self.accel);
+        points
+            .par_iter()
+            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
+            .collect()
     }
 
     /// Best L-A point in `space` under `objective`.
@@ -82,8 +67,28 @@ impl<'a> Dse<'a> {
     /// [`SpaceKind`]s).
     #[must_use]
     pub fn best_la(&self, space: SpaceKind, objective: Objective) -> DesignPoint {
-        self.explore_la(space)
-            .into_iter()
+        let points = la_points(space, self.block.config().seq_q);
+        self.best_la_among(&points, objective)
+    }
+
+    /// Best L-A point among an explicit candidate list — a streaming
+    /// parallel max-reduction that never materializes the priced space.
+    /// Sweeps that price one space at many buffer sizes enumerate the
+    /// candidates once and call this per grid point.
+    ///
+    /// The winner (ties included) is identical to pricing serially and
+    /// taking `Iterator::max_by`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn best_la_among(&self, points: &[LaExecution], objective: Objective) -> DesignPoint {
+        use rayon::prelude::*;
+        let cm = CostModel::new(self.accel);
+        points
+            .par_iter()
+            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
             .max_by(|a, b| {
                 objective
                     .score(&a.report)

@@ -124,9 +124,8 @@ pub fn naive_attention(input: &MultiHeadInput, mask: Mask) -> Vec<Mat> {
         .map(|g| {
             let mut logits = input.q[g].matmul_transposed(&input.k[g]);
             for i in 0..logits.rows() {
-                for j in 0..logits.cols() {
-                    let v = logits.at(i, j) * scale;
-                    logits.set(i, j, if mask.allows(i, j) { v } else { f32::NEG_INFINITY });
+                for (j, x) in logits.row_mut(i).iter_mut().enumerate() {
+                    *x = if mask.allows(i, j) { *x * scale } else { f32::NEG_INFINITY };
                 }
             }
             for i in 0..logits.rows() {

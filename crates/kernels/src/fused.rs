@@ -60,30 +60,22 @@ pub(crate) fn flat_attention_group(
     let mut row_lo = 0;
     while row_lo < input.seq_q {
         let row_hi = (row_lo + rows_per_tile).min(input.seq_q);
-        // Stage L: one FLAT-tile of logits, complete rows only.
-        let q_tile = q.row_slice(row_lo, row_hi);
-        let mut tile = q_tile.matmul_transposed(k);
+        // Stage L: one FLAT-tile of logits, complete rows only, computed
+        // straight from Q's rows (no row_slice copy).
+        let mut tile = q.matmul_transposed_rows(row_lo, row_hi, k);
         for i in 0..tile.rows() {
-            for j in 0..tile.cols() {
-                let val = tile.at(i, j) * scale;
-                tile.set(
-                    i,
-                    j,
-                    if mask.allows(row_lo + i, j) { val } else { f32::NEG_INFINITY },
-                );
+            let qi = row_lo + i;
+            for (j, x) in tile.row_mut(i).iter_mut().enumerate() {
+                *x = if mask.allows(qi, j) { *x * scale } else { f32::NEG_INFINITY };
             }
         }
         // SFU: softmax inside the on-chip slice.
         for i in 0..tile.rows() {
             softmax_row(tile.row_mut(i));
         }
-        // Stage A: consume the slice immediately.
-        let o_tile = tile.matmul(v);
-        for i in 0..o_tile.rows() {
-            for j in 0..o_tile.cols() {
-                out.set(row_lo + i, j, o_tile.at(i, j));
-            }
-        }
+        // Stage A: consume the slice immediately, writing the output rows
+        // this tile owns in place.
+        tile.matmul_into(v, &mut out, row_lo);
         row_lo = row_hi;
     }
     out

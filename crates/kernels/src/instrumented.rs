@@ -87,20 +87,17 @@ pub fn instrumented_flat_attention(
                 let rows = row_hi - row_lo;
                 stats.q_reads += (rows * input.dk) as u64;
 
-                let q_tile = q.row_slice(row_lo, row_hi);
-                let mut tile = q_tile.matmul_transposed(k);
+                // Same no-copy tile primitive as the uninstrumented path:
+                // the outputs must stay bit-identical.
+                let mut tile = q.matmul_transposed_rows(row_lo, row_hi, k);
                 let live = (rows * input.seq_kv) as u64;
                 stats.logit_writes += live;
                 stats.peak_live_logits = stats.peak_live_logits.max(live);
 
                 for i in 0..tile.rows() {
-                    for j in 0..tile.cols() {
-                        let val = tile.at(i, j) * scale;
-                        tile.set(
-                            i,
-                            j,
-                            if mask.allows(row_lo + i, j) { val } else { f32::NEG_INFINITY },
-                        );
+                    let qi = row_lo + i;
+                    for (j, x) in tile.row_mut(i).iter_mut().enumerate() {
+                        *x = if mask.allows(qi, j) { *x * scale } else { f32::NEG_INFINITY };
                     }
                 }
                 // SFU pass reads and rewrites the slice in place.
@@ -111,13 +108,8 @@ pub fn instrumented_flat_attention(
                 }
                 // Stage A reads the slice once more.
                 stats.logit_reads += live;
-                let o_tile = tile.matmul(v);
+                tile.matmul_into(v, &mut out, row_lo);
                 stats.o_writes += (rows * input.dk) as u64;
-                for i in 0..o_tile.rows() {
-                    for j in 0..o_tile.cols() {
-                        out.set(row_lo + i, j, o_tile.at(i, j));
-                    }
-                }
                 row_lo = row_hi;
             }
             out

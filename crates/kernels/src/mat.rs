@@ -1,12 +1,44 @@
-//! A minimal dense row-major matrix for the reference kernels.
+//! A dense row-major matrix with register-tiled, cache-blocked matrix
+//! multiply kernels.
+//!
+//! The multiply routines share two microkernels:
+//!
+//! * `gemm` (`C += A·B`): `MR`-row register panels over `KC`-deep
+//!   contraction blocks. The innermost loop walks one row of `B` once
+//!   while feeding `MR` independent `f32::mul_add` streams — a shape the
+//!   compiler auto-vectorizes, with hardware FMA under
+//!   `-C target-cpu=native` (see `.cargo/config.toml`).
+//! * `dot` (`aᵀb`): `LANES` independent partial sums folded by a short
+//!   tree reduction, used where *both* operands are contiguous along the
+//!   contraction (the `Q·Kᵀ` logit shape).
+//!
+//! Contraction order is ascending in both kernels, so `matmul` produces
+//! the same per-element accumulation sequence as the textbook triple loop
+//! (FMA rounding aside), and every caller of the same routine on the same
+//! rows gets bit-identical results — the property the fused/instrumented/
+//! parallel attention paths rely on.
 
 use rand::Rng;
 use std::fmt;
 
+/// Register row-panel height: C rows accumulated simultaneously, each an
+/// independent FMA stream in the inner loop.
+const MR: usize = 4;
+
+/// Contraction-dimension cache block: one `KC × n` panel of `B` is walked
+/// per block, sized to stay resident while all row panels revisit it.
+const KC: usize = 256;
+
+/// Independent partial-sum lanes in `dot`: breaks the FMA dependence
+/// chain so the reduction vectorizes.
+const LANES: usize = 8;
+
 /// Dense `rows × cols` matrix of `f32`, row-major.
 ///
-/// Deliberately simple: the kernels crate is a correctness witness for the
-/// FLAT tiling, not a performance library.
+/// The kernels crate is first a correctness witness for the FLAT tiling,
+/// but its matrix core is written as a blocked microkernel (see the
+/// module docs) so kernel-vs-kernel wall-clock comparisons measure the
+/// dataflows, not interpreter overhead.
 ///
 /// # Example
 ///
@@ -105,7 +137,7 @@ impl Mat {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// `self · other`.
+    /// `self · other`, through the blocked `gemm` microkernel.
     ///
     /// # Panics
     ///
@@ -114,20 +146,25 @@ impl Mat {
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for l in 0..self.cols {
-                let a = self.data[i * self.cols + l];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[l * other.cols..(l + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &b) in crow.iter_mut().zip(orow) {
-                    *c += a * b;
-                }
-            }
-        }
+        gemm(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
         out
+    }
+
+    /// `self · other`, accumulated into rows `at_row..` of `out`
+    /// (overwriting them). This is the Attend-stage write path: a FLAT
+    /// tile's `S · V` lands directly in the output rows it owns, with no
+    /// intermediate matrix or copy-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if the destination rows don't fit.
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat, at_row: usize) {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        assert_eq!(out.cols, other.cols, "output width must match");
+        assert!(at_row + self.rows <= out.rows, "destination rows out of bounds");
+        let dst = &mut out.data[at_row * out.cols..(at_row + self.rows) * out.cols];
+        dst.fill(0.0);
+        gemm(&self.data, self.rows, self.cols, &other.data, other.cols, dst);
     }
 
     /// `self · otherᵀ` — the Logit operator's shape (`[m, k] × [n, k]ᵀ`).
@@ -137,10 +174,52 @@ impl Mat {
     /// Panics when the two column counts differ.
     #[must_use]
     pub fn matmul_transposed(&self, other: &Mat) -> Mat {
+        self.matmul_transposed_rows(0, self.rows, other)
+    }
+
+    /// `self[lo..hi] · otherᵀ` — one FLAT tile of logits, computed
+    /// straight from the parent matrix's rows. The tile path uses this
+    /// instead of `row_slice` + [`Self::matmul_transposed`]: no copy of
+    /// the Q rows is ever made, and the result is bit-identical to the
+    /// copying form because both run the same `dot` kernel on the same
+    /// rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or out-of-bounds row range, or when the column
+    /// counts differ.
+    #[must_use]
+    pub fn matmul_transposed_rows(&self, lo: usize, hi: usize, other: &Mat) -> Mat {
+        assert!(lo < hi && hi <= self.rows, "bad row range {lo}..{hi}");
         assert_eq!(self.cols, other.cols, "contraction dimensions must agree");
-        Mat::from_fn(self.rows, other.rows, |i, j| {
-            self.row(i).iter().zip(other.row(j)).map(|(a, b)| a * b).sum()
-        })
+        let (m, n, kdim) = (hi - lo, other.rows, self.cols);
+        let a = &self.data[lo * kdim..hi * kdim];
+        let mut out = Mat::zeros(m, n);
+        let panels = m / MR;
+        for p in 0..panels {
+            let i = p * MR;
+            let a0 = &a[i * kdim..(i + 1) * kdim];
+            let a1 = &a[(i + 1) * kdim..(i + 2) * kdim];
+            let a2 = &a[(i + 2) * kdim..(i + 3) * kdim];
+            let a3 = &a[(i + 3) * kdim..(i + 4) * kdim];
+            let crows = &mut out.data[i * n..(i + MR) * n];
+            for j in 0..n {
+                // One streamed K row feeds all MR query rows of the panel.
+                let brow = &other.data[j * kdim..(j + 1) * kdim];
+                crows[j] = dot(a0, brow);
+                crows[n + j] = dot(a1, brow);
+                crows[2 * n + j] = dot(a2, brow);
+                crows[3 * n + j] = dot(a3, brow);
+            }
+        }
+        for i in panels * MR..m {
+            let arow = &a[i * kdim..(i + 1) * kdim];
+            let crow = &mut out.data[i * n..(i + 1) * n];
+            for (j, c) in crow.iter_mut().enumerate() {
+                *c = dot(arow, &other.data[j * kdim..(j + 1) * kdim]);
+            }
+        }
+        out
     }
 
     /// The transpose.
@@ -192,6 +271,76 @@ impl fmt::Display for Mat {
     }
 }
 
+/// `C += A·B` with `A: [m, kdim]`, `B: [kdim, n]`, `C: [m, n]`, all
+/// row-major. Register-tiled over `MR`-row panels of `C` and
+/// cache-blocked over `KC`-deep slices of the contraction: each `B` panel
+/// is streamed once per row-panel pass while `MR` accumulator rows stay
+/// hot. Contraction order is ascending for every `(i, j)`, matching the
+/// textbook loop nest.
+fn gemm(a: &[f32], m: usize, kdim: usize, b: &[f32], n: usize, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(c.len(), m * n);
+    let panels = m / MR;
+    let mut l_blk = 0;
+    while l_blk < kdim {
+        let l_end = (l_blk + KC).min(kdim);
+        for p in 0..panels {
+            let i = p * MR;
+            let (half01, half23) = c[i * n..(i + MR) * n].split_at_mut(2 * n);
+            let (c0, c1) = half01.split_at_mut(n);
+            let (c2, c3) = half23.split_at_mut(n);
+            for l in l_blk..l_end {
+                let a0 = a[i * kdim + l];
+                let a1 = a[(i + 1) * kdim + l];
+                let a2 = a[(i + 2) * kdim + l];
+                let a3 = a[(i + 3) * kdim + l];
+                let brow = &b[l * n..(l + 1) * n];
+                let rows = c0.iter_mut().zip(c1.iter_mut()).zip(c2.iter_mut().zip(c3.iter_mut()));
+                for (((r0, r1), (r2, r3)), &bv) in rows.zip(brow) {
+                    *r0 = a0.mul_add(bv, *r0);
+                    *r1 = a1.mul_add(bv, *r1);
+                    *r2 = a2.mul_add(bv, *r2);
+                    *r3 = a3.mul_add(bv, *r3);
+                }
+            }
+        }
+        for i in panels * MR..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for l in l_blk..l_end {
+                let av = a[i * kdim + l];
+                let brow = &b[l * n..(l + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv = av.mul_add(bv, *cv);
+                }
+            }
+        }
+        l_blk = l_end;
+    }
+}
+
+/// `aᵀb` over two equal-length contiguous slices: `LANES` independent
+/// `mul_add` chains (so the loop vectorizes) folded by a fixed tree
+/// reduction, plus a scalar tail for lengths not divisible by `LANES`.
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; LANES];
+    for (ca, cb) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+        for (lane, acc) in lanes.iter_mut().enumerate() {
+            *acc = ca[lane].mul_add(cb[lane], *acc);
+        }
+    }
+    let mut tail = 0.0f32;
+    let ra = a.chunks_exact(LANES).remainder();
+    let rb = b.chunks_exact(LANES).remainder();
+    for (&x, &y) in ra.iter().zip(rb) {
+        tail = x.mul_add(y, tail);
+    }
+    let even = (lanes[0] + lanes[4]) + (lanes[2] + lanes[6]);
+    let odd = (lanes[1] + lanes[5]) + (lanes[3] + lanes[7]);
+    (even + odd) + tail
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +384,65 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Mat::random(3, 9, &mut rng);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// Independent reference: the textbook triple loop, no blocking, no
+    /// FMA.
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        Mat::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|l| a.at(i, l) * b.at(l, j)).sum()
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_awkward_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Shapes straddling every blocking boundary: row panels (MR=4),
+        // contraction blocks (KC=256), dot lanes (LANES=8).
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (4, 8, 4), (5, 9, 7), (13, 300, 6), (8, 257, 3)] {
+            let a = Mat::random(m, k, &mut rng);
+            let b = Mat::random(k, n, &mut rng);
+            let d = a.matmul(&b).max_abs_diff(&naive_matmul(&a, &b));
+            assert!(d < 1e-4, "({m},{k},{n}): diff {d}");
+        }
+    }
+
+    #[test]
+    fn blocked_transposed_matches_naive_on_awkward_shapes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for (m, n, k) in [(1, 1, 1), (3, 2, 5), (4, 4, 8), (5, 7, 9), (6, 13, 300), (9, 2, 17)] {
+            let a = Mat::random(m, k, &mut rng);
+            let b = Mat::random(n, k, &mut rng);
+            let d = a.matmul_transposed(&b).max_abs_diff(&naive_matmul(&a, &b.transpose()));
+            assert!(d < 1e-4, "({m},{n},{k}): diff {d}");
+        }
+    }
+
+    #[test]
+    fn transposed_rows_bit_identical_to_row_slice_form() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = Mat::random(23, 16, &mut rng);
+        let k = Mat::random(19, 16, &mut rng);
+        for (lo, hi) in [(0, 23), (0, 4), (5, 10), (20, 23)] {
+            let no_copy = q.matmul_transposed_rows(lo, hi, &k);
+            let copying = q.row_slice(lo, hi).matmul_transposed(&k);
+            assert_eq!(no_copy.max_abs_diff(&copying), 0.0, "rows {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let s = Mat::random(5, 11, &mut rng);
+        let v = Mat::random(11, 6, &mut rng);
+        let expect = s.matmul(&v);
+        let mut out = Mat::zeros(12, 6);
+        s.matmul_into(&v, &mut out, 3);
+        for i in 0..5 {
+            assert_eq!(out.row(3 + i), expect.row(i));
+        }
+        // Rows outside the destination stay untouched.
+        assert!(out.row(0).iter().all(|&x| x == 0.0));
+        assert!(out.row(11).iter().all(|&x| x == 0.0));
     }
 }

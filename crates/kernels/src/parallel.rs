@@ -5,11 +5,16 @@
 //! threads.
 
 use crate::{flat_attention_group, Mask, Mat, MultiHeadInput};
-use std::thread;
+use rayon::prelude::*;
 
-/// [`flat_attention`](crate::flat_attention) across `threads` OS threads,
-/// splitting the (batch, head) groups. Produces bit-identical results to
-/// the single-threaded kernel (each group's arithmetic is untouched).
+/// [`flat_attention`](crate::flat_attention) with the (batch, head)
+/// groups fanned out over the process-wide worker pool. Produces
+/// bit-identical results to the single-threaded kernel (each group's
+/// arithmetic is untouched, and groups land in their serial order).
+///
+/// `threads` is a concurrency *hint* kept for API stability: it is
+/// validated, but scheduling is owned by the shared pool, which sizes
+/// itself to the host once instead of spawning OS threads per call.
 ///
 /// # Panics
 ///
@@ -36,22 +41,10 @@ pub fn parallel_flat_attention(
 ) -> Vec<Mat> {
     assert!(rows_per_tile > 0, "row tile must be positive");
     assert!(threads > 0, "need at least one thread");
-    let groups = input.groups();
-    let threads = threads.min(groups);
-    let chunk = groups.div_ceil(threads);
-
-    let mut out: Vec<Option<Mat>> = (0..groups).map(|_| None).collect();
-    thread::scope(|scope| {
-        for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let lo = t * chunk;
-            scope.spawn(move || {
-                for (off, s) in slot.iter_mut().enumerate() {
-                    *s = Some(flat_attention_group(input, lo + off, rows_per_tile, mask));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|m| m.expect("every group computed")).collect()
+    (0..input.groups())
+        .into_par_iter()
+        .map(|g| flat_attention_group(input, g, rows_per_tile, mask))
+        .collect()
 }
 
 #[cfg(test)]

@@ -145,7 +145,7 @@ mod tests {
         for _ in 0..200 {
             // Ascending-ish rows force the online path to rescale often.
             let mut row: Vec<f32> = (0..128)
-                .map(|i| i as f32 * 0.05 + rng.gen_range(-1.0..1.0))
+                .map(|i| i as f32 * 0.05 + rng.gen_range(-1.0f32..1.0))
                 .collect();
             let online = online_softmax_bf16(&row, 4);
             err_online += f64::from(softmax_error(&row, &online));

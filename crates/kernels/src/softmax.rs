@@ -21,7 +21,7 @@ pub fn softmax_row(row: &mut [f32]) {
     if row.is_empty() {
         return;
     }
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = lane_max(row);
     let mut sum = 0.0f32;
     for v in row.iter_mut() {
         *v = (*v - max).exp();
@@ -31,6 +31,20 @@ pub fn softmax_row(row: &mut [f32]) {
     for v in row.iter_mut() {
         *v *= inv;
     }
+}
+
+/// Row maximum via 8 independent lanes so the reduction vectorizes.
+/// `f32::max` is exactly associative and commutative (no NaNs in logit
+/// rows), so this is bit-identical to the serial fold.
+fn lane_max(row: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    for chunk in row.chunks_exact(8) {
+        for (acc, &x) in lanes.iter_mut().zip(chunk) {
+            *acc = acc.max(x);
+        }
+    }
+    let tail = row.chunks_exact(8).remainder().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    lanes.iter().copied().fold(tail, f32::max)
 }
 
 /// Running state of an *online* softmax over one row, processed in chunks.

@@ -55,39 +55,39 @@ pub fn streaming_attention(
                     let col_hi = (col_lo + kv_tile).min(input.seq_kv);
                     for (r, state) in states.iter_mut().enumerate() {
                         let qi = row_lo + r;
-                        // Chunk of this row's logits.
+                        let qrow = q.row(qi);
+                        // Chunk of this row's logits, through the same
+                        // lane-split dot kernel as the tiled paths.
                         let chunk: Vec<f32> = (col_lo..col_hi)
                             .map(|j| {
                                 if mask.allows(qi, j) {
-                                    q.row(qi)
-                                        .iter()
-                                        .zip(k.row(j))
-                                        .map(|(a, b)| a * b)
-                                        .sum::<f32>()
-                                        * scale
+                                    crate::mat::dot(qrow, k.row(j)) * scale
                                 } else {
                                     f32::NEG_INFINITY
                                 }
                             })
                             .collect();
                         let rescale = state.absorb(&chunk);
-                        for d in 0..input.dk {
-                            let mut a = acc.at(r, d) * rescale;
-                            for (off, &x) in chunk.iter().enumerate() {
-                                let w = state.weight(x);
-                                if w > 0.0 {
-                                    a += w * v.at(col_lo + off, d);
+                        let accrow = acc.row_mut(r);
+                        for a in accrow.iter_mut() {
+                            *a *= rescale;
+                        }
+                        for (off, &x) in chunk.iter().enumerate() {
+                            let w = state.weight(x);
+                            if w > 0.0 {
+                                let vrow = v.row(col_lo + off);
+                                for (a, &vv) in accrow.iter_mut().zip(vrow) {
+                                    *a = w.mul_add(vv, *a);
                                 }
                             }
-                            acc.set(r, d, a);
                         }
                     }
                     col_lo = col_hi;
                 }
                 for (r, state) in states.iter().enumerate() {
                     let inv = 1.0 / state.normalizer();
-                    for d in 0..input.dk {
-                        out.set(row_lo + r, d, acc.at(r, d) * inv);
+                    for (o, &a) in out.row_mut(row_lo + r).iter_mut().zip(acc.row(r)) {
+                        *o = a * inv;
                     }
                 }
                 row_lo = row_hi;

@@ -1,0 +1,113 @@
+//! Property tests: the blocked, register-tiled microkernels compute the
+//! same function as the textbook triple loop.
+//!
+//! The matrix core blocks over three extents — MR = 4 register row
+//! panels, KC = 256 contraction cache blocks, and 8-lane split dot
+//! products — so the shapes here deliberately straddle every boundary:
+//! dimensions below, at, and just past each block size, plus awkward
+//! primes that leave remainder tails on all three levels at once.
+
+use flat_kernels::Mat;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random matrix with entries in `[-0.25, 0.25]`: small enough that a
+/// 512-term dot product keeps its float error well under the 1e-5
+/// tolerance, whatever the summation order.
+fn random_mat(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-0.25f32..0.25))
+}
+
+/// The textbook definition: `C[i][j] = Σ_l A[i][l] · B[l][j]`, one
+/// multiply and one add at a time, no blocking.
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    Mat::from_fn(a.rows(), b.cols(), |i, j| {
+        (0..a.cols()).map(|l| a.at(i, l) * b.at(l, j)).sum()
+    })
+}
+
+/// The textbook `A · Bᵀ` for row-major `B`.
+fn naive_matmul_transposed(a: &Mat, b: &Mat) -> Mat {
+    Mat::from_fn(a.rows(), b.rows(), |i, j| {
+        (0..a.cols()).map(|l| a.at(i, l) * b.at(j, l)).sum()
+    })
+}
+
+/// Contraction extents straddling the 8-lane and KC = 256 boundaries.
+fn contraction() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..24,
+        Just(255usize),
+        Just(256usize),
+        Just(257usize),
+        Just(307usize),
+        Just(512usize),
+    ]
+}
+
+/// Row/column extents straddling the MR = 4 panel boundary.
+fn extent() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..10, Just(13usize), Just(16usize)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked `matmul` ≡ the naive triple loop, ∀ shapes.
+    #[test]
+    fn blocked_matmul_equals_naive(
+        m in extent(),
+        k in contraction(),
+        n in extent(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let blocked = a.matmul(&b);
+        let naive = naive_matmul(&a, &b);
+        prop_assert!(blocked.max_abs_diff(&naive) < 1e-5);
+    }
+
+    /// Blocked `matmul_transposed` ≡ the naive triple loop, ∀ shapes.
+    #[test]
+    fn blocked_matmul_transposed_equals_naive(
+        m in extent(),
+        k in contraction(),
+        n in extent(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(n, k, &mut rng);
+        let blocked = a.matmul_transposed(&b);
+        let naive = naive_matmul_transposed(&a, &b);
+        prop_assert!(blocked.max_abs_diff(&naive) < 1e-5);
+    }
+
+    /// The row-range entry point used by the tiled attention paths agrees
+    /// with slicing the full blocked product, for every sub-range.
+    #[test]
+    fn transposed_row_ranges_match_full_product(
+        m in 1usize..14,
+        k in 1usize..40,
+        n in extent(),
+        lo in 0usize..14,
+        len in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let lo = lo.min(m - 1);
+        let hi = (lo + len).min(m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(n, k, &mut rng);
+        let full = a.matmul_transposed(&b);
+        let part = a.matmul_transposed_rows(lo, hi, &b);
+        for i in lo..hi {
+            for j in 0..n {
+                prop_assert_eq!(part.at(i - lo, j), full.at(i, j));
+            }
+        }
+    }
+}

@@ -62,7 +62,7 @@ impl fmt::Display for Task {
 }
 
 /// The Long Range Arena tasks (Tay et al., cited by the paper as "the
-/// benchmark for efficient transformers" [71]) with their sequence
+/// benchmark for efficient transformers", paper ref 71) with their sequence
 /// lengths — a second, externally defined long-sequence suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LraTask {

@@ -1,0 +1,242 @@
+//! Offline stand-in for `criterion`: same macro/builder surface, minimal
+//! wall-clock measurement underneath.
+//!
+//! Each benchmark warms up briefly, then runs `sample_size` timed samples
+//! (auto-scaling iterations per sample so one sample is long enough to
+//! time) and prints mean / min / max per-iteration latency plus
+//! element throughput when a `Throughput` was set. No statistical
+//! analysis, no HTML reports, no baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Groups related benchmarks under a common name prefix.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, None, |b| f(b));
+        self
+    }
+}
+
+/// Units for reporting throughput alongside latency.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing sample-size and throughput config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the throughput used to derive rate numbers for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream emits summary reports here; this harness
+    /// prints as it goes, so it is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name of the form `function/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, called `iters_per_sample` times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms elapsed to settle caches/branch state,
+        // and size the per-sample iteration count so each sample spans at
+        // least ~1ms of wall clock.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= Duration::from_millis(20) || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        self.iters_per_sample = ((0.001 / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { iters_per_sample: 1, samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples: closure never called iter)");
+        return;
+    }
+    let per_sample: Vec<f64> =
+        b.samples.iter().map(|d| d.as_secs_f64() / b.iters_per_sample as f64).collect();
+    let mean = per_sample.iter().sum::<f64>() / per_sample.len() as f64;
+    let min = per_sample.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>10}/s", si(n as f64 / mean)),
+        Some(Throughput::Bytes(n)) => format!("  {:>10}B/s", si(n as f64 / mean)),
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]{rate}",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Declares a benchmark group: a function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group. Accepts
+/// and ignores harness CLI flags (`--bench`, filters) that `cargo bench`
+/// forwards.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes flags like `--bench`; this harness runs
+            // everything unconditionally.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("naive", 512).full, "naive/512");
+    }
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion { sample_size: 3 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `proptest`: the `proptest!` macro, strategy
+//! combinators (`prop_map`, `prop_filter`, `prop_oneof!`, `Just`, ranges,
+//! tuples, `collection::vec`, `any`), and `prop_assert*`.
+//!
+//! Differences from upstream: the case schedule is deterministic (seeded
+//! by case index), there is no shrinking, and rejected cases
+//! (`prop_assume!`/`prop_filter`) are simply skipped without a global
+//! rejection budget.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!` test module usually imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among an explicit list of values.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select { items }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[(rng.next_u64() as usize) % self.items.len()].clone()
+        }
+    }
+}
+
+pub use crate::test_runner::Config as ProptestConfig;
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec()`](vec()).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    trait GenerateLen {
+        fn generate_len(self, rng: &mut TestRng) -> usize;
+    }
+
+    impl GenerateLen for std::ops::Range<usize> {
+        fn generate_len(self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...)` body
+/// runs for `Config::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut executed = 0u32;
+                let mut attempts = 0u32;
+                while executed < config.cases && attempts < config.cases * 16 {
+                    attempts += 1;
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempts,
+                    );
+                    let result: $crate::test_runner::TestCaseResult = (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match result {
+                        Ok(()) => executed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {} of {} failed: {}",
+                                executed + 1,
+                                stringify!($name),
+                                msg
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    executed >= config.cases / 2,
+                    "too many rejected cases in {} ({} of {} attempts accepted)",
+                    stringify!($name),
+                    executed,
+                    attempts
+                );
+            }
+        )*
+    };
+}

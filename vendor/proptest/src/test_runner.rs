@@ -1,0 +1,66 @@
+//! Test configuration, RNG, and case results.
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Failure modes of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — skip, don't fail.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic per-case RNG: seeded from the test's path and the case
+/// index, so every run of the suite explores the same schedule.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// RNG for one (test, case) pair.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        use rand::SeedableRng;
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { rng: rand::rngs::StdRng::seed_from_u64(h ^ (u64::from(case) << 32)) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.rng.next_u64()
+    }
+}

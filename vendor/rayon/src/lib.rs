@@ -1,0 +1,385 @@
+//! Offline stand-in for `rayon`: indexed data parallelism over a single
+//! **shared global thread pool**.
+//!
+//! Every `par_iter()` in the workspace — DSE search, the kernels' group
+//! parallelism, the sweep grid — drains into the same lazily-spawned pool
+//! (`available_parallelism` workers), so nothing in the stack spawns
+//! per-call threads. With one core (or tiny inputs) execution degenerates
+//! to an inline loop in the caller with zero synchronization overhead.
+//!
+//! Scope of the API subset: parallel iterators over slices (`par_iter`)
+//! and `usize`/`u64` ranges (`into_par_iter`), the `map` adapter, and the
+//! `collect`/`reduce`/`max_by`/`min_by`/`for_each`/`sum` consumers.
+//! Semantics match upstream where it is observable: `collect` preserves
+//! index order and `max_by` returns the **latest** maximum under the
+//! iteration order, exactly like `Iterator::max_by`, so parallel searches
+//! tie-break identically to their serial references.
+
+mod pool;
+
+pub use pool::current_num_threads;
+
+use pool::run_chunked;
+
+/// The upstream prelude: import `rayon::prelude::*` and use `par_iter`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Slice-likes with a by-reference parallel iterator.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// An indexed parallel iterator: a length plus a `Sync` element producer.
+/// All consumers drive the index space through the shared pool.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the element at `index` (called concurrently from pool
+    /// workers).
+    fn produce(&self, index: usize) -> Self::Item;
+
+    /// Maps every element through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> MapIter<Self, F> {
+        MapIter { inner: self, f }
+    }
+
+    /// Collects into a container, preserving index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_chunked(self.len(), &|range| {
+            for i in range {
+                f(self.produce(i));
+            }
+        });
+    }
+
+    /// Folds all elements with `op`, seeding each chunk with
+    /// `identity()` — upstream `reduce` semantics (requires `op`
+    /// associative and `identity` neutral for a deterministic result).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let chunks = map_chunks(&self, &|acc: Option<Self::Item>, item| {
+            Some(match acc {
+                None => op(identity(), item),
+                Some(acc) => op(acc, item),
+            })
+        });
+        chunks
+            .into_iter()
+            .flatten()
+            .fold(None, |acc, item| {
+                Some(match acc {
+                    None => item,
+                    Some(acc) => op(acc, item),
+                })
+            })
+            .unwrap_or_else(identity)
+    }
+
+    /// The maximum element under `cmp`; the **latest** of equal maxima,
+    /// matching `Iterator::max_by`.
+    fn max_by<F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync>(
+        self,
+        cmp: F,
+    ) -> Option<Self::Item> {
+        let chunks = map_chunks(&self, &|best: Option<Self::Item>, item| {
+            Some(match best {
+                None => item,
+                // `>= ` in max terms: later item wins ties.
+                Some(best) => {
+                    if cmp(&item, &best) == std::cmp::Ordering::Less {
+                        best
+                    } else {
+                        item
+                    }
+                }
+            })
+        });
+        // Chunks are gathered in index order; the same later-wins rule
+        // across chunks reproduces the serial tie-break exactly.
+        chunks.into_iter().flatten().fold(None, |best, item| {
+            Some(match best {
+                None => item,
+                Some(best) => {
+                    if cmp(&item, &best) == std::cmp::Ordering::Less {
+                        best
+                    } else {
+                        item
+                    }
+                }
+            })
+        })
+    }
+
+    /// The minimum element under `cmp`; the **first** of equal minima,
+    /// matching `Iterator::min_by`.
+    fn min_by<F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync>(
+        self,
+        cmp: F,
+    ) -> Option<Self::Item> {
+        let first_wins = |best: Option<Self::Item>, item: Self::Item| {
+            Some(match best {
+                None => item,
+                Some(best) => {
+                    if cmp(&item, &best) == std::cmp::Ordering::Less {
+                        item
+                    } else {
+                        best
+                    }
+                }
+            })
+        };
+        let chunks = map_chunks(&self, &first_wins);
+        chunks.into_iter().flatten().fold(None, first_wins)
+    }
+
+    /// Sums all elements.
+    fn sum<S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>>(self) -> S {
+        let chunks = map_chunks(&self, &|acc: Option<Vec<Self::Item>>, item| {
+            let mut v = acc.unwrap_or_default();
+            v.push(item);
+            Some(v)
+        });
+        chunks.into_iter().flatten().map(|v| v.into_iter().sum::<S>()).sum()
+    }
+}
+
+/// Runs the iterator chunk-wise on the pool, folding each chunk with
+/// `fold_item`, and returns per-chunk accumulators in index order.
+fn map_chunks<P: ParallelIterator, A: Send>(
+    iter: &P,
+    fold_item: &(dyn Fn(Option<A>, P::Item) -> Option<A> + Sync),
+) -> Vec<Option<A>> {
+    let n = iter.len();
+    let slots: Vec<std::sync::Mutex<(bool, Option<A>)>> =
+        (0..pool::chunk_count(n)).map(|_| std::sync::Mutex::new((false, None))).collect();
+    pool::run_chunked_indexed(n, &|chunk_idx, range| {
+        let mut acc = None;
+        for i in range {
+            acc = fold_item(acc, iter.produce(i));
+        }
+        *slots[chunk_idx].lock().expect("chunk slot poisoned") = (true, acc);
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            let (done, acc) = m.into_inner().expect("chunk slot poisoned");
+            debug_assert!(done, "chunk not executed");
+            acc
+        })
+        .collect()
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn produce(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+range_iter!(usize, u64, u32);
+
+/// See [`ParallelIterator::map`].
+pub struct MapIter<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P: ParallelIterator, U: Send, F: Fn(P::Item) -> U + Sync> ParallelIterator
+    for MapIter<P, F>
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn produce(&self, index: usize) -> U {
+        (self.f)(self.inner.produce(index))
+    }
+}
+
+/// Containers buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the container, preserving index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        let chunks = map_chunks(&iter, &|acc: Option<Vec<T>>, item| {
+            let mut v = acc.unwrap_or_default();
+            v.push(item);
+            Some(v)
+        });
+        let mut out = Vec::with_capacity(iter.len());
+        for chunk in chunks.into_iter().flatten() {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_maps() {
+        let v: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[256], 512);
+    }
+
+    #[test]
+    fn max_by_ties_break_like_serial() {
+        // Values with duplicated maxima: serial max_by keeps the last.
+        let v: Vec<(usize, i32)> = (0..100).map(|i| (i, (i % 7) as i32)).collect();
+        let serial = v.iter().copied().max_by(|a, b| a.1.cmp(&b.1)).unwrap();
+        let parallel = v.par_iter().map(|&p| p).max_by(|a, b| a.1.cmp(&b.1)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total = (1..=100u64).collect::<Vec<_>>().par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn for_each_touches_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..10_000usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        assert_eq!((0..0usize).into_par_iter().map(|i| i).max_by(|a, b| a.cmp(b)), None);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        // A par_iter inside a par_iter must complete even with one worker:
+        // inner calls run inline when the pool is busy or single-threaded.
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| (0..8usize).into_par_iter().map(|j| i * j).collect::<Vec<_>>().len())
+            .collect();
+        assert_eq!(out, vec![8; 8]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The shared global thread pool.
+//!
+//! One pool per process, spawned lazily on first parallel call with
+//! `available_parallelism() - 1` workers (the caller is the remaining
+//! lane). Work arrives as *tasks*: an index space `0..n` pre-split into
+//! chunks that workers and the caller claim from an atomic cursor. The
+//! caller always participates in its own task, so nested parallel calls
+//! make progress even when every worker is busy — and on a one-core host
+//! the pool has zero workers and every call runs inline, costing nothing
+//! over a plain loop.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Number of execution lanes (workers + the calling thread). Matches the
+/// upstream function of the same name.
+pub fn current_num_threads() -> usize {
+    pool().lanes
+}
+
+/// Number of chunks `run_chunked_indexed(n, ..)` will execute. Consumers
+/// that gather per-chunk results size their buffers with this.
+pub fn chunk_count(n: usize) -> usize {
+    if n <= 1 {
+        return n;
+    }
+    // Over-split 4x relative to lanes so an unlucky expensive chunk can't
+    // serialize the tail, but never below one element per chunk.
+    n.min(pool().lanes * 4).max(1)
+}
+
+/// Splits `0..n` chunk-wise across the pool; `body` receives each index
+/// range exactly once. Blocks until every chunk has completed; propagates
+/// worker panics to the caller.
+pub fn run_chunked(n: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+    run_chunked_indexed(n, &|_idx, range| body(range));
+}
+
+/// Like [`run_chunked`], also passing the chunk's ordinal (chunks cover
+/// `0..n` in increasing index order: chunk `i` precedes chunk `i + 1`).
+pub fn run_chunked_indexed(n: usize, body: &(dyn Fn(usize, Range<usize>) + Sync)) {
+    let chunks = chunk_count(n);
+    if chunks == 0 {
+        return;
+    }
+    let p = pool();
+    if chunks == 1 || p.workers == 0 {
+        for (idx, range) in ChunkRanges::new(n, chunks).enumerate() {
+            body(idx, range);
+        }
+        return;
+    }
+
+    let task = Arc::new(Task {
+        n,
+        chunks,
+        cursor: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        // SAFETY: the borrow outlives the task because this function does
+        // not return until `completed == chunks`, and no body invocation
+        // can begin after that point (every claim precedes its completion
+        // increment and claims beyond `chunks` never run the body).
+        body: unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, Range<usize>) + Sync),
+                &'static (dyn Fn(usize, Range<usize>) + Sync),
+            >(body)
+        },
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+
+    {
+        let mut q = p.queue.lock().expect("pool queue poisoned");
+        q.push_back(Arc::clone(&task));
+    }
+    p.queue_cv.notify_all();
+
+    // The caller is a full lane: drain chunks alongside the workers.
+    task.drain();
+
+    let mut done = task.done.lock().expect("task latch poisoned");
+    while !*done {
+        done = task.done_cv.wait(done).expect("task latch poisoned");
+    }
+    drop(done);
+    if task.panicked.load(Ordering::Acquire) {
+        panic!("a parallel task panicked in a pool worker");
+    }
+}
+
+struct Task {
+    n: usize,
+    chunks: usize,
+    cursor: AtomicUsize,
+    completed: AtomicUsize,
+    panicked: AtomicBool,
+    body: &'static (dyn Fn(usize, Range<usize>) + Sync),
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: all shared state is atomics/locks and the body is Sync.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Claims and runs chunks until the cursor is exhausted.
+    fn drain(&self) {
+        loop {
+            let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.chunks {
+                return;
+            }
+            let range = chunk_range(self.n, self.chunks, idx);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (self.body)(idx, range);
+            }));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.chunks {
+                *self.done.lock().expect("task latch poisoned") = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct Pool {
+    lanes: usize,
+    workers: usize,
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    queue_cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let lanes = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let pool = Pool {
+            lanes,
+            workers: lanes - 1,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+        };
+        for i in 0..pool.workers {
+            std::thread::Builder::new()
+                .name(format!("flat-pool-{i}"))
+                .spawn(worker_loop)
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let task = {
+            let mut q = p.queue.lock().expect("pool queue poisoned");
+            loop {
+                // Drop tasks whose chunks are all claimed; stragglers are
+                // finishing but there is nothing left to steal.
+                while let Some(front) = q.front() {
+                    if front.cursor.load(Ordering::Relaxed) >= front.chunks {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(front) = q.front() {
+                    break Arc::clone(front);
+                }
+                q = p.queue_cv.wait(q).expect("pool queue poisoned");
+            }
+        };
+        task.drain();
+    }
+}
+
+/// The byte range of chunk `idx` when `0..n` is split into `chunks`
+/// near-equal pieces (the first `n % chunks` pieces get one extra).
+fn chunk_range(n: usize, chunks: usize, idx: usize) -> Range<usize> {
+    let base = n / chunks;
+    let extra = n % chunks;
+    let start = idx * base + idx.min(extra);
+    let len = base + usize::from(idx < extra);
+    start..start + len
+}
+
+struct ChunkRanges {
+    n: usize,
+    chunks: usize,
+    next: usize,
+}
+
+impl ChunkRanges {
+    fn new(n: usize, chunks: usize) -> Self {
+        ChunkRanges { n, chunks, next: 0 }
+    }
+}
+
+impl Iterator for ChunkRanges {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.chunks {
+            return None;
+        }
+        let r = chunk_range(self.n, self.chunks, self.next);
+        self.next += 1;
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 100, 1023] {
+            for chunks in 1..=8usize.min(n.max(1)) {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for idx in 0..chunks {
+                    let r = chunk_range(n, chunks, idx);
+                    assert_eq!(r.start, prev_end, "gap at chunk {idx} of {n}/{chunks}");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n, "coverage for {n}/{chunks}");
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunked_visits_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        run_chunked(hits.len(), &|range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let outcome = std::panic::catch_unwind(|| {
+            run_chunked(100, &|range| {
+                if range.contains(&42) {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(outcome.is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for the shapes this workspace uses — non-generic structs (named, tuple,
+//! unit) and enums whose variants are unit, single-field tuple, multi-field
+//! tuple, or struct-like. No `#[serde(...)]` attributes are supported (none
+//! appear in the workspace).
+//!
+//! Implemented without `syn`/`quote`: the input `TokenStream` is walked
+//! directly (the derive only needs names and arities, never types), and the
+//! generated impl is assembled as a string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the
+/// cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token slice on top-level commas (angle-bracket aware — the
+/// only non-group nesting that appears in field positions).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a `{ name: Type, ... }` body.
+fn named_field_names(body: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .filter_map(|field| {
+            let i = skip_attrs_and_vis(&field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_shape(input: &TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive stand-in does not support generic types (on `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                (name, Shape::NamedStruct(named_field_names(&body)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                (name, Shape::TupleStruct(split_top_level_commas(&body).len()))
+            }
+            _ => (name, Shape::UnitStruct),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => panic!("derive: expected enum body, found {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                let Some(TokenTree::Ident(id)) = body.get(j) else { break };
+                let vname = id.to_string();
+                j += 1;
+                let fields = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        VariantFields::Tuple(split_top_level_commas(&inner).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        VariantFields::Named(named_field_names(&inner))
+                    }
+                    _ => VariantFields::Unit,
+                };
+                // Skip an optional `= discriminant` and the trailing comma.
+                while j < body.len() {
+                    if let TokenTree::Punct(p) = &body[j] {
+                        if p.as_char() == ',' {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                variants.push(Variant { name: vname, fields });
+            }
+            (name, Shape::Enum(variants))
+        }
+        other => panic!("derive: cannot derive for `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_shape(&input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), {payload});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {fields} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            fields = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_shape(&input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected object\"))?;\n",
+            );
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(\
+                     obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let mut s = String::from(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array\"))?;\n",
+            );
+            s.push_str(&format!("Ok({name}(\n"));
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(a.get({i}).unwrap_or(\
+                     &::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!(
+                                "Ok({name}::{vn}(::serde::Deserialize::deserialize_value(payload)?))"
+                            )
+                        } else {
+                            let mut s = String::from(
+                                "let a = payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array\"))?;\n",
+                            );
+                            s.push_str(&format!("Ok({name}::{vn}(\n"));
+                            for i in 0..*n {
+                                s.push_str(&format!(
+                                    "::serde::Deserialize::deserialize_value(a.get({i}).unwrap_or(\
+                                     &::serde::Value::Null))?,\n"
+                                ));
+                            }
+                            s.push_str("))");
+                            s
+                        };
+                        keyed_arms.push_str(&format!("\"{vn}\" => {{ {ctor} }}\n"));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut s = String::from(
+                            "let fm = payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object\"))?;\n",
+                        );
+                        s.push_str(&format!("Ok({name}::{vn} {{\n"));
+                        for f in fields {
+                            s.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 fm.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                            ));
+                        }
+                        s.push_str("})");
+                        keyed_arms.push_str(&format!("\"{vn}\" => {{ {s} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant {{other}} of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (key, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match key.as_str() {{\n{keyed_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant {{other}} of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(\"expected enum representation\")),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
