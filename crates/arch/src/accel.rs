@@ -155,6 +155,22 @@ impl Accelerator {
     pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
         cycles / self.clock_hz
     }
+
+    /// Modeled capacity of the off-chip DRAM level.
+    ///
+    /// The paper characterizes off-chip memory by bandwidth only (§5.3.1);
+    /// serving additionally needs a *capacity* to budget the KV-cache
+    /// against. The convention follows the bandwidth class: HBM-grade
+    /// interfaces (≥ 200 GB/s, the cloud preset) ship as multi-stack
+    /// 32 GiB parts, LPDDR-grade edge interfaces as 4 GiB.
+    #[must_use]
+    pub fn dram_capacity(&self) -> Bytes {
+        if self.mem.offchip_bytes_per_s >= 200.0e9 {
+            Bytes::from_gib(32)
+        } else {
+            Bytes::from_gib(4)
+        }
+    }
 }
 
 impl fmt::Display for Accelerator {
@@ -313,5 +329,13 @@ mod tests {
     fn cycles_to_seconds_uses_clock() {
         let e = Accelerator::edge();
         assert!((e.cycles_to_seconds(1.0e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_capacity_follows_bandwidth_class() {
+        assert_eq!(Accelerator::edge().dram_capacity(), Bytes::from_gib(4));
+        assert_eq!(Accelerator::cloud().dram_capacity(), Bytes::from_gib(32));
+        let hbm_edge = Accelerator::edge().with_offchip_bw(400.0e9);
+        assert_eq!(hbm_edge.dram_capacity(), Bytes::from_gib(32));
     }
 }

@@ -1,25 +1,30 @@
 //! `snapshot` — the benchmark-trajectory harness.
 //!
-//! Times the two hot paths this repo optimizes — the blocked attention
-//! kernels and the incremental parallel sweep engine — against their
-//! naive baselines, and writes the results to a `BENCH_<tag>.json` file
-//! at the repo root. One snapshot is committed per performance PR, so
-//! the series of files records the performance trajectory of the
-//! codebase over time.
+//! Times the hot paths this repo optimizes — the blocked attention
+//! kernels, the incremental parallel sweep engine, and the serving decode
+//! path — against their naive baselines, and writes the results to a
+//! `BENCH_<tag>.json` file at the repo root. One snapshot is committed
+//! per performance PR, so the series of files records the performance
+//! trajectory of the codebase over time.
 //!
 //! ```text
-//! cargo run --release -p flat-bench --bin snapshot -- [--tag PR1] [--quick] [--out path]
+//! cargo run --release -p flat-bench --bin snapshot -- [--tag PR2] [--quick] [--out path]
 //! ```
 //!
 //! Schema (`flat-bench-snapshot/v1`): a top-level object with the grid
 //! configuration and an `entries` array; each entry carries `group`
-//! (`kernel` or `sweep`), `name`, `config`, rep counts, `mean_ms` /
-//! `min_ms` wall times, and `speedup_vs_baseline` (the baseline entry of
-//! each group has speedup 1.0, computed min-over-min).
+//! (`kernel`, `sweep`, `serve`, or `engine`), `name`, `config`, rep
+//! counts, `mean_ms` / `min_ms` wall times, and `speedup_vs_baseline`
+//! (the baseline entry of each group has speedup 1.0, computed
+//! min-over-min).
 
 use flat_bench::args::Args;
 use flat_bench::sweep::{buffer_sweep, buffer_sweep_serial};
-use flat_kernels::{flat_attention, naive_attention, parallel_flat_attention, Mask, MultiHeadInput};
+use flat_kernels::{
+    decode_attention, flat_attention, naive_attention, parallel_flat_attention, Mask,
+    MultiHeadInput,
+};
+use flat_serve::{BlockTable, EngineConfig, KvPool, WorkloadSpec};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -129,14 +134,85 @@ fn sweep_entries(quick: bool) -> Vec<Entry> {
     with_speedups(entries)
 }
 
+/// The serving decode path: generating `steps` tokens on top of a cached
+/// prefix. The baseline recomputes the whole prefix's attention from
+/// scratch every step (`O(L²)` per token — what a runtime without a KV
+/// cache pays); the paged path appends one K/V row and folds it online
+/// (`O(L)` per token), exactly what the `flat-serve` engine executes.
+fn serve_entries(quick: bool) -> Vec<Entry> {
+    let (ctx0, steps, dk, reps) = if quick { (64, 16, 64, 2) } else { (256, 64, 64, 3) };
+    let total = ctx0 + steps;
+    let input = MultiHeadInput::random(1, 1, total, total, dk, 0x5E17E);
+    let scale = input.scale();
+    let config = format!("context={ctx0} steps={steps} dk={dk} f32");
+    let entries = vec![
+        time("serve", "decode_recompute_naive", &config, reps, || {
+            // No KV cache: every generated token re-runs full-prefix
+            // causal attention and keeps only the last row.
+            let mut last = Vec::new();
+            for step in 0..steps {
+                let len = ctx0 + step + 1;
+                let mut prefix = MultiHeadInput::random(1, 1, 1, 1, dk, 0);
+                prefix.seq_q = len;
+                prefix.seq_kv = len;
+                prefix.q[0] = input.q[0].row_slice(0, len);
+                prefix.k[0] = input.k[0].row_slice(0, len);
+                prefix.v[0] = input.v[0].row_slice(0, len);
+                let out = naive_attention(&prefix, Mask::Causal);
+                last = out[0].row(len - 1).to_vec();
+            }
+            last
+        }),
+        time("serve", "decode_attention_paged", &config, reps, || {
+            // Paged KV cache: append one row per step, one online pass.
+            let mut pool = KvPool::new(total.div_ceil(16), 16, dk);
+            let mut table = BlockTable::new();
+            for j in 0..ctx0 {
+                assert!(pool.try_append(&mut table, input.k[0].row(j), input.v[0].row(j)));
+            }
+            let mut last = Vec::new();
+            for step in 0..steps {
+                let j = ctx0 + step;
+                assert!(pool.try_append(&mut table, input.k[0].row(j), input.v[0].row(j)));
+                last = decode_attention(input.q[0].row(j), pool.rows(&table), scale);
+            }
+            last
+        }),
+    ];
+    with_speedups(entries)
+}
+
+/// End-to-end engine throughput: a full continuous-batching run (paged
+/// cache, admission, mixed prefill/decode ticks). No baseline — the entry
+/// tracks absolute wall time across PRs.
+fn engine_entries(quick: bool) -> Vec<Entry> {
+    let (requests, reps) = if quick { (16, 1) } else { (64, 2) };
+    let accel = flat_bench::platform("cloud");
+    let model = flat_bench::model("bert");
+    let spec = WorkloadSpec {
+        requests,
+        arrival_rate_per_s: 256.0,
+        prompt_mean: 128,
+        output_mean: 16,
+    };
+    let workload = spec.generate(0xF1A7);
+    let cfg = EngineConfig::for_platform(&accel, &model, 0xF1A7);
+    let config = format!("cloud/bert requests={requests} prompt≈128 output≈16");
+    with_speedups(vec![time("engine", "serve_engine", &config, reps, || {
+        flat_serve::serve(&accel, &model, &workload, &cfg)
+    })])
+}
+
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
-    let tag = args.get("tag", "PR1");
+    let tag = args.get("tag", "PR2");
     let out_path = args.get("out", &format!("BENCH_{tag}.json"));
 
     let mut entries = kernel_entries(&args, quick);
     entries.extend(sweep_entries(quick));
+    entries.extend(serve_entries(quick));
+    entries.extend(engine_entries(quick));
 
     let snapshot = Snapshot {
         schema: "flat-bench-snapshot/v1".to_owned(),

@@ -9,16 +9,21 @@ use serde_json::json;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
-flat — FLAT dataflow cost model, DSE, and tracer
+flat — FLAT dataflow cost model, DSE, tracer, and serving runtime
 
 USAGE:
   flat info
   flat cost  --platform edge --model bert --seq 4096 --dataflow flat-r64 [--scope la|block|model] [--json]
-  flat dse   --platform cloud --model xlm --seq 16384 [--space base|full] [--objective max-util] [--json]
+  flat dse   --platform cloud --model xlm --seq 16384 [--space base|base-m|fused|full]
+             [--objective max-util|min-energy|min-edp|min-footprint|util-per-footprint] [--json]
   flat trace --platform edge --model bert --seq 512 --dataflow flat-r64 [--width 48]
   flat loopnest --dataflow flat-r64 [--seq N]   # Figure 4-style loop nest
-  flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64
+  flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
   flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
+  flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--seed N]
+             [--task short-nlp|image-generation|summarization|language-modeling|music-processing]
+             [--prompt N] [--output N] [--block-tokens 16] [--kv-mib N] [--chunk 512]
+             [--max-batch 64] [--json]
   flat run   --config experiments.json [--out results.json]
 
 COMMON OPTIONS:
@@ -307,6 +312,83 @@ pub fn sim(args: &Args) -> Result<(), String> {
         println!("  {:5} busy {:.3e} cycles ({:.1}% of makespan)", u.name, u.busy_cycles, u.occupancy * 100.0);
     }
     Ok(())
+}
+
+/// `flat serve` — run a synthetic serving workload through the
+/// continuous-batching engine and report TTFT/TPOT/throughput metrics.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let requests = args.get_u64("requests", 256) as usize;
+    let rate: f64 = args
+        .get("arrival-rate", "64")
+        .parse()
+        .map_err(|_| "--arrival-rate expects a number (requests/s)".to_owned())?;
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err("--arrival-rate must be positive".to_owned());
+    }
+    let seed = args.get_u64("seed", 0xF1A7);
+    let task = flat_serve::task_by_name(&args.get("task", "short-nlp"))?;
+    let mut spec = flat_serve::WorkloadSpec::from_task(task, requests, rate);
+    if let Some(prompt) = args_opt_u64(args, "prompt")? {
+        spec.prompt_mean = prompt as usize;
+    }
+    if let Some(output) = args_opt_u64(args, "output")? {
+        spec.output_mean = output as usize;
+    }
+    let mut cfg = flat_serve::EngineConfig::for_platform(&setup.accel, &setup.model, seed);
+    cfg.block_tokens = args.get_u64("block-tokens", cfg.block_tokens as u64) as usize;
+    cfg.prefill_chunk = args.get_u64("chunk", cfg.prefill_chunk as u64) as usize;
+    cfg.max_batch = args.get_u64("max-batch", cfg.max_batch as u64) as usize;
+    if let Some(mib) = args_opt_u64(args, "kv-mib")? {
+        cfg.kv_budget = flat_tensor::Bytes::from_mib(mib);
+    }
+    let workload = spec.generate(seed);
+    let metrics = flat_serve::serve(&setup.accel, &setup.model, &workload, &cfg);
+    if args.flag("json") {
+        println!("{}", metrics.to_json());
+    } else {
+        println!("accelerator: {}", setup.accel);
+        println!("model:       {} (serving, KV {} B/token)", setup.model, metrics.kv.bytes_per_token);
+        println!(
+            "workload:    {requests} requests, {rate} req/s, task {task}, prompt≈{}, output≈{}",
+            spec.prompt_mean, spec.output_mean
+        );
+        println!();
+        println!(
+            "finished:    {}/{} requests in {:.1} ms ({} ticks, {} preemptions)",
+            metrics.finished, metrics.requests, metrics.makespan_ms, metrics.ticks, metrics.preemptions
+        );
+        println!(
+            "tokens:      {} prefill + {} decode, {:.1} decode tok/s",
+            metrics.prefill_tokens, metrics.decode_tokens, metrics.decode_tokens_per_s
+        );
+        let p = |name: &str, x: &flat_serve::Percentiles| {
+            println!(
+                "{name}:        p50 {:8.2} ms   p95 {:8.2} ms   p99 {:8.2} ms   max {:8.2} ms",
+                x.p50_ms, x.p95_ms, x.p99_ms, x.max_ms
+            );
+        };
+        p("TTFT", &metrics.ttft);
+        p("TPOT", &metrics.tpot);
+        p("E2E ", &metrics.e2e);
+        println!(
+            "KV pool:     {} blocks × {} tokens, peak {:.1}% mean {:.1}% occupancy",
+            metrics.kv.total_blocks,
+            metrics.kv.block_tokens,
+            metrics.kv.peak_occupancy * 100.0,
+            metrics.kv.mean_occupancy * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Optional `--key N` integer: `Ok(None)` when absent.
+fn args_opt_u64(args: &Args, key: &str) -> Result<Option<u64>, String> {
+    let raw = args.get(key, "\u{0}");
+    if raw == "\u{0}" {
+        return Ok(None);
+    }
+    raw.parse().map(Some).map_err(|_| format!("--{key} expects an integer"))
 }
 
 /// `flat bw` — minimum off-chip bandwidth for a target L-A utilization.

@@ -3,9 +3,13 @@
 //! ```text
 //! flat info
 //! flat cost  --platform edge --model bert --seq 4096 --dataflow flat-r64 [--scope la|block|model] [--json]
-//! flat dse   --platform cloud --model xlm --seq 16384 [--space base|full] [--objective max-util|min-energy|min-edp] [--json]
-//! flat trace --platform edge --model bert --seq 512 --dataflow flat-r64
+//! flat dse   --platform cloud --model xlm --seq 16384 [--space base|base-m|fused|full] [--objective max-util] [--json]
+//! flat trace --platform edge --model bert --seq 512 --dataflow flat-r64 [--width 48]
+//! flat loopnest --dataflow flat-r64 [--seq N]
+//! flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
 //! flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
+//! flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--json]
+//! flat run   --config experiments.json [--out results.json]
 //! ```
 //!
 //! Common overrides: `--batch N`, `--sg-kib N`, `--offchip-gbps N`,
@@ -31,6 +35,7 @@ fn main() {
         "loopnest" => commands::loopnest(&args),
         "sim" => commands::sim(&args),
         "bw" => commands::bw(&args),
+        "serve" => commands::serve(&args),
         "run" => commands::run(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -1,0 +1,114 @@
+//! Single-query decode-step attention over a growing KV set.
+//!
+//! Autoregressive serving attends one query row against the whole cached
+//! prefix at every generated token. Materializing the prefix logits and
+//! running the two-pass softmax would touch the row twice; folding each
+//! cached K/V row through [`OnlineSoftmax`](crate::OnlineSoftmax) instead
+//! makes a decode step a single `O(N·dk)` pass, the same rescaling trick
+//! `streaming_attention` uses along the key dimension. This is the kernel
+//! the `flat-serve` engine calls once per scheduled decode token, with the
+//! K/V rows streamed straight out of its paged cache blocks.
+
+use crate::{mat::dot, OnlineSoftmax};
+
+/// Attention output of one decode step: the query row `q` against every
+/// cached `(key, value)` row the iterator yields, in order.
+///
+/// The fold is the online-softmax rescaling, so the rows may arrive in any
+/// grouping (e.g. paged cache blocks) without changing the result beyond
+/// f32 rounding. Causality is positional: the caller yields exactly the
+/// rows the current token may attend to — for self-attention that includes
+/// the token's own K/V row, so at step 1 (a single cached row) the output
+/// equals that value row exactly.
+///
+/// # Panics
+///
+/// Panics if no K/V row is yielded, or if a key row's length differs from
+/// the query's.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::decode_attention;
+///
+/// // One cached row: softmax over a single logit is 1, output = value row.
+/// let q = [0.3f32, -1.0];
+/// let k = [0.5f32, 0.25];
+/// let v = [2.0f32, -4.0];
+/// let out = decode_attention(&q, [(&k[..], &v[..])], 1.0);
+/// assert_eq!(out, vec![2.0, -4.0]);
+/// ```
+#[must_use]
+pub fn decode_attention<'a, I>(q: &[f32], kv: I, scale: f32) -> Vec<f32>
+where
+    I: IntoIterator<Item = (&'a [f32], &'a [f32])>,
+{
+    let mut state = OnlineSoftmax::new();
+    let mut acc: Vec<f32> = Vec::new();
+    let mut seen = false;
+    for (k, v) in kv {
+        assert_eq!(k.len(), q.len(), "key row length must match the query");
+        if !seen {
+            acc = vec![0.0f32; v.len()];
+            seen = true;
+        }
+        let logit = dot(q, k) * scale;
+        let rescale = state.absorb(&[logit]);
+        if rescale != 1.0 {
+            for a in &mut acc {
+                *a *= rescale;
+            }
+        }
+        let w = state.weight(logit);
+        for (a, &vv) in acc.iter_mut().zip(v) {
+            *a = w.mul_add(vv, *a);
+        }
+    }
+    assert!(seen, "decode_attention needs at least one cached K/V row");
+    let inv = 1.0 / state.normalizer();
+    for a in &mut acc {
+        *a *= inv;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_attention, Mask, MultiHeadInput};
+
+    /// Decoding every position of a causal self-attention, one step at a
+    /// time, reproduces the rows of the exact batched computation.
+    #[test]
+    fn steps_match_causal_naive_rows() {
+        let input = MultiHeadInput::random(1, 1, 12, 12, 8, 17);
+        let exact = naive_attention(&input, Mask::Causal);
+        let (q, k, v) = (&input.q[0], &input.k[0], &input.v[0]);
+        for i in 0..12 {
+            let kv = (0..=i).map(|j| (k.row(j), v.row(j)));
+            let out = decode_attention(q.row(i), kv, input.scale());
+            for (j, &o) in out.iter().enumerate() {
+                assert!((o - exact[0].at(i, j)).abs() < 1e-5, "step {i}, col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_step_returns_the_value_row() {
+        let input = MultiHeadInput::random(1, 1, 1, 1, 6, 23);
+        let out = decode_attention(
+            input.q[0].row(0),
+            [(input.k[0].row(0), input.v[0].row(0))],
+            input.scale(),
+        );
+        for (o, &vv) in out.iter().zip(input.v[0].row(0)) {
+            assert_eq!(*o, vv);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cached K/V row")]
+    fn empty_prefix_panics() {
+        let _ = decode_attention(&[1.0, 2.0], std::iter::empty(), 1.0);
+    }
+}

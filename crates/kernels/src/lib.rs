@@ -11,6 +11,9 @@
 //! * [`streaming_attention`] — key-dimension tiling with
 //!   [`OnlineSoftmax`] rescaling, the extension FLAT's row-granularity
 //!   constraint points at (and FlashAttention later built on),
+//! * [`decode_attention`] — the autoregressive serving step: one query
+//!   row folded against a growing KV set in a single online-softmax pass
+//!   (`O(N)` per generated token), consumed by the `flat-serve` runtime,
 //!
 //! and proves, by unit and property tests, that all three agree to f32
 //! rounding for every shape, tile size, and mask — including
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod attention;
+mod decode;
 mod fused;
 mod instrumented;
 mod mat;
@@ -45,6 +49,7 @@ mod streaming;
 pub(crate) use fused::flat_attention_group;
 
 pub use attention::{naive_attention, Mask, MultiHeadInput};
+pub use decode::decode_attention;
 pub use fused::flat_attention;
 pub use parallel::parallel_flat_attention;
 pub use instrumented::{instrumented_flat_attention, ExecutionStats};

@@ -1,0 +1,113 @@
+//! Property tests for the decode-step kernel: a serving decode step must
+//! be numerically the same attention the batched kernels compute.
+//!
+//! The prefix lengths deliberately straddle the paged-cache block sizes
+//! `flat-serve` uses (rows are yielded in chunks of `block` tokens), so
+//! the equivalence holds regardless of how the KV rows are grouped in
+//! memory — the property the paged cache relies on.
+
+use flat_kernels::{
+    decode_attention, naive_attention, streaming_attention, Mask, MultiHeadInput,
+};
+use proptest::prelude::*;
+
+/// Yields the first `len` K/V rows of group 0 in `block`-sized chunks,
+/// mimicking a paged KV-cache walk.
+fn paged_rows(
+    input: &MultiHeadInput,
+    len: usize,
+    block: usize,
+) -> impl Iterator<Item = (&[f32], &[f32])> {
+    (0..len)
+        .step_by(block)
+        .flat_map(move |lo| (lo..(lo + block).min(len)).map(|j| (input.k[0].row(j), input.v[0].row(j))))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, u64)> {
+    // (seq, dk, seed): sequence lengths past one and two 16-token blocks.
+    (1usize..40, 1usize..16, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every causal decode step equals the matching row of the exact
+    /// batched computation, for any prefix length and block grouping.
+    #[test]
+    fn decode_equals_naive_causal_rows((seq, dk, seed) in dims(), block in 1usize..20) {
+        let input = MultiHeadInput::random(1, 1, seq, seq, dk, seed);
+        let exact = naive_attention(&input, Mask::Causal);
+        for i in 0..seq {
+            let out = decode_attention(
+                input.q[0].row(i),
+                paged_rows(&input, i + 1, block),
+                input.scale(),
+            );
+            for (j, &o) in out.iter().enumerate() {
+                prop_assert!(
+                    (o - exact[0].at(i, j)).abs() < 1e-4,
+                    "seq {seq} step {i} col {j} block {block}"
+                );
+            }
+        }
+    }
+
+    /// Decode agrees with the streaming (online-softmax) kernel run on a
+    /// one-row query against the same prefix — the two entry points share
+    /// the fold, so they must land on the same values.
+    #[test]
+    fn decode_equals_streaming_single_row((seq, dk, seed) in dims(), kv_tile in 1usize..24) {
+        let input = MultiHeadInput::random(1, 1, seq, seq, dk, seed);
+        for prefix in [1, seq / 2 + 1, seq] {
+            let mut one = MultiHeadInput::random(1, 1, 1, 1, dk, 1);
+            one.seq_kv = prefix;
+            one.q[0] = input.q[0].row_slice(prefix - 1, prefix);
+            one.k[0] = input.k[0].row_slice(0, prefix);
+            one.v[0] = input.v[0].row_slice(0, prefix);
+            let streamed = streaming_attention(&one, 1, kv_tile, Mask::None);
+            let decoded = decode_attention(
+                input.q[0].row(prefix - 1),
+                paged_rows(&input, prefix, 16),
+                input.scale(),
+            );
+            for (j, &o) in decoded.iter().enumerate() {
+                prop_assert!(
+                    (o - streamed[0].at(0, j)).abs() < 1e-4,
+                    "prefix {prefix} col {j} kv_tile {kv_tile}"
+                );
+            }
+        }
+    }
+
+    /// The causal-mask edge at step 1: a single cached row means a one
+    /// element softmax, so the output is that value row bit-for-bit.
+    #[test]
+    fn step_one_is_the_value_row((_seq, dk, seed) in dims()) {
+        let input = MultiHeadInput::random(1, 1, 1, 1, dk, seed);
+        let out = decode_attention(
+            input.q[0].row(0),
+            [(input.k[0].row(0), input.v[0].row(0))],
+            input.scale(),
+        );
+        for (o, v) in out.iter().zip(input.v[0].row(0)) {
+            prop_assert_eq!(*o, *v);
+        }
+    }
+}
+
+/// Prefix lengths exactly at, one below, and one above the serve engine's
+/// 16-token block boundary (and the two-block boundary) all agree with the
+/// batched reference — the paged append path has no edge at the seam.
+#[test]
+fn block_boundary_prefixes_match_naive() {
+    let dk = 8;
+    for seq in [15, 16, 17, 31, 32, 33] {
+        let input = MultiHeadInput::random(1, 1, seq, seq, dk, 0xB10C + seq as u64);
+        let exact = naive_attention(&input, Mask::Causal);
+        let i = seq - 1;
+        let out = decode_attention(input.q[0].row(i), paged_rows(&input, seq, 16), input.scale());
+        for (j, &o) in out.iter().enumerate() {
+            assert!((o - exact[0].at(i, j)).abs() < 1e-4, "seq {seq} col {j}");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The paged KV-cache: fixed-size token blocks, a free list, and
+//! per-request block tables.
+//!
+//! Serving keeps one K and one V row per *token* per request alive for the
+//! whole lifetime of the request — the dominant memory consumer of an
+//! inference engine. Paging (vLLM-style) allocates that storage in
+//! fixed-size blocks of `block_tokens` rows so that requests grow without
+//! reserving their worst case up front and freed memory never fragments:
+//! any free block serves any request.
+//!
+//! Two layers live here:
+//!
+//! * [`KvLayout`] — *accounting*: how many modeled bytes one token of KV
+//!   state costs for a given [`Model`] (all layers, all heads, 16-bit
+//!   elements), and how many blocks a budget drawn from the accelerator's
+//!   modeled off-chip memory affords.
+//! * [`KvPool`] / [`BlockTable`] — *storage*: the actual f32 rows the
+//!   decode kernel reads, held at the engine's reduced execution width
+//!   (one representative head), plus alloc/free bookkeeping.
+
+use flat_tensor::Bytes;
+use flat_workloads::Model;
+
+/// Modeled KV-cache cost of one token, and the paging geometry.
+///
+/// # Example
+///
+/// ```
+/// use flat_serve::KvLayout;
+/// use flat_workloads::Model;
+///
+/// let layout = KvLayout::for_model(&Model::by_name("bert").unwrap(), 16);
+/// // 2 tensors × hidden × 2 bytes × layers.
+/// assert_eq!(layout.bytes_per_token.as_u64(), 2 * 768 * 2 * 12);
+/// assert_eq!(layout.blocks_for(17), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvLayout {
+    /// Tokens per cache block.
+    pub block_tokens: usize,
+    /// Modeled bytes of KV state per token: K and V, every layer, the
+    /// full hidden width, 16-bit elements.
+    pub bytes_per_token: Bytes,
+}
+
+impl KvLayout {
+    /// Element width of the modeled cache (fp16/bf16 serving default).
+    pub const ELEM_BYTES: u64 = 2;
+
+    /// The layout for a model: `2 × hidden × 2 B × layers` per token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    #[must_use]
+    pub fn for_model(model: &Model, block_tokens: usize) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be positive");
+        let per_token = 2 * model.hidden() * Self::ELEM_BYTES * model.blocks();
+        KvLayout { block_tokens, bytes_per_token: Bytes::new(per_token) }
+    }
+
+    /// Blocks needed to hold `tokens` rows (ceiling division).
+    #[must_use]
+    pub fn blocks_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.block_tokens)
+    }
+
+    /// Modeled bytes of one block.
+    #[must_use]
+    pub fn block_bytes(&self) -> Bytes {
+        self.bytes_per_token * self.block_tokens as u64
+    }
+
+    /// How many whole blocks a memory budget affords (at least one).
+    #[must_use]
+    pub fn blocks_in_budget(&self, budget: Bytes) -> usize {
+        ((budget.as_u64() / self.block_bytes().as_u64()) as usize).max(1)
+    }
+}
+
+/// A request's view into the pool: the ordered list of block ids holding
+/// its tokens, plus how many token rows are live.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    blocks: Vec<usize>,
+    tokens: usize,
+}
+
+impl BlockTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        BlockTable::default()
+    }
+
+    /// Live token rows.
+    #[must_use]
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Blocks currently held.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// One physical cache block: `block_tokens` K rows and V rows at the
+/// execution width.
+#[derive(Debug, Clone)]
+struct Block {
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// The physical pool: every block pre-allocated, recycled through a free
+/// list. Blocks are handed to requests via their [`BlockTable`]s and
+/// returned wholesale on release or preemption.
+///
+/// # Example
+///
+/// ```
+/// use flat_serve::{BlockTable, KvPool};
+///
+/// let mut pool = KvPool::new(2, 4, 2);
+/// let mut table = BlockTable::new();
+/// for t in 0..8 {
+///     assert!(pool.try_append(&mut table, &[t as f32; 2], &[0.5; 2]));
+/// }
+/// // Both blocks in use: a ninth token needs a third block and fails.
+/// assert!(!pool.try_append(&mut table, &[9.0; 2], &[0.5; 2]));
+/// assert_eq!(pool.free_blocks(), 0);
+/// pool.release(&mut table);
+/// assert_eq!(pool.free_blocks(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvPool {
+    block_tokens: usize,
+    dk: usize,
+    blocks: Vec<Block>,
+    free: Vec<usize>,
+    peak_used: usize,
+}
+
+impl KvPool {
+    /// A pool of `total_blocks` blocks of `block_tokens` rows at
+    /// execution width `dk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(total_blocks: usize, block_tokens: usize, dk: usize) -> Self {
+        assert!(
+            total_blocks > 0 && block_tokens > 0 && dk > 0,
+            "pool dimensions must be positive"
+        );
+        let blocks = (0..total_blocks)
+            .map(|_| Block { k: vec![0.0; block_tokens * dk], v: vec![0.0; block_tokens * dk] })
+            .collect();
+        // Pop order: lowest id first (purely cosmetic; any order works).
+        let free = (0..total_blocks).rev().collect();
+        KvPool { block_tokens, dk, blocks, free, peak_used: 0 }
+    }
+
+    /// Total blocks in the pool.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks on the free list.
+    #[must_use]
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Blocks currently held by block tables.
+    #[must_use]
+    pub fn used_blocks(&self) -> usize {
+        self.blocks.len() - self.free.len()
+    }
+
+    /// High-water mark of [`used_blocks`](Self::used_blocks).
+    #[must_use]
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Tokens per block.
+    #[must_use]
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Appends one token's K/V rows to `table`, allocating a fresh block
+    /// when the last one is full. Returns `false` — leaving the pool and
+    /// table untouched — if the pool is exhausted; the scheduler then
+    /// preempts to make room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not `dk` long.
+    #[must_use]
+    pub fn try_append(&mut self, table: &mut BlockTable, k: &[f32], v: &[f32]) -> bool {
+        assert_eq!(k.len(), self.dk, "key row width must match the pool");
+        assert_eq!(v.len(), self.dk, "value row width must match the pool");
+        let slot = table.tokens % self.block_tokens;
+        if slot == 0 {
+            let Some(id) = self.free.pop() else {
+                return false;
+            };
+            table.blocks.push(id);
+            self.peak_used = self.peak_used.max(self.used_blocks());
+        }
+        let id = *table.blocks.last().expect("slot 0 just allocated");
+        let at = slot * self.dk;
+        self.blocks[id].k[at..at + self.dk].copy_from_slice(k);
+        self.blocks[id].v[at..at + self.dk].copy_from_slice(v);
+        table.tokens += 1;
+        true
+    }
+
+    /// Returns every block of `table` to the free list and empties it.
+    pub fn release(&mut self, table: &mut BlockTable) {
+        self.free.append(&mut table.blocks);
+        table.tokens = 0;
+    }
+
+    /// The `(key, value)` rows of a request in token order — the exact
+    /// iterator [`flat_kernels::decode_attention`] consumes.
+    pub fn rows<'a>(
+        &'a self,
+        table: &'a BlockTable,
+    ) -> impl Iterator<Item = (&'a [f32], &'a [f32])> {
+        let (bt, dk) = (self.block_tokens, self.dk);
+        (0..table.tokens).map(move |t| {
+            let id = table.blocks[t / bt];
+            let at = (t % bt) * dk;
+            (&self.blocks[id].k[at..at + dk], &self.blocks[id].v[at..at + dk])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_accounts_all_layers() {
+        let m = Model::by_name("xlm").unwrap();
+        let l = KvLayout::for_model(&m, 16);
+        assert_eq!(l.bytes_per_token.as_u64(), 2 * m.hidden() * 2 * m.blocks());
+        assert_eq!(l.blocks_for(0), 0);
+        assert_eq!(l.blocks_for(16), 1);
+        assert_eq!(l.blocks_for(33), 3);
+    }
+
+    #[test]
+    fn budget_yields_whole_blocks() {
+        let l = KvLayout { block_tokens: 4, bytes_per_token: Bytes::new(1024) };
+        assert_eq!(l.blocks_in_budget(Bytes::new(4096 * 3 + 100)), 3);
+        // Degenerate budgets still admit one block so a pool can exist.
+        assert_eq!(l.blocks_in_budget(Bytes::new(10)), 1);
+    }
+
+    #[test]
+    fn append_crosses_block_boundaries() {
+        let mut pool = KvPool::new(3, 2, 4);
+        let mut t = BlockTable::new();
+        for i in 0..5 {
+            assert!(pool.try_append(&mut t, &[i as f32; 4], &[-(i as f32); 4]));
+        }
+        assert_eq!(t.block_count(), 3);
+        assert_eq!(pool.free_blocks(), 0);
+        let rows: Vec<_> = pool.rows(&t).collect();
+        assert_eq!(rows.len(), 5);
+        for (i, (k, v)) in rows.iter().enumerate() {
+            assert_eq!(k[0], i as f32);
+            assert_eq!(v[0], -(i as f32));
+        }
+    }
+
+    #[test]
+    fn exhaustion_leaves_state_unchanged() {
+        let mut pool = KvPool::new(1, 2, 1);
+        let mut a = BlockTable::new();
+        assert!(pool.try_append(&mut a, &[1.0], &[1.0]));
+        assert!(pool.try_append(&mut a, &[2.0], &[2.0]));
+        let mut b = BlockTable::new();
+        assert!(!pool.try_append(&mut b, &[3.0], &[3.0]));
+        assert_eq!(b.tokens(), 0);
+        assert_eq!(b.block_count(), 0);
+        assert_eq!(pool.rows(&a).count(), 2);
+    }
+
+    #[test]
+    fn release_recycles_blocks_for_new_tables() {
+        let mut pool = KvPool::new(2, 2, 1);
+        let mut a = BlockTable::new();
+        for _ in 0..4 {
+            assert!(pool.try_append(&mut a, &[0.0], &[0.0]));
+        }
+        assert_eq!(pool.peak_used(), 2);
+        pool.release(&mut a);
+        assert_eq!(a.tokens(), 0);
+        assert_eq!(pool.free_blocks(), 2);
+        let mut b = BlockTable::new();
+        for _ in 0..4 {
+            assert!(pool.try_append(&mut b, &[1.0], &[1.0]));
+        }
+        assert_eq!(pool.peak_used(), 2);
+    }
+}

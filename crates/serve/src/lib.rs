@@ -1,0 +1,56 @@
+//! `flat-serve` — a continuous-batching autoregressive inference runtime
+//! with a paged KV-cache, built on the `flat-kernels` streaming numerics.
+//!
+//! The repo below this crate prices and executes *single* attention
+//! workloads; serving heavy traffic is a different shape of problem: a
+//! stream of requests, each carrying a prompt and wanting a generated
+//! continuation, competing for one accelerator and one pool of KV memory.
+//! This crate provides the runtime layer:
+//!
+//! * [`KvPool`] / [`KvLayout`] — a paged KV-cache (fixed-size token
+//!   blocks, free list, per-request [`BlockTable`]s) with capacity
+//!   accounted against the modeled memory hierarchy in `flat-arch`;
+//! * [`serve`] / [`EngineConfig`] — the continuous-batching engine:
+//!   iteration-level scheduling that mixes prefill chunks and decode
+//!   steps in every tick, FIFO admission with backpressure, and
+//!   preempt-by-recompute eviction under KV pressure, executing each
+//!   decode token through [`flat_kernels::decode_attention`];
+//! * [`WorkloadSpec`] — synthetic Poisson traffic with prompt/output
+//!   lengths drawn from the paper's long-sequence `Task` presets;
+//! * [`ServeMetrics`] — per-request TTFT/TPOT/E2E percentiles,
+//!   throughput, and KV-pool occupancy, serialized to JSON for the bench
+//!   snapshots.
+//!
+//! # Example
+//!
+//! ```
+//! use flat_arch::Accelerator;
+//! use flat_serve::{serve, EngineConfig, WorkloadSpec};
+//! use flat_workloads::{Model, Task};
+//!
+//! let model = Model::by_name("bert").unwrap();
+//! let accel = Accelerator::edge();
+//! let mut spec = WorkloadSpec::from_task(Task::ShortNlp, 8, 200.0);
+//! spec.prompt_mean = 32; // keep the doctest fast
+//! spec.output_mean = 4;
+//! let workload = spec.generate(42);
+//! let cfg = EngineConfig::for_platform(&accel, &model, 42);
+//! let metrics = serve(&accel, &model, &workload, &cfg);
+//! assert_eq!(metrics.finished, 8);
+//! assert!(metrics.ttft.p50_ms > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod kv;
+mod metrics;
+mod request;
+mod workload;
+
+pub use engine::{serve, EngineConfig};
+pub use kv::{BlockTable, KvLayout, KvPool};
+pub use metrics::{KvPoolStats, Percentiles, ServeMetrics};
+pub use request::{Phase, Request, RequestSpec};
+pub use workload::{task_by_name, WorkloadSpec};

@@ -1,0 +1,185 @@
+//! Serving metrics: per-request latency percentiles, throughput, and
+//! KV-pool pressure, exported as JSON for the bench snapshots.
+
+use crate::request::Request;
+use serde::Serialize;
+
+/// Latency summary in milliseconds, nearest-rank percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+impl Percentiles {
+    /// Summarizes a set of samples; all-zero when empty.
+    #[must_use]
+    pub fn of(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Percentiles { p50_ms: 0.0, p95_ms: 0.0, p99_ms: 0.0, mean_ms: 0.0, max_ms: 0.0 };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let at = |p: f64| {
+            // Nearest-rank: ceil(p·n) clamped into the sample range.
+            let rank = (p * samples.len() as f64).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
+        };
+        Percentiles {
+            p50_ms: at(0.50),
+            p95_ms: at(0.95),
+            p99_ms: at(0.99),
+            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+            max_ms: *samples.last().expect("nonempty"),
+        }
+    }
+}
+
+/// KV-pool pressure over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct KvPoolStats {
+    /// Blocks in the pool.
+    pub total_blocks: usize,
+    /// Tokens per block.
+    pub block_tokens: usize,
+    /// Modeled bytes of KV state per token (all layers, fp16).
+    pub bytes_per_token: u64,
+    /// High-water mark of blocks in use.
+    pub peak_used_blocks: usize,
+    /// Time-weighted mean fraction of the pool in use.
+    pub mean_occupancy: f64,
+    /// Peak fraction of the pool in use.
+    pub peak_occupancy: f64,
+}
+
+/// The full metrics report of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeMetrics {
+    /// Requests offered to the engine.
+    pub requests: usize,
+    /// Requests that ran to completion (must equal `requests`).
+    pub finished: usize,
+    /// Preempt-and-recompute evictions under KV pressure.
+    pub preemptions: u64,
+    /// Engine virtual time from first arrival to last completion.
+    pub makespan_ms: f64,
+    /// Scheduler iterations executed.
+    pub ticks: u64,
+    /// Prompt tokens ingested.
+    pub prefill_tokens: u64,
+    /// Output tokens generated.
+    pub decode_tokens: u64,
+    /// Generated tokens per second of engine time.
+    pub decode_tokens_per_s: f64,
+    /// Time to first token.
+    pub ttft: Percentiles,
+    /// Time per output token after the first.
+    pub tpot: Percentiles,
+    /// End-to-end request latency.
+    pub e2e: Percentiles,
+    /// KV-pool pressure.
+    pub kv: KvPoolStats,
+    /// Sum of every request's final attention output — the numeric
+    /// plane's fingerprint. Two runs agree on this iff they executed the
+    /// same tokens through the same kernels in the same order.
+    pub checksum: f64,
+}
+
+impl ServeMetrics {
+    /// Collates finished requests into the report.
+    #[must_use]
+    pub fn collate(
+        requests: &[Request],
+        kv: KvPoolStats,
+        makespan_ms: f64,
+        ticks: u64,
+        prefill_tokens: u64,
+    ) -> Self {
+        let finished = requests.iter().filter(|r| r.finish_ms.is_some()).count();
+        let decode_tokens: u64 = requests.iter().map(|r| r.generated as u64).sum();
+        let collect = |f: &dyn Fn(&Request) -> Option<f64>| -> Vec<f64> {
+            requests.iter().filter_map(f).collect()
+        };
+        ServeMetrics {
+            requests: requests.len(),
+            finished,
+            preemptions: requests.iter().map(|r| r.preemptions).sum(),
+            makespan_ms,
+            ticks,
+            prefill_tokens,
+            decode_tokens,
+            decode_tokens_per_s: if makespan_ms > 0.0 {
+                decode_tokens as f64 / (makespan_ms / 1e3)
+            } else {
+                0.0
+            },
+            ttft: Percentiles::of(collect(&Request::ttft_ms)),
+            tpot: Percentiles::of(collect(&Request::tpot_ms)),
+            e2e: Percentiles::of(collect(&Request::e2e_ms)),
+            kv,
+            checksum: requests
+                .iter()
+                .flat_map(|r| &r.last_out)
+                .map(|&x| f64::from(x))
+                .sum(),
+        }
+    }
+
+    /// The metrics as a pretty JSON string (the `--json` CLI output and
+    /// the determinism test's comparison key).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let p = Percentiles::of((1..=100).map(f64::from).collect());
+        assert_eq!(p.p50_ms, 50.0);
+        assert_eq!(p.p95_ms, 95.0);
+        assert_eq!(p.p99_ms, 99.0);
+        assert_eq!(p.max_ms, 100.0);
+        assert!((p.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let p = Percentiles::of(vec![7.0]);
+        assert_eq!((p.p50_ms, p.p95_ms, p.p99_ms, p.max_ms), (7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let p = Percentiles::of(Vec::new());
+        assert_eq!(p.mean_ms, 0.0);
+        assert_eq!(p.max_ms, 0.0);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json() {
+        let kv = KvPoolStats {
+            total_blocks: 8,
+            block_tokens: 16,
+            bytes_per_token: 1024,
+            peak_used_blocks: 6,
+            mean_occupancy: 0.5,
+            peak_occupancy: 0.75,
+        };
+        let m = ServeMetrics::collate(&[], kv, 100.0, 10, 0);
+        let json = m.to_json();
+        assert!(json.contains("\"decode_tokens_per_s\""));
+        assert!(json.contains("\"peak_used_blocks\": 6"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Requests: the unit of work the serving engine schedules.
+
+use crate::kv::BlockTable;
+
+/// An incoming request as the synthetic workload generator produces it:
+/// when it arrives and how many tokens it brings/wants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSpec {
+    /// Stable request id (also the tiebreak for scheduling order).
+    pub id: usize,
+    /// Arrival time in engine milliseconds.
+    pub arrival_ms: f64,
+    /// Prompt length in tokens (≥ 1).
+    pub prompt_len: usize,
+    /// Tokens to generate (≥ 1).
+    pub output_len: usize,
+}
+
+/// Lifecycle of a request inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// In the waiting queue (arrived, not yet admitted — or preempted).
+    Waiting,
+    /// Admitted; prompt tokens are being ingested chunk by chunk.
+    Prefill,
+    /// Generating output tokens, one per engine tick.
+    Decode,
+    /// All output tokens produced, KV blocks released.
+    Finished,
+}
+
+/// A live request: spec, progress, KV block table, and timing marks.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The immutable arrival-time facts.
+    pub spec: RequestSpec,
+    /// Current lifecycle phase.
+    pub phase: Phase,
+    /// This request's pages in the KV pool.
+    pub table: BlockTable,
+    /// Prompt tokens ingested so far.
+    pub prefilled: usize,
+    /// Output tokens generated so far.
+    pub generated: usize,
+    /// When the first output token was produced.
+    pub first_token_ms: Option<f64>,
+    /// When the last output token was produced.
+    pub finish_ms: Option<f64>,
+    /// Times this request was evicted and restarted.
+    pub preemptions: u64,
+    /// Attention output of the latest executed step — feeds the next
+    /// step's Q/K/V derivation, making generation genuinely sequential.
+    pub last_out: Vec<f32>,
+}
+
+impl Request {
+    /// A fresh waiting request.
+    #[must_use]
+    pub fn new(spec: RequestSpec) -> Self {
+        Request {
+            spec,
+            phase: Phase::Waiting,
+            table: BlockTable::new(),
+            prefilled: 0,
+            generated: 0,
+            first_token_ms: None,
+            finish_ms: None,
+            preemptions: 0,
+            last_out: Vec::new(),
+        }
+    }
+
+    /// Time to first token, if one was produced.
+    #[must_use]
+    pub fn ttft_ms(&self) -> Option<f64> {
+        self.first_token_ms.map(|t| t - self.spec.arrival_ms)
+    }
+
+    /// Mean time per output token *after* the first (the steady-state
+    /// decode pace); `None` until finished or for single-token outputs.
+    #[must_use]
+    pub fn tpot_ms(&self) -> Option<f64> {
+        match (self.first_token_ms, self.finish_ms) {
+            (Some(first), Some(finish)) if self.spec.output_len > 1 => {
+                Some((finish - first) / (self.spec.output_len - 1) as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// End-to-end latency, if finished.
+    #[must_use]
+    pub fn e2e_ms(&self) -> Option<f64> {
+        self.finish_ms.map(|t| t - self.spec.arrival_ms)
+    }
+
+    /// Drops all progress (KV table must already be released): the
+    /// preemption-by-recomputation path.
+    pub fn reset_for_requeue(&mut self) {
+        debug_assert_eq!(self.table.tokens(), 0, "release the table before requeueing");
+        self.phase = Phase::Waiting;
+        self.prefilled = 0;
+        self.generated = 0;
+        self.first_token_ms = None;
+        self.last_out.clear();
+        self.preemptions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RequestSpec {
+        RequestSpec { id: 0, arrival_ms: 10.0, prompt_len: 4, output_len: 3 }
+    }
+
+    #[test]
+    fn latency_marks_derive_from_arrival() {
+        let mut r = Request::new(spec());
+        assert_eq!(r.ttft_ms(), None);
+        r.first_token_ms = Some(25.0);
+        r.finish_ms = Some(45.0);
+        assert_eq!(r.ttft_ms(), Some(15.0));
+        assert_eq!(r.tpot_ms(), Some(10.0));
+        assert_eq!(r.e2e_ms(), Some(35.0));
+    }
+
+    #[test]
+    fn requeue_clears_progress_and_counts() {
+        let mut r = Request::new(spec());
+        r.phase = Phase::Decode;
+        r.prefilled = 4;
+        r.generated = 2;
+        r.first_token_ms = Some(20.0);
+        r.last_out = vec![1.0];
+        r.reset_for_requeue();
+        assert_eq!(r.phase, Phase::Waiting);
+        assert_eq!((r.prefilled, r.generated), (0, 0));
+        assert_eq!(r.first_token_ms, None);
+        assert!(r.last_out.is_empty());
+        assert_eq!(r.preemptions, 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic request traffic: Poisson-ish arrivals with prompt/output
+//! lengths scaled off the paper's long-sequence [`Task`] presets.
+
+use crate::request::RequestSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use flat_workloads::Task;
+
+/// Parameters of a synthetic request stream.
+///
+/// Arrivals are a Poisson process (exponential inter-arrival gaps at
+/// `arrival_rate_per_s`); prompt lengths are uniform in
+/// `[prompt_mean/2, 3·prompt_mean/2]` and output lengths uniform in
+/// `[output_mean/2, 3·output_mean/2]` (both clamped to ≥ 1) — wide enough
+/// to exercise ragged batches without a heavy-tail escape hatch.
+///
+/// # Example
+///
+/// ```
+/// use flat_serve::WorkloadSpec;
+/// use flat_workloads::Task;
+///
+/// let spec = WorkloadSpec::from_task(Task::ShortNlp, 16, 100.0);
+/// assert_eq!(spec.prompt_mean, 512);
+/// let reqs = spec.generate(7);
+/// assert_eq!(reqs.len(), 16);
+/// assert!(reqs.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Mean arrival rate, requests per second.
+    pub arrival_rate_per_s: f64,
+    /// Mean prompt length in tokens.
+    pub prompt_mean: usize,
+    /// Mean output (generated) length in tokens.
+    pub output_mean: usize,
+}
+
+impl WorkloadSpec {
+    /// A spec whose prompt length follows a [`Task`] preset's sequence
+    /// length, with outputs an eighth of the prompt (summaries, captions,
+    /// continuations — generation is short relative to context).
+    #[must_use]
+    pub fn from_task(task: Task, requests: usize, arrival_rate_per_s: f64) -> Self {
+        let prompt_mean = task.sequence_length() as usize;
+        WorkloadSpec {
+            requests,
+            arrival_rate_per_s,
+            prompt_mean,
+            output_mean: (prompt_mean / 8).max(1),
+        }
+    }
+
+    /// Generates the request stream, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (no requests, non-positive rate,
+    /// zero means).
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Vec<RequestSpec> {
+        assert!(self.requests > 0, "need at least one request");
+        assert!(
+            self.arrival_rate_per_s > 0.0 && self.arrival_rate_per_s.is_finite(),
+            "arrival rate must be positive"
+        );
+        assert!(self.prompt_mean > 0 && self.output_mean > 0, "token means must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now_ms = 0.0f64;
+        (0..self.requests)
+            .map(|id| {
+                // Exponential gap: -ln(1-u)/λ, u ∈ [0,1) so 1-u ∈ (0,1].
+                let u: f64 = rng.gen();
+                now_ms += -(1.0 - u).ln() / self.arrival_rate_per_s * 1e3;
+                RequestSpec {
+                    id,
+                    arrival_ms: now_ms,
+                    prompt_len: uniform_about(self.prompt_mean, &mut rng),
+                    output_len: uniform_about(self.output_mean, &mut rng),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Uniform in `[mean/2, 3·mean/2]`, at least 1.
+fn uniform_about(mean: usize, rng: &mut StdRng) -> usize {
+    let lo = (mean / 2).max(1);
+    let hi = (mean + mean / 2).max(lo + 1);
+    rng.gen_range(lo..=hi)
+}
+
+/// Parses a task name as the CLI spells it.
+///
+/// # Errors
+///
+/// Returns the list of accepted names on an unknown label.
+pub fn task_by_name(name: &str) -> Result<Task, String> {
+    match name {
+        "short-nlp" => Ok(Task::ShortNlp),
+        "image-generation" => Ok(Task::ImageGeneration),
+        "summarization" => Ok(Task::Summarization),
+        "language-modeling" => Ok(Task::LanguageModeling),
+        "music-processing" => Ok(Task::MusicProcessing),
+        other => Err(format!(
+            "unknown task {other:?} (short-nlp|image-generation|summarization|language-modeling|music-processing)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_in_seed() {
+        let spec = WorkloadSpec { requests: 32, arrival_rate_per_s: 50.0, prompt_mean: 64, output_mean: 8 };
+        assert_eq!(spec.generate(3), spec.generate(3));
+        assert_ne!(spec.generate(3), spec.generate(4));
+    }
+
+    #[test]
+    fn lengths_stay_in_band() {
+        let spec = WorkloadSpec { requests: 200, arrival_rate_per_s: 10.0, prompt_mean: 100, output_mean: 10 };
+        for r in spec.generate(1) {
+            assert!((50..=150).contains(&r.prompt_len));
+            assert!((5..=15).contains(&r.output_len));
+            assert!(r.output_len >= 1);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_rate_scaled() {
+        let fast = WorkloadSpec { requests: 100, arrival_rate_per_s: 1000.0, prompt_mean: 8, output_mean: 2 };
+        let slow = WorkloadSpec { arrival_rate_per_s: 10.0, ..fast };
+        let (f, s) = (fast.generate(9), slow.generate(9));
+        assert!(f.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        // Same seed, 100× the rate ⇒ exactly 100× shorter span.
+        let span = |v: &[RequestSpec]| v.last().unwrap().arrival_ms;
+        assert!((span(&s) / span(&f) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn task_names_round_trip() {
+        for t in Task::all() {
+            let name = match t {
+                Task::ShortNlp => "short-nlp",
+                Task::ImageGeneration => "image-generation",
+                Task::Summarization => "summarization",
+                Task::LanguageModeling => "language-modeling",
+                Task::MusicProcessing => "music-processing",
+            };
+            assert_eq!(task_by_name(name).unwrap(), t);
+        }
+        assert!(task_by_name("chatbot").is_err());
+    }
+
+    #[test]
+    fn task_presets_set_prompt_means() {
+        let s = WorkloadSpec::from_task(Task::ImageGeneration, 4, 1.0);
+        assert_eq!(s.prompt_mean, 12 * 1024);
+        assert_eq!(s.output_mean, 12 * 1024 / 8);
+    }
+}

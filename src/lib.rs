@@ -13,6 +13,8 @@
 //! * [`kernels`] — numerical witness: fused row-tiled attention with
 //!   streaming softmax, proven equivalent to the naive computation.
 //! * [`dse`] — design-space exploration and the ATTACC accelerator configs.
+//! * [`serve`] — the continuous-batching inference runtime: paged
+//!   KV-cache, iteration-level scheduler, and serving metrics.
 
 #![forbid(unsafe_code)]
 
@@ -21,6 +23,7 @@ pub use flat_core as core;
 pub use flat_dse as dse;
 pub use flat_gpu as gpu;
 pub use flat_kernels as kernels;
+pub use flat_serve as serve;
 pub use flat_sim as sim;
 pub use flat_tensor as tensor;
 pub use flat_workloads as workloads;
