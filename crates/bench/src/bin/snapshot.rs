@@ -194,12 +194,14 @@ fn engine_entries(quick: bool) -> Vec<Entry> {
         arrival_rate_per_s: 256.0,
         prompt_mean: 128,
         output_mean: 16,
+        slo_ms: None,
     };
-    let workload = spec.generate(0xF1A7);
+    let workload = spec.generate(0xF1A7).expect("benchmark workload is valid");
     let cfg = EngineConfig::for_platform(&accel, &model, 0xF1A7);
     let config = format!("cloud/bert requests={requests} prompt≈128 output≈16");
     with_speedups(vec![time("engine", "serve_engine", &config, reps, || {
         flat_serve::serve(&accel, &model, &workload, &cfg)
+            .expect("benchmark workload must serve cleanly")
     })])
 }
 

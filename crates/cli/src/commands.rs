@@ -23,7 +23,7 @@ USAGE:
   flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--seed N]
              [--task short-nlp|image-generation|summarization|language-modeling|music-processing]
              [--prompt N] [--output N] [--block-tokens 16] [--kv-mib N] [--chunk 512]
-             [--max-batch 64] [--json]
+             [--max-batch 64] [--slo-ms MS] [--chaos SEED] [--json]
   flat run   --config experiments.json [--out results.json]
 
 COMMON OPTIONS:
@@ -258,7 +258,7 @@ pub fn loopnest(args: &Args) -> Result<(), String> {
 pub fn trace(args: &Args) -> Result<(), String> {
     let setup = parse::setup(args)?;
     let df = parse::dataflow(&args.get("dataflow", "flat-r64"))?;
-    let width = args.get_u64("width", 48) as usize;
+    let width = parse::u64_arg(args, "width", 48)? as usize;
     let cm = CostModel::new(&setup.accel);
     let schedule = cm.la_schedule(&setup.block, &df);
     println!(
@@ -316,9 +316,14 @@ pub fn sim(args: &Args) -> Result<(), String> {
 
 /// `flat serve` — run a synthetic serving workload through the
 /// continuous-batching engine and report TTFT/TPOT/throughput metrics.
+///
+/// Every flag is validated up front: a malformed value (bad `--seed`,
+/// unknown `--task`, non-numeric knob) comes back as a one-line
+/// diagnostic for `main` to print before exiting nonzero — never a panic
+/// unwinding through the CLI.
 pub fn serve(args: &Args) -> Result<(), String> {
     let setup = parse::setup(args)?;
-    let requests = args.get_u64("requests", 256) as usize;
+    let requests = parse::u64_arg(args, "requests", 256)? as usize;
     let rate: f64 = args
         .get("arrival-rate", "64")
         .parse()
@@ -326,24 +331,31 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if !(rate > 0.0 && rate.is_finite()) {
         return Err("--arrival-rate must be positive".to_owned());
     }
-    let seed = args.get_u64("seed", 0xF1A7);
+    let seed = parse::u64_arg(args, "seed", 0xF1A7)?;
     let task = flat_serve::task_by_name(&args.get("task", "short-nlp"))?;
     let mut spec = flat_serve::WorkloadSpec::from_task(task, requests, rate);
-    if let Some(prompt) = args_opt_u64(args, "prompt")? {
+    if let Some(prompt) = parse::opt_u64_arg(args, "prompt")? {
         spec.prompt_mean = prompt as usize;
     }
-    if let Some(output) = args_opt_u64(args, "output")? {
+    if let Some(output) = parse::opt_u64_arg(args, "output")? {
         spec.output_mean = output as usize;
     }
+    spec.slo_ms = parse::opt_f64_arg(args, "slo-ms")?;
     let mut cfg = flat_serve::EngineConfig::for_platform(&setup.accel, &setup.model, seed);
-    cfg.block_tokens = args.get_u64("block-tokens", cfg.block_tokens as u64) as usize;
-    cfg.prefill_chunk = args.get_u64("chunk", cfg.prefill_chunk as u64) as usize;
-    cfg.max_batch = args.get_u64("max-batch", cfg.max_batch as u64) as usize;
-    if let Some(mib) = args_opt_u64(args, "kv-mib")? {
+    cfg.block_tokens = parse::u64_arg(args, "block-tokens", cfg.block_tokens as u64)? as usize;
+    cfg.prefill_chunk = parse::u64_arg(args, "chunk", cfg.prefill_chunk as u64)? as usize;
+    cfg.max_batch = parse::u64_arg(args, "max-batch", cfg.max_batch as u64)? as usize;
+    if let Some(mib) = parse::opt_u64_arg(args, "kv-mib")? {
         cfg.kv_budget = flat_tensor::Bytes::from_mib(mib);
     }
-    let workload = spec.generate(seed);
-    let metrics = flat_serve::serve(&setup.accel, &setup.model, &workload, &cfg);
+    let faults = parse::opt_u64_arg(args, "chaos")?.map(flat_serve::FaultPlan::chaos);
+    let mut workload = spec.generate(seed).map_err(|e| e.to_string())?;
+    if let Some(plan) = &faults {
+        plan.corrupt_workload(&mut workload);
+    }
+    let metrics =
+        flat_serve::serve_with_faults(&setup.accel, &setup.model, &workload, &cfg, faults)
+            .map_err(|e| e.to_string())?;
     if args.flag("json") {
         println!("{}", metrics.to_json());
     } else {
@@ -358,9 +370,21 @@ pub fn serve(args: &Args) -> Result<(), String> {
             "finished:    {}/{} requests in {:.1} ms ({} ticks, {} preemptions)",
             metrics.finished, metrics.requests, metrics.makespan_ms, metrics.ticks, metrics.preemptions
         );
+        if metrics.dropped > 0 {
+            println!(
+                "dropped:     {} requests ({} infeasible, {} past-deadline, {} corrupt)",
+                metrics.dropped,
+                metrics.drops.infeasible,
+                metrics.drops.deadline,
+                metrics.drops.corrupt
+            );
+        }
         println!(
-            "tokens:      {} prefill + {} decode, {:.1} decode tok/s",
-            metrics.prefill_tokens, metrics.decode_tokens, metrics.decode_tokens_per_s
+            "tokens:      {} prefill + {} decode, {:.1} decode tok/s ({:.1} goodput tok/s)",
+            metrics.prefill_tokens,
+            metrics.decode_tokens,
+            metrics.decode_tokens_per_s,
+            metrics.goodput_tokens_per_s
         );
         let p = |name: &str, x: &flat_serve::Percentiles| {
             println!(
@@ -382,19 +406,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Optional `--key N` integer: `Ok(None)` when absent.
-fn args_opt_u64(args: &Args, key: &str) -> Result<Option<u64>, String> {
-    let raw = args.get(key, "\u{0}");
-    if raw == "\u{0}" {
-        return Ok(None);
-    }
-    raw.parse().map(Some).map_err(|_| format!("--{key} expects an integer"))
-}
-
 /// `flat bw` — minimum off-chip bandwidth for a target L-A utilization.
 pub fn bw(args: &Args) -> Result<(), String> {
     let setup = parse::setup(args)?;
-    let target = args.get_u64("target-milli", 950) as f64 / 1000.0;
+    let target = parse::u64_arg(args, "target-milli", 950)? as f64 / 1000.0;
     for (name, df) in [
         ("Base-opt", SpaceKind::Sequential),
         ("FLAT-opt", SpaceKind::Full),

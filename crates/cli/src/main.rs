@@ -8,7 +8,7 @@
 //! flat loopnest --dataflow flat-r64 [--seq N]
 //! flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
 //! flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
-//! flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--json]
+//! flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--slo-ms MS] [--chaos SEED] [--json]
 //! flat run   --config experiments.json [--out results.json]
 //! ```
 //!

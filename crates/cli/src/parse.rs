@@ -25,10 +25,45 @@ pub fn setup(args: &Args) -> Result<Setup, String> {
         let name = args.get("model", "bert");
         Model::by_name(&name).ok_or_else(|| format!("unknown model {name:?}"))?
     };
-    let batch = args.get_u64("batch", 64);
-    let seq = args.get_u64("seq", 4096);
+    let batch = u64_arg(args, "batch", 64)?;
+    let seq = u64_arg(args, "seq", 4096)?;
     let block = model.block(batch, seq);
     Ok(Setup { accel, model, block, batch, seq })
+}
+
+/// Integer value of `--key` with a one-line diagnostic instead of the
+/// panic `Args::get_u64` carries — CLI input must never unwind.
+pub fn u64_arg(args: &Args, key: &str, default: u64) -> Result<u64, String> {
+    match optional(args, key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key} expects a non-negative integer, got {raw:?}")),
+    }
+}
+
+/// Optional integer `--key`: `Ok(None)` when absent, a diagnostic when
+/// present but malformed.
+pub fn opt_u64_arg(args: &Args, key: &str) -> Result<Option<u64>, String> {
+    match optional(args, key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{key} expects a non-negative integer, got {raw:?}")),
+    }
+}
+
+/// Optional float `--key`: `Ok(None)` when absent, a diagnostic when
+/// present but malformed or non-finite.
+pub fn opt_f64_arg(args: &Args, key: &str) -> Result<Option<f64>, String> {
+    match optional(args, key) {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Some(v)),
+            _ => Err(format!("--{key} expects a finite number, got {raw:?}")),
+        },
+    }
 }
 
 /// Loads a HuggingFace-style config file: `hidden_size`,
@@ -175,6 +210,20 @@ mod tests {
         std::fs::write(&path, r#"{"d_model": 512, "num_heads": 8, "num_layers": 6}"#).unwrap();
         let m = model_from_json(&path.display().to_string()).unwrap();
         assert_eq!(m.ffn_hidden(), 2048);
+    }
+
+    #[test]
+    fn malformed_numeric_args_are_diagnostics_not_panics() {
+        let args = flat_bench::args::Args::parse_from(
+            ["--seq", "lots", "--slo-ms", "soon"].iter().map(|s| (*s).to_owned()),
+        );
+        let err = u64_arg(&args, "seq", 1).unwrap_err();
+        assert!(err.contains("--seq") && err.contains("lots"));
+        assert!(!err.contains('\n'), "diagnostics are one line");
+        let err = opt_f64_arg(&args, "slo-ms").unwrap_err();
+        assert!(err.contains("--slo-ms"));
+        assert_eq!(u64_arg(&args, "absent", 7).unwrap(), 7);
+        assert_eq!(opt_u64_arg(&args, "absent").unwrap(), None);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! CLI smoke tests: malformed flags must come back as one-line
+//! diagnostics on stderr with a nonzero exit — never a panic backtrace —
+//! and a well-formed invocation must still succeed.
+
+use std::process::{Command, Output};
+
+fn flat(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flat"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn bad_seed_is_a_diagnostic_not_a_panic() {
+    let out = flat(&["serve", "--requests", "4", "--seed", "abc"]);
+    assert!(!out.status.success(), "malformed --seed must exit nonzero");
+    let err = stderr(&out);
+    assert!(err.contains("--seed") && err.contains("abc"), "diagnostic names the flag: {err}");
+    assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line diagnostic: {err}");
+}
+
+#[test]
+fn unknown_task_is_a_diagnostic() {
+    let out = flat(&["serve", "--requests", "4", "--task", "mining"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("mining"), "diagnostic names the bad value: {err}");
+    assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+}
+
+#[test]
+fn bad_slo_and_chaos_values_are_diagnostics() {
+    for (flag, value) in [("--slo-ms", "soon"), ("--slo-ms", "inf"), ("--chaos", "maybe")] {
+        let out = flat(&["serve", "--requests", "4", flag, value]);
+        assert!(!out.status.success(), "{flag} {value} must exit nonzero");
+        let err = stderr(&out);
+        assert!(err.contains(flag), "diagnostic names {flag}: {err}");
+        assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+    }
+}
+
+#[test]
+fn bad_width_and_target_milli_are_diagnostics() {
+    let out = flat(&["trace", "--seq", "512", "--width", "wide"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--width"));
+    let out = flat(&["bw", "--seq", "512", "--target-milli", "most"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--target-milli"));
+}
+
+#[test]
+fn good_serve_run_emits_json() {
+    let out = flat(&[
+        "serve", "--platform", "edge", "--model", "bert", "--requests", "8",
+        "--arrival-rate", "200", "--prompt", "32", "--output", "4", "--seed", "3", "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let json = String::from_utf8_lossy(&out.stdout).replace(char::is_whitespace, "");
+    assert!(json.contains("\"finished\":8"), "all requests finish: {json}");
+    assert!(json.contains("\"drops\""), "drop counters are reported: {json}");
+}
+
+#[test]
+fn chaos_flag_survives_end_to_end() {
+    let out = flat(&[
+        "serve", "--platform", "edge", "--model", "bert", "--requests", "12",
+        "--arrival-rate", "200", "--prompt", "32", "--output", "4",
+        "--slo-ms", "50", "--chaos", "5", "--json",
+    ]);
+    assert!(out.status.success(), "chaos runs must not panic: {}", stderr(&out));
+    let json = String::from_utf8_lossy(&out.stdout).replace(char::is_whitespace, "");
+    assert!(json.contains("\"requests\":12"), "conservation visible in JSON: {json}");
+}

@@ -19,7 +19,16 @@
 //!   the modeled accelerator — weight streaming, KV streaming at the
 //!   all-layer byte cost, and MAC throughput — producing the TTFT/TPOT
 //!   latencies the metrics report.
+//!
+//! The engine is **total**: it never panics on adversarial input.
+//! Malformed specs, requests whose worst-case KV footprint exceeds the
+//! whole pool, and requests queued past their deadline are shed with a
+//! typed [`DropReason`] and counted; configuration and workload problems
+//! surface as [`ServeError`]s; and a scheduler that stops making progress
+//! trips a tick cap into [`ServeError::Livelock`] instead of hanging.
 
+use crate::error::{DropReason, ServeError};
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::kv::{KvLayout, KvPool};
 use crate::metrics::{KvPoolStats, ServeMetrics};
 use crate::request::{Phase, Request, RequestSpec};
@@ -29,6 +38,7 @@ use flat_tensor::Bytes;
 use flat_workloads::Model;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
 use std::collections::VecDeque;
 
 /// Scheduler and execution knobs.
@@ -66,6 +76,24 @@ impl EngineConfig {
             seed,
         }
     }
+
+    /// Rejects configurations the scheduler cannot make progress under.
+    fn validate(&self) -> Result<(), ServeError> {
+        let bad = |why: &str| Err(ServeError::InvalidConfig(why.to_owned()));
+        if self.block_tokens == 0 {
+            return bad("block_tokens must be at least 1");
+        }
+        if self.prefill_chunk == 0 {
+            return bad("prefill_chunk must be at least 1 or prompts never ingest");
+        }
+        if self.max_batch == 0 {
+            return bad("max_batch must be at least 1 or nothing is ever admitted");
+        }
+        if self.dk == 0 {
+            return bad("dk must be at least 1");
+        }
+        Ok(())
+    }
 }
 
 /// Weight parameter count of the full model: per layer the four h×h
@@ -78,22 +106,43 @@ fn model_params(model: &Model) -> f64 {
 
 /// Runs a request stream to completion and reports the metrics.
 ///
-/// Every request in `workload` finishes exactly once — conservation is the
-/// engine's core invariant, asserted in the tests — and the whole run is
+/// Every request in `workload` is accounted for exactly once: it either
+/// finishes, or is dropped with a typed [`DropReason`] (infeasible
+/// footprint, missed deadline, corrupt spec) — conservation is the
+/// engine's core invariant, asserted in the tests. The whole run is
 /// deterministic in (`workload`, `cfg.seed`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a single request could never fit in the KV pool alone
-/// (`prompt + output` tokens worth of blocks), or on an empty workload.
-#[must_use]
+/// [`ServeError::EmptyWorkload`] on an empty workload,
+/// [`ServeError::InvalidConfig`] on degenerate engine knobs, and
+/// [`ServeError::Livelock`] if the scheduler ever stops making progress
+/// (a bug guard — no well-formed input triggers it).
 pub fn serve(
     accel: &Accelerator,
     model: &Model,
     workload: &[RequestSpec],
     cfg: &EngineConfig,
-) -> ServeMetrics {
-    Engine::new(accel, model, workload, cfg).run()
+) -> Result<ServeMetrics, ServeError> {
+    serve_with_faults(accel, model, workload, cfg, None)
+}
+
+/// [`serve`], with a seeded [`FaultPlan`] injecting mid-run failures —
+/// the chaos-testing entry point. `faults: None` is exactly [`serve`].
+///
+/// # Errors
+///
+/// As [`serve`]. Injected faults never produce an error by themselves:
+/// the engine sheds what the faults make unservable and reports it in the
+/// metrics' drop counters.
+pub fn serve_with_faults(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    faults: Option<FaultPlan>,
+) -> Result<ServeMetrics, ServeError> {
+    Engine::new(accel, model, workload, cfg, faults)?.run()
 }
 
 struct Engine {
@@ -108,6 +157,9 @@ struct Engine {
     /// Admitted requests, admission order.
     running: Vec<Request>,
     finished: Vec<Request>,
+    /// Requests shed with a typed reason.
+    dropped: Vec<Request>,
+    injector: Option<FaultInjector>,
     now_ms: f64,
     ticks: u64,
     prefill_tokens: u64,
@@ -127,8 +179,15 @@ struct Engine {
 const TICK_OVERHEAD_S: f64 = 10e-6;
 
 /// Hard cap on scheduler iterations — generous by orders of magnitude for
-/// any sane workload; trips on a livelocked scheduler instead of hanging.
+/// any sane workload; trips a livelocked scheduler into
+/// [`ServeError::Livelock`] instead of hanging.
 const MAX_TICKS: u64 = 10_000_000;
+
+/// Scheduling order: arrival time (total order — corrupt arrivals never
+/// reach the queues), then id as the tiebreak.
+fn sched_order(a: &RequestSpec, b: &RequestSpec) -> Ordering {
+    a.arrival_ms.total_cmp(&b.arrival_ms).then(a.id.cmp(&b.id))
+}
 
 impl Engine {
     fn new(
@@ -136,28 +195,32 @@ impl Engine {
         model: &Model,
         workload: &[RequestSpec],
         cfg: &EngineConfig,
-    ) -> Self {
-        assert!(!workload.is_empty(), "workload must contain at least one request");
+        faults: Option<FaultPlan>,
+    ) -> Result<Self, ServeError> {
+        if workload.is_empty() {
+            return Err(ServeError::EmptyWorkload);
+        }
+        cfg.validate()?;
         let layout = KvLayout::for_model(model, cfg.block_tokens);
         let total_blocks = layout.blocks_in_budget(cfg.kv_budget);
-        let mut incoming: Vec<Request> = workload.iter().copied().map(Request::new).collect();
-        incoming.sort_by(|a, b| {
-            (a.spec.arrival_ms, a.spec.id)
-                .partial_cmp(&(b.spec.arrival_ms, b.spec.id))
-                .expect("arrival times are finite")
-        });
-        for r in &incoming {
-            assert!(
-                layout.blocks_for(r.spec.prompt_len + r.spec.output_len) <= total_blocks,
-                "request {} needs {} tokens of KV but the pool holds only {} blocks — \
-                 raise the kv budget or shorten the workload",
-                r.spec.id,
-                r.spec.prompt_len + r.spec.output_len,
-                total_blocks,
-            );
+        // Malformed specs (non-finite arrival, zero lengths) can never be
+        // scheduled — shed them before they can poison the arrival sort
+        // or the virtual clock.
+        let mut dropped = Vec::new();
+        let mut incoming = Vec::new();
+        for spec in workload.iter().copied() {
+            let mut r = Request::new(spec);
+            if spec.is_well_formed() {
+                incoming.push(r);
+            } else {
+                let at = if spec.arrival_ms.is_finite() { spec.arrival_ms } else { 0.0 };
+                r.mark_dropped(DropReason::CorruptSpec, at);
+                dropped.push(r);
+            }
         }
+        incoming.sort_by(|a, b| sched_order(&a.spec, &b.spec));
         let h = model.hidden() as f64;
-        Engine {
+        Ok(Engine {
             cfg: *cfg,
             layout,
             pool: KvPool::new(total_blocks, cfg.block_tokens, cfg.dk),
@@ -166,6 +229,8 @@ impl Engine {
             waiting: VecDeque::new(),
             running: Vec::new(),
             finished: Vec::new(),
+            dropped,
+            injector: faults.map(|plan| FaultInjector::new(plan, total_blocks)),
             now_ms: 0.0,
             ticks: 0,
             prefill_tokens: 0,
@@ -176,24 +241,33 @@ impl Engine {
             attn_macs_per_ctx_token: 2.0 * model.blocks() as f64 * h,
             peak_flops: accel.peak_flops(),
             offchip_bytes_per_s: accel.mem.offchip_bytes_per_s,
-        }
+        })
     }
 
-    fn run(mut self) -> ServeMetrics {
-        let total = self.incoming.len();
-        while self.finished.len() < total {
+    fn run(mut self) -> Result<ServeMetrics, ServeError> {
+        let total = self.incoming.len() + self.dropped.len();
+        while self.finished.len() + self.dropped.len() < total {
             self.ticks += 1;
-            assert!(self.ticks < MAX_TICKS, "scheduler livelock: {} ticks", self.ticks);
+            if self.ticks >= MAX_TICKS {
+                return Err(ServeError::Livelock { ticks: self.ticks });
+            }
+            if let Some(inj) = self.injector.as_mut() {
+                inj.on_tick(self.ticks, &mut self.pool);
+            }
             self.admit_arrivals();
             if self.running.is_empty() && self.waiting.is_empty() {
                 // Idle: jump to the next arrival.
-                let next = self.incoming.front().expect("unfinished work remains");
-                self.now_ms = next.spec.arrival_ms;
+                let Some(next) = self.incoming.front() else {
+                    return Err(ServeError::Internal("queues empty with unfinished work"));
+                };
+                self.now_ms = self.now_ms.max(next.spec.arrival_ms);
                 self.admit_arrivals();
             }
+            self.shed_expired();
             self.admit_waiting();
             let work = self.execute_tick();
-            let dt_ms = self.tick_cost_s(&work) * 1e3;
+            let skew = self.injector.as_mut().map_or(1.0, FaultInjector::skew_factor);
+            let dt_ms = self.tick_cost_s(&work) * 1e3 * skew;
             let stamp = self.now_ms + dt_ms;
             self.now_ms = stamp;
             self.occ_block_ms += self.pool.used_blocks() as f64 * dt_ms;
@@ -213,33 +287,84 @@ impl Engine {
             peak_occupancy: self.pool.peak_used() as f64 / total_blocks as f64,
         };
         self.finished.sort_by_key(|r| r.spec.id);
-        ServeMetrics::collate(&self.finished, kv, self.now_ms, self.ticks, self.prefill_tokens)
+        self.dropped.sort_by_key(|r| r.spec.id);
+        Ok(ServeMetrics::collate(
+            &self.finished,
+            &self.dropped,
+            kv,
+            self.now_ms,
+            self.ticks,
+            self.prefill_tokens,
+        ))
     }
 
     /// Moves arrived requests into the waiting queue (both are
     /// arrival-sorted, so this is a prefix splice).
     fn admit_arrivals(&mut self) {
         while self.incoming.front().is_some_and(|r| r.spec.arrival_ms <= self.now_ms) {
-            let r = self.incoming.pop_front().expect("front exists");
-            self.waiting.push_back(r);
+            if let Some(r) = self.incoming.pop_front() {
+                self.waiting.push_back(r);
+            }
+        }
+    }
+
+    /// Deadline shedding: any queued request already past its SLO is
+    /// dropped now rather than admitted, run, and delivered late — the
+    /// capacity it would burn goes to requests that can still meet
+    /// theirs. (Running requests are never killed mid-flight; the SLO is
+    /// enforced at the queue, where shedding is free.)
+    fn shed_expired(&mut self) {
+        let now = self.now_ms;
+        let mut i = 0;
+        while i < self.waiting.len() {
+            let expired = self.waiting[i].spec.deadline_ms.is_some_and(|d| now > d);
+            if expired {
+                if let Some(mut r) = self.waiting.remove(i) {
+                    r.mark_dropped(DropReason::DeadlineExceeded, now);
+                    self.dropped.push(r);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Sheds the waiting-queue head with `reason`.
+    fn drop_front_waiting(&mut self, reason: DropReason) {
+        if let Some(mut r) = self.waiting.pop_front() {
+            r.mark_dropped(reason, self.now_ms);
+            self.dropped.push(r);
         }
     }
 
     /// FIFO admission under backpressure: the queue head starts prefill
     /// only when the pool can page its whole prompt plus the first decode
-    /// token. (Never more than the feasibility bound `prompt + output`,
-    /// so an admissible request is eventually admitted once the pool
-    /// drains.)
+    /// token. A head whose *worst-case* footprint (`prompt + output`)
+    /// exceeds the entire pool is provably unservable — admitted, it
+    /// would exhaust the pool, self-preempt, re-queue, and livelock — so
+    /// it is rejected here with [`DropReason::Infeasible`]. (Feasible
+    /// heads never need more than the feasibility bound, so they are
+    /// eventually admitted once the pool drains.)
     fn admit_waiting(&mut self) {
         while self.running.len() < self.cfg.max_batch {
             let Some(front) = self.waiting.front() else { break };
-            let needed = self.layout.blocks_for(front.spec.prompt_len + 1);
+            let spec = front.spec;
+            let infeasible = spec
+                .prompt_len
+                .checked_add(spec.output_len)
+                .is_none_or(|t| self.layout.blocks_for(t) > self.pool.total_blocks());
+            if infeasible {
+                self.drop_front_waiting(DropReason::Infeasible);
+                continue;
+            }
+            let needed = self.layout.blocks_for(spec.prompt_len + 1);
             if needed > self.pool.free_blocks() {
                 break;
             }
-            let mut r = self.waiting.pop_front().expect("front exists");
-            r.phase = Phase::Prefill;
-            self.running.push(r);
+            if let Some(mut r) = self.waiting.pop_front() {
+                r.phase = Phase::Prefill;
+                self.running.push(r);
+            }
         }
     }
 
@@ -334,13 +459,15 @@ impl Engine {
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| matches!(r.phase, Phase::Prefill | Phase::Decode))
-                .max_by(|(_, a), (_, b)| {
-                    (a.spec.arrival_ms, a.spec.id)
-                        .partial_cmp(&(b.spec.arrival_ms, b.spec.id))
-                        .expect("arrivals are finite")
-                })
-                .map(|(j, _)| j)
-                .expect("request i itself is running");
+                .max_by(|(_, a), (_, b)| sched_order(&a.spec, &b.spec))
+                .map(|(j, _)| j);
+            // `running[i]` is itself Prefill/Decode when this is called,
+            // so a victim always exists; the fallback preempts `i` rather
+            // than trusting that invariant with a panic.
+            let victim = match victim {
+                Some(j) => j,
+                None => i,
+            };
             self.preempt(victim);
             if victim == i {
                 return false;
@@ -358,16 +485,23 @@ impl Engine {
 
     /// Drains finished and preempted requests out of the running set,
     /// stamping this tick's completion time on the events it produced.
+    /// The fault injector may corrupt a finished request's stamps to NaN
+    /// here — downstream metrics must absorb that, and the chaos suite
+    /// checks they do.
     fn retire_and_requeue(&mut self, stamp_ms: f64) {
         let mut i = 0;
         while i < self.running.len() {
             match self.running[i].phase {
                 Phase::Finished => {
                     let mut r = self.running.remove(i);
+                    let mut stamp = |t: f64| match self.injector.as_mut() {
+                        Some(inj) => inj.latency(t),
+                        None => t,
+                    };
                     if r.first_token_ms.is_some_and(f64::is_nan) {
-                        r.first_token_ms = Some(stamp_ms);
+                        r.first_token_ms = Some(stamp(stamp_ms));
                     }
-                    r.finish_ms = Some(stamp_ms);
+                    r.finish_ms = Some(stamp(stamp_ms));
                     self.finished.push(r);
                 }
                 Phase::Waiting => {
@@ -375,9 +509,7 @@ impl Engine {
                     let at = self
                         .waiting
                         .iter()
-                        .position(|w| {
-                            (w.spec.arrival_ms, w.spec.id) > (r.spec.arrival_ms, r.spec.id)
-                        })
+                        .position(|w| sched_order(&w.spec, &r.spec) == Ordering::Greater)
                         .unwrap_or(self.waiting.len());
                     self.waiting.insert(at, r);
                 }
@@ -456,12 +588,7 @@ mod tests {
 
     fn tiny_workload(n: usize) -> Vec<RequestSpec> {
         (0..n)
-            .map(|id| RequestSpec {
-                id,
-                arrival_ms: id as f64 * 0.5,
-                prompt_len: 24 + (id * 7) % 40,
-                output_len: 4 + id % 9,
-            })
+            .map(|id| RequestSpec::new(id, id as f64 * 0.5, 24 + (id * 7) % 40, 4 + id % 9))
             .collect()
     }
 
@@ -480,9 +607,10 @@ mod tests {
     fn conservation_every_request_finishes_exactly_once() {
         let model = Model::by_name("bert").unwrap();
         let wl = tiny_workload(24);
-        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(512)));
+        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(512))).unwrap();
         assert_eq!(m.requests, 24);
         assert_eq!(m.finished, 24);
+        assert_eq!(m.dropped, 0);
         assert_eq!(m.decode_tokens, wl.iter().map(|r| r.output_len as u64).sum::<u64>());
         assert_eq!(m.prefill_tokens, wl.iter().map(|r| r.prompt_len as u64).sum::<u64>());
     }
@@ -495,7 +623,8 @@ mod tests {
             &model,
             &tiny_workload(16),
             &cfg(Bytes::from_mib(512)),
-        );
+        )
+        .unwrap();
         assert!(m.ttft.p50_ms > 0.0);
         assert!(m.tpot.p50_ms > 0.0);
         assert!(m.ttft.p50_ms <= m.ttft.p95_ms && m.ttft.p95_ms <= m.ttft.p99_ms);
@@ -503,6 +632,10 @@ mod tests {
         assert!(m.kv.peak_occupancy > 0.0 && m.kv.peak_occupancy <= 1.0);
         assert!(m.kv.mean_occupancy > 0.0 && m.kv.mean_occupancy <= m.kv.peak_occupancy);
         assert!(m.decode_tokens_per_s > 0.0);
+        assert_eq!(
+            m.goodput_tokens_per_s, m.decode_tokens_per_s,
+            "without deadlines goodput equals throughput"
+        );
     }
 
     #[test]
@@ -513,7 +646,7 @@ mod tests {
         // pressure forces eviction churn.
         let budget = Bytes::from_mib(3);
         let wl = tiny_workload(24);
-        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(budget));
+        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(budget)).unwrap();
         assert_eq!(m.finished, 24);
         assert!(m.preemptions > 0, "expected KV pressure to preempt");
         assert!(m.kv.peak_occupancy > 0.9);
@@ -524,21 +657,97 @@ mod tests {
         let model = Model::by_name("bert").unwrap();
         let wl = tiny_workload(12);
         let c = cfg(Bytes::from_mib(256));
-        let a = serve(&Accelerator::edge(), &model, &wl, &c);
-        let b = serve(&Accelerator::edge(), &model, &wl, &c);
+        let a = serve(&Accelerator::edge(), &model, &wl, &c).unwrap();
+        let b = serve(&Accelerator::edge(), &model, &wl, &c).unwrap();
         assert_eq!(a.to_json(), b.to_json());
         let mut c2 = c;
         c2.seed = 8;
-        let d = serve(&Accelerator::edge(), &model, &wl, &c2);
+        let d = serve(&Accelerator::edge(), &model, &wl, &c2).unwrap();
         assert_ne!(a.checksum, d.checksum, "numeric plane must depend on the seed");
     }
 
+    /// Regression: an oversized request used to trip an up-front panic
+    /// (and, admitted, would self-preempt forever in
+    /// `append_with_preemption`). It must now terminate promptly with the
+    /// request dropped at admission and every other request served.
     #[test]
-    #[should_panic(expected = "raise the kv budget")]
-    fn infeasible_request_is_rejected_up_front() {
+    fn oversized_request_is_dropped_at_admission_not_livelocked() {
         let model = Model::by_name("bert").unwrap();
-        let wl = vec![RequestSpec { id: 0, arrival_ms: 0.0, prompt_len: 100_000, output_len: 1 }];
-        let _ = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(1)));
+        let mut wl = tiny_workload(4);
+        wl.push(RequestSpec::new(4, 0.3, 100_000, 1));
+        // 4 MiB ⇒ ~7 blocks: every tiny request fits, the oversized one
+        // (100k tokens ≫ the pool) provably cannot.
+        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(4))).unwrap();
+        assert_eq!(m.requests, 5);
+        assert_eq!(m.finished, 4);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.drops.infeasible, 1);
+        assert!(m.ticks < 100_000, "rejection must be prompt, not a livelock timeout");
+    }
+
+    #[test]
+    fn sole_oversized_request_terminates_too() {
+        let model = Model::by_name("bert").unwrap();
+        let wl = vec![RequestSpec::new(0, 0.0, 100_000, 1)];
+        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(1))).unwrap();
+        assert_eq!((m.finished, m.dropped), (0, 1));
+        assert_eq!(m.drops.infeasible, 1);
+    }
+
+    #[test]
+    fn queued_past_deadline_is_shed_and_counted() {
+        let model = Model::by_name("bert").unwrap();
+        // Serialize admission (max_batch 1) so the trailing request waits
+        // behind the first; its microscopic deadline expires in the queue.
+        let mut wl = tiny_workload(2);
+        wl[1].deadline_ms = Some(wl[1].arrival_ms + 1e-6);
+        let mut c = cfg(Bytes::from_mib(64));
+        c.max_batch = 1;
+        let m = serve(&Accelerator::edge(), &model, &wl, &c).unwrap();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.finished, 1);
+        assert_eq!(m.drops.deadline, 1);
+        assert!(
+            m.goodput_tokens_per_s <= m.decode_tokens_per_s,
+            "shed work never counts toward goodput"
+        );
+    }
+
+    #[test]
+    fn corrupt_specs_are_shed_not_scheduled() {
+        let model = Model::by_name("bert").unwrap();
+        let mut wl = tiny_workload(3);
+        wl.push(RequestSpec { arrival_ms: f64::NAN, ..RequestSpec::new(3, 0.0, 8, 2) });
+        wl.push(RequestSpec::new(4, 0.1, 0, 2));
+        wl.push(RequestSpec::new(5, 0.2, 8, 0));
+        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(64))).unwrap();
+        assert_eq!(m.requests, 6);
+        assert_eq!(m.finished, 3);
+        assert_eq!(m.drops.corrupt, 3);
+    }
+
+    #[test]
+    fn empty_workload_and_bad_config_are_typed_errors() {
+        let model = Model::by_name("bert").unwrap();
+        let accel = Accelerator::edge();
+        assert_eq!(
+            serve(&accel, &model, &[], &cfg(Bytes::from_mib(64))).unwrap_err(),
+            ServeError::EmptyWorkload
+        );
+        for mangle in [
+            |c: &mut EngineConfig| c.block_tokens = 0,
+            |c: &mut EngineConfig| c.prefill_chunk = 0,
+            |c: &mut EngineConfig| c.max_batch = 0,
+            |c: &mut EngineConfig| c.dk = 0,
+        ] {
+            let mut c = cfg(Bytes::from_mib(64));
+            mangle(&mut c);
+            let err = serve(&accel, &model, &tiny_workload(2), &c).unwrap_err();
+            assert!(
+                matches!(err, ServeError::InvalidConfig(_)),
+                "expected InvalidConfig, got {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -547,11 +756,22 @@ mod tests {
         // engine's checksum contribution: a 1-request workload's final
         // attention output must equal a hand-rolled replay.
         let model = Model::by_name("bert").unwrap();
-        let wl = vec![RequestSpec { id: 0, arrival_ms: 0.0, prompt_len: 8, output_len: 3 }];
+        let wl = vec![RequestSpec::new(0, 0.0, 8, 3)];
         let c = cfg(Bytes::from_mib(64));
-        let a = serve(&Accelerator::edge(), &model, &wl, &c);
-        let b = serve(&Accelerator::edge(), &model, &wl, &c);
+        let a = serve(&Accelerator::edge(), &model, &wl, &c).unwrap();
+        let b = serve(&Accelerator::edge(), &model, &wl, &c).unwrap();
         assert_eq!(a.checksum, b.checksum);
         assert!(a.checksum.is_finite() && a.checksum != 0.0);
+    }
+
+    /// Satellite pin: a single instantaneous-ish request must not report
+    /// an infinite token rate.
+    #[test]
+    fn single_request_rates_are_finite() {
+        let model = Model::by_name("bert").unwrap();
+        let wl = vec![RequestSpec::new(0, 0.0, 4, 1)];
+        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(64))).unwrap();
+        assert!(m.decode_tokens_per_s.is_finite());
+        assert!(m.goodput_tokens_per_s.is_finite());
     }
 }

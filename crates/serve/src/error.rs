@@ -1,0 +1,101 @@
+//! Typed serving errors and request drop reasons.
+//!
+//! The engine never panics on adversarial input: configuration and
+//! workload problems surface as [`ServeError`]s before any work runs, and
+//! per-request hazards (a prompt that could never fit in the KV pool, a
+//! missed deadline, a corrupted spec) become [`DropReason`]s — the request
+//! is shed with its reason counted in the metrics instead of wedging the
+//! scheduler.
+
+use std::fmt;
+
+/// Why the engine refused to run (or aborted) a serving workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The workload contained no requests.
+    EmptyWorkload,
+    /// An [`EngineConfig`](crate::EngineConfig) knob is out of range
+    /// (zero block size, zero batch, …).
+    InvalidConfig(String),
+    /// A [`WorkloadSpec`](crate::WorkloadSpec) is degenerate (no
+    /// requests, non-positive rate, zero token means).
+    InvalidWorkload(String),
+    /// The scheduler stopped making progress and tripped its tick cap —
+    /// a bug guard, not an expected outcome.
+    Livelock {
+        /// Ticks executed before the engine gave up.
+        ticks: u64,
+    },
+    /// An internal invariant broke; the engine aborted rather than loop.
+    Internal(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::EmptyWorkload => write!(f, "workload must contain at least one request"),
+            ServeError::InvalidConfig(why) => write!(f, "invalid engine config: {why}"),
+            ServeError::InvalidWorkload(why) => write!(f, "invalid workload spec: {why}"),
+            ServeError::Livelock { ticks } => {
+                write!(f, "scheduler livelock: no progress after {ticks} ticks")
+            }
+            ServeError::Internal(why) => write!(f, "internal engine invariant broken: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why a single request was shed instead of served.
+///
+/// Every request the engine accepts either finishes or is dropped with
+/// exactly one of these reasons — the conservation invariant the chaos
+/// suite asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The request's worst-case KV footprint (`prompt + output` tokens)
+    /// exceeds the whole pool: it could never run to completion, so it is
+    /// rejected at admission instead of livelocking in self-preemption.
+    Infeasible,
+    /// The request was still queued past its deadline and was shed.
+    DeadlineExceeded,
+    /// The spec itself is malformed (non-finite arrival, zero prompt or
+    /// output length) — typically the work of the fault injector.
+    CorruptSpec,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropReason::Infeasible => write!(f, "infeasible"),
+            DropReason::DeadlineExceeded => write!(f, "deadline-exceeded"),
+            DropReason::CorruptSpec => write!(f, "corrupt-spec"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_one_line_diagnostics() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::EmptyWorkload, "at least one request"),
+            (ServeError::InvalidConfig("block_tokens is zero".into()), "block_tokens"),
+            (ServeError::Livelock { ticks: 42 }, "42 ticks"),
+        ];
+        for (e, needle) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+            assert!(!msg.contains('\n'), "diagnostics must be one line");
+        }
+    }
+
+    #[test]
+    fn drop_reasons_have_stable_labels() {
+        assert_eq!(DropReason::Infeasible.to_string(), "infeasible");
+        assert_eq!(DropReason::DeadlineExceeded.to_string(), "deadline-exceeded");
+        assert_eq!(DropReason::CorruptSpec.to_string(), "corrupt-spec");
+    }
+}

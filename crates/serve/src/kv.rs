@@ -140,6 +140,9 @@ pub struct KvPool {
     dk: usize,
     blocks: Vec<Block>,
     free: Vec<usize>,
+    /// Blocks confiscated by the fault injector: permanently removed from
+    /// circulation (ids stay valid so live tables are unaffected).
+    quarantined: usize,
     peak_used: usize,
 }
 
@@ -161,13 +164,13 @@ impl KvPool {
             .collect();
         // Pop order: lowest id first (purely cosmetic; any order works).
         let free = (0..total_blocks).rev().collect();
-        KvPool { block_tokens, dk, blocks, free, peak_used: 0 }
+        KvPool { block_tokens, dk, blocks, free, quarantined: 0, peak_used: 0 }
     }
 
-    /// Total blocks in the pool.
+    /// Total blocks in the pool (quarantined blocks excluded).
     #[must_use]
     pub fn total_blocks(&self) -> usize {
-        self.blocks.len()
+        self.blocks.len() - self.quarantined
     }
 
     /// Blocks on the free list.
@@ -179,7 +182,21 @@ impl KvPool {
     /// Blocks currently held by block tables.
     #[must_use]
     pub fn used_blocks(&self) -> usize {
-        self.blocks.len() - self.free.len()
+        self.blocks.len() - self.quarantined - self.free.len()
+    }
+
+    /// Permanently removes up to `n` *free* blocks from circulation — the
+    /// fault injector's mid-run capacity loss. Blocks held by live tables
+    /// are never touched, and at least one block always survives so a
+    /// pool keeps existing. Returns how many blocks were taken.
+    pub fn confiscate(&mut self, n: usize) -> usize {
+        let mut taken = 0;
+        while taken < n && self.total_blocks() > 1 && !self.free.is_empty() {
+            self.free.pop();
+            self.quarantined += 1;
+            taken += 1;
+        }
+        taken
     }
 
     /// High-water mark of [`used_blocks`](Self::used_blocks).
@@ -214,7 +231,12 @@ impl KvPool {
             table.blocks.push(id);
             self.peak_used = self.peak_used.max(self.used_blocks());
         }
-        let id = *table.blocks.last().expect("slot 0 just allocated");
+        // Non-empty by construction: slot 0 just allocated, later slots
+        // inherit the block; guarded rather than unwrapped so a corrupted
+        // table degrades into backpressure instead of a panic.
+        let Some(&id) = table.blocks.last() else {
+            return false;
+        };
         let at = slot * self.dk;
         self.blocks[id].k[at..at + self.dk].copy_from_slice(k);
         self.blocks[id].v[at..at + self.dk].copy_from_slice(v);
@@ -311,5 +333,28 @@ mod tests {
             assert!(pool.try_append(&mut b, &[1.0], &[1.0]));
         }
         assert_eq!(pool.peak_used(), 2);
+    }
+
+    #[test]
+    fn confiscation_shrinks_capacity_but_spares_live_tables() {
+        let mut pool = KvPool::new(4, 2, 1);
+        let mut a = BlockTable::new();
+        for _ in 0..4 {
+            assert!(pool.try_append(&mut a, &[1.0], &[1.0]));
+        }
+        // 2 blocks live, 2 free: confiscation can only take the free ones,
+        // and must leave at least one block of total capacity.
+        assert_eq!(pool.confiscate(10), 2);
+        assert_eq!(pool.total_blocks(), 2);
+        assert_eq!(pool.free_blocks(), 0);
+        assert_eq!(pool.used_blocks(), 2);
+        // The live table still reads back intact.
+        assert_eq!(pool.rows(&a).count(), 4);
+        // Released blocks recirculate, but capacity stays shrunk — except
+        // the floor: the last block can never be confiscated.
+        pool.release(&mut a);
+        assert_eq!(pool.confiscate(10), 1);
+        assert_eq!(pool.total_blocks(), 1);
+        assert_eq!(pool.free_blocks(), 1);
     }
 }

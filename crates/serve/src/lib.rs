@@ -15,11 +15,18 @@
 //!   steps in every tick, FIFO admission with backpressure, and
 //!   preempt-by-recompute eviction under KV pressure, executing each
 //!   decode token through [`flat_kernels::decode_attention`];
+//! * [`ServeError`] / [`DropReason`] — the robustness layer: typed errors
+//!   instead of panics, admission-time rejection of provably unservable
+//!   requests, and deadline (SLO) shedding with per-reason drop counters;
+//! * [`FaultPlan`] / [`serve_with_faults`] — seeded fault injection
+//!   (mid-run KV-pool shrinkage, corrupted specs, NaN latencies, clock
+//!   skew) backing the chaos test suite;
 //! * [`WorkloadSpec`] — synthetic Poisson traffic with prompt/output
-//!   lengths drawn from the paper's long-sequence `Task` presets;
+//!   lengths drawn from the paper's long-sequence `Task` presets, plus an
+//!   optional per-request SLO;
 //! * [`ServeMetrics`] — per-request TTFT/TPOT/E2E percentiles,
-//!   throughput, and KV-pool occupancy, serialized to JSON for the bench
-//!   snapshots.
+//!   throughput *and* goodput, drop-reason counters, and KV-pool
+//!   occupancy, serialized to JSON for the bench snapshots.
 //!
 //! # Example
 //!
@@ -33,24 +40,32 @@
 //! let mut spec = WorkloadSpec::from_task(Task::ShortNlp, 8, 200.0);
 //! spec.prompt_mean = 32; // keep the doctest fast
 //! spec.output_mean = 4;
-//! let workload = spec.generate(42);
+//! let workload = spec.generate(42).unwrap();
 //! let cfg = EngineConfig::for_platform(&accel, &model, 42);
-//! let metrics = serve(&accel, &model, &workload, &cfg);
+//! let metrics = serve(&accel, &model, &workload, &cfg).unwrap();
 //! assert_eq!(metrics.finished, 8);
+//! assert_eq!(metrics.dropped, 0);
 //! assert!(metrics.ttft.p50_ms > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Robustness contract: non-test code in this crate must not carry panic
+// paths. The clippy CI step fails on any violation.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod engine;
+mod error;
+mod faults;
 mod kv;
 mod metrics;
 mod request;
 mod workload;
 
-pub use engine::{serve, EngineConfig};
+pub use engine::{serve, serve_with_faults, EngineConfig};
+pub use error::{DropReason, ServeError};
+pub use faults::{FaultInjector, FaultPlan};
 pub use kv::{BlockTable, KvLayout, KvPool};
-pub use metrics::{KvPoolStats, Percentiles, ServeMetrics};
+pub use metrics::{DropCounts, KvPoolStats, Percentiles, ServeMetrics};
 pub use request::{Phase, Request, RequestSpec};
 pub use workload::{task_by_name, WorkloadSpec};

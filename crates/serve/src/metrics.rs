@@ -1,10 +1,17 @@
-//! Serving metrics: per-request latency percentiles, throughput, and
-//! KV-pool pressure, exported as JSON for the bench snapshots.
+//! Serving metrics: per-request latency percentiles, throughput,
+//! drop-reason accounting, and KV-pool pressure, exported as JSON for the
+//! bench snapshots.
 
+use crate::error::DropReason;
 use crate::request::Request;
 use serde::Serialize;
 
 /// Latency summary in milliseconds, nearest-rank percentiles.
+///
+/// Non-finite samples (the fault injector can produce them, and a buggy
+/// clock could too) are *excluded* from every statistic and counted in
+/// [`nonfinite`](Self::nonfinite) instead of poisoning the sort or the
+/// mean.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Percentiles {
     /// Median.
@@ -17,28 +24,72 @@ pub struct Percentiles {
     pub mean_ms: f64,
     /// Worst observed.
     pub max_ms: f64,
+    /// Samples excluded for being NaN or infinite.
+    pub nonfinite: usize,
 }
 
 impl Percentiles {
-    /// Summarizes a set of samples; all-zero when empty.
+    /// Summarizes a set of samples; all-zero when empty (or when every
+    /// sample was non-finite).
     #[must_use]
-    pub fn of(mut samples: Vec<f64>) -> Self {
-        if samples.is_empty() {
-            return Percentiles { p50_ms: 0.0, p95_ms: 0.0, p99_ms: 0.0, mean_ms: 0.0, max_ms: 0.0 };
+    pub fn of(samples: Vec<f64>) -> Self {
+        let total = samples.len();
+        let mut finite: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        let nonfinite = total - finite.len();
+        if finite.is_empty() {
+            return Percentiles {
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                mean_ms: 0.0,
+                max_ms: 0.0,
+                nonfinite,
+            };
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        // total_cmp: a total order even if a non-finite value ever slipped
+        // through — sorting must never panic.
+        finite.sort_by(f64::total_cmp);
         let at = |p: f64| {
             // Nearest-rank: ceil(p·n) clamped into the sample range.
-            let rank = (p * samples.len() as f64).ceil() as usize;
-            samples[rank.clamp(1, samples.len()) - 1]
+            let rank = (p * finite.len() as f64).ceil() as usize;
+            finite[rank.clamp(1, finite.len()) - 1]
         };
         Percentiles {
             p50_ms: at(0.50),
             p95_ms: at(0.95),
             p99_ms: at(0.99),
-            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
-            max_ms: *samples.last().expect("nonempty"),
+            mean_ms: finite.iter().sum::<f64>() / finite.len() as f64,
+            max_ms: finite[finite.len() - 1],
+            nonfinite,
         }
+    }
+}
+
+/// Requests shed by the engine, broken out by [`DropReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DropCounts {
+    /// Worst-case KV footprint exceeds the whole pool.
+    pub infeasible: u64,
+    /// Still queued past the request's deadline.
+    pub deadline: u64,
+    /// Malformed spec (non-finite arrival, zero lengths).
+    pub corrupt: u64,
+}
+
+impl DropCounts {
+    /// Tallies one drop.
+    pub fn count(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::Infeasible => self.infeasible += 1,
+            DropReason::DeadlineExceeded => self.deadline += 1,
+            DropReason::CorruptSpec => self.corrupt += 1,
+        }
+    }
+
+    /// Total requests dropped.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.infeasible + self.deadline + self.corrupt
     }
 }
 
@@ -64,8 +115,12 @@ pub struct KvPoolStats {
 pub struct ServeMetrics {
     /// Requests offered to the engine.
     pub requests: usize,
-    /// Requests that ran to completion (must equal `requests`).
+    /// Requests that ran to completion (`finished + dropped == requests`).
     pub finished: usize,
+    /// Requests shed with a typed reason instead of served.
+    pub dropped: usize,
+    /// Shed requests by reason.
+    pub drops: DropCounts,
     /// Preempt-and-recompute evictions under KV pressure.
     pub preemptions: u64,
     /// Engine virtual time from first arrival to last completion.
@@ -76,8 +131,14 @@ pub struct ServeMetrics {
     pub prefill_tokens: u64,
     /// Output tokens generated.
     pub decode_tokens: u64,
-    /// Generated tokens per second of engine time.
+    /// Generated tokens per second of engine time (0 when the makespan is
+    /// zero or non-finite — never `inf`/NaN).
     pub decode_tokens_per_s: f64,
+    /// Generated tokens per second counting only requests that finished
+    /// within their deadline — the goodput the SLO actually buys, versus
+    /// the raw throughput above. Equal to `decode_tokens_per_s` when no
+    /// request carries a deadline and nothing was dropped.
+    pub goodput_tokens_per_s: f64,
     /// Time to first token.
     pub ttft: Percentiles,
     /// Time per output token after the first.
@@ -92,39 +153,61 @@ pub struct ServeMetrics {
     pub checksum: f64,
 }
 
+/// `x / (ms/1e3)` with every degenerate case (zero, negative, NaN,
+/// infinite makespan) clamped to 0.0 — a rate must never be `inf`.
+fn per_second(count: f64, makespan_ms: f64) -> f64 {
+    if makespan_ms.is_finite() && makespan_ms > 0.0 {
+        let rate = count / (makespan_ms / 1e3);
+        if rate.is_finite() { rate } else { 0.0 }
+    } else {
+        0.0
+    }
+}
+
 impl ServeMetrics {
-    /// Collates finished requests into the report.
+    /// Collates finished and dropped requests into the report.
     #[must_use]
     pub fn collate(
-        requests: &[Request],
+        finished: &[Request],
+        dropped: &[Request],
         kv: KvPoolStats,
         makespan_ms: f64,
         ticks: u64,
         prefill_tokens: u64,
     ) -> Self {
-        let finished = requests.iter().filter(|r| r.finish_ms.is_some()).count();
-        let decode_tokens: u64 = requests.iter().map(|r| r.generated as u64).sum();
+        let done = finished.iter().filter(|r| r.finish_ms.is_some()).count();
+        let decode_tokens: u64 = finished.iter().map(|r| r.generated as u64).sum();
+        let good_tokens: u64 = finished
+            .iter()
+            .filter(|r| r.met_deadline())
+            .map(|r| r.generated as u64)
+            .sum();
+        let mut drops = DropCounts::default();
+        for r in dropped {
+            if let Some(reason) = r.drop_reason {
+                drops.count(reason);
+            }
+        }
         let collect = |f: &dyn Fn(&Request) -> Option<f64>| -> Vec<f64> {
-            requests.iter().filter_map(f).collect()
+            finished.iter().filter_map(f).collect()
         };
         ServeMetrics {
-            requests: requests.len(),
-            finished,
-            preemptions: requests.iter().map(|r| r.preemptions).sum(),
+            requests: finished.len() + dropped.len(),
+            finished: done,
+            dropped: dropped.len(),
+            drops,
+            preemptions: finished.iter().chain(dropped).map(|r| r.preemptions).sum(),
             makespan_ms,
             ticks,
             prefill_tokens,
             decode_tokens,
-            decode_tokens_per_s: if makespan_ms > 0.0 {
-                decode_tokens as f64 / (makespan_ms / 1e3)
-            } else {
-                0.0
-            },
+            decode_tokens_per_s: per_second(decode_tokens as f64, makespan_ms),
+            goodput_tokens_per_s: per_second(good_tokens as f64, makespan_ms),
             ttft: Percentiles::of(collect(&Request::ttft_ms)),
             tpot: Percentiles::of(collect(&Request::tpot_ms)),
             e2e: Percentiles::of(collect(&Request::e2e_ms)),
             kv,
-            checksum: requests
+            checksum: finished
                 .iter()
                 .flat_map(|r| &r.last_out)
                 .map(|&x| f64::from(x))
@@ -136,13 +219,16 @@ impl ServeMetrics {
     /// the determinism test's comparison key).
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("metrics serialize")
+        // Serialization of this plain struct cannot fail; the fallback
+        // keeps the path panic-free under the crate's unwrap/expect ban.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn percentiles_of_known_samples() {
@@ -152,6 +238,7 @@ mod tests {
         assert_eq!(p.p99_ms, 99.0);
         assert_eq!(p.max_ms, 100.0);
         assert!((p.mean_ms - 50.5).abs() < 1e-12);
+        assert_eq!(p.nonfinite, 0);
     }
 
     #[test]
@@ -165,6 +252,73 @@ mod tests {
         let p = Percentiles::of(Vec::new());
         assert_eq!(p.mean_ms, 0.0);
         assert_eq!(p.max_ms, 0.0);
+        assert_eq!(p.nonfinite, 0);
+    }
+
+    #[test]
+    fn nan_samples_are_flagged_not_fatal() {
+        let p = Percentiles::of(vec![f64::NAN, 3.0, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(p.nonfinite, 2);
+        assert_eq!(p.p50_ms, 2.0);
+        assert_eq!(p.max_ms, 3.0);
+        assert!((p.mean_ms - 2.0).abs() < 1e-12);
+        let all_bad = Percentiles::of(vec![f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(all_bad.nonfinite, 2);
+        assert_eq!(all_bad.p99_ms, 0.0);
+    }
+
+    proptest! {
+        /// Nearest-rank edge cases: any mix of finite and NaN samples
+        /// yields ordered finite percentiles and an exact nonfinite count.
+        #[test]
+        fn percentiles_total_order_and_bounds(
+            finite in proptest::collection::vec(-1e12..1e12f64, 1..64),
+            nans in 0usize..8,
+        ) {
+            let mut samples = finite.clone();
+            samples.extend(std::iter::repeat_n(f64::NAN, nans));
+            let p = Percentiles::of(samples);
+            prop_assert_eq!(p.nonfinite, nans);
+            prop_assert!(p.p50_ms <= p.p95_ms);
+            prop_assert!(p.p95_ms <= p.p99_ms);
+            prop_assert!(p.p99_ms <= p.max_ms);
+            let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(p.max_ms, hi);
+            prop_assert!(p.p50_ms >= lo);
+            prop_assert!(p.mean_ms.is_finite());
+        }
+
+        /// n = 1 and all-equal inputs collapse every statistic to that value.
+        #[test]
+        fn percentiles_all_equal_collapse(x in -1e9..1e9f64, n in 1usize..32) {
+            let p = Percentiles::of(vec![x; n]);
+            prop_assert_eq!(p.p50_ms, x);
+            prop_assert_eq!(p.p95_ms, x);
+            prop_assert_eq!(p.p99_ms, x);
+            prop_assert_eq!(p.max_ms, x);
+            prop_assert!((p.mean_ms - x).abs() <= 1e-9 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rates_clamp_degenerate_makespans() {
+        assert_eq!(per_second(100.0, 0.0), 0.0, "instantaneous run must not be inf");
+        assert_eq!(per_second(100.0, f64::NAN), 0.0);
+        assert_eq!(per_second(100.0, f64::INFINITY), 0.0);
+        assert_eq!(per_second(100.0, -5.0), 0.0);
+        assert!((per_second(100.0, 1000.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_counts_tally_by_reason() {
+        let mut d = DropCounts::default();
+        d.count(DropReason::Infeasible);
+        d.count(DropReason::DeadlineExceeded);
+        d.count(DropReason::DeadlineExceeded);
+        d.count(DropReason::CorruptSpec);
+        assert_eq!((d.infeasible, d.deadline, d.corrupt), (1, 2, 1));
+        assert_eq!(d.total(), 4);
     }
 
     #[test]
@@ -177,9 +331,11 @@ mod tests {
             mean_occupancy: 0.5,
             peak_occupancy: 0.75,
         };
-        let m = ServeMetrics::collate(&[], kv, 100.0, 10, 0);
+        let m = ServeMetrics::collate(&[], &[], kv, 100.0, 10, 0);
         let json = m.to_json();
         assert!(json.contains("\"decode_tokens_per_s\""));
+        assert!(json.contains("\"goodput_tokens_per_s\""));
+        assert!(json.contains("\"drops\""));
         assert!(json.contains("\"peak_used_blocks\": 6"));
     }
 }

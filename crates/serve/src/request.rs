@@ -1,5 +1,6 @@
 //! Requests: the unit of work the serving engine schedules.
 
+use crate::error::DropReason;
 use crate::kv::BlockTable;
 
 /// An incoming request as the synthetic workload generator produces it:
@@ -14,6 +15,30 @@ pub struct RequestSpec {
     pub prompt_len: usize,
     /// Tokens to generate (≥ 1).
     pub output_len: usize,
+    /// Absolute deadline in engine milliseconds (the request's SLO):
+    /// still queued past this instant, the request is shed with
+    /// [`DropReason::DeadlineExceeded`]. `None` means no deadline.
+    pub deadline_ms: Option<f64>,
+}
+
+impl RequestSpec {
+    /// A spec with no deadline — the common case for tests and synthetic
+    /// workloads without an SLO.
+    #[must_use]
+    pub fn new(id: usize, arrival_ms: f64, prompt_len: usize, output_len: usize) -> Self {
+        RequestSpec { id, arrival_ms, prompt_len, output_len, deadline_ms: None }
+    }
+
+    /// Whether the spec is structurally sound: finite arrival (and
+    /// deadline, when present) and at least one prompt and output token.
+    /// Corrupt specs are shed at admission, never scheduled.
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.arrival_ms.is_finite()
+            && self.deadline_ms.is_none_or(f64::is_finite)
+            && self.prompt_len >= 1
+            && self.output_len >= 1
+    }
 }
 
 /// Lifecycle of a request inside the engine.
@@ -48,6 +73,11 @@ pub struct Request {
     pub finish_ms: Option<f64>,
     /// Times this request was evicted and restarted.
     pub preemptions: u64,
+    /// Why the request was shed, if it was (`None` for requests that ran
+    /// to completion). A dropped request never has `finish_ms`.
+    pub drop_reason: Option<DropReason>,
+    /// When the request was shed, if it was.
+    pub drop_ms: Option<f64>,
     /// Attention output of the latest executed step — feeds the next
     /// step's Q/K/V derivation, making generation genuinely sequential.
     pub last_out: Vec<f32>,
@@ -66,7 +96,28 @@ impl Request {
             first_token_ms: None,
             finish_ms: None,
             preemptions: 0,
+            drop_reason: None,
+            drop_ms: None,
             last_out: Vec::new(),
+        }
+    }
+
+    /// Marks the request shed: reason and timestamp recorded, progress
+    /// irrelevant from here on.
+    pub fn mark_dropped(&mut self, reason: DropReason, now_ms: f64) {
+        self.drop_reason = Some(reason);
+        self.drop_ms = Some(now_ms);
+    }
+
+    /// Whether the request finished within its deadline (vacuously true
+    /// without one). A non-finite finish stamp — the fault injector's
+    /// work — never counts as meeting a deadline.
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        match (self.finish_ms, self.spec.deadline_ms) {
+            (Some(finish), Some(deadline)) => finish <= deadline,
+            (Some(_), None) => true,
+            (None, _) => false,
         }
     }
 
@@ -112,7 +163,7 @@ mod tests {
     use super::*;
 
     fn spec() -> RequestSpec {
-        RequestSpec { id: 0, arrival_ms: 10.0, prompt_len: 4, output_len: 3 }
+        RequestSpec::new(0, 10.0, 4, 3)
     }
 
     #[test]
@@ -140,5 +191,41 @@ mod tests {
         assert_eq!(r.first_token_ms, None);
         assert!(r.last_out.is_empty());
         assert_eq!(r.preemptions, 1);
+    }
+
+    #[test]
+    fn well_formedness_rejects_corrupt_specs() {
+        assert!(spec().is_well_formed());
+        assert!(!RequestSpec { arrival_ms: f64::NAN, ..spec() }.is_well_formed());
+        assert!(!RequestSpec { prompt_len: 0, ..spec() }.is_well_formed());
+        assert!(!RequestSpec { output_len: 0, ..spec() }.is_well_formed());
+        assert!(
+            !RequestSpec { deadline_ms: Some(f64::INFINITY), ..spec() }.is_well_formed()
+        );
+        assert!(RequestSpec { deadline_ms: Some(20.0), ..spec() }.is_well_formed());
+    }
+
+    #[test]
+    fn deadline_accounting() {
+        let mut r = Request::new(RequestSpec { deadline_ms: Some(40.0), ..spec() });
+        assert!(!r.met_deadline(), "unfinished requests never meet a deadline");
+        r.finish_ms = Some(39.0);
+        assert!(r.met_deadline());
+        r.finish_ms = Some(41.0);
+        assert!(!r.met_deadline());
+        r.finish_ms = Some(f64::NAN);
+        assert!(!r.met_deadline(), "a corrupted stamp must not count as goodput");
+        let mut free = Request::new(spec());
+        free.finish_ms = Some(1e9);
+        assert!(free.met_deadline(), "no deadline is vacuously met");
+    }
+
+    #[test]
+    fn dropped_marks_reason_and_time() {
+        let mut r = Request::new(spec());
+        r.mark_dropped(DropReason::Infeasible, 12.5);
+        assert_eq!(r.drop_reason, Some(DropReason::Infeasible));
+        assert_eq!(r.drop_ms, Some(12.5));
+        assert_eq!(r.finish_ms, None);
     }
 }

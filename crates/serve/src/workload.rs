@@ -1,6 +1,7 @@
 //! Synthetic request traffic: Poisson-ish arrivals with prompt/output
 //! lengths scaled off the paper's long-sequence [`Task`] presets.
 
+use crate::error::ServeError;
 use crate::request::RequestSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,7 +23,7 @@ use flat_workloads::Task;
 ///
 /// let spec = WorkloadSpec::from_task(Task::ShortNlp, 16, 100.0);
 /// assert_eq!(spec.prompt_mean, 512);
-/// let reqs = spec.generate(7);
+/// let reqs = spec.generate(7).unwrap();
 /// assert_eq!(reqs.len(), 16);
 /// assert!(reqs.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
 /// ```
@@ -36,12 +37,17 @@ pub struct WorkloadSpec {
     pub prompt_mean: usize,
     /// Mean output (generated) length in tokens.
     pub output_mean: usize,
+    /// Per-request SLO: each request's deadline is its arrival plus this
+    /// many milliseconds. `None` (the default) generates deadline-free
+    /// requests.
+    pub slo_ms: Option<f64>,
 }
 
 impl WorkloadSpec {
     /// A spec whose prompt length follows a [`Task`] preset's sequence
     /// length, with outputs an eighth of the prompt (summaries, captions,
-    /// continuations — generation is short relative to context).
+    /// continuations — generation is short relative to context), and no
+    /// SLO.
     #[must_use]
     pub fn from_task(task: Task, requests: usize, arrival_rate_per_s: f64) -> Self {
         let prompt_mean = task.sequence_length() as usize;
@@ -50,26 +56,43 @@ impl WorkloadSpec {
             arrival_rate_per_s,
             prompt_mean,
             output_mean: (prompt_mean / 8).max(1),
+            slo_ms: None,
         }
+    }
+
+    /// Checks the spec for degeneracies instead of panicking on them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidWorkload`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let bad = |why: &str| Err(ServeError::InvalidWorkload(why.to_owned()));
+        if self.requests == 0 {
+            return bad("need at least one request");
+        }
+        if !(self.arrival_rate_per_s > 0.0 && self.arrival_rate_per_s.is_finite()) {
+            return bad("arrival rate must be positive and finite");
+        }
+        if self.prompt_mean == 0 || self.output_mean == 0 {
+            return bad("token means must be positive");
+        }
+        if self.slo_ms.is_some_and(|s| !(s > 0.0 && s.is_finite())) {
+            return bad("slo must be positive and finite when set");
+        }
+        Ok(())
     }
 
     /// Generates the request stream, deterministic in `seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the spec is degenerate (no requests, non-positive rate,
-    /// zero means).
-    #[must_use]
-    pub fn generate(&self, seed: u64) -> Vec<RequestSpec> {
-        assert!(self.requests > 0, "need at least one request");
-        assert!(
-            self.arrival_rate_per_s > 0.0 && self.arrival_rate_per_s.is_finite(),
-            "arrival rate must be positive"
-        );
-        assert!(self.prompt_mean > 0 && self.output_mean > 0, "token means must be positive");
+    /// [`ServeError::InvalidWorkload`] if the spec is degenerate (no
+    /// requests, non-positive rate, zero means, non-positive SLO).
+    pub fn generate(&self, seed: u64) -> Result<Vec<RequestSpec>, ServeError> {
+        self.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut now_ms = 0.0f64;
-        (0..self.requests)
+        Ok((0..self.requests)
             .map(|id| {
                 // Exponential gap: -ln(1-u)/λ, u ∈ [0,1) so 1-u ∈ (0,1].
                 let u: f64 = rng.gen();
@@ -79,9 +102,10 @@ impl WorkloadSpec {
                     arrival_ms: now_ms,
                     prompt_len: uniform_about(self.prompt_mean, &mut rng),
                     output_len: uniform_about(self.output_mean, &mut rng),
+                    deadline_ms: self.slo_ms.map(|slo| now_ms + slo),
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -114,32 +138,72 @@ pub fn task_by_name(name: &str) -> Result<Task, String> {
 mod tests {
     use super::*;
 
+    fn base() -> WorkloadSpec {
+        WorkloadSpec {
+            requests: 32,
+            arrival_rate_per_s: 50.0,
+            prompt_mean: 64,
+            output_mean: 8,
+            slo_ms: None,
+        }
+    }
+
     #[test]
     fn stream_is_deterministic_in_seed() {
-        let spec = WorkloadSpec { requests: 32, arrival_rate_per_s: 50.0, prompt_mean: 64, output_mean: 8 };
-        assert_eq!(spec.generate(3), spec.generate(3));
-        assert_ne!(spec.generate(3), spec.generate(4));
+        let spec = base();
+        assert_eq!(spec.generate(3).unwrap(), spec.generate(3).unwrap());
+        assert_ne!(spec.generate(3).unwrap(), spec.generate(4).unwrap());
     }
 
     #[test]
     fn lengths_stay_in_band() {
-        let spec = WorkloadSpec { requests: 200, arrival_rate_per_s: 10.0, prompt_mean: 100, output_mean: 10 };
-        for r in spec.generate(1) {
+        let spec = WorkloadSpec { requests: 200, arrival_rate_per_s: 10.0, prompt_mean: 100, output_mean: 10, slo_ms: None };
+        for r in spec.generate(1).unwrap() {
             assert!((50..=150).contains(&r.prompt_len));
             assert!((5..=15).contains(&r.output_len));
             assert!(r.output_len >= 1);
+            assert_eq!(r.deadline_ms, None);
         }
     }
 
     #[test]
     fn arrivals_are_monotone_and_rate_scaled() {
-        let fast = WorkloadSpec { requests: 100, arrival_rate_per_s: 1000.0, prompt_mean: 8, output_mean: 2 };
+        let fast = WorkloadSpec { requests: 100, arrival_rate_per_s: 1000.0, prompt_mean: 8, output_mean: 2, slo_ms: None };
         let slow = WorkloadSpec { arrival_rate_per_s: 10.0, ..fast };
-        let (f, s) = (fast.generate(9), slow.generate(9));
+        let (f, s) = (fast.generate(9).unwrap(), slow.generate(9).unwrap());
         assert!(f.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
         // Same seed, 100× the rate ⇒ exactly 100× shorter span.
         let span = |v: &[RequestSpec]| v.last().unwrap().arrival_ms;
         assert!((span(&s) / span(&f) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slo_sets_deadlines_relative_to_arrival() {
+        let spec = WorkloadSpec { slo_ms: Some(250.0), ..base() };
+        for r in spec.generate(2).unwrap() {
+            let d = r.deadline_ms.unwrap();
+            assert!((d - r.arrival_ms - 250.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_are_typed_errors_not_panics() {
+        let cases = [
+            WorkloadSpec { requests: 0, ..base() },
+            WorkloadSpec { arrival_rate_per_s: 0.0, ..base() },
+            WorkloadSpec { arrival_rate_per_s: f64::NAN, ..base() },
+            WorkloadSpec { prompt_mean: 0, ..base() },
+            WorkloadSpec { output_mean: 0, ..base() },
+            WorkloadSpec { slo_ms: Some(0.0), ..base() },
+            WorkloadSpec { slo_ms: Some(f64::INFINITY), ..base() },
+        ];
+        for spec in cases {
+            let err = spec.generate(1).unwrap_err();
+            assert!(
+                matches!(err, ServeError::InvalidWorkload(_)),
+                "{spec:?} should be InvalidWorkload, got {err:?}"
+            );
+        }
     }
 
     #[test]

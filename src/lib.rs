@@ -14,7 +14,8 @@
 //!   streaming softmax, proven equivalent to the naive computation.
 //! * [`dse`] — design-space exploration and the ATTACC accelerator configs.
 //! * [`serve`] — the continuous-batching inference runtime: paged
-//!   KV-cache, iteration-level scheduler, and serving metrics.
+//!   KV-cache, iteration-level scheduler, serving metrics, typed errors
+//!   with deadline-aware shedding, and a seeded fault-injection harness.
 
 #![forbid(unsafe_code)]
 

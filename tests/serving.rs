@@ -12,7 +12,7 @@ fn workload(requests: usize, seed: u64) -> Vec<flat::serve::RequestSpec> {
     let mut spec = WorkloadSpec::from_task(Task::ShortNlp, requests, 500.0);
     spec.prompt_mean = 48; // scaled down so the suite stays fast
     spec.output_mean = 8;
-    spec.generate(seed)
+    spec.generate(seed).expect("spec is valid")
 }
 
 #[test]
@@ -21,7 +21,7 @@ fn no_request_is_lost_or_double_finished() {
     let accel = Accelerator::cloud();
     let wl = workload(64, 11);
     let cfg = EngineConfig::for_platform(&accel, &model, 11);
-    let m = serve(&accel, &model, &wl, &cfg);
+    let m = serve(&accel, &model, &wl, &cfg).unwrap();
     assert_eq!(m.requests, 64);
     assert_eq!(m.finished, 64, "every offered request must finish exactly once");
     // Token conservation: the engine generated exactly what was asked.
@@ -34,7 +34,7 @@ fn metrics_percentiles_and_occupancy_are_nonzero() {
     let model = Model::by_name("bert").unwrap();
     let accel = Accelerator::edge();
     let cfg = EngineConfig::for_platform(&accel, &model, 3);
-    let m = serve(&accel, &model, &workload(32, 3), &cfg);
+    let m = serve(&accel, &model, &workload(32, 3), &cfg).unwrap();
     assert!(m.ttft.p50_ms > 0.0 && m.ttft.p99_ms >= m.ttft.p50_ms);
     assert!(m.tpot.p50_ms > 0.0);
     assert!(m.e2e.p50_ms >= m.ttft.p50_ms);
@@ -48,8 +48,8 @@ fn same_seed_same_metrics_json() {
     let model = Model::by_name("bert").unwrap();
     let accel = Accelerator::cloud();
     let cfg = EngineConfig::for_platform(&accel, &model, 99);
-    let a = serve(&accel, &model, &workload(24, 99), &cfg);
-    let b = serve(&accel, &model, &workload(24, 99), &cfg);
+    let a = serve(&accel, &model, &workload(24, 99), &cfg).unwrap();
+    let b = serve(&accel, &model, &workload(24, 99), &cfg).unwrap();
     assert_eq!(a.to_json(), b.to_json(), "a seeded serving run must be fully reproducible");
 }
 
@@ -61,8 +61,41 @@ fn kv_pressure_preempts_without_losing_requests() {
     // ~36 KiB/token ⇒ 4 MiB holds ~7 blocks of 16 tokens: heavy pressure.
     cfg.kv_budget = Bytes::from_mib(4);
     cfg.max_batch = 6;
-    let m = serve(&accel, &model, &workload(24, 5), &cfg);
+    let m = serve(&accel, &model, &workload(24, 5), &cfg).unwrap();
     assert_eq!(m.finished, 24);
     assert!(m.preemptions > 0, "a starved pool must evict and recompute");
     assert!(m.kv.peak_occupancy > 0.8, "pressure should drive the pool near full");
+}
+
+#[test]
+fn oversized_request_is_dropped_not_livelocked() {
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    let mut cfg = EngineConfig::for_platform(&accel, &model, 7);
+    cfg.kv_budget = Bytes::from_mib(4);
+    let mut wl = workload(8, 7);
+    // A prompt no pool this size can ever hold: pre-fix this request
+    // self-preempted forever; now it must drop Infeasible at admission.
+    wl[3].prompt_len = 100_000;
+    let m = serve(&accel, &model, &wl, &cfg).unwrap();
+    assert_eq!(m.finished, 7);
+    assert_eq!(m.dropped, 1);
+    assert_eq!(m.drops.infeasible, 1);
+}
+
+#[test]
+fn tight_slo_sheds_gracefully_and_reports_goodput() {
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    let mut spec = WorkloadSpec::from_task(Task::ShortNlp, 32, 500.0);
+    spec.prompt_mean = 48;
+    spec.output_mean = 8;
+    spec.slo_ms = Some(1.5); // far tighter than the queue can honor
+    let wl = spec.generate(21).unwrap();
+    let mut cfg = EngineConfig::for_platform(&accel, &model, 21);
+    cfg.max_batch = 2;
+    let m = serve(&accel, &model, &wl, &cfg).unwrap();
+    assert_eq!(m.finished + m.dropped, m.requests);
+    assert!(m.drops.deadline > 0, "a 1.5 ms SLO must shed from the queue");
+    assert!(m.goodput_tokens_per_s <= m.decode_tokens_per_s + 1e-9);
 }
