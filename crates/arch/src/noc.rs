@@ -123,6 +123,56 @@ mod tests {
         }
     }
 
+    /// The doc example's ordering, promoted to a test over both the
+    /// distribution (fill) and reduction (drain) paths: a systolic mesh
+    /// costs more than a tree, which costs more than a crossbar, on
+    /// every array the presets use.
+    #[test]
+    fn drain_ordering_matches_fill_ordering_on_all_variants() {
+        for pe in [
+            PeArray::new(8, 8),
+            PeArray::new(32, 32),
+            PeArray::new(256, 256),
+        ] {
+            assert!(Noc::Systolic.drain_latency(pe) > Noc::Tree.drain_latency(pe));
+            assert!(Noc::Tree.drain_latency(pe) > Noc::Crossbar.drain_latency(pe));
+        }
+    }
+
+    /// The reduction path mirrors the distribution path in all three
+    /// fabrics — drain is exactly fill, including on asymmetric arrays
+    /// where rows and cols differ.
+    #[test]
+    fn drain_is_symmetric_with_fill_for_every_variant() {
+        for pe in [
+            PeArray::new(32, 32),
+            PeArray::new(8, 128),
+            PeArray::new(128, 8),
+        ] {
+            for noc in Noc::all() {
+                assert_eq!(
+                    noc.drain_latency(pe),
+                    noc.fill_latency(pe),
+                    "{noc} on {pe:?}"
+                );
+            }
+        }
+    }
+
+    /// Asymmetric arrays: the systolic perimeter sees rows + cols, the
+    /// tree only the longest dimension, the crossbar neither.
+    #[test]
+    fn asymmetric_arrays_separate_the_variants() {
+        let (tall, wide) = (PeArray::new(128, 8), PeArray::new(8, 128));
+        assert_eq!(Noc::Systolic.drain_latency(tall), 136);
+        assert_eq!(
+            Noc::Systolic.drain_latency(tall),
+            Noc::Systolic.drain_latency(wide)
+        );
+        assert_eq!(Noc::Tree.drain_latency(tall), 2 * 7);
+        assert_eq!(Noc::Crossbar.drain_latency(tall), 2);
+    }
+
     #[test]
     fn ceil_log2_edge_cases() {
         assert_eq!(ceil_log2(1), 1);

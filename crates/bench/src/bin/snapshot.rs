@@ -20,11 +20,13 @@
 
 use flat_bench::args::Args;
 use flat_bench::sweep::{buffer_sweep, buffer_sweep_serial};
+use flat_dist::{Link, Partition, Sweep, Topology};
 use flat_kernels::{
     decode_attention, flat_attention, naive_attention, parallel_flat_attention, Mask,
     MultiHeadInput,
 };
 use flat_serve::{BlockTable, EngineConfig, KvPool, WorkloadSpec};
+use flat_workloads::Task;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -102,9 +104,13 @@ fn kernel_entries(args: &Args, quick: bool) -> Vec<Entry> {
         time("kernel", "naive_attention", &config, reps, || {
             naive_attention(&input, Mask::None)
         }),
-        time("kernel", "flat_attention", &format!("{config} rows_per_tile={tile}"), reps, || {
-            flat_attention(&input, tile, Mask::None)
-        }),
+        time(
+            "kernel",
+            "flat_attention",
+            &format!("{config} rows_per_tile={tile}"),
+            reps,
+            || flat_attention(&input, tile, Mask::None),
+        ),
         time(
             "kernel",
             "parallel_flat_attention",
@@ -140,7 +146,11 @@ fn sweep_entries(quick: bool) -> Vec<Entry> {
 /// cache pays); the paged path appends one K/V row and folds it online
 /// (`O(L)` per token), exactly what the `flat-serve` engine executes.
 fn serve_entries(quick: bool) -> Vec<Entry> {
-    let (ctx0, steps, dk, reps) = if quick { (64, 16, 64, 2) } else { (256, 64, 64, 3) };
+    let (ctx0, steps, dk, reps) = if quick {
+        (64, 16, 64, 2)
+    } else {
+        (256, 64, 64, 3)
+    };
     let total = ctx0 + steps;
     let input = MultiHeadInput::random(1, 1, total, total, dk, 0x5E17E);
     let scale = input.scale();
@@ -205,16 +215,62 @@ fn engine_entries(quick: bool) -> Vec<Entry> {
     })])
 }
 
+/// The distributed scaling trajectory: one attention layer of the
+/// paper's 64K-token summarization preset, sharded head-parallel across
+/// a chip sweep on two fabric topologies. Unlike the other groups these
+/// entries record *modeled* layer latency (the `flat-dist` analytical
+/// cost, per-shard dataflow re-searched at every cluster size), not wall
+/// time — `speedup_vs_baseline` is therefore the modeled chip-scaling
+/// speedup over the 1-chip point.
+fn dist_entries(quick: bool) -> Vec<Entry> {
+    let task = Task::Summarization;
+    let seq = task.sequence_length();
+    let accel = flat_bench::platform("cloud");
+    let model = flat_bench::model("bert");
+    let cfg = model.config(1, seq);
+    let chips: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let topologies = [Topology::Ring, Topology::FullyConnected];
+    let points =
+        Sweep::new(accel, Link::cloud()).run(&cfg, chips, &topologies, &[Partition::HeadParallel]);
+    // Baseline first: the ring series' 1-chip point (identical to the
+    // fully-connected one — no fabric at one chip).
+    let mut entries = Vec::new();
+    for topology in topologies {
+        for p in flat_dist::series(&points, topology, Partition::HeadParallel) {
+            let entry = Entry {
+                group: "dist".to_owned(),
+                name: format!("{topology}/head-parallel/{}chips", p.chips),
+                config: format!(
+                    "modeled cloud/bert task=summarization seq={seq} batch=1 dataflow={} fabric={:.0}%",
+                    p.dataflow,
+                    p.fabric_fraction * 100.0
+                ),
+                reps: 1,
+                mean_ms: p.total_ms,
+                min_ms: p.total_ms,
+                speedup_vs_baseline: 1.0,
+            };
+            println!(
+                "{:<8} {:<28} mean {:>9.3} ms   min {:>9.3} ms   (modeled)",
+                entry.group, entry.name, entry.mean_ms, entry.min_ms
+            );
+            entries.push(entry);
+        }
+    }
+    with_speedups(entries)
+}
+
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
-    let tag = args.get("tag", "PR2");
+    let tag = args.get("tag", "PR4");
     let out_path = args.get("out", &format!("BENCH_{tag}.json"));
 
     let mut entries = kernel_entries(&args, quick);
     entries.extend(sweep_entries(quick));
     entries.extend(serve_entries(quick));
     entries.extend(engine_entries(quick));
+    entries.extend(dist_entries(quick));
 
     let snapshot = Snapshot {
         schema: "flat-bench-snapshot/v1".to_owned(),

@@ -3,6 +3,7 @@
 use crate::parse;
 use flat_bench::args::Args;
 use flat_core::{CostModel, CostReport, LaExecution};
+use flat_dist::{scaling_knee, series, Link, Partition, Sweep, Topology};
 use flat_dse::{Dse, SpaceKind};
 use flat_workloads::{Model, Scope};
 use serde_json::json;
@@ -24,6 +25,10 @@ USAGE:
              [--task short-nlp|image-generation|summarization|language-modeling|music-processing]
              [--prompt N] [--output N] [--block-tokens 16] [--kv-mib N] [--chunk 512]
              [--max-batch 64] [--slo-ms MS] [--chaos SEED] [--json]
+  flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8]
+             [--topology ring|mesh|fc|all] [--partition head|seq|kv|all]
+             [--link-gbps N] [--link-us N] [--seed N] [--json]
+             [--requests N ...]   # serve a request stream on the cluster instead
   flat run   --config experiments.json [--out results.json]
 
 COMMON OPTIONS:
@@ -62,10 +67,15 @@ pub fn run(args: &Args) -> Result<(), String> {
     let mut results = Vec::new();
     for (idx, job) in jobs.iter().enumerate() {
         let get = |key: &str, default: &str| -> String {
-            job.get(key).and_then(|v| v.as_str()).unwrap_or(default).to_owned()
+            job.get(key)
+                .and_then(|v| v.as_str())
+                .unwrap_or(default)
+                .to_owned()
         };
         let get_u64 = |key: &str, default: u64| -> u64 {
-            job.get(key).and_then(serde_json::Value::as_u64).unwrap_or(default)
+            job.get(key)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(default)
         };
         // Rebuild an Args so the job shares the CLI's resolution logic.
         let mut argv = vec![
@@ -90,10 +100,8 @@ pub fn run(args: &Args) -> Result<(), String> {
                 "fused" => SpaceKind::Fused,
                 _ => SpaceKind::Full,
             };
-            let obj_args = Args::parse_from(vec![
-                "--objective".to_owned(),
-                get("objective", "max-util"),
-            ]);
+            let obj_args =
+                Args::parse_from(vec!["--objective".to_owned(), get("objective", "max-util")]);
             let objective = parse::objective(&obj_args).map_err(|e| format!("job {idx}: {e}"))?;
             let best = Dse::new(&setup.accel, &setup.block).best_la(space, objective);
             report_json(&best.report, &la_label(&best.la), Scope::LogitAttend)
@@ -125,7 +133,9 @@ pub fn run(args: &Args) -> Result<(), String> {
 
 /// `flat info` — list the available building blocks.
 pub fn info() -> Result<(), String> {
-    println!("platforms: edge (32x32 PEs, 512 KiB, 50 GB/s), cloud (256x256 PEs, 32 MiB, 400 GB/s)");
+    println!(
+        "platforms: edge (32x32 PEs, 512 KiB, 50 GB/s), cloud (256x256 PEs, 32 MiB, 400 GB/s)"
+    );
     println!("models:");
     for m in Model::suite() {
         println!(
@@ -181,13 +191,18 @@ pub fn cost(args: &Args) -> Result<(), String> {
         );
     } else {
         println!("accelerator: {}", setup.accel);
-        println!("workload:    {} (B={}, N={})", setup.model, setup.batch, setup.seq);
+        println!(
+            "workload:    {} (B={}, N={})",
+            setup.model, setup.batch, setup.seq
+        );
         println!("dataflow:    {} at {} scope", df.label(), scope);
         println!();
-        println!("cycles:      {:.4e} ({:.3} ms at {:.1} GHz)",
+        println!(
+            "cycles:      {:.4e} ({:.3} ms at {:.1} GHz)",
             report.cycles,
             setup.accel.cycles_to_seconds(report.cycles) * 1e3,
-            setup.accel.clock_hz / 1e9);
+            setup.accel.clock_hz / 1e9
+        );
         println!("utilization: {:.4}", report.util());
         println!("off-chip:    {}", report.traffic.offchip);
         println!("on-chip:     {}", report.traffic.onchip);
@@ -228,12 +243,19 @@ pub fn dse(args: &Args) -> Result<(), String> {
         println!("{}", serde_json::to_string_pretty(&v).expect("serializes"));
     } else {
         println!("accelerator: {}", setup.accel);
-        println!("workload:    {} (B={}, N={})", setup.model, setup.batch, setup.seq);
+        println!(
+            "workload:    {} (B={}, N={})",
+            setup.model, setup.batch, setup.seq
+        );
         println!("objective:   {objective}");
         println!();
         println!("best L-A dataflow:   {}", la_label(&best.la));
-        println!("  util {:.4}, off-chip {}, footprint {}",
-            best.report.util(), best.report.traffic.offchip, best.report.footprint);
+        println!(
+            "  util {:.4}, off-chip {}, footprint {}",
+            best.report.util(),
+            best.report.traffic.offchip,
+            best.report.footprint
+        );
         println!("best non-fused ops:  {others}");
     }
     Ok(())
@@ -269,7 +291,11 @@ pub fn trace(args: &Args) -> Result<(), String> {
         setup.batch,
         setup.seq
     );
-    println!("# makespan {:.4e} cycles, util {:.3}\n", schedule.makespan(), schedule.total.util());
+    println!(
+        "# makespan {:.4e} cycles, util {:.3}\n",
+        schedule.makespan(),
+        schedule.total.util()
+    );
     print!("{}", schedule.render(width));
     Ok(())
 }
@@ -301,15 +327,30 @@ pub fn sim(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("{trace_path}: {e}"))?;
         eprintln!("wrote Chrome trace to {trace_path} (open in chrome://tracing or Perfetto)");
     }
-    println!("workload:    {} (B={}, N={}) on {}", setup.model, setup.batch, setup.seq, setup.accel.name);
+    println!(
+        "workload:    {} (B={}, N={}) on {}",
+        setup.model, setup.batch, setup.seq, setup.accel.name
+    );
     println!("dataflow:    {}", df.label());
     println!();
-    println!("analytical:  {:.4e} cycles (util {:.3})", analytical.cycles, analytical.util());
+    println!(
+        "analytical:  {:.4e} cycles (util {:.3})",
+        analytical.cycles,
+        analytical.util()
+    );
     println!("simulated:   {simulated}");
-    println!("sim/analytical: {:.3}", simulated.cycles / analytical.cycles);
+    println!(
+        "sim/analytical: {:.3}",
+        simulated.cycles / analytical.cycles
+    );
     println!();
     for u in &simulated.resources {
-        println!("  {:5} busy {:.3e} cycles ({:.1}% of makespan)", u.name, u.busy_cycles, u.occupancy * 100.0);
+        println!(
+            "  {:5} busy {:.3e} cycles ({:.1}% of makespan)",
+            u.name,
+            u.busy_cycles,
+            u.occupancy * 100.0
+        );
     }
     Ok(())
 }
@@ -360,7 +401,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
         println!("{}", metrics.to_json());
     } else {
         println!("accelerator: {}", setup.accel);
-        println!("model:       {} (serving, KV {} B/token)", setup.model, metrics.kv.bytes_per_token);
+        println!(
+            "model:       {} (serving, KV {} B/token)",
+            setup.model, metrics.kv.bytes_per_token
+        );
         println!(
             "workload:    {requests} requests, {rate} req/s, task {task}, prompt≈{}, output≈{}",
             spec.prompt_mean, spec.output_mean
@@ -368,7 +412,11 @@ pub fn serve(args: &Args) -> Result<(), String> {
         println!();
         println!(
             "finished:    {}/{} requests in {:.1} ms ({} ticks, {} preemptions)",
-            metrics.finished, metrics.requests, metrics.makespan_ms, metrics.ticks, metrics.preemptions
+            metrics.finished,
+            metrics.requests,
+            metrics.makespan_ms,
+            metrics.ticks,
+            metrics.preemptions
         );
         if metrics.dropped > 0 {
             println!(
@@ -402,6 +450,260 @@ pub fn serve(args: &Args) -> Result<(), String> {
             metrics.kv.peak_occupancy * 100.0,
             metrics.kv.mean_occupancy * 100.0
         );
+    }
+    Ok(())
+}
+
+/// Parses the `--chips` comma list.
+fn chips_arg(args: &Args) -> Result<Vec<usize>, String> {
+    let raw = args.get("chips", "1,2,4,8");
+    let chips: Vec<usize> = raw
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().map_err(|_| ()))
+        .collect::<Result<_, _>>()
+        .map_err(|()| format!("--chips expects a comma list of positive integers, got {raw:?}"))?;
+    if chips.is_empty() || chips.contains(&0) {
+        return Err(format!("--chips entries must be positive, got {raw:?}"));
+    }
+    Ok(chips)
+}
+
+/// Parses `--topology` (a name, a comma list, or `all`).
+fn topologies_arg(args: &Args) -> Result<Vec<Topology>, String> {
+    let raw = args.get("topology", "all");
+    if raw == "all" {
+        return Ok(Topology::all().to_vec());
+    }
+    raw.split(',')
+        .map(|s| Topology::by_name(s.trim()))
+        .collect()
+}
+
+/// Parses `--partition` (a name, a comma list, or `all`).
+fn partitions_arg(args: &Args, default: &str) -> Result<Vec<Partition>, String> {
+    let raw = args.get("partition", default);
+    if raw == "all" {
+        return Ok(Partition::all().to_vec());
+    }
+    raw.split(',')
+        .map(|s| Partition::by_name(s.trim()))
+        .collect()
+}
+
+/// Resolves the inter-chip link: the class matching the platform preset,
+/// with `--link-gbps` / `--link-us` overrides.
+fn link_arg(args: &Args, platform: &str) -> Result<Link, String> {
+    let mut link = if platform == "edge" {
+        Link::edge()
+    } else {
+        Link::cloud()
+    };
+    if let Some(gbps) = parse::opt_f64_arg(args, "link-gbps")? {
+        if gbps <= 0.0 {
+            return Err("--link-gbps must be positive".to_owned());
+        }
+        link.bytes_per_s = gbps * 1e9;
+    }
+    if let Some(us) = parse::opt_f64_arg(args, "link-us")? {
+        if us < 0.0 {
+            return Err("--link-us must be non-negative".to_owned());
+        }
+        link.latency_s = us * 1e-6;
+    }
+    Ok(link)
+}
+
+/// `flat dist` — the multi-accelerator execution model.
+///
+/// Default mode sweeps chip count × topology × partition over one
+/// attention layer, re-searching the per-shard dataflow with `flat-dse`
+/// at every cluster size, and reports each series' scaling knee. With
+/// `--requests N` it instead serves a synthetic request stream on the
+/// cluster through the `flat-serve` engine (one run per chip count).
+///
+/// Output is deterministic for a fixed flag set: the sweep is analytic
+/// and the serving engine is seeded, so `--seed S --json` twice is
+/// byte-identical.
+pub fn dist(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let chips = chips_arg(args)?;
+    let topologies = topologies_arg(args)?;
+    let link = link_arg(args, &setup.accel.name)?;
+    let seed = parse::u64_arg(args, "seed", 0xF1A7)?;
+    if let Some(requests) = parse::opt_u64_arg(args, "requests")? {
+        let partitions = partitions_arg(args, "kv")?;
+        return dist_serve(
+            args,
+            &setup,
+            requests as usize,
+            &chips,
+            &topologies,
+            &partitions,
+            link,
+            seed,
+        );
+    }
+    let partitions = partitions_arg(args, "head")?;
+    let cfg = setup.model.config(setup.batch, setup.seq);
+    let sweep = Sweep::new(setup.accel.clone(), link);
+    let points = sweep.run(&cfg, &chips, &topologies, &partitions);
+
+    if args.flag("json") {
+        let knees: Vec<serde_json::Value> = topologies
+            .iter()
+            .flat_map(|&t| partitions.iter().map(move |&p| (t, p)))
+            .map(|(t, p)| {
+                json!({
+                    "topology": t.to_string(),
+                    "partition": p.to_string(),
+                    "knee_chips": scaling_knee(&series(&points, t, p)),
+                })
+            })
+            .collect();
+        let v = json!({
+            "platform": setup.accel.name,
+            "model": setup.model.to_string(),
+            "batch": setup.batch,
+            "seq": setup.seq,
+            "seed": seed,
+            "link_gbps": link.bytes_per_s / 1e9,
+            "link_us": link.latency_s * 1e6,
+            "points": points,
+            "knees": knees,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).expect("sweep serializes")
+        );
+        return Ok(());
+    }
+
+    println!("accelerator: {}", setup.accel);
+    println!(
+        "workload:    {} (B={}, N={})",
+        setup.model, setup.batch, setup.seq
+    );
+    println!("link:        {link}");
+    for &t in &topologies {
+        for &p in &partitions {
+            let s = series(&points, t, p);
+            let knee = scaling_knee(&s);
+            println!();
+            match knee {
+                Some(k) => println!("{t} × {p} (knee at {k} chips):"),
+                None => println!("{t} × {p}:"),
+            }
+            println!(
+                "  {:>5}  {:<10} {:>11} {:>11} {:>11} {:>8}  fabric%",
+                "chips", "dataflow", "compute ms", "fabric ms", "total ms", "speedup"
+            );
+            for pt in &s {
+                println!(
+                    "  {:>5}  {:<10} {:>11.3} {:>11.3} {:>11.3} {:>7.2}x  {:>6.1}%",
+                    pt.chips,
+                    pt.dataflow,
+                    pt.compute_ms,
+                    pt.collective_ms,
+                    pt.total_ms,
+                    pt.speedup,
+                    pt.fabric_fraction * 100.0
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `--requests` branch of `flat dist`: run the serving engine on
+/// clusters of each requested size.
+#[allow(clippy::too_many_arguments)]
+fn dist_serve(
+    args: &Args,
+    setup: &parse::Setup,
+    requests: usize,
+    chips: &[usize],
+    topologies: &[Topology],
+    partitions: &[Partition],
+    link: Link,
+    seed: u64,
+) -> Result<(), String> {
+    let &topology = topologies
+        .first()
+        .ok_or("--topology must name one topology")?;
+    let &partition = partitions
+        .first()
+        .ok_or("--partition must name one partition")?;
+    if topologies.len() > 1 || partitions.len() > 1 {
+        return Err(
+            "serving mode takes a single --topology and --partition (not a list/all)".to_owned(),
+        );
+    }
+    let rate: f64 = args
+        .get("arrival-rate", "64")
+        .parse()
+        .map_err(|_| "--arrival-rate expects a number (requests/s)".to_owned())?;
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err("--arrival-rate must be positive".to_owned());
+    }
+    let task = flat_serve::task_by_name(&args.get("task", "short-nlp"))?;
+    let mut spec = flat_serve::WorkloadSpec::from_task(task, requests, rate);
+    if let Some(prompt) = parse::opt_u64_arg(args, "prompt")? {
+        spec.prompt_mean = prompt as usize;
+    }
+    if let Some(output) = parse::opt_u64_arg(args, "output")? {
+        spec.output_mean = output as usize;
+    }
+    let mut cfg = flat_serve::EngineConfig::for_platform(&setup.accel, &setup.model, seed);
+    if let Some(mib) = parse::opt_u64_arg(args, "kv-mib")? {
+        cfg.kv_budget = flat_tensor::Bytes::from_mib(mib);
+    }
+    let workload = spec.generate(seed).map_err(|e| e.to_string())?;
+
+    let mut runs = Vec::new();
+    for &p in chips {
+        let dcfg = flat_serve::DistServeConfig {
+            chips: p,
+            topology,
+            link,
+            partition,
+        };
+        let metrics = flat_serve::serve_dist(&setup.accel, &setup.model, &workload, &cfg, &dcfg)
+            .map_err(|e| e.to_string())?;
+        runs.push(metrics);
+    }
+
+    if args.flag("json") {
+        let v = json!({
+            "platform": setup.accel.name,
+            "model": setup.model.to_string(),
+            "seed": seed,
+            "topology": topology.to_string(),
+            "partition": partition.to_string(),
+            "runs": runs,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).expect("serve runs serialize")
+        );
+    } else {
+        println!("accelerator: {}", setup.accel);
+        println!(
+            "cluster:     {topology} × {partition}, link {link}, {requests} requests at {rate} req/s"
+        );
+        println!();
+        for m in &runs {
+            println!(
+                "{:>3} chips: {}/{} finished in {:>9.1} ms, {:>8.1} tok/s, fabric {:>8.1} ms ({:>4.1}%), peak shard KV {:.1}%",
+                m.chips,
+                m.serve.finished,
+                m.serve.requests,
+                m.serve.makespan_ms,
+                m.serve.decode_tokens_per_s,
+                m.fabric_busy_ms,
+                m.fabric_fraction * 100.0,
+                m.per_shard_kv_peak_occupancy.iter().copied().fold(0.0f64, f64::max) * 100.0
+            );
+        }
     }
     Ok(())
 }

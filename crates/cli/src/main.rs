@@ -9,6 +9,7 @@
 //! flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
 //! flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
 //! flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--slo-ms MS] [--chaos SEED] [--json]
+//! flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8] [--topology all] [--partition head] [--json]
 //! flat run   --config experiments.json [--out results.json]
 //! ```
 //!
@@ -36,6 +37,7 @@ fn main() {
         "sim" => commands::sim(&args),
         "bw" => commands::bw(&args),
         "serve" => commands::serve(&args),
+        "dist" => commands::dist(&args),
         "run" => commands::run(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -20,7 +20,10 @@ fn bad_seed_is_a_diagnostic_not_a_panic() {
     let out = flat(&["serve", "--requests", "4", "--seed", "abc"]);
     assert!(!out.status.success(), "malformed --seed must exit nonzero");
     let err = stderr(&out);
-    assert!(err.contains("--seed") && err.contains("abc"), "diagnostic names the flag: {err}");
+    assert!(
+        err.contains("--seed") && err.contains("abc"),
+        "diagnostic names the flag: {err}"
+    );
     assert!(!err.contains("panicked"), "no panic backtrace: {err}");
     assert_eq!(err.trim().lines().count(), 1, "one-line diagnostic: {err}");
 }
@@ -30,13 +33,20 @@ fn unknown_task_is_a_diagnostic() {
     let out = flat(&["serve", "--requests", "4", "--task", "mining"]);
     assert!(!out.status.success());
     let err = stderr(&out);
-    assert!(err.contains("mining"), "diagnostic names the bad value: {err}");
+    assert!(
+        err.contains("mining"),
+        "diagnostic names the bad value: {err}"
+    );
     assert!(!err.contains("panicked"), "no panic backtrace: {err}");
 }
 
 #[test]
 fn bad_slo_and_chaos_values_are_diagnostics() {
-    for (flag, value) in [("--slo-ms", "soon"), ("--slo-ms", "inf"), ("--chaos", "maybe")] {
+    for (flag, value) in [
+        ("--slo-ms", "soon"),
+        ("--slo-ms", "inf"),
+        ("--chaos", "maybe"),
+    ] {
         let out = flat(&["serve", "--requests", "4", flag, value]);
         assert!(!out.status.success(), "{flag} {value} must exit nonzero");
         let err = stderr(&out);
@@ -58,23 +68,163 @@ fn bad_width_and_target_milli_are_diagnostics() {
 #[test]
 fn good_serve_run_emits_json() {
     let out = flat(&[
-        "serve", "--platform", "edge", "--model", "bert", "--requests", "8",
-        "--arrival-rate", "200", "--prompt", "32", "--output", "4", "--seed", "3", "--json",
+        "serve",
+        "--platform",
+        "edge",
+        "--model",
+        "bert",
+        "--requests",
+        "8",
+        "--arrival-rate",
+        "200",
+        "--prompt",
+        "32",
+        "--output",
+        "4",
+        "--seed",
+        "3",
+        "--json",
     ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let json = String::from_utf8_lossy(&out.stdout).replace(char::is_whitespace, "");
-    assert!(json.contains("\"finished\":8"), "all requests finish: {json}");
-    assert!(json.contains("\"drops\""), "drop counters are reported: {json}");
+    assert!(
+        json.contains("\"finished\":8"),
+        "all requests finish: {json}"
+    );
+    assert!(
+        json.contains("\"drops\""),
+        "drop counters are reported: {json}"
+    );
+}
+
+/// The distributed-sweep determinism contract: the same seed and flags
+/// produce byte-identical JSON, twice.
+#[test]
+fn dist_json_is_byte_identical_across_runs() {
+    let args = [
+        "dist",
+        "--platform",
+        "cloud",
+        "--model",
+        "bert",
+        "--seq",
+        "2048",
+        "--batch",
+        "4",
+        "--chips",
+        "1,2",
+        "--topology",
+        "ring,fc",
+        "--partition",
+        "head",
+        "--seed",
+        "7",
+        "--json",
+    ];
+    let first = flat(&args);
+    let second = flat(&args);
+    assert!(first.status.success(), "stderr: {}", stderr(&first));
+    assert_eq!(
+        first.stdout, second.stdout,
+        "dist --json must be deterministic"
+    );
+    let json = String::from_utf8_lossy(&first.stdout).replace(char::is_whitespace, "");
+    assert!(json.contains("\"points\""), "sweep points present: {json}");
+    assert!(json.contains("\"knee_chips\""), "knees reported: {json}");
+    assert!(json.contains("\"seed\":7"), "seed echoed: {json}");
+}
+
+/// Serving mode rides the same subcommand and stays deterministic too.
+#[test]
+fn dist_serve_mode_runs_and_reports_fabric_time() {
+    let args = [
+        "dist",
+        "--platform",
+        "edge",
+        "--model",
+        "bert",
+        "--requests",
+        "8",
+        "--arrival-rate",
+        "200",
+        "--prompt",
+        "32",
+        "--output",
+        "4",
+        "--chips",
+        "1,2",
+        "--topology",
+        "fc",
+        "--seed",
+        "3",
+        "--json",
+    ];
+    let first = flat(&args);
+    let second = flat(&args);
+    assert!(first.status.success(), "stderr: {}", stderr(&first));
+    assert_eq!(
+        first.stdout, second.stdout,
+        "dist serve mode must be deterministic"
+    );
+    let json = String::from_utf8_lossy(&first.stdout).replace(char::is_whitespace, "");
+    assert!(
+        json.contains("\"fabric_busy_ms\""),
+        "fabric metrics present: {json}"
+    );
+    assert!(
+        json.contains("\"per_shard_kv_peak_occupancy\""),
+        "shard occupancy present: {json}"
+    );
+}
+
+#[test]
+fn bad_dist_flags_are_diagnostics() {
+    for args in [
+        ["dist", "--chips", "0,2"].as_slice(),
+        &["dist", "--chips", "two"],
+        &["dist", "--topology", "torus"],
+        &["dist", "--partition", "expert"],
+        &["dist", "--link-gbps", "-3"],
+        &["dist", "--link-us", "soon"],
+    ] {
+        let out = flat(args);
+        assert!(!out.status.success(), "{args:?} must exit nonzero");
+        let err = stderr(&out);
+        assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+        assert_eq!(err.trim().lines().count(), 1, "one-line diagnostic: {err}");
+    }
 }
 
 #[test]
 fn chaos_flag_survives_end_to_end() {
     let out = flat(&[
-        "serve", "--platform", "edge", "--model", "bert", "--requests", "12",
-        "--arrival-rate", "200", "--prompt", "32", "--output", "4",
-        "--slo-ms", "50", "--chaos", "5", "--json",
+        "serve",
+        "--platform",
+        "edge",
+        "--model",
+        "bert",
+        "--requests",
+        "12",
+        "--arrival-rate",
+        "200",
+        "--prompt",
+        "32",
+        "--output",
+        "4",
+        "--slo-ms",
+        "50",
+        "--chaos",
+        "5",
+        "--json",
     ]);
-    assert!(out.status.success(), "chaos runs must not panic: {}", stderr(&out));
+    assert!(
+        out.status.success(),
+        "chaos runs must not panic: {}",
+        stderr(&out)
+    );
     let json = String::from_utf8_lossy(&out.stdout).replace(char::is_whitespace, "");
-    assert!(json.contains("\"requests\":12"), "conservation visible in JSON: {json}");
+    assert!(
+        json.contains("\"requests\":12"),
+        "conservation visible in JSON: {json}"
+    );
 }

@@ -1,0 +1,296 @@
+//! The distributed cost model: per-shard compute priced by the existing
+//! single-chip [`CostModel`], plus collective time priced by the
+//! [`Fabric`].
+//!
+//! The split is deliberately clean — a [`DistModel`] never re-derives
+//! compute costs. It shrinks the workload with
+//! [`Partition::shard_config`], hands the shard to `flat-core`
+//! unchanged, and adds the fabric's collective seconds and link energy
+//! on top. That makes the 1-chip case an *identity*: one chip shards to
+//! the whole workload, pays zero collective time, and the resulting
+//! [`DistReport::shard`] is field-for-field equal to the plain
+//! single-accelerator report — the equivalence the tests diff-assert.
+
+use crate::fabric::Fabric;
+use crate::partition::Partition;
+use flat_arch::Accelerator;
+use flat_core::{BlockDataflow, CostModel, CostReport};
+use flat_dse::{Dse, Objective, SpaceKind};
+use flat_workloads::{AttentionBlock, AttentionConfig, Scope};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The verdict for one sharded attention layer on one cluster
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistReport {
+    /// Chips in the cluster.
+    pub chips: usize,
+    /// Single-chip cost report for the critical-path shard (the chip
+    /// with the ceiling share of the split).
+    pub shard: CostReport,
+    /// Seconds the shard's compute takes at the accelerator's clock.
+    pub compute_s: f64,
+    /// Seconds spent in collectives on the fabric.
+    pub collective_s: f64,
+    /// Picojoules of shard compute (from the accelerator energy table).
+    pub compute_pj: f64,
+    /// Picojoules of inter-chip transfer (traversed bytes × link pJ/B).
+    pub link_pj: f64,
+}
+
+impl DistReport {
+    /// End-to-end modeled seconds for the layer: shard compute plus the
+    /// collectives it cannot overlap (the conservative, no-overlap
+    /// model — collectives depend on the shard's outputs).
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.collective_s
+    }
+
+    /// Total modeled energy across the cluster: every chip burns the
+    /// shard's compute energy, plus the link traffic.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.chips as f64 * self.compute_pj + self.link_pj
+    }
+
+    /// Fraction of the layer's time spent on the fabric rather than
+    /// computing — the knob that locates the scaling knee.
+    #[must_use]
+    pub fn fabric_fraction(&self) -> f64 {
+        let total = self.total_s();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.collective_s / total
+        }
+    }
+}
+
+impl fmt::Display for DistReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} chips: {:.3} ms compute + {:.3} ms fabric ({:.0}% fabric)",
+            self.chips,
+            self.compute_s * 1e3,
+            self.collective_s * 1e3,
+            self.fabric_fraction() * 100.0
+        )
+    }
+}
+
+/// A cluster-level cost model: one accelerator type, a fabric, and a
+/// partition strategy.
+///
+/// # Example
+///
+/// ```
+/// use flat_arch::Accelerator;
+/// use flat_core::{BlockDataflow, Granularity};
+/// use flat_dist::{DistModel, Fabric, Link, Partition, Topology};
+/// use flat_workloads::AttentionConfig;
+///
+/// let cfg = AttentionConfig::self_attention(1, 16, 4096, 1024, 4096);
+/// let df = BlockDataflow::flat(Granularity::Row(64));
+/// let one = DistModel::new(
+///     Accelerator::cloud(),
+///     Fabric::new(1, Topology::FullyConnected, Link::cloud()),
+///     Partition::HeadParallel,
+/// );
+/// let eight = DistModel::new(
+///     Accelerator::cloud(),
+///     Fabric::new(8, Topology::FullyConnected, Link::cloud()),
+///     Partition::HeadParallel,
+/// );
+/// let r1 = one.layer_cost(&cfg, &df);
+/// let r8 = eight.layer_cost(&cfg, &df);
+/// assert_eq!(r1.collective_s, 0.0);
+/// assert!(r8.total_s() < r1.total_s(), "eight chips beat one");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistModel {
+    accel: Accelerator,
+    fabric: Fabric,
+    partition: Partition,
+}
+
+impl DistModel {
+    /// A distributed model over `fabric.chips` copies of `accel`.
+    #[must_use]
+    pub fn new(accel: Accelerator, fabric: Fabric, partition: Partition) -> Self {
+        DistModel {
+            accel,
+            fabric,
+            partition,
+        }
+    }
+
+    /// The fabric this model prices collectives on.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The partition strategy in force.
+    #[must_use]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The per-chip workload for `cfg` under this model's partition.
+    #[must_use]
+    pub fn shard_config(&self, cfg: &AttentionConfig) -> AttentionConfig {
+        self.partition.shard_config(cfg, self.fabric.chips)
+    }
+
+    /// Cost of one attention layer's fused L-A scope under an explicit
+    /// dataflow: the shard's `flat-core` report plus fabric time and
+    /// energy.
+    ///
+    /// The model is scoped to [`Scope::LogitAttend`] — the `N²` part the
+    /// paper (and the shard boundary) is about; the projection and FC
+    /// operators shard along different axes an [`AttentionConfig`]
+    /// cannot express per-chip.
+    #[must_use]
+    pub fn layer_cost(&self, cfg: &AttentionConfig, df: &BlockDataflow) -> DistReport {
+        let shard_cfg = self.shard_config(cfg);
+        let block = AttentionBlock::new(shard_cfg);
+        let shard = CostModel::new(&self.accel).scope_cost(&block, df, Scope::LogitAttend);
+        self.report_for(cfg, shard)
+    }
+
+    /// Cost of one layer with the dataflow *searched* per shard: runs the
+    /// `flat-dse` optimizer on the sharded workload, so each cluster size
+    /// gets the L-A execution that suits its shard shape (small shards
+    /// prefer different FLAT-tile granularities than the whole layer).
+    #[must_use]
+    pub fn layer_cost_searched(
+        &self,
+        cfg: &AttentionConfig,
+        space: SpaceKind,
+        objective: Objective,
+    ) -> (BlockDataflow, DistReport) {
+        let shard_cfg = self.shard_config(cfg);
+        let block = AttentionBlock::new(shard_cfg);
+        let (df, shard) =
+            Dse::new(&self.accel, &block).best_at_scope(space, Scope::LogitAttend, objective);
+        (df, self.report_for(cfg, shard))
+    }
+
+    /// Assembles the report: clock-converts the shard cycles and adds
+    /// the partition's collectives priced on the fabric. `pub(crate)` so
+    /// the sweep can search the shard dataflow once and re-price it on
+    /// many fabrics.
+    pub(crate) fn report_for(&self, cfg: &AttentionConfig, shard: CostReport) -> DistReport {
+        let calls = self.partition.collectives(cfg, self.fabric.chips);
+        // fold from +0.0: an empty iterator's `sum()` is -0.0, which
+        // would leak a negative zero into reports and their JSON.
+        let collective_s: f64 = calls
+            .iter()
+            .map(|c| c.cost_s(&self.fabric))
+            .fold(0.0, |a, b| a + b);
+        let traversed: f64 = calls
+            .iter()
+            .map(|c| c.traversed_bytes(&self.fabric))
+            .fold(0.0, |a, b| a + b);
+        DistReport {
+            chips: self.fabric.chips,
+            shard,
+            compute_s: self.accel.cycles_to_seconds(shard.cycles),
+            collective_s,
+            compute_pj: shard.energy.total_pj(),
+            link_pj: self.fabric.transfer_energy_pj(traversed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Link, Topology};
+    use flat_core::Granularity;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig::self_attention(4, 16, 4096, 1024, 4096)
+    }
+
+    /// The acceptance-criterion identity: a 1-chip fully-connected
+    /// cluster reproduces the single-`Accelerator` cost model *exactly* —
+    /// the shard report is field-for-field equal (PartialEq on the whole
+    /// CostReport, energy included) and collective time is zero.
+    #[test]
+    fn one_chip_fully_connected_is_the_single_chip_model() {
+        let accel = Accelerator::cloud();
+        let df = BlockDataflow::flat(Granularity::Row(64));
+        let single =
+            CostModel::new(&accel).scope_cost(&AttentionBlock::new(cfg()), &df, Scope::LogitAttend);
+        for partition in [Partition::HeadParallel, Partition::SequenceParallel] {
+            let model = DistModel::new(
+                accel.clone(),
+                Fabric::new(1, Topology::FullyConnected, Link::cloud()),
+                partition,
+            );
+            let dist = model.layer_cost(&cfg(), &df);
+            assert_eq!(
+                dist.shard, single,
+                "{partition}: shard report must be identical"
+            );
+            assert_eq!(dist.collective_s, 0.0, "{partition}");
+            assert_eq!(dist.link_pj, 0.0, "{partition}");
+            assert_eq!(dist.compute_s, accel.cycles_to_seconds(single.cycles));
+            assert_eq!(dist.total_pj(), single.energy.total_pj());
+        }
+    }
+
+    #[test]
+    fn more_chips_shrink_compute_and_add_fabric_time() {
+        let accel = Accelerator::cloud();
+        let df = BlockDataflow::flat(Granularity::Row(64));
+        let at = |chips| {
+            DistModel::new(
+                accel.clone(),
+                Fabric::new(chips, Topology::Ring, Link::cloud()),
+                Partition::HeadParallel,
+            )
+            .layer_cost(&cfg(), &df)
+        };
+        let (one, eight) = (at(1), at(8));
+        assert!(eight.compute_s < one.compute_s / 4.0, "8-way head split");
+        assert!(eight.collective_s > 0.0);
+        assert!(eight.fabric_fraction() > 0.0 && eight.fabric_fraction() < 1.0);
+    }
+
+    #[test]
+    fn searched_dataflow_never_loses_to_a_fixed_one() {
+        let accel = Accelerator::cloud();
+        let model = DistModel::new(
+            accel,
+            Fabric::new(4, Topology::Mesh2d, Link::cloud()),
+            Partition::SequenceParallel,
+        );
+        let fixed = model.layer_cost(&cfg(), &BlockDataflow::flat(Granularity::Row(64)));
+        let (df, searched) = model.layer_cost_searched(&cfg(), SpaceKind::Full, Objective::MaxUtil);
+        assert!(df.la.is_fused(), "long sequences demand fusion");
+        assert!(searched.compute_s <= fixed.compute_s * (1.0 + 1e-9));
+        assert_eq!(
+            searched.collective_s, fixed.collective_s,
+            "fabric cost is dataflow-free"
+        );
+    }
+
+    #[test]
+    fn cluster_energy_charges_every_chip_plus_links() {
+        let accel = Accelerator::cloud();
+        let df = BlockDataflow::flat(Granularity::Row(64));
+        let model = DistModel::new(
+            accel,
+            Fabric::new(8, Topology::FullyConnected, Link::cloud()),
+            Partition::HeadParallel,
+        );
+        let r = model.layer_cost(&cfg(), &df);
+        assert!(r.link_pj > 0.0);
+        assert_eq!(r.total_pj(), 8.0 * r.compute_pj + r.link_pj);
+    }
+}

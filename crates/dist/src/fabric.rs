@@ -1,0 +1,508 @@
+//! The inter-chip fabric: topologies, links, and analytical collective
+//! costs.
+//!
+//! The on-chip [`flat_arch::Noc`] model stops at the chip boundary; this
+//! module picks up from there. A [`Fabric`] is `chips` identical
+//! accelerators joined by identical [`Link`]s in one of three
+//! [`Topology`] shapes, and every collective a sharded attention
+//! execution needs — `all_reduce`, `all_gather`, `reduce_scatter`, and
+//! point-to-point KV transfer — is priced with the standard α–β model
+//! (per-message latency `α` seconds, bandwidth `β` bytes/s per link):
+//!
+//! * **Ring** — the bandwidth-optimal ring algorithms: a reduce-scatter
+//!   or all-gather makes `p−1` steps each moving `n/p` bytes, so
+//!   `T = (p−1)·(α + n/(p·β))`, and an all-reduce is the two chained,
+//!   `T = 2·(p−1)·(α + n/(p·β))` — the closed form the tests pin.
+//! * **2-D mesh** — dimension-ordered: the ring algorithm runs along
+//!   rows, then along columns (a correct if not bandwidth-optimal
+//!   schedule; costs compose additively).
+//! * **Fully connected** — every pair of chips has a dedicated link, so
+//!   the direct one-step algorithms apply: each chip exchanges `n/p`
+//!   shards with all peers concurrently, `T = α + n/(p·β)` per phase.
+//!
+//! All costs are *symmetric in participant order* (a collective over
+//! `{0,1,2}` costs what one over `{2,0,1}` costs — the schedule embeds a
+//! logical ring over the participant set) and *monotone in message
+//! size*; in chip count the ring and mesh grow while the fully-connected
+//! fabric shrinks (more dedicated links than data). The property tests
+//! in `tests/prop.rs` hold all of this across all three topologies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the chips are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// A bidirectional ring (TPU-pod-slice style, degree 2).
+    Ring,
+    /// A near-square 2-D mesh without wraparound links.
+    Mesh2d,
+    /// A dedicated link between every pair of chips (NVLink-switch
+    /// style).
+    FullyConnected,
+}
+
+impl Topology {
+    /// All topologies, for sweeps.
+    #[must_use]
+    pub const fn all() -> [Topology; 3] {
+        [Topology::Ring, Topology::Mesh2d, Topology::FullyConnected]
+    }
+
+    /// Parses the CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Lists the accepted names on an unknown label.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "ring" => Ok(Topology::Ring),
+            "mesh" | "mesh2d" => Ok(Topology::Mesh2d),
+            "fc" | "fully-connected" => Ok(Topology::FullyConnected),
+            other => Err(format!("unknown topology {other:?} (ring|mesh|fc)")),
+        }
+    }
+
+    /// The near-square `(rows, cols)` factorization of `chips` used by the
+    /// mesh: the largest divisor pair with `rows <= cols`. Prime chip
+    /// counts degenerate to a `1 × p` mesh — a ring without wraparound.
+    #[must_use]
+    pub fn mesh_dims(chips: usize) -> (usize, usize) {
+        let p = chips.max(1);
+        let mut rows = 1;
+        let mut d = 1;
+        while d * d <= p {
+            if p.is_multiple_of(d) {
+                rows = d;
+            }
+            d += 1;
+        }
+        (rows, p / rows)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Topology::Ring => "ring",
+            Topology::Mesh2d => "mesh",
+            Topology::FullyConnected => "fully-connected",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One inter-chip link: α–β cost parameters plus a per-byte transfer
+/// energy for the energy roll-up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained bandwidth in bytes per second (per direction).
+    pub bytes_per_s: f64,
+    /// Per-message (per-hop) latency in seconds.
+    pub latency_s: f64,
+    /// Energy per byte moved across the link, in picojoules. Inter-chip
+    /// SerDes costs an order of magnitude more than DRAM access —
+    /// ~10 pJ/bit ≈ 80 pJ/B is the commonly quoted class.
+    pub pj_per_byte: f64,
+}
+
+impl Link {
+    /// A 300 GB/s, 1 µs, 80 pJ/B link — the NVLink/ICI class that pairs
+    /// with the cloud accelerator preset.
+    #[must_use]
+    pub fn cloud() -> Self {
+        Link {
+            bytes_per_s: 300.0e9,
+            latency_s: 1.0e-6,
+            pj_per_byte: 80.0,
+        }
+    }
+
+    /// A 25 GB/s, 2 µs PCIe-class link for edge clusters.
+    #[must_use]
+    pub fn edge() -> Self {
+        Link {
+            bytes_per_s: 25.0e9,
+            latency_s: 2.0e-6,
+            pj_per_byte: 80.0,
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} GB/s, {:.1} us/hop",
+            self.bytes_per_s / 1e9,
+            self.latency_s * 1e6
+        )
+    }
+}
+
+/// A cluster fabric: `chips` accelerators joined by identical [`Link`]s
+/// in a [`Topology`].
+///
+/// # Example
+///
+/// ```
+/// use flat_dist::{Fabric, Link, Topology};
+///
+/// let ring = Fabric::new(8, Topology::Ring, Link::cloud());
+/// let fc = Fabric::new(8, Topology::FullyConnected, Link::cloud());
+/// let n = 64 * 1024 * 1024;
+/// // Same bytes, same links: the fully-connected fabric finishes an
+/// // all-reduce faster than the ring's 2(p-1) steps.
+/// assert!(fc.all_reduce_s(n) < ring.all_reduce_s(n));
+/// // One chip needs no communication at all.
+/// assert_eq!(Fabric::new(1, Topology::Ring, Link::cloud()).all_reduce_s(n), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    /// Number of accelerators in the cluster.
+    pub chips: usize,
+    /// How they are wired.
+    pub topology: Topology,
+    /// The per-link cost parameters.
+    pub link: Link,
+}
+
+impl Fabric {
+    /// A fabric of `chips` chips. A single chip is legal (every
+    /// collective costs zero) so one cost model covers the whole sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero or the link parameters are not positive
+    /// and finite.
+    #[must_use]
+    pub fn new(chips: usize, topology: Topology, link: Link) -> Self {
+        assert!(chips > 0, "a fabric needs at least one chip");
+        assert!(
+            link.bytes_per_s > 0.0 && link.bytes_per_s.is_finite(),
+            "link bandwidth must be positive"
+        );
+        assert!(
+            link.latency_s >= 0.0 && link.latency_s.is_finite(),
+            "link latency must be non-negative"
+        );
+        Fabric {
+            chips,
+            topology,
+            link,
+        }
+    }
+
+    /// Ring phase cost: `steps` steps each moving `bytes_per_step`.
+    fn ring_phase(&self, steps: usize, bytes_per_step: f64) -> f64 {
+        steps as f64 * (self.link.latency_s + bytes_per_step / self.link.bytes_per_s)
+    }
+
+    /// Seconds for an all-reduce of `bytes` (each chip starts and ends
+    /// with the full `bytes`-sized vector) over `p` participants.
+    fn all_reduce_p(&self, bytes: u64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let n = bytes as f64;
+        match self.topology {
+            // Reduce-scatter then all-gather: 2(p-1) steps of n/p each.
+            Topology::Ring => self.ring_phase(2 * (p - 1), n / p as f64),
+            // Ring all-reduce along rows (full vector), then along
+            // columns: after the row phase every chip of a row holds the
+            // row sum, so the column phase completes the global sum.
+            Topology::Mesh2d => {
+                let (r, c) = Topology::mesh_dims(p);
+                self.ring_phase(2 * (c - 1), n / c as f64)
+                    + self.ring_phase(2 * (r - 1), n / r as f64)
+            }
+            // Direct reduce-scatter + all-gather over dedicated links:
+            // each chip exchanges its n/p shard with all peers at once.
+            Topology::FullyConnected => 2.0 * self.ring_phase(1, n / p as f64),
+        }
+    }
+
+    /// Seconds for an all-gather whose *gathered* size is `bytes` (each
+    /// of the `p` participants contributes `bytes / p`).
+    fn all_gather_p(&self, bytes: u64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let n = bytes as f64;
+        let shard = n / p as f64;
+        match self.topology {
+            Topology::Ring => self.ring_phase(p - 1, shard),
+            // Gather along rows (shards of size n/p), then along columns
+            // (each column step moves a whole gathered row, c shards).
+            Topology::Mesh2d => {
+                let (r, c) = Topology::mesh_dims(p);
+                self.ring_phase(c - 1, shard) + self.ring_phase(r - 1, shard * c as f64)
+            }
+            Topology::FullyConnected => self.ring_phase(1, shard),
+        }
+    }
+
+    /// All-reduce of `bytes` over the whole fabric.
+    #[must_use]
+    pub fn all_reduce_s(&self, bytes: u64) -> f64 {
+        self.all_reduce_p(bytes, self.chips)
+    }
+
+    /// All-gather with gathered size `bytes` over the whole fabric.
+    #[must_use]
+    pub fn all_gather_s(&self, bytes: u64) -> f64 {
+        self.all_gather_p(bytes, self.chips)
+    }
+
+    /// Reduce-scatter of `bytes` over the whole fabric. The mirror image
+    /// of the all-gather: identical step structure, data flowing the
+    /// other way, so it costs the same.
+    #[must_use]
+    pub fn reduce_scatter_s(&self, bytes: u64) -> f64 {
+        self.all_gather_s(bytes)
+    }
+
+    /// All-reduce over an explicit participant set — a subset of the
+    /// chips forming a logical ring in the given order-insensitive set.
+    /// Cost depends only on how many participate, never on the order (or
+    /// duplication) in which the slice lists them.
+    #[must_use]
+    pub fn all_reduce_among_s(&self, bytes: u64, participants: &[usize]) -> f64 {
+        self.all_reduce_p(bytes, distinct_on_fabric(participants, self.chips))
+    }
+
+    /// All-gather over an explicit participant set (gathered size
+    /// `bytes`). Order-insensitive like
+    /// [`all_reduce_among_s`](Self::all_reduce_among_s).
+    #[must_use]
+    pub fn all_gather_among_s(&self, bytes: u64, participants: &[usize]) -> f64 {
+        self.all_gather_p(bytes, distinct_on_fabric(participants, self.chips))
+    }
+
+    /// Reduce-scatter over an explicit participant set.
+    #[must_use]
+    pub fn reduce_scatter_among_s(&self, bytes: u64, participants: &[usize]) -> f64 {
+        self.all_gather_among_s(bytes, participants)
+    }
+
+    /// Hop distance between two chips under this topology.
+    #[must_use]
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        assert!(from < self.chips && to < self.chips, "chip id out of range");
+        if from == to {
+            return 0;
+        }
+        match self.topology {
+            Topology::Ring => {
+                let d = from.abs_diff(to);
+                d.min(self.chips - d)
+            }
+            Topology::Mesh2d => {
+                let (_, c) = Topology::mesh_dims(self.chips);
+                let (x1, y1) = (from % c, from / c);
+                let (x2, y2) = (to % c, to / c);
+                x1.abs_diff(x2) + y1.abs_diff(y2)
+            }
+            Topology::FullyConnected => 1,
+        }
+    }
+
+    /// Seconds to move `bytes` point-to-point from one chip to another —
+    /// wormhole style: the per-hop latency is paid per hop, the
+    /// serialization time once.
+    #[must_use]
+    pub fn p2p_s(&self, bytes: u64, from: usize, to: usize) -> f64 {
+        let hops = self.hops(from, to);
+        if hops == 0 {
+            return 0.0;
+        }
+        hops as f64 * self.link.latency_s + bytes as f64 / self.link.bytes_per_s
+    }
+
+    /// Seconds to migrate `tokens` tokens of KV-cache state (at
+    /// `bytes_per_token`) between two chips — the request-migration /
+    /// prefix-transfer primitive a disaggregated serving cluster pays.
+    #[must_use]
+    pub fn kv_transfer_s(&self, tokens: u64, bytes_per_token: u64, from: usize, to: usize) -> f64 {
+        self.p2p_s(tokens.saturating_mul(bytes_per_token), from, to)
+    }
+
+    /// Picojoules to move `bytes` once across links (per traversal; a
+    /// `k`-step collective moving `n` bytes per step charges `k·n`
+    /// traversed bytes — use [`collective_traversed_bytes`]).
+    #[must_use]
+    pub fn transfer_energy_pj(&self, traversed_bytes: f64) -> f64 {
+        traversed_bytes * self.link.pj_per_byte
+    }
+
+    /// Bytes each chip pushes through its links during an all-reduce of
+    /// `bytes` — the traffic the energy model charges. Ring: `2(p-1)/p·n`
+    /// per chip; the mesh and fully-connected schedules are derived the
+    /// same way from their step structure.
+    #[must_use]
+    pub fn all_reduce_traversed_bytes(&self, bytes: u64) -> f64 {
+        let p = self.chips;
+        if p <= 1 {
+            return 0.0;
+        }
+        let n = bytes as f64;
+        match self.topology {
+            Topology::Ring => 2.0 * (p - 1) as f64 * n / p as f64,
+            Topology::Mesh2d => {
+                let (r, c) = Topology::mesh_dims(p);
+                2.0 * (c - 1) as f64 * n / c as f64 + 2.0 * (r - 1) as f64 * n / r as f64
+            }
+            Topology::FullyConnected => 2.0 * (p - 1) as f64 * n / p as f64,
+        }
+    }
+}
+
+impl fmt::Display for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} chips, {} ({})", self.chips, self.topology, self.link)
+    }
+}
+
+/// Number of distinct, in-range chip ids in a participant slice.
+fn distinct_on_fabric(participants: &[usize], chips: usize) -> usize {
+    let mut seen = vec![false; chips];
+    let mut count = 0;
+    for &p in participants {
+        if p < chips && !seen[p] {
+            seen[p] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn ring_all_reduce_matches_closed_form() {
+        // T = 2(p-1) · (α + n/(p·β)) — the canonical ring-allreduce bound.
+        let link = Link {
+            bytes_per_s: 100.0e9,
+            latency_s: 2.0e-6,
+            pj_per_byte: 80.0,
+        };
+        for p in [2usize, 4, 7, 8, 16] {
+            let fabric = Fabric::new(p, Topology::Ring, link);
+            let n = 64 * MIB;
+            let expect = 2.0 * (p - 1) as f64 * (2.0e-6 + n as f64 / (p as f64 * 100.0e9));
+            let got = fabric.all_reduce_s(n);
+            assert!(
+                (got - expect).abs() < 1e-12 * expect.max(1.0),
+                "p={p}: got {got}, closed form {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_gather_and_scatter_match_closed_form() {
+        let link = Link::cloud();
+        let fabric = Fabric::new(8, Topology::Ring, link);
+        let n = 32 * MIB;
+        let expect = 7.0 * (link.latency_s + n as f64 / (8.0 * link.bytes_per_s));
+        assert!((fabric.all_gather_s(n) - expect).abs() < 1e-15);
+        assert_eq!(fabric.all_gather_s(n), fabric.reduce_scatter_s(n));
+    }
+
+    #[test]
+    fn single_chip_collectives_are_free() {
+        for topo in Topology::all() {
+            let f = Fabric::new(1, topo, Link::cloud());
+            assert_eq!(f.all_reduce_s(MIB), 0.0);
+            assert_eq!(f.all_gather_s(MIB), 0.0);
+            assert_eq!(f.reduce_scatter_s(MIB), 0.0);
+            assert_eq!(f.all_reduce_traversed_bytes(MIB), 0.0);
+        }
+    }
+
+    #[test]
+    fn mesh_dims_are_near_square_divisors() {
+        assert_eq!(Topology::mesh_dims(1), (1, 1));
+        assert_eq!(Topology::mesh_dims(4), (2, 2));
+        assert_eq!(Topology::mesh_dims(8), (2, 4));
+        assert_eq!(Topology::mesh_dims(12), (3, 4));
+        assert_eq!(
+            Topology::mesh_dims(7),
+            (1, 7),
+            "primes degenerate to a line"
+        );
+    }
+
+    #[test]
+    fn mesh_all_reduce_is_row_phase_plus_column_phase() {
+        let link = Link::cloud();
+        let f = Fabric::new(8, Topology::Mesh2d, link);
+        let n = 16 * MIB;
+        let rows2 = Fabric::new(2, Topology::Ring, link).all_reduce_s(n);
+        let cols4 = Fabric::new(4, Topology::Ring, link).all_reduce_s(n);
+        assert!((f.all_reduce_s(n) - (rows2 + cols4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hop_distances_respect_topology() {
+        let ring = Fabric::new(8, Topology::Ring, Link::cloud());
+        assert_eq!(ring.hops(0, 1), 1);
+        assert_eq!(ring.hops(0, 7), 1, "rings wrap");
+        assert_eq!(ring.hops(0, 4), 4);
+        let mesh = Fabric::new(8, Topology::Mesh2d, Link::cloud()); // 2 x 4
+        assert_eq!(mesh.hops(0, 3), 3);
+        assert_eq!(mesh.hops(0, 7), 4, "meshes do not wrap");
+        let fc = Fabric::new(8, Topology::FullyConnected, Link::cloud());
+        assert_eq!(fc.hops(0, 7), 1);
+        for f in [&ring, &mesh, &fc] {
+            assert_eq!(f.hops(3, 3), 0);
+            assert_eq!(f.p2p_s(MIB, 2, 2), 0.0);
+        }
+    }
+
+    #[test]
+    fn p2p_charges_latency_per_hop_bandwidth_once() {
+        let link = Link {
+            bytes_per_s: 1.0e9,
+            latency_s: 1.0e-6,
+            pj_per_byte: 80.0,
+        };
+        let ring = Fabric::new(8, Topology::Ring, link);
+        let serialization = MIB as f64 / 1.0e9;
+        assert!((ring.p2p_s(MIB, 0, 4) - (4.0e-6 + serialization)).abs() < 1e-15);
+        assert!((ring.kv_transfer_s(1024, 1024, 0, 4) - (4.0e-6 + serialization)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn among_is_a_set_operation() {
+        let f = Fabric::new(8, Topology::Ring, Link::cloud());
+        let n = 4 * MIB;
+        assert_eq!(
+            f.all_reduce_among_s(n, &[0, 3, 5]),
+            f.all_reduce_among_s(n, &[5, 0, 3])
+        );
+        assert_eq!(
+            f.all_reduce_among_s(n, &[0, 3, 3, 5]),
+            f.all_reduce_among_s(n, &[0, 3, 5]),
+            "duplicates do not inflate the group"
+        );
+        assert_eq!(f.all_reduce_among_s(n, &[2]), 0.0);
+        assert_eq!(f.all_reduce_among_s(n, &[]), 0.0);
+    }
+
+    #[test]
+    fn topology_names_round_trip() {
+        for t in Topology::all() {
+            let name = match t {
+                Topology::Ring => "ring",
+                Topology::Mesh2d => "mesh",
+                Topology::FullyConnected => "fc",
+            };
+            assert_eq!(Topology::by_name(name).unwrap(), t);
+        }
+        assert!(Topology::by_name("hypercube").is_err());
+    }
+}

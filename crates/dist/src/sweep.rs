@@ -1,0 +1,281 @@
+//! Cluster design-space sweeps: chip count × topology × partition, with
+//! the per-shard dataflow re-optimized by `flat-dse` at every cluster
+//! size.
+//!
+//! The interesting question a sweep answers is *where scaling stops
+//! paying*: compute shrinks like `1/p` while ring collectives grow like
+//! `(p−1)`, so every (topology, partition) series has a knee. The
+//! [`scaling_knee`] rule makes that operational — the largest chip count
+//! whose step still delivers at least [`KNEE_RATIO`]× the previous
+//! point's speedup (a 2× step delivering < 1.25× is past the knee).
+//!
+//! The dataflow is *searched per shard shape*, not fixed: a 64K-sequence
+//! layer split 8 ways presents a different `N²` tile than the whole
+//! layer, and the best FLAT granularity moves with it. Reusing
+//! [`Dse::best_at_scope`] here is the outward integration the crate owes
+//! `flat-dse` — the same optimizer, pointed at sharded workloads.
+
+use crate::cost::{DistModel, DistReport};
+use crate::fabric::{Fabric, Link, Topology};
+use crate::partition::Partition;
+use flat_arch::Accelerator;
+use flat_dse::{Dse, Objective, SpaceKind};
+use flat_workloads::{AttentionBlock, AttentionConfig, Scope};
+use serde::{Deserialize, Serialize};
+
+/// Minimum incremental speedup ratio between consecutive sweep points
+/// for scaling to count as "still paying".
+pub const KNEE_RATIO: f64 = 1.25;
+
+/// One evaluated cluster configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Chips in the cluster.
+    pub chips: usize,
+    /// Fabric topology.
+    pub topology: Topology,
+    /// Sharding strategy.
+    pub partition: Partition,
+    /// Label of the per-shard dataflow the search picked (`FLAT-R64`, …).
+    pub dataflow: String,
+    /// Modeled shard compute milliseconds.
+    pub compute_ms: f64,
+    /// Modeled collective milliseconds.
+    pub collective_ms: f64,
+    /// Modeled end-to-end milliseconds (compute + collectives).
+    pub total_ms: f64,
+    /// Fraction of the total spent on the fabric.
+    pub fabric_fraction: f64,
+    /// Total cluster energy in millijoules (all chips + links).
+    pub energy_mj: f64,
+    /// Speedup over the 1-chip point of the same partition.
+    pub speedup: f64,
+}
+
+impl SweepPoint {
+    fn from_report(
+        topology: Topology,
+        partition: Partition,
+        dataflow: String,
+        r: &DistReport,
+        base_total_s: f64,
+    ) -> Self {
+        let total = r.total_s();
+        SweepPoint {
+            chips: r.chips,
+            topology,
+            partition,
+            dataflow,
+            compute_ms: r.compute_s * 1e3,
+            collective_ms: r.collective_s * 1e3,
+            total_ms: total * 1e3,
+            fabric_fraction: r.fabric_fraction(),
+            energy_mj: r.total_pj() * 1e-9,
+            speedup: if total > 0.0 {
+                base_total_s / total
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+/// A cluster sweep: the accelerator type, link class, and search
+/// settings shared by every point.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// The per-chip accelerator.
+    pub accel: Accelerator,
+    /// The inter-chip link class.
+    pub link: Link,
+    /// Design space the per-shard dataflow search explores.
+    pub space: SpaceKind,
+    /// Objective the search optimizes.
+    pub objective: Objective,
+}
+
+impl Sweep {
+    /// A sweep over `accel` clusters joined by `link`, searching the full
+    /// space for maximum utilization (the paper's headline objective).
+    #[must_use]
+    pub fn new(accel: Accelerator, link: Link) -> Self {
+        Sweep {
+            accel,
+            link,
+            space: SpaceKind::Full,
+            objective: Objective::MaxUtil,
+        }
+    }
+
+    /// Evaluates every chip count × topology × partition combination.
+    ///
+    /// The shard dataflow search runs once per (partition, chip count) —
+    /// topology changes fabric price, never shard shape — and each
+    /// partition's speedups are normalized to its own 1-chip point
+    /// (computed even when `1` is not in `chips`).
+    #[must_use]
+    pub fn run(
+        &self,
+        cfg: &AttentionConfig,
+        chips: &[usize],
+        topologies: &[Topology],
+        partitions: &[Partition],
+    ) -> Vec<SweepPoint> {
+        let mut points = Vec::new();
+        for &partition in partitions {
+            let (_, base) = self.searched_shard(cfg, partition, 1);
+            let base_total_s = self.accel.cycles_to_seconds(base.cycles);
+            for &p in chips {
+                let (label, shard) = self.searched_shard(cfg, partition, p);
+                for &topology in topologies {
+                    let model = DistModel::new(
+                        self.accel.clone(),
+                        Fabric::new(p, topology, self.link),
+                        partition,
+                    );
+                    let report = model.report_for(cfg, shard);
+                    points.push(SweepPoint::from_report(
+                        topology,
+                        partition,
+                        label.clone(),
+                        &report,
+                        base_total_s,
+                    ));
+                }
+            }
+        }
+        points
+    }
+
+    /// Best dataflow + cost for one shard shape.
+    fn searched_shard(
+        &self,
+        cfg: &AttentionConfig,
+        partition: Partition,
+        chips: usize,
+    ) -> (String, flat_core::CostReport) {
+        let shard_cfg = partition.shard_config(cfg, chips);
+        let block = AttentionBlock::new(shard_cfg);
+        let (df, report) = Dse::new(&self.accel, &block).best_at_scope(
+            self.space,
+            Scope::LogitAttend,
+            self.objective,
+        );
+        (df.label(), report)
+    }
+}
+
+/// Extracts one (topology, partition) series from sweep output, sorted
+/// by chip count — the unit [`scaling_knee`] judges.
+#[must_use]
+pub fn series(points: &[SweepPoint], topology: Topology, partition: Partition) -> Vec<SweepPoint> {
+    let mut s: Vec<SweepPoint> = points
+        .iter()
+        .filter(|p| p.topology == topology && p.partition == partition)
+        .cloned()
+        .collect();
+    s.sort_by_key(|p| p.chips);
+    s
+}
+
+/// The scaling knee of one series: the largest chip count still earning
+/// its step. Walking the series in increasing chip count, the knee is
+/// the last point whose speedup is at least [`KNEE_RATIO`] × the
+/// previous point's; the first under-delivering step ends the walk.
+/// Returns the first point's chip count for a one-point (or
+/// immediately-stalling) series, and `None` for an empty one.
+#[must_use]
+pub fn scaling_knee(sorted_series: &[SweepPoint]) -> Option<usize> {
+    let first = sorted_series.first()?;
+    let mut knee = first.chips;
+    let mut prev = first.speedup;
+    for p in &sorted_series[1..] {
+        if prev > 0.0 && p.speedup >= KNEE_RATIO * prev {
+            knee = p.chips;
+            prev = p.speedup;
+        } else {
+            break;
+        }
+    }
+    Some(knee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> Vec<SweepPoint> {
+        let cfg = AttentionConfig::self_attention(4, 16, 4096, 1024, 4096);
+        Sweep::new(Accelerator::cloud(), Link::cloud()).run(
+            &cfg,
+            &[1, 2, 4, 8],
+            &[Topology::Ring, Topology::FullyConnected],
+            &[Partition::HeadParallel],
+        )
+    }
+
+    #[test]
+    fn one_chip_points_have_unit_speedup_and_no_fabric() {
+        let points = small_sweep();
+        for p in points.iter().filter(|p| p.chips == 1) {
+            assert!((p.speedup - 1.0).abs() < 1e-12, "{p:?}");
+            assert_eq!(p.collective_ms, 0.0);
+            assert_eq!(p.fabric_fraction, 0.0);
+        }
+    }
+
+    #[test]
+    fn head_parallel_scales_on_a_cloud_link() {
+        let points = small_sweep();
+        let ring = series(&points, Topology::Ring, Partition::HeadParallel);
+        assert_eq!(ring.len(), 4);
+        assert!(ring.windows(2).all(|w| w[0].chips < w[1].chips), "sorted");
+        let at8 = &ring[3];
+        assert!(at8.speedup > 2.0, "8 chips must beat 2x: {}", at8.speedup);
+        assert!(at8.collective_ms > 0.0);
+    }
+
+    #[test]
+    fn fully_connected_never_loses_to_the_ring() {
+        let points = small_sweep();
+        let ring = series(&points, Topology::Ring, Partition::HeadParallel);
+        let fc = series(&points, Topology::FullyConnected, Partition::HeadParallel);
+        for (r, f) in ring.iter().zip(&fc) {
+            assert_eq!(r.chips, f.chips);
+            assert!(f.total_ms <= r.total_ms + 1e-12, "chips {}", r.chips);
+            assert_eq!(r.compute_ms, f.compute_ms, "topology never changes compute");
+        }
+    }
+
+    #[test]
+    fn knee_walks_until_a_step_stalls() {
+        let mk = |chips: usize, speedup: f64| SweepPoint {
+            chips,
+            topology: Topology::Ring,
+            partition: Partition::HeadParallel,
+            dataflow: String::new(),
+            compute_ms: 1.0,
+            collective_ms: 0.0,
+            total_ms: 1.0,
+            fabric_fraction: 0.0,
+            energy_mj: 0.0,
+            speedup,
+        };
+        // 1 -> 2 earns (2.0x), 2 -> 4 earns (1.6x), 4 -> 8 stalls (1.1x).
+        let s = vec![mk(1, 1.0), mk(2, 2.0), mk(4, 3.2), mk(8, 3.5)];
+        assert_eq!(scaling_knee(&s), Some(4));
+        assert_eq!(scaling_knee(&s[..1]), Some(1));
+        assert_eq!(scaling_knee(&[]), None);
+        // Every step earning: the knee is the end of the series.
+        let all = vec![mk(1, 1.0), mk(2, 1.9), mk(4, 3.6)];
+        assert_eq!(scaling_knee(&all), Some(4));
+    }
+
+    #[test]
+    fn sweep_output_serializes() {
+        let points = small_sweep();
+        let json = serde_json::to_string(&points).unwrap();
+        let back: Vec<SweepPoint> = serde_json::from_str(&json).unwrap();
+        assert_eq!(points, back);
+    }
+}

@@ -1,0 +1,355 @@
+//! Distributed serving: the continuous-batching engine on a
+//! multi-accelerator cluster.
+//!
+//! [`serve_dist`] runs the same iteration-level scheduler as [`crate::serve`]
+//! against `chips` copies of the accelerator joined by a
+//! [`flat_dist::Fabric`]:
+//!
+//! * **Capacity scales out** — every chip contributes its KV budget, so
+//!   the paged pool holds `chips ×` the single-chip block count, with
+//!   pages striped round-robin across shards (the per-shard occupancy
+//!   the metrics report follows that striping).
+//! * **Compute scales out** — tensor-parallel execution under the
+//!   configured [`Partition`] divides each tick's MACs and weight/KV
+//!   streaming across chips, so the accounting plane prices ticks
+//!   against `chips ×` the FLOPs and off-chip bandwidth.
+//! * **Collectives are paid on the virtual clock** — every scheduled
+//!   token owes its partition's per-token collective payload; each tick
+//!   batches those payloads into one collective round per model layer
+//!   and adds the fabric time (α amortizes across the batch, β does
+//!   not) to the tick's duration. The accumulated fabric-busy time and
+//!   payload bytes surface in [`DistServeMetrics`].
+//!
+//! A 1-chip cluster is an exact identity with the single-chip engine:
+//! the fabric prices every collective at zero and the scaling factors
+//! are 1, so the metrics JSON matches [`crate::serve`] field for field —
+//! a test pins this.
+
+use crate::engine::{run_dist_engine, EngineConfig};
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::request::RequestSpec;
+use flat_arch::Accelerator;
+use flat_dist::{Fabric, Link, Partition, Topology};
+use flat_workloads::{AttentionConfig, Model};
+use serde::Serialize;
+
+/// Cluster knobs for [`serve_dist`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistServeConfig {
+    /// Accelerators in the cluster.
+    pub chips: usize,
+    /// How they are wired.
+    pub topology: Topology,
+    /// Per-link cost parameters.
+    pub link: Link,
+    /// Sharding strategy; [`Partition::KvShard`] is the serving-native
+    /// choice (decode against a striped cache).
+    pub partition: Partition,
+}
+
+impl DistServeConfig {
+    /// A `chips`-wide cluster on cloud-class links, KV-shard partition.
+    #[must_use]
+    pub fn new(chips: usize, topology: Topology) -> Self {
+        DistServeConfig {
+            chips,
+            topology,
+            link: Link::cloud(),
+            partition: Partition::KvShard,
+        }
+    }
+}
+
+/// Per-tick collective pricing, precomputed from the model's dimensions.
+///
+/// Built by [`serve_dist`], consumed inside the engine loop: each tick
+/// reports its scheduled token count and gets back the fabric seconds to
+/// add to the virtual clock.
+#[derive(Debug, Clone)]
+pub struct DistPlane {
+    fabric: Fabric,
+    /// The partition's per-token collective calls for one layer
+    /// (operation + bytes for a single token's activations/state).
+    per_token_calls: Vec<flat_dist::CollectiveCall>,
+    layers: u64,
+    /// Running totals, accumulated tick by tick.
+    pub(crate) fabric_busy_ms: f64,
+    pub(crate) payload_bytes: f64,
+    /// Peak striped block count per shard.
+    pub(crate) per_shard_peak: Vec<usize>,
+}
+
+impl DistPlane {
+    pub(crate) fn new(model: &Model, cfg: &DistServeConfig) -> Self {
+        let fabric = Fabric::new(cfg.chips, cfg.topology, cfg.link);
+        // A one-token decode-shaped layer: the per-token exchange the
+        // partition forces, independent of batch (batch scales bytes).
+        let token_cfg = AttentionConfig::cross_attention(
+            1,
+            model.heads(),
+            1,
+            1,
+            model.hidden(),
+            model.ffn_hidden(),
+        );
+        DistPlane {
+            fabric,
+            per_token_calls: cfg.partition.collectives(&token_cfg, cfg.chips),
+            layers: model.blocks(),
+            fabric_busy_ms: 0.0,
+            payload_bytes: 0.0,
+            per_shard_peak: vec![0; cfg.chips],
+        }
+    }
+
+    pub(crate) fn chips(&self) -> usize {
+        self.fabric.chips
+    }
+
+    /// Fabric seconds one tick owes for `tokens` scheduled tokens: each
+    /// model layer runs one batched collective round per call kind.
+    pub(crate) fn collective_s(&self, tokens: u64) -> f64 {
+        if tokens == 0 || self.per_token_calls.is_empty() {
+            return 0.0;
+        }
+        let per_layer: f64 = self
+            .per_token_calls
+            .iter()
+            .map(|c| {
+                flat_dist::CollectiveCall {
+                    op: c.op,
+                    bytes: c.bytes.saturating_mul(tokens),
+                }
+                .cost_s(&self.fabric)
+            })
+            .sum();
+        self.layers as f64 * per_layer
+    }
+
+    /// Payload bytes those collectives carried (before schedule
+    /// expansion — the logical tensor sizes).
+    pub(crate) fn tick_payload_bytes(&self, tokens: u64) -> f64 {
+        self.layers as f64
+            * tokens as f64
+            * self
+                .per_token_calls
+                .iter()
+                .map(|c| c.bytes as f64)
+                .sum::<f64>()
+    }
+
+    /// Records this tick's pool usage against the round-robin striping:
+    /// shard `s` holds `used/chips` blocks plus one more if `s` is under
+    /// the remainder.
+    pub(crate) fn observe_used_blocks(&mut self, used: usize) {
+        let p = self.per_shard_peak.len().max(1);
+        for (s, peak) in self.per_shard_peak.iter_mut().enumerate() {
+            let share = used / p + usize::from(s < used % p);
+            *peak = (*peak).max(share);
+        }
+    }
+}
+
+/// [`ServeMetrics`] plus the cluster-level view.
+#[derive(Debug, Clone, Serialize)]
+pub struct DistServeMetrics {
+    /// Chips in the cluster.
+    pub chips: usize,
+    /// Fabric topology.
+    pub topology: Topology,
+    /// Sharding strategy.
+    pub partition: Partition,
+    /// Virtual milliseconds the fabric was busy with collectives.
+    pub fabric_busy_ms: f64,
+    /// Fabric-busy share of the makespan.
+    pub fabric_fraction: f64,
+    /// Logical collective payload carried over the run, in bytes.
+    pub collective_payload_bytes: f64,
+    /// Peak KV occupancy of each shard (striped pages ÷ per-shard
+    /// capacity), indexed by shard id.
+    pub per_shard_kv_peak_occupancy: Vec<f64>,
+    /// The engine metrics, unchanged in shape from single-chip serving.
+    pub serve: ServeMetrics,
+}
+
+impl DistServeMetrics {
+    /// Pretty JSON, schema-stable for the CLI and the bench snapshots.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// Runs a request stream on a cluster and reports engine + fabric
+/// metrics. `chips = 1` reproduces [`crate::serve`] exactly.
+///
+/// # Errors
+///
+/// Everything [`crate::serve`] returns, plus
+/// [`ServeError::InvalidConfig`] for a zero-chip cluster.
+pub fn serve_dist(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    dist: &DistServeConfig,
+) -> Result<DistServeMetrics, ServeError> {
+    if dist.chips == 0 {
+        return Err(ServeError::InvalidConfig(
+            "a cluster needs at least one chip".to_owned(),
+        ));
+    }
+    let plane = DistPlane::new(model, dist);
+    let (serve, plane) = run_dist_engine(accel, model, workload, cfg, plane)?;
+    let shard_capacity = (serve.kv.total_blocks / dist.chips).max(1);
+    let per_shard_kv_peak_occupancy = plane
+        .per_shard_peak
+        .iter()
+        .map(|&peak| peak as f64 / shard_capacity as f64)
+        .collect();
+    Ok(DistServeMetrics {
+        chips: dist.chips,
+        topology: dist.topology,
+        partition: dist.partition,
+        fabric_busy_ms: plane.fabric_busy_ms,
+        fabric_fraction: if serve.makespan_ms > 0.0 {
+            plane.fabric_busy_ms / serve.makespan_ms
+        } else {
+            0.0
+        },
+        collective_payload_bytes: plane.payload_bytes,
+        per_shard_kv_peak_occupancy,
+        serve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::serve;
+    use crate::workload::WorkloadSpec;
+    use flat_workloads::Task;
+
+    fn workload(n: usize) -> Vec<RequestSpec> {
+        let mut spec = WorkloadSpec::from_task(Task::ShortNlp, n, 400.0);
+        spec.prompt_mean = 48;
+        spec.output_mean = 8;
+        spec.generate(11).unwrap()
+    }
+
+    fn cfg(accel: &Accelerator, model: &Model) -> EngineConfig {
+        let mut c = EngineConfig::for_platform(accel, model, 11);
+        c.kv_budget = flat_tensor::Bytes::from_mib(64);
+        c
+    }
+
+    /// The serving side of the acceptance criterion: one chip on a
+    /// fully-connected fabric is byte-identical to the plain engine.
+    #[test]
+    fn one_chip_cluster_reproduces_single_chip_serving() {
+        let model = Model::by_name("bert").unwrap();
+        let accel = Accelerator::edge();
+        let wl = workload(12);
+        let c = cfg(&accel, &model);
+        let plain = serve(&accel, &model, &wl, &c).unwrap();
+        let dist = serve_dist(
+            &accel,
+            &model,
+            &wl,
+            &c,
+            &DistServeConfig::new(1, Topology::FullyConnected),
+        )
+        .unwrap();
+        assert_eq!(
+            dist.serve.to_json(),
+            plain.to_json(),
+            "engine metrics must be identical"
+        );
+        assert_eq!(dist.fabric_busy_ms, 0.0);
+        assert_eq!(dist.collective_payload_bytes, 0.0);
+        assert_eq!(dist.per_shard_kv_peak_occupancy.len(), 1);
+    }
+
+    #[test]
+    fn more_chips_add_capacity_and_fabric_time() {
+        let model = Model::by_name("bert").unwrap();
+        let accel = Accelerator::edge();
+        let wl = workload(16);
+        let c = cfg(&accel, &model);
+        let one = serve_dist(
+            &accel,
+            &model,
+            &wl,
+            &c,
+            &DistServeConfig::new(1, Topology::Ring),
+        )
+        .unwrap();
+        let four = serve_dist(
+            &accel,
+            &model,
+            &wl,
+            &c,
+            &DistServeConfig::new(4, Topology::Ring),
+        )
+        .unwrap();
+        assert_eq!(four.serve.kv.total_blocks, 4 * one.serve.kv.total_blocks);
+        assert!(four.fabric_busy_ms > 0.0);
+        assert!(four.fabric_fraction > 0.0 && four.fabric_fraction < 1.0);
+        assert_eq!(four.per_shard_kv_peak_occupancy.len(), 4);
+        assert_eq!(
+            four.serve.finished, one.serve.finished,
+            "conservation holds on a cluster"
+        );
+    }
+
+    #[test]
+    fn shard_occupancies_follow_round_robin_striping() {
+        let model = Model::by_name("bert").unwrap();
+        let accel = Accelerator::edge();
+        let wl = workload(16);
+        let m = serve_dist(
+            &accel,
+            &model,
+            &wl,
+            &cfg(&accel, &model),
+            &DistServeConfig::new(4, Topology::Mesh2d),
+        )
+        .unwrap();
+        let occ = &m.per_shard_kv_peak_occupancy;
+        assert!(occ.iter().all(|&o| (0.0..=1.0).contains(&o)));
+        // Striping keeps shards within one block of each other.
+        let (max, min) = (
+            occ.iter().copied().fold(0.0, f64::max),
+            occ.iter().copied().fold(1.0, f64::min),
+        );
+        let shard_blocks = m.serve.kv.total_blocks as f64 / 4.0;
+        assert!(
+            (max - min) * shard_blocks <= 1.0 + 1e-9,
+            "spread {max} vs {min}"
+        );
+    }
+
+    #[test]
+    fn determinism_and_serialization() {
+        let model = Model::by_name("bert").unwrap();
+        let accel = Accelerator::edge();
+        let wl = workload(8);
+        let c = cfg(&accel, &model);
+        let d = DistServeConfig::new(2, Topology::Ring);
+        let a = serve_dist(&accel, &model, &wl, &c, &d).unwrap();
+        let b = serve_dist(&accel, &model, &wl, &c, &d).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("fabric_busy_ms"));
+    }
+
+    #[test]
+    fn zero_chips_is_a_typed_error() {
+        let model = Model::by_name("bert").unwrap();
+        let accel = Accelerator::edge();
+        let mut d = DistServeConfig::new(1, Topology::Ring);
+        d.chips = 0;
+        let err = serve_dist(&accel, &model, &workload(2), &cfg(&accel, &model), &d).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+    }
+}

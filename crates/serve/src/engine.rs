@@ -27,6 +27,7 @@
 //! surface as [`ServeError`]s; and a scheduler that stops making progress
 //! trips a tick cap into [`ServeError::Livelock`] instead of hanging.
 
+use crate::dist::DistPlane;
 use crate::error::{DropReason, ServeError};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::kv::{KvLayout, KvPool};
@@ -142,7 +143,29 @@ pub fn serve_with_faults(
     cfg: &EngineConfig,
     faults: Option<FaultPlan>,
 ) -> Result<ServeMetrics, ServeError> {
-    Engine::new(accel, model, workload, cfg, faults)?.run()
+    Ok(Engine::new(accel, model, workload, cfg, faults, None)?
+        .run()?
+        .0)
+}
+
+/// Runs the engine with a distributed plane attached: the cluster's
+/// pooled KV capacity, scaled-out compute, and per-tick collective time
+/// on the virtual clock. Returns the metrics plus the plane with its
+/// accumulated fabric totals. Called by [`crate::dist::serve_dist`].
+pub(crate) fn run_dist_engine(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    plane: DistPlane,
+) -> Result<(ServeMetrics, DistPlane), ServeError> {
+    let (metrics, plane) = Engine::new(accel, model, workload, cfg, None, Some(plane))?.run()?;
+    match plane {
+        Some(p) => Ok((metrics, p)),
+        None => Err(ServeError::Internal(
+            "distributed plane lost during the run",
+        )),
+    }
 }
 
 struct Engine {
@@ -160,6 +183,8 @@ struct Engine {
     /// Requests shed with a typed reason.
     dropped: Vec<Request>,
     injector: Option<FaultInjector>,
+    /// Distributed plane: collective pricing + per-shard accounting.
+    dist: Option<DistPlane>,
     now_ms: f64,
     ticks: u64,
     prefill_tokens: u64,
@@ -196,13 +221,18 @@ impl Engine {
         workload: &[RequestSpec],
         cfg: &EngineConfig,
         faults: Option<FaultPlan>,
+        dist: Option<DistPlane>,
     ) -> Result<Self, ServeError> {
         if workload.is_empty() {
             return Err(ServeError::EmptyWorkload);
         }
         cfg.validate()?;
         let layout = KvLayout::for_model(model, cfg.block_tokens);
-        let total_blocks = layout.blocks_in_budget(cfg.kv_budget);
+        // A cluster pools every chip's KV budget (pages striped across
+        // shards) and executes tensor-parallel, so compute and bandwidth
+        // scale with the chip count. One chip leaves everything exact.
+        let chips = dist.as_ref().map_or(1, DistPlane::chips);
+        let total_blocks = layout.blocks_in_budget(cfg.kv_budget) * chips;
         // Malformed specs (non-finite arrival, zero lengths) can never be
         // scheduled — shed them before they can poison the arrival sort
         // or the virtual clock.
@@ -213,7 +243,11 @@ impl Engine {
             if spec.is_well_formed() {
                 incoming.push(r);
             } else {
-                let at = if spec.arrival_ms.is_finite() { spec.arrival_ms } else { 0.0 };
+                let at = if spec.arrival_ms.is_finite() {
+                    spec.arrival_ms
+                } else {
+                    0.0
+                };
                 r.mark_dropped(DropReason::CorruptSpec, at);
                 dropped.push(r);
             }
@@ -231,6 +265,7 @@ impl Engine {
             finished: Vec::new(),
             dropped,
             injector: faults.map(|plan| FaultInjector::new(plan, total_blocks)),
+            dist,
             now_ms: 0.0,
             ticks: 0,
             prefill_tokens: 0,
@@ -239,12 +274,12 @@ impl Engine {
             weight_macs_per_token: model_params(model),
             kv_bytes_per_token: layout.bytes_per_token.as_f64(),
             attn_macs_per_ctx_token: 2.0 * model.blocks() as f64 * h,
-            peak_flops: accel.peak_flops(),
-            offchip_bytes_per_s: accel.mem.offchip_bytes_per_s,
+            peak_flops: accel.peak_flops() * chips as f64,
+            offchip_bytes_per_s: accel.mem.offchip_bytes_per_s * chips as f64,
         })
     }
 
-    fn run(mut self) -> Result<ServeMetrics, ServeError> {
+    fn run(mut self) -> Result<(ServeMetrics, Option<DistPlane>), ServeError> {
         let total = self.incoming.len() + self.dropped.len();
         while self.finished.len() + self.dropped.len() < total {
             self.ticks += 1;
@@ -266,11 +301,28 @@ impl Engine {
             self.shed_expired();
             self.admit_waiting();
             let work = self.execute_tick();
-            let skew = self.injector.as_mut().map_or(1.0, FaultInjector::skew_factor);
-            let dt_ms = self.tick_cost_s(&work) * 1e3 * skew;
+            let mut cost_s = self.tick_cost_s(&work);
+            if let Some(plane) = self.dist.as_mut() {
+                // Collective time rides the same virtual clock as
+                // compute: the tick is not done until the fabric is.
+                let tokens = work.prefill_tokens + work.decode_steps;
+                let coll_s = plane.collective_s(tokens);
+                let payload = plane.tick_payload_bytes(tokens);
+                plane.fabric_busy_ms += coll_s * 1e3;
+                plane.payload_bytes += payload;
+                cost_s += coll_s;
+            }
+            let skew = self
+                .injector
+                .as_mut()
+                .map_or(1.0, FaultInjector::skew_factor);
+            let dt_ms = cost_s * 1e3 * skew;
             let stamp = self.now_ms + dt_ms;
             self.now_ms = stamp;
             self.occ_block_ms += self.pool.used_blocks() as f64 * dt_ms;
+            if let Some(plane) = self.dist.as_mut() {
+                plane.observe_used_blocks(self.pool.used_blocks());
+            }
             self.retire_and_requeue(stamp);
         }
         let total_blocks = self.pool.total_blocks();
@@ -288,20 +340,27 @@ impl Engine {
         };
         self.finished.sort_by_key(|r| r.spec.id);
         self.dropped.sort_by_key(|r| r.spec.id);
-        Ok(ServeMetrics::collate(
-            &self.finished,
-            &self.dropped,
-            kv,
-            self.now_ms,
-            self.ticks,
-            self.prefill_tokens,
+        Ok((
+            ServeMetrics::collate(
+                &self.finished,
+                &self.dropped,
+                kv,
+                self.now_ms,
+                self.ticks,
+                self.prefill_tokens,
+            ),
+            self.dist,
         ))
     }
 
     /// Moves arrived requests into the waiting queue (both are
     /// arrival-sorted, so this is a prefix splice).
     fn admit_arrivals(&mut self) {
-        while self.incoming.front().is_some_and(|r| r.spec.arrival_ms <= self.now_ms) {
+        while self
+            .incoming
+            .front()
+            .is_some_and(|r| r.spec.arrival_ms <= self.now_ms)
+        {
             if let Some(r) = self.incoming.pop_front() {
                 self.waiting.push_back(r);
             }
@@ -347,7 +406,9 @@ impl Engine {
     /// eventually admitted once the pool drains.)
     fn admit_waiting(&mut self) {
         while self.running.len() < self.cfg.max_batch {
-            let Some(front) = self.waiting.front() else { break };
+            let Some(front) = self.waiting.front() else {
+                break;
+            };
             let spec = front.spec;
             let infeasible = spec
                 .prompt_len
@@ -401,11 +462,7 @@ impl Engine {
                 // Prompt fully paged in: probe the prefix once to seed the
                 // sequential generation state, then start decoding.
                 let q = self.embed(r.spec.id, r.spec.prompt_len - 1, SALT_Q, &[]);
-                let out = decode_attention(
-                    &q,
-                    self.pool.rows(&self.running[i].table),
-                    self.scale,
-                );
+                let out = decode_attention(&q, self.pool.rows(&self.running[i].table), self.scale);
                 self.running[i].last_out = out;
                 self.running[i].phase = Phase::Decode;
             }
@@ -423,8 +480,7 @@ impl Engine {
             if !self.append_with_preemption(i, &k, &v) {
                 continue; // `i` itself was preempted; it restarts later.
             }
-            let out =
-                decode_attention(&q, self.pool.rows(&self.running[i].table), self.scale);
+            let out = decode_attention(&q, self.pool.rows(&self.running[i].table), self.scale);
             work.decode_context_tokens += self.running[i].table.tokens() as u64;
             work.decode_steps += 1;
             let r = &mut self.running[i];
@@ -607,12 +663,24 @@ mod tests {
     fn conservation_every_request_finishes_exactly_once() {
         let model = Model::by_name("bert").unwrap();
         let wl = tiny_workload(24);
-        let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(512))).unwrap();
+        let m = serve(
+            &Accelerator::edge(),
+            &model,
+            &wl,
+            &cfg(Bytes::from_mib(512)),
+        )
+        .unwrap();
         assert_eq!(m.requests, 24);
         assert_eq!(m.finished, 24);
         assert_eq!(m.dropped, 0);
-        assert_eq!(m.decode_tokens, wl.iter().map(|r| r.output_len as u64).sum::<u64>());
-        assert_eq!(m.prefill_tokens, wl.iter().map(|r| r.prompt_len as u64).sum::<u64>());
+        assert_eq!(
+            m.decode_tokens,
+            wl.iter().map(|r| r.output_len as u64).sum::<u64>()
+        );
+        assert_eq!(
+            m.prefill_tokens,
+            wl.iter().map(|r| r.prompt_len as u64).sum::<u64>()
+        );
     }
 
     #[test]
@@ -663,7 +731,10 @@ mod tests {
         let mut c2 = c;
         c2.seed = 8;
         let d = serve(&Accelerator::edge(), &model, &wl, &c2).unwrap();
-        assert_ne!(a.checksum, d.checksum, "numeric plane must depend on the seed");
+        assert_ne!(
+            a.checksum, d.checksum,
+            "numeric plane must depend on the seed"
+        );
     }
 
     /// Regression: an oversized request used to trip an up-front panic
@@ -682,7 +753,10 @@ mod tests {
         assert_eq!(m.finished, 4);
         assert_eq!(m.dropped, 1);
         assert_eq!(m.drops.infeasible, 1);
-        assert!(m.ticks < 100_000, "rejection must be prompt, not a livelock timeout");
+        assert!(
+            m.ticks < 100_000,
+            "rejection must be prompt, not a livelock timeout"
+        );
     }
 
     #[test]
@@ -717,7 +791,10 @@ mod tests {
     fn corrupt_specs_are_shed_not_scheduled() {
         let model = Model::by_name("bert").unwrap();
         let mut wl = tiny_workload(3);
-        wl.push(RequestSpec { arrival_ms: f64::NAN, ..RequestSpec::new(3, 0.0, 8, 2) });
+        wl.push(RequestSpec {
+            arrival_ms: f64::NAN,
+            ..RequestSpec::new(3, 0.0, 8, 2)
+        });
         wl.push(RequestSpec::new(4, 0.1, 0, 2));
         wl.push(RequestSpec::new(5, 0.2, 8, 0));
         let m = serve(&Accelerator::edge(), &model, &wl, &cfg(Bytes::from_mib(64))).unwrap();

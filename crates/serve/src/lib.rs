@@ -26,7 +26,12 @@
 //!   optional per-request SLO;
 //! * [`ServeMetrics`] — per-request TTFT/TPOT/E2E percentiles,
 //!   throughput *and* goodput, drop-reason counters, and KV-pool
-//!   occupancy, serialized to JSON for the bench snapshots.
+//!   occupancy, serialized to JSON for the bench snapshots;
+//! * [`serve_dist`] / [`DistServeConfig`] — the same engine on a
+//!   multi-accelerator cluster: pooled KV capacity striped across
+//!   shards, tensor-parallel tick pricing, and `flat-dist` collective
+//!   time paid on the virtual clock, reported via
+//!   [`DistServeMetrics`].
 //!
 //! # Example
 //!
@@ -54,6 +59,7 @@
 // paths. The clippy CI step fails on any violation.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod dist;
 mod engine;
 mod error;
 mod faults;
@@ -62,6 +68,7 @@ mod metrics;
 mod request;
 mod workload;
 
+pub use dist::{serve_dist, DistServeConfig, DistServeMetrics};
 pub use engine::{serve, serve_with_faults, EngineConfig};
 pub use error::{DropReason, ServeError};
 pub use faults::{FaultInjector, FaultPlan};

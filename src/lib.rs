@@ -16,11 +16,15 @@
 //! * [`serve`] — the continuous-batching inference runtime: paged
 //!   KV-cache, iteration-level scheduler, serving metrics, typed errors
 //!   with deadline-aware shedding, and a seeded fault-injection harness.
+//! * [`dist`] — multi-accelerator sharded execution: fabric topologies
+//!   with analytical collective costs, head/sequence/KV partition
+//!   strategies, and chip-count scaling sweeps.
 
 #![forbid(unsafe_code)]
 
 pub use flat_arch as arch;
 pub use flat_core as core;
+pub use flat_dist as dist;
 pub use flat_dse as dse;
 pub use flat_gpu as gpu;
 pub use flat_kernels as kernels;
