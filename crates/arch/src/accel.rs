@@ -99,7 +99,12 @@ impl Accelerator {
     /// the edge preset's values.
     #[must_use]
     pub fn builder(name: impl Into<String>) -> AcceleratorBuilder {
-        AcceleratorBuilder { inner: Accelerator { name: name.into(), ..Accelerator::edge() } }
+        AcceleratorBuilder {
+            inner: Accelerator {
+                name: name.into(),
+                ..Accelerator::edge()
+            },
+        }
     }
 
     /// Peak compute throughput in FLOP/s (2 FLOPs per MAC per PE per cycle).
@@ -247,7 +252,10 @@ impl AcceleratorBuilder {
     /// Panics if the clock is not strictly positive and finite.
     #[must_use]
     pub fn clock_hz(mut self, clock_hz: f64) -> Self {
-        assert!(clock_hz > 0.0 && clock_hz.is_finite(), "clock must be positive");
+        assert!(
+            clock_hz > 0.0 && clock_hz.is_finite(),
+            "clock must be positive"
+        );
         self.inner.clock_hz = clock_hz;
         self
     }

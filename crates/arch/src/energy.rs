@@ -217,7 +217,13 @@ mod tests {
     #[test]
     fn energy_is_linear_in_counts() {
         let t = EnergyTable::default_16bit();
-        let c1 = ActivityCounts { macs: 10, sl_accesses: 5, sg_accesses: 3, dram_accesses: 2, sfu_elements: 1 };
+        let c1 = ActivityCounts {
+            macs: 10,
+            sl_accesses: 5,
+            sg_accesses: 3,
+            dram_accesses: 2,
+            sfu_elements: 1,
+        };
         let c2 = c1 + c1;
         let e1 = t.energy(&c1);
         let e2 = t.energy(&c2);
@@ -226,7 +232,13 @@ mod tests {
 
     #[test]
     fn breakdown_sums() {
-        let a = EnergyBreakdown { compute_pj: 1.0, sl_pj: 2.0, sg_pj: 3.0, dram_pj: 4.0, sfu_pj: 5.0 };
+        let a = EnergyBreakdown {
+            compute_pj: 1.0,
+            sl_pj: 2.0,
+            sg_pj: 3.0,
+            dram_pj: 4.0,
+            sfu_pj: 5.0,
+        };
         let b = a + a;
         assert_eq!(b.total_pj(), 30.0);
         let s: EnergyBreakdown = [a, a, a].into_iter().sum();

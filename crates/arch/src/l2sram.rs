@@ -39,8 +39,14 @@ impl L2Sram {
     /// Panics if the bandwidth is not strictly positive and finite.
     #[must_use]
     pub fn new(capacity: Bytes, bytes_per_s: f64) -> Self {
-        assert!(bytes_per_s > 0.0 && bytes_per_s.is_finite(), "L2 bandwidth must be positive");
-        L2Sram { capacity, bytes_per_s }
+        assert!(
+            bytes_per_s > 0.0 && bytes_per_s.is_finite(),
+            "L2 bandwidth must be positive"
+        );
+        L2Sram {
+            capacity,
+            bytes_per_s,
+        }
     }
 
     /// Bandwidth in bytes per cycle at `clock_hz`.
@@ -52,7 +58,12 @@ impl L2Sram {
 
 impl fmt::Display for L2Sram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "L2 {} at {:.0} GB/s", self.capacity, self.bytes_per_s / 1e9)
+        write!(
+            f,
+            "L2 {} at {:.0} GB/s",
+            self.capacity,
+            self.bytes_per_s / 1e9
+        )
     }
 }
 

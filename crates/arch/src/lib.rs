@@ -43,8 +43,8 @@ mod sfu;
 
 pub use accel::{Accelerator, AcceleratorBuilder};
 pub use area::AreaModel;
-pub use l2sram::L2Sram;
 pub use energy::{ActivityCounts, EnergyBreakdown, EnergyTable};
+pub use l2sram::L2Sram;
 pub use memory::MemorySystem;
 pub use noc::Noc;
 pub use pe::PeArray;

@@ -45,7 +45,10 @@ impl MemorySystem {
             offchip_bytes_per_s > 0.0 && offchip_bytes_per_s.is_finite(),
             "off-chip bandwidth must be positive"
         );
-        MemorySystem { onchip_bytes_per_s, offchip_bytes_per_s }
+        MemorySystem {
+            onchip_bytes_per_s,
+            offchip_bytes_per_s,
+        }
     }
 
     /// On-chip bandwidth in bytes per clock cycle at `clock_hz`.

@@ -36,7 +36,10 @@ impl PeArray {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(rows: u64, cols: u64) -> Self {
-        assert!(rows > 0 && cols > 0, "PE array must be non-empty: {rows}x{cols}");
+        assert!(
+            rows > 0 && cols > 0,
+            "PE array must be non-empty: {rows}x{cols}"
+        );
         PeArray { rows, cols }
     }
 

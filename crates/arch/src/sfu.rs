@@ -39,7 +39,10 @@ impl Sfu {
     #[must_use]
     pub fn new(elements_per_cycle: u64, pipeline_latency: u64) -> Self {
         assert!(elements_per_cycle > 0, "SFU throughput must be positive");
-        Sfu { elements_per_cycle, pipeline_latency }
+        Sfu {
+            elements_per_cycle,
+            pipeline_latency,
+        }
     }
 
     /// Cycles to apply softmax to `elements` logit values.
@@ -58,7 +61,11 @@ impl Sfu {
 
 impl fmt::Display for Sfu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SFU {} elem/cycle (+{} fill)", self.elements_per_cycle, self.pipeline_latency)
+        write!(
+            f,
+            "SFU {} elem/cycle (+{} fill)",
+            self.elements_per_cycle, self.pipeline_latency
+        )
     }
 }
 

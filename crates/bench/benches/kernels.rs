@@ -3,7 +3,10 @@
 //! (the [R, N] slice stays hot), mirroring the scratchpad story.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use flat_kernels::{flat_attention, naive_attention, parallel_flat_attention, streaming_attention, Mask, MultiHeadInput};
+use flat_kernels::{
+    flat_attention, naive_attention, parallel_flat_attention, streaming_attention, Mask,
+    MultiHeadInput,
+};
 use std::hint::black_box;
 
 fn bench_attention(c: &mut Criterion) {
@@ -18,12 +21,20 @@ fn bench_attention(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("flat-R16", seq), &input, |b, inp| {
             b.iter(|| black_box(flat_attention(inp, 16, Mask::None)));
         });
-        group.bench_with_input(BenchmarkId::new("streaming-16x64", seq), &input, |b, inp| {
-            b.iter(|| black_box(streaming_attention(inp, 16, 64, Mask::None)));
-        });
-        group.bench_with_input(BenchmarkId::new("flat-R16-4threads", seq), &input, |b, inp| {
-            b.iter(|| black_box(parallel_flat_attention(inp, 16, Mask::None, 4)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("streaming-16x64", seq),
+            &input,
+            |b, inp| {
+                b.iter(|| black_box(streaming_attention(inp, 16, 64, Mask::None)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flat-R16-4threads", seq),
+            &input,
+            |b, inp| {
+                b.iter(|| black_box(parallel_flat_attention(inp, 16, Mask::None, 4)));
+            },
+        );
     }
     group.finish();
 }

@@ -11,9 +11,7 @@
 
 use flat_arch::Noc;
 use flat_bench::{args::Args, model, platform, row, BATCH};
-use flat_core::{
-    BlockDataflow, CostModel, FusedDataflow, FusedEnables, Granularity, ModelOptions,
-};
+use flat_core::{BlockDataflow, CostModel, FusedDataflow, FusedEnables, Granularity, ModelOptions};
 use flat_workloads::Scope;
 
 fn main() {
@@ -31,14 +29,23 @@ fn main() {
     println!("## 1+2: execution options (L-A utilization)");
     row(["options", "Base util", "FLAT-R util", "FLAT speedup"].map(String::from));
     for (name, opts) in [
-        ("double-buffered + pipelined softmax", ModelOptions::default()),
+        (
+            "double-buffered + pipelined softmax",
+            ModelOptions::default(),
+        ),
         (
             "double-buffered, serial softmax (paper's baseline)",
-            ModelOptions { overlap_softmax: false, ..Default::default() },
+            ModelOptions {
+                overlap_softmax: false,
+                ..Default::default()
+            },
         ),
         (
             "no double buffering",
-            ModelOptions { double_buffered: false, overlap_softmax: false },
+            ModelOptions {
+                double_buffered: false,
+                overlap_softmax: false,
+            },
         ),
     ] {
         let cm = CostModel::with_options(&accel, opts);
@@ -71,11 +78,21 @@ fn main() {
     {
         let cm = CostModel::new(&accel);
         for (name, df) in [
-            ("interleaved (paper's choice)", FusedDataflow::new(Granularity::Row(r))),
-            ("pipelined (split array)", FusedDataflow::pipelined(Granularity::Row(r))),
+            (
+                "interleaved (paper's choice)",
+                FusedDataflow::new(Granularity::Row(r)),
+            ),
+            (
+                "pipelined (split array)",
+                FusedDataflow::pipelined(Granularity::Row(r)),
+            ),
         ] {
             let report = cm.fused_la_cost(&block, &df);
-            row([name.to_owned(), format!("{:.3}", report.util()), format!("{:.3e}", report.cycles)]);
+            row([
+                name.to_owned(),
+                format!("{:.3}", report.util()),
+                format!("{:.3e}", report.cycles),
+            ]);
         }
     }
 
@@ -87,11 +104,23 @@ fn main() {
         ("intermediate only", FusedEnables::intermediate_only()),
         (
             "K/V + intermediate",
-            FusedEnables { query: false, key: true, value: true, output: false, intermediate: true },
+            FusedEnables {
+                query: false,
+                key: true,
+                value: true,
+                output: false,
+                intermediate: true,
+            },
         ),
         (
             "all but intermediate",
-            FusedEnables { query: true, key: true, value: true, output: true, intermediate: false },
+            FusedEnables {
+                query: true,
+                key: true,
+                value: true,
+                output: true,
+                intermediate: false,
+            },
         ),
     ] {
         let mut df = FusedDataflow::new(Granularity::Row(r));

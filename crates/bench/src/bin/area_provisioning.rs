@@ -23,8 +23,16 @@ fn main() {
 
     println!("# Area provisioning under a fixed {budget:.1} mm² budget — {m} N={seq}");
     println!("# (edge-class memory system: 1 TB/s on-chip, 50 GB/s off-chip, 1 GHz)");
-    row(["SG (KiB)", "PE array", "area mm2", "Base-opt util", "FLAT-opt util", "Base tput", "FLAT tput"]
-        .map(String::from));
+    row([
+        "SG (KiB)",
+        "PE array",
+        "area mm2",
+        "Base-opt util",
+        "FLAT-opt util",
+        "Base tput",
+        "FLAT tput",
+    ]
+    .map(String::from));
 
     for cand in spec.candidates() {
         let dse = Dse::new(&cand.accel, &block);

@@ -20,11 +20,16 @@ fn main() {
     let frontier = pareto_frontier(&points);
 
     println!("# Figure 10 — FLAT design space: {model} N={seq} on {accel}");
-    println!("# {} design points, {} on the Pareto frontier", points.len(), frontier.len());
+    println!(
+        "# {} design points, {} on the Pareto frontier",
+        points.len(),
+        frontier.len()
+    );
     row(["kind", "dataflow", "footprint_bytes", "util", "pareto"].map(String::from));
     for p in &points {
         let on_frontier = frontier.iter().any(|f| {
-            f.report.footprint == p.report.footprint && (f.report.util() - p.report.util()).abs() < 1e-12
+            f.report.footprint == p.report.footprint
+                && (f.report.util() - p.report.util()).abs() < 1e-12
         });
         let (kind, label) = match p.la {
             flat_core::LaExecution::Fused(f) => ("fused", format!("FLAT-{}", f.granularity)),
@@ -41,7 +46,11 @@ fn main() {
             label,
             p.report.footprint.as_u64().to_string(),
             format!("{:.4}", p.report.util()),
-            if on_frontier { "*".into() } else { String::new() },
+            if on_frontier {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
 }

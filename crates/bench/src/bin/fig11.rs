@@ -12,7 +12,11 @@ fn main() {
     let args = Args::parse();
     let platform_name = args.get("platform", "edge");
     let accel = platform(&platform_name);
-    let default_model = if platform_name == "edge" { "bert" } else { "xlm" };
+    let default_model = if platform_name == "edge" {
+        "bert"
+    } else {
+        "xlm"
+    };
     let model = model(&args.get("model", default_model));
     let seqs = fig12_seqs(args.flag("quick"));
 
@@ -23,8 +27,16 @@ fn main() {
         accel,
         BATCH
     );
-    row(["seq", "accelerator", "L-A", "Projection", "FC", "total", "non-stall"]
-        .map(String::from));
+    row([
+        "seq",
+        "accelerator",
+        "L-A",
+        "Projection",
+        "FC",
+        "total",
+        "non-stall",
+    ]
+    .map(String::from));
     for seq in seqs {
         for class in AccelClass::comparison_set() {
             let eval = class.evaluate(&accel, &model, BATCH, seq, Objective::MaxUtil);

@@ -27,7 +27,11 @@ fn main() {
         let accel = platform(pname);
         println!("# Figure 12(a) — {pname}: ATTACC vs FlexAccel-M / FlexAccel (B={BATCH})");
         row([
-            "model", "seq", "speedup_vs_FlexM", "speedup_vs_Flex", "energy_vs_FlexM",
+            "model",
+            "seq",
+            "speedup_vs_FlexM",
+            "speedup_vs_Flex",
+            "energy_vs_FlexM",
             "energy_vs_Flex",
         ]
         .map(String::from));
@@ -69,8 +73,16 @@ fn main() {
         );
         println!(
             "# paper ({pname}): speedup {} , energy ratio {}",
-            if pname == "edge" { "2.48 / 1.94 (avg 2.40/1.75)" } else { "2.57 / 1.65" },
-            if pname == "edge" { "0.40 / 0.51" } else { "0.31 / 0.58" }
+            if pname == "edge" {
+                "2.48 / 1.94 (avg 2.40/1.75)"
+            } else {
+                "2.57 / 1.65"
+            },
+            if pname == "edge" {
+                "0.40 / 0.51"
+            } else {
+                "0.31 / 0.58"
+            }
         );
         println!();
     }

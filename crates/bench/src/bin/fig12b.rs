@@ -15,7 +15,10 @@ use flat_workloads::Model;
 fn best_util_at_bw(base: &Accelerator, model: &Model, seq: u64, class: AccelClass, bw: f64) -> f64 {
     let accel = base.with_offchip_bw(bw);
     let block = model.block(BATCH, seq);
-    Dse::new(&accel, &block).best_la(class.space(), Objective::MaxUtil).report.util()
+    Dse::new(&accel, &block)
+        .best_la(class.space(), Objective::MaxUtil)
+        .report
+        .util()
 }
 
 /// Minimum bandwidth reaching `target` utilization, by bisection over
@@ -50,20 +53,36 @@ fn main() {
     let seqs: Vec<u64> = if args.flag("quick") {
         vec![2048, 16_384, 131_072]
     } else {
-        vec![2048, 4096, 8192, 16_384, 32_768, 65_536, 131_072, 262_144, 524_288]
+        vec![
+            2048, 4096, 8192, 16_384, 32_768, 65_536, 131_072, 262_144, 524_288,
+        ]
     };
-    let classes = [AccelClass::FlexAccelM, AccelClass::FlexAccel, AccelClass::AttAcc];
+    let classes = [
+        AccelClass::FlexAccelM,
+        AccelClass::FlexAccel,
+        AccelClass::AttAcc,
+    ];
 
-    println!("# Figure 12(b) — off-chip BW (GB/s) for L-A Util >= {target} (XLM, cloud, 32 MiB SG)");
-    row(["seq", "FlexAccel-M", "FlexAccel", "ATTACC", "reduction_vs_FlexM", "reduction_vs_Flex"]
-        .map(String::from));
+    println!(
+        "# Figure 12(b) — off-chip BW (GB/s) for L-A Util >= {target} (XLM, cloud, 32 MiB SG)"
+    );
+    row([
+        "seq",
+        "FlexAccel-M",
+        "FlexAccel",
+        "ATTACC",
+        "reduction_vs_FlexM",
+        "reduction_vs_Flex",
+    ]
+    .map(String::from));
     let mut reductions = (Vec::new(), Vec::new());
     for seq in seqs {
-        let bws: Vec<Option<f64>> =
-            classes.iter().map(|&c| required_bw(&accel, &model, seq, c, target)).collect();
-        let fmt = |b: &Option<f64>| {
-            b.map_or("unreachable".to_owned(), |v| format!("{:.1}", v / 1e9))
-        };
+        let bws: Vec<Option<f64>> = classes
+            .iter()
+            .map(|&c| required_bw(&accel, &model, seq, c, target))
+            .collect();
+        let fmt =
+            |b: &Option<f64>| b.map_or("unreachable".to_owned(), |v| format!("{:.1}", v / 1e9));
         let red = |a: &Option<f64>, b: &Option<f64>| match (a, b) {
             (Some(x), Some(y)) => Some(1.0 - y / x),
             _ => None,

@@ -15,7 +15,11 @@ fn main() {
 
     let off = Roofline::offchip(&accel);
     let on = Roofline::onchip(&accel);
-    println!("# Figure 2 — rooflines on {} (peak {:.2} TFLOP/s)", accel, off.peak_flops / 1e12);
+    println!(
+        "# Figure 2 — rooflines on {} (peak {:.2} TFLOP/s)",
+        accel,
+        off.peak_flops / 1e12
+    );
     println!(
         "# ridge: off-chip {:.1} FLOP/B, on-chip {:.1} FLOP/B",
         off.ridge_intensity(),
@@ -24,7 +28,13 @@ fn main() {
     println!();
 
     println!("## (a,c) operator intensity and attainable fraction of peak (N={seq}, B={BATCH})");
-    row(["op", "OI (FLOP/B)", "frac@off-chip", "frac@on-chip (staged)"].map(String::from));
+    row([
+        "op",
+        "OI (FLOP/B)",
+        "frac@off-chip",
+        "frac@on-chip (staged)",
+    ]
+    .map(String::from));
     for p in block_roofline(&model.block(BATCH, seq), &accel) {
         row([
             p.kind.to_string(),
@@ -40,7 +50,10 @@ fn main() {
     for batch in [1u64, 4, 16, 64, 256] {
         let pts = block_roofline(&model.block(batch, seq), &accel);
         let frac = |k: flat_workloads::OpKind| {
-            pts.iter().find(|p| p.kind == k).map(|p| p.offchip_fraction).unwrap()
+            pts.iter()
+                .find(|p| p.kind == k)
+                .map(|p| p.offchip_fraction)
+                .unwrap()
         };
         row([
             batch.to_string(),

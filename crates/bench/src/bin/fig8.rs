@@ -7,21 +7,35 @@
 //! Defaults match the paper's subplots: `--platform edge --model bert`
 //! (Figure 8(a)) or `--platform cloud --model xlm` (Figure 8(b)).
 
-use flat_bench::{args::Args, cloud_seqs, edge_seqs, model, platform, row, seq_label, sg_sweep, sweep};
+use flat_bench::{
+    args::Args, cloud_seqs, edge_seqs, model, platform, row, seq_label, sg_sweep, sweep,
+};
 
 fn main() {
     let args = Args::parse();
     let platform_name = args.get("platform", "edge");
     let accel = platform(&platform_name);
-    let default_model = if platform_name == "edge" { "bert" } else { "xlm" };
+    let default_model = if platform_name == "edge" {
+        "bert"
+    } else {
+        "xlm"
+    };
     let model = model(&args.get("model", default_model));
     let quick = args.flag("quick");
-    let seqs = if platform_name == "edge" { edge_seqs(quick) } else { cloud_seqs(quick) };
+    let seqs = if platform_name == "edge" {
+        edge_seqs(quick)
+    } else {
+        cloud_seqs(quick)
+    };
     let sgs = sg_sweep(quick);
 
     let records = sweep::buffer_sweep(&accel, &model, &seqs, &sgs);
-    println!("# Figure 8({}) — Util vs buffer, {} on {}",
-        if platform_name == "edge" { "a" } else { "b" }, model, accel);
+    println!(
+        "# Figure 8({}) — Util vs buffer, {} on {}",
+        if platform_name == "edge" { "a" } else { "b" },
+        model,
+        accel
+    );
 
     if args.flag("plot") {
         // Terminal view: one sparkline bundle per (scope, seq) subplot,
@@ -30,7 +44,11 @@ fn main() {
         for &seq in &seqs {
             for scope in ["L-A", "Block"] {
                 let mut curves: Vec<Curve> = Vec::new();
-                for df in records.iter().map(|r| r.dataflow.clone()).collect::<std::collections::BTreeSet<_>>() {
+                for df in records
+                    .iter()
+                    .map(|r| r.dataflow.clone())
+                    .collect::<std::collections::BTreeSet<_>>()
+                {
                     let values: Vec<f64> = records
                         .iter()
                         .filter(|r| r.scope == scope && r.seq == seq && r.dataflow == df)
@@ -41,8 +59,12 @@ fn main() {
                 println!(
                     "{}",
                     render_curves(
-                        &format!("{scope} @ N={} (x: {} -> {})", seq_label(seq),
-                            sgs.first().unwrap(), sgs.last().unwrap()),
+                        &format!(
+                            "{scope} @ N={} (x: {} -> {})",
+                            seq_label(seq),
+                            sgs.first().unwrap(),
+                            sgs.last().unwrap()
+                        ),
                         &curves
                     )
                 );

@@ -5,17 +5,27 @@
 //! Run: `cargo run --release -p flat-bench --bin fig9 -- [--platform edge|cloud]
 //!       [--model bert|xlm|...] [--quick]`
 
-use flat_bench::{args::Args, cloud_seqs, edge_seqs, model, platform, row, seq_label, sg_sweep, sweep};
+use flat_bench::{
+    args::Args, cloud_seqs, edge_seqs, model, platform, row, seq_label, sg_sweep, sweep,
+};
 use std::collections::HashMap;
 
 fn main() {
     let args = Args::parse();
     let platform_name = args.get("platform", "edge");
     let accel = platform(&platform_name);
-    let default_model = if platform_name == "edge" { "bert" } else { "xlm" };
+    let default_model = if platform_name == "edge" {
+        "bert"
+    } else {
+        "xlm"
+    };
     let model = model(&args.get("model", default_model));
     let quick = args.flag("quick");
-    let seqs = if platform_name == "edge" { edge_seqs(quick) } else { cloud_seqs(quick) };
+    let seqs = if platform_name == "edge" {
+        edge_seqs(quick)
+    } else {
+        cloud_seqs(quick)
+    };
     let sgs = sg_sweep(quick);
 
     let records = sweep::buffer_sweep(&accel, &model, &seqs, &sgs);
@@ -28,8 +38,12 @@ fn main() {
         *e = e.max(r.energy_pj);
     }
 
-    println!("# Figure 9({}) — normalized energy, {} on {}",
-        if platform_name == "edge" { "a" } else { "b" }, model, accel);
+    println!(
+        "# Figure 9({}) — normalized energy, {} on {}",
+        if platform_name == "edge" { "a" } else { "b" },
+        model,
+        accel
+    );
     row(["scope", "seq", "sg", "dataflow", "energy_norm", "energy_pj"].map(String::from));
     for r in &records {
         let max = max_by_subplot[&(r.scope.clone(), r.seq)];

@@ -14,9 +14,17 @@ fn main() {
 
     for gpu in [Gpu::a100_like(), Gpu::v100_like()] {
         println!("# {gpu}");
-        row(["seq", "unfused (ms)", "fused (ms)", "speedup", "unfused HBM", "fused HBM",
-            "unfused %peak", "fused %peak"]
-            .map(String::from));
+        row([
+            "seq",
+            "unfused (ms)",
+            "fused (ms)",
+            "speedup",
+            "unfused HBM",
+            "fused HBM",
+            "unfused %peak",
+            "fused %peak",
+        ]
+        .map(String::from));
         for seq in [512u64, 1024, 2048, 4096, 8192, 16_384, 32_768] {
             let cfg = m.config(batch, seq);
             let unfused = GpuAttention::unfused(&gpu, &cfg);
@@ -42,7 +50,10 @@ fn main() {
 
     // Decode contrast: fusion cannot help the KV-cache-bound phase.
     let gpu = Gpu::a100_like();
-    println!("# Decode steps (KV cache, {m}, B={batch}) on {}: irreducibly HBM-bound", gpu.name);
+    println!(
+        "# Decode steps (KV cache, {m}, B={batch}) on {}: irreducibly HBM-bound",
+        gpu.name
+    );
     row(["context", "ms/step", "%peak", "HBM/step"].map(String::from));
     for ctx in [4096u64, 16_384, 65_536] {
         let block = m.decode_step(batch, ctx);

@@ -34,8 +34,14 @@ fn main() {
     };
 
     println!("# Two-level on-chip hierarchy — {m}, FLAT fused L-A utilization");
-    row(["seq", "R", "512KiB SG", "+8MiB L2 (200GB/s)", "8.5MiB SG (1TB/s)"]
-        .map(String::from));
+    row([
+        "seq",
+        "R",
+        "512KiB SG",
+        "+8MiB L2 (200GB/s)",
+        "8.5MiB SG (1TB/s)",
+    ]
+    .map(String::from));
     for (seq, r) in [(4096u64, 64u64), (8192, 64), (16_384, 64), (32_768, 32)] {
         let block = m.block(BATCH, seq);
         let df = FusedDataflow::new(Granularity::Row(r));

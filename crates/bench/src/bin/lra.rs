@@ -15,8 +15,15 @@ fn main() {
     let m = model(&args.get("model", "bert"));
 
     println!("# Long Range Arena task lengths — {m} on {accel}, B={BATCH}");
-    row(["task", "N", "Base-opt util", "FLAT-opt util", "speedup", "ms/batch (FLAT)"]
-        .map(String::from));
+    row([
+        "task",
+        "N",
+        "Base-opt util",
+        "FLAT-opt util",
+        "speedup",
+        "ms/batch (FLAT)",
+    ]
+    .map(String::from));
     for task in LraTask::all() {
         let seq = task.sequence_length();
         let block = m.block(BATCH, seq);

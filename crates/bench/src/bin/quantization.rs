@@ -25,7 +25,10 @@ fn main() {
         let cfg = m.config(BATCH, seq).with_dtype(dtype);
         let block = flat_workloads::AttentionBlock::new(cfg);
         let cm = CostModel::new(&accel);
-        for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(r))] {
+        for df in [
+            BlockDataflow::base(),
+            BlockDataflow::flat(Granularity::Row(r)),
+        ] {
             let rep = cm.scope_cost(&block, &df, Scope::LogitAttend);
             if dtype == DataType::Fp16 && df.label() == "Base" {
                 base_fp16 = Some(rep.cycles);

@@ -15,7 +15,11 @@ fn speedup(accel: &flat_arch::Accelerator, model: &Model, batch: u64, seq: u64) 
     let dse = Dse::new(accel, &block);
     let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil);
     let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
-    (base.report.util(), flat.report.util(), base.report.cycles / flat.report.cycles)
+    (
+        base.report.util(),
+        flat.report.util(),
+        base.report.cycles / flat.report.cycles,
+    )
 }
 
 fn main() {
@@ -29,14 +33,25 @@ fn main() {
     for h in [4u64, 8, 16, 32, 64] {
         let m = Model::custom(12, h, 2048, 8192);
         let (b, f, s) = speedup(&accel, &m, 64, seq);
-        row([h.to_string(), (2048 / h).to_string(), format!("{b:.3}"), format!("{f:.3}"), format!("{s:.2}x")]);
+        row([
+            h.to_string(),
+            (2048 / h).to_string(),
+            format!("{b:.3}"),
+            format!("{f:.3}"),
+            format!("{s:.2}x"),
+        ]);
     }
 
     println!("\n## batch size (XLM)");
     row(["B", "base util", "flat util", "speedup"].map(String::from));
     for b in [1u64, 8, 32, 64, 128] {
         let (bu, fu, s) = speedup(&accel, &Model::xlm(), b, seq);
-        row([b.to_string(), format!("{bu:.3}"), format!("{fu:.3}"), format!("{s:.2}x")]);
+        row([
+            b.to_string(),
+            format!("{bu:.3}"),
+            format!("{fu:.3}"),
+            format!("{s:.2}x"),
+        ]);
     }
 
     println!("\n## off-chip bandwidth (XLM, B=64)");
@@ -44,7 +59,12 @@ fn main() {
     for gbps in [100.0f64, 200.0, 400.0, 800.0, 1600.0] {
         let a = accel.with_offchip_bw(gbps * 1e9);
         let (b, f, s) = speedup(&a, &Model::xlm(), 64, seq);
-        row([format!("{gbps:.0}"), format!("{b:.3}"), format!("{f:.3}"), format!("{s:.2}x")]);
+        row([
+            format!("{gbps:.0}"),
+            format!("{b:.3}"),
+            format!("{f:.3}"),
+            format!("{s:.2}x"),
+        ]);
     }
 
     println!("\n## NoC fabric (XLM, B=64)");
@@ -53,7 +73,12 @@ fn main() {
         let mut a = accel.clone();
         a.noc = noc;
         let (b, f, s) = speedup(&a, &Model::xlm(), 64, seq);
-        row([noc.to_string(), format!("{b:.3}"), format!("{f:.3}"), format!("{s:.2}x")]);
+        row([
+            noc.to_string(),
+            format!("{b:.3}"),
+            format!("{f:.3}"),
+            format!("{s:.2}x"),
+        ]);
     }
 
     println!();

@@ -15,8 +15,16 @@ fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
     println!("# Event simulation vs analytical model (L-A pair, B={BATCH})");
-    row(["platform", "model", "seq", "dataflow", "analytical", "simulated", "sim/analytical"]
-        .map(String::from));
+    row([
+        "platform",
+        "model",
+        "seq",
+        "dataflow",
+        "analytical",
+        "simulated",
+        "sim/analytical",
+    ]
+    .map(String::from));
 
     let mut cases: Vec<(Accelerator, Model, u64, u64)> = vec![
         (Accelerator::edge(), Model::bert(), 512, 64),
@@ -48,7 +56,10 @@ fn main() {
         let base = OperatorDataflow::baseline(Stationarity::Weight);
         let a_base = CostModel::with_options(
             &accel,
-            ModelOptions { overlap_softmax: false, ..Default::default() },
+            ModelOptions {
+                overlap_softmax: false,
+                ..Default::default()
+            },
         )
         .sequential_la_cost(&block, &base, &base)
         .cycles;

@@ -7,9 +7,18 @@ use flat_bench::row;
 use flat_workloads::AttentionConfig;
 
 fn main() {
-    println!("# Table 1 — staging buffer requirement (16-bit, D=1024), decimal MB/GB as in the paper");
+    println!(
+        "# Table 1 — staging buffer requirement (16-bit, D=1024), decimal MB/GB as in the paper"
+    );
     row(["H", "N", "K/Q/V/O buf", "L/A buf"].map(String::from));
-    for (h, n) in [(1, 512), (16, 512), (1, 2048), (16, 2048), (1, 14 * 1024), (16, 14 * 1024)] {
+    for (h, n) in [
+        (1, 512),
+        (16, 512),
+        (1, 2048),
+        (16, 2048),
+        (1, 14 * 1024),
+        (16, 14 * 1024),
+    ] {
         let cfg = AttentionConfig::self_attention(1, h, n, 1024, 4096);
         row([
             h.to_string(),

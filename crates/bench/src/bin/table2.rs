@@ -14,7 +14,14 @@ fn main() {
     let rows = args.get_u64("rows", 64);
     println!("# Table 2 — live memory footprint by granularity (B=64, H=16, D=1024, 16-bit)");
     println!("# symbolic: M: 8BDN+BHN^2   B: 8DN+HN^2   H: 8Ndk+N^2   R: 4Rdk+4Ndk+RN");
-    row(["N", "M-Gran", "B-Gran", "H-Gran", &format!("R-Gran (R={rows})")].map(String::from));
+    row([
+        "N",
+        "M-Gran",
+        "B-Gran",
+        "H-Gran",
+        &format!("R-Gran (R={rows})"),
+    ]
+    .map(String::from));
     for seq in [512u64, 2048, 16_384, 65_536, 262_144] {
         let cfg = AttentionConfig::self_attention(64, 16, seq, 1024, 4096);
         let elems = table2_row_elems(&cfg, rows);

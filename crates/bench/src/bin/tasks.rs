@@ -15,8 +15,16 @@ fn main() {
     let m = model(&args.get("model", "bert"));
 
     println!("# Long-sequence tasks (§1) — {m} on {accel}, B={BATCH}");
-    row(["task", "N", "Base-opt util", "FLAT-opt util", "speedup", "FLAT dataflow", "footprint"]
-        .map(String::from));
+    row([
+        "task",
+        "N",
+        "Base-opt util",
+        "FLAT-opt util",
+        "speedup",
+        "FLAT dataflow",
+        "footprint",
+    ]
+    .map(String::from));
     for task in Task::all() {
         let seq = task.sequence_length();
         // Music processing at 1M tokens x batch 64 is astronomically large

@@ -50,7 +50,11 @@ pub struct Curve {
 /// ```
 #[must_use]
 pub fn render_curves(title: &str, curves: &[Curve]) -> String {
-    let width = curves.iter().map(|c| c.label.chars().count()).max().unwrap_or(0);
+    let width = curves
+        .iter()
+        .map(|c| c.label.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = format!("## {title}\n");
     for c in curves {
         out.push_str(&format!(
@@ -96,13 +100,23 @@ mod tests {
         let text = render_curves(
             "t",
             &[
-                Curve { label: "a".into(), values: vec![0.5] },
-                Curve { label: "longer".into(), values: vec![0.9] },
+                Curve {
+                    label: "a".into(),
+                    values: vec![0.5],
+                },
+                Curve {
+                    label: "longer".into(),
+                    values: vec![0.9],
+                },
             ],
         );
         let lines: Vec<&str> = text.lines().skip(1).collect();
         let col = |l: &str| l.chars().position(|c| "▁▂▃▄▅▆▇█".contains(c)).unwrap();
-        assert_eq!(col(lines[0]), col(lines[1]), "sparklines start in the same column");
+        assert_eq!(
+            col(lines[0]),
+            col(lines[1]),
+            "sparklines start in the same column"
+        );
     }
 
     #[test]

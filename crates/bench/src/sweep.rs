@@ -40,22 +40,44 @@ enum Entry {
 /// FLAT-Rx, FLAT-opt. Row counts follow the paper's note that the cloud
 /// platform uses larger Rx (its array is 64× bigger).
 fn menu(platform: &Accelerator) -> Vec<(String, Entry)> {
-    let rxs: [u64; 2] = if platform.pe.count() >= 65536 { [256, 1024] } else { [32, 128] };
+    let rxs: [u64; 2] = if platform.pe.count() >= 65536 {
+        [256, 1024]
+    } else {
+        [32, 128]
+    };
     let mut m: Vec<(String, Entry)> = vec![
         ("Base".into(), Entry::Fixed(BlockDataflow::base())),
         (
             "Base-M".into(),
             Entry::Fixed(BlockDataflow::base_staged(Granularity::BatchMultiHead)),
         ),
-        ("Base-B".into(), Entry::Fixed(BlockDataflow::base_staged(Granularity::Batch))),
-        ("Base-H".into(), Entry::Fixed(BlockDataflow::base_staged(Granularity::Head))),
+        (
+            "Base-B".into(),
+            Entry::Fixed(BlockDataflow::base_staged(Granularity::Batch)),
+        ),
+        (
+            "Base-H".into(),
+            Entry::Fixed(BlockDataflow::base_staged(Granularity::Head)),
+        ),
         ("Base-opt".into(), Entry::Opt(SpaceKind::Sequential)),
-        ("FLAT-M".into(), Entry::Fixed(BlockDataflow::flat(Granularity::BatchMultiHead))),
-        ("FLAT-B".into(), Entry::Fixed(BlockDataflow::flat(Granularity::Batch))),
-        ("FLAT-H".into(), Entry::Fixed(BlockDataflow::flat(Granularity::Head))),
+        (
+            "FLAT-M".into(),
+            Entry::Fixed(BlockDataflow::flat(Granularity::BatchMultiHead)),
+        ),
+        (
+            "FLAT-B".into(),
+            Entry::Fixed(BlockDataflow::flat(Granularity::Batch)),
+        ),
+        (
+            "FLAT-H".into(),
+            Entry::Fixed(BlockDataflow::flat(Granularity::Head)),
+        ),
     ];
     for r in rxs {
-        m.push((format!("FLAT-R{r}"), Entry::Fixed(BlockDataflow::flat(Granularity::Row(r)))));
+        m.push((
+            format!("FLAT-R{r}"),
+            Entry::Fixed(BlockDataflow::flat(Granularity::Row(r))),
+        ));
     }
     m.push(("FLAT-opt".into(), Entry::Opt(SpaceKind::Full)));
     m
@@ -156,10 +178,16 @@ fn sweep_point(
                     }
                 };
                 let best = dse.best_la_among(points, Objective::MaxUtil);
-                let others = *shared_others
-                    .get_or_insert_with(|| dse.best_others(Objective::MaxUtil).0);
+                let others =
+                    *shared_others.get_or_insert_with(|| dse.best_others(Objective::MaxUtil).0);
                 // The search already priced the winner: reuse its report.
-                (BlockDataflow { la: best.la, others }, best.report)
+                (
+                    BlockDataflow {
+                        la: best.la,
+                        others,
+                    },
+                    best.report,
+                )
             }
         };
         let blk = cm.block_cost(block, &df).total();
@@ -262,7 +290,11 @@ mod tests {
         let accel = Accelerator::edge();
         let model = Model::bert();
         let seqs = [256u64, 512];
-        let sgs = [Bytes::from_kib(256), Bytes::from_kib(512), Bytes::from_mib(64)];
+        let sgs = [
+            Bytes::from_kib(256),
+            Bytes::from_kib(512),
+            Bytes::from_mib(64),
+        ];
         let fast = buffer_sweep(&accel, &model, &seqs, &sgs);
         let reference = buffer_sweep_serial(&accel, &model, &seqs, &sgs);
         assert_eq!(fast.len(), reference.len());
@@ -276,8 +308,7 @@ mod tests {
     #[test]
     fn flat_opt_beats_base_opt_at_edge_512() {
         let accel = Accelerator::edge();
-        let recs =
-            buffer_sweep(&accel, &Model::bert(), &[512], &[Bytes::from_kib(512)]);
+        let recs = buffer_sweep(&accel, &Model::bert(), &[512], &[Bytes::from_kib(512)]);
         let get = |name: &str| {
             recs.iter()
                 .find(|r| r.dataflow == name && r.scope == "L-A")

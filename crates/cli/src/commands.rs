@@ -16,7 +16,8 @@ USAGE:
   flat info
   flat cost  --platform edge --model bert --seq 4096 --dataflow flat-r64 [--scope la|block|model] [--json]
   flat dse   --platform cloud --model xlm --seq 16384 [--space base|base-m|fused|full]
-             [--objective max-util|min-energy|min-edp|min-footprint|util-per-footprint] [--json]
+             [--objective max-util|min-energy|min-edp|min-footprint|util-per-footprint]
+             [--trace FILE] [--json]
   flat trace --platform edge --model bert --seq 512 --dataflow flat-r64 [--width 48]
   flat loopnest --dataflow flat-r64 [--seq N]   # Figure 4-style loop nest
   flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
@@ -24,14 +25,18 @@ USAGE:
   flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--seed N]
              [--task short-nlp|image-generation|summarization|language-modeling|music-processing]
              [--prompt N] [--output N] [--block-tokens 16] [--kv-mib N] [--chunk 512]
-             [--max-batch 64] [--slo-ms MS] [--chaos SEED] [--json]
+             [--max-batch 64] [--slo-ms MS] [--chaos SEED]
+             [--trace FILE] [--metrics FILE] [--json]
   flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8]
              [--topology ring|mesh|fc|all] [--partition head|seq|kv|all]
              [--link-gbps N] [--link-us N] [--seed N] [--json]
-             [--requests N ...]   # serve a request stream on the cluster instead
+             [--requests N --trace FILE ...]   # serve a request stream on the cluster instead
   flat run   --config experiments.json [--out results.json]
 
 COMMON OPTIONS:
+  --trace FILE        write a Chrome/Perfetto trace (serve, dist --requests, dse);
+                      open the file in https://ui.perfetto.dev
+  --metrics FILE      write Prometheus text metrics (serve)
   --batch N           batch size (default 64)
   --sg-kib N          override on-chip scratchpad capacity
   --offchip-gbps N    override off-chip bandwidth
@@ -39,6 +44,28 @@ COMMON OPTIONS:
   --model-json FILE   load a HuggingFace-style model config instead of a zoo name
   --no-double-buffer  charge every tile switch and serialize transfers
   --serial-softmax    the paper's stricter baseline softmax phase";
+
+/// The streaming sink behind `--trace FILE`.
+type FileSink = flat_telemetry::JsonStreamSink<std::io::BufWriter<std::fs::File>>;
+
+/// Opens the `--trace FILE` sink when the flag is present.
+fn open_trace(args: &Args) -> Result<Option<(String, FileSink)>, String> {
+    let path = args.get("trace", "");
+    if path.is_empty() {
+        return Ok(None);
+    }
+    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+    let sink = flat_telemetry::JsonStreamSink::new(std::io::BufWriter::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok(Some((path, sink)))
+}
+
+/// Closes a `--trace` sink and tells the user where the trace went.
+fn close_trace(path: &str, sink: FileSink) -> Result<(), String> {
+    sink.finish().map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote Chrome trace to {path} (open in https://ui.perfetto.dev)");
+    Ok(())
+}
 
 /// `flat run` — execute a JSON experiment config: a list of jobs, each
 /// either a fixed-dataflow pricing or a DSE, producing a JSON result
@@ -234,7 +261,14 @@ pub fn dse(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown space {other:?} (base|base-m|fused|full)")),
     };
     let dse = Dse::new(&setup.accel, &setup.block);
-    let best = dse.best_la(space, objective);
+    let best = match open_trace(args)? {
+        None => dse.best_la(space, objective),
+        Some((path, mut sink)) => {
+            let best = dse.best_la_traced(space, objective, &mut sink);
+            close_trace(&path, sink)?;
+            best
+        }
+    };
     let (others, _) = dse.best_others(objective);
     if args.flag("json") {
         let mut v = report_json(&best.report, &la_label(&best.la), Scope::LogitAttend);
@@ -394,9 +428,29 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if let Some(plan) = &faults {
         plan.corrupt_workload(&mut workload);
     }
-    let metrics =
-        flat_serve::serve_with_faults(&setup.accel, &setup.model, &workload, &cfg, faults)
+    let metrics = match open_trace(args)? {
+        None => flat_serve::serve_with_faults(&setup.accel, &setup.model, &workload, &cfg, faults)
+            .map_err(|e| e.to_string())?,
+        Some((path, mut sink)) => {
+            let metrics = flat_serve::serve_with_faults_traced(
+                &setup.accel,
+                &setup.model,
+                &workload,
+                &cfg,
+                faults,
+                &mut sink,
+            )
             .map_err(|e| e.to_string())?;
+            close_trace(&path, sink)?;
+            metrics
+        }
+    };
+    let metrics_path = args.get("metrics", "");
+    if !metrics_path.is_empty() {
+        std::fs::write(&metrics_path, metrics.registry().prometheus())
+            .map_err(|e| format!("{metrics_path}: {e}"))?;
+        eprintln!("wrote Prometheus metrics to {metrics_path}");
+    }
     if args.flag("json") {
         println!("{}", metrics.to_json());
     } else {
@@ -543,6 +597,9 @@ pub fn dist(args: &Args) -> Result<(), String> {
             seed,
         );
     }
+    if !args.get("trace", "").is_empty() {
+        return Err("--trace applies to serving mode: add --requests N".to_owned());
+    }
     let partitions = partitions_arg(args, "head")?;
     let cfg = setup.model.config(setup.batch, setup.seq);
     let sweep = Sweep::new(setup.accel.clone(), link);
@@ -658,6 +715,10 @@ fn dist_serve(
         cfg.kv_budget = flat_tensor::Bytes::from_mib(mib);
     }
     let workload = spec.generate(seed).map_err(|e| e.to_string())?;
+    let mut trace = open_trace(args)?;
+    if trace.is_some() && chips.len() > 1 {
+        return Err("--trace records one cluster: pass a single --chips value".to_owned());
+    }
 
     let mut runs = Vec::new();
     for &p in chips {
@@ -667,8 +728,23 @@ fn dist_serve(
             link,
             partition,
         };
-        let metrics = flat_serve::serve_dist(&setup.accel, &setup.model, &workload, &cfg, &dcfg)
-            .map_err(|e| e.to_string())?;
+        let metrics = match trace.take() {
+            None => flat_serve::serve_dist(&setup.accel, &setup.model, &workload, &cfg, &dcfg)
+                .map_err(|e| e.to_string())?,
+            Some((path, mut sink)) => {
+                let metrics = flat_serve::serve_dist_traced(
+                    &setup.accel,
+                    &setup.model,
+                    &workload,
+                    &cfg,
+                    &dcfg,
+                    &mut sink,
+                )
+                .map_err(|e| e.to_string())?;
+                close_trace(&path, sink)?;
+                metrics
+            }
+        };
         runs.push(metrics);
     }
 

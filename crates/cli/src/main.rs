@@ -8,8 +8,10 @@
 //! flat loopnest --dataflow flat-r64 [--seq N]
 //! flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
 //! flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
-//! flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--slo-ms MS] [--chaos SEED] [--json]
+//! flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--slo-ms MS] [--chaos SEED]
+//!            [--trace FILE] [--metrics FILE] [--json]
 //! flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8] [--topology all] [--partition head] [--json]
+//!            [--requests N --trace FILE]   # serve on the cluster, tracing collectives
 //! flat run   --config experiments.json [--out results.json]
 //! ```
 //!

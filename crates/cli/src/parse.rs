@@ -28,7 +28,13 @@ pub fn setup(args: &Args) -> Result<Setup, String> {
     let batch = u64_arg(args, "batch", 64)?;
     let seq = u64_arg(args, "seq", 4096)?;
     let block = model.block(batch, seq);
-    Ok(Setup { accel, model, block, batch, seq })
+    Ok(Setup {
+        accel,
+        model,
+        block,
+        batch,
+        seq,
+    })
 }
 
 /// Integer value of `--key` with a one-line diagnostic instead of the
@@ -83,9 +89,13 @@ pub fn model_from_json(path: &str) -> Result<Model, String> {
     let blocks = get("num_hidden_layers")
         .or_else(|| get("num_layers"))
         .ok_or_else(|| format!("{path}: missing num_hidden_layers"))?;
-    let ffn = get("intermediate_size").or_else(|| get("d_ff")).unwrap_or(4 * hidden);
+    let ffn = get("intermediate_size")
+        .or_else(|| get("d_ff"))
+        .unwrap_or(4 * hidden);
     if hidden % heads != 0 {
-        return Err(format!("{path}: hidden_size {hidden} not divisible by {heads} heads"));
+        return Err(format!(
+            "{path}: hidden_size {hidden} not divisible by {heads} heads"
+        ));
     }
     Ok(Model::custom(blocks, heads, hidden, ffn))
 }
@@ -104,12 +114,15 @@ pub fn accelerator(args: &Args) -> Result<Accelerator, String> {
         }
     };
     if let Some(kib) = optional(args, "sg-kib") {
-        let kib: u64 = kib.parse().map_err(|_| "--sg-kib expects an integer".to_owned())?;
+        let kib: u64 = kib
+            .parse()
+            .map_err(|_| "--sg-kib expects an integer".to_owned())?;
         accel = accel.with_sg(Bytes::from_kib(kib));
     }
     if let Some(gbps) = optional(args, "offchip-gbps") {
-        let gbps: f64 =
-            gbps.parse().map_err(|_| "--offchip-gbps expects a number".to_owned())?;
+        let gbps: f64 = gbps
+            .parse()
+            .map_err(|_| "--offchip-gbps expects a number".to_owned())?;
         accel = accel.with_offchip_bw(gbps * 1e9);
     }
     Ok(accel)
@@ -118,7 +131,9 @@ pub fn accelerator(args: &Args) -> Result<Accelerator, String> {
 /// Parses a dataflow label (`base`, `base-m|b|h`, `flat-m|b|h`,
 /// `flat-rN`, `flat-tBxHxrN`) via [`BlockDataflow`]'s `FromStr`.
 pub fn dataflow(label: &str) -> Result<BlockDataflow, String> {
-    label.parse().map_err(|e: flat_core::ParseDataflowError| e.to_string())
+    label
+        .parse()
+        .map_err(|e: flat_core::ParseDataflowError| e.to_string())
 }
 
 /// Model-option flags shared by `cost`/`sim`/`trace`:
@@ -178,9 +193,16 @@ mod tests {
     #[test]
     fn accelerator_overrides_apply() {
         let args = flat_bench::args::Args::parse_from(
-            ["--platform", "cloud", "--sg-kib", "1024", "--offchip-gbps", "100"]
-                .iter()
-                .map(|s| (*s).to_owned()),
+            [
+                "--platform",
+                "cloud",
+                "--sg-kib",
+                "1024",
+                "--offchip-gbps",
+                "100",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
         );
         let a = accelerator(&args).unwrap();
         assert_eq!(a.sg, Bytes::from_kib(1024));
@@ -207,7 +229,11 @@ mod tests {
     #[test]
     fn hf_config_defaults_ffn_to_4x() {
         let path = std::env::temp_dir().join("flat_cli_test_model2.json");
-        std::fs::write(&path, r#"{"d_model": 512, "num_heads": 8, "num_layers": 6}"#).unwrap();
+        std::fs::write(
+            &path,
+            r#"{"d_model": 512, "num_heads": 8, "num_layers": 6}"#,
+        )
+        .unwrap();
         let m = model_from_json(&path.display().to_string()).unwrap();
         assert_eq!(m.ffn_hidden(), 2048);
     }
@@ -215,7 +241,9 @@ mod tests {
     #[test]
     fn malformed_numeric_args_are_diagnostics_not_panics() {
         let args = flat_bench::args::Args::parse_from(
-            ["--seq", "lots", "--slo-ms", "soon"].iter().map(|s| (*s).to_owned()),
+            ["--seq", "lots", "--slo-ms", "soon"]
+                .iter()
+                .map(|s| (*s).to_owned()),
         );
         let err = u64_arg(&args, "seq", 1).unwrap_err();
         assert!(err.contains("--seq") && err.contains("lots"));
@@ -232,9 +260,10 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let path = std::env::temp_dir().join("flat_cli_test_accel.json");
         std::fs::write(&path, json).unwrap();
-        let args = flat_bench::args::Args::parse_from(
-            ["--accel-json".to_owned(), path.display().to_string()],
-        );
+        let args = flat_bench::args::Args::parse_from([
+            "--accel-json".to_owned(),
+            path.display().to_string(),
+        ]);
         let b = accelerator(&args).unwrap();
         assert_eq!(a, b);
     }

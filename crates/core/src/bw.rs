@@ -63,7 +63,10 @@ pub fn required_offchip_bw(
     scope: Scope,
     target_util: f64,
 ) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&target_util), "target utilization must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&target_util),
+        "target utilization must be in [0, 1]"
+    );
     if util_at_bw(accel, block, df, scope, BW_HI) < target_util {
         return None;
     }
@@ -116,9 +119,13 @@ mod tests {
             0.9,
         )
         .expect("FLAT reaches 0.9");
-        if let Some(base) =
-            required_offchip_bw(&accel, &block, &BlockDataflow::base(), Scope::LogitAttend, 0.9)
-        {
+        if let Some(base) = required_offchip_bw(
+            &accel,
+            &block,
+            &BlockDataflow::base(),
+            Scope::LogitAttend,
+            0.9,
+        ) {
             assert!(flat < base * 0.5, "flat {flat} vs base {base}");
         }
     }
@@ -128,8 +135,13 @@ mod tests {
         let accel = Accelerator::edge();
         let block = Model::bert().block(64, 512);
         // Util 1.0 exactly is unreachable: NoC overhead always exists.
-        let res =
-            required_offchip_bw(&accel, &block, &BlockDataflow::base(), Scope::LogitAttend, 1.0);
+        let res = required_offchip_bw(
+            &accel,
+            &block,
+            &BlockDataflow::base(),
+            Scope::LogitAttend,
+            1.0,
+        );
         assert!(res.is_none());
     }
 
@@ -138,7 +150,12 @@ mod tests {
     fn invalid_target_rejected() {
         let accel = Accelerator::edge();
         let block = Model::bert().block(1, 128);
-        let _ =
-            required_offchip_bw(&accel, &block, &BlockDataflow::base(), Scope::LogitAttend, 1.5);
+        let _ = required_offchip_bw(
+            &accel,
+            &block,
+            &BlockDataflow::base(),
+            Scope::LogitAttend,
+            1.5,
+        );
     }
 }

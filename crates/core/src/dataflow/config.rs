@@ -43,7 +43,10 @@ impl OperatorDataflow {
     /// Figure 7(b)).
     #[must_use]
     pub const fn baseline(stationarity: Stationarity) -> Self {
-        OperatorDataflow { stationarity, l3: None }
+        OperatorDataflow {
+            stationarity,
+            l3: None,
+        }
     }
 
     /// Baseline with an L3 tier at `granularity`, all tensors staged
@@ -52,7 +55,10 @@ impl OperatorDataflow {
     pub const fn staged(stationarity: Stationarity, granularity: Granularity) -> Self {
         OperatorDataflow {
             stationarity,
-            l3: Some(L3Config { granularity, enables: OperandEnables::all() }),
+            l3: Some(L3Config {
+                granularity,
+                enables: OperandEnables::all(),
+            }),
         }
     }
 }
@@ -68,8 +74,7 @@ impl fmt::Display for OperatorDataflow {
 
 /// How the two stages of the fused operator share the PE array (§5.1,
 /// feature 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum FusedExecution {
     /// Temporal pipelining: all PEs compute the L stage of a FLAT-tile,
     /// then all PEs compute its A stage — the paper's chosen
@@ -83,7 +88,6 @@ pub enum FusedExecution {
     /// measured.
     Pipelined,
 }
-
 
 /// Dataflow for the fused L-A operator (the FLAT contribution, §4.2).
 ///
@@ -195,7 +199,13 @@ impl BlockDataflow {
     #[must_use]
     pub const fn base() -> Self {
         let op = OperatorDataflow::baseline(Stationarity::Weight);
-        BlockDataflow { la: LaExecution::Sequential { logit: op, attend: op }, others: op }
+        BlockDataflow {
+            la: LaExecution::Sequential {
+                logit: op,
+                attend: op,
+            },
+            others: op,
+        }
     }
 
     /// `Base-X`: sequential execution with an L3 tier at `granularity` on
@@ -213,7 +223,10 @@ impl BlockDataflow {
         );
         let op = OperatorDataflow::staged(Stationarity::Weight, granularity);
         BlockDataflow {
-            la: LaExecution::Sequential { logit: op, attend: op },
+            la: LaExecution::Sequential {
+                logit: op,
+                attend: op,
+            },
             others: OperatorDataflow::staged(Stationarity::Weight, Granularity::BatchMultiHead),
         }
     }
@@ -254,9 +267,15 @@ mod tests {
     #[test]
     fn labels_match_figure_7b() {
         assert_eq!(BlockDataflow::base().label(), "Base");
-        assert_eq!(BlockDataflow::base_staged(Granularity::Batch).label(), "Base-B");
+        assert_eq!(
+            BlockDataflow::base_staged(Granularity::Batch).label(),
+            "Base-B"
+        );
         assert_eq!(BlockDataflow::flat(Granularity::Head).label(), "FLAT-H");
-        assert_eq!(BlockDataflow::flat(Granularity::Row(128)).label(), "FLAT-R128");
+        assert_eq!(
+            BlockDataflow::flat(Granularity::Row(128)).label(),
+            "FLAT-R128"
+        );
     }
 
     #[test]

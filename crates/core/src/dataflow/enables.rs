@@ -33,13 +33,21 @@ impl OperandEnables {
     /// Every tensor staged.
     #[must_use]
     pub const fn all() -> Self {
-        OperandEnables { input_a: true, input_b: true, output: true }
+        OperandEnables {
+            input_a: true,
+            input_b: true,
+            output: true,
+        }
     }
 
     /// Nothing staged: pure baseline streaming.
     #[must_use]
     pub const fn none() -> Self {
-        OperandEnables { input_a: false, input_b: false, output: false }
+        OperandEnables {
+            input_a: false,
+            input_b: false,
+            output: false,
+        }
     }
 
     /// Number of staged tensors.
@@ -107,7 +115,13 @@ impl FusedEnables {
     /// Every FLAT-tile enabled.
     #[must_use]
     pub const fn all() -> Self {
-        FusedEnables { query: true, key: true, value: true, output: true, intermediate: true }
+        FusedEnables {
+            query: true,
+            key: true,
+            value: true,
+            output: true,
+            intermediate: true,
+        }
     }
 
     /// Only the intermediate tensor staged (the Figure 4(b) walk-through

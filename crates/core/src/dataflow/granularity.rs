@@ -69,7 +69,11 @@ impl Granularity {
             Granularity::Batch => "B".to_owned(),
             Granularity::Head => "H".to_owned(),
             Granularity::Row(r) => format!("R{r}"),
-            Granularity::Composite { batch_t, head_t, rows } => {
+            Granularity::Composite {
+                batch_t,
+                head_t,
+                rows,
+            } => {
                 format!("T{batch_t}x{head_t}xR{rows}")
             }
         }
@@ -91,14 +95,16 @@ impl Granularity {
                 assert!(r > 0, "row granularity must be positive");
                 cfg.batch * cfg.heads * cfg.seq_q.div_ceil(r)
             }
-            Granularity::Composite { batch_t, head_t, rows } => {
+            Granularity::Composite {
+                batch_t,
+                head_t,
+                rows,
+            } => {
                 assert!(
                     batch_t > 0 && head_t > 0 && rows > 0,
                     "composite tile extents must be positive"
                 );
-                cfg.batch.div_ceil(batch_t)
-                    * cfg.heads.div_ceil(head_t)
-                    * cfg.seq_q.div_ceil(rows)
+                cfg.batch.div_ceil(batch_t) * cfg.heads.div_ceil(head_t) * cfg.seq_q.div_ceil(rows)
             }
         }
     }
@@ -161,7 +167,11 @@ impl Granularity {
     /// FLAT dataflows.
     #[must_use]
     pub const fn coarse() -> [Granularity; 3] {
-        [Granularity::BatchMultiHead, Granularity::Batch, Granularity::Head]
+        [
+            Granularity::BatchMultiHead,
+            Granularity::Batch,
+            Granularity::Head,
+        ]
     }
 }
 
@@ -234,9 +244,21 @@ mod tests {
     fn composite_tiles_cover_tensor_exactly() {
         let cfg = cfg();
         for g in [
-            Granularity::Composite { batch_t: 1, head_t: 4, rows: 64 },
-            Granularity::Composite { batch_t: 2, head_t: 1, rows: 128 },
-            Granularity::Composite { batch_t: 64, head_t: 16, rows: 512 },
+            Granularity::Composite {
+                batch_t: 1,
+                head_t: 4,
+                rows: 64,
+            },
+            Granularity::Composite {
+                batch_t: 2,
+                head_t: 1,
+                rows: 128,
+            },
+            Granularity::Composite {
+                batch_t: 64,
+                head_t: 16,
+                rows: 512,
+            },
         ] {
             assert_eq!(
                 g.iterations(&cfg) * g.slice_logit_elements(&cfg),
@@ -249,7 +271,11 @@ mod tests {
     #[test]
     fn named_granularities_are_composite_corners() {
         let cfg = cfg();
-        let corner = |b, h, r| Granularity::Composite { batch_t: b, head_t: h, rows: r };
+        let corner = |b, h, r| Granularity::Composite {
+            batch_t: b,
+            head_t: h,
+            rows: r,
+        };
         for (named, composite) in [
             (Granularity::BatchMultiHead, corner(64, 16, 512)),
             (Granularity::Batch, corner(1, 16, 512)),
@@ -268,8 +294,12 @@ mod tests {
     fn kv_reuse_iff_rows_sliced() {
         let cfg = cfg();
         assert!(Granularity::Row(64).reuses_kv_across_iterations(&cfg));
-        assert!(Granularity::Composite { batch_t: 1, head_t: 2, rows: 64 }
-            .reuses_kv_across_iterations(&cfg));
+        assert!(Granularity::Composite {
+            batch_t: 1,
+            head_t: 2,
+            rows: 64
+        }
+        .reuses_kv_across_iterations(&cfg));
         assert!(!Granularity::Head.reuses_kv_across_iterations(&cfg));
         assert!(!Granularity::Row(512).reuses_kv_across_iterations(&cfg));
     }
@@ -277,7 +307,12 @@ mod tests {
     #[test]
     fn composite_label_is_distinct() {
         assert_eq!(
-            Granularity::Composite { batch_t: 2, head_t: 4, rows: 64 }.label(),
+            Granularity::Composite {
+                batch_t: 2,
+                head_t: 4,
+                rows: 64
+            }
+            .label(),
             "T2x4xR64"
         );
     }

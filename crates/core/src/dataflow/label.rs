@@ -12,7 +12,9 @@ pub struct ParseDataflowError {
 
 impl ParseDataflowError {
     fn new(input: &str) -> Self {
-        ParseDataflowError { input: input.to_owned() }
+        ParseDataflowError {
+            input: input.to_owned(),
+        }
     }
 
     /// The label that failed to parse.
@@ -52,7 +54,11 @@ fn parse_granularity(s: &str) -> Option<Granularity> {
             if parts.next().is_some() || batch_t == 0 || head_t == 0 || rows == 0 {
                 return None;
             }
-            Some(Granularity::Composite { batch_t, head_t, rows })
+            Some(Granularity::Composite {
+                batch_t,
+                head_t,
+                rows,
+            })
         }
     }
 }
@@ -98,8 +104,10 @@ mod tests {
 
     #[test]
     fn named_labels_round_trip() {
-        for label in ["Base", "Base-M", "Base-B", "Base-H", "FLAT-M", "FLAT-B", "FLAT-H",
-            "FLAT-R64", "FLAT-R1"] {
+        for label in [
+            "Base", "Base-M", "Base-B", "Base-H", "FLAT-M", "FLAT-B", "FLAT-H", "FLAT-R64",
+            "FLAT-R1",
+        ] {
             let df: BlockDataflow = label.parse().unwrap();
             assert_eq!(df.label(), label, "round trip of {label}");
         }
@@ -120,7 +128,15 @@ mod tests {
 
     #[test]
     fn invalid_labels_error_with_context() {
-        for bad in ["", "nope", "base-r64", "flat-", "flat-r0", "flat-t1x1", "flat-t0x1xr4"] {
+        for bad in [
+            "",
+            "nope",
+            "base-r64",
+            "flat-",
+            "flat-r0",
+            "flat-t1x1",
+            "flat-t0x1xr4",
+        ] {
             let err = bad.parse::<BlockDataflow>().unwrap_err();
             assert_eq!(err.input(), bad);
             assert!(err.to_string().contains("unknown dataflow"));

@@ -20,7 +20,7 @@ mod stationary;
 pub use config::{
     BlockDataflow, FusedDataflow, FusedExecution, L3Config, LaExecution, OperatorDataflow,
 };
-pub use label::ParseDataflowError;
 pub use enables::{FusedEnables, OperandEnables};
 pub use granularity::Granularity;
+pub use label::ParseDataflowError;
 pub use stationary::Stationarity;

@@ -38,7 +38,11 @@ impl Stationarity {
     /// All three choices, for DSE sweeps.
     #[must_use]
     pub const fn all() -> [Stationarity; 3] {
-        [Stationarity::Weight, Stationarity::Input, Stationarity::Output]
+        [
+            Stationarity::Weight,
+            Stationarity::Input,
+            Stationarity::Output,
+        ]
     }
 }
 

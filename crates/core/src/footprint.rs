@@ -148,7 +148,10 @@ mod tests {
     fn h_gran_matches_closed_form() {
         let cfg = cfg();
         let (dk, n) = (cfg.dk(), cfg.seq_kv);
-        assert_eq!(fused_footprint_elems_at(Granularity::Head, &cfg), 8 * n * dk + n * n);
+        assert_eq!(
+            fused_footprint_elems_at(Granularity::Head, &cfg),
+            8 * n * dk + n * n
+        );
     }
 
     /// Table 2, B-Gran: `O(8·D·N + H·N²)`.
@@ -156,7 +159,10 @@ mod tests {
     fn b_gran_matches_closed_form() {
         let cfg = cfg();
         let (d, h, n) = (cfg.hidden, cfg.heads, cfg.seq_kv);
-        assert_eq!(fused_footprint_elems_at(Granularity::Batch, &cfg), 8 * d * n + h * n * n);
+        assert_eq!(
+            fused_footprint_elems_at(Granularity::Batch, &cfg),
+            8 * d * n + h * n * n
+        );
     }
 
     /// Table 2, M-Gran: `O(8·B·D·N + B·H·N²)`.
@@ -200,7 +206,10 @@ mod tests {
         for g in [Granularity::Batch, Granularity::Head, Granularity::Row(128)] {
             let s = FusedSlices::new(g, &cfg);
             assert_eq!(s.iterations * s.intermediate, cfg.logit_elements(), "{g}");
-            assert_eq!(s.iterations * s.query, cfg.batch * cfg.heads * cfg.seq_q * cfg.dk());
+            assert_eq!(
+                s.iterations * s.query,
+                cfg.batch * cfg.heads * cfg.seq_q * cfg.dk()
+            );
         }
     }
 }

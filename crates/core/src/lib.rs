@@ -54,8 +54,8 @@ pub mod schedule;
 pub use loopnest::loop_nest;
 
 pub use dataflow::{
-    BlockDataflow, FusedDataflow, FusedEnables, FusedExecution, Granularity, L3Config,
-    LaExecution, OperandEnables, OperatorDataflow, ParseDataflowError, Stationarity,
+    BlockDataflow, FusedDataflow, FusedEnables, FusedExecution, Granularity, L3Config, LaExecution,
+    OperandEnables, OperatorDataflow, ParseDataflowError, Stationarity,
 };
 pub use footprint::{fused_footprint, fused_footprint_elems, table2_row_elems, FusedSlices};
 pub use model::{

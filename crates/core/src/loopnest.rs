@@ -34,15 +34,25 @@ pub fn loop_nest(df: &BlockDataflow, cfg: &AttentionConfig) -> String {
 fn sequential_nest(cfg: &AttentionConfig) -> String {
     let (b, h, nq, nkv, dk) = (cfg.batch, cfg.heads, cfg.seq_q, cfg.seq_kv, cfg.dk());
     let mut s = String::new();
-    let _ = writeln!(s, "// Baseline (Figure 4(a)): run L to completion, then softmax, then A.");
+    let _ = writeln!(
+        s,
+        "// Baseline (Figure 4(a)): run L to completion, then softmax, then A."
+    );
     let _ = writeln!(s, "for b in 0..{b}:                    // batch");
     let _ = writeln!(s, "  for h in 0..{h}:                  // head");
     let _ = writeln!(s, "    for i in 0..{nq}:               // query rows");
     let _ = writeln!(s, "      for j in 0..{nkv}:            // key columns");
     let _ = writeln!(s, "        for k in 0..{dk}:           // contraction");
     let _ = writeln!(s, "          S[b,h,i,j] += Q[b,h,i,k] * K[b,h,j,k]");
-    let _ = writeln!(s, "// S ({} elements) spills to DRAM when it outgrows the SG", b * h * nq * nkv);
-    let _ = writeln!(s, "softmax(S, axis=j)                  // separate pass over the whole tensor");
+    let _ = writeln!(
+        s,
+        "// S ({} elements) spills to DRAM when it outgrows the SG",
+        b * h * nq * nkv
+    );
+    let _ = writeln!(
+        s,
+        "softmax(S, axis=j)                  // separate pass over the whole tensor"
+    );
     let _ = writeln!(s, "for b in 0..{b}:");
     let _ = writeln!(s, "  for h in 0..{h}:");
     let _ = writeln!(s, "    for i in 0..{nq}:");
@@ -69,21 +79,39 @@ fn fused_nest(g: Granularity, cfg: &AttentionConfig) -> String {
         "// FLAT (Figure 4(b)): cross-loop over {}-granularity FLAT-tiles; the",
         g.label()
     );
-    let _ = writeln!(s, "// logit slice lives and dies inside the on-chip scratchpad.");
-    let _ = writeln!(s, "for bt in 0..{b_iters}:             // cross-loop: batch tiles of {bt}");
-    let _ = writeln!(s, "  for ht in 0..{h_iters}:           // cross-loop: head tiles of {ht}");
-    let _ = writeln!(s, "    for rt in 0..{r_iters}:         // cross-loop: row groups of {rows}");
+    let _ = writeln!(
+        s,
+        "// logit slice lives and dies inside the on-chip scratchpad."
+    );
+    let _ = writeln!(
+        s,
+        "for bt in 0..{b_iters}:             // cross-loop: batch tiles of {bt}"
+    );
+    let _ = writeln!(
+        s,
+        "  for ht in 0..{h_iters}:           // cross-loop: head tiles of {ht}"
+    );
+    let _ = writeln!(
+        s,
+        "    for rt in 0..{r_iters}:         // cross-loop: row groups of {rows}"
+    );
     let _ = writeln!(
         s,
         "      // FLAT-tile: S_slice[{bt}x{ht}x{rows}x{nkv}] = {} elements, SG-resident",
         slices.intermediate
     );
     let _ = writeln!(s, "      // -- stage L (interleaved) --");
-    let _ = writeln!(s, "      for i in 0..{rows}:           // rows of this tile");
+    let _ = writeln!(
+        s,
+        "      for i in 0..{rows}:           // rows of this tile"
+    );
     let _ = writeln!(s, "        for j in 0..{nkv}:");
     let _ = writeln!(s, "          for k in 0..{dk}:");
     let _ = writeln!(s, "            S_slice[i,j] += Q[row(rt,i),k] * K[j,k]");
-    let _ = writeln!(s, "      softmax(S_slice, axis=j)       // SFU, complete rows by construction");
+    let _ = writeln!(
+        s,
+        "      softmax(S_slice, axis=j)       // SFU, complete rows by construction"
+    );
     let _ = writeln!(s, "      // -- stage A (interleaved) --");
     let _ = writeln!(s, "      for i in 0..{rows}:");
     let _ = writeln!(s, "        for d in 0..{dk}:");
@@ -122,7 +150,11 @@ mod tests {
 
     #[test]
     fn composite_tiles_render_their_extents() {
-        let df = BlockDataflow::flat(Granularity::Composite { batch_t: 4, head_t: 2, rows: 32 });
+        let df = BlockDataflow::flat(Granularity::Composite {
+            batch_t: 4,
+            head_t: 2,
+            rows: 32,
+        });
         let nest = loop_nest(&df, &cfg());
         assert!(nest.contains("batch tiles of 4"));
         assert!(nest.contains("head tiles of 2"));

@@ -21,7 +21,9 @@ impl BlockCost {
     /// Whole-block cost (sequential composition of the three categories).
     #[must_use]
     pub fn total(&self) -> CostReport {
-        self.logit_attend.then(&self.projection).then(&self.feed_forward)
+        self.logit_attend
+            .then(&self.projection)
+            .then(&self.feed_forward)
     }
 
     /// Cost of one category.
@@ -90,7 +92,12 @@ impl CostModel<'_> {
     /// Cost at one of the Figure 8 analysis scopes. `Model` scope needs a
     /// block count; use [`CostModel::model_cost`] for that.
     #[must_use]
-    pub fn scope_cost(&self, block: &AttentionBlock, df: &BlockDataflow, scope: Scope) -> CostReport {
+    pub fn scope_cost(
+        &self,
+        block: &AttentionBlock,
+        df: &BlockDataflow,
+        scope: Scope,
+    ) -> CostReport {
         match scope {
             Scope::LogitAttend => self.la_cost(block, &df.la),
             Scope::Block | Scope::Model => self.block_cost(block, df).total(),
@@ -158,8 +165,10 @@ mod tests {
         let block = Model::bert().block(64, 512);
         let cost = CostModel::new(&accel).block_cost(&block, &BlockDataflow::base());
         let total = cost.total();
-        let by_cat: f64 =
-            OpCategory::all().iter().map(|&c| cost.category(c).cycles).sum();
+        let by_cat: f64 = OpCategory::all()
+            .iter()
+            .map(|&c| cost.category(c).cycles)
+            .sum();
         assert!((total.cycles - by_cat).abs() < 1e-6);
     }
 
@@ -216,7 +225,12 @@ mod tests {
         let flat = cm
             .decoder_block_cost(&dec, &BlockDataflow::flat(Granularity::Row(256)))
             .total();
-        assert!(flat.cycles < base.cycles * 0.7, "{} vs {}", flat.cycles, base.cycles);
+        assert!(
+            flat.cycles < base.cycles * 0.7,
+            "{} vs {}",
+            flat.cycles,
+            base.cycles
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ pub fn gemm_compute(gemm: &Gemm, stat: Stationarity, accel: &Accelerator) -> Com
             (tiles * gemm.k, tiles)
         }
     };
-    ComputeCost { steps, switches, macs: gemm.macs() }
+    ComputeCost {
+        steps,
+        switches,
+        macs: gemm.macs(),
+    }
 }
 
 /// On-chip (SG ↔ PE) traffic of one GEMM, in elements.

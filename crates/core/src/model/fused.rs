@@ -48,8 +48,7 @@ impl CostModel<'_> {
         let budget = self.l2_budget_elems(true, dtype);
         let tiling_l = choose_l2_tiling(&l_sub, df.stationarity_l, budget);
         let tiling_a = choose_l2_tiling(&a_sub, df.stationarity_a, budget);
-        let ws =
-            Bytes::new(tiling_l.working_set_elems.max(tiling_a.working_set_elems) * e);
+        let ws = Bytes::new(tiling_l.working_set_elems.max(tiling_a.working_set_elems) * e);
 
         // FLAT-tile footprint. DRAM-facing slices are double-buffered,
         // with one refinement over the flat Table 2 accounting: at row
@@ -59,8 +58,11 @@ impl CostModel<'_> {
         // buffer. The intermediate slice never touches DRAM and is always
         // single-buffered (§4.4).
         let dbm = self.db_mult();
-        let kv_mult =
-            if df.granularity.reuses_kv_across_iterations(&cfg) { 1 } else { dbm };
+        let kv_mult = if df.granularity.reuses_kv_across_iterations(&cfg) {
+            1
+        } else {
+            dbm
+        };
         let en = df.enables;
         let demands = [
             (en.intermediate, s.intermediate),
@@ -79,8 +81,7 @@ impl CostModel<'_> {
         // fraction there. L2-resident data never touches DRAM but its
         // per-iteration re-reads ride the (slower) L2 link.
         let mut remaining = self.accel.sg.saturating_sub(ws).as_u64() / e;
-        let mut l2_remaining =
-            self.accel.l2_sram.map_or(0, |l2| l2.capacity.as_u64() / e);
+        let mut l2_remaining = self.accel.l2_sram.map_or(0, |l2| l2.capacity.as_u64() / e);
         let mut sg_fractions = [0.0f64; 5];
         let mut l2_fractions = [0.0f64; 5];
         for (i, (enabled, demand)) in demands.iter().enumerate() {
@@ -115,8 +116,20 @@ impl CostModel<'_> {
 
         // --- Off-chip traffic ---
         let iters = s.iterations;
-        let dl = dram_traffic(&l_sub, df.stationarity_l, tiling_l.tm, tiling_l.tk, tiling_l.tn);
-        let da = dram_traffic(&a_sub, df.stationarity_a, tiling_a.tm, tiling_a.tk, tiling_a.tn);
+        let dl = dram_traffic(
+            &l_sub,
+            df.stationarity_l,
+            tiling_l.tm,
+            tiling_l.tk,
+            tiling_l.tn,
+        );
+        let da = dram_traffic(
+            &a_sub,
+            df.stationarity_a,
+            tiling_a.tm,
+            tiling_a.tk,
+            tiling_a.tn,
+        );
         let q_total = cfg.batch * cfg.heads * cfg.seq_q * dk;
         let kv_total = cfg.batch * cfg.heads * cfg.seq_kv * dk;
         let o_total = q_total;
@@ -201,8 +214,8 @@ impl CostModel<'_> {
         let l2_cycles_per_iter = self.accel.l2_sram.map_or(0.0, |l2| {
             l2_elems_per_iter * e as f64 / l2.bytes_per_cycle(self.accel.clock_hz)
         });
-        let per_iter = self
-            .combine_cycles(
+        let per_iter =
+            self.combine_cycles(
                 compute_per_iter,
                 onchip_bytes / it,
                 offchip_bytes / it * off_window_penalty,
@@ -213,11 +226,13 @@ impl CostModel<'_> {
             } else {
                 // Without double buffering nothing overlaps.
                 0.0
-            })
-            + if self.opts.double_buffered { 0.0 } else { sfu_per_iter };
+            }) + if self.opts.double_buffered {
+                0.0
+            } else {
+                sfu_per_iter
+            };
         let warmup_bytes = (dbm * (s.query + s.key + s.value) * e) as f64;
-        let warmup =
-            warmup_bytes.min(offchip_bytes) / self.accel.offchip_bytes_per_cycle();
+        let warmup = warmup_bytes.min(offchip_bytes) / self.accel.offchip_bytes_per_cycle();
         let cycles = it * per_iter + warmup;
 
         // Useful MACs are the exact algorithmic count; a ragged tail tile
@@ -276,7 +291,12 @@ mod tests {
             &OperatorDataflow::baseline(Stationarity::Weight),
         );
         let flat = cm.fused_la_cost(&block, &FusedDataflow::new(Granularity::Row(64)));
-        assert!(flat.util() > base.util(), "{} <= {}", flat.util(), base.util());
+        assert!(
+            flat.util() > base.util(),
+            "{} <= {}",
+            flat.util(),
+            base.util()
+        );
         assert!(flat.traffic.offchip < base.traffic.offchip);
     }
 
@@ -326,7 +346,10 @@ mod tests {
         // Disabling the intermediate tile adds a DRAM round trip (write
         // softmaxed + read back) of the whole logit tensor.
         let logit_bytes = cfg.logit_size().as_f64();
-        assert!(delta > 1.8 * logit_bytes, "delta {delta} vs logit {logit_bytes}");
+        assert!(
+            delta > 1.8 * logit_bytes,
+            "delta {delta} vs logit {logit_bytes}"
+        );
     }
 
     /// Larger R means fewer iterations and less per-iteration overhead —
@@ -359,14 +382,14 @@ mod tests {
     /// halved prefetch window, so interleaving wins.
     #[test]
     fn interleaved_beats_pipelined() {
-        for (accel, seq, r) in
-            [(Accelerator::edge(), 4096u64, 64u64), (Accelerator::cloud(), 16_384, 1024)]
-        {
+        for (accel, seq, r) in [
+            (Accelerator::edge(), 4096u64, 64u64),
+            (Accelerator::cloud(), 16_384, 1024),
+        ] {
             let block = Model::bert().block(64, seq);
             let cm = CostModel::new(&accel);
             let inter = cm.fused_la_cost(&block, &FusedDataflow::new(Granularity::Row(r)));
-            let pipe =
-                cm.fused_la_cost(&block, &FusedDataflow::pipelined(Granularity::Row(r)));
+            let pipe = cm.fused_la_cost(&block, &FusedDataflow::pipelined(Granularity::Row(r)));
             assert!(
                 inter.cycles <= pipe.cycles,
                 "{}: interleaved {} > pipelined {}",
@@ -390,7 +413,11 @@ mod tests {
         // Same rows, 4 heads per slice: 4x the spatial work per iteration.
         let packed = cm.fused_la_cost(
             &block,
-            &FusedDataflow::new(Granularity::Composite { batch_t: 1, head_t: 4, rows: 16 }),
+            &FusedDataflow::new(Granularity::Composite {
+                batch_t: 1,
+                head_t: 4,
+                rows: 16,
+            }),
         );
         assert!(
             packed.util() > thin.util(),
@@ -407,8 +434,10 @@ mod tests {
     fn l2_sram_extends_reach() {
         let stock = Accelerator::edge();
         let mut two_level = Accelerator::edge();
-        two_level.l2_sram =
-            Some(flat_arch::L2Sram::new(flat_tensor::Bytes::from_mib(8), 200.0e9));
+        two_level.l2_sram = Some(flat_arch::L2Sram::new(
+            flat_tensor::Bytes::from_mib(8),
+            200.0e9,
+        ));
         let big_sg = Accelerator::edge().with_sg(flat_tensor::Bytes::from_mib(9));
 
         let block = Model::bert().block(64, 16_384);
@@ -426,9 +455,15 @@ mod tests {
     #[test]
     fn slow_l2_link_binds() {
         let mut fast = Accelerator::edge();
-        fast.l2_sram = Some(flat_arch::L2Sram::new(flat_tensor::Bytes::from_mib(8), 400.0e9));
+        fast.l2_sram = Some(flat_arch::L2Sram::new(
+            flat_tensor::Bytes::from_mib(8),
+            400.0e9,
+        ));
         let mut slow = fast.clone();
-        slow.l2_sram = Some(flat_arch::L2Sram::new(flat_tensor::Bytes::from_mib(8), 10.0e9));
+        slow.l2_sram = Some(flat_arch::L2Sram::new(
+            flat_tensor::Bytes::from_mib(8),
+            10.0e9,
+        ));
         let block = Model::bert().block(64, 16_384);
         let df = FusedDataflow::new(Granularity::Row(64));
         let fast_u = CostModel::new(&fast).fused_la_cost(&block, &df).util();
@@ -441,8 +476,8 @@ mod tests {
         let accel = Accelerator::edge();
         let block = Model::bert().block(64, 512);
         let cfg = *block.config();
-        let r = CostModel::new(&accel)
-            .fused_la_cost(&block, &FusedDataflow::new(Granularity::Head));
+        let r =
+            CostModel::new(&accel).fused_la_cost(&block, &FusedDataflow::new(Granularity::Head));
         let total_macs = 2 * cfg.batch * cfg.seq_q * cfg.seq_kv * cfg.hidden;
         assert_eq!(r.activity.macs, total_macs);
     }

@@ -131,12 +131,18 @@ pub fn choose_l2_tiling(gemm: &Gemm, stat: Stationarity, budget_elems: u64) -> L
                 // traffic at less SG leaves more room for L3/FLAT staging.
                 let better = match &best {
                     None => true,
-                    Some((t, cur)) => {
-                        traffic < *t || (traffic == *t && ws < cur.working_set_elems)
-                    }
+                    Some((t, cur)) => traffic < *t || (traffic == *t && ws < cur.working_set_elems),
                 };
                 if better {
-                    best = Some((traffic, L2Tiling { tm, tk, tn, working_set_elems: ws }));
+                    best = Some((
+                        traffic,
+                        L2Tiling {
+                            tm,
+                            tk,
+                            tn,
+                            working_set_elems: ws,
+                        },
+                    ));
                 }
             }
         }
@@ -205,9 +211,15 @@ mod tests {
     fn working_set_counts_double_buffers_and_psums() {
         let gemm = Gemm::new(1, 128, 128, 128);
         // Full-k tile: fp16 output block.
-        assert_eq!(working_set_elems(&gemm, 16, 128, 16), 2 * (16 * 128 + 128 * 16) + 2 * 256);
+        assert_eq!(
+            working_set_elems(&gemm, 16, 128, 16),
+            2 * (16 * 128 + 128 * 16) + 2 * 256
+        );
         // Tiled k: fp32 psum block.
-        assert_eq!(working_set_elems(&gemm, 16, 32, 16), 2 * (16 * 32 + 32 * 16) + 4 * 256);
+        assert_eq!(
+            working_set_elems(&gemm, 16, 32, 16),
+            2 * (16 * 32 + 32 * 16) + 4 * 256
+        );
     }
 
     #[test]

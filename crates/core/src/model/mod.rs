@@ -61,7 +61,10 @@ pub struct ModelOptions {
 
 impl Default for ModelOptions {
     fn default() -> Self {
-        ModelOptions { double_buffered: true, overlap_softmax: true }
+        ModelOptions {
+            double_buffered: true,
+            overlap_softmax: true,
+        }
     }
 }
 
@@ -91,7 +94,10 @@ impl<'a> CostModel<'a> {
     /// A cost model with default options (double buffering on).
     #[must_use]
     pub fn new(accel: &'a Accelerator) -> Self {
-        CostModel { accel, opts: ModelOptions::default() }
+        CostModel {
+            accel,
+            opts: ModelOptions::default(),
+        }
     }
 
     /// A cost model with explicit options.

@@ -19,7 +19,10 @@ pub struct Traffic {
 impl Add for Traffic {
     type Output = Traffic;
     fn add(self, rhs: Traffic) -> Traffic {
-        Traffic { onchip: self.onchip + rhs.onchip, offchip: self.offchip + rhs.offchip }
+        Traffic {
+            onchip: self.onchip + rhs.onchip,
+            offchip: self.offchip + rhs.offchip,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ impl CostReport {
     /// non-stall reference lines in Figure 11).
     #[must_use]
     pub fn ideal(cycles: f64) -> Self {
-        CostReport { cycles, ideal_cycles: cycles, ..CostReport::default() }
+        CostReport {
+            cycles,
+            ideal_cycles: cycles,
+            ..CostReport::default()
+        }
     }
 
     /// Compute-resource utilization: `Runtime_ideal / Runtime_actual`
@@ -149,9 +156,17 @@ mod tests {
 
     #[test]
     fn util_is_bounded() {
-        let r = CostReport { cycles: 100.0, ideal_cycles: 250.0, ..CostReport::default() };
+        let r = CostReport {
+            cycles: 100.0,
+            ideal_cycles: 250.0,
+            ..CostReport::default()
+        };
         assert_eq!(r.util(), 1.0, "clamped");
-        let r = CostReport { cycles: 200.0, ideal_cycles: 100.0, ..CostReport::default() };
+        let r = CostReport {
+            cycles: 200.0,
+            ideal_cycles: 100.0,
+            ..CostReport::default()
+        };
         assert_eq!(r.util(), 0.5);
     }
 

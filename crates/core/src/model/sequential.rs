@@ -28,8 +28,7 @@ impl CostModel<'_> {
             // DRAM round trip, streamed through the SFU's row buffer.
             (moved, moved)
         };
-        let cycles =
-            self.combine_cycles(sfu_cycles, onchip.as_f64(), offchip.as_f64());
+        let cycles = self.combine_cycles(sfu_cycles, onchip.as_f64(), offchip.as_f64());
         let activity = ActivityCounts {
             macs: 0,
             sl_accesses: 0,
@@ -76,8 +75,12 @@ impl CostModel<'_> {
         let full_logit = Bytes::new(l_gemm.c_elements() * e);
 
         // Input-staging demand of each phase.
-        let l_slices = logit_df.l3.map(|l3| OpSlices::new(l3.granularity, &l_gemm, &cfg));
-        let a_slices = attend_df.l3.map(|l3| OpSlices::new(l3.granularity, &a_gemm, &cfg));
+        let l_slices = logit_df
+            .l3
+            .map(|l3| OpSlices::new(l3.granularity, &l_gemm, &cfg));
+        let a_slices = attend_df
+            .l3
+            .map(|l3| OpSlices::new(l3.granularity, &a_gemm, &cfg));
         let l_input_req = logit_df.l3.map_or(0, |l3| {
             let s = l_slices.expect("slices follow l3");
             (l3.enables.input_a as u64 * s.a + l3.enables.input_b as u64 * s.b) * dbm
@@ -93,8 +96,8 @@ impl CostModel<'_> {
         // staging must fit next to the L2 working set.
         let wants_residency = logit_df.l3.is_some_and(|l3| l3.enables.output)
             && attend_df.l3.is_some_and(|l3| l3.enables.input_a);
-        let resident = wants_residency
-            && ws + l_input_req.max(a_side_req) + full_logit <= self.accel.sg;
+        let resident =
+            wants_residency && ws + l_input_req.max(a_side_req) + full_logit <= self.accel.sg;
 
         let frac = |req: Bytes, extra: Bytes| -> f64 {
             if req.is_zero() {
@@ -201,8 +204,16 @@ mod tests {
     #[test]
     fn base_is_memory_bound_on_edge() {
         let accel = Accelerator::edge();
-        let r = la(&accel, 512, &OperatorDataflow::baseline(Stationarity::Weight));
-        assert!(r.util() < 0.8, "Base L-A should be memory bound: {}", r.util());
+        let r = la(
+            &accel,
+            512,
+            &OperatorDataflow::baseline(Stationarity::Weight),
+        );
+        assert!(
+            r.util() < 0.8,
+            "Base L-A should be memory bound: {}",
+            r.util()
+        );
         assert!(r.util() > 0.1);
     }
 
@@ -211,13 +222,22 @@ mod tests {
     #[test]
     fn staged_m_with_huge_buffer_beats_base() {
         let accel = Accelerator::edge().with_sg(Bytes::from_gib(2));
-        let base = la(&accel, 512, &OperatorDataflow::baseline(Stationarity::Weight));
+        let base = la(
+            &accel,
+            512,
+            &OperatorDataflow::baseline(Stationarity::Weight),
+        );
         let staged = la(
             &accel,
             512,
             &OperatorDataflow::staged(Stationarity::Weight, Granularity::BatchMultiHead),
         );
-        assert!(staged.util() > base.util(), "{} <= {}", staged.util(), base.util());
+        assert!(
+            staged.util() > base.util(),
+            "{} <= {}",
+            staged.util(),
+            base.util()
+        );
         assert!(staged.traffic.offchip < base.traffic.offchip);
     }
 
@@ -226,13 +246,22 @@ mod tests {
     #[test]
     fn staged_m_with_small_buffer_loses_to_base() {
         let accel = Accelerator::edge();
-        let base = la(&accel, 512, &OperatorDataflow::baseline(Stationarity::Weight));
+        let base = la(
+            &accel,
+            512,
+            &OperatorDataflow::baseline(Stationarity::Weight),
+        );
         let staged = la(
             &accel,
             512,
             &OperatorDataflow::staged(Stationarity::Weight, Granularity::BatchMultiHead),
         );
-        assert!(staged.cycles >= base.cycles * 0.95, "{} vs {}", staged.cycles, base.cycles);
+        assert!(
+            staged.cycles >= base.cycles * 0.95,
+            "{} vs {}",
+            staged.cycles,
+            base.cycles
+        );
     }
 
     #[test]
@@ -241,7 +270,12 @@ mod tests {
         let df = OperatorDataflow::staged(Stationarity::Weight, Granularity::Head);
         let short = la(&accel, 4096, &df);
         let long = la(&accel, 65_536, &df);
-        assert!(long.util() < short.util(), "{} vs {}", long.util(), short.util());
+        assert!(
+            long.util() < short.util(),
+            "{} vs {}",
+            long.util(),
+            short.util()
+        );
     }
 
     #[test]

@@ -18,8 +18,11 @@ pub(crate) struct TensorStates {
 }
 
 impl TensorStates {
-    pub(crate) const STREAMED: TensorStates =
-        TensorStates { a: Staging::Streamed, b: Staging::Streamed, c: Staging::Streamed };
+    pub(crate) const STREAMED: TensorStates = TensorStates {
+        a: Staging::Streamed,
+        b: Staging::Streamed,
+        c: Staging::Streamed,
+    };
 }
 
 /// L3-slice sizes (elements) of a single operator at a granularity.
@@ -46,7 +49,11 @@ impl OpSlices {
         let gb = ceil_div(gemm.batch, iterations);
         OpSlices {
             a: gb * gemm.m * gemm.k,
-            b: if gemm.weight_shared { gemm.k * gemm.n } else { gb * gemm.k * gemm.n },
+            b: if gemm.weight_shared {
+                gemm.k * gemm.n
+            } else {
+                gb * gemm.k * gemm.n
+            },
             c: gb * gemm.m * gemm.n,
         }
     }
@@ -310,8 +317,11 @@ mod tests {
         let cm = CostModel::new(&tiny);
         let cfg = *block.config();
         let logit = block.operator(OpKind::Logit);
-        let base =
-            cm.operator_cost(logit, &OperatorDataflow::baseline(Stationarity::Weight), &cfg);
+        let base = cm.operator_cost(
+            logit,
+            &OperatorDataflow::baseline(Stationarity::Weight),
+            &cfg,
+        );
         let staged_m = cm.operator_cost(
             logit,
             &OperatorDataflow::staged(Stationarity::Weight, Granularity::BatchMultiHead),
@@ -334,7 +344,10 @@ mod tests {
         let with = CostModel::new(&accel).operator_cost(q, &df, &cfg);
         let without = CostModel::with_options(
             &accel,
-            crate::ModelOptions { double_buffered: false, ..Default::default() },
+            crate::ModelOptions {
+                double_buffered: false,
+                ..Default::default()
+            },
         )
         .operator_cost(q, &df, &cfg);
         assert!(with.cycles < without.cycles);
@@ -348,7 +361,12 @@ mod tests {
         for op in block.operators() {
             for stat in Stationarity::all() {
                 let r = cm.operator_cost(op, &OperatorDataflow::baseline(stat), &cfg);
-                assert!(r.util() > 0.0 && r.util() <= 1.0, "{}: {}", op.kind, r.util());
+                assert!(
+                    r.util() > 0.0 && r.util() <= 1.0,
+                    "{}: {}",
+                    op.kind,
+                    r.util()
+                );
             }
         }
     }

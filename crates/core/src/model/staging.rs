@@ -99,7 +99,13 @@ mod tests {
 
     #[test]
     fn fraction_is_clamped() {
-        assert_eq!(offchip_elems(10, 10, Staging::Staged { fraction: 7.0 }), 10.0);
-        assert_eq!(offchip_elems(10, 50, Staging::Staged { fraction: -3.0 }), 50.0);
+        assert_eq!(
+            offchip_elems(10, 10, Staging::Staged { fraction: 7.0 }),
+            10.0
+        );
+        assert_eq!(
+            offchip_elems(10, 50, Staging::Staged { fraction: -3.0 }),
+            50.0
+        );
     }
 }

@@ -35,13 +35,19 @@ impl Roofline {
     /// Roofline against the off-chip link (data streamed from DRAM).
     #[must_use]
     pub fn offchip(accel: &Accelerator) -> Self {
-        Roofline { peak_flops: accel.peak_flops(), bandwidth: accel.mem.offchip_bytes_per_s }
+        Roofline {
+            peak_flops: accel.peak_flops(),
+            bandwidth: accel.mem.offchip_bytes_per_s,
+        }
     }
 
     /// Roofline against the on-chip interconnect (data staged in the SG).
     #[must_use]
     pub fn onchip(accel: &Accelerator) -> Self {
-        Roofline { peak_flops: accel.peak_flops(), bandwidth: accel.mem.onchip_bytes_per_s }
+        Roofline {
+            peak_flops: accel.peak_flops(),
+            bandwidth: accel.mem.onchip_bytes_per_s,
+        }
     }
 
     /// Attainable performance (FLOP/s) at an operational intensity.
@@ -138,9 +144,8 @@ mod tests {
         let accel = Accelerator::edge();
         let b1 = block_roofline(&Model::bert().block(1, 512), &accel);
         let b64 = block_roofline(&Model::bert().block(64, 512), &accel);
-        let get = |pts: &[RooflinePoint], k: OpKind| {
-            pts.iter().find(|p| p.kind == k).unwrap().intensity
-        };
+        let get =
+            |pts: &[RooflinePoint], k: OpKind| pts.iter().find(|p| p.kind == k).unwrap().intensity;
         assert!(get(&b64, OpKind::Query) > get(&b1, OpKind::Query));
         let l1 = get(&b1, OpKind::Logit);
         let l64 = get(&b64, OpKind::Logit);

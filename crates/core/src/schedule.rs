@@ -144,26 +144,21 @@ impl CostModel<'_> {
                 // Re-derive the three sequential phases with their own
                 // reports so the timeline matches the cost function.
                 let cfg = *block.config();
-                let l_only = self.operator_cost(
-                    block.operator(flat_workloads::OpKind::Logit),
-                    logit,
-                    &cfg,
-                );
+                let l_only =
+                    self.operator_cost(block.operator(flat_workloads::OpKind::Logit), logit, &cfg);
                 let a_only = self.operator_cost(
                     block.operator(flat_workloads::OpKind::Attend),
                     attend,
                     &cfg,
                 );
                 let total = self.sequential_la_cost(block, logit, attend);
-                let softmax_cycles =
-                    (total.cycles - l_only.cycles - a_only.cycles).max(0.0);
+                let softmax_cycles = (total.cycles - l_only.cycles - a_only.cycles).max(0.0);
                 let mut phases = Vec::new();
                 let mut t = 0.0;
                 for (label, report) in [("L (logit)", &l_only), ("A (attend)", &a_only)] {
                     let off =
                         report.traffic.offchip.as_f64() / self.accel.offchip_bytes_per_cycle();
-                    let on =
-                        report.traffic.onchip.as_f64() / self.accel.onchip_bytes_per_cycle();
+                    let on = report.traffic.onchip.as_f64() / self.accel.onchip_bytes_per_cycle();
                     let compute = report.cycles - off.max(on).min(report.cycles);
                     if label == "A (attend)" && softmax_cycles > 0.0 {
                         phases.push(Phase {
@@ -184,7 +179,11 @@ impl CostModel<'_> {
                     });
                     t += report.cycles;
                 }
-                Schedule { dataflow: df.label(), phases, total }
+                Schedule {
+                    dataflow: df.label(),
+                    phases,
+                    total,
+                }
             }
             LaExecution::Fused(fused) => self.fused_schedule(block, fused, df.label()),
         }
@@ -203,16 +202,12 @@ impl CostModel<'_> {
         let per_iter = total.cycles / iters as f64;
 
         // Per-iteration resource times, reconstructed from totals.
-        let off = total.traffic.offchip.as_f64()
-            / self.accel.offchip_bytes_per_cycle()
-            / iters as f64;
-        let on = total.traffic.onchip.as_f64()
-            / self.accel.onchip_bytes_per_cycle()
-            / iters as f64;
+        let off =
+            total.traffic.offchip.as_f64() / self.accel.offchip_bytes_per_cycle() / iters as f64;
+        let on = total.traffic.onchip.as_f64() / self.accel.onchip_bytes_per_cycle() / iters as f64;
         let sfu = self.accel.sfu.softmax_cycles(s.intermediate) as f64;
         let l_sub = Gemm::new(s.groups, s.rows, cfg.dk(), cfg.seq_kv);
-        let compute = 2.0
-            * crate::gemm_compute(&l_sub, df.stationarity_l, self.accel).steps as f64;
+        let compute = 2.0 * crate::gemm_compute(&l_sub, df.stationarity_l, self.accel).steps as f64;
         let bound = classify(compute, on, off, sfu);
 
         let explicit = iters.min(3);
@@ -242,7 +237,11 @@ impl CostModel<'_> {
                 util: total.util(),
             });
         }
-        Schedule { dataflow: label, phases, total }
+        Schedule {
+            dataflow: label,
+            phases,
+            total,
+        }
     }
 }
 
@@ -281,11 +280,19 @@ mod tests {
     fn phases_are_contiguous_and_ordered() {
         let (accel, block) = setup();
         let cm = CostModel::new(&accel);
-        for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(32))] {
+        for df in [
+            BlockDataflow::base(),
+            BlockDataflow::flat(Granularity::Row(32)),
+        ] {
             let sched = cm.la_schedule(&block, &df);
             let mut t = 0.0;
             for p in &sched.phases {
-                assert!((p.start - t).abs() < 1e-6, "{}: gap at {}", df.label(), p.label);
+                assert!(
+                    (p.start - t).abs() < 1e-6,
+                    "{}: gap at {}",
+                    df.label(),
+                    p.label
+                );
                 assert!(p.end >= p.start);
                 t = p.end;
             }

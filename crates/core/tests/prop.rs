@@ -3,8 +3,8 @@
 
 use flat_arch::Accelerator;
 use flat_core::{
-    fused_footprint, BlockDataflow, CostModel, FusedDataflow, Granularity,
-    ModelOptions, OperatorDataflow, Stationarity,
+    fused_footprint, BlockDataflow, CostModel, FusedDataflow, Granularity, ModelOptions,
+    OperatorDataflow, Stationarity,
 };
 use flat_tensor::Bytes;
 use flat_workloads::{AttentionBlock, AttentionConfig};
@@ -14,12 +14,14 @@ use proptest::prelude::*;
 /// keep the runtime reasonable; the model accepts anything).
 fn configs() -> impl Strategy<Value = AttentionConfig> {
     (
-        1u64..=8,                       // batch (scaled down for speed)
+        1u64..=8,                                      // batch (scaled down for speed)
         prop::sample::select(vec![1u64, 2, 4, 8, 16]), // heads
         prop::sample::select(vec![64u64, 128, 256, 512, 1024, 4096]), // seq
         prop::sample::select(vec![256u64, 512, 1024, 2048]), // hidden
     )
-        .prop_filter("heads divide hidden", |(_, h, _, d)| d % h == 0 && d / h >= 8)
+        .prop_filter("heads divide hidden", |(_, h, _, d)| {
+            d % h == 0 && d / h >= 8
+        })
         .prop_map(|(b, h, n, d)| AttentionConfig::self_attention(b, h, n, d, 4 * d))
 }
 
@@ -217,8 +219,7 @@ proptest! {
 fn pinned_point_regression() {
     let accel = Accelerator::edge();
     let block = flat_workloads::Model::bert().block(64, 512);
-    let r = CostModel::new(&accel)
-        .fused_la_cost(&block, &FusedDataflow::new(Granularity::Row(64)));
+    let r = CostModel::new(&accel).fused_la_cost(&block, &FusedDataflow::new(Granularity::Row(64)));
     // Ideal cycles are exact by construction.
     assert_eq!(r.ideal_cycles, 2.0 * 64.0 * 512.0 * 512.0 * 768.0 / 1024.0);
     // Utilization band: recalibrate deliberately, not accidentally.

@@ -85,7 +85,11 @@ impl AccelClass {
         let dse = Dse::new(accel, &block);
         let (dataflow, per_block) = dse.best_block(self.space(), objective);
         let cost = per_block.repeat(model.blocks());
-        AccelEvaluation { class: *self, dataflow, cost }
+        AccelEvaluation {
+            class: *self,
+            dataflow,
+            cost,
+        }
     }
 
     /// Prices a *fixed* dataflow on the whole model (no search) — used for
@@ -99,7 +103,11 @@ impl AccelClass {
         dataflow: &BlockDataflow,
     ) -> AccelEvaluation {
         let cost = CostModel::new(accel).model_cost(model, batch, seq, dataflow);
-        AccelEvaluation { class: AccelClass::BaseAccel, dataflow: *dataflow, cost }
+        AccelEvaluation {
+            class: AccelClass::BaseAccel,
+            dataflow: *dataflow,
+            cost,
+        }
     }
 }
 

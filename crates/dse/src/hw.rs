@@ -45,8 +45,11 @@ impl HwSearchSpec {
         self.sg_options_kib
             .iter()
             .filter_map(|&sg_kib| {
-                let dim =
-                    self.area.pe_dim_for_budget(self.area_budget_mm2, sg_kib as f64, self.sfu_lanes)?;
+                let dim = self.area.pe_dim_for_budget(
+                    self.area_budget_mm2,
+                    sg_kib as f64,
+                    self.sfu_lanes,
+                )?;
                 let accel = Accelerator::builder(format!("hw-{sg_kib}k-{dim}x{dim}"))
                     .pe(dim, dim)
                     .sg(Bytes::from_kib(sg_kib))
@@ -115,7 +118,11 @@ pub fn best_hardware(
         .map(|hw| {
             let best = Dse::new(&hw.accel, block).best_la(space, objective);
             let useful = hw.accel.peak_macs_per_cycle() as f64 * best.report.util();
-            HwSearchResult { hw, report: best.report, useful_macs_per_cycle: useful }
+            HwSearchResult {
+                hw,
+                report: best.report,
+                useful_macs_per_cycle: useful,
+            }
         })
         .max_by(|a, b| {
             a.useful_macs_per_cycle
@@ -156,8 +163,7 @@ mod tests {
     fn flat_rebalances_area_toward_compute() {
         let spec = HwSearchSpec::edge_class(4.0);
         let block = Model::bert().block(64, 4096);
-        let base =
-            best_hardware(&spec, &block, SpaceKind::Sequential, Objective::MaxUtil).unwrap();
+        let base = best_hardware(&spec, &block, SpaceKind::Sequential, Objective::MaxUtil).unwrap();
         let flat = best_hardware(&spec, &block, SpaceKind::Full, Objective::MaxUtil).unwrap();
         assert!(
             flat.useful_macs_per_cycle > 1.2 * base.useful_macs_per_cycle,

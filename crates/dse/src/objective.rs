@@ -73,7 +73,10 @@ mod tests {
         CostReport {
             cycles,
             ideal_cycles: ideal,
-            energy: EnergyBreakdown { compute_pj: pj, ..Default::default() },
+            energy: EnergyBreakdown {
+                compute_pj: pj,
+                ..Default::default()
+            },
             footprint: Bytes::new(fp),
             ..Default::default()
         }
@@ -106,8 +109,6 @@ mod tests {
         let lean = report(100.0, 80.0, 1.0, 1024);
         let fat = report(100.0, 80.0, 1.0, 1 << 30);
         assert!(Objective::MinFootprint.score(&lean) > Objective::MinFootprint.score(&fat));
-        assert!(
-            Objective::UtilPerFootprint.score(&lean) > Objective::UtilPerFootprint.score(&fat)
-        );
+        assert!(Objective::UtilPerFootprint.score(&lean) > Objective::UtilPerFootprint.score(&fat));
     }
 }

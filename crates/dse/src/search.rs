@@ -2,6 +2,7 @@
 
 use crate::{la_points, others_points, Objective, SpaceKind};
 use flat_core::{BlockCost, BlockDataflow, CostModel, CostReport, LaExecution, OperatorDataflow};
+use flat_telemetry::{Event, TraceSink};
 use flat_workloads::{AttentionBlock, OpCategory, Scope};
 use serde::{Deserialize, Serialize};
 
@@ -55,7 +56,10 @@ impl<'a> Dse<'a> {
         let cm = CostModel::new(self.accel);
         points
             .par_iter()
-            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
+            .map(|&la| DesignPoint {
+                la,
+                report: cm.la_cost(self.block, &la),
+            })
             .collect()
     }
 
@@ -88,7 +92,10 @@ impl<'a> Dse<'a> {
         let cm = CostModel::new(self.accel);
         points
             .par_iter()
-            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
+            .map(|&la| DesignPoint {
+                la,
+                report: cm.la_cost(self.block, &la),
+            })
             .max_by(|a, b| {
                 objective
                     .score(&a.report)
@@ -96,6 +103,110 @@ impl<'a> Dse<'a> {
                     .expect("scores are finite")
             })
             .expect("design space is never empty")
+    }
+
+    /// [`explore_la`](Self::explore_la) with search-progress tracing:
+    /// candidates are still priced in parallel on the shared pool, then
+    /// the events are *replayed* serially in candidate-enumeration order
+    /// with the candidate index as the timestamp — so the trace is
+    /// byte-deterministic no matter how the pool interleaved the work.
+    ///
+    /// Per candidate: an `evaluate` span (utilization + scratchpad
+    /// footprint); a `pruned` instant when the footprint exceeds the
+    /// accelerator's scratchpad (the point could never be configured); an
+    /// `incumbent` instant whenever `objective`'s score strictly
+    /// improves; and one closing counter with the evaluated/pruned
+    /// totals.
+    #[must_use]
+    pub fn explore_la_traced(
+        &self,
+        space: SpaceKind,
+        objective: Objective,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<DesignPoint> {
+        let points = self.explore_la(space);
+        self.replay_search(&points, objective, sink);
+        points
+    }
+
+    /// [`best_la`](Self::best_la) with search-progress tracing (see
+    /// [`explore_la_traced`](Self::explore_la_traced)); the winner is
+    /// identical to the untraced search, ties and all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty (it never is for the provided
+    /// [`SpaceKind`]s).
+    #[must_use]
+    pub fn best_la_traced(
+        &self,
+        space: SpaceKind,
+        objective: Objective,
+        sink: &mut dyn TraceSink,
+    ) -> DesignPoint {
+        let points = self.explore_la(space);
+        let best = self.replay_search(&points, objective, sink);
+        points[best.expect("design space is never empty")]
+    }
+
+    /// Serial, deterministic replay of an evaluated candidate list into
+    /// the sink; returns the winning index under `objective` (the last
+    /// of any ties — exactly [`Iterator::max_by`]'s choice, so traced
+    /// and untraced searches agree).
+    fn replay_search(
+        &self,
+        points: &[DesignPoint],
+        objective: Objective,
+        sink: &mut dyn TraceSink,
+    ) -> Option<usize> {
+        let enabled = sink.enabled();
+        if enabled {
+            sink.record(Event::process_name(0, "flat-dse search"));
+            sink.record(Event::thread_name(0, 0, "candidates"));
+        }
+        let sg = self.accel.sg.as_u64();
+        let mut best: Option<(usize, f64)> = None;
+        let mut pruned_total = 0u64;
+        for (i, p) in points.iter().enumerate() {
+            let ts = i as f64;
+            let footprint = p.report.footprint.as_u64();
+            let pruned = footprint > sg;
+            if pruned {
+                pruned_total += 1;
+            }
+            let score = objective.score(&p.report);
+            let improved = best.is_none_or(|(_, s)| score > s);
+            if best.is_none_or(|(_, s)| score >= s) {
+                best = Some((i, score));
+            }
+            if enabled {
+                sink.record(
+                    Event::complete("evaluate", "dse", ts, 1.0, 0, 0)
+                        .arg("util", p.report.util())
+                        .arg("footprint_bytes", footprint),
+                );
+                if pruned {
+                    sink.record(
+                        Event::instant("pruned", "dse", ts, 0, 0).arg("footprint_bytes", footprint),
+                    );
+                }
+                if improved {
+                    sink.record(
+                        Event::instant("incumbent", "dse", ts, 0, 0)
+                            .arg("score", score)
+                            .arg("util", p.report.util()),
+                    );
+                }
+            }
+        }
+        if enabled {
+            sink.record(
+                Event::counter("dse_progress", "dse", points.len() as f64, 0, 0)
+                    .arg("evaluated", points.len() as u64)
+                    .arg("pruned", pruned_total),
+            );
+        }
+        best.map(|(i, _)| i)
     }
 
     /// Sampled search: evaluates `samples` uniformly drawn points instead
@@ -123,7 +234,10 @@ impl<'a> Dse<'a> {
         let cm = CostModel::new(self.accel);
         points
             .choose_multiple(&mut rng, samples.min(points.len()))
-            .map(|&la| DesignPoint { la, report: cm.la_cost(self.block, &la) })
+            .map(|&la| DesignPoint {
+                la,
+                report: cm.la_cost(self.block, &la),
+            })
             .max_by(|a, b| {
                 objective
                     .score(&a.report)
@@ -151,7 +265,10 @@ impl<'a> Dse<'a> {
                 (df, cost)
             })
             .max_by(|a, b| {
-                objective.score(&a.1).partial_cmp(&objective.score(&b.1)).expect("finite")
+                objective
+                    .score(&a.1)
+                    .partial_cmp(&objective.score(&b.1))
+                    .expect("finite")
             })
             .expect("others space is never empty")
     }
@@ -215,10 +332,12 @@ impl<'a> Dse<'a> {
 pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
     let mut sorted: Vec<DesignPoint> = points.to_vec();
     sorted.sort_by(|a, b| {
-        a.report
-            .footprint
-            .cmp(&b.report.footprint)
-            .then(b.report.util().partial_cmp(&a.report.util()).expect("finite"))
+        a.report.footprint.cmp(&b.report.footprint).then(
+            b.report
+                .util()
+                .partial_cmp(&a.report.util())
+                .expect("finite"),
+        )
     });
     let mut frontier: Vec<DesignPoint> = Vec::new();
     let mut best_util = f64::NEG_INFINITY;
@@ -308,16 +427,55 @@ mod tests {
     fn decoder_search_beats_fixed_base() {
         let accel = Accelerator::cloud();
         let block = flat_workloads::DecoderBlock::for_model(&Model::t5_small(), 64, 1024, 16_384);
-        let (df, best) = Dse::best_decoder_block(
-            &accel,
-            &block,
-            SpaceKind::Full,
-            Objective::MaxUtil,
-        );
+        let (df, best) =
+            Dse::best_decoder_block(&accel, &block, SpaceKind::Full, Objective::MaxUtil);
         let base = flat_core::CostModel::new(&accel)
             .decoder_block_cost(&block, &flat_core::BlockDataflow::base());
         assert!(df.la.is_fused(), "long encoder context demands fusion");
         assert!(best.cost.total().cycles < base.total().cycles * 0.6);
+    }
+
+    #[test]
+    fn traced_search_matches_untraced_and_is_deterministic() {
+        use flat_telemetry::MemorySink;
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let dse = Dse::new(&accel, &block);
+        let plain = dse.best_la(SpaceKind::Full, Objective::MaxUtil);
+        let mut sink = MemorySink::new();
+        let traced = dse.best_la_traced(SpaceKind::Full, Objective::MaxUtil, &mut sink);
+        assert_eq!(traced.la, plain.la, "tracing must not change the winner");
+        assert_eq!(traced.report.util(), plain.report.util());
+        // Progress events: every candidate evaluated, incumbents marked,
+        // one closing totals counter.
+        let evaluates = sink.events.iter().filter(|e| e.name == "evaluate").count();
+        assert_eq!(evaluates, dse.explore_la(SpaceKind::Full).len());
+        assert!(sink.events.iter().any(|e| e.name == "incumbent"));
+        assert_eq!(
+            sink.events.last().map(|e| e.name.as_str()),
+            Some("dse_progress")
+        );
+        // Replay order is enumeration order — byte-identical across runs
+        // despite the rayon evaluation.
+        let mut again = MemorySink::new();
+        let _ = dse.best_la_traced(SpaceKind::Full, Objective::MaxUtil, &mut again);
+        assert_eq!(sink.to_chrome_trace(), again.to_chrome_trace());
+    }
+
+    #[test]
+    fn traced_explore_returns_the_full_space() {
+        use flat_telemetry::NoopSink;
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let dse = Dse::new(&accel, &block);
+        let mut sink = NoopSink;
+        let traced = dse.explore_la_traced(SpaceKind::Fused, Objective::MaxUtil, &mut sink);
+        let plain = dse.explore_la(SpaceKind::Fused);
+        assert_eq!(traced.len(), plain.len());
+        assert!(traced
+            .iter()
+            .zip(&plain)
+            .all(|(a, b)| a.la == b.la && a.report.cycles == b.report.cycles));
     }
 
     #[test]

@@ -49,8 +49,16 @@ pub fn row_candidates(seq: u64) -> Vec<u64> {
 fn operand_enable_presets() -> Vec<OperandEnables> {
     vec![
         OperandEnables::all(),
-        OperandEnables { input_a: true, input_b: true, output: false },
-        OperandEnables { input_a: false, input_b: false, output: true },
+        OperandEnables {
+            input_a: true,
+            input_b: true,
+            output: false,
+        },
+        OperandEnables {
+            input_a: false,
+            input_b: false,
+            output: true,
+        },
     ]
 }
 
@@ -61,9 +69,21 @@ fn fused_enable_presets() -> Vec<FusedEnables> {
         FusedEnables::intermediate_only(),
         // Keep the reused K/V tiles and the intermediate; stream Q and O
         // (they are touched once anyway) — the lean footprint choice.
-        FusedEnables { query: false, key: true, value: true, output: false, intermediate: true },
+        FusedEnables {
+            query: false,
+            key: true,
+            value: true,
+            output: false,
+            intermediate: true,
+        },
         // Everything but the intermediate: what fusion-less staging buys.
-        FusedEnables { query: true, key: true, value: true, output: true, intermediate: false },
+        FusedEnables {
+            query: true,
+            key: true,
+            value: true,
+            output: true,
+            intermediate: false,
+        },
     ]
 }
 
@@ -96,9 +116,15 @@ fn sequential_points(space: SpaceKind) -> Vec<LaExecution> {
                 for enables in operand_enable_presets() {
                     let mk = |stat| OperatorDataflow {
                         stationarity: stat,
-                        l3: Some(flat_core::L3Config { granularity: gran, enables }),
+                        l3: Some(flat_core::L3Config {
+                            granularity: gran,
+                            enables,
+                        }),
                     };
-                    out.push(LaExecution::Sequential { logit: mk(stat_l), attend: mk(stat_a) });
+                    out.push(LaExecution::Sequential {
+                        logit: mk(stat_l),
+                        attend: mk(stat_a),
+                    });
                 }
             }
         }
@@ -121,7 +147,11 @@ fn fused_points(space: SpaceKind, seq: u64) -> Vec<LaExecution> {
             // array parallelism when dk underfills it.
             for &r in rows.iter().rev().take(2) {
                 for (batch_t, head_t) in [(1, 2), (1, 4), (2, 1), (4, 2)] {
-                    g.push(Granularity::Composite { batch_t, head_t, rows: r });
+                    g.push(Granularity::Composite {
+                        batch_t,
+                        head_t,
+                        rows: r,
+                    });
                 }
             }
             g

@@ -7,9 +7,15 @@ use flat_workloads::Model;
 use proptest::prelude::*;
 
 fn accels() -> impl Strategy<Value = Accelerator> {
-    (prop::sample::select(vec![16u64, 32, 64]), prop::sample::select(vec![128u64, 512, 4096]))
+    (
+        prop::sample::select(vec![16u64, 32, 64]),
+        prop::sample::select(vec![128u64, 512, 4096]),
+    )
         .prop_map(|(pe, sg)| {
-            Accelerator::builder("prop").pe(pe, pe).sg(Bytes::from_kib(sg)).build()
+            Accelerator::builder("prop")
+                .pe(pe, pe)
+                .sg(Bytes::from_kib(sg))
+                .build()
         })
 }
 

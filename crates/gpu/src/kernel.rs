@@ -39,9 +39,13 @@ impl GpuAttention {
 
         // Kernel 1: read Q,K; write S. Kernel 2: read+write S.
         // Kernel 3: read S,V; write O.
-        let k1 = gpu.compute_seconds(macs / 2.0).max(gpu.hbm_seconds(qkv - o + s));
+        let k1 = gpu
+            .compute_seconds(macs / 2.0)
+            .max(gpu.hbm_seconds(qkv - o + s));
         let k2 = gpu.hbm_seconds(2.0 * s);
-        let k3 = gpu.compute_seconds(macs / 2.0).max(gpu.hbm_seconds(s + o + o));
+        let k3 = gpu
+            .compute_seconds(macs / 2.0)
+            .max(gpu.hbm_seconds(s + o + o));
         let seconds = k1 + k2 + k3;
         let compute = gpu.compute_seconds(macs);
         GpuAttention {
@@ -87,13 +91,16 @@ impl GpuAttention {
         // (the FlashAttention IO term, Θ(N²·d / rows) per head).
         let row_groups = cfg.seq_q.div_ceil(rows);
         let kv_per_head = (2 * cfg.seq_kv * dk) as f64 * e;
-        let rereads = (cfg.batch * cfg.heads) as f64 * (row_groups.saturating_sub(1)) as f64
-            * kv_per_head;
+        let rereads =
+            (cfg.batch * cfg.heads) as f64 * (row_groups.saturating_sub(1)) as f64 * kv_per_head;
         // The L2 serves the re-reads of whatever heads' K/V it can hold
         // concurrently (one resident head per active SM is the demand).
         let l2_share = gpu.l2.as_f64() / gpu.sms as f64;
-        let (l2_bytes, hbm_rereads) =
-            if kv_per_head <= l2_share { (rereads, 0.0) } else { (0.0, rereads) };
+        let (l2_bytes, hbm_rereads) = if kv_per_head <= l2_share {
+            (rereads, 0.0)
+        } else {
+            (0.0, rereads)
+        };
 
         let hbm_bytes = qkv + o + hbm_rereads;
         let hbm = gpu.hbm_seconds(hbm_bytes);
@@ -226,10 +233,15 @@ mod tests {
         let cfg = flat_workloads::Model::bert().decode_step(64, 16_384);
         let r = GpuAttention::decode_step(&gpu, cfg.config());
         assert!(r.hbm_seconds > r.compute_seconds);
-        assert!(r.efficiency < 0.1, "decode cannot approach peak: {}", r.efficiency);
+        assert!(
+            r.efficiency < 0.1,
+            "decode cannot approach peak: {}",
+            r.efficiency
+        );
         // But the absolute time is tiny relative to a prefill of the same
         // context.
-        let prefill = GpuAttention::fused_best(&gpu, &flat_workloads::Model::bert().config(64, 16_384));
+        let prefill =
+            GpuAttention::fused_best(&gpu, &flat_workloads::Model::bert().config(64, 16_384));
         assert!(r.seconds < prefill.seconds / 50.0);
     }
 

@@ -82,12 +82,23 @@ impl MultiHeadInput {
         let mut rng = StdRng::seed_from_u64(seed);
         let groups = batch * heads;
         let gen = |rows: usize, rng: &mut StdRng| {
-            (0..groups).map(|_| Mat::random(rows, dk, rng)).collect::<Vec<_>>()
+            (0..groups)
+                .map(|_| Mat::random(rows, dk, rng))
+                .collect::<Vec<_>>()
         };
         let q = gen(seq_q, &mut rng);
         let k = gen(seq_kv, &mut rng);
         let v = gen(seq_kv, &mut rng);
-        MultiHeadInput { batch, heads, seq_q, seq_kv, dk, q, k, v }
+        MultiHeadInput {
+            batch,
+            heads,
+            seq_q,
+            seq_kv,
+            dk,
+            q,
+            k,
+            v,
+        }
     }
 
     /// Number of (batch, head) groups.
@@ -125,7 +136,11 @@ pub fn naive_attention(input: &MultiHeadInput, mask: Mask) -> Vec<Mat> {
             let mut logits = input.q[g].matmul_transposed(&input.k[g]);
             for i in 0..logits.rows() {
                 for (j, x) in logits.row_mut(i).iter_mut().enumerate() {
-                    *x = if mask.allows(i, j) { *x * scale } else { f32::NEG_INFINITY };
+                    *x = if mask.allows(i, j) {
+                        *x * scale
+                    } else {
+                        f32::NEG_INFINITY
+                    };
                 }
             }
             for i in 0..logits.rows() {

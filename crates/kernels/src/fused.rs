@@ -66,7 +66,11 @@ pub(crate) fn flat_attention_group(
         for i in 0..tile.rows() {
             let qi = row_lo + i;
             for (j, x) in tile.row_mut(i).iter_mut().enumerate() {
-                *x = if mask.allows(qi, j) { *x * scale } else { f32::NEG_INFINITY };
+                *x = if mask.allows(qi, j) {
+                    *x * scale
+                } else {
+                    f32::NEG_INFINITY
+                };
             }
         }
         // SFU: softmax inside the on-chip slice.

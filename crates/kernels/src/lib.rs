@@ -51,9 +51,11 @@ pub(crate) use fused::flat_attention_group;
 pub use attention::{naive_attention, Mask, MultiHeadInput};
 pub use decode::decode_attention;
 pub use fused::flat_attention;
-pub use parallel::parallel_flat_attention;
-pub use instrumented::{instrumented_flat_attention, ExecutionStats};
+pub use instrumented::{
+    instrumented_flat_attention, instrumented_flat_attention_traced, ExecutionStats,
+};
 pub use mat::Mat;
+pub use parallel::parallel_flat_attention;
 pub use precision::{online_softmax_bf16, round_bf16, softmax_error, softmax_row_bf16};
 pub use quantized::{quantized_flat_attention, QuantizedMat};
 pub use softmax::{softmax_row, OnlineSoftmax};

@@ -66,7 +66,11 @@ impl Mat {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A matrix filled by `f(row, col)`.
@@ -112,7 +116,10 @@ impl Mat {
     /// Panics if out of bounds.
     #[must_use]
     pub fn at(&self, i: usize, j: usize) -> f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -122,7 +129,10 @@ impl Mat {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, i: usize, j: usize, v: f32) {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         self.data[i * self.cols + j] = v;
     }
 
@@ -146,7 +156,14 @@ impl Mat {
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = Mat::zeros(self.rows, other.cols);
-        gemm(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
+        gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
@@ -161,10 +178,20 @@ impl Mat {
     pub fn matmul_into(&self, other: &Mat, out: &mut Mat, at_row: usize) {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         assert_eq!(out.cols, other.cols, "output width must match");
-        assert!(at_row + self.rows <= out.rows, "destination rows out of bounds");
+        assert!(
+            at_row + self.rows <= out.rows,
+            "destination rows out of bounds"
+        );
         let dst = &mut out.data[at_row * out.cols..(at_row + self.rows) * out.cols];
         dst.fill(0.0);
-        gemm(&self.data, self.rows, self.cols, &other.data, other.cols, dst);
+        gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            dst,
+        );
     }
 
     /// `self · otherᵀ` — the Logit operator's shape (`[m, k] × [n, k]ᵀ`).
@@ -250,7 +277,11 @@ impl Mat {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn max_abs_diff(&self, other: &Mat) -> f32 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -296,7 +327,10 @@ fn gemm(a: &[f32], m: usize, kdim: usize, b: &[f32], n: usize, c: &mut [f32]) {
                 let a2 = a[(i + 2) * kdim + l];
                 let a3 = a[(i + 3) * kdim + l];
                 let brow = &b[l * n..(l + 1) * n];
-                let rows = c0.iter_mut().zip(c1.iter_mut()).zip(c2.iter_mut().zip(c3.iter_mut()));
+                let rows = c0
+                    .iter_mut()
+                    .zip(c1.iter_mut())
+                    .zip(c2.iter_mut().zip(c3.iter_mut()));
                 for (((r0, r1), (r2, r3)), &bv) in rows.zip(brow) {
                     *r0 = a0.mul_add(bv, *r0);
                     *r1 = a1.mul_add(bv, *r1);
@@ -399,7 +433,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         // Shapes straddling every blocking boundary: row panels (MR=4),
         // contraction blocks (KC=256), dot lanes (LANES=8).
-        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (4, 8, 4), (5, 9, 7), (13, 300, 6), (8, 257, 3)] {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 8, 4),
+            (5, 9, 7),
+            (13, 300, 6),
+            (8, 257, 3),
+        ] {
             let a = Mat::random(m, k, &mut rng);
             let b = Mat::random(k, n, &mut rng);
             let d = a.matmul(&b).max_abs_diff(&naive_matmul(&a, &b));
@@ -410,10 +451,19 @@ mod tests {
     #[test]
     fn blocked_transposed_matches_naive_on_awkward_shapes() {
         let mut rng = StdRng::seed_from_u64(12);
-        for (m, n, k) in [(1, 1, 1), (3, 2, 5), (4, 4, 8), (5, 7, 9), (6, 13, 300), (9, 2, 17)] {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 2, 5),
+            (4, 4, 8),
+            (5, 7, 9),
+            (6, 13, 300),
+            (9, 2, 17),
+        ] {
             let a = Mat::random(m, k, &mut rng);
             let b = Mat::random(n, k, &mut rng);
-            let d = a.matmul_transposed(&b).max_abs_diff(&naive_matmul(&a, &b.transpose()));
+            let d = a
+                .matmul_transposed(&b)
+                .max_abs_diff(&naive_matmul(&a, &b.transpose()));
             assert!(d < 1e-4, "({m},{n},{k}): diff {d}");
         }
     }

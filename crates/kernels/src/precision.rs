@@ -9,7 +9,6 @@
 //! measurable, which is a concrete numerical argument for the paper's
 //! choice of row granularity.
 
-
 /// Rounds an `f32` to bfloat16 precision (8-bit mantissa,
 /// round-to-nearest-even), returned as `f32`.
 ///

@@ -26,7 +26,11 @@ impl QuantizedMat {
         QuantizedMat {
             rows: m.rows(),
             cols: m.cols(),
-            data: m.as_slice().iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect(),
+            data: m
+                .as_slice()
+                .iter()
+                .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+                .collect(),
             scale,
         }
     }
@@ -116,7 +120,11 @@ pub fn quantized_flat_attention(
                         tile.set(
                             i,
                             j,
-                            if mask.allows(row_lo + i, j) { val } else { f32::NEG_INFINITY },
+                            if mask.allows(row_lo + i, j) {
+                                val
+                            } else {
+                                f32::NEG_INFINITY
+                            },
                         );
                     }
                 }

@@ -43,7 +43,12 @@ fn lane_max(row: &[f32]) -> f32 {
             *acc = acc.max(x);
         }
     }
-    let tail = row.chunks_exact(8).remainder().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let tail = row
+        .chunks_exact(8)
+        .remainder()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     lanes.iter().copied().fold(tail, f32::max)
 }
 
@@ -89,7 +94,10 @@ impl OnlineSoftmax {
     /// Fresh state: no elements absorbed yet.
     #[must_use]
     pub fn new() -> Self {
-        OnlineSoftmax { max: f32::NEG_INFINITY, sum: 0.0 }
+        OnlineSoftmax {
+            max: f32::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Absorbs a chunk of logits and returns the factor by which all
@@ -102,7 +110,11 @@ impl OnlineSoftmax {
         if new_max == f32::NEG_INFINITY {
             return 1.0;
         }
-        let scale = if self.max == f32::NEG_INFINITY { 1.0 } else { (self.max - new_max).exp() };
+        let scale = if self.max == f32::NEG_INFINITY {
+            1.0
+        } else {
+            (self.max - new_max).exp()
+        };
         self.sum *= scale;
         self.max = new_max;
         for &x in chunk {

@@ -36,7 +36,10 @@ pub fn streaming_attention(
     kv_tile: usize,
     mask: Mask,
 ) -> Vec<Mat> {
-    assert!(rows_per_tile > 0 && kv_tile > 0, "tile extents must be positive");
+    assert!(
+        rows_per_tile > 0 && kv_tile > 0,
+        "tile extents must be positive"
+    );
     let scale = input.scale();
     (0..input.groups())
         .map(|g| {

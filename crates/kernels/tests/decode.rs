@@ -6,9 +6,7 @@
 //! the equivalence holds regardless of how the KV rows are grouped in
 //! memory — the property the paged cache relies on.
 
-use flat_kernels::{
-    decode_attention, naive_attention, streaming_attention, Mask, MultiHeadInput,
-};
+use flat_kernels::{decode_attention, naive_attention, streaming_attention, Mask, MultiHeadInput};
 use proptest::prelude::*;
 
 /// Yields the first `len` K/V rows of group 0 in `block`-sized chunks,
@@ -18,9 +16,9 @@ fn paged_rows(
     len: usize,
     block: usize,
 ) -> impl Iterator<Item = (&[f32], &[f32])> {
-    (0..len)
-        .step_by(block)
-        .flat_map(move |lo| (lo..(lo + block).min(len)).map(|j| (input.k[0].row(j), input.v[0].row(j))))
+    (0..len).step_by(block).flat_map(move |lo| {
+        (lo..(lo + block).min(len)).map(|j| (input.k[0].row(j), input.v[0].row(j)))
+    })
 }
 
 fn dims() -> impl Strategy<Value = (usize, usize, u64)> {
@@ -105,7 +103,11 @@ fn block_boundary_prefixes_match_naive() {
         let input = MultiHeadInput::random(1, 1, seq, seq, dk, 0xB10C + seq as u64);
         let exact = naive_attention(&input, Mask::Causal);
         let i = seq - 1;
-        let out = decode_attention(input.q[0].row(i), paged_rows(&input, seq, 16), input.scale());
+        let out = decode_attention(
+            input.q[0].row(i),
+            paged_rows(&input, seq, 16),
+            input.scale(),
+        );
         for (j, &o) in out.iter().enumerate() {
             assert!((o - exact[0].at(i, j)).abs() < 1e-4, "seq {seq} col {j}");
         }

@@ -11,7 +11,14 @@ use proptest::prelude::*;
 
 fn dims() -> impl Strategy<Value = (usize, usize, usize, usize, usize, u64)> {
     // (batch, heads, seq_q, seq_kv, dk, seed)
-    (1usize..3, 1usize..4, 1usize..24, 1usize..24, 1usize..12, any::<u64>())
+    (
+        1usize..3,
+        1usize..4,
+        1usize..24,
+        1usize..24,
+        1usize..12,
+        any::<u64>(),
+    )
 }
 
 proptest! {

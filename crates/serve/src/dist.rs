@@ -31,6 +31,7 @@ use crate::metrics::ServeMetrics;
 use crate::request::RequestSpec;
 use flat_arch::Accelerator;
 use flat_dist::{Fabric, Link, Partition, Topology};
+use flat_telemetry::TraceSink;
 use flat_workloads::{AttentionConfig, Model};
 use serde::Serialize;
 
@@ -139,6 +140,38 @@ impl DistPlane {
                 .sum::<f64>()
     }
 
+    /// Per-collective breakdown of one tick's fabric work, for the trace:
+    /// each call kind becomes one slice per chip lane, with its batched
+    /// duration, logical payload, and link energy. The slice durations
+    /// sum to exactly [`collective_s`](Self::collective_s) for the same
+    /// token count, so traced ticks close flush with the virtual clock.
+    pub(crate) fn collective_slices(&self, tokens: u64) -> Vec<CollectiveSlice> {
+        if tokens == 0 || self.per_token_calls.is_empty() {
+            return Vec::new();
+        }
+        self.per_token_calls
+            .iter()
+            .map(|c| {
+                let batched = flat_dist::CollectiveCall {
+                    op: c.op,
+                    bytes: c.bytes.saturating_mul(tokens),
+                };
+                CollectiveSlice {
+                    op: match c.op {
+                        flat_dist::CollectiveOp::AllReduce => "all-reduce",
+                        flat_dist::CollectiveOp::AllGather => "all-gather",
+                        flat_dist::CollectiveOp::ReduceScatter => "reduce-scatter",
+                    },
+                    dur_s: self.layers as f64 * batched.cost_s(&self.fabric),
+                    bytes: batched.bytes.saturating_mul(self.layers),
+                    energy_pj: self.layers as f64
+                        * batched.traversed_bytes(&self.fabric)
+                        * self.fabric.link.pj_per_byte,
+                }
+            })
+            .collect()
+    }
+
     /// Records this tick's pool usage against the round-robin striping:
     /// shard `s` holds `used/chips` blocks plus one more if `s` is under
     /// the remainder.
@@ -149,6 +182,20 @@ impl DistPlane {
             *peak = (*peak).max(share);
         }
     }
+}
+
+/// One tick's worth of a single collective kind, ready to stamp on each
+/// chip's trace lane.
+#[derive(Debug, Clone)]
+pub(crate) struct CollectiveSlice {
+    /// Operation label (`all-reduce`, `all-gather`, `reduce-scatter`).
+    pub(crate) op: &'static str,
+    /// Fabric seconds for the batched call across all model layers.
+    pub(crate) dur_s: f64,
+    /// Logical payload carried, in bytes (all layers).
+    pub(crate) bytes: u64,
+    /// Link energy charged by the traversed-bytes model, in picojoules.
+    pub(crate) energy_pj: f64,
 }
 
 /// [`ServeMetrics`] plus the cluster-level view.
@@ -195,13 +242,34 @@ pub fn serve_dist(
     cfg: &EngineConfig,
     dist: &DistServeConfig,
 ) -> Result<DistServeMetrics, ServeError> {
+    let mut sink = flat_telemetry::NoopSink;
+    serve_dist_traced(accel, model, workload, cfg, dist, &mut sink)
+}
+
+/// [`serve_dist`], recording the run into a [`TraceSink`]: everything
+/// the single-chip trace carries, plus one process lane per chip with
+/// the tick's collective slices (operation, payload bytes, link energy)
+/// on its fabric thread — stamped on the same deterministic virtual
+/// clock, so fixed seeds yield byte-identical traces.
+///
+/// # Errors
+///
+/// As [`serve_dist`].
+pub fn serve_dist_traced(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    dist: &DistServeConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<DistServeMetrics, ServeError> {
     if dist.chips == 0 {
         return Err(ServeError::InvalidConfig(
             "a cluster needs at least one chip".to_owned(),
         ));
     }
     let plane = DistPlane::new(model, dist);
-    let (serve, plane) = run_dist_engine(accel, model, workload, cfg, plane)?;
+    let (serve, plane) = run_dist_engine(accel, model, workload, cfg, plane, sink)?;
     let shard_capacity = (serve.kv.total_blocks / dist.chips).max(1);
     let per_shard_kv_peak_occupancy = plane
         .per_shard_peak

@@ -27,7 +27,7 @@
 //! surface as [`ServeError`]s; and a scheduler that stops making progress
 //! trips a tick cap into [`ServeError::Livelock`] instead of hanging.
 
-use crate::dist::DistPlane;
+use crate::dist::{CollectiveSlice, DistPlane};
 use crate::error::{DropReason, ServeError};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::kv::{KvLayout, KvPool};
@@ -35,12 +35,19 @@ use crate::metrics::{KvPoolStats, ServeMetrics};
 use crate::request::{Phase, Request, RequestSpec};
 use flat_arch::Accelerator;
 use flat_kernels::decode_attention;
+use flat_telemetry::{Event, NoopSink, TraceSink};
 use flat_tensor::Bytes;
 use flat_workloads::Model;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::VecDeque;
+
+/// The engine's process lane in exported traces; chips are `1 + chip`.
+pub(crate) const TRACE_PID_ENGINE: u32 = 0;
+
+/// Milliseconds (the engine clock) to microseconds (the trace clock).
+const US_PER_MS: f64 = 1e3;
 
 /// Scheduler and execution knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +135,50 @@ pub fn serve(
     serve_with_faults(accel, model, workload, cfg, None)
 }
 
+/// [`serve`], recording the run into a [`TraceSink`]: per-request
+/// lifecycle spans (queued → prefill chunks → decode steps →
+/// finished/dropped/preempted) and per-tick KV/queue counter tracks, all
+/// stamped on the deterministic virtual clock — so for a fixed workload
+/// and seed the trace is byte-reproducible. With a
+/// [`NoopSink`] this is exactly [`serve`]: the sink is
+/// consulted before any event is built, and the metrics are untouched
+/// either way (a test diffs the JSON).
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_traced(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<ServeMetrics, ServeError> {
+    serve_with_faults_traced(accel, model, workload, cfg, None, sink)
+}
+
+/// [`serve_with_faults`] with a [`TraceSink`] attached — chaos runs are
+/// traceable too (fault-injected clock skew lands in the trace exactly
+/// as it lands in the metrics).
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_with_faults_traced(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    faults: Option<FaultPlan>,
+    sink: &mut dyn TraceSink,
+) -> Result<ServeMetrics, ServeError> {
+    Ok(
+        Engine::new(accel, model, workload, cfg, faults, None, sink)?
+            .run()?
+            .0,
+    )
+}
+
 /// [`serve`], with a seeded [`FaultPlan`] injecting mid-run failures —
 /// the chaos-testing entry point. `faults: None` is exactly [`serve`].
 ///
@@ -143,9 +194,8 @@ pub fn serve_with_faults(
     cfg: &EngineConfig,
     faults: Option<FaultPlan>,
 ) -> Result<ServeMetrics, ServeError> {
-    Ok(Engine::new(accel, model, workload, cfg, faults, None)?
-        .run()?
-        .0)
+    let mut sink = NoopSink;
+    serve_with_faults_traced(accel, model, workload, cfg, faults, &mut sink)
 }
 
 /// Runs the engine with a distributed plane attached: the cluster's
@@ -158,8 +208,10 @@ pub(crate) fn run_dist_engine(
     workload: &[RequestSpec],
     cfg: &EngineConfig,
     plane: DistPlane,
+    sink: &mut dyn TraceSink,
 ) -> Result<(ServeMetrics, DistPlane), ServeError> {
-    let (metrics, plane) = Engine::new(accel, model, workload, cfg, None, Some(plane))?.run()?;
+    let (metrics, plane) =
+        Engine::new(accel, model, workload, cfg, None, Some(plane), sink)?.run()?;
     match plane {
         Some(p) => Ok((metrics, p)),
         None => Err(ServeError::Internal(
@@ -168,7 +220,7 @@ pub(crate) fn run_dist_engine(
     }
 }
 
-struct Engine {
+struct Engine<'t> {
     cfg: EngineConfig,
     layout: KvLayout,
     pool: KvPool,
@@ -190,6 +242,16 @@ struct Engine {
     prefill_tokens: u64,
     /// Time-weighted block usage (block·ms) for mean occupancy.
     occ_block_ms: f64,
+    /// Where trace events go; [`NoopSink`] on untraced runs, and every
+    /// emission site checks `enabled()` before building an event.
+    sink: &'t mut dyn TraceSink,
+    /// This tick's work slices, buffered until the tick is priced (the
+    /// span duration is only known after costing).
+    pending: Vec<PendingSlice>,
+    /// Cumulative preemptions, for the scheduler counter track.
+    preempt_total: u64,
+    /// Cumulative deadline sheds, for the scheduler counter track.
+    shed_deadline_total: u64,
     // Accounting-plane constants.
     weight_bytes: f64,
     weight_macs_per_token: f64,
@@ -197,6 +259,23 @@ struct Engine {
     attn_macs_per_ctx_token: f64,
     peak_flops: f64,
     offchip_bytes_per_s: f64,
+}
+
+/// One request's work inside a tick, waiting for the tick's price to
+/// become a complete span.
+#[derive(Debug, Clone, Copy)]
+struct PendingSlice {
+    id: usize,
+    /// `"prefill"` or `"decode"`.
+    kind: &'static str,
+    tokens: u64,
+    /// Context length attended (decode only).
+    ctx: u64,
+}
+
+/// Request lanes start at tid 1; tid 0 is the scheduler/counter lane.
+fn req_tid(id: usize) -> u64 {
+    1 + id as u64
 }
 
 /// Fixed per-tick scheduling overhead (kernel launches, batching) in
@@ -214,7 +293,7 @@ fn sched_order(a: &RequestSpec, b: &RequestSpec) -> Ordering {
     a.arrival_ms.total_cmp(&b.arrival_ms).then(a.id.cmp(&b.id))
 }
 
-impl Engine {
+impl<'t> Engine<'t> {
     fn new(
         accel: &Accelerator,
         model: &Model,
@@ -222,6 +301,7 @@ impl Engine {
         cfg: &EngineConfig,
         faults: Option<FaultPlan>,
         dist: Option<DistPlane>,
+        sink: &'t mut dyn TraceSink,
     ) -> Result<Self, ServeError> {
         if workload.is_empty() {
             return Err(ServeError::EmptyWorkload);
@@ -253,6 +333,32 @@ impl Engine {
             }
         }
         incoming.sort_by(|a, b| sched_order(&a.spec, &b.spec));
+        if sink.enabled() {
+            sink.record(Event::process_name(TRACE_PID_ENGINE, "flat-serve engine"));
+            sink.record(Event::thread_name(TRACE_PID_ENGINE, 0, "scheduler"));
+            let chips = dist.as_ref().map_or(1, DistPlane::chips);
+            if chips > 1 {
+                for c in 0..chips {
+                    let pid = 1 + c as u32;
+                    sink.record(Event::process_name(pid, &format!("chip {c}")));
+                    sink.record(Event::thread_name(pid, 0, "fabric"));
+                }
+            }
+            // Corrupt specs never enter the queues: a lone instant marker
+            // is their whole lifecycle.
+            for r in &dropped {
+                sink.record(
+                    Event::instant(
+                        "dropped",
+                        "request",
+                        r.drop_ms.unwrap_or(0.0) * US_PER_MS,
+                        TRACE_PID_ENGINE,
+                        req_tid(r.spec.id),
+                    )
+                    .arg("reason", "corrupt-spec"),
+                );
+            }
+        }
         let h = model.hidden() as f64;
         Ok(Engine {
             cfg: *cfg,
@@ -270,6 +376,10 @@ impl Engine {
             ticks: 0,
             prefill_tokens: 0,
             occ_block_ms: 0.0,
+            sink,
+            pending: Vec::new(),
+            preempt_total: 0,
+            shed_deadline_total: 0,
             weight_bytes: 2.0 * model_params(model),
             weight_macs_per_token: model_params(model),
             kv_bytes_per_token: layout.bytes_per_token.as_f64(),
@@ -302,6 +412,7 @@ impl Engine {
             self.admit_waiting();
             let work = self.execute_tick();
             let mut cost_s = self.tick_cost_s(&work);
+            let mut coll_slices: Vec<CollectiveSlice> = Vec::new();
             if let Some(plane) = self.dist.as_mut() {
                 // Collective time rides the same virtual clock as
                 // compute: the tick is not done until the fabric is.
@@ -311,18 +422,26 @@ impl Engine {
                 plane.fabric_busy_ms += coll_s * 1e3;
                 plane.payload_bytes += payload;
                 cost_s += coll_s;
+                if self.sink.enabled() {
+                    coll_slices = plane.collective_slices(tokens);
+                }
             }
             let skew = self
                 .injector
                 .as_mut()
                 .map_or(1.0, FaultInjector::skew_factor);
             let dt_ms = cost_s * 1e3 * skew;
+            let tick_start_ms = self.now_ms;
             let stamp = self.now_ms + dt_ms;
             self.now_ms = stamp;
             self.occ_block_ms += self.pool.used_blocks() as f64 * dt_ms;
             if let Some(plane) = self.dist.as_mut() {
                 plane.observe_used_blocks(self.pool.used_blocks());
             }
+            if self.sink.enabled() {
+                self.flush_tick_events(tick_start_ms, stamp, dt_ms, skew, &coll_slices);
+            }
+            self.pending.clear();
             self.retire_and_requeue(stamp);
         }
         let total_blocks = self.pool.total_blocks();
@@ -353,6 +472,65 @@ impl Engine {
         ))
     }
 
+    /// Emits this tick's trace events: the buffered per-request work
+    /// slices as complete spans covering the whole tick, the per-chip
+    /// collective slices packed against the tick's end, and the KV /
+    /// queue / scheduler counter samples at the tick's close. Only called
+    /// when the sink is enabled.
+    fn flush_tick_events(
+        &mut self,
+        tick_start_ms: f64,
+        stamp_ms: f64,
+        dt_ms: f64,
+        skew: f64,
+        coll: &[CollectiveSlice],
+    ) {
+        let ts = tick_start_ms * US_PER_MS;
+        let dur = dt_ms * US_PER_MS;
+        for s in &self.pending {
+            let mut ev =
+                Event::complete(s.kind, "request", ts, dur, TRACE_PID_ENGINE, req_tid(s.id))
+                    .arg("tokens", s.tokens);
+            if s.kind == "decode" {
+                ev = ev.arg("ctx_tokens", s.ctx);
+            }
+            self.sink.record(ev);
+        }
+        // Collectives close flush with the tick: stack the slices (skew
+        // scales them exactly as it scaled the tick) back from `stamp`.
+        let chips = self.dist.as_ref().map_or(0, DistPlane::chips);
+        let total_us: f64 = coll.iter().map(|s| s.dur_s * 1e3 * US_PER_MS * skew).sum();
+        let mut t0 = stamp_ms * US_PER_MS - total_us;
+        for s in coll {
+            let d = s.dur_s * 1e3 * US_PER_MS * skew;
+            for chip in 0..chips {
+                self.sink.record(
+                    Event::complete(s.op, "collective", t0, d, 1 + chip as u32, 0)
+                        .arg("bytes", s.bytes)
+                        .arg("energy_pj", s.energy_pj),
+                );
+            }
+            t0 += d;
+        }
+        let end = stamp_ms * US_PER_MS;
+        self.sink.record(
+            Event::counter("kv_blocks", "engine", end, TRACE_PID_ENGINE, 0)
+                .arg("used", self.pool.used_blocks() as u64)
+                .arg("free", self.pool.free_blocks() as u64),
+        );
+        self.sink.record(
+            Event::counter("queues", "engine", end, TRACE_PID_ENGINE, 0)
+                .arg("running", self.running.len() as u64)
+                .arg("waiting", self.waiting.len() as u64),
+        );
+        self.sink.record(
+            Event::counter("sched", "engine", end, TRACE_PID_ENGINE, 0)
+                .arg("preemptions", self.preempt_total)
+                .arg("shed_deadline", self.shed_deadline_total)
+                .arg("dropped", self.dropped.len() as u64),
+        );
+    }
+
     /// Moves arrived requests into the waiting queue (both are
     /// arrival-sorted, so this is a prefix splice).
     fn admit_arrivals(&mut self) {
@@ -362,6 +540,24 @@ impl Engine {
             .is_some_and(|r| r.spec.arrival_ms <= self.now_ms)
         {
             if let Some(r) = self.incoming.pop_front() {
+                if self.sink.enabled() {
+                    let tid = req_tid(r.spec.id);
+                    let ts = r.spec.arrival_ms * US_PER_MS;
+                    self.sink.record(Event::thread_name(
+                        TRACE_PID_ENGINE,
+                        tid,
+                        &format!("req {}", r.spec.id),
+                    ));
+                    self.sink.record(Event::begin(
+                        "request",
+                        "request",
+                        ts,
+                        TRACE_PID_ENGINE,
+                        tid,
+                    ));
+                    self.sink
+                        .record(Event::begin("queued", "request", ts, TRACE_PID_ENGINE, tid));
+                }
                 self.waiting.push_back(r);
             }
         }
@@ -380,6 +576,8 @@ impl Engine {
             if expired {
                 if let Some(mut r) = self.waiting.remove(i) {
                     r.mark_dropped(DropReason::DeadlineExceeded, now);
+                    self.shed_deadline_total += 1;
+                    self.trace_queue_drop(r.spec.id, DropReason::DeadlineExceeded, now);
                     self.dropped.push(r);
                 }
             } else {
@@ -392,8 +590,28 @@ impl Engine {
     fn drop_front_waiting(&mut self, reason: DropReason) {
         if let Some(mut r) = self.waiting.pop_front() {
             r.mark_dropped(reason, self.now_ms);
+            self.trace_queue_drop(r.spec.id, reason, self.now_ms);
             self.dropped.push(r);
         }
+    }
+
+    /// Closes a queued request's open spans with a drop marker: the
+    /// queued span ends, the drop reason lands as an instant, and the
+    /// request span closes — keeping every lane B/E-balanced.
+    fn trace_queue_drop(&mut self, id: usize, reason: DropReason, now_ms: f64) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let tid = req_tid(id);
+        let ts = now_ms * US_PER_MS;
+        self.sink
+            .record(Event::end("queued", "request", ts, TRACE_PID_ENGINE, tid));
+        self.sink.record(
+            Event::instant("dropped", "request", ts, TRACE_PID_ENGINE, tid)
+                .arg("reason", reason.to_string().as_str()),
+        );
+        self.sink
+            .record(Event::end("request", "request", ts, TRACE_PID_ENGINE, tid));
     }
 
     /// FIFO admission under backpressure: the queue head starts prefill
@@ -423,6 +641,15 @@ impl Engine {
                 break;
             }
             if let Some(mut r) = self.waiting.pop_front() {
+                if self.sink.enabled() {
+                    self.sink.record(Event::end(
+                        "queued",
+                        "request",
+                        self.now_ms * US_PER_MS,
+                        TRACE_PID_ENGINE,
+                        req_tid(r.spec.id),
+                    ));
+                }
                 r.phase = Phase::Prefill;
                 self.running.push(r);
             }
@@ -457,6 +684,14 @@ impl Engine {
             budget -= appended;
             work.prefill_tokens += appended as u64;
             self.prefill_tokens += appended as u64;
+            if appended > 0 && self.sink.enabled() {
+                self.pending.push(PendingSlice {
+                    id: self.running[i].spec.id,
+                    kind: "prefill",
+                    tokens: appended as u64,
+                    ctx: 0,
+                });
+            }
             let r = &self.running[i];
             if r.phase == Phase::Prefill && r.prefilled == r.spec.prompt_len {
                 // Prompt fully paged in: probe the prefix once to seed the
@@ -481,8 +716,17 @@ impl Engine {
                 continue; // `i` itself was preempted; it restarts later.
             }
             let out = decode_attention(&q, self.pool.rows(&self.running[i].table), self.scale);
-            work.decode_context_tokens += self.running[i].table.tokens() as u64;
+            let ctx = self.running[i].table.tokens() as u64;
+            work.decode_context_tokens += ctx;
             work.decode_steps += 1;
+            if self.sink.enabled() {
+                self.pending.push(PendingSlice {
+                    id,
+                    kind: "decode",
+                    tokens: 1,
+                    ctx,
+                });
+            }
             let r = &mut self.running[i];
             r.last_out = out;
             r.generated += 1;
@@ -537,6 +781,7 @@ impl Engine {
         let table = &mut self.running[j].table;
         self.pool.release(table);
         self.running[j].reset_for_requeue();
+        self.preempt_total += 1;
     }
 
     /// Drains finished and preempted requests out of the running set,
@@ -558,10 +803,40 @@ impl Engine {
                         r.first_token_ms = Some(stamp(stamp_ms));
                     }
                     r.finish_ms = Some(stamp(stamp_ms));
+                    // Trace on the uncorrupted virtual clock: the fault
+                    // injector may smear the metrics' stamps to NaN, but
+                    // a trace must stay well-ordered and parseable.
+                    if self.sink.enabled() {
+                        self.sink.record(
+                            Event::end(
+                                "request",
+                                "request",
+                                stamp_ms * US_PER_MS,
+                                TRACE_PID_ENGINE,
+                                req_tid(r.spec.id),
+                            )
+                            .arg("generated", r.generated as u64),
+                        );
+                    }
                     self.finished.push(r);
                 }
                 Phase::Waiting => {
                     let r = self.running.remove(i);
+                    if self.sink.enabled() {
+                        let tid = req_tid(r.spec.id);
+                        let ts = stamp_ms * US_PER_MS;
+                        self.sink.record(
+                            Event::instant("preempted", "request", ts, TRACE_PID_ENGINE, tid)
+                                .arg("count", r.preemptions),
+                        );
+                        self.sink.record(Event::begin(
+                            "queued",
+                            "request",
+                            ts,
+                            TRACE_PID_ENGINE,
+                            tid,
+                        ));
+                    }
                     let at = self
                         .waiting
                         .iter()

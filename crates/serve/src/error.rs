@@ -82,7 +82,10 @@ mod tests {
     fn errors_render_one_line_diagnostics() {
         let cases: Vec<(ServeError, &str)> = vec![
             (ServeError::EmptyWorkload, "at least one request"),
-            (ServeError::InvalidConfig("block_tokens is zero".into()), "block_tokens"),
+            (
+                ServeError::InvalidConfig("block_tokens is zero".into()),
+                "block_tokens",
+            ),
             (ServeError::Livelock { ticks: 42 }, "42 ticks"),
         ];
         for (e, needle) in cases {
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn drop_reasons_have_stable_labels() {
         assert_eq!(DropReason::Infeasible.to_string(), "infeasible");
-        assert_eq!(DropReason::DeadlineExceeded.to_string(), "deadline-exceeded");
+        assert_eq!(
+            DropReason::DeadlineExceeded.to_string(),
+            "deadline-exceeded"
+        );
         assert_eq!(DropReason::CorruptSpec.to_string(), "corrupt-spec");
     }
 }

@@ -175,15 +175,26 @@ mod tests {
 
     #[test]
     fn corruption_is_deterministic_and_bounded() {
-        let plan = FaultPlan { corrupt_spec_per_mille: 500, ..FaultPlan::quiet(9) };
-        let base: Vec<RequestSpec> =
-            (0..64).map(|id| RequestSpec::new(id, id as f64, 10, 5)).collect();
+        let plan = FaultPlan {
+            corrupt_spec_per_mille: 500,
+            ..FaultPlan::quiet(9)
+        };
+        let base: Vec<RequestSpec> = (0..64)
+            .map(|id| RequestSpec::new(id, id as f64, 10, 5))
+            .collect();
         let (mut a, mut b) = (base.clone(), base.clone());
         plan.corrupt_workload(&mut a);
         plan.corrupt_workload(&mut b);
         // Debug-compare: PartialEq would reject identical NaN arrivals.
-        assert_eq!(format!("{a:?}"), format!("{b:?}"), "corruption must be reproducible");
-        let mangled = a.iter().filter(|s| !s.is_well_formed() || s.prompt_len >= 1 << 40).count();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "corruption must be reproducible"
+        );
+        let mangled = a
+            .iter()
+            .filter(|s| !s.is_well_formed() || s.prompt_len >= 1 << 40)
+            .count();
         assert!(mangled > 0, "at 500‰ some specs must be mangled");
         assert!(mangled < 64, "and some must survive");
     }
@@ -191,8 +202,9 @@ mod tests {
     #[test]
     fn quiet_plan_changes_nothing() {
         let plan = FaultPlan::quiet(1);
-        let base: Vec<RequestSpec> =
-            (0..16).map(|id| RequestSpec::new(id, id as f64, 10, 5)).collect();
+        let base: Vec<RequestSpec> = (0..16)
+            .map(|id| RequestSpec::new(id, id as f64, 10, 5))
+            .collect();
         let mut specs = base.clone();
         plan.corrupt_workload(&mut specs);
         assert_eq!(specs, base);
@@ -231,12 +243,18 @@ mod tests {
 
     #[test]
     fn skew_factors_stay_in_band() {
-        let plan = FaultPlan { clock_skew: Some(3.0), ..FaultPlan::quiet(11) };
+        let plan = FaultPlan {
+            clock_skew: Some(3.0),
+            ..FaultPlan::quiet(11)
+        };
         let mut inj = FaultInjector::new(plan, 1);
         let mut zeros = 0;
         for _ in 0..2000 {
             let f = inj.skew_factor();
-            assert!(f == 0.0 || (1.0 / 3.0 - 1e-9..=3.0 + 1e-9).contains(&f), "factor {f}");
+            assert!(
+                f == 0.0 || (1.0 / 3.0 - 1e-9..=3.0 + 1e-9).contains(&f),
+                "factor {f}"
+            );
             if f == 0.0 {
                 zeros += 1;
             }
@@ -246,9 +264,15 @@ mod tests {
 
     #[test]
     fn nan_latency_fires_at_roughly_plan_rate() {
-        let plan = FaultPlan { nan_latency_per_mille: 250, ..FaultPlan::quiet(13) };
+        let plan = FaultPlan {
+            nan_latency_per_mille: 250,
+            ..FaultPlan::quiet(13)
+        };
         let mut inj = FaultInjector::new(plan, 1);
         let nans = (0..4000).filter(|_| inj.latency(1.0).is_nan()).count();
-        assert!((500..1500).contains(&nans), "expected ≈1000 NaNs, got {nans}");
+        assert!(
+            (500..1500).contains(&nans),
+            "expected ≈1000 NaNs, got {nans}"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl KvLayout {
     pub fn for_model(model: &Model, block_tokens: usize) -> Self {
         assert!(block_tokens > 0, "block_tokens must be positive");
         let per_token = 2 * model.hidden() * Self::ELEM_BYTES * model.blocks();
-        KvLayout { block_tokens, bytes_per_token: Bytes::new(per_token) }
+        KvLayout {
+            block_tokens,
+            bytes_per_token: Bytes::new(per_token),
+        }
     }
 
     /// Blocks needed to hold `tokens` rows (ceiling division).
@@ -160,11 +163,21 @@ impl KvPool {
             "pool dimensions must be positive"
         );
         let blocks = (0..total_blocks)
-            .map(|_| Block { k: vec![0.0; block_tokens * dk], v: vec![0.0; block_tokens * dk] })
+            .map(|_| Block {
+                k: vec![0.0; block_tokens * dk],
+                v: vec![0.0; block_tokens * dk],
+            })
             .collect();
         // Pop order: lowest id first (purely cosmetic; any order works).
         let free = (0..total_blocks).rev().collect();
-        KvPool { block_tokens, dk, blocks, free, quarantined: 0, peak_used: 0 }
+        KvPool {
+            block_tokens,
+            dk,
+            blocks,
+            free,
+            quarantined: 0,
+            peak_used: 0,
+        }
     }
 
     /// Total blocks in the pool (quarantined blocks excluded).
@@ -260,7 +273,10 @@ impl KvPool {
         (0..table.tokens).map(move |t| {
             let id = table.blocks[t / bt];
             let at = (t % bt) * dk;
-            (&self.blocks[id].k[at..at + dk], &self.blocks[id].v[at..at + dk])
+            (
+                &self.blocks[id].k[at..at + dk],
+                &self.blocks[id].v[at..at + dk],
+            )
         })
     }
 }
@@ -281,7 +297,10 @@ mod tests {
 
     #[test]
     fn budget_yields_whole_blocks() {
-        let l = KvLayout { block_tokens: 4, bytes_per_token: Bytes::new(1024) };
+        let l = KvLayout {
+            block_tokens: 4,
+            bytes_per_token: Bytes::new(1024),
+        };
         assert_eq!(l.blocks_in_budget(Bytes::new(4096 * 3 + 100)), 3);
         // Degenerate budgets still admit one block so a pool can exist.
         assert_eq!(l.blocks_in_budget(Bytes::new(10)), 1);

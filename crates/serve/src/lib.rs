@@ -31,7 +31,13 @@
 //!   multi-accelerator cluster: pooled KV capacity striped across
 //!   shards, tensor-parallel tick pricing, and `flat-dist` collective
 //!   time paid on the virtual clock, reported via
-//!   [`DistServeMetrics`].
+//!   [`DistServeMetrics`];
+//! * [`serve_traced`] / [`serve_dist_traced`] — the observability layer:
+//!   every run can stream per-request lifecycle spans (queued → prefill
+//!   → decode → finished/dropped/preempted), KV/queue/scheduler counter
+//!   tracks, and per-chip collective slices into a
+//!   [`flat_telemetry::TraceSink`], stamped on the deterministic virtual
+//!   clock so fixed seeds give byte-identical Perfetto traces.
 //!
 //! # Example
 //!
@@ -68,8 +74,8 @@ mod metrics;
 mod request;
 mod workload;
 
-pub use dist::{serve_dist, DistServeConfig, DistServeMetrics};
-pub use engine::{serve, serve_with_faults, EngineConfig};
+pub use dist::{serve_dist, serve_dist_traced, DistServeConfig, DistServeMetrics};
+pub use engine::{serve, serve_traced, serve_with_faults, serve_with_faults_traced, EngineConfig};
 pub use error::{DropReason, ServeError};
 pub use faults::{FaultInjector, FaultPlan};
 pub use kv::{BlockTable, KvLayout, KvPool};

@@ -158,7 +158,11 @@ pub struct ServeMetrics {
 fn per_second(count: f64, makespan_ms: f64) -> f64 {
     if makespan_ms.is_finite() && makespan_ms > 0.0 {
         let rate = count / (makespan_ms / 1e3);
-        if rate.is_finite() { rate } else { 0.0 }
+        if rate.is_finite() {
+            rate
+        } else {
+            0.0
+        }
     } else {
         0.0
     }
@@ -223,6 +227,117 @@ impl ServeMetrics {
         // keeps the path panic-free under the crate's unwrap/expect ban.
         serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
     }
+
+    /// The metrics as a [`flat_telemetry::Registry`], for the
+    /// Prometheus-style text exposition (`flat serve --metrics FILE`):
+    /// run totals become counters, pool pressure becomes gauges, and the
+    /// latency percentiles become summaries with `quantile` labels. A
+    /// derived view — the JSON report stays the source of truth and its
+    /// schema is untouched.
+    #[must_use]
+    pub fn registry(&self) -> flat_telemetry::Registry {
+        let mut r = flat_telemetry::Registry::new();
+        let c = |v: u64| v as f64;
+        r.counter_add(
+            "serve_requests_total",
+            "Requests offered to the engine.",
+            c(self.requests as u64),
+        );
+        r.counter_add(
+            "serve_finished_total",
+            "Requests that ran to completion.",
+            c(self.finished as u64),
+        );
+        r.counter_add(
+            "serve_dropped_total",
+            "Requests shed with a typed reason.",
+            c(self.dropped as u64),
+        );
+        r.counter_add(
+            "serve_drops_infeasible_total",
+            "Drops: worst-case KV footprint exceeds the pool.",
+            c(self.drops.infeasible),
+        );
+        r.counter_add(
+            "serve_drops_deadline_total",
+            "Drops: still queued past the request deadline.",
+            c(self.drops.deadline),
+        );
+        r.counter_add(
+            "serve_drops_corrupt_total",
+            "Drops: malformed request spec.",
+            c(self.drops.corrupt),
+        );
+        r.counter_add(
+            "serve_preemptions_total",
+            "Preempt-and-recompute evictions under KV pressure.",
+            c(self.preemptions),
+        );
+        r.counter_add(
+            "serve_ticks_total",
+            "Scheduler iterations executed.",
+            c(self.ticks),
+        );
+        r.counter_add(
+            "serve_prefill_tokens_total",
+            "Prompt tokens ingested.",
+            c(self.prefill_tokens),
+        );
+        r.counter_add(
+            "serve_decode_tokens_total",
+            "Output tokens generated.",
+            c(self.decode_tokens),
+        );
+        r.gauge_set(
+            "serve_makespan_ms",
+            "Engine virtual time from first arrival to last completion.",
+            self.makespan_ms,
+        );
+        r.gauge_set(
+            "serve_decode_tokens_per_s",
+            "Generated tokens per second of engine time.",
+            self.decode_tokens_per_s,
+        );
+        r.gauge_set(
+            "serve_goodput_tokens_per_s",
+            "Generated tokens per second within deadline.",
+            self.goodput_tokens_per_s,
+        );
+        r.gauge_set(
+            "serve_kv_peak_occupancy",
+            "Peak fraction of the KV pool in use.",
+            self.kv.peak_occupancy,
+        );
+        r.gauge_set(
+            "serve_kv_mean_occupancy",
+            "Time-weighted mean fraction of the KV pool in use.",
+            self.kv.mean_occupancy,
+        );
+        let quantiles = |p: &Percentiles| {
+            vec![
+                ("0.5", p.p50_ms),
+                ("0.95", p.p95_ms),
+                ("0.99", p.p99_ms),
+                ("1", p.max_ms),
+            ]
+        };
+        r.summary(
+            "serve_ttft_ms",
+            "Time to first token, milliseconds.",
+            quantiles(&self.ttft),
+        );
+        r.summary(
+            "serve_tpot_ms",
+            "Time per output token after the first, milliseconds.",
+            quantiles(&self.tpot),
+        );
+        r.summary(
+            "serve_e2e_ms",
+            "End-to-end request latency, milliseconds.",
+            quantiles(&self.e2e),
+        );
+        r
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +359,10 @@ mod tests {
     #[test]
     fn single_sample_is_every_percentile() {
         let p = Percentiles::of(vec![7.0]);
-        assert_eq!((p.p50_ms, p.p95_ms, p.p99_ms, p.max_ms), (7.0, 7.0, 7.0, 7.0));
+        assert_eq!(
+            (p.p50_ms, p.p95_ms, p.p99_ms, p.max_ms),
+            (7.0, 7.0, 7.0, 7.0)
+        );
     }
 
     #[test]
@@ -303,7 +421,11 @@ mod tests {
 
     #[test]
     fn rates_clamp_degenerate_makespans() {
-        assert_eq!(per_second(100.0, 0.0), 0.0, "instantaneous run must not be inf");
+        assert_eq!(
+            per_second(100.0, 0.0),
+            0.0,
+            "instantaneous run must not be inf"
+        );
         assert_eq!(per_second(100.0, f64::NAN), 0.0);
         assert_eq!(per_second(100.0, f64::INFINITY), 0.0);
         assert_eq!(per_second(100.0, -5.0), 0.0);

@@ -26,7 +26,13 @@ impl RequestSpec {
     /// workloads without an SLO.
     #[must_use]
     pub fn new(id: usize, arrival_ms: f64, prompt_len: usize, output_len: usize) -> Self {
-        RequestSpec { id, arrival_ms, prompt_len, output_len, deadline_ms: None }
+        RequestSpec {
+            id,
+            arrival_ms,
+            prompt_len,
+            output_len,
+            deadline_ms: None,
+        }
     }
 
     /// Whether the spec is structurally sound: finite arrival (and
@@ -148,7 +154,11 @@ impl Request {
     /// Drops all progress (KV table must already be released): the
     /// preemption-by-recomputation path.
     pub fn reset_for_requeue(&mut self) {
-        debug_assert_eq!(self.table.tokens(), 0, "release the table before requeueing");
+        debug_assert_eq!(
+            self.table.tokens(),
+            0,
+            "release the table before requeueing"
+        );
         self.phase = Phase::Waiting;
         self.prefilled = 0;
         self.generated = 0;
@@ -196,25 +206,52 @@ mod tests {
     #[test]
     fn well_formedness_rejects_corrupt_specs() {
         assert!(spec().is_well_formed());
-        assert!(!RequestSpec { arrival_ms: f64::NAN, ..spec() }.is_well_formed());
-        assert!(!RequestSpec { prompt_len: 0, ..spec() }.is_well_formed());
-        assert!(!RequestSpec { output_len: 0, ..spec() }.is_well_formed());
-        assert!(
-            !RequestSpec { deadline_ms: Some(f64::INFINITY), ..spec() }.is_well_formed()
-        );
-        assert!(RequestSpec { deadline_ms: Some(20.0), ..spec() }.is_well_formed());
+        assert!(!RequestSpec {
+            arrival_ms: f64::NAN,
+            ..spec()
+        }
+        .is_well_formed());
+        assert!(!RequestSpec {
+            prompt_len: 0,
+            ..spec()
+        }
+        .is_well_formed());
+        assert!(!RequestSpec {
+            output_len: 0,
+            ..spec()
+        }
+        .is_well_formed());
+        assert!(!RequestSpec {
+            deadline_ms: Some(f64::INFINITY),
+            ..spec()
+        }
+        .is_well_formed());
+        assert!(RequestSpec {
+            deadline_ms: Some(20.0),
+            ..spec()
+        }
+        .is_well_formed());
     }
 
     #[test]
     fn deadline_accounting() {
-        let mut r = Request::new(RequestSpec { deadline_ms: Some(40.0), ..spec() });
-        assert!(!r.met_deadline(), "unfinished requests never meet a deadline");
+        let mut r = Request::new(RequestSpec {
+            deadline_ms: Some(40.0),
+            ..spec()
+        });
+        assert!(
+            !r.met_deadline(),
+            "unfinished requests never meet a deadline"
+        );
         r.finish_ms = Some(39.0);
         assert!(r.met_deadline());
         r.finish_ms = Some(41.0);
         assert!(!r.met_deadline());
         r.finish_ms = Some(f64::NAN);
-        assert!(!r.met_deadline(), "a corrupted stamp must not count as goodput");
+        assert!(
+            !r.met_deadline(),
+            "a corrupted stamp must not count as goodput"
+        );
         let mut free = Request::new(spec());
         free.finish_ms = Some(1e9);
         assert!(free.met_deadline(), "no deadline is vacuously met");

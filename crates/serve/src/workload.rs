@@ -3,9 +3,9 @@
 
 use crate::error::ServeError;
 use crate::request::RequestSpec;
+use flat_workloads::Task;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use flat_workloads::Task;
 
 /// Parameters of a synthetic request stream.
 ///
@@ -157,7 +157,13 @@ mod tests {
 
     #[test]
     fn lengths_stay_in_band() {
-        let spec = WorkloadSpec { requests: 200, arrival_rate_per_s: 10.0, prompt_mean: 100, output_mean: 10, slo_ms: None };
+        let spec = WorkloadSpec {
+            requests: 200,
+            arrival_rate_per_s: 10.0,
+            prompt_mean: 100,
+            output_mean: 10,
+            slo_ms: None,
+        };
         for r in spec.generate(1).unwrap() {
             assert!((50..=150).contains(&r.prompt_len));
             assert!((5..=15).contains(&r.output_len));
@@ -168,8 +174,17 @@ mod tests {
 
     #[test]
     fn arrivals_are_monotone_and_rate_scaled() {
-        let fast = WorkloadSpec { requests: 100, arrival_rate_per_s: 1000.0, prompt_mean: 8, output_mean: 2, slo_ms: None };
-        let slow = WorkloadSpec { arrival_rate_per_s: 10.0, ..fast };
+        let fast = WorkloadSpec {
+            requests: 100,
+            arrival_rate_per_s: 1000.0,
+            prompt_mean: 8,
+            output_mean: 2,
+            slo_ms: None,
+        };
+        let slow = WorkloadSpec {
+            arrival_rate_per_s: 10.0,
+            ..fast
+        };
         let (f, s) = (fast.generate(9).unwrap(), slow.generate(9).unwrap());
         assert!(f.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
         // Same seed, 100× the rate ⇒ exactly 100× shorter span.
@@ -179,7 +194,10 @@ mod tests {
 
     #[test]
     fn slo_sets_deadlines_relative_to_arrival() {
-        let spec = WorkloadSpec { slo_ms: Some(250.0), ..base() };
+        let spec = WorkloadSpec {
+            slo_ms: Some(250.0),
+            ..base()
+        };
         for r in spec.generate(2).unwrap() {
             let d = r.deadline_ms.unwrap();
             assert!((d - r.arrival_ms - 250.0).abs() < 1e-9);
@@ -189,13 +207,34 @@ mod tests {
     #[test]
     fn degenerate_specs_are_typed_errors_not_panics() {
         let cases = [
-            WorkloadSpec { requests: 0, ..base() },
-            WorkloadSpec { arrival_rate_per_s: 0.0, ..base() },
-            WorkloadSpec { arrival_rate_per_s: f64::NAN, ..base() },
-            WorkloadSpec { prompt_mean: 0, ..base() },
-            WorkloadSpec { output_mean: 0, ..base() },
-            WorkloadSpec { slo_ms: Some(0.0), ..base() },
-            WorkloadSpec { slo_ms: Some(f64::INFINITY), ..base() },
+            WorkloadSpec {
+                requests: 0,
+                ..base()
+            },
+            WorkloadSpec {
+                arrival_rate_per_s: 0.0,
+                ..base()
+            },
+            WorkloadSpec {
+                arrival_rate_per_s: f64::NAN,
+                ..base()
+            },
+            WorkloadSpec {
+                prompt_mean: 0,
+                ..base()
+            },
+            WorkloadSpec {
+                output_mean: 0,
+                ..base()
+            },
+            WorkloadSpec {
+                slo_ms: Some(0.0),
+                ..base()
+            },
+            WorkloadSpec {
+                slo_ms: Some(f64::INFINITY),
+                ..base()
+            },
         ];
         for spec in cases {
             let err = spec.generate(1).unwrap_err();

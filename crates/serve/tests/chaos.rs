@@ -12,9 +12,7 @@
 //!   fatal, and no rate is ever `inf`.
 
 use flat_arch::Accelerator;
-use flat_serve::{
-    serve_with_faults, EngineConfig, FaultPlan, ServeMetrics, WorkloadSpec,
-};
+use flat_serve::{serve_with_faults, EngineConfig, FaultPlan, ServeMetrics, WorkloadSpec};
 use flat_tensor::Bytes;
 use flat_workloads::{Model, Task};
 
@@ -51,9 +49,15 @@ fn run_chaos(name: &str, plan: FaultPlan, slo_ms: Option<f64>, kv_mib: u64) -> S
         "{name}: every dropped request carries a typed reason"
     );
     // Rates must never be inf/NaN, whatever the clock did.
-    assert!(m.decode_tokens_per_s.is_finite(), "{name}: throughput finite");
+    assert!(
+        m.decode_tokens_per_s.is_finite(),
+        "{name}: throughput finite"
+    );
     assert!(m.goodput_tokens_per_s.is_finite(), "{name}: goodput finite");
-    assert!(m.goodput_tokens_per_s <= m.decode_tokens_per_s + 1e-9, "{name}: goodput ≤ throughput");
+    assert!(
+        m.goodput_tokens_per_s <= m.decode_tokens_per_s + 1e-9,
+        "{name}: goodput ≤ throughput"
+    );
     // The report must serialize whatever the samples look like.
     let json = m.to_json();
     assert!(json.contains("\"drops\""), "{name}: metrics serialize");
@@ -82,13 +86,19 @@ fn chaos_pool_shrinks_to_near_nothing() {
         ..FaultPlan::quiet(0xA1)
     };
     let m = run_chaos("pool-vanish", plan, None, 8);
-    assert!(m.dropped > 0, "a one-block pool cannot hold multi-block requests");
+    assert!(
+        m.dropped > 0,
+        "a one-block pool cannot hold multi-block requests"
+    );
     assert!(m.drops.infeasible > 0);
 }
 
 #[test]
 fn chaos_corrupt_specs() {
-    let plan = FaultPlan { corrupt_spec_per_mille: 400, ..FaultPlan::quiet(0xB0) };
+    let plan = FaultPlan {
+        corrupt_spec_per_mille: 400,
+        ..FaultPlan::quiet(0xB0)
+    };
     let m = run_chaos("corrupt-specs", plan, None, 64);
     assert!(
         m.drops.corrupt + m.drops.infeasible > 0,
@@ -99,9 +109,15 @@ fn chaos_corrupt_specs() {
 
 #[test]
 fn chaos_nan_latencies() {
-    let plan = FaultPlan { nan_latency_per_mille: 500, ..FaultPlan::quiet(0xC0) };
+    let plan = FaultPlan {
+        nan_latency_per_mille: 500,
+        ..FaultPlan::quiet(0xC0)
+    };
     let m = run_chaos("nan-latency", plan, None, 64);
-    assert_eq!(m.finished, m.requests, "latency corruption never loses requests");
+    assert_eq!(
+        m.finished, m.requests,
+        "latency corruption never loses requests"
+    );
     assert!(
         m.ttft.nonfinite + m.e2e.nonfinite > 0,
         "at 500‰ some percentile samples must be flagged non-finite"
@@ -111,9 +127,15 @@ fn chaos_nan_latencies() {
 
 #[test]
 fn chaos_clock_skew() {
-    let plan = FaultPlan { clock_skew: Some(8.0), ..FaultPlan::quiet(0xD0) };
+    let plan = FaultPlan {
+        clock_skew: Some(8.0),
+        ..FaultPlan::quiet(0xD0)
+    };
     let m = run_chaos("clock-skew", plan, None, 64);
-    assert_eq!(m.finished, m.requests, "a jittery clock never loses requests");
+    assert_eq!(
+        m.finished, m.requests,
+        "a jittery clock never loses requests"
+    );
     assert!(m.makespan_ms.is_finite() && m.makespan_ms >= 0.0);
 }
 
@@ -152,7 +174,11 @@ fn chaos_faulted_runs_are_deterministic_in_seed() {
     cfg.kv_budget = Bytes::from_mib(8);
     let a = serve_with_faults(&accel, &model, &wl, &cfg, Some(plan)).unwrap();
     let b = serve_with_faults(&accel, &model, &wl, &cfg, Some(plan)).unwrap();
-    assert_eq!(a.to_json(), b.to_json(), "chaos is seeded: same plan, same run");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "chaos is seeded: same plan, same run"
+    );
 }
 
 #[test]
@@ -165,5 +191,9 @@ fn faults_disabled_matches_plain_serve() {
     let quiet = serve_with_faults(&accel, &model, &wl, &cfg, Some(FaultPlan::quiet(123))).unwrap();
     let none = serve_with_faults(&accel, &model, &wl, &cfg, None).unwrap();
     assert_eq!(plain.to_json(), none.to_json());
-    assert_eq!(plain.to_json(), quiet.to_json(), "a quiet plan must not perturb the run");
+    assert_eq!(
+        plain.to_json(),
+        quiet.to_json(),
+        "a quiet plan must not perturb the run"
+    );
 }

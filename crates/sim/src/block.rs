@@ -22,8 +22,7 @@ fn simulate_operator(
     let sg = gemm_onchip_traffic(&gemm, Stationarity::Weight, accel).total() as f64 * e
         / accel.onchip_bytes_per_cycle();
     let dur = comp.max(sg);
-    let t_in =
-        (gemm.a_elements() + gemm.b_elements()) as f64 * e / accel.offchip_bytes_per_cycle();
+    let t_in = (gemm.a_elements() + gemm.b_elements()) as f64 * e / accel.offchip_bytes_per_cycle();
     let t_out = gemm.c_elements() as f64 * e / accel.offchip_bytes_per_cycle();
     // With double buffering the transfers overlap the streaming compute;
     // without it, the three stages serialize.
@@ -108,7 +107,10 @@ mod tests {
     fn block_sim_tracks_block_cost() {
         let accel = Accelerator::edge();
         let block = Model::bert().block(64, 512);
-        for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(64))] {
+        for df in [
+            BlockDataflow::base(),
+            BlockDataflow::flat(Granularity::Row(64)),
+        ] {
             let sim = simulate_block(&accel, &block, &df, SimOptions::default());
             let model = CostModel::new(&accel).block_cost(&block, &df).total();
             let ratio = sim.total_cycles() / model.cycles;
@@ -120,20 +122,25 @@ mod tests {
     fn la_dominates_block_sim_at_long_seq() {
         let accel = Accelerator::cloud();
         let block = Model::xlm().block(64, 16_384);
-        let sim =
-            simulate_block(&accel, &block, &BlockDataflow::base(), SimOptions::default());
-        assert!(
-            sim.logit_attend.cycles
-                > 2.0 * (sim.projection_cycles + sim.feed_forward_cycles)
+        let sim = simulate_block(
+            &accel,
+            &block,
+            &BlockDataflow::base(),
+            SimOptions::default(),
         );
+        assert!(sim.logit_attend.cycles > 2.0 * (sim.projection_cycles + sim.feed_forward_cycles));
     }
 
     #[test]
     fn fused_block_beats_base_block() {
         let accel = Accelerator::edge();
         let block = Model::bert().block(64, 4096);
-        let base =
-            simulate_block(&accel, &block, &BlockDataflow::base(), SimOptions::default());
+        let base = simulate_block(
+            &accel,
+            &block,
+            &BlockDataflow::base(),
+            SimOptions::default(),
+        );
         let flat = simulate_block(
             &accel,
             &block,

@@ -94,16 +94,25 @@ pub fn simulate_fused(
     let mut a_done = vec![0.0f64; n];
     // Software pipelining needs both double buffering and a second slice
     // slot; without either, stages run strictly in order.
-    let pipelined_slots =
-        if opts.slice_buffers >= 2 && opts.double_buffered { 2usize } else { 1 };
+    let pipelined_slots = if opts.slice_buffers >= 2 && opts.double_buffered {
+        2usize
+    } else {
+        1
+    };
 
     let mut trace: Vec<crate::TraceEvent> = Vec::new();
-    let record = |trace: &mut Vec<crate::TraceEvent>, name: String, resource: &str, end: f64, dur: f64| {
-        // Guard: a runaway trace of a huge simulation is useless and big.
-        if opts.record_trace && trace.len() < 200_000 {
-            trace.push(crate::TraceEvent { name, resource: resource.to_owned(), start: end - dur, end });
-        }
-    };
+    let record =
+        |trace: &mut Vec<crate::TraceEvent>, name: String, resource: &str, end: f64, dur: f64| {
+            // Guard: a runaway trace of a huge simulation is useless and big.
+            if opts.record_trace && trace.len() < 200_000 {
+                trace.push(crate::TraceEvent {
+                    name,
+                    resource: resource.to_owned(),
+                    start: end - dur,
+                    end,
+                });
+            }
+        };
 
     let submit_a = |i: usize,
                     pe: &mut Resource,
@@ -128,8 +137,12 @@ pub fn simulate_fused(
 
     for i in 0..n {
         // FETCH_i: K/V refresh only on head boundaries.
-        let bytes =
-            q_bytes + if (i as u64).is_multiple_of(row_iters_per_head) { kv_bytes } else { 0.0 };
+        let bytes = q_bytes
+            + if (i as u64).is_multiple_of(row_iters_per_head) {
+                kv_bytes
+            } else {
+                0.0
+            };
         let release = if opts.double_buffered {
             if i >= 1 {
                 l_start[i - 1]
@@ -142,10 +155,20 @@ pub fn simulate_fused(
             0.0
         };
         fetch_done[i] = dram.acquire_backfill(release, bytes / off_bpc);
-        record(&mut trace, format!("FETCH {i}"), "dram", fetch_done[i], bytes / off_bpc);
+        record(
+            &mut trace,
+            format!("FETCH {i}"),
+            "dram",
+            fetch_done[i],
+            bytes / off_bpc,
+        );
 
         // L_i: needs its inputs and a free slice slot.
-        let slot_free = if i >= pipelined_slots { a_done[i - pipelined_slots] } else { 0.0 };
+        let slot_free = if i >= pipelined_slots {
+            a_done[i - pipelined_slots]
+        } else {
+            0.0
+        };
         let l_done = {
             let start_ready = fetch_done[i].max(slot_free);
             let done = pe.acquire(start_ready, dur_l);
@@ -226,7 +249,10 @@ mod tests {
             &accel,
             &block,
             &FusedDataflow::new(Granularity::Row(16)),
-            SimOptions { record_trace: true, ..SimOptions::default() },
+            SimOptions {
+                record_trace: true,
+                ..SimOptions::default()
+            },
         );
         assert!(!r.trace.is_empty());
         for kind in ["FETCH", "L ", "SM", "A ", "WB"] {
@@ -240,8 +266,12 @@ mod tests {
             assert!(e.end >= e.start);
         }
         let json = r.to_chrome_trace();
-        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("traceEvents"));
+        assert!(
+            json.contains("\"thread_name\""),
+            "resource lanes must be named via the shared exporter"
+        );
     }
 
     #[test]
@@ -285,7 +315,10 @@ mod tests {
             &accel,
             &block,
             &FusedDataflow::new(Granularity::Row(16)),
-            SimOptions { slice_buffers: 1, ..SimOptions::default() },
+            SimOptions {
+                slice_buffers: 1,
+                ..SimOptions::default()
+            },
         );
         assert!(one.cycles >= two.cycles, "{} < {}", one.cycles, two.cycles);
     }
@@ -295,17 +328,32 @@ mod tests {
         let accel = Accelerator::edge();
         let block = Model::bert().block(64, 512);
         // Fully simulate (no extrapolation) so the comparison is exact.
-        let opts = SimOptions { max_simulated_iterations: 10_000, ..SimOptions::default() };
-        let with =
-            simulate_fused(&accel, &block, &FusedDataflow::new(Granularity::Row(64)), opts);
+        let opts = SimOptions {
+            max_simulated_iterations: 10_000,
+            ..SimOptions::default()
+        };
+        let with = simulate_fused(
+            &accel,
+            &block,
+            &FusedDataflow::new(Granularity::Row(64)),
+            opts,
+        );
         let without = simulate_fused(
             &accel,
             &block,
             &FusedDataflow::new(Granularity::Row(64)),
-            SimOptions { double_buffered: false, ..opts },
+            SimOptions {
+                double_buffered: false,
+                ..opts
+            },
         );
         assert!(!with.extrapolated);
-        assert!(without.cycles > with.cycles, "{} <= {}", without.cycles, with.cycles);
+        assert!(
+            without.cycles > with.cycles,
+            "{} <= {}",
+            without.cycles,
+            with.cycles
+        );
     }
 
     #[test]
@@ -316,7 +364,10 @@ mod tests {
             &accel,
             &block,
             &FusedDataflow::new(Granularity::Row(4)),
-            SimOptions { max_simulated_iterations: 256, ..SimOptions::default() },
+            SimOptions {
+                max_simulated_iterations: 256,
+                ..SimOptions::default()
+            },
         );
         assert!(r.extrapolated);
         assert_eq!(r.simulated_iterations, 256);
@@ -335,7 +386,12 @@ mod tests {
             SimOptions::default(),
         );
         for u in &r.resources {
-            assert!((0.0..=1.0).contains(&u.occupancy), "{}: {}", u.name, u.occupancy);
+            assert!(
+                (0.0..=1.0).contains(&u.occupancy),
+                "{}: {}",
+                u.name,
+                u.occupancy
+            );
         }
         // The PE array dominates in this compute-friendly regime.
         let pe = r.resources.iter().find(|u| u.name == "pe").unwrap();

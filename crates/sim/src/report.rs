@@ -61,34 +61,39 @@ impl SimReport {
     }
 
     /// Renders the recorded trace as Chrome trace-event JSON (the format
-    /// `chrome://tracing` and Perfetto load): complete events (`ph: "X"`)
-    /// with one thread row per hardware resource and cycles as
-    /// microseconds.
+    /// `chrome://tracing` and Perfetto load), re-emitted through the
+    /// shared `flat-telemetry` exporter: complete events (`ph: "X"`) with
+    /// one named thread row per hardware resource and cycles as
+    /// microseconds — the same schema the serving and DSE traces use.
     ///
     /// Returns an empty event array when nothing was recorded.
     #[must_use]
     pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::from("{\"traceEvents\":[");
-        for (i, ev) in self.trace.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let tid = match ev.resource.as_str() {
-                "pe" => 1,
-                "sfu" => 2,
-                _ => 3,
+        use flat_telemetry::Event;
+        let mut events = Vec::with_capacity(self.trace.len() + 4);
+        if !self.trace.is_empty() {
+            events.push(Event::process_name(1, "simulated accelerator"));
+            events.push(Event::thread_name(1, 1, "pe"));
+            events.push(Event::thread_name(1, 2, "sfu"));
+            events.push(Event::thread_name(1, 3, "dram"));
+        }
+        for ev in &self.trace {
+            let (cat, tid) = match ev.resource.as_str() {
+                "pe" => ("pe", 1),
+                "sfu" => ("sfu", 2),
+                "dram" => ("dram", 3),
+                _ => ("sim", 3),
             };
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
-                ev.name,
-                ev.resource,
+            events.push(Event::complete(
+                &ev.name,
+                cat,
                 ev.start,
-                (ev.end - ev.start).max(0.001),
-                tid
+                ev.end - ev.start,
+                1,
+                tid,
             ));
         }
-        out.push_str("],\"displayTimeUnit\":\"ms\"}");
-        out
+        flat_telemetry::chrome_trace_json(&events)
     }
 }
 
@@ -99,7 +104,11 @@ impl fmt::Display for SimReport {
             "{:.3e} cycles (util {:.3}{}), {} of {} iterations simulated",
             self.cycles,
             self.util(),
-            if self.extrapolated { ", extrapolated" } else { "" },
+            if self.extrapolated {
+                ", extrapolated"
+            } else {
+                ""
+            },
             self.simulated_iterations,
             self.total_iterations
         )

@@ -27,7 +27,11 @@ impl Resource {
     /// A fresh, idle resource.
     #[must_use]
     pub fn new(name: &'static str) -> Self {
-        Resource { name, intervals: Vec::new(), busy: 0.0 }
+        Resource {
+            name,
+            intervals: Vec::new(),
+            busy: 0.0,
+        }
     }
 
     /// FIFO reservation: starts at `max(ready, last completion)`. Returns
@@ -68,7 +72,10 @@ impl Resource {
         }
         // The scan leaves `cursor` past every interval that ends before
         // the chosen gap, so `insert_at` is the sorted position.
-        self.intervals.insert(insert_at.min(self.intervals.len()), (cursor, cursor + duration));
+        self.intervals.insert(
+            insert_at.min(self.intervals.len()),
+            (cursor, cursor + duration),
+        );
         cursor + duration
     }
 

@@ -127,10 +127,27 @@ pub fn simulate_sequential(
     };
 
     // Phase 1: L — fetch Q,K; compute; write the logit slice out.
-    let l_end = phase(&mut pe, &mut dram, &mut trace, "L", 0.0, qk_bytes, dur_l, logit_slice);
+    let l_end = phase(
+        &mut pe,
+        &mut dram,
+        &mut trace,
+        "L",
+        0.0,
+        qk_bytes,
+        dur_l,
+        logit_slice,
+    );
     // Phase 2: softmax — read the slice, rewrite it.
-    let sm_end =
-        phase(&mut sfu, &mut dram, &mut trace, "SM", l_end, logit_slice, dur_sm, logit_slice);
+    let sm_end = phase(
+        &mut sfu,
+        &mut dram,
+        &mut trace,
+        "SM",
+        l_end,
+        logit_slice,
+        dur_sm,
+        logit_slice,
+    );
     // Phase 3: A — fetch the softmaxed slice and V; compute; write O.
     let a_end = phase(
         &mut pe,
@@ -188,7 +205,12 @@ mod tests {
             &FusedDataflow::new(Granularity::Row(64)),
             SimOptions::default(),
         );
-        assert!(base.cycles > fused.cycles, "{} <= {}", base.cycles, fused.cycles);
+        assert!(
+            base.cycles > fused.cycles,
+            "{} <= {}",
+            base.cycles,
+            fused.cycles
+        );
     }
 
     #[test]
@@ -198,7 +220,12 @@ mod tests {
         let r = simulate_sequential(&accel, &block, SimOptions::default());
         let dram = r.resources.iter().find(|u| u.name == "dram").unwrap();
         let pe = r.resources.iter().find(|u| u.name == "pe").unwrap();
-        assert!(dram.occupancy > pe.occupancy, "dram {} vs pe {}", dram.occupancy, pe.occupancy);
+        assert!(
+            dram.occupancy > pe.occupancy,
+            "dram {} vs pe {}",
+            dram.occupancy,
+            pe.occupancy
+        );
         assert!(r.util() < 0.5);
     }
 
@@ -209,7 +236,10 @@ mod tests {
         let r = simulate_sequential(
             &accel,
             &block,
-            SimOptions { max_simulated_iterations: 16, ..SimOptions::default() },
+            SimOptions {
+                max_simulated_iterations: 16,
+                ..SimOptions::default()
+            },
         );
         assert!(r.extrapolated);
         assert!(r.cycles > 0.0);

@@ -1,0 +1,53 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable) documents.
+//!
+//! Both the buffered ([`MemorySink::to_chrome_trace`]) and streaming
+//! ([`JsonStreamSink`]) paths produce *byte-identical* documents for the
+//! same event sequence — the determinism tests compare them directly.
+//!
+//! [`MemorySink::to_chrome_trace`]: crate::MemorySink::to_chrome_trace
+//! [`JsonStreamSink`]: crate::JsonStreamSink
+
+use crate::event::Event;
+
+/// Document prefix shared by both export paths.
+pub(crate) const TRACE_HEADER: &str = "{\"traceEvents\":[\n";
+
+/// Document suffix shared by both export paths.
+pub(crate) const TRACE_FOOTER: &str = "\n],\"displayTimeUnit\":\"ms\"}\n";
+
+/// Serializes `events` as one Chrome trace JSON document, one event per
+/// line, in the given order.
+#[must_use]
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(TRACE_HEADER.len() + 112 * events.len());
+    out.push_str(TRACE_HEADER);
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&ev.to_json());
+    }
+    out.push_str(TRACE_FOOTER);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_a_complete_document() {
+        let doc = chrome_trace_json(&[]);
+        assert_eq!(doc, "{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ms\"}\n");
+    }
+
+    #[test]
+    fn events_are_comma_separated_lines() {
+        let doc = chrome_trace_json(&[
+            Event::begin("a", "c", 0.0, 0, 0),
+            Event::end("a", "c", 1.0, 0, 0),
+        ]);
+        assert_eq!(doc.matches("\"ph\":").count(), 2);
+        assert_eq!(doc.matches(",\n{").count(), 1);
+    }
+}

@@ -48,7 +48,12 @@ impl DataType {
     /// All supported data types, widest first.
     #[must_use]
     pub const fn all() -> [DataType; 4] {
-        [DataType::Fp32, DataType::Bf16, DataType::Fp16, DataType::Int8]
+        [
+            DataType::Fp32,
+            DataType::Bf16,
+            DataType::Fp16,
+            DataType::Int8,
+        ]
     }
 }
 

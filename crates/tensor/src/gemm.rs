@@ -58,7 +58,13 @@ impl Gemm {
             batch > 0 && m > 0 && k > 0 && n > 0,
             "GEMM dimensions must be positive: batch={batch} m={m} k={k} n={n}"
         );
-        Gemm { batch, m, k, n, weight_shared: false }
+        Gemm {
+            batch,
+            m,
+            k,
+            n,
+            weight_shared: false,
+        }
     }
 
     /// Creates an activation-weight GEMM whose `B` operand (the weight) is
@@ -170,7 +176,11 @@ impl fmt::Display for Gemm {
             self.k,
             self.k,
             self.n,
-            if self.weight_shared { " (shared W)" } else { "" }
+            if self.weight_shared {
+                " (shared W)"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -251,7 +261,7 @@ mod tests {
         let (b, n, d) = (4, 512, 1024);
         let single = Gemm::new(b, n, d, n);
         let multi = Gemm::new(b * 16, n, d / 16, n);
-        assert_eq!(single.macs() , multi.macs(), "same total work");
+        assert_eq!(single.macs(), multi.macs(), "same total work");
         assert!(
             multi.operational_intensity(dt).flops_per_byte()
                 < single.operational_intensity(dt).flops_per_byte()
@@ -283,7 +293,10 @@ mod tests {
 
     #[test]
     fn roofline_ridge_behaviour() {
-        let oi = OperationalIntensity { flops: 1000, bytes: Bytes::new(100) };
+        let oi = OperationalIntensity {
+            flops: 1000,
+            bytes: Bytes::new(100),
+        };
         // OI = 10 flop/B. With BW 1 B/s and peak 100 flop/s → memory bound.
         assert!(oi.is_memory_bound(100.0, 1.0));
         assert!((oi.attainable_flops(100.0, 1.0) - 10.0).abs() < 1e-12);

@@ -136,6 +136,9 @@ mod tests {
 
     #[test]
     fn display_looks_like_a_list() {
-        assert_eq!(Shape::new([64, 16, 512, 512]).to_string(), "[64, 16, 512, 512]");
+        assert_eq!(
+            Shape::new([64, 16, 512, 512]).to_string(),
+            "[64, 16, 512, 512]"
+        );
     }
 }

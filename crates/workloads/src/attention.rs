@@ -155,8 +155,9 @@ impl AttentionConfig {
     /// (Table 1, "L/A" row; per input sample).
     #[must_use]
     pub fn la_staging_size(&self) -> Bytes {
-        let elems =
-            self.seq_q * self.hidden + self.seq_kv * self.hidden + self.heads * self.seq_q * self.seq_kv;
+        let elems = self.seq_q * self.hidden
+            + self.seq_kv * self.hidden
+            + self.heads * self.seq_q * self.seq_kv;
         Bytes::new(elems * self.dtype.size_bytes())
     }
 }
@@ -173,7 +174,13 @@ impl fmt::Display for AttentionConfig {
             write!(
                 f,
                 "B={} H={} Nq={} Nkv={} D={} ffn={} ({})",
-                self.batch, self.heads, self.seq_q, self.seq_kv, self.hidden, self.ffn_hidden, self.dtype
+                self.batch,
+                self.heads,
+                self.seq_q,
+                self.seq_kv,
+                self.hidden,
+                self.ffn_hidden,
+                self.dtype
             )
         }
     }

@@ -27,8 +27,10 @@ impl AttentionBlock {
     /// Builds the block's operator list from the layer configuration.
     #[must_use]
     pub fn new(config: AttentionConfig) -> Self {
-        let operators =
-            OpKind::all().iter().map(|&k| Operator::from_config(k, &config)).collect();
+        let operators = OpKind::all()
+            .iter()
+            .map(|&k| Operator::from_config(k, &config))
+            .collect();
         AttentionBlock { config, operators }
     }
 
@@ -55,12 +57,16 @@ impl AttentionBlock {
 
     /// Operators included in an evaluation scope.
     pub fn operators_in_scope(&self, scope: Scope) -> impl Iterator<Item = &Operator> {
-        self.operators.iter().filter(move |op| scope.includes(op.kind))
+        self.operators
+            .iter()
+            .filter(move |op| scope.includes(op.kind))
     }
 
     /// Operators of one Figure 11 category.
     pub fn operators_in_category(&self, category: OpCategory) -> impl Iterator<Item = &Operator> {
-        self.operators.iter().filter(move |op| op.category() == category)
+        self.operators
+            .iter()
+            .filter(move |op| op.category() == category)
     }
 
     /// Total MACs across the whole block.
@@ -72,7 +78,9 @@ impl AttentionBlock {
     /// Total MACs in a scope.
     #[must_use]
     pub fn macs_in_scope(&self, scope: Scope) -> u64 {
-        self.operators_in_scope(scope).map(|op| op.gemm.macs()).sum()
+        self.operators_in_scope(scope)
+            .map(|op| op.gemm.macs())
+            .sum()
     }
 }
 
@@ -157,7 +165,9 @@ mod tests {
         );
         // While projection MACs only double.
         let proj = |b: &AttentionBlock| -> u64 {
-            b.operators_in_category(OpCategory::Projection).map(|o| o.gemm.macs()).sum()
+            b.operators_in_category(OpCategory::Projection)
+                .map(|o| o.gemm.macs())
+                .sum()
         };
         assert_eq!(proj(&long), 2 * proj(&short));
     }

@@ -96,20 +96,14 @@ impl DecoderBlock {
         ];
         let self_ops = ATTN.map(|k| self.self_attn.operator(k));
         let cross_ops = ATTN.map(|k| self.cross_attn.operator(k));
-        self_ops
-            .into_iter()
-            .chain(cross_ops)
-            .chain([
-                self.self_attn.operator(OpKind::FeedForward1),
-                self.self_attn.operator(OpKind::FeedForward2),
-            ])
+        self_ops.into_iter().chain(cross_ops).chain([
+            self.self_attn.operator(OpKind::FeedForward1),
+            self.self_attn.operator(OpKind::FeedForward2),
+        ])
     }
 
     /// Operators of one category, across both attention layers.
-    pub fn operators_in_category(
-        &self,
-        category: OpCategory,
-    ) -> impl Iterator<Item = &Operator> {
+    pub fn operators_in_category(&self, category: OpCategory) -> impl Iterator<Item = &Operator> {
         self.operators().filter(move |op| op.category() == category)
     }
 
@@ -171,8 +165,15 @@ mod tests {
             .operators_in_category(OpCategory::FeedForward)
             .map(|o| o.gemm.macs())
             .sum();
-        let single = b.self_attention().operator(OpKind::FeedForward1).gemm.macs()
-            + b.self_attention().operator(OpKind::FeedForward2).gemm.macs();
+        let single = b
+            .self_attention()
+            .operator(OpKind::FeedForward1)
+            .gemm
+            .macs()
+            + b.self_attention()
+                .operator(OpKind::FeedForward2)
+                .gemm
+                .macs();
         assert_eq!(ffn_macs, single);
     }
 

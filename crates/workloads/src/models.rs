@@ -50,19 +50,37 @@ impl Model {
     /// BERT-base: 12 blocks, D=768, H=12, FFN=3072.
     #[must_use]
     pub const fn bert() -> Self {
-        Model { kind: ModelKind::Bert, blocks: 12, heads: 12, hidden: 768, ffn_hidden: 3072 }
+        Model {
+            kind: ModelKind::Bert,
+            blocks: 12,
+            heads: 12,
+            hidden: 768,
+            ffn_hidden: 3072,
+        }
     }
 
     /// FlauBERT-large: 24 blocks, D=1024, H=16, FFN=4096.
     #[must_use]
     pub const fn flaubert() -> Self {
-        Model { kind: ModelKind::FlauBert, blocks: 24, heads: 16, hidden: 1024, ffn_hidden: 4096 }
+        Model {
+            kind: ModelKind::FlauBert,
+            blocks: 24,
+            heads: 16,
+            hidden: 1024,
+            ffn_hidden: 4096,
+        }
     }
 
     /// XLM (xlm-mlm-en-2048): 12 blocks, D=2048, H=16, FFN=8192.
     #[must_use]
     pub const fn xlm() -> Self {
-        Model { kind: ModelKind::Xlm, blocks: 12, heads: 16, hidden: 2048, ffn_hidden: 8192 }
+        Model {
+            kind: ModelKind::Xlm,
+            blocks: 12,
+            heads: 16,
+            hidden: 2048,
+            ffn_hidden: 8192,
+        }
     }
 
     /// Transformer-XL large: 18 blocks, D=1024, H=16, FFN=4096.
@@ -80,7 +98,13 @@ impl Model {
     /// T5-small encoder: 6 blocks, D=512, H=8, FFN=2048.
     #[must_use]
     pub const fn t5_small() -> Self {
-        Model { kind: ModelKind::T5, blocks: 6, heads: 8, hidden: 512, ffn_hidden: 2048 }
+        Model {
+            kind: ModelKind::T5,
+            blocks: 6,
+            heads: 8,
+            hidden: 512,
+            ffn_hidden: 2048,
+        }
     }
 
     /// A custom model from explicit dimensions (the knobs a
@@ -97,8 +121,17 @@ impl Model {
             blocks > 0 && heads > 0 && hidden > 0 && ffn_hidden > 0,
             "model dimensions must be positive"
         );
-        assert!(hidden.is_multiple_of(heads), "hidden {hidden} must divide across {heads} heads");
-        Model { kind: ModelKind::Custom, blocks, heads, hidden, ffn_hidden }
+        assert!(
+            hidden.is_multiple_of(heads),
+            "hidden {hidden} must divide across {heads} heads"
+        );
+        Model {
+            kind: ModelKind::Custom,
+            blocks,
+            heads,
+            hidden,
+            ffn_hidden,
+        }
     }
 
     /// The whole evaluation suite, in the row order of Figure 12(a).
@@ -239,7 +272,10 @@ mod tests {
     #[test]
     fn bert_base_dimensions() {
         let b = Model::bert();
-        assert_eq!((b.blocks(), b.heads(), b.hidden(), b.ffn_hidden()), (12, 12, 768, 3072));
+        assert_eq!(
+            (b.blocks(), b.heads(), b.hidden(), b.ffn_hidden()),
+            (12, 12, 768, 3072)
+        );
     }
 
     #[test]
@@ -273,7 +309,10 @@ mod tests {
 
     #[test]
     fn xlm_is_the_widest() {
-        let widest = Model::suite().into_iter().max_by_key(Model::hidden).unwrap();
+        let widest = Model::suite()
+            .into_iter()
+            .max_by_key(Model::hidden)
+            .unwrap();
         assert_eq!(widest.kind(), ModelKind::Xlm);
     }
 }

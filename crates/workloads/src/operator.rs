@@ -92,7 +92,11 @@ impl OpCategory {
     /// All categories in the order Figure 11 stacks them.
     #[must_use]
     pub const fn all() -> [OpCategory; 3] {
-        [OpCategory::LogitAttend, OpCategory::Projection, OpCategory::FeedForward]
+        [
+            OpCategory::LogitAttend,
+            OpCategory::Projection,
+            OpCategory::FeedForward,
+        ]
     }
 }
 
@@ -220,8 +224,12 @@ mod tests {
         let l = Operator::from_config(OpKind::Logit, &c);
         let q = Operator::from_config(OpKind::Query, &c);
         assert!(
-            l.gemm.operational_intensity(DataType::Fp16).flops_per_byte()
-                < q.gemm.operational_intensity(DataType::Fp16).flops_per_byte()
+            l.gemm
+                .operational_intensity(DataType::Fp16)
+                .flops_per_byte()
+                < q.gemm
+                    .operational_intensity(DataType::Fp16)
+                    .flops_per_byte()
         );
     }
 

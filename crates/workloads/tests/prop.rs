@@ -6,8 +6,13 @@ use flat_workloads::{
 use proptest::prelude::*;
 
 fn configs() -> impl Strategy<Value = AttentionConfig> {
-    (1u64..=16, prop::sample::select(vec![1u64, 2, 4, 8, 16]), 1u64..2048, 1u64..2048,
-        prop::sample::select(vec![128u64, 256, 512, 1024, 2048]))
+    (
+        1u64..=16,
+        prop::sample::select(vec![1u64, 2, 4, 8, 16]),
+        1u64..2048,
+        1u64..2048,
+        prop::sample::select(vec![128u64, 256, 512, 1024, 2048]),
+    )
         .prop_filter("divisible", |(_, h, _, _, d)| d % h == 0)
         .prop_map(|(b, h, nq, nkv, d)| AttentionConfig::cross_attention(b, h, nq, nkv, d, 4 * d))
 }

@@ -44,7 +44,10 @@ fn main() {
     // Figure 10.
     let points = dse.explore_la(SpaceKind::Full);
     let frontier = pareto_frontier(&points);
-    println!("\n## Pareto frontier (footprint vs util) over {} points", points.len());
+    println!(
+        "\n## Pareto frontier (footprint vs util) over {} points",
+        points.len()
+    );
     for p in &frontier {
         println!(
             "  {:>12}  util {:.3}  ({})",

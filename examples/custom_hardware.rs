@@ -23,16 +23,21 @@ fn main() {
         .build();
     let area = AreaModel::default_28nm();
     println!("hand-built: {custom}");
-    println!("die area:   {:.2} mm² (28nm-class model)\n", area.area_mm2(&custom));
+    println!(
+        "die area:   {:.2} mm² (28nm-class model)\n",
+        area.area_mm2(&custom)
+    );
 
     // 2. Price a workload on it.
     let block = Model::bert().block(32, 8192);
     let cm = CostModel::new(&custom);
     let report = cm.fused_la_cost(&block, &FusedDataflow::new(Granularity::Row(64)));
-    println!("BERT N=8192 FLAT-R64: util {:.3}, off-chip {}, {:.2} ms",
+    println!(
+        "BERT N=8192 FLAT-R64: util {:.3}, off-chip {}, {:.2} ms",
         report.util(),
         report.traffic.offchip,
-        custom.cycles_to_seconds(report.cycles) * 1e3);
+        custom.cycles_to_seconds(report.cycles) * 1e3
+    );
 
     // 3. Or let the joint HW+dataflow search pick the split for you.
     let spec = HwSearchSpec::edge_class(area.area_mm2(&custom));

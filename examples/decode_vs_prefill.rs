@@ -24,7 +24,10 @@ fn main() {
 
     println!("## prefill (N x N attention) — the paper's regime");
     let prefill = model.block(64, context);
-    for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(256))] {
+    for df in [
+        BlockDataflow::base(),
+        BlockDataflow::flat(Granularity::Row(256)),
+    ] {
         let r = cm.scope_cost(&prefill, &df, Scope::LogitAttend);
         println!(
             "  {:10}  util {:.3}  off-chip {:>12}  logits {:>10}",
@@ -37,7 +40,10 @@ fn main() {
 
     println!("\n## decode step (1 x N attention, KV cache) — linear regime");
     let decode = model.decode_step(64, context);
-    for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(1))] {
+    for df in [
+        BlockDataflow::base(),
+        BlockDataflow::flat(Granularity::Row(1)),
+    ] {
         let r = cm.scope_cost(&decode, &df, Scope::LogitAttend);
         println!(
             "  {:10}  util {:.3}  off-chip {:>12}  logits {:>10}",
@@ -50,8 +56,10 @@ fn main() {
 
     println!();
     println!("Prefill: the quadratic intermediate dominates and FLAT's fusion removes it.");
-    println!("Decode: the logit tensor is ~{}x smaller than prefill's; both dataflows are",
-        prefill.config().logit_elements() / decode.config().logit_elements());
+    println!(
+        "Decode: the logit tensor is ~{}x smaller than prefill's; both dataflows are",
+        prefill.config().logit_elements() / decode.config().logit_elements()
+    );
     println!("bound by streaming the KV cache, which no fusion can avoid — attention");
     println!("decoding is bandwidth-limited by fundamentals (activation-activation, B=1 row).");
 }

@@ -16,7 +16,10 @@ fn main() {
     let accel = Accelerator::edge();
     let model = Model::bert();
     println!("# Best dataflow per sequence length — {model} on {accel}");
-    println!("{:>8}  {:>14}  {:>8}  {:>8}  {:>12}", "seq", "best dataflow", "LA util", "vs base", "footprint");
+    println!(
+        "{:>8}  {:>14}  {:>8}  {:>8}  {:>12}",
+        "seq", "best dataflow", "LA util", "vs base", "footprint"
+    );
 
     for seq in [512u64, 1024, 2048, 4096, 8192, 16_384, 32_768, 65_536] {
         let block = model.block(64, seq);

@@ -20,7 +20,10 @@ fn main() {
 
     let dec_block = DecoderBlock::for_model(&model, batch, dec_seq, enc_seq);
     println!("## one decoder block ({dec_block})");
-    for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(256))] {
+    for df in [
+        BlockDataflow::base(),
+        BlockDataflow::flat(Granularity::Row(256)),
+    ] {
         let cost = cm.decoder_block_cost(&dec_block, &df);
         let total = cost.total();
         println!(
@@ -35,8 +38,14 @@ fn main() {
     }
 
     // End-to-end: encode the document once, then run the decoder stack.
-    println!("\n## end-to-end estimate (encoder stack + decoder stack, {} blocks each)", model.blocks());
-    for df in [BlockDataflow::base(), BlockDataflow::flat(Granularity::Row(256))] {
+    println!(
+        "\n## end-to-end estimate (encoder stack + decoder stack, {} blocks each)",
+        model.blocks()
+    );
+    for df in [
+        BlockDataflow::base(),
+        BlockDataflow::flat(Granularity::Row(256)),
+    ] {
         let enc = cm.model_cost(&model, batch, enc_seq, &df).total();
         let dec = cm
             .decoder_block_cost(&dec_block, &df)

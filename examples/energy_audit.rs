@@ -6,7 +6,7 @@
 //! Run: `cargo run --release --example energy_audit`
 
 use flat::arch::Accelerator;
-use flat::core::{BlockDataflow, CostModel, Granularity, CostReport};
+use flat::core::{BlockDataflow, CostModel, CostReport, Granularity};
 use flat::workloads::{Model, Scope};
 
 fn print_energy(name: &str, r: &CostReport) {
@@ -39,7 +39,10 @@ fn main() {
     print_energy("Base", &base);
     print_energy("FLAT-R256", &flat);
     println!();
-    println!("same MACs?            {}", base.activity.macs == flat.activity.macs);
+    println!(
+        "same MACs?            {}",
+        base.activity.macs == flat.activity.macs
+    );
     println!(
         "DRAM accesses:        {:.3e} -> {:.3e}  ({:.1}% eliminated)",
         base.activity.dram_accesses as f64,

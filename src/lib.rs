@@ -19,6 +19,9 @@
 //! * [`dist`] — multi-accelerator sharded execution: fabric topologies
 //!   with analytical collective costs, head/sequence/KV partition
 //!   strategies, and chip-count scaling sweeps.
+//! * [`telemetry`] — the unified observability layer: trace spans and
+//!   counters behind a `TraceSink`, Chrome/Perfetto trace export, and
+//!   Prometheus-style text exposition.
 
 #![forbid(unsafe_code)]
 
@@ -30,5 +33,6 @@ pub use flat_gpu as gpu;
 pub use flat_kernels as kernels;
 pub use flat_serve as serve;
 pub use flat_sim as sim;
+pub use flat_telemetry as telemetry;
 pub use flat_tensor as tensor;
 pub use flat_workloads as workloads;

@@ -11,8 +11,14 @@ use flat::workloads::{AttentionConfig, Model};
 fn table1_golden() {
     let cfg = |h, n| AttentionConfig::self_attention(1, h, n, 1024, 4096);
     // K/Q/V/O: (D² + 2·N·D) · 2 bytes.
-    assert_eq!(cfg(1, 512).qkvo_staging_size().as_u64(), (1024 * 1024 + 2 * 512 * 1024) * 2);
-    assert_eq!(cfg(16, 512).qkvo_staging_size(), cfg(1, 512).qkvo_staging_size());
+    assert_eq!(
+        cfg(1, 512).qkvo_staging_size().as_u64(),
+        (1024 * 1024 + 2 * 512 * 1024) * 2
+    );
+    assert_eq!(
+        cfg(16, 512).qkvo_staging_size(),
+        cfg(1, 512).qkvo_staging_size()
+    );
     // L/A: (2·N·D + H·N²) · 2 bytes.
     assert_eq!(
         cfg(16, 2048).la_staging_size().as_u64(),
@@ -44,7 +50,10 @@ fn operational_intensity_golden() {
     let oi = l.operational_intensity(DataType::Fp16).flops_per_byte();
     let predicted = 1.0 / ((2.0 / n as f64 + h as f64 / d as f64) * 2.0 / 2.0);
     // flops/byte: 2 flops per MAC over 2-byte elements cancel.
-    assert!((oi - predicted).abs() / predicted < 0.01, "{oi} vs {predicted}");
+    assert!(
+        (oi - predicted).abs() / predicted < 0.01,
+        "{oi} vs {predicted}"
+    );
 }
 
 /// Cost-model pins at the paper's operating points. These encode the
@@ -56,18 +65,34 @@ fn cost_model_golden_points() {
     let cm = CostModel::new(&edge);
 
     let base = cm.la_cost(&block, &BlockDataflow::base().la);
-    assert!((base.util() - 0.649).abs() < 0.02, "edge base 512: {}", base.util());
+    assert!(
+        (base.util() - 0.649).abs() < 0.02,
+        "edge base 512: {}",
+        base.util()
+    );
 
     let flat = cm.fused_la_cost(&block, &FusedDataflow::new(Granularity::Row(64)));
-    assert!((flat.util() - 0.969).abs() < 0.02, "edge FLAT-R64 512: {}", flat.util());
+    assert!(
+        (flat.util() - 0.969).abs() < 0.02,
+        "edge FLAT-R64 512: {}",
+        flat.util()
+    );
 
     let cloud = Accelerator::cloud();
     let xlm = Model::xlm().block(64, 16_384);
     let cmc = CostModel::new(&cloud);
     let base_c = cmc.la_cost(&xlm, &BlockDataflow::base().la);
-    assert!((base_c.util() - 0.194).abs() < 0.02, "cloud base 16K: {}", base_c.util());
+    assert!(
+        (base_c.util() - 0.194).abs() < 0.02,
+        "cloud base 16K: {}",
+        base_c.util()
+    );
     let flat_c = cmc.fused_la_cost(&xlm, &FusedDataflow::new(Granularity::Row(256)));
-    assert!((flat_c.util() - 0.941).abs() < 0.02, "cloud FLAT-R256 16K: {}", flat_c.util());
+    assert!(
+        (flat_c.util() - 0.941).abs() < 0.02,
+        "cloud FLAT-R256 16K: {}",
+        flat_c.util()
+    );
 }
 
 /// Platform presets are Figure 7(a), immutably.
@@ -76,9 +101,15 @@ fn platform_golden() {
     let e = Accelerator::edge();
     assert_eq!((e.pe.rows, e.pe.cols), (32, 32));
     assert_eq!(e.sg, Bytes::from_kib(512));
-    assert_eq!((e.mem.onchip_bytes_per_s, e.mem.offchip_bytes_per_s), (1.0e12, 50.0e9));
+    assert_eq!(
+        (e.mem.onchip_bytes_per_s, e.mem.offchip_bytes_per_s),
+        (1.0e12, 50.0e9)
+    );
     let c = Accelerator::cloud();
     assert_eq!((c.pe.rows, c.pe.cols), (256, 256));
     assert_eq!(c.sg, Bytes::from_mib(32));
-    assert_eq!((c.mem.onchip_bytes_per_s, c.mem.offchip_bytes_per_s), (8.0e12, 400.0e9));
+    assert_eq!(
+        (c.mem.onchip_bytes_per_s, c.mem.offchip_bytes_per_s),
+        (8.0e12, 400.0e9)
+    );
 }

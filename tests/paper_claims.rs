@@ -25,7 +25,10 @@ fn cloud_baseline_fails_80pct_beyond_4k() {
     let model = Model::bert();
     let util_at = |space: SpaceKind, seq: u64| {
         let block = model.block(64, seq);
-        Dse::new(&accel, &block).best_la(space, Objective::MaxUtil).report.util()
+        Dse::new(&accel, &block)
+            .best_la(space, Objective::MaxUtil)
+            .report
+            .util()
     };
     assert!(
         util_at(SpaceKind::Sequential, 4096) < 0.8,
@@ -49,8 +52,14 @@ fn r_gran_footprint_linear_others_quadratic() {
     };
     let ratio_r = fp(65_536, Granularity::Row(64)) / fp(4096, Granularity::Row(64));
     let ratio_h = fp(65_536, Granularity::Head) / fp(4096, Granularity::Head);
-    assert!(ratio_r < 32.0, "R-gran should grow ~16x for 16x seq: {ratio_r}");
-    assert!(ratio_h > 128.0, "H-gran should grow ~256x for 16x seq: {ratio_h}");
+    assert!(
+        ratio_r < 32.0,
+        "R-gran should grow ~16x for 16x seq: {ratio_r}"
+    );
+    assert!(
+        ratio_h > 128.0,
+        "H-gran should grow ~256x for 16x seq: {ratio_h}"
+    );
 }
 
 /// Figure 8: on the real edge part (512 KiB), FLAT-opt's L-A utilization
@@ -62,15 +71,27 @@ fn flat_opt_beats_base_opt_across_sequence_lengths() {
     for seq in [512u64, 4096, 16_384] {
         let block = Model::bert().block(64, seq);
         let dse = Dse::new(&accel, &block);
-        let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil).report.util();
-        let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil).report.util();
+        let base = dse
+            .best_la(SpaceKind::Sequential, Objective::MaxUtil)
+            .report
+            .util();
+        let flat = dse
+            .best_la(SpaceKind::Full, Objective::MaxUtil)
+            .report
+            .util();
         assert!(flat >= base, "seq {seq}: flat {flat} < base {base}");
     }
     // At 512 the gap is decisive on the real buffer.
     let block = Model::bert().block(64, 512);
     let dse = Dse::new(&accel, &block);
-    let base = dse.best_la(SpaceKind::Sequential, Objective::MaxUtil).report.util();
-    let flat = dse.best_la(SpaceKind::Full, Objective::MaxUtil).report.util();
+    let base = dse
+        .best_la(SpaceKind::Sequential, Objective::MaxUtil)
+        .report
+        .util();
+    let flat = dse
+        .best_la(SpaceKind::Full, Objective::MaxUtil)
+        .report
+        .util();
     assert!(flat > base + 0.2, "512: flat {flat} vs base {base}");
 }
 
@@ -82,7 +103,9 @@ fn flat_r_needs_less_buffer_for_peak_util() {
     let block = model.block(64, 512);
     let util = |df: &BlockDataflow, sg: Bytes| {
         let accel = Accelerator::edge().with_sg(sg);
-        CostModel::new(&accel).scope_cost(&block, df, Scope::LogitAttend).util()
+        CostModel::new(&accel)
+            .scope_cost(&block, df, Scope::LogitAttend)
+            .util()
     };
     let flat_r = BlockDataflow::flat(Granularity::Row(32));
     let base_m = BlockDataflow::base_staged(Granularity::BatchMultiHead);
@@ -92,7 +115,10 @@ fn flat_r_needs_less_buffer_for_peak_util() {
     let base_huge = util(&base_m, Bytes::from_gib(2));
     assert!(flat_small > 0.85, "FLAT-R32 at 1 MiB: {flat_small}");
     assert!(base_small < flat_small);
-    assert!(base_huge > base_small + 0.2, "Base-M should recover with 2 GiB");
+    assert!(
+        base_huge > base_small + 0.2,
+        "Base-M should recover with 2 GiB"
+    );
 }
 
 /// Figure 4 / §5.3.2: FLAT's advantage is eliminated off-chip traffic for
@@ -139,7 +165,10 @@ fn attacc_reduces_bandwidth_requirement() {
         let (mut lo, mut hi) = (1.0e8f64, 1.0e14f64);
         let util_at = |bw: f64| {
             let a = accel.with_offchip_bw(bw);
-            Dse::new(&a, &block).best_la(space, Objective::MaxUtil).report.util()
+            Dse::new(&a, &block)
+                .best_la(space, Objective::MaxUtil)
+                .report
+                .util()
         };
         if util_at(hi) < 0.95 {
             return None;
@@ -156,7 +185,10 @@ fn attacc_reduces_bandwidth_requirement() {
     };
     let attacc = need(SpaceKind::Full).expect("ATTACC reaches 0.95 at 8K");
     if let Some(flex) = need(SpaceKind::Sequential) {
-        assert!(attacc < 0.5 * flex, "attacc {attacc:.3e} vs flex {flex:.3e}");
+        assert!(
+            attacc < 0.5 * flex,
+            "attacc {attacc:.3e} vs flex {flex:.3e}"
+        );
     }
 }
 
@@ -189,7 +221,11 @@ fn composite_tiles_fill_wide_arrays_at_small_r() {
             .util()
     };
     let thin = util_of(Granularity::Row(64)); // 64 of 256 array rows busy
-    let packed = util_of(Granularity::Composite { batch_t: 1, head_t: 4, rows: 64 });
+    let packed = util_of(Granularity::Composite {
+        batch_t: 1,
+        head_t: 4,
+        rows: 64,
+    });
     assert!(packed > 1.5 * thin, "packed {packed} vs thin {thin}");
     assert!(packed > 0.6, "packed heads fill the array: {packed}");
 }
@@ -203,10 +239,16 @@ fn winning_dataflow_is_fused_when_it_matters() {
     let best = Dse::new(&accel, &block).best_la(SpaceKind::Full, Objective::MaxUtil);
     match best.la {
         LaExecution::Fused(f) => {
-            assert!(f.enables.intermediate, "the winning FLAT point stages the intermediate");
+            assert!(
+                f.enables.intermediate,
+                "the winning FLAT point stages the intermediate"
+            );
         }
         LaExecution::Sequential { .. } => {
-            panic!("at cloud/16K the fused dataflow must win (util {})", best.report.util())
+            panic!(
+                "at cloud/16K the fused dataflow must win (util {})",
+                best.report.util()
+            )
         }
     }
 }

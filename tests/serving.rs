@@ -23,10 +23,19 @@ fn no_request_is_lost_or_double_finished() {
     let cfg = EngineConfig::for_platform(&accel, &model, 11);
     let m = serve(&accel, &model, &wl, &cfg).unwrap();
     assert_eq!(m.requests, 64);
-    assert_eq!(m.finished, 64, "every offered request must finish exactly once");
+    assert_eq!(
+        m.finished, 64,
+        "every offered request must finish exactly once"
+    );
     // Token conservation: the engine generated exactly what was asked.
-    assert_eq!(m.decode_tokens, wl.iter().map(|r| r.output_len as u64).sum::<u64>());
-    assert_eq!(m.prefill_tokens, wl.iter().map(|r| r.prompt_len as u64).sum::<u64>());
+    assert_eq!(
+        m.decode_tokens,
+        wl.iter().map(|r| r.output_len as u64).sum::<u64>()
+    );
+    assert_eq!(
+        m.prefill_tokens,
+        wl.iter().map(|r| r.prompt_len as u64).sum::<u64>()
+    );
 }
 
 #[test]
@@ -50,7 +59,11 @@ fn same_seed_same_metrics_json() {
     let cfg = EngineConfig::for_platform(&accel, &model, 99);
     let a = serve(&accel, &model, &workload(24, 99), &cfg).unwrap();
     let b = serve(&accel, &model, &workload(24, 99), &cfg).unwrap();
-    assert_eq!(a.to_json(), b.to_json(), "a seeded serving run must be fully reproducible");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "a seeded serving run must be fully reproducible"
+    );
 }
 
 #[test]
@@ -64,7 +77,10 @@ fn kv_pressure_preempts_without_losing_requests() {
     let m = serve(&accel, &model, &workload(24, 5), &cfg).unwrap();
     assert_eq!(m.finished, 24);
     assert!(m.preemptions > 0, "a starved pool must evict and recompute");
-    assert!(m.kv.peak_occupancy > 0.8, "pressure should drive the pool near full");
+    assert!(
+        m.kv.peak_occupancy > 0.8,
+        "pressure should drive the pool near full"
+    );
 }
 
 #[test]
@@ -96,6 +112,9 @@ fn tight_slo_sheds_gracefully_and_reports_goodput() {
     cfg.max_batch = 2;
     let m = serve(&accel, &model, &wl, &cfg).unwrap();
     assert_eq!(m.finished + m.dropped, m.requests);
-    assert!(m.drops.deadline > 0, "a 1.5 ms SLO must shed from the queue");
+    assert!(
+        m.drops.deadline > 0,
+        "a 1.5 ms SLO must shed from the queue"
+    );
     assert!(m.goodput_tokens_per_s <= m.decode_tokens_per_s + 1e-9);
 }

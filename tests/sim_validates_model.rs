@@ -3,7 +3,9 @@
 //! repository's answer to "why trust the closed-form numbers?".
 
 use flat::arch::Accelerator;
-use flat::core::{CostModel, FusedDataflow, Granularity, ModelOptions, OperatorDataflow, Stationarity};
+use flat::core::{
+    CostModel, FusedDataflow, Granularity, ModelOptions, OperatorDataflow, Stationarity,
+};
 use flat::sim::{simulate_fused, simulate_sequential, SimOptions};
 use flat::workloads::Model;
 
@@ -50,7 +52,10 @@ fn sequential_agreement_memory_bound() {
         // simulator's strict three-phase structure.
         let cm = CostModel::with_options(
             &accel,
-            ModelOptions { overlap_softmax: false, ..Default::default() },
+            ModelOptions {
+                overlap_softmax: false,
+                ..Default::default()
+            },
         );
         let analytical = cm.sequential_la_cost(&block, &df, &df).cycles;
         let simulated = simulate_sequential(&accel, &block, SimOptions::default()).cycles;
@@ -74,8 +79,8 @@ fn both_models_agree_on_the_winner() {
 
     let cm = CostModel::new(&accel);
     let base_df = OperatorDataflow::baseline(Stationarity::Weight);
-    let speedup_analytical =
-        cm.sequential_la_cost(&block, &base_df, &base_df).cycles / cm.fused_la_cost(&block, &df).cycles;
+    let speedup_analytical = cm.sequential_la_cost(&block, &base_df, &base_df).cycles
+        / cm.fused_la_cost(&block, &df).cycles;
 
     let sim_base = simulate_sequential(&accel, &block, SimOptions::default()).cycles;
     let sim_fused = simulate_fused(&accel, &block, &df, SimOptions::default()).cycles;

@@ -102,7 +102,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Combines a function name with a parameter rendering.
     pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { full: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            full: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
@@ -148,14 +150,21 @@ fn run_benchmark(
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
-    let mut b = Bencher { iters_per_sample: 1, samples: Vec::new(), sample_size };
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{name:<40} (no samples: closure never called iter)");
         return;
     }
-    let per_sample: Vec<f64> =
-        b.samples.iter().map(|d| d.as_secs_f64() / b.iters_per_sample as f64).collect();
+    let per_sample: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
     let mean = per_sample.iter().sum::<f64>() / per_sample.len() as f64;
     let min = per_sample.iter().copied().fold(f64::INFINITY, f64::min);
     let max = per_sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -28,7 +28,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Filter { inner: self, reason: reason.into(), pred }
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
     }
 
     /// Type-erases the strategy (used by `prop_oneof!`).
@@ -84,7 +88,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 10000 consecutive candidates", self.reason);
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive candidates",
+            self.reason
+        );
     }
 }
 

@@ -55,7 +55,9 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng { rng: rand::rngs::StdRng::seed_from_u64(h ^ (u64::from(case) << 32)) }
+        TestRng {
+            rng: rand::rngs::StdRng::seed_from_u64(h ^ (u64::from(case) << 32)),
+        }
     }
 
     /// The next 64 random bits.

@@ -60,7 +60,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -198,7 +200,11 @@ pub mod seq {
                 let j = i + (rng.next_u64() as usize) % (idx.len() - i);
                 idx.swap(i, j);
             }
-            idx[..amount].iter().map(|&i| &self[i]).collect::<Vec<_>>().into_iter()
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
         }
 
         fn shuffle<R: RngCore>(&mut self, rng: &mut R) {

@@ -176,7 +176,11 @@ pub trait ParallelIterator: Sized + Sync {
             v.push(item);
             Some(v)
         });
-        chunks.into_iter().flatten().map(|v| v.into_iter().sum::<S>()).sum()
+        chunks
+            .into_iter()
+            .flatten()
+            .map(|v| v.into_iter().sum::<S>())
+            .sum()
     }
 }
 
@@ -187,8 +191,9 @@ fn map_chunks<P: ParallelIterator, A: Send>(
     fold_item: &(dyn Fn(Option<A>, P::Item) -> Option<A> + Sync),
 ) -> Vec<Option<A>> {
     let n = iter.len();
-    let slots: Vec<std::sync::Mutex<(bool, Option<A>)>> =
-        (0..pool::chunk_count(n)).map(|_| std::sync::Mutex::new((false, None))).collect();
+    let slots: Vec<std::sync::Mutex<(bool, Option<A>)>> = (0..pool::chunk_count(n))
+        .map(|_| std::sync::Mutex::new((false, None)))
+        .collect();
     pool::run_chunked_indexed(n, &|chunk_idx, range| {
         let mut acc = None;
         for i in range {
@@ -284,9 +289,7 @@ pub struct MapIter<P, F> {
     f: F,
 }
 
-impl<P: ParallelIterator, U: Send, F: Fn(P::Item) -> U + Sync> ParallelIterator
-    for MapIter<P, F>
-{
+impl<P: ParallelIterator, U: Send, F: Fn(P::Item) -> U + Sync> ParallelIterator for MapIter<P, F> {
     type Item = U;
 
     fn len(&self) -> usize {
@@ -344,13 +347,21 @@ mod tests {
         // Values with duplicated maxima: serial max_by keeps the last.
         let v: Vec<(usize, i32)> = (0..100).map(|i| (i, (i % 7) as i32)).collect();
         let serial = v.iter().copied().max_by(|a, b| a.1.cmp(&b.1)).unwrap();
-        let parallel = v.par_iter().map(|&p| p).max_by(|a, b| a.1.cmp(&b.1)).unwrap();
+        let parallel = v
+            .par_iter()
+            .map(|&p| p)
+            .max_by(|a, b| a.1.cmp(&b.1))
+            .unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn reduce_sums() {
-        let total = (1..=100u64).collect::<Vec<_>>().par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        let total = (1..=100u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&x| x)
+            .reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 5050);
     }
 
@@ -369,7 +380,13 @@ mod tests {
         let v: Vec<u32> = Vec::new();
         let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
-        assert_eq!((0..0usize).into_par_iter().map(|i| i).max_by(|a, b| a.cmp(b)), None);
+        assert_eq!(
+            (0..0usize)
+                .into_par_iter()
+                .map(|i| i)
+                .max_by(|a, b| a.cmp(b)),
+            None
+        );
     }
 
     #[test]
@@ -378,7 +395,13 @@ mod tests {
         // inner calls run inline when the pool is busy or single-threaded.
         let out: Vec<usize> = (0..8usize)
             .into_par_iter()
-            .map(|i| (0..8usize).into_par_iter().map(|j| i * j).collect::<Vec<_>>().len())
+            .map(|i| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|j| i * j)
+                    .collect::<Vec<_>>()
+                    .len()
+            })
             .collect();
         assert_eq!(out, vec![8; 8]);
     }

@@ -141,7 +141,9 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
-        let lanes = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let lanes = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let pool = Pool {
             lanes,
             workers: lanes - 1,

@@ -265,7 +265,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_owned).ok_or_else(|| Error::custom("expected string"))
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
     }
 }
 
@@ -361,7 +363,11 @@ ser_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn serialize_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.serialize_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
     }
 }
 
@@ -377,6 +383,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 
 impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
     fn serialize_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.serialize_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
     }
 }

@@ -121,7 +121,10 @@ fn parse_shape(input: &TokenStream) -> (String, Shape) {
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let body: Vec<TokenTree> = g.stream().into_iter().collect();
-                (name, Shape::TupleStruct(split_top_level_commas(&body).len()))
+                (
+                    name,
+                    Shape::TupleStruct(split_top_level_commas(&body).len()),
+                )
             }
             _ => (name, Shape::UnitStruct),
         },
@@ -136,7 +139,9 @@ fn parse_shape(input: &TokenStream) -> (String, Shape) {
             let mut j = 0;
             while j < body.len() {
                 j = skip_attrs_and_vis(&body, j);
-                let Some(TokenTree::Ident(id)) = body.get(j) else { break };
+                let Some(TokenTree::Ident(id)) = body.get(j) else {
+                    break;
+                };
                 let vname = id.to_string();
                 j += 1;
                 let fields = match body.get(j) {
@@ -162,7 +167,10 @@ fn parse_shape(input: &TokenStream) -> (String, Shape) {
                     }
                     j += 1;
                 }
-                variants.push(Variant { name: vname, fields });
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
             }
             (name, Shape::Enum(variants))
         }
@@ -184,9 +192,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             s.push_str("::serde::Value::Object(m)");
             s
         }
-        Shape::TupleStruct(1) => {
-            "::serde::Serialize::serialize_value(&self.0)".to_string()
-        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))

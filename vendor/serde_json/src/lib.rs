@@ -26,12 +26,18 @@ pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
 
 /// Parses JSON text into any deserializable type.
 pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
     }
     T::deserialize_value(&v)
 }
@@ -200,7 +206,10 @@ impl<'a> Parser<'a> {
             self.pos += text.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -223,7 +232,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected , or ] at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or ] at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -252,7 +266,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(m));
                 }
-                _ => return Err(Error::custom(format!("expected , or }} at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or }} at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
