@@ -69,6 +69,24 @@ impl EnergyTable {
         }
     }
 
+    /// Rescales the SFU per-element energy for a softmax family member:
+    /// the exact two-pass (max + exp + divide) is the calibration point,
+    /// FLASH-D drops the divider (2/3), and the log-LUT variant replaces
+    /// the exp unit with a compare-add-lookup (1/4 — the LUT datapath is
+    /// far cheaper than a pipelined exponential).
+    #[must_use]
+    pub fn scaled_for_softmax(&self, kind: flat_tensor::SoftmaxKind) -> EnergyTable {
+        let s = match kind {
+            flat_tensor::SoftmaxKind::Exact => 1.0,
+            flat_tensor::SoftmaxKind::FlashD => 2.0 / 3.0,
+            flat_tensor::SoftmaxKind::LogLut => 0.25,
+        };
+        EnergyTable {
+            sfu_pj_per_elem: self.sfu_pj_per_elem * s,
+            ..*self
+        }
+    }
+
     /// Converts activity counts into an [`EnergyBreakdown`].
     #[must_use]
     pub fn energy(&self, counts: &ActivityCounts) -> EnergyBreakdown {
@@ -248,5 +266,22 @@ mod tests {
     #[test]
     fn memory_fraction_of_zero_energy_is_zero() {
         assert_eq!(EnergyBreakdown::default().memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn softmax_scaling_touches_only_the_sfu() {
+        let t = EnergyTable::default_16bit();
+        let exact = t.scaled_for_softmax(flat_tensor::SoftmaxKind::Exact);
+        assert_eq!(exact, t);
+        let flash = t.scaled_for_softmax(flat_tensor::SoftmaxKind::FlashD);
+        let lut = t.scaled_for_softmax(flat_tensor::SoftmaxKind::LogLut);
+        assert!(lut.sfu_pj_per_elem < flash.sfu_pj_per_elem);
+        assert!(flash.sfu_pj_per_elem < t.sfu_pj_per_elem);
+        for v in [flash, lut] {
+            assert_eq!(v.mac_pj, t.mac_pj);
+            assert_eq!(v.dram_pj_per_elem, t.dram_pj_per_elem);
+            assert_eq!(v.sg_pj_per_elem, t.sg_pj_per_elem);
+            assert_eq!(v.sl_pj_per_elem, t.sl_pj_per_elem);
+        }
     }
 }

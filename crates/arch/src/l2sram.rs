@@ -54,6 +54,19 @@ impl L2Sram {
     pub fn bytes_per_cycle(&self, clock_hz: f64) -> f64 {
         self.bytes_per_s / clock_hz
     }
+
+    /// Bandwidth in *elements* of `dtype` per second (narrower storage
+    /// moves proportionally more elements through the same wires).
+    #[must_use]
+    pub fn elements_per_s(&self, dtype: flat_tensor::DataType) -> f64 {
+        self.bytes_per_s / dtype.size_bytes() as f64
+    }
+
+    /// How many elements of `dtype` the level holds.
+    #[must_use]
+    pub fn capacity_elements(&self, dtype: flat_tensor::DataType) -> u64 {
+        self.capacity.as_u64() / dtype.size_bytes()
+    }
 }
 
 impl fmt::Display for L2Sram {

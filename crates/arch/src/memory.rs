@@ -63,6 +63,31 @@ impl MemorySystem {
         self.offchip_bytes_per_s / clock_hz
     }
 
+    /// On-chip bandwidth in *elements* of `dtype` per second — the
+    /// element-width lever of mixed precision: halving the storage width
+    /// doubles the elements each interface moves per second.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flat_arch::MemorySystem;
+    /// use flat_tensor::DataType;
+    ///
+    /// let m = MemorySystem::new(1.0e12, 50.0e9);
+    /// assert_eq!(m.onchip_elements_per_s(DataType::Bf16),
+    ///            2.0 * m.onchip_elements_per_s(DataType::Fp32));
+    /// ```
+    #[must_use]
+    pub fn onchip_elements_per_s(&self, dtype: flat_tensor::DataType) -> f64 {
+        self.onchip_bytes_per_s / dtype.size_bytes() as f64
+    }
+
+    /// Off-chip bandwidth in *elements* of `dtype` per second.
+    #[must_use]
+    pub fn offchip_elements_per_s(&self, dtype: flat_tensor::DataType) -> f64 {
+        self.offchip_bytes_per_s / dtype.size_bytes() as f64
+    }
+
     /// Ratio of on-chip to off-chip bandwidth — the "roofline lift" staging
     /// data on-chip buys (Figure 2(c)).
     #[must_use]

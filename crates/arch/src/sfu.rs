@@ -1,6 +1,7 @@
 //! The special-function unit that computes softmax (and other
 //! non-linearities) between operators.
 
+use flat_tensor::SoftmaxKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -57,6 +58,46 @@ impl Sfu {
         }
         elements.div_ceil(self.elements_per_cycle) + self.pipeline_latency
     }
+
+    /// Pipeline beats per element each softmax family member occupies:
+    /// the exact two-pass needs max + exp + divide stages (3), FLASH-D
+    /// folds the divide into the accumulate (2), and the log-LUT variant
+    /// is a single compare-add-lookup pass (1).
+    #[must_use]
+    pub const fn beats_per_element(kind: SoftmaxKind) -> u64 {
+        match kind {
+            SoftmaxKind::Exact => 3,
+            SoftmaxKind::FlashD => 2,
+            SoftmaxKind::LogLut => 1,
+        }
+    }
+
+    /// Cycles to apply the selected softmax family member to `elements`
+    /// logits. Throughput scales with how many pipeline beats each
+    /// element needs, normalized so [`SoftmaxKind::Exact`] reproduces
+    /// [`softmax_cycles`](Self::softmax_cycles) exactly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flat_arch::Sfu;
+    /// use flat_tensor::SoftmaxKind;
+    ///
+    /// let sfu = Sfu::new(128, 16);
+    /// assert_eq!(sfu.softmax_cycles_kind(2048, SoftmaxKind::Exact),
+    ///            sfu.softmax_cycles(2048));
+    /// // The log-LUT member streams 3x the elements per cycle.
+    /// assert!(sfu.softmax_cycles_kind(6144, SoftmaxKind::LogLut)
+    ///         <= sfu.softmax_cycles(2048));
+    /// ```
+    #[must_use]
+    pub fn softmax_cycles_kind(&self, elements: u64, kind: SoftmaxKind) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        let beats = Self::beats_per_element(kind);
+        (elements * beats).div_ceil(3 * self.elements_per_cycle) + self.pipeline_latency
+    }
 }
 
 impl fmt::Display for Sfu {
@@ -95,5 +136,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_throughput_rejected() {
         let _ = Sfu::new(0, 1);
+    }
+
+    #[test]
+    fn exact_kind_reproduces_legacy_formula() {
+        let sfu = Sfu::new(128, 16);
+        for n in [0u64, 1, 127, 128, 2048, 1 << 20] {
+            assert_eq!(
+                sfu.softmax_cycles_kind(n, SoftmaxKind::Exact),
+                sfu.softmax_cycles(n),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cheaper_kinds_never_cost_more() {
+        let sfu = Sfu::new(64, 8);
+        for n in [0u64, 1, 100, 10_000] {
+            let exact = sfu.softmax_cycles_kind(n, SoftmaxKind::Exact);
+            let flash = sfu.softmax_cycles_kind(n, SoftmaxKind::FlashD);
+            let lut = sfu.softmax_cycles_kind(n, SoftmaxKind::LogLut);
+            assert!(flash <= exact, "{n}");
+            assert!(lut <= flash, "{n}");
+        }
+        // At scale the ratios approach the beat counts.
+        let n = 3 * 64 * 1_000_000;
+        let exact = sfu.softmax_cycles_kind(n, SoftmaxKind::Exact) as f64;
+        let lut = sfu.softmax_cycles_kind(n, SoftmaxKind::LogLut) as f64;
+        assert!((exact / lut - 3.0).abs() < 0.01);
     }
 }

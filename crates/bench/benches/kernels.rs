@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flat_kernels::{
-    flat_attention, naive_attention, parallel_flat_attention, streaming_attention, Mask,
-    MultiHeadInput,
+    flat_attention, flat_attention_with, naive_attention, parallel_flat_attention,
+    streaming_attention, ComputePrecision, Mask, MultiHeadInput,
 };
+use flat_tensor::SoftmaxKind;
 use std::hint::black_box;
 
 fn bench_attention(c: &mut Criterion) {
@@ -39,5 +40,28 @@ fn bench_attention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_attention);
+/// The mixed-precision kernel family: packed 16-bit / int8 storage with
+/// the exp/div-free softmax variants, against the f32 exact reference.
+fn bench_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precision");
+    for seq in [128usize, 512] {
+        let input = MultiHeadInput::random(1, 4, seq, seq, 64, 42);
+        let flops = (2 * 2 * 4 * seq * seq * 64) as u64;
+        group.throughput(Throughput::Elements(flops));
+        for (label, precision, kind) in [
+            ("f32-exact", ComputePrecision::F32, SoftmaxKind::Exact),
+            ("bf16-flash-d", ComputePrecision::Bf16, SoftmaxKind::FlashD),
+            ("bf16-log-lut", ComputePrecision::Bf16, SoftmaxKind::LogLut),
+            ("f16-flash-d", ComputePrecision::F16, SoftmaxKind::FlashD),
+            ("int8-flash-d", ComputePrecision::Int8, SoftmaxKind::FlashD),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, seq), &input, |b, inp| {
+                b.iter(|| black_box(flat_attention_with(inp, 16, Mask::None, precision, kind)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention, bench_precision);
 criterion_main!(benches);

@@ -45,6 +45,7 @@ fn main() {
             ModelOptions {
                 double_buffered: false,
                 overlap_softmax: false,
+                ..Default::default()
             },
         ),
     ] {

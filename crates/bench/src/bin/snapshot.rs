@@ -22,10 +22,11 @@ use flat_bench::args::Args;
 use flat_bench::sweep::{buffer_sweep, buffer_sweep_serial};
 use flat_dist::{Link, Partition, Sweep, Topology};
 use flat_kernels::{
-    decode_attention, flat_attention, naive_attention, parallel_flat_attention, Mask,
-    MultiHeadInput,
+    decode_attention, flat_attention, flat_attention_with, naive_attention,
+    parallel_flat_attention, ComputePrecision, Mask, Mat, MultiHeadInput,
 };
 use flat_serve::{BlockTable, EngineConfig, KvPool, WorkloadSpec};
+use flat_tensor::SoftmaxKind;
 use flat_workloads::Task;
 use serde::Serialize;
 use std::time::Instant;
@@ -35,6 +36,7 @@ struct Snapshot {
     schema: String,
     tag: String,
     pool_threads: usize,
+    cpu_model: String,
     entries: Vec<Entry>,
 }
 
@@ -47,6 +49,43 @@ struct Entry {
     mean_ms: f64,
     min_ms: f64,
     speedup_vs_baseline: f64,
+    /// Numeric deviation from the group's f32 reference output
+    /// (max |diff| / max |reference|); `null` outside the precision group.
+    max_rel_error: Option<f64>,
+}
+
+/// The CPU the wall times were measured on (`/proc/cpuinfo` model name;
+/// `"unknown"` where that interface is absent).
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|s| s.trim().to_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Normalized max-abs deviation of `test` from `reference`:
+/// `max |t - r| / max |r|` over every element of every head.
+fn max_rel_error(test: &[Mat], reference: &[Mat]) -> f64 {
+    let mut max_diff = 0f64;
+    let mut max_ref = 0f64;
+    for (t, r) in test.iter().zip(reference) {
+        for i in 0..r.rows() {
+            for (tv, rv) in t.row(i).iter().zip(r.row(i)) {
+                max_diff = max_diff.max(f64::from(tv - rv).abs());
+                max_ref = max_ref.max(f64::from(*rv).abs());
+            }
+        }
+    }
+    if max_ref == 0.0 {
+        0.0
+    } else {
+        max_diff / max_ref
+    }
 }
 
 /// Times `f` over `reps` repetitions (after one untimed warm-up run),
@@ -72,6 +111,7 @@ fn time<T>(group: &str, name: &str, config: &str, reps: u64, mut f: impl FnMut()
         mean_ms: total / reps as f64,
         min_ms: min,
         speedup_vs_baseline: 1.0,
+        max_rel_error: None,
     };
     println!(
         "{:<8} {:<28} mean {:>9.3} ms   min {:>9.3} ms   ({} reps)",
@@ -119,6 +159,56 @@ fn kernel_entries(args: &Args, quick: bool) -> Vec<Entry> {
             || parallel_flat_attention(&input, tile, Mask::None, rayon::current_num_threads()),
         ),
     ];
+    with_speedups(entries)
+}
+
+/// The mixed-precision kernel family at the paper's 4K evaluation point:
+/// packed bf16/f16 storage with widening loads and the exp/div-free
+/// softmax variants, against the naive f32 baseline. Each reduced
+/// precision entry also records its numeric deviation from that baseline
+/// (`max_rel_error`), so the speedup and the accuracy cost are one
+/// record.
+fn precision_entries(args: &Args, quick: bool) -> Vec<Entry> {
+    let (default_seq, reps) = if quick { (256, 2) } else { (4096, 3) };
+    let seq = args.get_u64("seq", default_seq) as usize;
+    let tile = args.get_u64("tile", 64) as usize;
+    let (batch, heads, dk) = (1, 4, 64);
+    let config = format!("batch={batch} heads={heads} seq={seq} dk={dk} rows_per_tile={tile}");
+    let input = MultiHeadInput::random(batch, heads, seq, seq, dk, 0xF1A7);
+    let reference = naive_attention(&input, Mask::None);
+    let mut entries = vec![time("precision", "naive_f32", &config, reps, || {
+        naive_attention(&input, Mask::None)
+    })];
+    for (name, precision, kind) in [
+        ("flat_f32_exact", ComputePrecision::F32, SoftmaxKind::Exact),
+        (
+            "flat_bf16_flash_d",
+            ComputePrecision::Bf16,
+            SoftmaxKind::FlashD,
+        ),
+        (
+            "flat_bf16_log_lut",
+            ComputePrecision::Bf16,
+            SoftmaxKind::LogLut,
+        ),
+        (
+            "flat_f16_flash_d",
+            ComputePrecision::F16,
+            SoftmaxKind::FlashD,
+        ),
+        (
+            "flat_int8_flash_d",
+            ComputePrecision::Int8,
+            SoftmaxKind::FlashD,
+        ),
+    ] {
+        let mut e = time("precision", name, &config, reps, || {
+            flat_attention_with(&input, tile, Mask::None, precision, kind)
+        });
+        let out = flat_attention_with(&input, tile, Mask::None, precision, kind);
+        e.max_rel_error = Some(max_rel_error(&out, &reference));
+        entries.push(e);
+    }
     with_speedups(entries)
 }
 
@@ -249,6 +339,7 @@ fn dist_entries(quick: bool) -> Vec<Entry> {
                 mean_ms: p.total_ms,
                 min_ms: p.total_ms,
                 speedup_vs_baseline: 1.0,
+                max_rel_error: None,
             };
             println!(
                 "{:<8} {:<28} mean {:>9.3} ms   min {:>9.3} ms   (modeled)",
@@ -263,10 +354,11 @@ fn dist_entries(quick: bool) -> Vec<Entry> {
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
-    let tag = args.get("tag", "PR4");
+    let tag = args.get("tag", "PR6");
     let out_path = args.get("out", &format!("BENCH_{tag}.json"));
 
     let mut entries = kernel_entries(&args, quick);
+    entries.extend(precision_entries(&args, quick));
     entries.extend(sweep_entries(quick));
     entries.extend(serve_entries(quick));
     entries.extend(engine_entries(quick));
@@ -276,6 +368,7 @@ fn main() {
         schema: "flat-bench-snapshot/v1".to_owned(),
         tag,
         pool_threads: rayon::current_num_threads(),
+        cpu_model: cpu_model(),
         entries,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");

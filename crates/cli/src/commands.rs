@@ -15,9 +15,9 @@ flat — FLAT dataflow cost model, DSE, tracer, and serving runtime
 USAGE:
   flat info
   flat cost  --platform edge --model bert --seq 4096 --dataflow flat-r64 [--scope la|block|model] [--json]
-  flat dse   --platform cloud --model xlm --seq 16384 [--space base|base-m|fused|full]
+  flat dse   --platform cloud --model xlm --seq 16384 [--space base|base-m|fused|full|precision]
              [--objective max-util|min-energy|min-edp|min-footprint|util-per-footprint]
-             [--trace FILE] [--json]
+             [--trace FILE] [--json]   # --space precision sweeps width x softmax family
   flat trace --platform edge --model bert --seq 512 --dataflow flat-r64 [--width 48]
   flat loopnest --dataflow flat-r64 [--seq N]   # Figure 4-style loop nest
   flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
@@ -26,6 +26,7 @@ USAGE:
              [--task short-nlp|image-generation|summarization|language-modeling|music-processing]
              [--prompt N] [--output N] [--block-tokens 16] [--kv-mib N] [--chunk 512]
              [--max-batch 64] [--slo-ms MS] [--chaos SEED]
+             [--precision fp32|bf16|fp16|int8] [--softmax exact|flash-d|log-lut]
              [--trace FILE] [--metrics FILE] [--json]
   flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8]
              [--topology ring|mesh|fc|all] [--partition head|seq|kv|all]
@@ -43,7 +44,12 @@ COMMON OPTIONS:
   --accel-json FILE   load a serialized accelerator instead of a preset
   --model-json FILE   load a HuggingFace-style model config instead of a zoo name
   --no-double-buffer  charge every tile switch and serialize transfers
-  --serial-softmax    the paper's stricter baseline softmax phase";
+  --serial-softmax    the paper's stricter baseline softmax phase
+  --softmax KIND      softmax family the SFU prices/runs: exact (default),
+                      flash-d (division folded into the recurrence), or
+                      log-lut (exp/div-free log2-domain; cost, trace, serve)
+  --precision P       numeric-plane storage width for serve: fp32 (default),
+                      bf16, fp16, or int8";
 
 /// The streaming sink behind `--trace FILE`.
 type FileSink = flat_telemetry::JsonStreamSink<std::io::BufWriter<std::fs::File>>;
@@ -205,7 +211,7 @@ pub fn cost(args: &Args) -> Result<(), String> {
     let setup = parse::setup(args)?;
     let df = parse::dataflow(&args.get("dataflow", "flat-r64"))?;
     let scope = parse::scope(args)?;
-    let cm = CostModel::with_options(&setup.accel, parse::model_options(args));
+    let cm = CostModel::with_options(&setup.accel, parse::model_options(args)?);
     let mut report = cm.scope_cost(&setup.block, &df, scope);
     if scope == Scope::Model {
         report = report.repeat(setup.model.blocks());
@@ -258,7 +264,12 @@ pub fn dse(args: &Args) -> Result<(), String> {
         "base-m" => SpaceKind::SequentialMGran,
         "fused" => SpaceKind::Fused,
         "full" => SpaceKind::Full,
-        other => return Err(format!("unknown space {other:?} (base|base-m|fused|full)")),
+        "precision" => return dse_precision(&setup, args, objective),
+        other => {
+            return Err(format!(
+                "unknown space {other:?} (base|base-m|fused|full|precision)"
+            ))
+        }
     };
     let dse = Dse::new(&setup.accel, &setup.block);
     let best = match open_trace(args)? {
@@ -291,6 +302,63 @@ pub fn dse(args: &Args) -> Result<(), String> {
             best.report.footprint
         );
         println!("best non-fused ops:  {others}");
+    }
+    Ok(())
+}
+
+/// `flat dse --space precision` — sweep storage width × softmax family,
+/// re-searching the best dataflow inside each pairing, and report the
+/// cycles-vs-energy Pareto frontier.
+fn dse_precision(
+    setup: &parse::Setup,
+    args: &Args,
+    objective: flat_dse::Objective,
+) -> Result<(), String> {
+    let dse = Dse::new(&setup.accel, &setup.block);
+    let points = dse.explore_precision(SpaceKind::Full, objective);
+    let front = flat_dse::precision_pareto(&points);
+    let on_front = |p: &flat_dse::PrecisionPoint| front.iter().any(|f| f.choice == p.choice);
+    if args.flag("json") {
+        let arr: Vec<serde_json::Value> = points
+            .iter()
+            .map(|p| {
+                json!({
+                    "choice": p.choice.label(),
+                    "dtype": p.choice.dtype.to_string(),
+                    "softmax": p.choice.softmax.to_string(),
+                    "dataflow": la_label(&p.la),
+                    "cycles": p.report.cycles,
+                    "energy_pj": p.report.energy.total_pj(),
+                    "util": p.report.util(),
+                    "pareto": on_front(p),
+                })
+            })
+            .collect();
+        let v = json!({ "objective": objective.to_string(), "points": arr });
+        println!("{}", serde_json::to_string_pretty(&v).expect("serializes"));
+    } else {
+        println!("accelerator: {}", setup.accel);
+        println!(
+            "workload:    {} (B={}, N={})",
+            setup.model, setup.batch, setup.seq
+        );
+        println!("objective:   {objective} (per precision, best dataflow)");
+        println!();
+        println!(
+            "{:16} {:14} {:>12} {:>14} {:>8}  pareto",
+            "precision", "dataflow", "cycles", "energy (pJ)", "util"
+        );
+        for p in &points {
+            println!(
+                "{:16} {:14} {:>12.4e} {:>14.4e} {:>8.4}  {}",
+                p.choice.label(),
+                la_label(&p.la),
+                p.report.cycles,
+                p.report.energy.total_pj(),
+                p.report.util(),
+                if on_front(p) { "*" } else { "" }
+            );
+        }
     }
     Ok(())
 }
@@ -423,6 +491,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if let Some(mib) = parse::opt_u64_arg(args, "kv-mib")? {
         cfg.kv_budget = flat_tensor::Bytes::from_mib(mib);
     }
+    cfg.precision = parse::precision(args)?;
+    cfg.softmax = parse::softmax_kind(args)?;
     let faults = parse::opt_u64_arg(args, "chaos")?.map(flat_serve::FaultPlan::chaos);
     let mut workload = spec.generate(seed).map_err(|e| e.to_string())?;
     if let Some(plan) = &faults {

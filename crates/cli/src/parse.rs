@@ -137,11 +137,40 @@ pub fn dataflow(label: &str) -> Result<BlockDataflow, String> {
 }
 
 /// Model-option flags shared by `cost`/`sim`/`trace`:
-/// `--no-double-buffer`, `--serial-softmax`.
-pub fn model_options(args: &Args) -> flat_core::ModelOptions {
-    flat_core::ModelOptions {
+/// `--no-double-buffer`, `--serial-softmax`, `--softmax KIND`.
+///
+/// # Errors
+///
+/// Propagates an unrecognized `--softmax` value.
+pub fn model_options(args: &Args) -> Result<flat_core::ModelOptions, String> {
+    Ok(flat_core::ModelOptions {
         double_buffered: !args.flag("no-double-buffer"),
         overlap_softmax: !args.flag("serial-softmax"),
+        softmax: softmax_kind(args)?,
+    })
+}
+
+/// Parses `--softmax exact|flash-d|log-lut` (default `exact`).
+///
+/// # Errors
+///
+/// Lists the valid kinds when the value matches none.
+pub fn softmax_kind(args: &Args) -> Result<flat_tensor::SoftmaxKind, String> {
+    match optional(args, "softmax") {
+        None => Ok(flat_tensor::SoftmaxKind::Exact),
+        Some(s) => flat_tensor::SoftmaxKind::parse(&s),
+    }
+}
+
+/// Parses `--precision fp32|bf16|fp16|int8` (default `fp32`).
+///
+/// # Errors
+///
+/// Lists the valid precisions when the value matches none.
+pub fn precision(args: &Args) -> Result<flat_serve::ComputePrecision, String> {
+    match optional(args, "precision") {
+        None => Ok(flat_serve::ComputePrecision::F32),
+        Some(s) => flat_serve::ComputePrecision::parse(&s),
     }
 }
 

@@ -200,7 +200,7 @@ impl CostModel<'_> {
         // The SFU is its own unit: it softmaxes FLAT-tile i while the PE
         // array runs L of tile i+1 (no dependency between them), so it
         // only binds when slower than the array.
-        let sfu_per_iter = self.accel.sfu.softmax_cycles(s.intermediate) as f64;
+        let sfu_per_iter = self.sfu_cycles(s.intermediate) as f64;
 
         // --- Per-iteration phase combination ---
         // Interleaved double buffering hides the next tile's fetch behind
@@ -261,7 +261,7 @@ impl CostModel<'_> {
             },
             activity,
             footprint: ws + req,
-            energy: self.accel.energy.scaled_for(dtype).energy(&activity),
+            energy: self.energy_table(dtype).energy(&activity),
         }
     }
 }

@@ -42,6 +42,7 @@ pub use report::{CostReport, Traffic};
 pub use staging::{offchip_elems, Staging};
 
 use flat_arch::Accelerator;
+use flat_tensor::SoftmaxKind;
 use serde::{Deserialize, Serialize};
 
 /// Model toggles for ablation studies.
@@ -57,6 +58,12 @@ pub struct ModelOptions {
     /// it charges softmax as its own serial phase between L and A, which
     /// is how the paper's baseline behaves and widens FLAT's advantage.
     pub overlap_softmax: bool,
+    /// Which softmax family member the SFU runs: the exact two-pass
+    /// (max + exp + divide, the default and the paper's configuration),
+    /// FLASH-D (division folded into the accumulate recurrence), or the
+    /// H-FA log-LUT variant (no exp, no divider). Prices both SFU cycles
+    /// and SFU energy.
+    pub softmax: SoftmaxKind,
 }
 
 impl Default for ModelOptions {
@@ -64,6 +71,7 @@ impl Default for ModelOptions {
         ModelOptions {
             double_buffered: true,
             overlap_softmax: true,
+            softmax: SoftmaxKind::Exact,
         }
     }
 }
@@ -116,5 +124,21 @@ impl<'a> CostModel<'a> {
     #[must_use]
     pub fn options(&self) -> ModelOptions {
         self.opts
+    }
+
+    /// SFU cycles for `elements` logits under the selected softmax kind.
+    pub(crate) fn sfu_cycles(&self, elements: u64) -> u64 {
+        self.accel
+            .sfu
+            .softmax_cycles_kind(elements, self.opts.softmax)
+    }
+
+    /// The per-action energy table in effect: the accelerator's, rescaled
+    /// for the element width and the selected softmax family member.
+    pub(crate) fn energy_table(&self, dtype: flat_tensor::DataType) -> flat_arch::EnergyTable {
+        self.accel
+            .energy
+            .scaled_for(dtype)
+            .scaled_for_softmax(self.opts.softmax)
     }
 }

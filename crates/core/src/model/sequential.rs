@@ -20,7 +20,7 @@ impl CostModel<'_> {
         dtype: flat_tensor::DataType,
     ) -> CostReport {
         let e = dtype.size_bytes();
-        let sfu_cycles = self.accel.sfu.softmax_cycles(elements) as f64;
+        let sfu_cycles = self.sfu_cycles(elements) as f64;
         let moved = Bytes::new(2 * elements * e);
         let (onchip, offchip) = if resident {
             (moved, Bytes::ZERO)
@@ -42,7 +42,7 @@ impl CostModel<'_> {
             traffic: Traffic { onchip, offchip },
             activity,
             footprint: Bytes::ZERO,
-            energy: self.accel.energy.scaled_for(dtype).energy(&activity),
+            energy: self.energy_table(dtype).energy(&activity),
         }
     }
 

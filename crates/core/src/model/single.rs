@@ -156,7 +156,7 @@ impl CostModel<'_> {
             },
             activity,
             footprint: Bytes::new(tiling.working_set_elems * e) + staging_footprint,
-            energy: self.accel.energy.scaled_for(dtype).energy(&activity),
+            energy: self.energy_table(dtype).energy(&activity),
         }
     }
 

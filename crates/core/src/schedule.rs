@@ -205,7 +205,7 @@ impl CostModel<'_> {
         let off =
             total.traffic.offchip.as_f64() / self.accel.offchip_bytes_per_cycle() / iters as f64;
         let on = total.traffic.onchip.as_f64() / self.accel.onchip_bytes_per_cycle() / iters as f64;
-        let sfu = self.accel.sfu.softmax_cycles(s.intermediate) as f64;
+        let sfu = self.sfu_cycles(s.intermediate) as f64;
         let l_sub = Gemm::new(s.groups, s.rows, cfg.dk(), cfg.seq_kv);
         let compute = 2.0 * crate::gemm_compute(&l_sub, df.stationarity_l, self.accel).steps as f64;
         let bound = classify(compute, on, off, sfu);

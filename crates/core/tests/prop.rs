@@ -159,7 +159,7 @@ proptest! {
         let with = CostModel::new(&accel).sequential_la_cost(&block, &df, &df);
         let without = CostModel::with_options(
             &accel,
-            ModelOptions { double_buffered: false, overlap_softmax: false },
+            ModelOptions { double_buffered: false, overlap_softmax: false, ..Default::default() },
         )
         .sequential_la_cost(&block, &df, &df);
         prop_assert!(with.cycles <= without.cycles * (1.0 + 1e-9));

@@ -34,12 +34,14 @@
 mod accel;
 mod hw;
 mod objective;
+mod precision;
 mod search;
 mod space;
 
 pub use accel::{AccelClass, AccelEvaluation};
 pub use hw::{best_hardware, HwCandidate, HwSearchResult, HwSearchSpec};
 pub use objective::Objective;
+pub use precision::{precision_pareto, PrecisionChoice, PrecisionPoint};
 pub use search::{pareto_frontier, DesignPoint, Dse};
 pub use space::{la_points, others_points, row_candidates, SpaceKind};
 

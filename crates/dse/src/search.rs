@@ -35,8 +35,8 @@ pub struct DesignPoint {
 /// ```
 #[derive(Debug)]
 pub struct Dse<'a> {
-    accel: &'a flat_arch::Accelerator,
-    block: &'a AttentionBlock,
+    pub(crate) accel: &'a flat_arch::Accelerator,
+    pub(crate) block: &'a AttentionBlock,
 }
 
 impl<'a> Dse<'a> {

@@ -9,7 +9,10 @@
 //! the `flat-serve` engine calls once per scheduled decode token, with the
 //! K/V rows streamed straight out of its paged cache blocks.
 
-use crate::{mat::dot, OnlineSoftmax};
+use crate::softmax_family::{FlashDSoftmax, LogLutSoftmax};
+use crate::{mat::dot, ComputePrecision, OnlineSoftmax};
+use flat_tensor::half::round_to;
+use flat_tensor::SoftmaxKind;
 
 /// Attention output of one decode step: the query row `q` against every
 /// cached `(key, value)` row the iterator yields, in order.
@@ -72,6 +75,105 @@ where
     acc
 }
 
+/// Rounds one row through the storage grid of `precision`.
+fn snap_row(row: &[f32], precision: ComputePrecision) -> Vec<f32> {
+    match precision {
+        ComputePrecision::F32 => row.to_vec(),
+        ComputePrecision::Bf16 | ComputePrecision::F16 => row
+            .iter()
+            .map(|&x| round_to(precision.dtype(), x))
+            .collect(),
+        ComputePrecision::Int8 => {
+            let mut v = row.to_vec();
+            crate::quantized::snap_logits_int8(&mut v);
+            v
+        }
+    }
+}
+
+/// One decode step with an explicit precision and softmax kind — the
+/// kernel `flat-serve` calls when the engine is configured off the f32
+/// reference.
+///
+/// `F32` + `Exact` delegates to [`decode_attention`] byte-identically.
+/// Other precisions snap the query and each streamed K/V row through the
+/// storage grid first. The FLASH-D and log-LUT kinds run the fold as
+/// `acc ← acc·carry + w̃·v`: the accumulator is normalized after every
+/// cached row and the final divide disappears (the single-element FLASH-D
+/// form is exactly the incremental average `o ← o + μ(v − o)`).
+///
+/// # Panics
+///
+/// Panics if no K/V row is yielded, or if a key row's length differs from
+/// the query's.
+#[must_use]
+pub fn decode_attention_with<'a, I>(
+    q: &[f32],
+    kv: I,
+    scale: f32,
+    precision: ComputePrecision,
+    kind: SoftmaxKind,
+) -> Vec<f32>
+where
+    I: IntoIterator<Item = (&'a [f32], &'a [f32])>,
+{
+    if precision == ComputePrecision::F32 && kind == SoftmaxKind::Exact {
+        return decode_attention(q, kv, scale);
+    }
+    let qs = snap_row(q, precision);
+    let mut online = OnlineSoftmax::new();
+    let mut flash = FlashDSoftmax::new();
+    let mut loglut = LogLutSoftmax::new();
+    let mut acc: Vec<f32> = Vec::new();
+    let mut seen = false;
+    for (k, v) in kv {
+        assert_eq!(k.len(), q.len(), "key row length must match the query");
+        let krow = snap_row(k, precision);
+        let vrow = snap_row(v, precision);
+        if !seen {
+            acc = vec![0.0f32; vrow.len()];
+            seen = true;
+        }
+        let logit = dot(&qs, &krow) * scale;
+        let w = match kind {
+            SoftmaxKind::Exact => {
+                let rescale = online.absorb(&[logit]);
+                if rescale != 1.0 {
+                    for a in &mut acc {
+                        *a *= rescale;
+                    }
+                }
+                online.weight(logit)
+            }
+            family => {
+                let mut chunk = [logit];
+                let carry = if family == SoftmaxKind::FlashD {
+                    flash.absorb(&mut chunk)
+                } else {
+                    loglut.absorb(&mut chunk)
+                };
+                if carry != 1.0 {
+                    for a in &mut acc {
+                        *a *= carry;
+                    }
+                }
+                chunk[0]
+            }
+        };
+        for (a, &vv) in acc.iter_mut().zip(&vrow) {
+            *a = w.mul_add(vv, *a);
+        }
+    }
+    assert!(seen, "decode_attention needs at least one cached K/V row");
+    if kind == SoftmaxKind::Exact {
+        let inv = 1.0 / online.normalizer();
+        for a in &mut acc {
+            *a *= inv;
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +212,63 @@ mod tests {
     #[should_panic(expected = "at least one cached K/V row")]
     fn empty_prefix_panics() {
         let _ = decode_attention(&[1.0, 2.0], std::iter::empty(), 1.0);
+    }
+
+    #[test]
+    fn f32_exact_with_variant_is_byte_identical() {
+        let input = MultiHeadInput::random(1, 1, 8, 8, 4, 29);
+        let (q, k, v) = (&input.q[0], &input.k[0], &input.v[0]);
+        for i in 0..8 {
+            let reference = decode_attention(
+                q.row(i),
+                (0..=i).map(|j| (k.row(j), v.row(j))),
+                input.scale(),
+            );
+            let with = decode_attention_with(
+                q.row(i),
+                (0..=i).map(|j| (k.row(j), v.row(j))),
+                input.scale(),
+                ComputePrecision::F32,
+                SoftmaxKind::Exact,
+            );
+            assert_eq!(reference, with, "step {i}");
+        }
+    }
+
+    #[test]
+    fn family_kinds_track_causal_naive_rows() {
+        let input = MultiHeadInput::random(1, 1, 10, 10, 8, 31);
+        let exact = naive_attention(&input, Mask::Causal);
+        let (q, k, v) = (&input.q[0], &input.k[0], &input.v[0]);
+        for kind in [SoftmaxKind::FlashD, SoftmaxKind::LogLut] {
+            for i in 0..10 {
+                let kv = (0..=i).map(|j| (k.row(j), v.row(j)));
+                let out =
+                    decode_attention_with(q.row(i), kv, input.scale(), ComputePrecision::F32, kind);
+                for (j, &o) in out.iter().enumerate() {
+                    let d = (o - exact[0].at(i, j)).abs();
+                    assert!(d < 5e-3, "{kind} step {i}, col {j}: diff {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_one_returns_the_storage_rounded_value_row() {
+        // The step-1 causal decode edge: softmax over one logit is exactly
+        // 1 in every family member, so the output is the (storage-rounded)
+        // value row.
+        let input = MultiHeadInput::random(1, 1, 1, 1, 6, 37);
+        let (q, k, v) = (&input.q[0], &input.k[0], &input.v[0]);
+        for &p in ComputePrecision::all() {
+            for kind in [SoftmaxKind::Exact, SoftmaxKind::FlashD, SoftmaxKind::LogLut] {
+                let out =
+                    decode_attention_with(q.row(0), [(k.row(0), v.row(0))], input.scale(), p, kind);
+                let snapped = snap_row(v.row(0), p);
+                for (o, &vv) in out.iter().zip(&snapped) {
+                    assert!((o - vv).abs() < 1e-5, "{p}/{kind}: {o} vs {vv}");
+                }
+            }
+        }
     }
 }

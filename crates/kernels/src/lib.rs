@@ -19,6 +19,15 @@
 //! rounding for every shape, tile size, and mask — including
 //! cross-attention (`seq_q ≠ seq_kv`) and causal decoding.
 //!
+//! On top of the f32 reference sits the **mixed-precision kernel family**:
+//! every execution has a `_with` variant taking a [`ComputePrecision`]
+//! (f32, bf16/f16 packed storage with widening loads via [`HalfMat`], or
+//! int8 with an int8 score matrix) and a
+//! [`SoftmaxKind`](flat_tensor::SoftmaxKind) selecting the softmax
+//! algorithm — exact two-pass, [`FlashDSoftmax`] (division folded into the
+//! accumulation recurrence, no normalize pass), or [`LogLutSoftmax`]
+//! (log2-domain adds + LUT, no `exp` and no divider).
+//!
 //! # Example
 //!
 //! ```
@@ -38,25 +47,32 @@
 mod attention;
 mod decode;
 mod fused;
+mod halfmat;
 mod instrumented;
 mod mat;
 mod parallel;
 mod precision;
 mod quantized;
 mod softmax;
+mod softmax_family;
 mod streaming;
 
 pub(crate) use fused::flat_attention_group;
 
 pub use attention::{naive_attention, Mask, MultiHeadInput};
-pub use decode::decode_attention;
-pub use fused::flat_attention;
+pub use decode::{decode_attention, decode_attention_with};
+pub use fused::{flat_attention, flat_attention_with};
+pub use halfmat::HalfMat;
 pub use instrumented::{
     instrumented_flat_attention, instrumented_flat_attention_traced, ExecutionStats,
 };
 pub use mat::Mat;
 pub use parallel::parallel_flat_attention;
 pub use precision::{online_softmax_bf16, round_bf16, softmax_error, softmax_row_bf16};
-pub use quantized::{quantized_flat_attention, QuantizedMat};
+pub use quantized::{quantized_flat_attention, quantized_flat_attention_with, QuantizedMat};
 pub use softmax::{softmax_row, OnlineSoftmax};
-pub use streaming::streaming_attention;
+pub use softmax_family::{
+    exp2_lut, fast_exp, fast_exp2, log2_add_lut, softmax_row_kind, ComputePrecision, FlashDSoftmax,
+    LogLutSoftmax,
+};
+pub use streaming::{streaming_attention, streaming_attention_with};

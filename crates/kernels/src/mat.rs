@@ -353,6 +353,153 @@ fn gemm(a: &[f32], m: usize, kdim: usize, b: &[f32], n: usize, c: &mut [f32]) {
     }
 }
 
+/// Row-panel height of the wide logits microkernel: query rows advanced
+/// together, each an independent `LANES`-wide FMA chain. Eight chains of
+/// one 8-float vector each fit the 16-register 256-bit file with room for
+/// the shared key vector — where `dot`'s single row is chain-starved and
+/// anything wider spills.
+const PMR: usize = 8;
+
+/// Column-block width of the accumulating attend microkernel: output
+/// columns held in registers across the whole contraction, so the hot
+/// loop stores nothing.
+const ANR: usize = 16;
+
+/// `tile[r][j] = q[row_lo + r] · k[j]` for `j < k_rows` — the logit shape
+/// on a decoded key chunk, register-blocked wider than [`dot`]: `PMR`
+/// query rows stream each key row once, amortizing its loads eightfold.
+/// Used by the mixed-precision attention walk, where the key chunk was
+/// just widened out of packed storage and is cache-hot.
+pub(crate) fn wide_logits_into(
+    q: &Mat,
+    row_lo: usize,
+    row_hi: usize,
+    k: &Mat,
+    k_rows: usize,
+    tile: &mut Mat,
+) {
+    debug_assert_eq!(q.cols, k.cols, "contraction dimensions must agree");
+    debug_assert!(row_lo < row_hi && row_hi <= q.rows);
+    debug_assert!(k_rows <= k.rows && k_rows <= tile.cols);
+    let kd = q.cols;
+    let nrows = row_hi - row_lo;
+    let panels = nrows / PMR;
+    for p in 0..panels {
+        let r0 = row_lo + p * PMR;
+        let rows: [&[f32]; PMR] =
+            std::array::from_fn(|r| &q.data[(r0 + r) * kd..(r0 + r + 1) * kd]);
+        for j in 0..k_rows {
+            let b = &k.data[j * kd..(j + 1) * kd];
+            let mut acc = [[0.0f32; LANES]; PMR];
+            let chunks = kd / LANES;
+            for ci in 0..chunks {
+                let o = ci * LANES;
+                let bc = &b[o..o + LANES];
+                for (r, row) in rows.iter().enumerate() {
+                    let ac = &row[o..o + LANES];
+                    for l in 0..LANES {
+                        acc[r][l] = ac[l].mul_add(bc[l], acc[r][l]);
+                    }
+                }
+            }
+            let tail_lo = chunks * LANES;
+            for (r, row) in rows.iter().enumerate() {
+                let mut tail = 0.0f32;
+                for l in tail_lo..kd {
+                    tail = row[l].mul_add(b[l], tail);
+                }
+                // Same even/odd tree as `dot`.
+                let a = &acc[r];
+                let even = (a[0] + a[4]) + (a[2] + a[6]);
+                let odd = (a[1] + a[5]) + (a[3] + a[7]);
+                tile.set(p * PMR + r, j, even + odd + tail);
+            }
+        }
+    }
+    for r in panels * PMR..nrows {
+        let qrow = &q.data[(row_lo + r) * kd..(row_lo + r + 1) * kd];
+        for j in 0..k_rows {
+            tile.set(r, j, dot(qrow, &k.data[j * kd..(j + 1) * kd]));
+        }
+    }
+}
+
+/// `out[out_lo + r] += Σ_j w[r][j] · v[j]` for `r < nrows`, `j < width` —
+/// the Attend shape on a decoded value chunk, accumulating (the online
+/// softmax recurrences own the scaling of what is already in `out`).
+/// Unlike `gemm`'s outer-product walk, the `MR × ANR` output block is
+/// held in registers across the whole contraction: the hot loop reads one
+/// value-row slice and four broadcast weights per step and stores nothing.
+pub(crate) fn wide_attend_acc(
+    w: &Mat,
+    nrows: usize,
+    width: usize,
+    v: &Mat,
+    out: &mut Mat,
+    out_lo: usize,
+) {
+    debug_assert_eq!(v.cols, out.cols, "output width must match values");
+    debug_assert!(width <= w.cols && width <= v.rows);
+    debug_assert!(out_lo + nrows <= out.rows);
+    let n = out.cols;
+    let wc = w.cols;
+    let c = &mut out.data[out_lo * n..(out_lo + nrows) * n];
+    let panels = nrows / MR;
+    let col_blocks = n / ANR;
+    for p in 0..panels {
+        let i = p * MR;
+        for cb in 0..col_blocks {
+            let c0 = cb * ANR;
+            let mut acc = [[0.0f32; ANR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr.copy_from_slice(&c[(i + r) * n + c0..(i + r) * n + c0 + ANR]);
+            }
+            for l in 0..width {
+                let a = [
+                    w.data[i * wc + l],
+                    w.data[(i + 1) * wc + l],
+                    w.data[(i + 2) * wc + l],
+                    w.data[(i + 3) * wc + l],
+                ];
+                let bv = &v.data[l * n + c0..l * n + c0 + ANR];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    for (av, &b) in accr.iter_mut().zip(bv) {
+                        *av = a[r].mul_add(b, *av);
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                c[(i + r) * n + c0..(i + r) * n + c0 + ANR].copy_from_slice(accr);
+            }
+        }
+        // Column tail past the last full ANR block.
+        for r in i..i + MR {
+            let lo = col_blocks * ANR;
+            for l in 0..width {
+                let av = w.data[r * wc + l];
+                let brow = &v.data[l * n..(l + 1) * n];
+                for jc in lo..n {
+                    c[r * n + jc] = av.mul_add(brow[jc], c[r * n + jc]);
+                }
+            }
+        }
+    }
+    // Row tail past the last full MR panel.
+    for r in panels * MR..nrows {
+        let crow = &mut c[r * n..(r + 1) * n];
+        for l in 0..width {
+            let av = w.data[r * wc + l];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &v.data[l * n..(l + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = av.mul_add(bv, *cv);
+            }
+        }
+    }
+}
+
 /// `aᵀb` over two equal-length contiguous slices: `LANES` independent
 /// `mul_add` chains (so the loop vectorizes) folded by a fixed tree
 /// reduction, plus a scalar tail for lengths not divisible by `LANES`.

@@ -12,6 +12,11 @@
 /// Rounds an `f32` to bfloat16 precision (8-bit mantissa,
 /// round-to-nearest-even), returned as `f32`.
 ///
+/// **Deprecated name**: this is now a thin wrapper over
+/// [`flat_tensor::half::round_bf16`], the single bf16 rounding
+/// implementation the packed-storage kernels use; prefer calling that
+/// directly. Kept so existing callers keep compiling.
+///
 /// # Example
 ///
 /// ```
@@ -24,17 +29,17 @@
 /// ```
 #[must_use]
 pub fn round_bf16(x: f32) -> f32 {
-    if !x.is_finite() {
-        return x;
-    }
-    let bits = x.to_bits();
-    // Round-to-nearest-even on the truncated 16 bits.
-    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
-    f32::from_bits(((bits.wrapping_add(rounding_bias)) >> 16) << 16)
+    flat_tensor::half::round_bf16(x)
 }
 
 /// Two-pass softmax with every intermediate rounded to bf16 — the FLAT
 /// (complete-row) path under reduced precision.
+///
+/// **Deprecated name**: the kernel family's production bf16 path is
+/// [`flat_attention_with`](crate::flat_attention_with) with
+/// [`ComputePrecision::Bf16`](crate::ComputePrecision); this helper
+/// remains as the *emulation study* used by the row-granularity accuracy
+/// argument (every intermediate rounds, not just storage).
 pub fn softmax_row_bf16(row: &mut [f32]) {
     if row.is_empty() {
         return;

@@ -5,7 +5,9 @@
 //! measures what the precision costs, proving the two techniques compose
 //! without interfering.
 
+use crate::softmax_family::softmax_row_kind;
 use crate::{softmax_row, Mask, Mat, MultiHeadInput};
+use flat_tensor::SoftmaxKind;
 
 /// A symmetric per-tensor int8 quantization of a matrix.
 #[derive(Debug, Clone)]
@@ -45,6 +47,15 @@ impl QuantizedMat {
     #[must_use]
     pub fn at(&self, i: usize, j: usize) -> i8 {
         self.data[i * self.cols + j]
+    }
+
+    /// Dequantizes back to an f32 matrix — the values an int8-stored
+    /// tensor actually contributes to downstream arithmetic.
+    #[must_use]
+    pub fn dequantize(&self) -> Mat {
+        Mat::from_fn(self.rows, self.cols, |i, j| {
+            f32::from(self.at(i, j)) * self.scale
+        })
     }
 
     /// Integer GEMM `self · otherᵀ` with i32 accumulation, dequantized to
@@ -150,6 +161,116 @@ pub fn quantized_flat_attention(
         .collect()
 }
 
+/// Snaps the *finite* logits of a row onto a symmetric 127-level int8
+/// grid, in place — the score-matrix half of the int8 path. Masked
+/// (`−∞`) entries pass through untouched.
+pub(crate) fn snap_logits_int8(row: &mut [f32]) {
+    let max = row
+        .iter()
+        .filter(|x| x.is_finite())
+        .fold(0.0f32, |a, &v| a.max(v.abs()));
+    if max == 0.0 {
+        return;
+    }
+    let scale = max / 127.0;
+    for x in row.iter_mut() {
+        if x.is_finite() {
+            *x = (*x / scale).round() * scale;
+        }
+    }
+}
+
+/// FLAT row-tiled int8 attention with the score matrix **also** held at
+/// int8: the logit tile is snapped to a symmetric 127-level grid before
+/// the softmax (the pre-softmax scores now live on the int8 grid, not
+/// just the weights), and the softmax itself runs as the selected
+/// [`SoftmaxKind`]. Stage A requantizes the probabilities as in
+/// [`quantized_flat_attention`].
+///
+/// # Panics
+///
+/// Panics if `rows_per_tile` is zero.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::{naive_attention, quantized_flat_attention_with, Mask, MultiHeadInput};
+/// use flat_tensor::SoftmaxKind;
+///
+/// let input = MultiHeadInput::random(1, 2, 32, 32, 8, 5);
+/// let q8 = quantized_flat_attention_with(&input, 8, Mask::None, SoftmaxKind::FlashD);
+/// let f32 = naive_attention(&input, Mask::None);
+/// assert!(q8[0].max_abs_diff(&f32[0]) < 0.1);
+/// ```
+#[must_use]
+pub fn quantized_flat_attention_with(
+    input: &MultiHeadInput,
+    rows_per_tile: usize,
+    mask: Mask,
+    kind: SoftmaxKind,
+) -> Vec<Mat> {
+    assert!(rows_per_tile > 0, "row tile must be positive");
+    let scale = input.scale();
+    (0..input.groups())
+        .map(|g| {
+            let q = QuantizedMat::quantize(&input.q[g]);
+            let k = QuantizedMat::quantize(&input.k[g]);
+            let v = QuantizedMat::quantize(&input.v[g]);
+            let mut out = Mat::zeros(input.seq_q, input.dk);
+            let mut row_lo = 0;
+            while row_lo < input.seq_q {
+                let row_hi = (row_lo + rows_per_tile).min(input.seq_q);
+                let q_ref = &q;
+                let q_slice = QuantizedMat {
+                    rows: row_hi - row_lo,
+                    cols: input.dk,
+                    data: (row_lo..row_hi)
+                        .flat_map(|i| (0..input.dk).map(move |j| q_ref.at(i, j)))
+                        .collect(),
+                    scale: q.scale,
+                };
+                let mut tile = q_slice.matmul_transposed_dequant(&k);
+                for i in 0..tile.rows() {
+                    for j in 0..tile.cols() {
+                        let val = tile.at(i, j) * scale;
+                        tile.set(
+                            i,
+                            j,
+                            if mask.allows(row_lo + i, j) {
+                                val
+                            } else {
+                                f32::NEG_INFINITY
+                            },
+                        );
+                    }
+                }
+                for i in 0..tile.rows() {
+                    let row = tile.row_mut(i);
+                    // The score matrix itself goes to the int8 grid here;
+                    // the softmax then runs as the selected family member.
+                    snap_logits_int8(row);
+                    match kind {
+                        SoftmaxKind::Exact => softmax_row(row),
+                        other => softmax_row_kind(row, other),
+                    }
+                }
+                let p = QuantizedMat::quantize(&tile);
+                for i in 0..p.rows() {
+                    for d in 0..input.dk {
+                        let mut acc: i32 = 0;
+                        for j in 0..input.seq_kv {
+                            acc += i32::from(p.at(i, j)) * i32::from(v.at(j, d));
+                        }
+                        out.set(row_lo + i, d, acc as f32 * p.scale * v.scale);
+                    }
+                }
+                row_lo = row_hi;
+            }
+            out
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +319,39 @@ mod tests {
         for d in 0..4 {
             assert!((q8[0].at(0, d) - input.v[0].at(0, d)).abs() < 0.05);
         }
+    }
+
+    #[test]
+    fn int8_score_matrix_tracks_fp32_for_every_kind() {
+        let input = MultiHeadInput::random(1, 2, 32, 32, 8, 29);
+        let exact = naive_attention(&input, Mask::None);
+        for kind in [SoftmaxKind::Exact, SoftmaxKind::FlashD, SoftmaxKind::LogLut] {
+            let q8 = quantized_flat_attention_with(&input, 8, Mask::None, kind);
+            for (e, q) in exact.iter().zip(&q8) {
+                let d = e.max_abs_diff(q);
+                assert!(d < 0.12, "{kind}: deviation {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dequantize_round_trips_within_one_step() {
+        let m = Mat::from_fn(6, 5, |i, j| (i as f32 - j as f32) * 0.3);
+        let q = QuantizedMat::quantize(&m);
+        let deq = q.dequantize();
+        assert!(deq.max_abs_diff(&m) <= q.scale);
+    }
+
+    #[test]
+    fn logit_snap_preserves_masks_and_zero_rows() {
+        let mut row = [f32::NEG_INFINITY, 1.0, -0.5, f32::NEG_INFINITY];
+        snap_logits_int8(&mut row);
+        assert_eq!(row[0], f32::NEG_INFINITY);
+        assert_eq!(row[3], f32::NEG_INFINITY);
+        assert!((row[1] - 1.0).abs() <= 1.0 / 127.0);
+        let mut zeros = [0.0f32, f32::NEG_INFINITY];
+        snap_logits_int8(&mut zeros);
+        assert_eq!(zeros, [0.0, f32::NEG_INFINITY]);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub fn softmax_row(row: &mut [f32]) {
 /// Row maximum via 8 independent lanes so the reduction vectorizes.
 /// `f32::max` is exactly associative and commutative (no NaNs in logit
 /// rows), so this is bit-identical to the serial fold.
-fn lane_max(row: &[f32]) -> f32 {
+pub(crate) fn lane_max(row: &[f32]) -> f32 {
     let mut lanes = [f32::NEG_INFINITY; 8];
     for chunk in row.chunks_exact(8) {
         for (acc, &x) in lanes.iter_mut().zip(chunk) {
@@ -50,6 +50,20 @@ fn lane_max(row: &[f32]) -> f32 {
         .copied()
         .fold(f32::NEG_INFINITY, f32::max);
     lanes.iter().copied().fold(tail, f32::max)
+}
+
+/// Row sum via 8 independent lanes so the reduction vectorizes. Unlike
+/// `max`, FP addition is not associative, so this is *not* bit-identical
+/// to a serial fold — callers tolerate the reordering.
+pub(crate) fn lane_sum(row: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    for chunk in row.chunks_exact(8) {
+        for (acc, &x) in lanes.iter_mut().zip(chunk) {
+            *acc += x;
+        }
+    }
+    let tail: f32 = row.chunks_exact(8).remainder().iter().sum();
+    lanes.iter().sum::<f32>() + tail
 }
 
 /// Running state of an *online* softmax over one row, processed in chunks.

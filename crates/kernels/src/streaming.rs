@@ -9,7 +9,9 @@
 //! future-work direction (it is the algorithmic core FlashAttention later
 //! built on), and the tests prove it equivalent to the exact computation.
 
-use crate::{Mask, Mat, MultiHeadInput, OnlineSoftmax};
+use crate::softmax_family::{storage_snap, FlashDSoftmax, LogLutSoftmax};
+use crate::{ComputePrecision, Mask, Mat, MultiHeadInput, OnlineSoftmax};
+use flat_tensor::SoftmaxKind;
 
 /// Streaming attention: tiles of `rows_per_tile × kv_tile` logits are
 /// produced and folded into a running output with online-softmax
@@ -92,6 +94,121 @@ pub fn streaming_attention(
                     for (o, &a) in out.row_mut(row_lo + r).iter_mut().zip(acc.row(r)) {
                         *o = a * inv;
                     }
+                }
+                row_lo = row_hi;
+            }
+            out
+        })
+        .collect()
+}
+
+/// Streaming attention with an explicit precision and softmax kind.
+///
+/// `F32` + `Exact` delegates to [`streaming_attention`] unchanged. Other
+/// precisions first snap Q/K/V through the storage grid (bf16/f16
+/// rounding, or the int8 quantization grid). The FLASH-D and log-LUT
+/// kinds replace the online-softmax fold with the division-free
+/// recurrence: the output rows stay normalized after every chunk and the
+/// final per-row divide pass disappears.
+///
+/// # Panics
+///
+/// Panics if either tile extent is zero.
+///
+/// # Example
+///
+/// ```
+/// use flat_kernels::{naive_attention, streaming_attention_with, ComputePrecision, Mask, MultiHeadInput};
+/// use flat_tensor::SoftmaxKind;
+///
+/// let input = MultiHeadInput::random(1, 1, 16, 16, 8, 5);
+/// let out = streaming_attention_with(
+///     &input, 4, 4, Mask::None, ComputePrecision::Bf16, SoftmaxKind::FlashD);
+/// let exact = naive_attention(&input, Mask::None);
+/// assert!(out[0].max_abs_diff(&exact[0]) < 2e-2);
+/// ```
+#[must_use]
+pub fn streaming_attention_with(
+    input: &MultiHeadInput,
+    rows_per_tile: usize,
+    kv_tile: usize,
+    mask: Mask,
+    precision: ComputePrecision,
+    kind: SoftmaxKind,
+) -> Vec<Mat> {
+    assert!(
+        rows_per_tile > 0 && kv_tile > 0,
+        "tile extents must be positive"
+    );
+    let snapped;
+    let input = if precision == ComputePrecision::F32 {
+        input
+    } else {
+        snapped = MultiHeadInput {
+            batch: input.batch,
+            heads: input.heads,
+            seq_q: input.seq_q,
+            seq_kv: input.seq_kv,
+            dk: input.dk,
+            q: input.q.iter().map(|m| storage_snap(m, precision)).collect(),
+            k: input.k.iter().map(|m| storage_snap(m, precision)).collect(),
+            v: input.v.iter().map(|m| storage_snap(m, precision)).collect(),
+        };
+        &snapped
+    };
+    if kind == SoftmaxKind::Exact {
+        return streaming_attention(input, rows_per_tile, kv_tile, mask);
+    }
+    let scale = input.scale();
+    (0..input.groups())
+        .map(|g| {
+            let q = &input.q[g];
+            let k = &input.k[g];
+            let v = &input.v[g];
+            let mut out = Mat::zeros(input.seq_q, input.dk);
+            let mut row_lo = 0;
+            while row_lo < input.seq_q {
+                let row_hi = (row_lo + rows_per_tile).min(input.seq_q);
+                let nrows = row_hi - row_lo;
+                let mut flash = vec![FlashDSoftmax::new(); nrows];
+                let mut loglut = vec![LogLutSoftmax::new(); nrows];
+                let mut col_lo = 0;
+                while col_lo < input.seq_kv {
+                    let col_hi = (col_lo + kv_tile).min(input.seq_kv);
+                    for r in 0..nrows {
+                        let qi = row_lo + r;
+                        let qrow = q.row(qi);
+                        let mut chunk: Vec<f32> = (col_lo..col_hi)
+                            .map(|j| {
+                                if mask.allows(qi, j) {
+                                    crate::mat::dot(qrow, k.row(j)) * scale
+                                } else {
+                                    f32::NEG_INFINITY
+                                }
+                            })
+                            .collect();
+                        // The family absorb returns *normalized* weights
+                        // and a carry: no divide pass ever runs.
+                        let carry = match kind {
+                            SoftmaxKind::FlashD => flash[r].absorb(&mut chunk),
+                            _ => loglut[r].absorb(&mut chunk),
+                        };
+                        let orow = out.row_mut(qi);
+                        if carry != 1.0 {
+                            for a in orow.iter_mut() {
+                                *a *= carry;
+                            }
+                        }
+                        for (off, &w) in chunk.iter().enumerate() {
+                            if w != 0.0 {
+                                let vrow = v.row(col_lo + off);
+                                for (a, &vv) in orow.iter_mut().zip(vrow) {
+                                    *a = w.mul_add(vv, *a);
+                                }
+                            }
+                        }
+                    }
+                    col_lo = col_hi;
                 }
                 row_lo = row_hi;
             }

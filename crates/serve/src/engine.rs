@@ -11,7 +11,7 @@
 //! Two planes run side by side, deliberately:
 //!
 //! * the **numeric plane** executes real attention per scheduled token
-//!   through [`flat_kernels::decode_attention`] at a reduced width (one
+//!   through [`flat_kernels::decode_attention_with`] at a reduced width (one
 //!   representative head, `dk` lanes) — each step's output feeds the next
 //!   step's Q/K/V derivation, so generation is genuinely sequential and
 //!   any scheduling bug shows up in the numeric checksum;
@@ -34,9 +34,9 @@ use crate::kv::{KvLayout, KvPool};
 use crate::metrics::{KvPoolStats, ServeMetrics};
 use crate::request::{Phase, Request, RequestSpec};
 use flat_arch::Accelerator;
-use flat_kernels::decode_attention;
+use flat_kernels::{decode_attention_with, ComputePrecision};
 use flat_telemetry::{Event, NoopSink, TraceSink};
-use flat_tensor::Bytes;
+use flat_tensor::{Bytes, SoftmaxKind};
 use flat_workloads::Model;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +64,11 @@ pub struct EngineConfig {
     pub kv_budget: Bytes,
     /// Seed of the numeric plane (token embeddings).
     pub seed: u64,
+    /// Storage precision of the numeric plane's attention (and the
+    /// element width the accounting plane prices KV streaming at).
+    pub precision: ComputePrecision,
+    /// Softmax family member the decode kernel runs.
+    pub softmax: SoftmaxKind,
 }
 
 impl EngineConfig {
@@ -82,6 +87,8 @@ impl EngineConfig {
             dk: 32,
             kv_budget,
             seed,
+            precision: ComputePrecision::F32,
+            softmax: SoftmaxKind::Exact,
         }
     }
 
@@ -382,7 +389,10 @@ impl<'t> Engine<'t> {
             shed_deadline_total: 0,
             weight_bytes: 2.0 * model_params(model),
             weight_macs_per_token: model_params(model),
-            kv_bytes_per_token: layout.bytes_per_token.as_f64(),
+            // KV streaming is priced at the configured element width,
+            // relative to the f32 reference the layout is sized for.
+            kv_bytes_per_token: layout.bytes_per_token.as_f64()
+                * (cfg.precision.dtype().size_bytes() as f64 / 4.0),
             attn_macs_per_ctx_token: 2.0 * model.blocks() as f64 * h,
             peak_flops: accel.peak_flops() * chips as f64,
             offchip_bytes_per_s: accel.mem.offchip_bytes_per_s * chips as f64,
@@ -697,7 +707,13 @@ impl<'t> Engine<'t> {
                 // Prompt fully paged in: probe the prefix once to seed the
                 // sequential generation state, then start decoding.
                 let q = self.embed(r.spec.id, r.spec.prompt_len - 1, SALT_Q, &[]);
-                let out = decode_attention(&q, self.pool.rows(&self.running[i].table), self.scale);
+                let out = decode_attention_with(
+                    &q,
+                    self.pool.rows(&self.running[i].table),
+                    self.scale,
+                    self.cfg.precision,
+                    self.cfg.softmax,
+                );
                 self.running[i].last_out = out;
                 self.running[i].phase = Phase::Decode;
             }
@@ -715,7 +731,13 @@ impl<'t> Engine<'t> {
             if !self.append_with_preemption(i, &k, &v) {
                 continue; // `i` itself was preempted; it restarts later.
             }
-            let out = decode_attention(&q, self.pool.rows(&self.running[i].table), self.scale);
+            let out = decode_attention_with(
+                &q,
+                self.pool.rows(&self.running[i].table),
+                self.scale,
+                self.cfg.precision,
+                self.cfg.softmax,
+            );
             let ctx = self.running[i].table.tokens() as u64;
             work.decode_context_tokens += ctx;
             work.decode_steps += 1;
@@ -931,6 +953,8 @@ mod tests {
             dk: 16,
             kv_budget,
             seed: 7,
+            precision: ComputePrecision::F32,
+            softmax: SoftmaxKind::Exact,
         }
     }
 

@@ -78,6 +78,7 @@ pub use dist::{serve_dist, serve_dist_traced, DistServeConfig, DistServeMetrics}
 pub use engine::{serve, serve_traced, serve_with_faults, serve_with_faults_traced, EngineConfig};
 pub use error::{DropReason, ServeError};
 pub use faults::{FaultInjector, FaultPlan};
+pub use flat_kernels::ComputePrecision;
 pub use kv::{BlockTable, KvLayout, KvPool};
 pub use metrics::{DropCounts, KvPoolStats, Percentiles, ServeMetrics};
 pub use request::{Phase, Request, RequestSpec};

@@ -3,57 +3,104 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Numeric precision of a tensor element.
+/// Declares [`DataType`] and every width/name table from one variant list.
 ///
-/// The paper evaluates everything at 16-bit (`Fp16`), but the cost model is
-/// parametric in precision: footprints, traffic, and bandwidth demands all
-/// scale with [`DataType::size_bytes`].
-///
-/// # Example
-///
-/// ```
-/// use flat_tensor::DataType;
-/// assert_eq!(DataType::Fp16.size_bytes(), 2);
-/// assert_eq!(DataType::Fp32.size_bits(), 32);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum DataType {
+/// The enum, `size_bits`, `all()`, `parse`, and `Display` are all generated
+/// from the same source list, so adding a dtype cannot leave it out of
+/// sweeps that iterate [`DataType::all`] (the bug this replaces: `all()`
+/// was a hand-maintained fixed-arity array that silently truncated).
+macro_rules! data_types {
+    (
+        $(
+            $(#[$meta:meta])*
+            $variant:ident { bits: $bits:expr, name: $name:expr }
+        ),+ $(,)?
+    ) => {
+        /// Numeric precision of a tensor element.
+        ///
+        /// The paper evaluates everything at 16-bit (`Fp16`), but the cost
+        /// model is parametric in precision: footprints, traffic, and
+        /// bandwidth demands all scale with [`DataType::size_bytes`].
+        ///
+        /// # Example
+        ///
+        /// ```
+        /// use flat_tensor::DataType;
+        /// assert_eq!(DataType::Fp16.size_bytes(), 2);
+        /// assert_eq!(DataType::Fp32.size_bits(), 32);
+        /// ```
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub enum DataType {
+            $( $(#[$meta])* $variant, )+
+        }
+
+        impl DataType {
+            /// Storage size of one element, in bits.
+            ///
+            /// Declared per variant (not derived from bytes) so sub-byte
+            /// types can be added without lying about their width.
+            #[must_use]
+            pub const fn size_bits(self) -> u64 {
+                match self {
+                    $( DataType::$variant => $bits, )+
+                }
+            }
+
+            /// All supported data types, in declaration order.
+            ///
+            /// Generated from the same list as the enum itself, so a newly
+            /// added dtype can never be silently missing from sweeps.
+            #[must_use]
+            pub const fn all() -> &'static [DataType] {
+                &[ $( DataType::$variant, )+ ]
+            }
+
+            /// Parses the lowercase display name (`"fp16"`, `"bf16"`, ...).
+            ///
+            /// # Errors
+            ///
+            /// Returns the list of valid names when `s` matches none.
+            pub fn parse(s: &str) -> Result<DataType, String> {
+                match s {
+                    $( $name => Ok(DataType::$variant), )+
+                    other => Err(format!(
+                        "unknown dtype '{other}' (expected one of: {})",
+                        [ $( $name, )+ ].join(", ")
+                    )),
+                }
+            }
+        }
+
+        impl fmt::Display for DataType {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let name = match self {
+                    $( DataType::$variant => $name, )+
+                };
+                f.write_str(name)
+            }
+        }
+    };
+}
+
+data_types! {
     /// 8-bit integer (post-quantization deployments).
-    Int8,
+    Int8 { bits: 8, name: "int8" },
     /// IEEE 754 half precision — the paper's evaluation setting.
-    Fp16,
+    Fp16 { bits: 16, name: "fp16" },
     /// bfloat16 (same storage width as `Fp16`).
-    Bf16,
+    Bf16 { bits: 16, name: "bf16" },
     /// IEEE 754 single precision.
-    Fp32,
+    Fp32 { bits: 32, name: "fp32" },
 }
 
 impl DataType {
-    /// Storage size of one element, in bytes.
+    /// Storage size of one element, in bytes (bits rounded up to whole
+    /// bytes, the unit elements occupy in packed row-major storage).
     #[must_use]
     pub const fn size_bytes(self) -> u64 {
-        match self {
-            DataType::Int8 => 1,
-            DataType::Fp16 | DataType::Bf16 => 2,
-            DataType::Fp32 => 4,
-        }
-    }
-
-    /// Storage size of one element, in bits.
-    #[must_use]
-    pub const fn size_bits(self) -> u64 {
-        self.size_bytes() * 8
-    }
-
-    /// All supported data types, widest first.
-    #[must_use]
-    pub const fn all() -> [DataType; 4] {
-        [
-            DataType::Fp32,
-            DataType::Bf16,
-            DataType::Fp16,
-            DataType::Int8,
-        ]
+        self.size_bits().div_ceil(8)
     }
 }
 
@@ -64,27 +111,27 @@ impl Default for DataType {
     }
 }
 
-impl fmt::Display for DataType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            DataType::Int8 => "int8",
-            DataType::Fp16 => "fp16",
-            DataType::Bf16 => "bf16",
-            DataType::Fp32 => "fp32",
-        };
-        f.write_str(name)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn sizes_are_consistent() {
-        for dt in DataType::all() {
-            assert_eq!(dt.size_bits(), dt.size_bytes() * 8);
+        for &dt in DataType::all() {
+            assert_eq!(dt.size_bytes(), dt.size_bits().div_ceil(8));
+            assert!(dt.size_bits() > 0);
         }
+    }
+
+    #[test]
+    fn all_is_exhaustive() {
+        // The match forces a compile error if a variant is added without
+        // updating this test; the loop then proves all() covers it.
+        let covered = |dt: DataType| match dt {
+            DataType::Int8 | DataType::Fp16 | DataType::Bf16 | DataType::Fp32 => true,
+        };
+        assert_eq!(DataType::all().len(), 4);
+        assert!(DataType::all().iter().all(|&dt| covered(dt)));
     }
 
     #[test]
@@ -97,6 +144,14 @@ mod tests {
     fn display_is_lowercase() {
         assert_eq!(DataType::Fp16.to_string(), "fp16");
         assert_eq!(DataType::Int8.to_string(), "int8");
+    }
+
+    #[test]
+    fn parse_round_trips_every_display_name() {
+        for &dt in DataType::all() {
+            assert_eq!(DataType::parse(&dt.to_string()), Ok(dt));
+        }
+        assert!(DataType::parse("fp64").is_err());
     }
 
     #[test]

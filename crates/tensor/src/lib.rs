@@ -10,7 +10,12 @@
 //! * [`Gemm`] — a batched matrix-multiply descriptor, the canonical form of
 //!   every operator in an attention layer (Q/K/V/L/A/O and the FFN FCs),
 //! * [`OperationalIntensity`] — the FLOPs-per-byte figure of §2.2 of the
-//!   paper that separates compute-bound from bandwidth-bound operators.
+//!   paper that separates compute-bound from bandwidth-bound operators,
+//! * [`half`] — software f16/bf16 conversions and 16-bit packed storage
+//!   (the workspace is vendored-only, so no `half` crate),
+//! * [`SoftmaxKind`] — which member of the softmax algorithm family a
+//!   kernel uses (exact two-pass, FLASH-D division-free, H-FA log-domain),
+//!   shared here so the hardware cost model can price it.
 //!
 //! # Example
 //!
@@ -30,11 +35,15 @@
 mod bytes;
 mod dtype;
 mod gemm;
+pub mod half;
 mod shape;
+mod softmax_kind;
 mod util;
 
 pub use bytes::Bytes;
 pub use dtype::DataType;
 pub use gemm::{Gemm, OperationalIntensity};
+pub use half::PackedBuf;
 pub use shape::Shape;
+pub use softmax_kind::SoftmaxKind;
 pub use util::{ceil_div, round_up_to};

@@ -1,0 +1,113 @@
+//! Selector for the softmax algorithm family.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which softmax algorithm a kernel (and the cost model pricing it) uses.
+///
+/// The three kinds differ in which special-function operations remain in
+/// the inner loop, which is what the SFU and energy models charge for:
+///
+/// * [`Exact`](SoftmaxKind::Exact) — the reference two-pass row softmax:
+///   max, `exp`, sum, then a divide pass over the row.
+/// * [`FlashD`](SoftmaxKind::FlashD) — FLASH-D-style online softmax that
+///   folds the division into the accumulation recurrence
+///   (`o ← o + (w/s')·(v − o)`): the output is *always normalized*, the
+///   per-row divide pass disappears, and only one reciprocal per absorbed
+///   chunk remains.
+/// * [`LogLut`](SoftmaxKind::LogLut) — H-FA-style hybrid log-domain
+///   softmax: logits move to base-2 log domain, `exp` becomes an exponent
+///   add plus a small `2^frac` lookup table, and the normalizer is carried
+///   as `log2(sum)` via LUT-based log-domain additions — no `exp` and no
+///   divider in the loop at all.
+///
+/// # Example
+///
+/// ```
+/// use flat_tensor::SoftmaxKind;
+///
+/// assert_eq!(SoftmaxKind::parse("flash-d"), Ok(SoftmaxKind::FlashD));
+/// assert_eq!(SoftmaxKind::default(), SoftmaxKind::Exact);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SoftmaxKind {
+    /// Two-pass reference softmax (max + exp + sum, then divide).
+    Exact,
+    /// FLASH-D: division folded into the accumulation recurrence.
+    FlashD,
+    /// H-FA: log2-domain adds with a small LUT replacing exp and div.
+    LogLut,
+}
+
+impl SoftmaxKind {
+    /// All kinds, reference first.
+    #[must_use]
+    pub const fn all() -> &'static [SoftmaxKind] {
+        &[SoftmaxKind::Exact, SoftmaxKind::FlashD, SoftmaxKind::LogLut]
+    }
+
+    /// Parses the lowercase display name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of valid names when `s` matches none.
+    pub fn parse(s: &str) -> Result<SoftmaxKind, String> {
+        match s {
+            "exact" => Ok(SoftmaxKind::Exact),
+            "flash-d" => Ok(SoftmaxKind::FlashD),
+            "log-lut" => Ok(SoftmaxKind::LogLut),
+            other => Err(format!(
+                "unknown softmax kind '{other}' (expected one of: exact, flash-d, log-lut)"
+            )),
+        }
+    }
+
+    /// True when the inner loop still contains a hardware `exp`.
+    #[must_use]
+    pub const fn uses_exp(self) -> bool {
+        matches!(self, SoftmaxKind::Exact | SoftmaxKind::FlashD)
+    }
+
+    /// True when a per-row divide pass remains (only the reference kind).
+    #[must_use]
+    pub const fn uses_divide_pass(self) -> bool {
+        matches!(self, SoftmaxKind::Exact)
+    }
+}
+
+impl Default for SoftmaxKind {
+    /// The reference two-pass softmax, matching all pre-existing behavior.
+    fn default() -> Self {
+        SoftmaxKind::Exact
+    }
+}
+
+impl fmt::Display for SoftmaxKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SoftmaxKind::Exact => "exact",
+            SoftmaxKind::FlashD => "flash-d",
+            SoftmaxKind::LogLut => "log-lut",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for &k in SoftmaxKind::all() {
+            assert_eq!(SoftmaxKind::parse(&k.to_string()), Ok(k));
+        }
+        assert!(SoftmaxKind::parse("softmax").is_err());
+    }
+
+    #[test]
+    fn op_census_matches_the_family_definitions() {
+        assert!(SoftmaxKind::Exact.uses_exp() && SoftmaxKind::Exact.uses_divide_pass());
+        assert!(SoftmaxKind::FlashD.uses_exp() && !SoftmaxKind::FlashD.uses_divide_pass());
+        assert!(!SoftmaxKind::LogLut.uses_exp() && !SoftmaxKind::LogLut.uses_divide_pass());
+    }
+}

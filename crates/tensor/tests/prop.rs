@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn shape_size_closed_form(dims in proptest::collection::vec(1u64..64, 1..5)) {
         let s: Shape = dims.iter().copied().collect();
-        for dt in DataType::all() {
+        for &dt in DataType::all() {
             prop_assert_eq!(s.size(dt).as_u64(), s.elements() * dt.size_bytes());
         }
     }
