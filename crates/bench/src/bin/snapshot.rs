@@ -351,10 +351,53 @@ fn dist_entries(quick: bool) -> Vec<Entry> {
     with_speedups(entries)
 }
 
+/// The model-validation trajectory: the `flat-desim` event backend
+/// cross-checking the closed-form cost model. Wall time records what the
+/// cross-check itself costs next to the analytical pricing it validates;
+/// `max_rel_error` reuses the deviation column for each configuration's
+/// relative divergence — near zero on the uncontended config, large by
+/// design on the contended one (one staging buffer; see EXPERIMENTS.md,
+/// "Model validation").
+fn validation_entries(quick: bool) -> Vec<Entry> {
+    use flat_core::{CostModel, FusedDataflow, Granularity, LaExecution};
+    use flat_sim::{agreement, simulate_la_event, EventOptions};
+    let (seq, reps) = if quick { (512, 1) } else { (4096, 3) };
+    let accel = flat_bench::platform("edge");
+    let model = flat_bench::model("bert");
+    let block = model.block(64, seq);
+    let la = LaExecution::Fused(FusedDataflow::new(Granularity::Row(64)));
+    let cm = CostModel::new(&accel);
+    let config = format!("edge/bert seq={seq} dataflow=flat-r64");
+    let mut entries = vec![time(
+        "validation",
+        "analytical_pricing",
+        &config,
+        reps,
+        || cm.la_cost(&block, &la),
+    )];
+    for (name, buffers) in [("event_backend", 2u32), ("event_backend_contended", 1)] {
+        let opts = EventOptions {
+            buffers,
+            ..Default::default()
+        };
+        let mut e = time(
+            "validation",
+            name,
+            &format!("{config} buffers={buffers}"),
+            reps,
+            || simulate_la_event(&accel, &block, &la, opts).expect("wiring is sound"),
+        );
+        let a = agreement(&accel, &block, &la, opts).expect("wiring is sound");
+        e.max_rel_error = Some(a.divergence.abs());
+        entries.push(e);
+    }
+    with_speedups(entries)
+}
+
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
-    let tag = args.get("tag", "PR6");
+    let tag = args.get("tag", "PR7");
     let out_path = args.get("out", &format!("BENCH_{tag}.json"));
 
     let mut entries = kernel_entries(&args, quick);
@@ -363,6 +406,7 @@ fn main() {
     entries.extend(serve_entries(quick));
     entries.extend(engine_entries(quick));
     entries.extend(dist_entries(quick));
+    entries.extend(validation_entries(quick));
 
     let snapshot = Snapshot {
         schema: "flat-bench-snapshot/v1".to_owned(),

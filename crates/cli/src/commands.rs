@@ -21,6 +21,8 @@ USAGE:
   flat trace --platform edge --model bert --seq 512 --dataflow flat-r64 [--width 48]
   flat loopnest --dataflow flat-r64 [--seq N]   # Figure 4-style loop nest
   flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
+             [--engine analytical|event|both] [--tolerance 0.05] [--buffers N]
+             [--sweep] [--json]   # --engine both cross-validates the cost model
   flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
   flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--seed N]
              [--task short-nlp|image-generation|summarization|language-modeling|music-processing]
@@ -402,12 +404,51 @@ pub fn trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `flat sim` — event-simulate a dataflow and compare with the analytical
+/// `flat sim` — simulate a dataflow and compare with the analytical
 /// model.
+///
+/// `--engine analytical` (default) runs the `flat-sim` job-graph
+/// simulator; `--engine event` runs the `flat-desim` discrete-event
+/// backend; `--engine both` runs the closed-form pricing against the
+/// event backend and reports their relative divergence (add `--sweep`
+/// for the seq-len × dataflow validation grid).
 pub fn sim(args: &Args) -> Result<(), String> {
     let setup = parse::setup(args)?;
     let df = parse::dataflow(&args.get("dataflow", "flat-r64"))?;
+    let engine = flat_sim::SimBackend::parse(&args.get("engine", "analytical"))?;
+    let tolerance = parse::opt_f64_arg(args, "tolerance")?.unwrap_or(0.05);
+    if !(0.0..=1.0).contains(&tolerance) {
+        return Err(format!(
+            "--tolerance expects a fraction in [0, 1], got {tolerance}"
+        ));
+    }
+    let buffers = parse::u64_arg(args, "buffers", 2)?;
+    if !(1..=64).contains(&buffers) {
+        return Err(format!(
+            "--buffers expects 1..=64 staging slots, got {buffers}"
+        ));
+    }
+    if args.flag("sweep") && engine != flat_sim::SimBackend::Both {
+        return Err("--sweep requires --engine both".to_owned());
+    }
     let trace_path = args.get("trace-json", "");
+    match engine {
+        flat_sim::SimBackend::Analytical => sim_analytical(args, &setup, &df, &trace_path),
+        flat_sim::SimBackend::Event => sim_event(args, &setup, &df, buffers as u32, &trace_path),
+        flat_sim::SimBackend::Both => {
+            sim_both(args, &setup, &df, buffers as u32, tolerance, &trace_path)
+        }
+    }
+}
+
+/// The historical `flat sim` path: the job-graph simulator vs the
+/// closed form.
+fn sim_analytical(
+    args: &Args,
+    setup: &parse::Setup,
+    df: &flat_core::BlockDataflow,
+    trace_path: &str,
+) -> Result<(), String> {
     let opts = flat_sim::SimOptions {
         record_trace: !trace_path.is_empty(),
         // Keep exported traces viewable.
@@ -425,9 +466,25 @@ pub fn sim(args: &Args) -> Result<(), String> {
         }
     };
     if !trace_path.is_empty() {
-        std::fs::write(&trace_path, simulated.to_chrome_trace())
+        std::fs::write(trace_path, simulated.to_chrome_trace())
             .map_err(|e| format!("{trace_path}: {e}"))?;
         eprintln!("wrote Chrome trace to {trace_path} (open in chrome://tracing or Perfetto)");
+    }
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "command": "sim",
+                "engine": "analytical",
+                "dataflow": df.label(),
+                "seq": setup.seq,
+                "analytical_cycles": analytical.cycles,
+                "simulated_cycles": simulated.cycles,
+                "ratio": simulated.cycles / analytical.cycles,
+            }))
+            .expect("report serializes")
+        );
+        return Ok(());
     }
     println!(
         "workload:    {} (B={}, N={}) on {}",
@@ -453,6 +510,193 @@ pub fn sim(args: &Args) -> Result<(), String> {
             u.busy_cycles,
             u.occupancy * 100.0
         );
+    }
+    Ok(())
+}
+
+/// Event-backend options shared by `--engine event` and `--engine both`.
+fn event_options(
+    args: &Args,
+    buffers: u32,
+    trace_path: &str,
+) -> Result<flat_sim::EventOptions, String> {
+    Ok(flat_sim::EventOptions {
+        model: parse::model_options(args)?,
+        buffers,
+        // Keep exported traces viewable.
+        max_iterations: if trace_path.is_empty() { 4096 } else { 512 },
+        record_trace: !trace_path.is_empty(),
+        ..flat_sim::EventOptions::default()
+    })
+}
+
+/// `flat sim --engine event` — the discrete-event backend alone.
+fn sim_event(
+    args: &Args,
+    setup: &parse::Setup,
+    df: &flat_core::BlockDataflow,
+    buffers: u32,
+    trace_path: &str,
+) -> Result<(), String> {
+    let opts = event_options(args, buffers, trace_path)?;
+    let report = flat_sim::simulate_la_event(&setup.accel, &setup.block, &df.la, opts)
+        .map_err(|e| e.to_string())?;
+    if !trace_path.is_empty() {
+        std::fs::write(trace_path, report.to_chrome_trace())
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {trace_path} (open in https://ui.perfetto.dev)");
+    }
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "command": "sim",
+                "engine": "event",
+                "dataflow": df.label(),
+                "seq": setup.seq,
+                "event_cycles": report.cycles,
+                "simulated_iterations": report.simulated_iterations,
+                "total_iterations": report.total_iterations,
+                "extrapolated": report.extrapolated,
+                "buffers": json!({
+                    "capacity": report.buffers.capacity,
+                    "mean_in_flight": report.buffers.mean_in_flight,
+                    "peak_in_flight": report.buffers.peak_in_flight,
+                }),
+                "lanes": report.lanes.iter().map(|l| json!({
+                    "name": l.name,
+                    "busy_cycles": l.busy_cycles,
+                    "occupancy": l.occupancy,
+                })).collect::<Vec<_>>(),
+            }))
+            .expect("report serializes")
+        );
+        return Ok(());
+    }
+    println!(
+        "workload:    {} (B={}, N={}) on {}",
+        setup.model, setup.batch, setup.seq, setup.accel.name
+    );
+    println!("dataflow:    {}", df.label());
+    println!();
+    println!(
+        "event:       {:.4e} cycles ({} of {} iterations simulated{})",
+        report.cycles,
+        report.simulated_iterations,
+        report.total_iterations,
+        if report.extrapolated {
+            ", extrapolated"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "buffers:     {} slots, mean {:.2} in flight, peak {}",
+        report.buffers.capacity, report.buffers.mean_in_flight, report.buffers.peak_in_flight
+    );
+    println!();
+    for l in &report.lanes {
+        println!(
+            "  {:5} busy {:.3e} cycles ({:.1}% of makespan)",
+            l.name,
+            l.busy_cycles,
+            l.occupancy * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `flat sim --engine both` — the agreement harness: analytical pricing
+/// vs the event backend, per-configuration relative divergence.
+fn sim_both(
+    args: &Args,
+    setup: &parse::Setup,
+    df: &flat_core::BlockDataflow,
+    buffers: u32,
+    tolerance: f64,
+    trace_path: &str,
+) -> Result<(), String> {
+    let opts = event_options(args, buffers, trace_path)?;
+    let agreement =
+        flat_sim::agreement(&setup.accel, &setup.block, &df.la, opts).map_err(|e| e.to_string())?;
+    let sweep = if args.flag("sweep") {
+        flat_sim::agreement_sweep(&setup.accel, &[512, 1024, 4096], opts)
+            .map_err(|e| e.to_string())?
+    } else {
+        Vec::new()
+    };
+    if !trace_path.is_empty() {
+        let report = flat_sim::simulate_la_event(&setup.accel, &setup.block, &df.la, opts)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(trace_path, report.to_chrome_trace())
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {trace_path} (open in https://ui.perfetto.dev)");
+    }
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "command": "sim",
+                "engine": "both",
+                "dataflow": df.label(),
+                "seq": setup.seq,
+                "tolerance": tolerance,
+                "analytical_cycles": agreement.analytical_cycles,
+                "event_cycles": agreement.event_cycles,
+                "divergence": agreement.divergence,
+                "within_tolerance": agreement.within(tolerance),
+                "sweep": sweep.iter().map(|r| json!({
+                    "dataflow": r.dataflow,
+                    "seq": r.seq_len,
+                    "analytical_cycles": r.agreement.analytical_cycles,
+                    "event_cycles": r.agreement.event_cycles,
+                    "divergence": r.agreement.divergence,
+                    "within_tolerance": r.agreement.within(tolerance),
+                })).collect::<Vec<_>>(),
+            }))
+            .expect("report serializes")
+        );
+        return Ok(());
+    }
+    println!(
+        "workload:    {} (B={}, N={}) on {}",
+        setup.model, setup.batch, setup.seq, setup.accel.name
+    );
+    println!("dataflow:    {}", df.label());
+    println!();
+    println!("analytical:  {:.4e} cycles", agreement.analytical_cycles);
+    println!("event:       {:.4e} cycles", agreement.event_cycles);
+    println!(
+        "divergence:  {:+.3}% ({} tolerance {:.1}%)",
+        agreement.divergence * 100.0,
+        if agreement.within(tolerance) {
+            "within"
+        } else {
+            "EXCEEDS"
+        },
+        tolerance * 100.0
+    );
+    if !sweep.is_empty() {
+        println!();
+        println!(
+            "{:<10} {:>6} {:>14} {:>14} {:>10}",
+            "dataflow", "seq", "analytical", "event", "diverge"
+        );
+        for r in &sweep {
+            println!(
+                "{:<10} {:>6} {:>14.4e} {:>14.4e} {:>+9.3}%{}",
+                r.dataflow,
+                r.seq_len,
+                r.agreement.analytical_cycles,
+                r.agreement.event_cycles,
+                r.agreement.divergence * 100.0,
+                if r.agreement.within(tolerance) {
+                    ""
+                } else {
+                    "  <-- exceeds"
+                }
+            );
+        }
     }
     Ok(())
 }

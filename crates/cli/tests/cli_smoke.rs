@@ -228,3 +228,114 @@ fn chaos_flag_survives_end_to_end() {
         "conservation visible in JSON: {json}"
     );
 }
+
+#[test]
+fn bad_sim_engine_and_tolerance_are_diagnostics() {
+    let out = flat(&["sim", "--seq", "512", "--engine", "magic"]);
+    assert!(!out.status.success(), "bad --engine must exit nonzero");
+    let err = stderr(&out);
+    assert!(
+        err.contains("magic") && err.contains("analytical, event, or both"),
+        "diagnostic lists the valid engines: {err}"
+    );
+    assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line diagnostic: {err}");
+
+    let out = flat(&[
+        "sim",
+        "--seq",
+        "512",
+        "--engine",
+        "both",
+        "--tolerance",
+        "lots",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--tolerance"), "{}", stderr(&out));
+
+    let out = flat(&[
+        "sim",
+        "--seq",
+        "512",
+        "--engine",
+        "both",
+        "--tolerance",
+        "7",
+    ]);
+    assert!(!out.status.success(), "tolerance > 1 must be rejected");
+    assert!(stderr(&out).contains("--tolerance"), "{}", stderr(&out));
+
+    let out = flat(&["sim", "--seq", "512", "--engine", "event", "--buffers", "0"]);
+    assert!(!out.status.success(), "--buffers 0 must be rejected");
+    assert!(stderr(&out).contains("--buffers"), "{}", stderr(&out));
+
+    let out = flat(&["sim", "--seq", "512", "--sweep"]);
+    assert!(
+        !out.status.success(),
+        "--sweep without both must be rejected"
+    );
+    assert!(stderr(&out).contains("--engine both"), "{}", stderr(&out));
+}
+
+/// `flat sim --engine both --json` is the CI validation smoke: it must
+/// report a divergence field and agree within the default tolerance on
+/// an uncontended config.
+#[test]
+fn sim_both_json_reports_divergence() {
+    let out = flat(&[
+        "sim",
+        "--platform",
+        "edge",
+        "--model",
+        "bert",
+        "--seq",
+        "1024",
+        "--dataflow",
+        "flat-r64",
+        "--engine",
+        "both",
+        "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let json = String::from_utf8_lossy(&out.stdout).replace(char::is_whitespace, "");
+    assert!(
+        json.contains("\"divergence\":"),
+        "divergence reported: {json}"
+    );
+    assert!(
+        json.contains("\"within_tolerance\":true"),
+        "uncontended config agrees: {json}"
+    );
+}
+
+/// The event backend exports a Perfetto-loadable trace with per-lane
+/// thread names and a counter track.
+#[test]
+fn sim_event_trace_is_perfetto_shaped() {
+    let path = std::env::temp_dir().join("flat_cli_test_desim_trace.json");
+    let path_str = path.display().to_string();
+    let out = flat(&[
+        "sim",
+        "--seq",
+        "512",
+        "--dataflow",
+        "flat-r64",
+        "--engine",
+        "event",
+        "--trace-json",
+        &path_str,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let trace = std::fs::read_to_string(&path).expect("trace written");
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    for needle in [
+        "\"name\":\"flat-desim\"",
+        "\"name\":\"pe\"",
+        "\"name\":\"dma\"",
+        "\"ph\":\"X\"",
+        "\"ph\":\"C\"",
+        "tiles in flight",
+    ] {
+        assert!(trace.contains(needle), "{needle} missing from trace");
+    }
+}

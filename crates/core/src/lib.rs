@@ -60,6 +60,6 @@ pub use dataflow::{
 pub use footprint::{fused_footprint, fused_footprint_elems, table2_row_elems, FusedSlices};
 pub use model::{
     choose_l2_tiling, dram_traffic, gemm_compute, gemm_onchip_traffic, offchip_elems, BlockCost,
-    ComputeCost, CostModel, CostReport, DramTraffic, L2Tiling, ModelOptions, OnchipTraffic,
-    Staging, Traffic,
+    ComputeCost, CostModel, CostReport, DramTraffic, FusedLaneDemands, L2Tiling, ModelOptions,
+    OnchipTraffic, PhaseLaneDemands, SequentialLaneDemands, Staging, Traffic,
 };

@@ -34,6 +34,29 @@ impl CostModel<'_> {
     /// ```
     #[must_use]
     pub fn fused_la_cost(&self, block: &AttentionBlock, df: &FusedDataflow) -> CostReport {
+        self.fused_cost_demands(block, df).0
+    }
+
+    /// The per-iteration lane demands behind [`CostModel::fused_la_cost`]:
+    /// what each hardware lane (PE array, SFU, SG port, L2 link, DRAM
+    /// link) must serve per FLAT-tile pass, before the analytical fold.
+    /// `demands.total_cycles()` reproduces the priced cycles bit-for-bit;
+    /// the `flat-desim` event backend executes the same demands instead
+    /// of folding them.
+    #[must_use]
+    pub fn fused_lane_demands(
+        &self,
+        block: &AttentionBlock,
+        df: &FusedDataflow,
+    ) -> crate::FusedLaneDemands {
+        self.fused_cost_demands(block, df).1
+    }
+
+    fn fused_cost_demands(
+        &self,
+        block: &AttentionBlock,
+        df: &FusedDataflow,
+    ) -> (CostReport, crate::FusedLaneDemands) {
         let cfg = *block.config();
         let dtype = cfg.dtype;
         let e = dtype.size_bytes();
@@ -197,6 +220,16 @@ impl CostModel<'_> {
                 + ca.steps
                 + (cl.switches + ca.switches) * self.accel.noc.tile_switch_overhead(self.accel.pe)
         } as f64;
+        // Stage-L's share of the per-iteration compute (for the demand
+        // decomposition; the analytical fold only needs the sum).
+        let logit_compute = if pipelined {
+            compute_per_iter / 2.0
+        } else if self.opts.double_buffered {
+            (cl.steps + self.accel.noc.fill_latency(self.accel.pe)) as f64
+        } else {
+            (cl.steps + cl.switches * self.accel.noc.tile_switch_overhead(self.accel.pe)) as f64
+        }
+        .min(compute_per_iter);
         // The SFU is its own unit: it softmaxes FLAT-tile i while the PE
         // array runs L of tile i+1 (no dependency between them), so it
         // only binds when slower than the array.
@@ -214,26 +247,26 @@ impl CostModel<'_> {
         let l2_cycles_per_iter = self.accel.l2_sram.map_or(0.0, |l2| {
             l2_elems_per_iter * e as f64 / l2.bytes_per_cycle(self.accel.clock_hz)
         });
-        let per_iter =
-            self.combine_cycles(
-                compute_per_iter,
-                onchip_bytes / it,
-                offchip_bytes / it * off_window_penalty,
-            )
-            .max(l2_cycles_per_iter)
-            .max(if self.opts.double_buffered {
-                sfu_per_iter
-            } else {
-                // Without double buffering nothing overlaps.
-                0.0
-            }) + if self.opts.double_buffered {
-                0.0
-            } else {
-                sfu_per_iter
-            };
         let warmup_bytes = (dbm * (s.query + s.key + s.value) * e) as f64;
         let warmup = warmup_bytes.min(offchip_bytes) / self.accel.offchip_bytes_per_cycle();
-        let cycles = it * per_iter + warmup;
+        // The fold itself lives on the demand struct so the event-driven
+        // backend executes exactly what the closed form prices.
+        let demands = crate::FusedLaneDemands {
+            iterations: iters,
+            compute_cycles: compute_per_iter,
+            logit_compute_cycles: logit_compute,
+            attend_compute_cycles: compute_per_iter - logit_compute,
+            sfu_cycles: sfu_per_iter,
+            onchip_bytes: onchip_bytes / it,
+            offchip_bytes: offchip_bytes / it,
+            offchip_window_penalty: off_window_penalty,
+            l2_cycles: l2_cycles_per_iter,
+            warmup_cycles: warmup,
+            onchip_bytes_per_cycle: self.accel.onchip_bytes_per_cycle(),
+            offchip_bytes_per_cycle: self.accel.offchip_bytes_per_cycle(),
+            double_buffered: self.opts.double_buffered,
+        };
+        let cycles = demands.total_cycles();
 
         // Useful MACs are the exact algorithmic count; a ragged tail tile
         // (rows not dividing Nq, heads not dividing H) still occupies a
@@ -252,7 +285,7 @@ impl CostModel<'_> {
             dram_accesses: off_elems as u64,
             sfu_elements: int_total,
         };
-        CostReport {
+        let report = CostReport {
             cycles,
             ideal_cycles: macs as f64 / self.accel.peak_macs_per_cycle() as f64,
             traffic: Traffic {
@@ -262,7 +295,8 @@ impl CostModel<'_> {
             activity,
             footprint: ws + req,
             energy: self.energy_table(dtype).energy(&activity),
-        }
+        };
+        (report, demands)
     }
 }
 

@@ -28,6 +28,7 @@
 
 mod block;
 mod compute;
+mod demands;
 mod fused;
 mod l2;
 mod report;
@@ -37,6 +38,7 @@ mod staging;
 
 pub use block::BlockCost;
 pub use compute::{gemm_compute, gemm_onchip_traffic, ComputeCost, OnchipTraffic};
+pub use demands::{FusedLaneDemands, PhaseLaneDemands, SequentialLaneDemands};
 pub use l2::{choose_l2_tiling, dram_traffic, DramTraffic, L2Tiling};
 pub use report::{CostReport, Traffic};
 pub use staging::{offchip_elems, Staging};

@@ -60,6 +60,30 @@ impl CostModel<'_> {
         logit_df: &OperatorDataflow,
         attend_df: &OperatorDataflow,
     ) -> CostReport {
+        self.sequential_cost_demands(block, logit_df, attend_df).0
+    }
+
+    /// The per-phase lane demands behind
+    /// [`CostModel::sequential_la_cost`]: what the PE array, SFU, SG
+    /// port, and DRAM link each serve in the Logit, softmax, and Attend
+    /// phases, before the analytical fold. The `flat-desim` event
+    /// backend executes these instead of folding them.
+    #[must_use]
+    pub fn sequential_lane_demands(
+        &self,
+        block: &AttentionBlock,
+        logit_df: &OperatorDataflow,
+        attend_df: &OperatorDataflow,
+    ) -> crate::SequentialLaneDemands {
+        self.sequential_cost_demands(block, logit_df, attend_df).1
+    }
+
+    fn sequential_cost_demands(
+        &self,
+        block: &AttentionBlock,
+        logit_df: &OperatorDataflow,
+        attend_df: &OperatorDataflow,
+    ) -> (CostReport, crate::SequentialLaneDemands) {
         let cfg = *block.config();
         let dtype = cfg.dtype;
         let e = dtype.size_bytes();
@@ -126,7 +150,7 @@ impl CostModel<'_> {
                 staged(logit_df.l3.is_some_and(|l3| l3.enables.output), f_l)
             },
         };
-        let l_report = self.gemm_phase(
+        let (l_report, mut l_demands) = self.gemm_phase_demands(
             &l_gemm,
             logit_df.stationarity,
             l_states,
@@ -134,9 +158,18 @@ impl CostModel<'_> {
             tiling_l,
             dtype,
         );
+        l_demands.label = "logit";
 
         // --- Softmax phase ---
         let softmax = self.softmax_phase(l_gemm.c_elements(), resident, dtype);
+        let sm_demands = crate::PhaseLaneDemands {
+            label: "softmax",
+            compute_cycles: 0.0,
+            sfu_cycles: self.sfu_cycles(l_gemm.c_elements()) as f64,
+            onchip_bytes: softmax.traffic.onchip.as_f64(),
+            offchip_bytes: softmax.traffic.offchip.as_f64(),
+            warmup_cycles: 0.0,
+        };
 
         // --- Attend phase ---
         let f_a = frac(a_side_req, logit_resident_charge);
@@ -149,7 +182,7 @@ impl CostModel<'_> {
             b: staged(attend_df.l3.is_some_and(|l3| l3.enables.input_b), f_a),
             c: staged(attend_df.l3.is_some_and(|l3| l3.enables.output), f_a),
         };
-        let a_report = self.gemm_phase(
+        let (a_report, mut a_demands) = self.gemm_phase_demands(
             &a_gemm,
             attend_df.stationarity,
             a_states,
@@ -157,6 +190,16 @@ impl CostModel<'_> {
             tiling_a,
             dtype,
         );
+        a_demands.label = "attend";
+        let demands = crate::SequentialLaneDemands {
+            logit: l_demands,
+            softmax: sm_demands,
+            attend: a_demands,
+            overlap_softmax: self.opts.overlap_softmax,
+            double_buffered: self.opts.double_buffered,
+            onchip_bytes_per_cycle: self.accel.onchip_bytes_per_cycle(),
+            offchip_bytes_per_cycle: self.accel.offchip_bytes_per_cycle(),
+        };
 
         // Softmax is a row operation and A consumes rows in order, so even
         // a strictly sequential baseline may pipeline the softmax pass
@@ -182,9 +225,9 @@ impl CostModel<'_> {
                 footprint: a_report.footprint.max(softmax.footprint),
                 energy: a_report.energy + softmax.energy,
             };
-            l_report.then(&a_sm)
+            (l_report.then(&a_sm), demands)
         } else {
-            l_report.then(&softmax).then(&a_report)
+            (l_report.then(&softmax).then(&a_report), demands)
         }
     }
 }

@@ -113,6 +113,22 @@ impl CostModel<'_> {
         tiling: L2Tiling,
         dtype: DataType,
     ) -> CostReport {
+        self.gemm_phase_demands(gemm, stat, states, staging_footprint, tiling, dtype)
+            .0
+    }
+
+    /// [`gemm_phase`](Self::gemm_phase) plus the lane-demand
+    /// decomposition its cycle count folds: what the PE array, SG port,
+    /// and DRAM link each serve over the whole phase.
+    pub(crate) fn gemm_phase_demands(
+        &self,
+        gemm: &Gemm,
+        stat: Stationarity,
+        states: TensorStates,
+        staging_footprint: Bytes,
+        tiling: L2Tiling,
+        dtype: DataType,
+    ) -> (CostReport, crate::PhaseLaneDemands) {
         let e = dtype.size_bytes();
         let streamed = dram_traffic(gemm, stat, tiling.tm, tiling.tk, tiling.tn);
 
@@ -147,7 +163,7 @@ impl CostModel<'_> {
             dram_accesses: off_elems as u64,
             sfu_elements: 0,
         };
-        CostReport {
+        let report = CostReport {
             cycles,
             ideal_cycles: comp.ideal_cycles(self.accel),
             traffic: Traffic {
@@ -157,7 +173,16 @@ impl CostModel<'_> {
             activity,
             footprint: Bytes::new(tiling.working_set_elems * e) + staging_footprint,
             energy: self.energy_table(dtype).energy(&activity),
-        }
+        };
+        let demands = crate::PhaseLaneDemands {
+            label: "gemm",
+            compute_cycles,
+            sfu_cycles: 0.0,
+            onchip_bytes,
+            offchip_bytes,
+            warmup_cycles: warmup,
+        };
+        (report, demands)
     }
 
     /// Cost of one standalone operator under its dataflow.

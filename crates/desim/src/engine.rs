@@ -1,0 +1,602 @@
+//! The discrete-event runtime: a virtual-time event queue scheduling
+//! [`Context`] actors connected by bounded [channels](Engine::channel)
+//! with blocking send/recv backpressure.
+//!
+//! # Execution model
+//!
+//! A context is a resumable state machine. The engine polls it; the
+//! context performs any number of non-blocking channel operations
+//! through [`Io`] and returns a [`Poll`]:
+//!
+//! * [`Poll::Busy`]`(d)` — the context occupies its lane for `d` cycles;
+//!   the engine re-polls it at `now + d`.
+//! * [`Poll::Blocked`] — a channel operation could not complete (empty
+//!   recv or full send). The context is parked; the engine re-polls it
+//!   when the channel it blocked on changes state. Spurious wake-ups are
+//!   allowed, so contexts must re-attempt the same operation when
+//!   re-polled.
+//! * [`Poll::Done`] — the context retires.
+//!
+//! # Determinism
+//!
+//! Virtual time is `f64` cycles ordered by `total_cmp`. Events at equal
+//! timestamps pop in insertion order (a monotone sequence number breaks
+//! ties), so a run is a pure function of the wiring — there is no
+//! hash-ordered container or host-time dependence anywhere. Two runs of
+//! the same program produce byte-identical traces; the agreement suite
+//! pins this.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Handle to a bounded channel created by [`Engine::channel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(pub(crate) usize);
+
+/// Handle to a context spawned by [`Engine::spawn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextId(pub(crate) usize);
+
+/// What a context does next, returned from [`Context::poll`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Poll {
+    /// Occupy the lane for this many cycles, then resume.
+    Busy(f64),
+    /// Parked on a channel; re-poll on channel activity.
+    Blocked,
+    /// Retired.
+    Done,
+}
+
+/// A simulated actor (one PE/buffer-port/DMA lane of the machine).
+pub trait Context {
+    /// Advance the state machine as far as it can go at the current
+    /// virtual time. Must be idempotent under spurious re-polls.
+    fn poll(&mut self, io: &mut Io<'_>) -> Poll;
+}
+
+/// One recorded lane slice (for Chrome-trace export).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSlice {
+    /// Index of the context that was busy.
+    pub ctx: usize,
+    /// Slice label (`"fetch"`, `"logit"`, `"softmax"`, …).
+    pub label: &'static str,
+    /// Start time in cycles.
+    pub start: f64,
+    /// Duration in cycles.
+    pub dur: f64,
+}
+
+/// Channel occupancy statistics over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Channel name given at creation.
+    pub name: String,
+    /// Bound on queued tokens.
+    pub capacity: usize,
+    /// Time-weighted mean queue length.
+    pub mean_occupancy: f64,
+    /// Smallest queue length observed.
+    pub min_occupancy: usize,
+    /// Largest queue length observed.
+    pub max_occupancy: usize,
+    /// `(time, length)` samples at every state change, recorded only
+    /// when the engine traces (for counter-track export).
+    pub samples: Vec<(f64, usize)>,
+}
+
+/// Per-context lane statistics over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextStats {
+    /// Context name given at spawn.
+    pub name: String,
+    /// Total cycles spent in [`Poll::Busy`] — the lane's link-busy time.
+    pub busy_cycles: f64,
+}
+
+/// The result of [`Engine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Virtual time when the last context retired (the makespan).
+    pub end_time: f64,
+    /// Number of events processed.
+    pub events: u64,
+    /// Per-lane busy time, in spawn order.
+    pub contexts: Vec<ContextStats>,
+    /// Per-channel occupancy, in creation order.
+    pub channels: Vec<ChannelStats>,
+    /// Recorded lane slices (empty unless tracing).
+    pub trace: Vec<TraceSlice>,
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The event budget was exhausted — a context is livelocked.
+    Livelock {
+        /// Events processed before giving up.
+        events: u64,
+    },
+    /// The event queue drained with contexts still parked.
+    Deadlock {
+        /// Names of the contexts that never retired.
+        blocked: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Livelock { events } => {
+                write!(f, "livelock: event budget exhausted after {events} events")
+            }
+            EngineError::Deadlock { blocked } => {
+                write!(
+                    f,
+                    "deadlock: contexts never retired: {}",
+                    blocked.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+struct ChannelCore {
+    name: String,
+    capacity: usize,
+    queue: VecDeque<u64>,
+    wait_send: Vec<usize>,
+    wait_recv: Vec<usize>,
+    occupancy_integral: f64,
+    last_change: f64,
+    prev_len: usize,
+    min_len: usize,
+    max_len: usize,
+    samples: Vec<(f64, usize)>,
+}
+
+impl ChannelCore {
+    fn note_change(&mut self, now: f64, sample: bool) {
+        let len = self.queue.len();
+        self.occupancy_integral += self.prev_len as f64 * (now - self.last_change).max(0.0);
+        self.last_change = now;
+        self.prev_len = len;
+        self.min_len = self.min_len.min(len);
+        self.max_len = self.max_len.max(len);
+        if sample {
+            self.samples.push((now, len));
+        }
+    }
+}
+
+/// Event-queue key: `(time, seq)` with `total_cmp` time ordering — ties
+/// on equal timestamps resolve deterministically in insertion order.
+struct EventKey {
+    time: f64,
+    seq: u64,
+    ctx: usize,
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Non-blocking channel operations a [`Context`] performs while polled.
+pub struct Io<'a> {
+    now: f64,
+    ctx: usize,
+    channels: &'a mut [ChannelCore],
+    wakes: &'a mut Vec<usize>,
+    sample: bool,
+    trace: Option<&'a mut Vec<TraceSlice>>,
+}
+
+impl Io<'_> {
+    /// Current virtual time in cycles.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Attempts to dequeue a token. On `None` the context is registered
+    /// as a waiting receiver and must return [`Poll::Blocked`].
+    pub fn try_recv(&mut self, ch: ChannelId) -> Option<u64> {
+        let now = self.now;
+        let sample = self.sample;
+        let c = &mut self.channels[ch.0];
+        match c.queue.pop_front() {
+            Some(tok) => {
+                c.note_change(now, sample);
+                self.wakes.append(&mut c.wait_send);
+                Some(tok)
+            }
+            None => {
+                if !c.wait_recv.contains(&self.ctx) {
+                    c.wait_recv.push(self.ctx);
+                }
+                None
+            }
+        }
+    }
+
+    /// Attempts to enqueue a token. On `false` the channel is full: the
+    /// context is registered as a waiting sender and must return
+    /// [`Poll::Blocked`] — this is the backpressure edge.
+    pub fn try_send(&mut self, ch: ChannelId, token: u64) -> bool {
+        let now = self.now;
+        let sample = self.sample;
+        let c = &mut self.channels[ch.0];
+        if c.queue.len() >= c.capacity {
+            if !c.wait_send.contains(&self.ctx) {
+                c.wait_send.push(self.ctx);
+            }
+            return false;
+        }
+        c.queue.push_back(token);
+        c.note_change(now, sample);
+        self.wakes.append(&mut c.wait_recv);
+        true
+    }
+
+    /// Records a completed busy slice on this context's lane (no-op
+    /// unless the engine traces).
+    pub fn emit(&mut self, label: &'static str, start: f64, dur: f64) {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            if dur > 0.0 {
+                trace.push(TraceSlice {
+                    ctx: self.ctx,
+                    label,
+                    start,
+                    dur,
+                });
+            }
+        }
+    }
+}
+
+/// The simulation engine: owns contexts, channels, and the event queue.
+pub struct Engine {
+    contexts: Vec<Box<dyn Context>>,
+    names: Vec<String>,
+    channels: Vec<ChannelCore>,
+    record_trace: bool,
+}
+
+impl Engine {
+    /// A new engine. `record_trace` enables lane slices and channel
+    /// occupancy samples (off for long extrapolation runs).
+    #[must_use]
+    pub fn new(record_trace: bool) -> Self {
+        Engine {
+            contexts: Vec::new(),
+            names: Vec::new(),
+            channels: Vec::new(),
+            record_trace,
+        }
+    }
+
+    /// Creates a bounded channel pre-filled with `prefill` tokens
+    /// (credit-based flow control starts from a full credit pool).
+    /// `prefill` is clamped to `capacity`.
+    pub fn channel(&mut self, name: &str, capacity: usize, prefill: usize) -> ChannelId {
+        let prefill = prefill.min(capacity);
+        let queue: VecDeque<u64> = (0..prefill as u64).collect();
+        let len = queue.len();
+        self.channels.push(ChannelCore {
+            name: name.to_owned(),
+            capacity: capacity.max(1),
+            queue,
+            wait_send: Vec::new(),
+            wait_recv: Vec::new(),
+            occupancy_integral: 0.0,
+            last_change: 0.0,
+            prev_len: len,
+            min_len: len,
+            max_len: len,
+            samples: if self.record_trace {
+                vec![(0.0, len)]
+            } else {
+                Vec::new()
+            },
+        });
+        ChannelId(self.channels.len() - 1)
+    }
+
+    /// Spawns a context on its own lane. Spawn order is the tie-break
+    /// order for simultaneous initial events.
+    pub fn spawn(&mut self, name: &str, ctx: impl Context + 'static) -> ContextId {
+        self.contexts.push(Box::new(ctx));
+        self.names.push(name.to_owned());
+        ContextId(self.contexts.len() - 1)
+    }
+
+    /// Runs to completion (all contexts [`Poll::Done`]) or failure.
+    /// `max_events` bounds total polls against livelock.
+    pub fn run(&mut self, max_events: u64) -> Result<RunStats, EngineError> {
+        let n = self.contexts.len();
+        let mut heap: BinaryHeap<Reverse<EventKey>> = BinaryHeap::with_capacity(n * 2);
+        let mut seq: u64 = 0;
+        for ctx in 0..n {
+            heap.push(Reverse(EventKey {
+                time: 0.0,
+                seq,
+                ctx,
+            }));
+            seq += 1;
+        }
+        let mut done = vec![false; n];
+        let mut busy = vec![0.0f64; n];
+        let mut finished = 0usize;
+        let mut end_time = 0.0f64;
+        let mut events: u64 = 0;
+        let mut wakes: Vec<usize> = Vec::new();
+        let mut trace: Vec<TraceSlice> = Vec::new();
+
+        while let Some(Reverse(key)) = heap.pop() {
+            if done[key.ctx] {
+                continue;
+            }
+            events += 1;
+            if events > max_events {
+                return Err(EngineError::Livelock { events });
+            }
+            let mut io = Io {
+                now: key.time,
+                ctx: key.ctx,
+                channels: &mut self.channels,
+                wakes: &mut wakes,
+                sample: self.record_trace,
+                trace: if self.record_trace {
+                    Some(&mut trace)
+                } else {
+                    None
+                },
+            };
+            let poll = self.contexts[key.ctx].poll(&mut io);
+            for w in wakes.drain(..) {
+                if !done[w] {
+                    heap.push(Reverse(EventKey {
+                        time: key.time,
+                        seq,
+                        ctx: w,
+                    }));
+                    seq += 1;
+                }
+            }
+            match poll {
+                Poll::Busy(d) => {
+                    let d = d.max(0.0);
+                    busy[key.ctx] += d;
+                    let t = key.time + d;
+                    end_time = end_time.max(t);
+                    heap.push(Reverse(EventKey {
+                        time: t,
+                        seq,
+                        ctx: key.ctx,
+                    }));
+                    seq += 1;
+                }
+                Poll::Blocked => {}
+                Poll::Done => {
+                    done[key.ctx] = true;
+                    finished += 1;
+                    end_time = end_time.max(key.time);
+                }
+            }
+        }
+
+        if finished < n {
+            let blocked = (0..n)
+                .filter(|&i| !done[i])
+                .map(|i| self.names[i].clone())
+                .collect();
+            return Err(EngineError::Deadlock { blocked });
+        }
+
+        let contexts = self
+            .names
+            .iter()
+            .zip(&busy)
+            .map(|(name, &busy_cycles)| ContextStats {
+                name: name.clone(),
+                busy_cycles,
+            })
+            .collect();
+        let channels = self
+            .channels
+            .iter_mut()
+            .map(|c| {
+                c.note_change(end_time, false);
+                ChannelStats {
+                    name: c.name.clone(),
+                    capacity: c.capacity,
+                    mean_occupancy: if end_time > 0.0 {
+                        c.occupancy_integral / end_time
+                    } else {
+                        c.prev_len as f64
+                    },
+                    min_occupancy: c.min_len,
+                    max_occupancy: c.max_len,
+                    samples: std::mem::take(&mut c.samples),
+                }
+            })
+            .collect();
+        Ok(RunStats {
+            end_time,
+            events,
+            contexts,
+            channels,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{Op, Script, ScriptContext};
+
+    fn producer(n: u64, dur: f64, out: ChannelId) -> ScriptContext {
+        ScriptContext::new(Script {
+            prelude: vec![],
+            body: vec![Op::Busy(dur, "produce"), Op::Send(out)],
+            body_repeats: n,
+            epilogue: vec![],
+        })
+    }
+
+    fn consumer(n: u64, dur: f64, input: ChannelId) -> ScriptContext {
+        ScriptContext::new(Script {
+            prelude: vec![],
+            body: vec![Op::Recv(input), Op::Busy(dur, "consume")],
+            body_repeats: n,
+            epilogue: vec![],
+        })
+    }
+
+    /// Pipeline throughput is set by the slowest stage.
+    #[test]
+    fn bottleneck_sets_throughput() {
+        let mut eng = Engine::new(false);
+        let ch = eng.channel("q", 4, 0);
+        eng.spawn("prod", producer(100, 1.0, ch));
+        eng.spawn("cons", consumer(100, 3.0, ch));
+        let stats = eng.run(100_000).expect("runs");
+        // 100 tokens at 3 cycles each, plus the first token's fill.
+        assert!((stats.end_time - 301.0).abs() < 1e-9, "{}", stats.end_time);
+    }
+
+    /// A capacity-1 channel backpressures the producer to lock-step.
+    #[test]
+    fn bounded_channel_backpressures() {
+        let mut eng = Engine::new(false);
+        let ch = eng.channel("q", 1, 0);
+        eng.spawn("prod", producer(10, 2.0, ch));
+        eng.spawn("cons", consumer(10, 2.0, ch));
+        let stats = eng.run(100_000).expect("runs");
+        assert!((stats.end_time - 22.0).abs() < 1e-9, "{}", stats.end_time);
+        // Capacity 4 would let the producer run ahead; occupancy proves
+        // the bound held.
+        let occ = &stats.channels[0];
+        assert_eq!(occ.max_occupancy, 1);
+    }
+
+    /// Same program, two runs: identical event counts, times, and
+    /// traces — the determinism contract.
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let mut eng = Engine::new(true);
+            let a = eng.channel("a", 2, 0);
+            let b = eng.channel("b", 2, 0);
+            let forward = ScriptContext::new(Script {
+                prelude: vec![],
+                body: vec![Op::Recv(a), Op::Busy(1.5, "fwd"), Op::Send(b)],
+                body_repeats: 20,
+                epilogue: vec![],
+            });
+            eng.spawn("prod", producer(20, 1.0, a));
+            eng.spawn("fwd", forward);
+            eng.spawn("cons", consumer(20, 2.5, b));
+            eng
+        };
+        let s1 = build().run(100_000).expect("runs");
+        let s2 = build().run(100_000).expect("runs");
+        assert_eq!(s1.events, s2.events);
+        assert_eq!(s1.end_time.to_bits(), s2.end_time.to_bits());
+        assert_eq!(s1.trace, s2.trace);
+    }
+
+    /// Two producers racing at the same timestamp resolve in spawn
+    /// order — the deterministic tie-break.
+    #[test]
+    fn equal_timestamps_resolve_in_spawn_order() {
+        let mut eng = Engine::new(false);
+        let ch = eng.channel("q", 2, 0);
+        // Both want to send at t=0 into a capacity-2 channel; a single
+        // consumer drains both. First spawned sends first.
+        let send_only = |tok: u64| {
+            ScriptContext::new(Script {
+                prelude: vec![Op::Send(ch)],
+                body: vec![],
+                body_repeats: 0,
+                epilogue: vec![],
+            })
+            .with_token(tok)
+        };
+        eng.spawn("first", send_only(7));
+        eng.spawn("second", send_only(9));
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let collect = Collector {
+            input: ch,
+            remaining: 2,
+            seen: order.clone(),
+        };
+        eng.spawn("collector", collect);
+        eng.run(1000).expect("runs");
+        assert_eq!(*order.borrow(), vec![7, 9]);
+    }
+
+    /// Unfinishable wiring is reported as a deadlock, not a hang.
+    #[test]
+    fn deadlock_is_detected() {
+        let mut eng = Engine::new(false);
+        let ch = eng.channel("never", 1, 0);
+        eng.spawn("cons", consumer(1, 1.0, ch));
+        let err = eng.run(1000).expect_err("deadlocks");
+        match err {
+            EngineError::Deadlock { blocked } => assert_eq!(blocked, vec!["cons".to_owned()]),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    /// The livelock guard trips instead of spinning forever.
+    #[test]
+    fn event_budget_bounds_runaway() {
+        let mut eng = Engine::new(false);
+        let ch = eng.channel("q", 1, 0);
+        eng.spawn("prod", producer(1_000_000, 0.5, ch));
+        eng.spawn("cons", consumer(1_000_000, 0.5, ch));
+        let err = eng.run(100).expect_err("budget");
+        assert!(matches!(err, EngineError::Livelock { .. }));
+    }
+
+    /// Test helper: records recv order into a shared vec.
+    struct Collector {
+        input: ChannelId,
+        remaining: u32,
+        seen: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+    }
+    impl Context for Collector {
+        fn poll(&mut self, io: &mut Io<'_>) -> Poll {
+            while self.remaining > 0 {
+                match io.try_recv(self.input) {
+                    Some(tok) => {
+                        self.seen.borrow_mut().push(tok);
+                        self.remaining -= 1;
+                    }
+                    None => return Poll::Blocked,
+                }
+            }
+            Poll::Done
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Scripted contexts: a tiny op language for pipeline actors.
+//!
+//! Every lane of the FLAT executor runs a fixed per-iteration sequence
+//! of channel operations and busy intervals (a DMA lane: take a credit,
+//! occupy the link, hand the tile on). [`ScriptContext`] interprets such
+//! a [`Script`] as a resumable [`Context`] state machine: blocking
+//! semantics fall out of re-attempting the current op on re-poll, and
+//! every completed busy interval is emitted as a trace slice.
+
+use crate::engine::{ChannelId, Context, Io, Poll};
+
+/// One scripted operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Dequeue a token (blocks while empty).
+    Recv(ChannelId),
+    /// Enqueue a token (blocks while full — backpressure).
+    Send(ChannelId),
+    /// Occupy the lane for the given cycles, traced under the label.
+    /// Non-positive durations are skipped.
+    Busy(f64, &'static str),
+}
+
+/// A three-segment program: `prelude`, `body` repeated `body_repeats`
+/// times, then `epilogue`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Ops run once at the start (cold-start warmup, first iteration).
+    pub prelude: Vec<Op>,
+    /// Ops run `body_repeats` times (the steady-state iteration).
+    pub body: Vec<Op>,
+    /// Number of body iterations.
+    pub body_repeats: u64,
+    /// Ops run once at the end (pipeline drain).
+    pub epilogue: Vec<Op>,
+}
+
+/// Which segment the interpreter is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Prelude,
+    Body,
+    Epilogue,
+    Finished,
+}
+
+/// A [`Context`] interpreting a [`Script`].
+#[derive(Debug, Clone)]
+pub struct ScriptContext {
+    script: Script,
+    segment: Segment,
+    pc: usize,
+    iter: u64,
+    in_busy: Option<(f64, &'static str)>,
+    token_override: Option<u64>,
+}
+
+impl ScriptContext {
+    /// A context at the start of `script`.
+    #[must_use]
+    pub fn new(script: Script) -> Self {
+        let mut ctx = ScriptContext {
+            script,
+            segment: Segment::Prelude,
+            pc: 0,
+            iter: 0,
+            in_busy: None,
+            token_override: None,
+        };
+        ctx.normalize();
+        ctx
+    }
+
+    /// Sends this fixed token value instead of the iteration index.
+    #[must_use]
+    pub fn with_token(mut self, token: u64) -> Self {
+        self.token_override = Some(token);
+        self
+    }
+
+    fn current(&self) -> Option<Op> {
+        match self.segment {
+            Segment::Prelude => self.script.prelude.get(self.pc).copied(),
+            Segment::Body => self.script.body.get(self.pc).copied(),
+            Segment::Epilogue => self.script.epilogue.get(self.pc).copied(),
+            Segment::Finished => None,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.pc += 1;
+        self.normalize();
+    }
+
+    /// Moves past exhausted segments so [`current`](Self::current) is
+    /// either a real op or `None` (finished).
+    fn normalize(&mut self) {
+        loop {
+            match self.segment {
+                Segment::Prelude => {
+                    if self.pc < self.script.prelude.len() {
+                        return;
+                    }
+                    self.segment = Segment::Body;
+                    self.pc = 0;
+                    self.iter = 0;
+                }
+                Segment::Body => {
+                    if self.script.body.is_empty() || self.iter >= self.script.body_repeats {
+                        self.segment = Segment::Epilogue;
+                        self.pc = 0;
+                        continue;
+                    }
+                    if self.pc < self.script.body.len() {
+                        return;
+                    }
+                    self.pc = 0;
+                    self.iter += 1;
+                }
+                Segment::Epilogue => {
+                    if self.pc < self.script.epilogue.len() {
+                        return;
+                    }
+                    self.segment = Segment::Finished;
+                }
+                Segment::Finished => return,
+            }
+        }
+    }
+
+    fn token(&self) -> u64 {
+        self.token_override.unwrap_or(self.iter)
+    }
+}
+
+impl Context for ScriptContext {
+    fn poll(&mut self, io: &mut Io<'_>) -> Poll {
+        // A completed busy interval: record the slice, move on.
+        if let Some((dur, label)) = self.in_busy.take() {
+            io.emit(label, io.now() - dur, dur);
+            self.advance();
+        }
+        loop {
+            let Some(op) = self.current() else {
+                return Poll::Done;
+            };
+            match op {
+                Op::Busy(dur, label) => {
+                    if dur <= 0.0 {
+                        self.advance();
+                        continue;
+                    }
+                    self.in_busy = Some((dur, label));
+                    return Poll::Busy(dur);
+                }
+                Op::Recv(ch) => {
+                    if io.try_recv(ch).is_some() {
+                        self.advance();
+                    } else {
+                        return Poll::Blocked;
+                    }
+                }
+                Op::Send(ch) => {
+                    if io.try_send(ch, self.token()) {
+                        self.advance();
+                    } else {
+                        return Poll::Blocked;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    /// Zero-duration busy ops are skipped without scheduling churn.
+    #[test]
+    fn zero_busy_is_free() {
+        let mut eng = Engine::new(false);
+        let ctx = ScriptContext::new(Script {
+            prelude: vec![Op::Busy(0.0, "skip"), Op::Busy(5.0, "work")],
+            body: vec![],
+            body_repeats: 0,
+            epilogue: vec![Op::Busy(0.0, "skip")],
+        });
+        eng.spawn("lane", ctx);
+        let stats = eng.run(100).expect("runs");
+        assert!((stats.end_time - 5.0).abs() < 1e-12);
+        // One Busy poll + one completion poll.
+        assert_eq!(stats.events, 2);
+    }
+
+    /// Prelude, body xN, epilogue execute in order with correct counts.
+    #[test]
+    fn segments_execute_in_order() {
+        let mut eng = Engine::new(true);
+        let ctx = ScriptContext::new(Script {
+            prelude: vec![Op::Busy(1.0, "warmup")],
+            body: vec![Op::Busy(2.0, "iter")],
+            body_repeats: 3,
+            epilogue: vec![Op::Busy(4.0, "drain")],
+        });
+        eng.spawn("lane", ctx);
+        let stats = eng.run(100).expect("runs");
+        assert!((stats.end_time - 11.0).abs() < 1e-12);
+        let labels: Vec<&str> = stats.trace.iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec!["warmup", "iter", "iter", "iter", "drain"]);
+    }
+
+    /// An empty script retires immediately.
+    #[test]
+    fn empty_script_is_done() {
+        let mut eng = Engine::new(false);
+        eng.spawn("lane", ScriptContext::new(Script::default()));
+        let stats = eng.run(10).expect("runs");
+        assert_eq!(stats.end_time, 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The cross-validation contract between the event backend and the
+//! analytical cost model.
+//!
+//! Uncontended configurations — staging buffers ≥ 2, the double
+//! buffering the closed form assumes — must agree within 5 % (tier-1).
+//! Contended configurations must *diverge measurably*: that the event
+//! backend can catch the analytical model's optimism is the reason the
+//! backend exists (see EXPERIMENTS.md, "Model validation").
+
+use flat_arch::Accelerator;
+use flat_core::{
+    CostModel, FusedDataflow, Granularity, ModelOptions, OperatorDataflow, Stationarity,
+};
+use flat_desim::{simulate_fused_event, simulate_sequential_event, EventOptions};
+use flat_workloads::Model;
+
+/// Relative divergence of the event backend from the analytical pricing.
+fn fused_divergence(accel: &Accelerator, seq: u64, g: Granularity, opts: EventOptions) -> f64 {
+    let block = Model::bert().block(64, seq);
+    let analytical = CostModel::with_options(accel, opts.model)
+        .fused_la_cost(&block, &FusedDataflow::new(g))
+        .cycles;
+    let event = simulate_fused_event(accel, &block, &FusedDataflow::new(g), opts)
+        .expect("wiring is sound")
+        .cycles;
+    (event - analytical) / analytical
+}
+
+/// Tier-1: every uncontended fused configuration in the validation grid
+/// agrees within the 5 % tolerance `flat sim --engine both` defaults to.
+#[test]
+fn uncontended_fused_grid_agrees_within_tolerance() {
+    for accel in [Accelerator::edge(), Accelerator::cloud()] {
+        for seq in [512u64, 1024, 4096] {
+            for g in [
+                Granularity::Row(64),
+                Granularity::Row(256),
+                Granularity::Head,
+            ] {
+                let div = fused_divergence(&accel, seq, g, EventOptions::default());
+                assert!(
+                    div.abs() <= 0.05,
+                    "{} seq={seq} {g:?}: divergence {:.3}% exceeds 5%",
+                    accel.name,
+                    div * 100.0
+                );
+            }
+        }
+    }
+}
+
+/// The sequential (baseline) pipeline also validates, at the same
+/// tolerance: phase fills are small against 64-slice phases.
+#[test]
+fn sequential_baseline_agrees_within_tolerance() {
+    let df = OperatorDataflow::baseline(Stationarity::Weight);
+    for accel in [Accelerator::edge(), Accelerator::cloud()] {
+        for seq in [512u64, 4096] {
+            let block = Model::bert().block(64, seq);
+            let analytical = CostModel::new(&accel)
+                .sequential_la_cost(&block, &df, &df)
+                .cycles;
+            let event =
+                simulate_sequential_event(&accel, &block, &df, &df, EventOptions::default())
+                    .expect("wiring is sound")
+                    .cycles;
+            let div = (event - analytical) / analytical;
+            assert!(
+                div.abs() <= 0.05,
+                "{} seq={seq}: divergence {:.3}%",
+                accel.name,
+                div * 100.0
+            );
+        }
+    }
+}
+
+/// Without double buffering both backends serialize the same way; the
+/// agreement is essentially exact.
+#[test]
+fn serialized_machine_agrees_tightly() {
+    let model = ModelOptions {
+        double_buffered: false,
+        ..Default::default()
+    };
+    let opts = EventOptions {
+        model,
+        ..Default::default()
+    };
+    let div = fused_divergence(&Accelerator::edge(), 4096, Granularity::Row(64), opts);
+    assert!(div.abs() < 1e-3, "serial divergence {:.4}%", div * 100.0);
+}
+
+/// The contended fixture: one staging buffer under double-buffered
+/// pricing. The event backend serializes every fetch behind the compute
+/// it can no longer hide under; the closed form keeps taking the `max`.
+/// The divergence must be large enough that a validation sweep cannot
+/// miss it.
+#[test]
+fn single_staging_buffer_diverges_measurably() {
+    let opts = EventOptions {
+        buffers: 1,
+        ..Default::default()
+    };
+    let div = fused_divergence(&Accelerator::edge(), 4096, Granularity::Row(64), opts);
+    assert!(
+        div > 0.10,
+        "contended config must diverge >10%, got {:.3}%",
+        div * 100.0
+    );
+}
+
+/// The other documented divergence: a single-tile pass (BatchMultiHead
+/// granularity runs the whole walk as one iteration) has no steady state
+/// for the fill transient to amortize into, so the analytical overlap
+/// assumption fails wholesale.
+#[test]
+fn single_tile_pass_exposes_the_fill_transient() {
+    let div = fused_divergence(
+        &Accelerator::edge(),
+        4096,
+        Granularity::BatchMultiHead,
+        EventOptions::default(),
+    );
+    assert!(
+        div > 0.10,
+        "iterations=1 must expose the transient, got {:.3}%",
+        div * 100.0
+    );
+}
+
+/// Steady-state extrapolation reproduces the full run: capping at 4096
+/// iterations and extending by the measured period lands within 0.5 %
+/// of simulating all 49 k iterations.
+#[test]
+fn extrapolation_matches_the_full_run() {
+    let accel = Accelerator::edge();
+    let block = Model::bert().block(64, 4096);
+    let df = FusedDataflow::new(Granularity::Row(64));
+    let capped = simulate_fused_event(&accel, &block, &df, EventOptions::default())
+        .expect("wiring is sound");
+    assert!(capped.extrapolated);
+    assert_eq!(capped.simulated_iterations, 4096);
+    let full = simulate_fused_event(
+        &accel,
+        &block,
+        &df,
+        EventOptions {
+            max_iterations: u64::MAX,
+            ..Default::default()
+        },
+    )
+    .expect("wiring is sound");
+    assert!(!full.extrapolated);
+    assert_eq!(full.simulated_iterations, full.total_iterations);
+    let err = (capped.cycles - full.cycles).abs() / full.cycles;
+    assert!(err < 0.005, "extrapolation error {:.4}%", err * 100.0);
+}
+
+/// Two identical runs export byte-identical Chrome traces — the
+/// determinism contract, end to end through the telemetry sort.
+#[test]
+fn event_traces_are_byte_deterministic() {
+    let run = || {
+        let accel = Accelerator::edge();
+        let block = Model::bert().block(64, 512);
+        let df = FusedDataflow::new(Granularity::Head);
+        simulate_fused_event(
+            &accel,
+            &block,
+            &df,
+            EventOptions {
+                record_trace: true,
+                max_iterations: 512,
+                ..Default::default()
+            },
+        )
+        .expect("wiring is sound")
+        .to_chrome_trace()
+    };
+    let a = run();
+    let b = run();
+    assert!(a == b, "traces must be byte-identical");
+    assert!(a.starts_with("{\"traceEvents\":["));
+    assert!(a.contains("\"ph\":\"X\"") && a.contains("\"ph\":\"C\""));
+}
+
+/// The report's lane accounting is coherent: occupancies are in [0, 1]
+/// and the PE lane's busy time matches the priced compute.
+#[test]
+fn lane_accounting_is_coherent() {
+    let accel = Accelerator::edge();
+    let block = Model::bert().block(64, 1024);
+    let df = FusedDataflow::new(Granularity::Row(64));
+    let report = simulate_fused_event(&accel, &block, &df, EventOptions::default())
+        .expect("wiring is sound");
+    for lane in &report.lanes {
+        assert!(
+            (0.0..=1.0).contains(&lane.occupancy),
+            "{}: occupancy {}",
+            lane.name,
+            lane.occupancy
+        );
+    }
+    let demands = CostModel::new(&accel).fused_lane_demands(&block, &df);
+    let priced_pe = demands.iterations as f64 * demands.compute_cycles;
+    let rel = (report.lane_busy("pe") - priced_pe).abs() / priced_pe;
+    assert!(rel < 0.01, "pe busy time off by {:.3}%", rel * 100.0);
+    assert!(report.buffers.peak_in_flight <= report.buffers.capacity);
+    assert!(report.buffers.capacity == 2);
+}

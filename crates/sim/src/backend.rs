@@ -1,0 +1,196 @@
+//! Simulation backend selection and the analytical/event agreement
+//! harness.
+//!
+//! `flat sim` historically ran one engine: the job-graph simulator in
+//! this crate. The `flat-desim` event backend adds a second,
+//! independently-built execution of the same dataflow, and this module
+//! is where the two meet: [`SimBackend`] names the engine, [`agreement`]
+//! runs an analytical pricing and an event simulation of one
+//! configuration and reports their relative divergence, and
+//! [`agreement_sweep`] does so across the seq-len × dataflow grid the
+//! validation suite and `flat sim --engine both --sweep` report.
+
+use flat_arch::Accelerator;
+use flat_core::{
+    CostModel, FusedDataflow, Granularity, LaExecution, OperatorDataflow, Stationarity,
+};
+use flat_desim::{simulate_la_event, EngineError, EventOptions};
+use flat_workloads::{AttentionBlock, Model};
+
+/// Which engine `flat sim` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimBackend {
+    /// The closed-form cost model only (the historical default).
+    Analytical,
+    /// The `flat-desim` discrete-event backend only.
+    Event,
+    /// Both, reporting per-configuration relative divergence.
+    Both,
+}
+
+impl SimBackend {
+    /// Parses a `--engine` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line diagnostic naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "analytical" => Ok(SimBackend::Analytical),
+            "event" => Ok(SimBackend::Event),
+            "both" => Ok(SimBackend::Both),
+            other => Err(format!(
+                "unknown engine '{other}' (expected analytical, event, or both)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimBackend::Analytical => "analytical",
+            SimBackend::Event => "event",
+            SimBackend::Both => "both",
+        })
+    }
+}
+
+/// One analytical-vs-event comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agreement {
+    /// Cycles priced by the closed-form model.
+    pub analytical_cycles: f64,
+    /// Cycles measured by the event simulation.
+    pub event_cycles: f64,
+    /// Signed relative divergence
+    /// `(event - analytical) / analytical`: positive means the event
+    /// backend found the machine slower than the model's fold assumes.
+    pub divergence: f64,
+}
+
+impl Agreement {
+    /// Whether the two backends agree to within `tolerance` (relative,
+    /// two-sided).
+    #[must_use]
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.divergence.abs() <= tolerance
+    }
+}
+
+/// Runs both backends on one L-A configuration.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the event executor's wiring livelocks or
+/// deadlocks (an executor bug — never a property of valid inputs).
+pub fn agreement(
+    accel: &Accelerator,
+    block: &AttentionBlock,
+    la: &LaExecution,
+    opts: EventOptions,
+) -> Result<Agreement, EngineError> {
+    let analytical = CostModel::with_options(accel, opts.model)
+        .la_cost(block, la)
+        .cycles;
+    let event = simulate_la_event(accel, block, la, opts)?.cycles;
+    Ok(Agreement {
+        analytical_cycles: analytical,
+        event_cycles: event,
+        divergence: (event - analytical) / analytical,
+    })
+}
+
+/// One row of an [`agreement_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementRow {
+    /// Dataflow label (`"flat-r64"`, `"base"`, …).
+    pub dataflow: String,
+    /// Sequence length of the configuration.
+    pub seq_len: u64,
+    /// The comparison.
+    pub agreement: Agreement,
+}
+
+/// The seq-len × dataflow grid of the validation sweep: FLAT at row,
+/// coarse-row, and head granularity plus the sequential baseline, each
+/// at every `seq_lens` entry, on a BERT-Base block.
+///
+/// # Errors
+///
+/// Propagates the first [`EngineError`] (executor bug), never a
+/// data-dependent failure.
+pub fn agreement_sweep(
+    accel: &Accelerator,
+    seq_lens: &[u64],
+    opts: EventOptions,
+) -> Result<Vec<AgreementRow>, EngineError> {
+    let base_op = OperatorDataflow::baseline(Stationarity::Weight);
+    let configs: [(&str, LaExecution); 4] = [
+        (
+            "flat-r64",
+            LaExecution::Fused(FusedDataflow::new(Granularity::Row(64))),
+        ),
+        (
+            "flat-r256",
+            LaExecution::Fused(FusedDataflow::new(Granularity::Row(256))),
+        ),
+        (
+            "flat-head",
+            LaExecution::Fused(FusedDataflow::new(Granularity::Head)),
+        ),
+        (
+            "base",
+            LaExecution::Sequential {
+                logit: base_op,
+                attend: base_op,
+            },
+        ),
+    ];
+    let mut rows = Vec::with_capacity(seq_lens.len() * configs.len());
+    for &seq in seq_lens {
+        let block = Model::bert().block(64, seq);
+        for (label, la) in &configs {
+            rows.push(AgreementRow {
+                dataflow: (*label).to_owned(),
+                seq_len: seq,
+                agreement: agreement(accel, &block, la, opts)?,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses_all_three_engines() {
+        assert_eq!(SimBackend::parse("analytical"), Ok(SimBackend::Analytical));
+        assert_eq!(SimBackend::parse("event"), Ok(SimBackend::Event));
+        assert_eq!(SimBackend::parse("both"), Ok(SimBackend::Both));
+        let err = SimBackend::parse("magic").expect_err("rejects");
+        assert!(err.contains("analytical, event, or both"), "{err}");
+    }
+
+    #[test]
+    fn agreement_reports_signed_divergence() {
+        let a = Agreement {
+            analytical_cycles: 100.0,
+            event_cycles: 104.0,
+            divergence: 0.04,
+        };
+        assert!(a.within(0.05));
+        assert!(!a.within(0.03));
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let accel = Accelerator::edge();
+        let rows = agreement_sweep(&accel, &[512, 1024], EventOptions::default()).expect("runs");
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|r| r.dataflow == "base"));
+        assert!(rows.iter().all(|r| r.agreement.analytical_cycles > 0.0));
+    }
+}

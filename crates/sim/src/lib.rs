@@ -31,17 +31,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod block;
 mod fused;
 mod report;
 mod resource;
 mod sequential;
 
+pub use backend::{agreement, agreement_sweep, Agreement, AgreementRow, SimBackend};
 pub use block::{simulate_block, BlockSim};
 pub use fused::simulate_fused;
 pub use report::{ResourceUsage, SimReport, TraceEvent};
 pub use resource::Resource;
 pub use sequential::simulate_sequential;
+
+// Re-exported so `flat sim --engine event` callers configure and read
+// the event backend without a direct `flat-desim` dependency.
+pub use flat_desim::{simulate_la_event, EngineError, EventOptions, EventReport};
 
 use serde::{Deserialize, Serialize};
 

@@ -15,6 +15,22 @@ pub(crate) const TRACE_HEADER: &str = "{\"traceEvents\":[\n";
 /// Document suffix shared by both export paths.
 pub(crate) const TRACE_FOOTER: &str = "\n],\"displayTimeUnit\":\"ms\"}\n";
 
+/// Sorts events into the deterministic total order the exporters and
+/// golden tests rely on: `(ts, pid, tid, name)`, stable — events equal
+/// on all four keys keep their production order. Producers that collect
+/// events from several lanes (the `flat-desim` per-context traces, the
+/// multi-chip collective traces) sort before export so the document is a
+/// pure function of the event *set*, not of collection order.
+pub fn sort_events(events: &mut [Event]) {
+    events.sort_by(|a, b| {
+        a.ts_us
+            .total_cmp(&b.ts_us)
+            .then_with(|| a.pid.cmp(&b.pid))
+            .then_with(|| a.tid.cmp(&b.tid))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+}
+
 /// Serializes `events` as one Chrome trace JSON document, one event per
 /// line, in the given order.
 #[must_use]
@@ -39,6 +55,39 @@ mod tests {
     fn empty_trace_is_a_complete_document() {
         let doc = chrome_trace_json(&[]);
         assert_eq!(doc, "{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ms\"}\n");
+    }
+
+    /// Pins the deterministic total order: ts, then pid, then tid, then
+    /// name, stable within full ties.
+    #[test]
+    fn sort_events_orders_by_ts_pid_tid_name() {
+        let mut events = vec![
+            Event::instant("b", "c", 2.0, 0, 0),
+            Event::instant("z", "c", 1.0, 1, 0),
+            Event::instant("a", "c", 1.0, 0, 5),
+            Event::instant("y", "c", 1.0, 0, 2),
+            Event::instant("x", "c", 1.0, 0, 2),
+            Event::instant("x", "c", 1.0, 0, 2).arg("first", 1u64),
+        ];
+        sort_events(&mut events);
+        let keys: Vec<(f64, u32, u64, &str)> = events
+            .iter()
+            .map(|e| (e.ts_us, e.pid, e.tid, e.name.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (1.0, 0, 2, "x"),
+                (1.0, 0, 2, "x"),
+                (1.0, 0, 2, "y"),
+                (1.0, 0, 5, "a"),
+                (1.0, 1, 0, "z"),
+                (2.0, 0, 0, "b"),
+            ]
+        );
+        // Stable: the un-arg'd "x" was produced first and stays first.
+        assert!(events[0].args.is_empty());
+        assert_eq!(events[1].args.len(), 1);
     }
 
     #[test]

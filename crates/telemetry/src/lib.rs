@@ -56,6 +56,6 @@ mod registry;
 mod sink;
 
 pub use event::{ArgValue, Event, EventPhase};
-pub use export::chrome_trace_json;
+pub use export::{chrome_trace_json, sort_events};
 pub use registry::{Histogram, Registry};
 pub use sink::{JsonStreamSink, MemorySink, NoopSink, TraceSink};

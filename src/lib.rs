@@ -16,6 +16,9 @@
 //! * [`serve`] — the continuous-batching inference runtime: paged
 //!   KV-cache, iteration-level scheduler, serving metrics, typed errors
 //!   with deadline-aware shedding, and a seeded fault-injection harness.
+//! * [`desim`] — the discrete-event simulation backend: virtual-time
+//!   contexts over bounded backpressured channels, cross-validating the
+//!   analytical cost model lane by lane.
 //! * [`dist`] — multi-accelerator sharded execution: fabric topologies
 //!   with analytical collective costs, head/sequence/KV partition
 //!   strategies, and chip-count scaling sweeps.
@@ -27,6 +30,7 @@
 
 pub use flat_arch as arch;
 pub use flat_core as core;
+pub use flat_desim as desim;
 pub use flat_dist as dist;
 pub use flat_dse as dse;
 pub use flat_gpu as gpu;
