@@ -20,7 +20,7 @@
 
 use flat_bench::args::Args;
 use flat_bench::sweep::{buffer_sweep, buffer_sweep_serial};
-use flat_dist::{Link, Partition, Sweep, Topology};
+use flat_dist::{CollectiveAlgo, Link, Partition, Sweep, Topology};
 use flat_kernels::{
     decode_attention, flat_attention, flat_attention_with, naive_attention,
     parallel_flat_attention, ComputePrecision, Mask, Mat, MultiHeadInput,
@@ -307,11 +307,16 @@ fn engine_entries(quick: bool) -> Vec<Entry> {
 
 /// The distributed scaling trajectory: one attention layer of the
 /// paper's 64K-token summarization preset, sharded head-parallel across
-/// a chip sweep on two fabric topologies. Unlike the other groups these
-/// entries record *modeled* layer latency (the `flat-dist` analytical
-/// cost, per-shard dataflow re-searched at every cluster size), not wall
-/// time — `speedup_vs_baseline` is therefore the modeled chip-scaling
-/// speedup over the 1-chip point.
+/// a chip sweep. Unlike the other groups these entries record *modeled*
+/// layer latency (the `flat-dist` analytical cost, per-shard dataflow
+/// re-searched at every cluster size), not wall time —
+/// `speedup_vs_baseline` is therefore the modeled chip-scaling speedup
+/// over the 1-chip point.
+///
+/// Two families: the PR 4 serial ring-algorithm entries on ring /
+/// fully-connected fabrics (the pinned baseline), and per-chip
+/// `joint-best` entries from the full topology × collective-algorithm
+/// search under serial and overlapped tick pricing.
 fn dist_entries(quick: bool) -> Vec<Entry> {
     let task = Task::Summarization;
     let seq = task.sequence_length();
@@ -320,32 +325,74 @@ fn dist_entries(quick: bool) -> Vec<Entry> {
     let cfg = model.config(1, seq);
     let chips: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
     let topologies = [Topology::Ring, Topology::FullyConnected];
-    let points =
-        Sweep::new(accel, Link::cloud()).run(&cfg, chips, &topologies, &[Partition::HeadParallel]);
+    let points = Sweep::new(accel.clone(), Link::cloud()).run(
+        &cfg,
+        chips,
+        &topologies,
+        &[Partition::HeadParallel],
+    );
     // Baseline first: the ring series' 1-chip point (identical to the
     // fully-connected one — no fabric at one chip).
     let mut entries = Vec::new();
+    let mut push = |name: String, config: String, total_ms: f64| {
+        let entry = Entry {
+            group: "dist".to_owned(),
+            name,
+            config,
+            reps: 1,
+            mean_ms: total_ms,
+            min_ms: total_ms,
+            speedup_vs_baseline: 1.0,
+            max_rel_error: None,
+        };
+        println!(
+            "{:<8} {:<28} mean {:>9.3} ms   min {:>9.3} ms   (modeled)",
+            entry.group, entry.name, entry.mean_ms, entry.min_ms
+        );
+        entries.push(entry);
+    };
     for topology in topologies {
-        for p in flat_dist::series(&points, topology, Partition::HeadParallel) {
-            let entry = Entry {
-                group: "dist".to_owned(),
-                name: format!("{topology}/head-parallel/{}chips", p.chips),
-                config: format!(
+        for p in flat_dist::series(
+            &points,
+            topology,
+            CollectiveAlgo::Ring,
+            Partition::HeadParallel,
+        ) {
+            push(
+                format!("{topology}/head-parallel/{}chips", p.chips),
+                format!(
                     "modeled cloud/bert task=summarization seq={seq} batch=1 dataflow={} fabric={:.0}%",
                     p.dataflow,
                     p.fabric_fraction * 100.0
                 ),
-                reps: 1,
-                mean_ms: p.total_ms,
-                min_ms: p.total_ms,
-                speedup_vs_baseline: 1.0,
-                max_rel_error: None,
-            };
-            println!(
-                "{:<8} {:<28} mean {:>9.3} ms   min {:>9.3} ms   (modeled)",
-                entry.group, entry.name, entry.mean_ms, entry.min_ms
+                p.total_ms,
             );
-            entries.push(entry);
+        }
+    }
+    // The joint search: every topology × algorithm, overlap off and on.
+    let joint = Sweep::new(accel, Link::cloud()).with_algos(CollectiveAlgo::all().to_vec());
+    for (label, overlap) in [("serial", false), ("overlap", true)] {
+        let pts = joint.clone().with_overlap(overlap).run(
+            &cfg,
+            chips,
+            &Topology::all(),
+            &[Partition::HeadParallel],
+        );
+        for &p in chips {
+            let Some(w) = flat_dist::best_joint(&pts, p) else {
+                continue;
+            };
+            push(
+                format!("joint-best-{label}/head-parallel/{p}chips"),
+                format!(
+                    "modeled cloud/bert task=summarization seq={seq} batch=1 dataflow={} topology={} algo={} fabric={:.0}%",
+                    w.dataflow,
+                    w.topology,
+                    w.algo,
+                    w.fabric_fraction * 100.0
+                ),
+                w.total_ms,
+            );
         }
     }
     with_speedups(entries)
@@ -397,7 +444,7 @@ fn validation_entries(quick: bool) -> Vec<Entry> {
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
-    let tag = args.get("tag", "PR7");
+    let tag = args.get("tag", "PR8");
     let out_path = args.get("out", &format!("BENCH_{tag}.json"));
 
     let mut entries = kernel_entries(&args, quick);

@@ -3,7 +3,9 @@
 use crate::parse;
 use flat_bench::args::Args;
 use flat_core::{CostModel, CostReport, LaExecution};
-use flat_dist::{scaling_knee, series, Link, Partition, Sweep, Topology};
+use flat_dist::{
+    best_joint, scaling_knee, series, CollectiveAlgo, Link, Partition, Sweep, Topology,
+};
 use flat_dse::{Dse, SpaceKind};
 use flat_workloads::{Model, Scope};
 use serde_json::json;
@@ -15,9 +17,11 @@ flat — FLAT dataflow cost model, DSE, tracer, and serving runtime
 USAGE:
   flat info
   flat cost  --platform edge --model bert --seq 4096 --dataflow flat-r64 [--scope la|block|model] [--json]
-  flat dse   --platform cloud --model xlm --seq 16384 [--space base|base-m|fused|full|precision]
+  flat dse   --platform cloud --model xlm --seq 16384 [--space base|base-m|fused|full|precision|collective]
              [--objective max-util|min-energy|min-edp|min-footprint|util-per-footprint]
-             [--trace FILE] [--json]   # --space precision sweeps width x softmax family
+             [--trace FILE] [--json]   # --space precision sweeps width x softmax family;
+                                       # --space collective co-optimizes partition x topology
+                                       # x collective algorithm x overlap on a cluster
   flat trace --platform edge --model bert --seq 512 --dataflow flat-r64 [--width 48]
   flat loopnest --dataflow flat-r64 [--seq N]   # Figure 4-style loop nest
   flat sim   --platform edge --model bert --seq 512 --dataflow flat-r64 [--trace-json FILE]
@@ -30,9 +34,10 @@ USAGE:
              [--max-batch 64] [--slo-ms MS] [--chaos SEED]
              [--precision fp32|bf16|fp16|int8] [--softmax exact|flash-d|log-lut]
              [--trace FILE] [--metrics FILE] [--json]
-  flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8]
-             [--topology ring|mesh|fc|all] [--partition head|seq|kv|all]
-             [--link-gbps N] [--link-us N] [--seed N] [--json]
+  flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8] [--sweep]
+             [--topology ring|mesh|torus|fc|tree|all] [--partition head|seq|kv|all]
+             [--algo ring|hd|bucket|all] [--overlap] [--link-gbps N] [--link-us N]
+             [--seed N] [--json]
              [--requests N --trace FILE ...]   # serve a request stream on the cluster instead
   flat run   --config experiments.json [--out results.json]
 
@@ -267,9 +272,10 @@ pub fn dse(args: &Args) -> Result<(), String> {
         "fused" => SpaceKind::Fused,
         "full" => SpaceKind::Full,
         "precision" => return dse_precision(&setup, args, objective),
+        "collective" => return dse_collective(&setup, args),
         other => {
             return Err(format!(
-                "unknown space {other:?} (base|base-m|fused|full|precision)"
+                "unknown space {other:?} (base|base-m|fused|full|precision|collective)"
             ))
         }
     };
@@ -360,6 +366,113 @@ fn dse_precision(
                 p.report.util(),
                 if on_front(p) { "*" } else { "" }
             );
+        }
+    }
+    Ok(())
+}
+
+/// `flat dse --space collective` — the joint cluster search: every
+/// (partition × topology × collective algorithm) pairing priced at each
+/// chip count, under both serial and overlapped tick pricing, reporting
+/// the winner per cluster size and each pairing's scaling knee.
+fn dse_collective(setup: &parse::Setup, args: &Args) -> Result<(), String> {
+    let chips = chips_arg(args)?;
+    let topologies = topologies_arg(args)?;
+    let partitions = partitions_arg(args, "all")?;
+    let algos = algos_arg(args, "all")?;
+    let link = link_arg(args, &setup.accel.name)?;
+    let cfg = setup.model.config(setup.batch, setup.seq);
+    let base = Sweep::new(setup.accel.clone(), link).with_algos(algos.clone());
+    let serial = base.clone().run(&cfg, &chips, &topologies, &partitions);
+    let overlapped = base
+        .with_overlap(true)
+        .run(&cfg, &chips, &topologies, &partitions);
+
+    if args.flag("json") {
+        let winners: Vec<serde_json::Value> = chips
+            .iter()
+            .filter_map(|&p| best_joint(&overlapped, p).map(|w| (p, w)))
+            .map(|(p, w)| {
+                json!({
+                    "chips": p,
+                    "topology": w.topology.to_string(),
+                    "algo": w.algo.to_string(),
+                    "partition": w.partition.to_string(),
+                    "total_ms": w.total_ms,
+                    "speedup": w.speedup,
+                    "serial_total_ms": best_joint(&serial, p).map(|s| s.total_ms),
+                })
+            })
+            .collect();
+        let knees: Vec<serde_json::Value> = topologies
+            .iter()
+            .flat_map(|&t| algos.iter().map(move |&a| (t, a)))
+            .flat_map(|(t, a)| partitions.iter().map(move |&p| (t, a, p)))
+            .map(|(t, a, p)| {
+                json!({
+                    "topology": t.to_string(),
+                    "algo": a.to_string(),
+                    "partition": p.to_string(),
+                    "knee_chips": scaling_knee(&series(&overlapped, t, a, p)),
+                })
+            })
+            .collect();
+        let v = json!({
+            "platform": setup.accel.name,
+            "model": setup.model.to_string(),
+            "batch": setup.batch,
+            "seq": setup.seq,
+            "link_gbps": link.bytes_per_s / 1e9,
+            "link_us": link.latency_s * 1e6,
+            "winners": winners,
+            "knees": knees,
+            "points": overlapped,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).expect("collective search serializes")
+        );
+        return Ok(());
+    }
+
+    println!("accelerator: {}", setup.accel);
+    println!(
+        "workload:    {} (B={}, N={})",
+        setup.model, setup.batch, setup.seq
+    );
+    println!("link:        {link}");
+    println!();
+    println!("best joint (partition × topology × algo), overlapped pricing:");
+    println!(
+        "  {:>5}  {:<16} {:<8} {:<6} {:>11} {:>8}  vs serial",
+        "chips", "topology", "algo", "part", "total ms", "speedup"
+    );
+    for &p in &chips {
+        let (Some(w), Some(s)) = (best_joint(&overlapped, p), best_joint(&serial, p)) else {
+            continue;
+        };
+        println!(
+            "  {:>5}  {:<16} {:<8} {:<6} {:>11.3} {:>7.2}x  {:>8.3} ms",
+            p,
+            w.topology.to_string(),
+            w.algo.to_string(),
+            w.partition.to_string(),
+            w.total_ms,
+            w.speedup,
+            s.total_ms
+        );
+    }
+    println!();
+    println!("scaling knee per (topology × algo × partition), overlapped:");
+    for &t in &topologies {
+        for &a in &algos {
+            for &p in &partitions {
+                let knee = scaling_knee(&series(&overlapped, t, a, p));
+                match knee {
+                    Some(k) => println!("  {t} [{a}] × {p}: {k} chips"),
+                    None => println!("  {t} [{a}] × {p}: (no points)"),
+                }
+            }
         }
     }
     Ok(())
@@ -847,6 +960,17 @@ fn topologies_arg(args: &Args) -> Result<Vec<Topology>, String> {
         .collect()
 }
 
+/// Parses `--algo` (a name, a comma list, or `all`).
+fn algos_arg(args: &Args, default: &str) -> Result<Vec<CollectiveAlgo>, String> {
+    let raw = args.get("algo", default);
+    if raw == "all" {
+        return Ok(CollectiveAlgo::all().to_vec());
+    }
+    raw.split(',')
+        .map(|s| CollectiveAlgo::by_name(s.trim()))
+        .collect()
+}
+
 /// Parses `--partition` (a name, a comma list, or `all`).
 fn partitions_arg(args: &Args, default: &str) -> Result<Vec<Partition>, String> {
     let raw = args.get("partition", default);
@@ -915,19 +1039,28 @@ pub fn dist(args: &Args) -> Result<(), String> {
         return Err("--trace applies to serving mode: add --requests N".to_owned());
     }
     let partitions = partitions_arg(args, "head")?;
+    let algos = algos_arg(args, "ring")?;
+    let overlap = args.flag("overlap");
+    // `--sweep` is the documented name for this default mode; accept it
+    // so scripts can spell the intent out.
+    let _ = args.flag("sweep");
     let cfg = setup.model.config(setup.batch, setup.seq);
-    let sweep = Sweep::new(setup.accel.clone(), link);
+    let sweep = Sweep::new(setup.accel.clone(), link)
+        .with_algos(algos.clone())
+        .with_overlap(overlap);
     let points = sweep.run(&cfg, &chips, &topologies, &partitions);
 
     if args.flag("json") {
         let knees: Vec<serde_json::Value> = topologies
             .iter()
-            .flat_map(|&t| partitions.iter().map(move |&p| (t, p)))
-            .map(|(t, p)| {
+            .flat_map(|&t| algos.iter().map(move |&a| (t, a)))
+            .flat_map(|(t, a)| partitions.iter().map(move |&p| (t, a, p)))
+            .map(|(t, a, p)| {
                 json!({
                     "topology": t.to_string(),
+                    "algo": a.to_string(),
                     "partition": p.to_string(),
-                    "knee_chips": scaling_knee(&series(&points, t, p)),
+                    "knee_chips": scaling_knee(&series(&points, t, a, p)),
                 })
             })
             .collect();
@@ -939,6 +1072,7 @@ pub fn dist(args: &Args) -> Result<(), String> {
             "seed": seed,
             "link_gbps": link.bytes_per_s / 1e9,
             "link_us": link.latency_s * 1e6,
+            "overlap": overlap,
             "points": points,
             "knees": knees,
         });
@@ -955,30 +1089,47 @@ pub fn dist(args: &Args) -> Result<(), String> {
         setup.model, setup.batch, setup.seq
     );
     println!("link:        {link}");
+    println!(
+        "pricing:     {}",
+        if overlap {
+            "overlapped (tick = max(compute, collective))"
+        } else {
+            "serial (tick = compute + collective)"
+        }
+    );
     for &t in &topologies {
-        for &p in &partitions {
-            let s = series(&points, t, p);
-            let knee = scaling_knee(&s);
-            println!();
-            match knee {
-                Some(k) => println!("{t} × {p} (knee at {k} chips):"),
-                None => println!("{t} × {p}:"),
-            }
-            println!(
-                "  {:>5}  {:<10} {:>11} {:>11} {:>11} {:>8}  fabric%",
-                "chips", "dataflow", "compute ms", "fabric ms", "total ms", "speedup"
-            );
-            for pt in &s {
+        for &a in &algos {
+            for &p in &partitions {
+                let s = series(&points, t, a, p);
+                let knee = scaling_knee(&s);
+                println!();
+                match knee {
+                    Some(k) => println!("{t} [{a}] × {p} (knee at {k} chips):"),
+                    None => println!("{t} [{a}] × {p}:"),
+                }
                 println!(
-                    "  {:>5}  {:<10} {:>11.3} {:>11.3} {:>11.3} {:>7.2}x  {:>6.1}%",
-                    pt.chips,
-                    pt.dataflow,
-                    pt.compute_ms,
-                    pt.collective_ms,
-                    pt.total_ms,
-                    pt.speedup,
-                    pt.fabric_fraction * 100.0
+                    "  {:>5}  {:<10} {:>11} {:>11} {:>11} {:>11} {:>8}  fabric%",
+                    "chips",
+                    "dataflow",
+                    "compute ms",
+                    "fabric ms",
+                    "exposed ms",
+                    "total ms",
+                    "speedup"
                 );
+                for pt in &s {
+                    println!(
+                        "  {:>5}  {:<10} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>7.2}x  {:>6.1}%",
+                        pt.chips,
+                        pt.dataflow,
+                        pt.compute_ms,
+                        pt.collective_ms,
+                        pt.exposed_ms,
+                        pt.total_ms,
+                        pt.speedup,
+                        pt.fabric_fraction * 100.0
+                    );
+                }
             }
         }
     }
@@ -1009,6 +1160,12 @@ fn dist_serve(
             "serving mode takes a single --topology and --partition (not a list/all)".to_owned(),
         );
     }
+    let algos = algos_arg(args, "ring")?;
+    let &algo = algos.first().ok_or("--algo must name one algorithm")?;
+    if algos.len() > 1 {
+        return Err("serving mode takes a single --algo (not a list/all)".to_owned());
+    }
+    let overlap = args.flag("overlap");
     let rate: f64 = args
         .get("arrival-rate", "64")
         .parse()
@@ -1041,6 +1198,8 @@ fn dist_serve(
             topology,
             link,
             partition,
+            algo,
+            overlap,
         };
         let metrics = match trace.take() {
             None => flat_serve::serve_dist(&setup.accel, &setup.model, &workload, &cfg, &dcfg)
@@ -1069,6 +1228,8 @@ fn dist_serve(
             "seed": seed,
             "topology": topology.to_string(),
             "partition": partition.to_string(),
+            "algo": algo.to_string(),
+            "overlap": overlap,
             "runs": runs,
         });
         println!(
@@ -1078,18 +1239,20 @@ fn dist_serve(
     } else {
         println!("accelerator: {}", setup.accel);
         println!(
-            "cluster:     {topology} × {partition}, link {link}, {requests} requests at {rate} req/s"
+            "cluster:     {topology} [{algo}{}] × {partition}, link {link}, {requests} requests at {rate} req/s",
+            if overlap { ", overlapped" } else { "" }
         );
         println!();
         for m in &runs {
             println!(
-                "{:>3} chips: {}/{} finished in {:>9.1} ms, {:>8.1} tok/s, fabric {:>8.1} ms ({:>4.1}%), peak shard KV {:.1}%",
+                "{:>3} chips: {}/{} finished in {:>9.1} ms, {:>8.1} tok/s, fabric {:>8.1} ms exposed {:>8.1} ms ({:>4.1}%), peak shard KV {:.1}%",
                 m.chips,
                 m.serve.finished,
                 m.serve.requests,
                 m.serve.makespan_ms,
                 m.serve.decode_tokens_per_s,
                 m.fabric_busy_ms,
+                m.fabric_exposed_ms,
                 m.fabric_fraction * 100.0,
                 m.per_shard_kv_peak_occupancy.iter().copied().fold(0.0f64, f64::max) * 100.0
             );

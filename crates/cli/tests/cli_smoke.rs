@@ -182,8 +182,9 @@ fn bad_dist_flags_are_diagnostics() {
     for args in [
         ["dist", "--chips", "0,2"].as_slice(),
         &["dist", "--chips", "two"],
-        &["dist", "--topology", "torus"],
+        &["dist", "--topology", "hypercube"],
         &["dist", "--partition", "expert"],
+        &["dist", "--algo", "double-tree"],
         &["dist", "--link-gbps", "-3"],
         &["dist", "--link-us", "soon"],
     ] {

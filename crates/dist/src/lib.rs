@@ -37,10 +37,10 @@ pub mod sharded;
 pub mod sweep;
 
 pub use cost::{DistModel, DistReport};
-pub use fabric::{Fabric, Link, Topology};
+pub use fabric::{CollectiveAlgo, Fabric, Link, Topology};
 pub use partition::{CollectiveCall, CollectiveOp, Partition};
 pub use sharded::{
     head_parallel_attention, kv_shards, merge_into, sequence_parallel_attention, shard_partial_row,
     PartialRow,
 };
-pub use sweep::{scaling_knee, series, Sweep, SweepPoint, KNEE_RATIO};
+pub use sweep::{best_joint, scaling_knee, series, Sweep, SweepPoint, KNEE_RATIO};

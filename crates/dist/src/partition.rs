@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How attention work is divided across the chips of a [`Fabric`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Partition {
     /// Split the `H` heads across chips; every chip sees the full
     /// sequence. The output projection needs the full hidden dimension,
@@ -92,7 +92,7 @@ impl CollectiveCall {
         match self.op {
             CollectiveOp::AllReduce => fabric.all_reduce_traversed_bytes(self.bytes),
             CollectiveOp::AllGather | CollectiveOp::ReduceScatter => {
-                fabric.all_reduce_traversed_bytes(self.bytes) / 2.0
+                fabric.all_gather_traversed_bytes(self.bytes)
             }
         }
     }
@@ -230,6 +230,29 @@ impl fmt::Display for Partition {
             Partition::SequenceParallel => "sequence-parallel",
             Partition::KvShard => "kv-shard",
         })
+    }
+}
+
+// Hand-written so JSON carries the canonical display name (the one the
+// CLI accepts and the knee tables print) while variant-name
+// serializations from earlier snapshots still read back.
+impl serde::Serialize for Partition {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
+impl serde::Deserialize for Partition {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::String(s) => match s.as_str() {
+                "HeadParallel" => Ok(Partition::HeadParallel),
+                "SequenceParallel" => Ok(Partition::SequenceParallel),
+                "KvShard" => Ok(Partition::KvShard),
+                other => Partition::by_name(other).map_err(serde::Error::custom),
+            },
+            _ => Err(serde::Error::custom("expected partition name")),
+        }
     }
 }
 

@@ -1,22 +1,27 @@
-//! Cluster design-space sweeps: chip count × topology × partition, with
-//! the per-shard dataflow re-optimized by `flat-dse` at every cluster
-//! size.
+//! Cluster design-space sweeps: chip count × topology × collective
+//! algorithm × partition, with the per-shard dataflow re-optimized by
+//! `flat-dse` at every cluster size.
 //!
 //! The interesting question a sweep answers is *where scaling stops
 //! paying*: compute shrinks like `1/p` while ring collectives grow like
-//! `(p−1)`, so every (topology, partition) series has a knee. The
-//! [`scaling_knee`] rule makes that operational — the largest chip count
-//! whose step still delivers at least [`KNEE_RATIO`]× the previous
+//! `(p−1)`, so every (topology, algorithm, partition) series has a knee.
+//! The [`scaling_knee`] rule makes that operational — the largest chip
+//! count whose step still delivers at least [`KNEE_RATIO`]× the previous
 //! point's speedup (a 2× step delivering < 1.25× is past the knee).
 //!
 //! The dataflow is *searched per shard shape*, not fixed: a 64K-sequence
 //! layer split 8 ways presents a different `N²` tile than the whole
 //! layer, and the best FLAT granularity moves with it. Reusing
 //! [`Dse::best_at_scope`] here is the outward integration the crate owes
-//! `flat-dse` — the same optimizer, pointed at sharded workloads.
+//! `flat-dse` — the same optimizer, pointed at sharded workloads. The
+//! fabric side of the joint search is pure re-pricing: topology,
+//! collective algorithm, and overlap change what the wires cost, never
+//! the shard shape, so one dataflow search per (partition, chip count)
+//! covers the whole fabric cross-product ([`best_joint`] then picks the
+//! winner — the `flat dse --space collective` surface).
 
 use crate::cost::{DistModel, DistReport};
-use crate::fabric::{Fabric, Link, Topology};
+use crate::fabric::{CollectiveAlgo, Fabric, Link, Topology};
 use crate::partition::Partition;
 use flat_arch::Accelerator;
 use flat_dse::{Dse, Objective, SpaceKind};
@@ -34,17 +39,23 @@ pub struct SweepPoint {
     pub chips: usize,
     /// Fabric topology.
     pub topology: Topology,
+    /// Collective schedule on the wires.
+    pub algo: CollectiveAlgo,
     /// Sharding strategy.
     pub partition: Partition,
     /// Label of the per-shard dataflow the search picked (`FLAT-R64`, …).
     pub dataflow: String,
     /// Modeled shard compute milliseconds.
     pub compute_ms: f64,
-    /// Modeled collective milliseconds.
+    /// Modeled collective milliseconds (fabric busy time).
     pub collective_ms: f64,
-    /// Modeled end-to-end milliseconds (compute + collectives).
+    /// Collective milliseconds on the critical path — equal to
+    /// `collective_ms` under serial pricing, the uncovered remainder
+    /// under overlap pricing.
+    pub exposed_ms: f64,
+    /// Modeled end-to-end milliseconds (compute + exposed collectives).
     pub total_ms: f64,
-    /// Fraction of the total spent on the fabric.
+    /// Fraction of the total stalled on the fabric.
     pub fabric_fraction: f64,
     /// Total cluster energy in millijoules (all chips + links).
     pub energy_mj: f64,
@@ -55,6 +66,7 @@ pub struct SweepPoint {
 impl SweepPoint {
     fn from_report(
         topology: Topology,
+        algo: CollectiveAlgo,
         partition: Partition,
         dataflow: String,
         r: &DistReport,
@@ -64,10 +76,12 @@ impl SweepPoint {
         SweepPoint {
             chips: r.chips,
             topology,
+            algo,
             partition,
             dataflow,
             compute_ms: r.compute_s * 1e3,
             collective_ms: r.collective_s * 1e3,
+            exposed_ms: r.exposed_s * 1e3,
             total_ms: total * 1e3,
             fabric_fraction: r.fabric_fraction(),
             energy_mj: r.total_pj() * 1e-9,
@@ -80,8 +94,8 @@ impl SweepPoint {
     }
 }
 
-/// A cluster sweep: the accelerator type, link class, and search
-/// settings shared by every point.
+/// A cluster sweep: the accelerator type, link class, collective
+/// schedules, and search settings shared by every point.
 #[derive(Debug, Clone)]
 pub struct Sweep {
     /// The per-chip accelerator.
@@ -92,11 +106,17 @@ pub struct Sweep {
     pub space: SpaceKind,
     /// Objective the search optimizes.
     pub objective: Objective,
+    /// Collective algorithms to price every fabric with.
+    pub algos: Vec<CollectiveAlgo>,
+    /// Whether collective rounds overlap compute (tick cost
+    /// `max(compute, collective)`) or serialize after it.
+    pub overlap: bool,
 }
 
 impl Sweep {
     /// A sweep over `accel` clusters joined by `link`, searching the full
-    /// space for maximum utilization (the paper's headline objective).
+    /// space for maximum utilization (the paper's headline objective),
+    /// pricing the ring collective schedule serially — the PR 4 baseline.
     #[must_use]
     pub fn new(accel: Accelerator, link: Link) -> Self {
         Sweep {
@@ -104,15 +124,32 @@ impl Sweep {
             link,
             space: SpaceKind::Full,
             objective: Objective::MaxUtil,
+            algos: vec![CollectiveAlgo::Ring],
+            overlap: false,
         }
     }
 
-    /// Evaluates every chip count × topology × partition combination.
+    /// The same sweep pricing a different set of collective algorithms.
+    #[must_use]
+    pub fn with_algos(mut self, algos: Vec<CollectiveAlgo>) -> Self {
+        self.algos = algos;
+        self
+    }
+
+    /// The same sweep with overlap pricing switched.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Evaluates every chip count × topology × algorithm × partition
+    /// combination.
     ///
     /// The shard dataflow search runs once per (partition, chip count) —
-    /// topology changes fabric price, never shard shape — and each
-    /// partition's speedups are normalized to its own 1-chip point
-    /// (computed even when `1` is not in `chips`).
+    /// the fabric cross-product changes collective price, never shard
+    /// shape — and each partition's speedups are normalized to its own
+    /// 1-chip point (computed even when `1` is not in `chips`).
     #[must_use]
     pub fn run(
         &self,
@@ -128,19 +165,23 @@ impl Sweep {
             for &p in chips {
                 let (label, shard) = self.searched_shard(cfg, partition, p);
                 for &topology in topologies {
-                    let model = DistModel::new(
-                        self.accel.clone(),
-                        Fabric::new(p, topology, self.link),
-                        partition,
-                    );
-                    let report = model.report_for(cfg, shard);
-                    points.push(SweepPoint::from_report(
-                        topology,
-                        partition,
-                        label.clone(),
-                        &report,
-                        base_total_s,
-                    ));
+                    for &algo in &self.algos {
+                        let model = DistModel::new(
+                            self.accel.clone(),
+                            Fabric::new(p, topology, self.link).with_algo(algo),
+                            partition,
+                        )
+                        .with_overlap(self.overlap);
+                        let report = model.report_for(cfg, shard);
+                        points.push(SweepPoint::from_report(
+                            topology,
+                            algo,
+                            partition,
+                            label.clone(),
+                            &report,
+                            base_total_s,
+                        ));
+                    }
                 }
             }
         }
@@ -165,17 +206,35 @@ impl Sweep {
     }
 }
 
-/// Extracts one (topology, partition) series from sweep output, sorted
-/// by chip count — the unit [`scaling_knee`] judges.
+/// Extracts one (topology, algorithm, partition) series from sweep
+/// output, sorted by chip count — the unit [`scaling_knee`] judges.
 #[must_use]
-pub fn series(points: &[SweepPoint], topology: Topology, partition: Partition) -> Vec<SweepPoint> {
+pub fn series(
+    points: &[SweepPoint],
+    topology: Topology,
+    algo: CollectiveAlgo,
+    partition: Partition,
+) -> Vec<SweepPoint> {
     let mut s: Vec<SweepPoint> = points
         .iter()
-        .filter(|p| p.topology == topology && p.partition == partition)
+        .filter(|p| p.topology == topology && p.algo == algo && p.partition == partition)
         .cloned()
         .collect();
     s.sort_by_key(|p| p.chips);
     s
+}
+
+/// The joint (partition × topology × collective-algorithm) verdict at
+/// one chip count: the point with the smallest end-to-end time, ties
+/// broken deterministically by the stable order the sweep emitted.
+/// `None` when no point matches `chips`.
+#[must_use]
+pub fn best_joint(points: &[SweepPoint], chips: usize) -> Option<&SweepPoint> {
+    points.iter().filter(|p| p.chips == chips).min_by(|a, b| {
+        a.total_ms
+            .partial_cmp(&b.total_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 /// The scaling knee of one series: the largest chip count still earning
@@ -220,6 +279,7 @@ mod tests {
         for p in points.iter().filter(|p| p.chips == 1) {
             assert!((p.speedup - 1.0).abs() < 1e-12, "{p:?}");
             assert_eq!(p.collective_ms, 0.0);
+            assert_eq!(p.exposed_ms, 0.0);
             assert_eq!(p.fabric_fraction, 0.0);
         }
     }
@@ -227,19 +287,38 @@ mod tests {
     #[test]
     fn head_parallel_scales_on_a_cloud_link() {
         let points = small_sweep();
-        let ring = series(&points, Topology::Ring, Partition::HeadParallel);
+        let ring = series(
+            &points,
+            Topology::Ring,
+            CollectiveAlgo::Ring,
+            Partition::HeadParallel,
+        );
         assert_eq!(ring.len(), 4);
         assert!(ring.windows(2).all(|w| w[0].chips < w[1].chips), "sorted");
         let at8 = &ring[3];
         assert!(at8.speedup > 2.0, "8 chips must beat 2x: {}", at8.speedup);
         assert!(at8.collective_ms > 0.0);
+        assert_eq!(
+            at8.exposed_ms, at8.collective_ms,
+            "serial pricing exposes everything"
+        );
     }
 
     #[test]
     fn fully_connected_never_loses_to_the_ring() {
         let points = small_sweep();
-        let ring = series(&points, Topology::Ring, Partition::HeadParallel);
-        let fc = series(&points, Topology::FullyConnected, Partition::HeadParallel);
+        let ring = series(
+            &points,
+            Topology::Ring,
+            CollectiveAlgo::Ring,
+            Partition::HeadParallel,
+        );
+        let fc = series(
+            &points,
+            Topology::FullyConnected,
+            CollectiveAlgo::Ring,
+            Partition::HeadParallel,
+        );
         for (r, f) in ring.iter().zip(&fc) {
             assert_eq!(r.chips, f.chips);
             assert!(f.total_ms <= r.total_ms + 1e-12, "chips {}", r.chips);
@@ -248,14 +327,42 @@ mod tests {
     }
 
     #[test]
+    fn overlap_sweep_never_loses_to_serial_and_best_joint_picks_the_min() {
+        let cfg = AttentionConfig::self_attention(4, 16, 4096, 1024, 4096);
+        let chips = [1usize, 8];
+        let topos = [Topology::Ring, Topology::Torus2d];
+        let parts = [Partition::HeadParallel];
+        let serial = Sweep::new(Accelerator::cloud(), Link::cloud())
+            .with_algos(CollectiveAlgo::all().to_vec());
+        let overlapped = serial.clone().with_overlap(true);
+        let s = serial.run(&cfg, &chips, &topos, &parts);
+        let o = overlapped.run(&cfg, &chips, &topos, &parts);
+        assert_eq!(s.len(), o.len());
+        for (a, b) in s.iter().zip(&o) {
+            assert_eq!((a.chips, a.topology, a.algo), (b.chips, b.topology, b.algo));
+            assert!(b.total_ms <= a.total_ms + 1e-12, "overlap can only help");
+            assert_eq!(a.collective_ms, b.collective_ms, "busy time is identical");
+            assert!(b.exposed_ms <= a.exposed_ms + 1e-12);
+        }
+        let best = best_joint(&o, 8).expect("points at 8 chips");
+        assert!(o
+            .iter()
+            .filter(|p| p.chips == 8)
+            .all(|p| best.total_ms <= p.total_ms));
+        assert!(best_joint(&o, 3).is_none());
+    }
+
+    #[test]
     fn knee_walks_until_a_step_stalls() {
         let mk = |chips: usize, speedup: f64| SweepPoint {
             chips,
             topology: Topology::Ring,
+            algo: CollectiveAlgo::Ring,
             partition: Partition::HeadParallel,
             dataflow: String::new(),
             compute_ms: 1.0,
             collective_ms: 0.0,
+            exposed_ms: 0.0,
             total_ms: 1.0,
             fabric_fraction: 0.0,
             energy_mj: 0.0,

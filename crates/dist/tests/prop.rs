@@ -4,26 +4,35 @@
 //!
 //! 1. **Collective algebra** — costs are symmetric in participant order
 //!    (a collective is a set operation), monotone in message size on
-//!    every topology, and monotone in chip count along powers of two:
-//!    non-decreasing for ring and mesh (more steps), non-increasing for
-//!    fully-connected (more dedicated links than data). Powers of two
-//!    because a prime chip count degenerates the mesh to a line and its
-//!    latency term can shrink at the next composite — a real property of
+//!    every topology × algorithm pair, and monotone in chip count along
+//!    powers of two: non-decreasing for ring/mesh/torus/tree (more
+//!    steps), non-increasing for fully-connected under the direct
+//!    schedules (more dedicated links than data). Powers of two because
+//!    a prime chip count degenerates the mesh to a line and its latency
+//!    term can shrink at the next composite — a real property of
 //!    near-square factorization, not a model bug.
-//! 2. **Closed forms** — the ring all-reduce equals
-//!    `2(p−1)(α + n/(pβ))` exactly, for random α, β, n, p.
+//! 2. **Closed forms and identities** — the ring all-reduce equals
+//!    `2(p−1)(α + n/(pβ))` exactly for random α, β, n, p;
+//!    `reduce_scatter + all_gather == all_reduce` on the ring for every
+//!    algorithm; halving-doubling makes `2·log2(p)` steps at
+//!    power-of-two chip counts and falls back to the ring schedule
+//!    elsewhere.
 //! 3. **Sharded numerics** — sequence-parallel partial attention merged
 //!    with the cross-chip online-softmax fold equals single-chip
 //!    streaming attention for every shard count and every tile split
 //!    straddling the shard boundaries (the acceptance criterion).
 
-use flat_dist::{sequence_parallel_attention, Fabric, Link, Partition, Topology};
+use flat_dist::{sequence_parallel_attention, CollectiveAlgo, Fabric, Link, Partition, Topology};
 use flat_kernels::{streaming_attention, Mask, MultiHeadInput};
 use flat_workloads::AttentionConfig;
 use proptest::prelude::*;
 
 fn any_topology() -> impl Strategy<Value = Topology> {
     proptest::sample::select(Topology::all().to_vec())
+}
+
+fn any_algo() -> impl Strategy<Value = CollectiveAlgo> {
+    proptest::sample::select(CollectiveAlgo::all().to_vec())
 }
 
 fn any_link() -> impl Strategy<Value = (f64, f64)> {
@@ -77,17 +86,18 @@ proptest! {
         );
     }
 
-    /// Bigger messages never get cheaper, on any topology, for all three
-    /// collectives and point-to-point transfers.
+    /// Bigger messages never get cheaper, on any topology × algorithm
+    /// pair, for all three collectives and point-to-point transfers.
     #[test]
     fn collective_cost_is_monotone_in_message_size(
         topology in any_topology(),
+        algo in any_algo(),
         link in any_link(),
         chips in 1usize..33,
         bytes in 1u64..(1 << 40),
         extra in 1u64..(1 << 30),
     ) {
-        let f = fabric(chips, topology, link);
+        let f = fabric(chips, topology, link).with_algo(algo);
         let bigger = bytes + extra;
         prop_assert!(f.all_reduce_s(bigger) >= f.all_reduce_s(bytes));
         prop_assert!(f.all_gather_s(bigger) >= f.all_gather_s(bytes));
@@ -122,6 +132,119 @@ proptest! {
             prop_assert!(large.all_reduce_s(bytes) <= small.all_reduce_s(bytes));
             prop_assert!(large.all_gather_s(bytes) <= small.all_gather_s(bytes));
         }
+    }
+
+    /// Along powers of two, for every collective algorithm: adding chips
+    /// never makes a ring, mesh, torus, or tree collective cheaper (more
+    /// steps, or a longer logical chain for halving-doubling partners).
+    /// On the fully-connected fabric the direct ring/bucket schedules
+    /// get cheaper with scale (each phase moves n/p over a dedicated
+    /// link) while halving-doubling's log-depth latency grows.
+    #[test]
+    fn collective_cost_is_monotone_in_chip_count_for_every_algo(
+        link in any_link(),
+        algo in any_algo(),
+        doubling in 1u32..6,
+        bytes in 1u64..(1 << 36),
+    ) {
+        let (p, q) = (1usize << (doubling - 1), 1usize << doubling);
+        for topology in [Topology::Ring, Topology::Mesh2d, Topology::Torus2d, Topology::Tree] {
+            let small = fabric(p, topology, link).with_algo(algo);
+            let large = fabric(q, topology, link).with_algo(algo);
+            prop_assert!(
+                large.all_reduce_s(bytes) >= small.all_reduce_s(bytes),
+                "{topology}/{algo}: {p} -> {q} chips got cheaper"
+            );
+            prop_assert!(large.all_gather_s(bytes) >= small.all_gather_s(bytes));
+        }
+        if p >= 2 {
+            let small = fabric(p, Topology::FullyConnected, link).with_algo(algo);
+            let large = fabric(q, Topology::FullyConnected, link).with_algo(algo);
+            match algo {
+                CollectiveAlgo::Ring | CollectiveAlgo::Bucket => {
+                    prop_assert!(large.all_reduce_s(bytes) <= small.all_reduce_s(bytes));
+                    prop_assert!(large.all_gather_s(bytes) <= small.all_gather_s(bytes));
+                }
+                CollectiveAlgo::HalvingDoubling => {
+                    prop_assert!(large.all_reduce_s(bytes) >= small.all_reduce_s(bytes));
+                    prop_assert!(large.all_gather_s(bytes) >= small.all_gather_s(bytes));
+                }
+            }
+        }
+    }
+
+    /// Open chains cannot beat wraparound, wraparound cannot beat
+    /// dedicated all-pairs links: at equal bytes and equal link
+    /// parameters, `mesh >= torus >= fully-connected` for every
+    /// algorithm and chip count — the open-chain pricing bugfix's
+    /// regression guard.
+    #[test]
+    fn mesh_at_least_torus_at_least_fc(
+        link in any_link(),
+        algo in any_algo(),
+        chips in 1usize..33,
+        bytes in 1u64..(1 << 38),
+    ) {
+        let mesh = fabric(chips, Topology::Mesh2d, link).with_algo(algo);
+        let torus = fabric(chips, Topology::Torus2d, link).with_algo(algo);
+        let fc = fabric(chips, Topology::FullyConnected, link).with_algo(algo);
+        let slack = 1e-12 * mesh.all_reduce_s(bytes).max(1.0);
+        prop_assert!(mesh.all_reduce_s(bytes) >= torus.all_reduce_s(bytes) - slack);
+        prop_assert!(torus.all_reduce_s(bytes) >= fc.all_reduce_s(bytes) - slack);
+        prop_assert!(mesh.all_gather_s(bytes) >= torus.all_gather_s(bytes) - slack);
+        prop_assert!(torus.all_gather_s(bytes) >= fc.all_gather_s(bytes) - slack);
+    }
+
+    /// On the ring, `reduce_scatter + all_gather == all_reduce` for
+    /// every algorithm: the all-reduce *is* the two phases chained
+    /// (bucket's shard-through shortcut only exists on 2-D fabrics).
+    #[test]
+    fn ring_reduce_scatter_plus_all_gather_is_all_reduce(
+        link in any_link(),
+        algo in any_algo(),
+        chips in 1usize..65,
+        bytes in 1u64..(1 << 40),
+    ) {
+        let f = fabric(chips, Topology::Ring, link).with_algo(algo);
+        let sum = f.reduce_scatter_s(bytes) + f.all_gather_s(bytes);
+        let ar = f.all_reduce_s(bytes);
+        prop_assert!(
+            (sum - ar).abs() <= 1e-12 * ar.max(1e-30),
+            "{algo} p={chips}: rs+ag {sum} != ar {ar}"
+        );
+    }
+
+    /// Halving-doubling is a step-count algorithm: with the bandwidth
+    /// term suppressed (huge β, 1-byte payload), a fully-connected
+    /// all-reduce costs exactly `2·log2(p)` hops of latency at
+    /// power-of-two chip counts — and off powers of two it falls back to
+    /// the ring schedule on every topology.
+    #[test]
+    fn halving_doubling_steps_and_fallback(
+        topology in any_topology(),
+        doubling in 1u32..8,
+        us in 0.1f64..20.0,
+        chips in 2usize..65,
+        bytes in 1u64..(1 << 38),
+        link in any_link(),
+    ) {
+        let p = 1usize << doubling;
+        let fast = (1.0e9, us); // 1e9 GB/s: latency-only regime
+        let f = fabric(p, Topology::FullyConnected, fast)
+            .with_algo(CollectiveAlgo::HalvingDoubling);
+        let alpha = us * 1e-6;
+        let expect = 2.0 * f64::from(doubling) * alpha;
+        let got = f.all_reduce_s(1);
+        prop_assert!(
+            (got - expect).abs() <= 1e-6 * expect,
+            "p={p}: got {got}, want 2·log2(p)·α = {expect}"
+        );
+        prop_assume!(!chips.is_power_of_two());
+        let ring_priced = fabric(chips, topology, link).all_reduce_s(bytes);
+        let hd_priced = fabric(chips, topology, link)
+            .with_algo(CollectiveAlgo::HalvingDoubling)
+            .all_reduce_s(bytes);
+        prop_assert_eq!(ring_priced, hd_priced, "{} p={}", topology, chips);
     }
 
     /// The ring all-reduce is exactly the closed form

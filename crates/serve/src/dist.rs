@@ -30,7 +30,7 @@ use crate::error::ServeError;
 use crate::metrics::ServeMetrics;
 use crate::request::RequestSpec;
 use flat_arch::Accelerator;
-use flat_dist::{Fabric, Link, Partition, Topology};
+use flat_dist::{CollectiveAlgo, Fabric, Link, Partition, Topology};
 use flat_telemetry::TraceSink;
 use flat_workloads::{AttentionConfig, Model};
 use serde::Serialize;
@@ -47,10 +47,17 @@ pub struct DistServeConfig {
     /// Sharding strategy; [`Partition::KvShard`] is the serving-native
     /// choice (decode against a striped cache).
     pub partition: Partition,
+    /// Collective schedule priced on the fabric.
+    pub algo: CollectiveAlgo,
+    /// Overlap collective rounds with the tick's compute: when set, a
+    /// tick pays `max(compute, collective)` instead of their sum, and
+    /// only the uncovered remainder shows up as exposed fabric time.
+    pub overlap: bool,
 }
 
 impl DistServeConfig {
-    /// A `chips`-wide cluster on cloud-class links, KV-shard partition.
+    /// A `chips`-wide cluster on cloud-class links, KV-shard partition,
+    /// ring collectives, serial (non-overlapped) pricing.
     #[must_use]
     pub fn new(chips: usize, topology: Topology) -> Self {
         DistServeConfig {
@@ -58,6 +65,8 @@ impl DistServeConfig {
             topology,
             link: Link::cloud(),
             partition: Partition::KvShard,
+            algo: CollectiveAlgo::Ring,
+            overlap: false,
         }
     }
 }
@@ -74,8 +83,13 @@ pub struct DistPlane {
     /// (operation + bytes for a single token's activations/state).
     per_token_calls: Vec<flat_dist::CollectiveCall>,
     layers: u64,
+    /// Whether ticks price collectives overlapped with compute.
+    overlap: bool,
     /// Running totals, accumulated tick by tick.
     pub(crate) fabric_busy_ms: f64,
+    /// Collective milliseconds the compute could *not* hide: equal to
+    /// `fabric_busy_ms` under serial pricing, smaller under overlap.
+    pub(crate) exposed_ms: f64,
     pub(crate) payload_bytes: f64,
     /// Peak striped block count per shard.
     pub(crate) per_shard_peak: Vec<usize>,
@@ -83,7 +97,7 @@ pub struct DistPlane {
 
 impl DistPlane {
     pub(crate) fn new(model: &Model, cfg: &DistServeConfig) -> Self {
-        let fabric = Fabric::new(cfg.chips, cfg.topology, cfg.link);
+        let fabric = Fabric::new(cfg.chips, cfg.topology, cfg.link).with_algo(cfg.algo);
         // A one-token decode-shaped layer: the per-token exchange the
         // partition forces, independent of batch (batch scales bytes).
         let token_cfg = AttentionConfig::cross_attention(
@@ -98,7 +112,9 @@ impl DistPlane {
             fabric,
             per_token_calls: cfg.partition.collectives(&token_cfg, cfg.chips),
             layers: model.blocks(),
+            overlap: cfg.overlap,
             fabric_busy_ms: 0.0,
+            exposed_ms: 0.0,
             payload_bytes: 0.0,
             per_shard_peak: vec![0; cfg.chips],
         }
@@ -106,6 +122,10 @@ impl DistPlane {
 
     pub(crate) fn chips(&self) -> usize {
         self.fabric.chips
+    }
+
+    pub(crate) fn overlap(&self) -> bool {
+        self.overlap
     }
 
     /// Fabric seconds one tick owes for `tokens` scheduled tokens: each
@@ -207,9 +227,16 @@ pub struct DistServeMetrics {
     pub topology: Topology,
     /// Sharding strategy.
     pub partition: Partition,
+    /// Collective schedule priced on the fabric.
+    pub algo: CollectiveAlgo,
+    /// Whether ticks priced collectives overlapped with compute.
+    pub overlap: bool,
     /// Virtual milliseconds the fabric was busy with collectives.
     pub fabric_busy_ms: f64,
-    /// Fabric-busy share of the makespan.
+    /// Collective milliseconds compute could not hide — what the ticks
+    /// actually paid. Equals `fabric_busy_ms` under serial pricing.
+    pub fabric_exposed_ms: f64,
+    /// Exposed-fabric share of the makespan.
     pub fabric_fraction: f64,
     /// Logical collective payload carried over the run, in bytes.
     pub collective_payload_bytes: f64,
@@ -225,6 +252,22 @@ impl DistServeMetrics {
     #[must_use]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// `num_ms / den_ms` with every degenerate denominator (zero, negative,
+/// NaN, infinite) clamped to 0.0 — the fraction must never be NaN in
+/// `--json` output, matching the rate clamps in [`crate::metrics`].
+fn safe_fraction(num_ms: f64, den_ms: f64) -> f64 {
+    if den_ms.is_finite() && den_ms > 0.0 {
+        let frac = num_ms / den_ms;
+        if frac.is_finite() {
+            frac
+        } else {
+            0.0
+        }
+    } else {
+        0.0
     }
 }
 
@@ -280,12 +323,11 @@ pub fn serve_dist_traced(
         chips: dist.chips,
         topology: dist.topology,
         partition: dist.partition,
+        algo: dist.algo,
+        overlap: dist.overlap,
         fabric_busy_ms: plane.fabric_busy_ms,
-        fabric_fraction: if serve.makespan_ms > 0.0 {
-            plane.fabric_busy_ms / serve.makespan_ms
-        } else {
-            0.0
-        },
+        fabric_exposed_ms: plane.exposed_ms,
+        fabric_fraction: safe_fraction(plane.exposed_ms, serve.makespan_ms),
         collective_payload_bytes: plane.payload_bytes,
         per_shard_kv_peak_occupancy,
         serve,
@@ -335,8 +377,53 @@ mod tests {
             "engine metrics must be identical"
         );
         assert_eq!(dist.fabric_busy_ms, 0.0);
+        assert_eq!(dist.fabric_exposed_ms, 0.0);
         assert_eq!(dist.collective_payload_bytes, 0.0);
         assert_eq!(dist.per_shard_kv_peak_occupancy.len(), 1);
+    }
+
+    /// Overlap pricing hides collective time behind compute: the fabric
+    /// is exactly as busy, but ticks only pay the uncovered remainder,
+    /// so the makespan can only shrink. Serial pricing exposes every
+    /// fabric millisecond.
+    #[test]
+    fn overlap_hides_collective_time_without_changing_fabric_work() {
+        let model = Model::by_name("bert").unwrap();
+        let accel = Accelerator::edge();
+        let wl = workload(16);
+        let c = cfg(&accel, &model);
+        let mut serial = DistServeConfig::new(4, Topology::Ring);
+        serial.algo = CollectiveAlgo::HalvingDoubling;
+        let mut overlapped = serial;
+        overlapped.overlap = true;
+        let s = serve_dist(&accel, &model, &wl, &c, &serial).unwrap();
+        let o = serve_dist(&accel, &model, &wl, &c, &overlapped).unwrap();
+        assert_eq!(
+            s.fabric_exposed_ms, s.fabric_busy_ms,
+            "serial pricing exposes everything"
+        );
+        assert!(o.fabric_exposed_ms <= o.fabric_busy_ms);
+        assert!(o.fabric_exposed_ms < s.fabric_exposed_ms);
+        assert!(o.serve.makespan_ms <= s.serve.makespan_ms);
+        assert_eq!(
+            o.collective_payload_bytes, s.collective_payload_bytes,
+            "overlap changes timing, not traffic"
+        );
+        assert!(o.to_json().contains("\"overlap\": true"));
+        assert!(s.to_json().contains("\"algo\": \"hd\""));
+    }
+
+    /// The JSON fraction survives degenerate makespans: zero, negative,
+    /// NaN, and infinite denominators all clamp to 0.0 instead of
+    /// emitting NaN.
+    #[test]
+    fn fabric_fraction_is_never_nan() {
+        assert_eq!(safe_fraction(3.0, 0.0), 0.0);
+        assert_eq!(safe_fraction(3.0, -1.0), 0.0);
+        assert_eq!(safe_fraction(3.0, f64::NAN), 0.0);
+        assert_eq!(safe_fraction(3.0, f64::INFINITY), 0.0);
+        assert_eq!(safe_fraction(f64::NAN, 2.0), 0.0);
+        assert!((safe_fraction(1.0, 4.0) - 0.25).abs() < 1e-15);
     }
 
     #[test]

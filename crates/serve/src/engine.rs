@@ -426,12 +426,21 @@ impl<'t> Engine<'t> {
             if let Some(plane) = self.dist.as_mut() {
                 // Collective time rides the same virtual clock as
                 // compute: the tick is not done until the fabric is.
+                // Under overlap pricing only the part compute cannot
+                // hide extends the tick — `max(compute, collective)`
+                // instead of their sum.
                 let tokens = work.prefill_tokens + work.decode_steps;
                 let coll_s = plane.collective_s(tokens);
                 let payload = plane.tick_payload_bytes(tokens);
+                let exposed_s = if plane.overlap() {
+                    (coll_s - cost_s).max(0.0)
+                } else {
+                    coll_s
+                };
                 plane.fabric_busy_ms += coll_s * 1e3;
+                plane.exposed_ms += exposed_s * 1e3;
                 plane.payload_bytes += payload;
-                cost_s += coll_s;
+                cost_s += exposed_s;
                 if self.sink.enabled() {
                     coll_slices = plane.collective_slices(tokens);
                 }

@@ -13,7 +13,7 @@
 //!   produces metrics JSON byte-identical to the untraced entry point.
 
 use flat_arch::Accelerator;
-use flat_dist::{Link, Partition, Topology};
+use flat_dist::{Link, Topology};
 use flat_serve::{
     serve, serve_dist, serve_dist_traced, serve_traced, serve_with_faults,
     serve_with_faults_traced, DistServeConfig, EngineConfig, FaultPlan, WorkloadSpec,
@@ -156,10 +156,8 @@ fn dist_trace_carries_collective_spans_per_chip() {
 
     for chips in [1usize, 4] {
         let dcfg = DistServeConfig {
-            chips,
-            topology: Topology::Ring,
             link: Link::edge(),
-            partition: Partition::KvShard,
+            ..DistServeConfig::new(chips, Topology::Ring)
         };
         let mut sink = MemorySink::new();
         let traced = serve_dist_traced(&accel, &model, &wl, &cfg, &dcfg, &mut sink)

@@ -1,0 +1,128 @@
+//! The distributed scaling trajectory is pinned: serial ring-algorithm
+//! pricing on the ring and fully-connected fabrics must reproduce the
+//! modeled numbers committed in `BENCH_PR4.json` exactly, and the joint
+//! (topology × collective-algorithm × overlap) search must improve on
+//! that baseline at the 8-chip point. Together these guarantee the
+//! collective-algorithm and overlap extensions are strictly additive:
+//! old configurations price identically, new ones only win.
+
+use flat::dist::{best_joint, series, CollectiveAlgo, Link, Partition, Sweep, Topology};
+use flat::workloads::{Model, Task};
+
+/// The preset `BENCH_PR4.json`'s `dist` group was recorded with: one
+/// attention layer of cloud/bert at the summarization sequence length,
+/// head-parallel, cloud links.
+fn pr4_sweep() -> Sweep {
+    Sweep::new(flat::arch::Accelerator::cloud(), Link::cloud())
+}
+
+fn pr4_config() -> flat::workloads::AttentionConfig {
+    let model = Model::by_name("bert").expect("bert is in the zoo");
+    model.config(1, Task::Summarization.sequence_length())
+}
+
+/// Reads the pinned `dist` entries out of the committed PR 4 snapshot:
+/// `(name, mean_ms, speedup)` triples.
+fn pr4_dist_entries() -> Vec<(String, f64, f64)> {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_PR4.json"))
+        .expect("BENCH_PR4.json is committed at the repo root");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("snapshot parses");
+    v["entries"]
+        .as_array()
+        .expect("snapshot has entries")
+        .iter()
+        .filter(|e| e["group"].as_str() == Some("dist"))
+        .map(|e| {
+            (
+                e["name"].as_str().expect("entry name").to_owned(),
+                e["mean_ms"].as_f64().expect("entry mean_ms"),
+                e["speedup_vs_baseline"].as_f64().expect("entry speedup"),
+            )
+        })
+        .collect()
+}
+
+/// Overlap-off serial pricing with the ring algorithm reproduces every
+/// PR 4 dist entry bit-for-bit: the fabric rework (new topologies,
+/// algorithms, overlap, open-chain fix) did not move the baseline.
+#[test]
+fn serial_ring_pricing_reproduces_the_pr4_snapshot_exactly() {
+    let pinned = pr4_dist_entries();
+    assert_eq!(
+        pinned.len(),
+        8,
+        "PR 4 recorded 2 topologies × 4 chip counts"
+    );
+    let cfg = pr4_config();
+    let points = pr4_sweep().run(
+        &cfg,
+        &[1, 2, 4, 8],
+        &[Topology::Ring, Topology::FullyConnected],
+        &[Partition::HeadParallel],
+    );
+    for topology in [Topology::Ring, Topology::FullyConnected] {
+        for p in series(
+            &points,
+            topology,
+            CollectiveAlgo::Ring,
+            Partition::HeadParallel,
+        ) {
+            let name = format!("{topology}/head-parallel/{}chips", p.chips);
+            let (_, pinned_ms, pinned_speedup) = pinned
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .unwrap_or_else(|| panic!("{name} is pinned in BENCH_PR4.json"));
+            assert_eq!(
+                p.total_ms, *pinned_ms,
+                "{name}: serial pricing must reproduce PR 4 exactly"
+            );
+            // The derived speedup passes through a decimal round-trip in
+            // the snapshot, so allow the last ULP; the ms values above
+            // stay bit-exact.
+            assert!(
+                (p.speedup - pinned_speedup).abs() <= 1e-15 * pinned_speedup,
+                "{name}: speedup drifted: {} vs pinned {pinned_speedup}",
+                p.speedup
+            );
+            assert_eq!(
+                p.exposed_ms, p.collective_ms,
+                "{name}: serial pricing exposes every collective millisecond"
+            );
+        }
+    }
+}
+
+/// The acceptance criterion: the joint search (every topology ×
+/// algorithm, overlapped ticks) beats the PR 4 ring baseline at 8 chips.
+#[test]
+fn joint_search_with_overlap_beats_the_ring_baseline_at_eight_chips() {
+    let ring_8 = pr4_dist_entries()
+        .iter()
+        .find(|(n, _, _)| n == "ring/head-parallel/8chips")
+        .map(|&(_, ms, speedup)| (ms, speedup))
+        .expect("PR 4 pinned the 8-chip ring point");
+    let cfg = pr4_config();
+    let points = pr4_sweep()
+        .with_algos(CollectiveAlgo::all().to_vec())
+        .with_overlap(true)
+        .run(&cfg, &[8], &Topology::all(), &[Partition::HeadParallel]);
+    let best = best_joint(&points, 8).expect("the sweep priced 8-chip points");
+    assert!(
+        best.total_ms < ring_8.0,
+        "joint winner {} [{}] at {:.3} ms must beat the serial ring's {:.3} ms",
+        best.topology,
+        best.algo,
+        best.total_ms,
+        ring_8.0
+    );
+    assert!(
+        best.speedup > ring_8.1,
+        "joint speedup {:.4}x must improve on the ring baseline's {:.4}x",
+        best.speedup,
+        ring_8.1
+    );
+    assert!(
+        best.exposed_ms <= best.collective_ms,
+        "overlap can only hide collective time"
+    );
+}
