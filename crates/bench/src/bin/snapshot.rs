@@ -295,6 +295,7 @@ fn engine_entries(quick: bool) -> Vec<Entry> {
         prompt_mean: 128,
         output_mean: 16,
         slo_ms: None,
+        ..WorkloadSpec::default()
     };
     let workload = spec.generate(0xF1A7).expect("benchmark workload is valid");
     let cfg = EngineConfig::for_platform(&accel, &model, 0xF1A7);
@@ -398,6 +399,111 @@ fn dist_entries(quick: bool) -> Vec<Entry> {
     with_speedups(entries)
 }
 
+/// The fleet-serving trajectory. Two claims, both *modeled* quantities
+/// (like the `dist` group) rather than wall times:
+///
+/// * **Prefix-dedup capacity** — a shared-prefix workload (32
+///   concurrent requests, 96 of 112 prompt tokens shared) served with
+///   the copy-on-write pool off and on. The entries record *peak
+///   physical KV blocks*, so `speedup_vs_baseline` on the dedup-on
+///   entry is the per-request KV-occupancy reduction (≥ 2x when ≥ half
+///   the resident tokens are shared).
+/// * **Elastic goodput** — a sustained multi-tenant diurnal run with a
+///   mid-run scale-up/scale-down; the entry records the modeled
+///   makespan and carries the windowed goodput trajectory (with the
+///   chip count per window) in its config string.
+fn fleet_entries(quick: bool) -> Vec<Entry> {
+    let accel = flat_bench::platform("cloud");
+    let model = flat_bench::model("bert");
+    // Prefix-dedup capacity pair.
+    let mut spec = WorkloadSpec::from_task(Task::ShortNlp, 32, 4000.0);
+    spec.prompt_mean = 112;
+    spec.output_mean = 8;
+    spec.prefix_template = Some(0xF1EE7);
+    spec.prefix_tokens = 96;
+    let workload = spec.generate(0xF1A7).expect("benchmark workload is valid");
+    let mut entries = Vec::new();
+    let mut push = |name: String, config: String, value: f64| {
+        let entry = Entry {
+            group: "fleet".to_owned(),
+            name,
+            config,
+            reps: 1,
+            mean_ms: value,
+            min_ms: value,
+            speedup_vs_baseline: 1.0,
+            max_rel_error: None,
+        };
+        println!(
+            "{:<8} {:<28} mean {:>9.3}      min {:>9.3}      (modeled)",
+            entry.group, entry.name, entry.mean_ms, entry.min_ms
+        );
+        entries.push(entry);
+    };
+    for (name, dedup) in [
+        ("kv_peak_blocks_dedup_off", false),
+        ("kv_peak_blocks_dedup_on", true),
+    ] {
+        let mut cfg = EngineConfig::for_platform(&accel, &model, 0xF1A7);
+        cfg.dedup = dedup;
+        let m = flat_serve::serve(&accel, &model, &workload, &cfg)
+            .expect("benchmark workload must serve cleanly");
+        push(
+            name.to_owned(),
+            format!(
+                "modeled peak physical KV blocks (not ms); cloud/bert 32 requests prompt≈112 \
+                 prefix=96 output≈8 dedup_hits={} peak_logical={}",
+                m.kv.dedup_hits, m.kv.peak_logical_blocks
+            ),
+            m.kv.peak_occupancy * m.kv.total_blocks as f64,
+        );
+    }
+    // Elastic goodput trajectory.
+    let requests = if quick { 96 } else { 512 };
+    let mut fspec = flat_fleet::FleetSpec::sustained(requests);
+    fspec.curve.base_rate_per_s = 800.0;
+    fspec.curve.period_ms = 200.0;
+    let fcfg = flat_fleet::FleetConfig {
+        chips: 2,
+        window_ms: 10.0,
+        scale: vec![(20.0, 4), (120.0, 2)],
+        ..flat_fleet::FleetConfig::default()
+    };
+    let m = flat_fleet::run_fleet(&accel, &model, &fspec, &fcfg, 0xF1A7)
+        .expect("fleet benchmark must serve cleanly");
+    let trajectory: Vec<String> = m
+        .dist
+        .serve
+        .windows
+        .iter()
+        .map(|w| {
+            format!(
+                "({:.0}ms,{:.0}tok/s,{}ch)",
+                w.end_ms, w.goodput_tokens_per_s, w.chips
+            )
+        })
+        .collect();
+    push(
+        "elastic_goodput_makespan".to_owned(),
+        format!(
+            "modeled makespan ms; cloud/bert {} requests 3 tenants diurnal scale=2->4->2 \
+             migrated_bytes={:.0} goodput_windows=[{}]",
+            requests,
+            m.dist.kv_migrated_bytes,
+            trajectory.join(",")
+        ),
+        m.dist.serve.makespan_ms,
+    );
+    // Speedups only make sense within the dedup pair: the baseline is
+    // the dedup-off peak, so the dedup-on entry's speedup is the
+    // per-request KV-occupancy reduction. The makespan entry tracks an
+    // absolute trajectory and keeps speedup 1.0.
+    let trajectory_entry = entries.pop().expect("entry pushed above");
+    let mut out = with_speedups(entries);
+    out.push(trajectory_entry);
+    out
+}
+
 /// The model-validation trajectory: the `flat-desim` event backend
 /// cross-checking the closed-form cost model. Wall time records what the
 /// cross-check itself costs next to the analytical pricing it validates;
@@ -444,7 +550,7 @@ fn validation_entries(quick: bool) -> Vec<Entry> {
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
-    let tag = args.get("tag", "PR8");
+    let tag = args.get("tag", "PR9");
     let out_path = args.get("out", &format!("BENCH_{tag}.json"));
 
     let mut entries = kernel_entries(&args, quick);
@@ -453,6 +559,7 @@ fn main() {
     entries.extend(serve_entries(quick));
     entries.extend(engine_entries(quick));
     entries.extend(dist_entries(quick));
+    entries.extend(fleet_entries(quick));
     entries.extend(validation_entries(quick));
 
     let snapshot = Snapshot {

@@ -31,9 +31,15 @@ USAGE:
   flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--seed N]
              [--task short-nlp|image-generation|summarization|language-modeling|music-processing]
              [--prompt N] [--output N] [--block-tokens 16] [--kv-mib N] [--chunk 512]
-             [--max-batch 64] [--slo-ms MS] [--chaos SEED]
+             [--max-batch 64] [--slo-ms MS] [--chaos SEED] [--dedup] [--window-ms MS]
              [--precision fp32|bf16|fp16|int8] [--softmax exact|flash-d|log-lut]
              [--trace FILE] [--metrics FILE] [--json]
+  flat fleet --platform cloud --model bert --requests 512 [--seed N]
+             [--rate 200] [--amplitude 0.6] [--period-s 60] [--chips N]
+             [--topology ring|mesh|torus|fc|tree] [--window-ms 1000]
+             [--scale MS:CHIPS,MS:CHIPS] [--no-dedup] [--chaos SEED]
+             [--trace FILE] [--json]   # sustained multi-tenant load with diurnal
+                                       # arrivals, prefix dedup, elastic resizes
   flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8] [--sweep]
              [--topology ring|mesh|torus|fc|tree|all] [--partition head|seq|kv|all]
              [--algo ring|hd|bucket|all] [--overlap] [--link-gbps N] [--link-us N]
@@ -850,6 +856,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
     }
     cfg.precision = parse::precision(args)?;
     cfg.softmax = parse::softmax_kind(args)?;
+    cfg.dedup = args.flag("dedup");
+    cfg.window_ms = parse::opt_f64_arg(args, "window-ms")?;
     let faults = parse::opt_u64_arg(args, "chaos")?.map(flat_serve::FaultPlan::chaos);
     let mut workload = spec.generate(seed).map_err(|e| e.to_string())?;
     if let Some(plan) = &faults {
@@ -932,6 +940,166 @@ pub fn serve(args: &Args) -> Result<(), String> {
             metrics.kv.mean_occupancy * 100.0
         );
     }
+    Ok(())
+}
+
+/// Parses the `--scale MS:CHIPS[,MS:CHIPS...]` elastic plan.
+fn scale_arg(args: &Args) -> Result<Vec<(f64, usize)>, String> {
+    let raw = args.get("scale", "");
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|pair| {
+            let (ms, chips) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("--scale expects MS:CHIPS pairs, got {pair:?}"))?;
+            let at_ms: f64 = ms
+                .trim()
+                .parse()
+                .map_err(|_| format!("--scale time must be a number, got {ms:?}"))?;
+            let chips: usize = chips
+                .trim()
+                .parse()
+                .map_err(|_| format!("--scale chips must be a positive integer, got {chips:?}"))?;
+            Ok((at_ms, chips))
+        })
+        .collect()
+}
+
+/// `flat fleet` — the sustained-load fleet harness: the default
+/// three-tenant mix (interactive with an SLO and a shared prompt
+/// prefix, batch, background) on a diurnal arrival curve, served on an
+/// optionally elastic cluster with windowed trajectory sampling.
+///
+/// Deterministic for a fixed flag set: `--seed S --json` twice is
+/// byte-identical, chaos included — CI holds a smoke to this.
+pub fn fleet(args: &Args) -> Result<(), String> {
+    let setup = parse::setup(args)?;
+    let requests = parse::u64_arg(args, "requests", 512)? as usize;
+    let seed = parse::u64_arg(args, "seed", 0xF1A7)?;
+    let mut spec = flat_fleet::FleetSpec::sustained(requests);
+    if let Some(rate) = parse::opt_f64_arg(args, "rate")? {
+        spec.curve.base_rate_per_s = rate;
+    }
+    if let Some(amp) = parse::opt_f64_arg(args, "amplitude")? {
+        spec.curve.amplitude = amp;
+    }
+    if let Some(period_s) = parse::opt_f64_arg(args, "period-s")? {
+        spec.curve.period_ms = period_s * 1e3;
+    }
+    let topology = Topology::by_name(&args.get("topology", "ring"))?;
+    let cfg = flat_fleet::FleetConfig {
+        chips: parse::u64_arg(args, "chips", 1)? as usize,
+        topology,
+        window_ms: parse::opt_f64_arg(args, "window-ms")?.unwrap_or(1_000.0),
+        dedup: !args.flag("no-dedup"),
+        scale: scale_arg(args)?,
+        chaos_seed: parse::opt_u64_arg(args, "chaos")?,
+    };
+    let m = match open_trace(args)? {
+        None => flat_fleet::run_fleet(&setup.accel, &setup.model, &spec, &cfg, seed)
+            .map_err(|e| e.to_string())?,
+        Some((path, mut sink)) => {
+            let m = flat_fleet::run_fleet_traced(
+                &setup.accel,
+                &setup.model,
+                &spec,
+                &cfg,
+                seed,
+                &mut sink,
+            )
+            .map_err(|e| e.to_string())?;
+            close_trace(&path, sink)?;
+            m
+        }
+    };
+    if args.flag("json") {
+        println!("{}", m.to_json());
+        return Ok(());
+    }
+    let s = &m.dist.serve;
+    println!("accelerator: {}", setup.accel);
+    println!(
+        "fleet:       {} requests over {} tenants, base {} req/s ±{:.0}% on a {:.0} s day",
+        m.offered,
+        spec.tenants.len(),
+        spec.curve.base_rate_per_s,
+        spec.curve.amplitude * 100.0,
+        spec.curve.period_ms / 1e3
+    );
+    println!(
+        "cluster:     {} -> {} chips ({}), dedup {}, {} resizes",
+        m.dist.chips,
+        m.dist.chips_final,
+        m.dist.topology,
+        if m.dedup { "on" } else { "off" },
+        m.dist.scale_events.len()
+    );
+    println!();
+    println!(
+        "finished:    {}/{} in {:.1} ms ({:.4} virtual hours), {} dropped ({} infeasible, {} deadline, {} corrupt)",
+        s.finished,
+        s.requests,
+        s.makespan_ms,
+        m.virtual_hours,
+        s.dropped,
+        s.drops.infeasible,
+        s.drops.deadline,
+        s.drops.corrupt
+    );
+    println!(
+        "tokens:      {:.1} decode tok/s, {:.1} goodput tok/s; KV dedup hits {}, peak {} physical / {} logical blocks",
+        s.decode_tokens_per_s,
+        s.goodput_tokens_per_s,
+        s.kv.dedup_hits,
+        (s.kv.peak_occupancy * s.kv.total_blocks as f64).round() as u64,
+        s.kv.peak_logical_blocks
+    );
+    println!();
+    println!(
+        "  {:>6} {:>8} {:>8} {:>7} {:>9} {:>14} {:>9}",
+        "tenant", "offered", "finished", "dropped", "goodtok", "slo_attainment", "kv_share"
+    );
+    for t in &s.tenants {
+        println!(
+            "  {:>6} {:>8} {:>8} {:>7} {:>9} {:>14.3} {:>8.1}%",
+            t.tenant,
+            t.requests,
+            t.finished,
+            t.dropped,
+            t.good_tokens,
+            t.slo_attainment,
+            t.kv_share * 100.0
+        );
+    }
+    if !m.dist.scale_events.is_empty() {
+        println!();
+        for ev in &m.dist.scale_events {
+            println!(
+                "  scale @{:.1} ms: {} -> {} chips, {} blocks ({:.1} KiB) re-striped in {:.3} ms, {} preempted",
+                ev.applied_ms,
+                ev.from_chips,
+                ev.to_chips,
+                ev.migrated_blocks,
+                ev.migrated_bytes / 1024.0,
+                ev.migration_ms,
+                ev.preempted
+            );
+        }
+    }
+    println!();
+    println!(
+        "trajectory:  {} windows of {:.0} ms (goodput first/peak/last {:.1}/{:.1}/{:.1} tok/s)",
+        s.windows.len(),
+        cfg.window_ms,
+        s.windows.first().map_or(0.0, |w| w.goodput_tokens_per_s),
+        s.windows
+            .iter()
+            .map(|w| w.goodput_tokens_per_s)
+            .fold(0.0f64, f64::max),
+        s.windows.last().map_or(0.0, |w| w.goodput_tokens_per_s)
+    );
     Ok(())
 }
 

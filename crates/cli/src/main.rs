@@ -10,6 +10,9 @@
 //! flat bw    --platform cloud --model xlm --seq 8192 [--target-milli 950]
 //! flat serve --platform cloud --model bert --requests 256 --arrival-rate 64 [--slo-ms MS] [--chaos SEED]
 //!            [--trace FILE] [--metrics FILE] [--json]
+//! flat fleet --platform cloud --model bert --requests 512 [--chips N] [--scale MS:CHIPS,...]
+//!            [--no-dedup] [--chaos SEED] [--json]   # sustained multi-tenant fleet load
+
 //! flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8] [--topology all] [--partition head] [--json]
 //!            [--requests N --trace FILE]   # serve on the cluster, tracing collectives
 //! flat run   --config experiments.json [--out results.json]
@@ -39,6 +42,7 @@ fn main() {
         "sim" => commands::sim(&args),
         "bw" => commands::bw(&args),
         "serve" => commands::serve(&args),
+        "fleet" => commands::fleet(&args),
         "dist" => commands::dist(&args),
         "run" => commands::run(&args),
         "help" | "--help" | "-h" => {

@@ -27,6 +27,7 @@
 
 use crate::engine::{run_dist_engine, EngineConfig};
 use crate::error::ServeError;
+use crate::faults::FaultPlan;
 use crate::metrics::ServeMetrics;
 use crate::request::RequestSpec;
 use flat_arch::Accelerator;
@@ -71,6 +72,92 @@ impl DistServeConfig {
     }
 }
 
+/// One elastic resize of the cluster: at `at_ms` of virtual time, the
+/// chip count becomes `chips`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScaleEvent {
+    /// Virtual time the resize takes effect (applied at the first tick
+    /// whose clock has reached it).
+    pub at_ms: f64,
+    /// Cluster size after the event (≥ 1).
+    pub chips: usize,
+}
+
+/// A schedule of elastic resizes for [`serve_dist_elastic`]. Events are
+/// applied in `at_ms` order; an empty plan is a fixed-size cluster.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScalePlan {
+    /// The resize events, any order (sorted before use).
+    pub events: Vec<ScaleEvent>,
+}
+
+impl ScalePlan {
+    /// A plan from `(at_ms, chips)` pairs.
+    #[must_use]
+    pub fn new(events: &[(f64, usize)]) -> Self {
+        ScalePlan {
+            events: events
+                .iter()
+                .map(|&(at_ms, chips)| ScaleEvent { at_ms, chips })
+                .collect(),
+        }
+    }
+
+    /// Rejects non-finite/negative times and zero-chip targets.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending event.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        for ev in &self.events {
+            if !(ev.at_ms.is_finite() && ev.at_ms >= 0.0) {
+                return Err(ServeError::InvalidConfig(
+                    "scale event time must be finite and non-negative".to_owned(),
+                ));
+            }
+            if ev.chips == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "scale event must keep at least one chip".to_owned(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The events sorted by time (ties by target size), ready to apply.
+    #[must_use]
+    pub fn sorted(&self) -> Vec<ScaleEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms).then(a.chips.cmp(&b.chips)));
+        evs
+    }
+}
+
+/// What one applied [`ScaleEvent`] cost: the KV blocks re-striped over
+/// the fabric, the modeled bytes they carried, the stop-the-world stall
+/// the migration added to the virtual clock, and the requests evicted to
+/// fit a shrunken pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScaleEventRecord {
+    /// When the event was scheduled.
+    pub at_ms: f64,
+    /// Virtual time it was actually applied (first tick at/after `at_ms`).
+    pub applied_ms: f64,
+    /// Cluster size before.
+    pub from_chips: usize,
+    /// Cluster size after.
+    pub to_chips: usize,
+    /// Resident KV blocks whose round-robin home shard changed.
+    pub migrated_blocks: u64,
+    /// Modeled bytes those blocks carried (at the serving element width).
+    pub migrated_bytes: f64,
+    /// Stall added to the virtual clock: sources transfer in parallel,
+    /// each source serializes its own sends.
+    pub migration_ms: f64,
+    /// Running requests preempted so the resident set fits the new pool.
+    pub preempted: u64,
+}
+
 /// Per-tick collective pricing, precomputed from the model's dimensions.
 ///
 /// Built by [`serve_dist`], consumed inside the engine loop: each tick
@@ -85,14 +172,22 @@ pub struct DistPlane {
     layers: u64,
     /// Whether ticks price collectives overlapped with compute.
     overlap: bool,
+    /// The cluster knobs, kept so elastic rescales can rebuild the fabric
+    /// and the partition's collective calls for a new chip count.
+    cfg: DistServeConfig,
+    /// The one-token layer shape the per-token calls derive from.
+    token_cfg: AttentionConfig,
     /// Running totals, accumulated tick by tick.
     pub(crate) fabric_busy_ms: f64,
     /// Collective milliseconds the compute could *not* hide: equal to
     /// `fabric_busy_ms` under serial pricing, smaller under overlap.
     pub(crate) exposed_ms: f64,
     pub(crate) payload_bytes: f64,
-    /// Peak striped block count per shard.
+    /// Peak striped block count per shard (sized to the largest cluster
+    /// seen; shards beyond the current size stop accumulating).
     pub(crate) per_shard_peak: Vec<usize>,
+    /// Applied elastic resizes, in order.
+    pub(crate) scale_log: Vec<ScaleEventRecord>,
 }
 
 impl DistPlane {
@@ -113,15 +208,73 @@ impl DistPlane {
             per_token_calls: cfg.partition.collectives(&token_cfg, cfg.chips),
             layers: model.blocks(),
             overlap: cfg.overlap,
+            cfg: *cfg,
+            token_cfg,
             fabric_busy_ms: 0.0,
             exposed_ms: 0.0,
             payload_bytes: 0.0,
             per_shard_peak: vec![0; cfg.chips],
+            scale_log: Vec::new(),
         }
     }
 
     pub(crate) fn chips(&self) -> usize {
         self.fabric.chips
+    }
+
+    /// Rebuilds the fabric and the partition's per-token collective calls
+    /// for a resized cluster. Peak-occupancy lanes are extended (never
+    /// truncated) so shards that existed keep their history.
+    pub(crate) fn rescale(&mut self, chips: usize) {
+        self.fabric = Fabric::new(chips, self.cfg.topology, self.cfg.link).with_algo(self.cfg.algo);
+        self.per_token_calls = self.cfg.partition.collectives(&self.token_cfg, chips);
+        if self.per_shard_peak.len() < chips {
+            self.per_shard_peak.resize(chips, 0);
+        }
+    }
+
+    /// Prices re-striping `used_blocks` resident KV blocks (round-robin
+    /// homes) from a `chips()`-shard layout onto `to` shards: block `b`
+    /// moves `b % from → b % to` when those differ. Transfers are priced
+    /// point-to-point on a fabric spanning both layouts — sources send in
+    /// parallel, each source serializes its own sends, so the stall is the
+    /// slowest source's total. Returns `(blocks, bytes, stall_seconds)`.
+    pub(crate) fn migration_cost(
+        &self,
+        used_blocks: usize,
+        block_bytes: f64,
+        to: usize,
+    ) -> (u64, f64, f64) {
+        let from = self.fabric.chips.max(1);
+        let to = to.max(1);
+        if from == to || used_blocks == 0 {
+            return (0, 0.0, 0.0);
+        }
+        let span = from.max(to);
+        let pricing = Fabric::new(span, self.cfg.topology, self.cfg.link).with_algo(self.cfg.algo);
+        let mut moved = vec![0u64; span * span];
+        for b in 0..used_blocks {
+            let (s, d) = (b % from, b % to);
+            if s != d {
+                moved[s * span + d] += 1;
+            }
+        }
+        let mut blocks = 0u64;
+        let mut stall_s = 0.0f64;
+        for s in 0..span {
+            let mut src_s = 0.0;
+            for d in 0..span {
+                let n = moved[s * span + d];
+                if n == 0 {
+                    continue;
+                }
+                blocks += n;
+                let bytes = (n as f64 * block_bytes).round() as u64;
+                src_s += pricing.p2p_s(bytes, s, d);
+            }
+            stall_s = stall_s.max(src_s);
+        }
+        (blocks, blocks as f64 * block_bytes, stall_s)
     }
 
     pub(crate) fn overlap(&self) -> bool {
@@ -194,10 +347,11 @@ impl DistPlane {
 
     /// Records this tick's pool usage against the round-robin striping:
     /// shard `s` holds `used/chips` blocks plus one more if `s` is under
-    /// the remainder.
+    /// the remainder. Striping follows the *current* chip count; lanes
+    /// beyond it (from a larger past cluster) keep their peak.
     pub(crate) fn observe_used_blocks(&mut self, used: usize) {
-        let p = self.per_shard_peak.len().max(1);
-        for (s, peak) in self.per_shard_peak.iter_mut().enumerate() {
+        let p = self.fabric.chips.max(1);
+        for (s, peak) in self.per_shard_peak.iter_mut().enumerate().take(p) {
             let share = used / p + usize::from(s < used % p);
             *peak = (*peak).max(share);
         }
@@ -221,8 +375,10 @@ pub(crate) struct CollectiveSlice {
 /// [`ServeMetrics`] plus the cluster-level view.
 #[derive(Debug, Clone, Serialize)]
 pub struct DistServeMetrics {
-    /// Chips in the cluster.
+    /// Chips in the cluster at the start of the run.
     pub chips: usize,
+    /// Chips at the end of the run (differs under an elastic plan).
+    pub chips_final: usize,
     /// Fabric topology.
     pub topology: Topology,
     /// Sharding strategy.
@@ -241,8 +397,16 @@ pub struct DistServeMetrics {
     /// Logical collective payload carried over the run, in bytes.
     pub collective_payload_bytes: f64,
     /// Peak KV occupancy of each shard (striped pages ÷ per-shard
-    /// capacity), indexed by shard id.
+    /// capacity), indexed by shard id; under an elastic plan the list
+    /// spans the largest cluster seen.
     pub per_shard_kv_peak_occupancy: Vec<f64>,
+    /// Applied elastic resizes with their migration costs (empty on a
+    /// fixed-size run).
+    pub scale_events: Vec<ScaleEventRecord>,
+    /// Total modeled bytes of KV state re-striped by elastic resizes.
+    pub kv_migrated_bytes: f64,
+    /// Total virtual milliseconds the resizes stalled the engine.
+    pub kv_migration_ms: f64,
     /// The engine metrics, unchanged in shape from single-chip serving.
     pub serve: ServeMetrics,
 }
@@ -306,14 +470,88 @@ pub fn serve_dist_traced(
     dist: &DistServeConfig,
     sink: &mut dyn TraceSink,
 ) -> Result<DistServeMetrics, ServeError> {
+    serve_dist_elastic(
+        accel,
+        model,
+        workload,
+        cfg,
+        dist,
+        &ScalePlan::default(),
+        None,
+        sink,
+    )
+}
+
+/// [`serve_dist`] with a seeded [`FaultPlan`] injecting mid-run failures —
+/// the cluster-scale chaos entry point. Conservation
+/// (`finished + dropped == offered`) holds exactly as it does for
+/// single-chip [`crate::serve_with_faults`]; the chaos suite pins it.
+///
+/// # Errors
+///
+/// As [`serve_dist`].
+pub fn serve_dist_with_faults(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    dist: &DistServeConfig,
+    faults: Option<FaultPlan>,
+) -> Result<DistServeMetrics, ServeError> {
+    let mut sink = flat_telemetry::NoopSink;
+    serve_dist_elastic(
+        accel,
+        model,
+        workload,
+        cfg,
+        dist,
+        &ScalePlan::default(),
+        faults,
+        &mut sink,
+    )
+}
+
+/// The full-control cluster entry point: [`serve_dist`] plus an elastic
+/// [`ScalePlan`] (resize the cluster mid-run, with resident-KV migration
+/// priced point-to-point over the fabric and reported per event), an
+/// optional [`FaultPlan`], and a [`TraceSink`]. `dist.chips` is the
+/// starting size; each applied event rebuilds the fabric, rescales the
+/// modeled compute/bandwidth, and grows or shrinks the pooled KV capacity
+/// (evicting by priority when the resident set no longer fits).
+///
+/// # Errors
+///
+/// As [`serve_dist`], plus [`ServeError::InvalidConfig`] for a malformed
+/// plan (non-finite time or zero-chip target).
+#[allow(clippy::too_many_arguments)]
+pub fn serve_dist_elastic(
+    accel: &Accelerator,
+    model: &Model,
+    workload: &[RequestSpec],
+    cfg: &EngineConfig,
+    dist: &DistServeConfig,
+    plan: &ScalePlan,
+    faults: Option<FaultPlan>,
+    sink: &mut dyn TraceSink,
+) -> Result<DistServeMetrics, ServeError> {
     if dist.chips == 0 {
         return Err(ServeError::InvalidConfig(
             "a cluster needs at least one chip".to_owned(),
         ));
     }
+    plan.validate()?;
     let plane = DistPlane::new(model, dist);
-    let (serve, plane) = run_dist_engine(accel, model, workload, cfg, plane, sink)?;
-    let shard_capacity = (serve.kv.total_blocks / dist.chips).max(1);
+    let (serve, plane) = run_dist_engine(
+        accel,
+        model,
+        workload,
+        cfg,
+        plane,
+        faults,
+        &plan.sorted(),
+        sink,
+    )?;
+    let shard_capacity = (serve.kv.total_blocks / plane.chips().max(1)).max(1);
     let per_shard_kv_peak_occupancy = plane
         .per_shard_peak
         .iter()
@@ -321,6 +559,7 @@ pub fn serve_dist_traced(
         .collect();
     Ok(DistServeMetrics {
         chips: dist.chips,
+        chips_final: plane.chips(),
         topology: dist.topology,
         partition: dist.partition,
         algo: dist.algo,
@@ -330,6 +569,9 @@ pub fn serve_dist_traced(
         fabric_fraction: safe_fraction(plane.exposed_ms, serve.makespan_ms),
         collective_payload_bytes: plane.payload_bytes,
         per_shard_kv_peak_occupancy,
+        kv_migrated_bytes: plane.scale_log.iter().map(|e| e.migrated_bytes).sum(),
+        kv_migration_ms: plane.scale_log.iter().map(|e| e.migration_ms).sum(),
+        scale_events: plane.scale_log.clone(),
         serve,
     })
 }

@@ -27,11 +27,11 @@
 //! surface as [`ServeError`]s; and a scheduler that stops making progress
 //! trips a tick cap into [`ServeError::Livelock`] instead of hanging.
 
-use crate::dist::{CollectiveSlice, DistPlane};
+use crate::dist::{CollectiveSlice, DistPlane, ScaleEvent, ScaleEventRecord};
 use crate::error::{DropReason, ServeError};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::kv::{KvLayout, KvPool};
-use crate::metrics::{KvPoolStats, ServeMetrics};
+use crate::metrics::{KvPoolStats, ServeMetrics, WindowSample};
 use crate::request::{Phase, Request, RequestSpec};
 use flat_arch::Accelerator;
 use flat_kernels::{decode_attention_with, ComputePrecision};
@@ -41,7 +41,7 @@ use flat_workloads::Model;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The engine's process lane in exported traces; chips are `1 + chip`.
 pub(crate) const TRACE_PID_ENGINE: u32 = 0;
@@ -69,6 +69,16 @@ pub struct EngineConfig {
     pub precision: ComputePrecision,
     /// Softmax family member the decode kernel runs.
     pub softmax: SoftmaxKind,
+    /// Copy-on-write prefix sharing: dedup full KV blocks of shared
+    /// prompt prefixes (requests carrying the same
+    /// [`RequestSpec::prefix_template`]) across the batch. Capacity-only:
+    /// outputs and per-request latencies are token-identical to a
+    /// dedup-off run of the same workload and seed (a test pins this).
+    pub dedup: bool,
+    /// Emit a [`WindowSample`] every this-many virtual milliseconds —
+    /// the goodput/latency/occupancy trajectory sustained-load runs plot.
+    /// `None` (the default) keeps the metrics schema unchanged.
+    pub window_ms: Option<f64>,
 }
 
 impl EngineConfig {
@@ -89,6 +99,8 @@ impl EngineConfig {
             seed,
             precision: ComputePrecision::F32,
             softmax: SoftmaxKind::Exact,
+            dedup: false,
+            window_ms: None,
         }
     }
 
@@ -106,6 +118,9 @@ impl EngineConfig {
         }
         if self.dk == 0 {
             return bad("dk must be at least 1");
+        }
+        if self.window_ms.is_some_and(|w| !(w > 0.0 && w.is_finite())) {
+            return bad("window_ms must be positive and finite when set");
         }
         Ok(())
     }
@@ -180,7 +195,7 @@ pub fn serve_with_faults_traced(
     sink: &mut dyn TraceSink,
 ) -> Result<ServeMetrics, ServeError> {
     Ok(
-        Engine::new(accel, model, workload, cfg, faults, None, sink)?
+        Engine::new(accel, model, workload, cfg, faults, None, &[], sink)?
             .run()?
             .0,
     )
@@ -209,16 +224,28 @@ pub fn serve_with_faults(
 /// pooled KV capacity, scaled-out compute, and per-tick collective time
 /// on the virtual clock. Returns the metrics plus the plane with its
 /// accumulated fabric totals. Called by [`crate::dist::serve_dist`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_dist_engine(
     accel: &Accelerator,
     model: &Model,
     workload: &[RequestSpec],
     cfg: &EngineConfig,
     plane: DistPlane,
+    faults: Option<FaultPlan>,
+    scale: &[ScaleEvent],
     sink: &mut dyn TraceSink,
 ) -> Result<(ServeMetrics, DistPlane), ServeError> {
-    let (metrics, plane) =
-        Engine::new(accel, model, workload, cfg, None, Some(plane), sink)?.run()?;
+    let (metrics, plane) = Engine::new(
+        accel,
+        model,
+        workload,
+        cfg,
+        faults,
+        Some(plane),
+        scale,
+        sink,
+    )?
+    .run()?;
     match plane {
         Some(p) => Ok((metrics, p)),
         None => Err(ServeError::Internal(
@@ -259,14 +286,55 @@ struct Engine<'t> {
     preempt_total: u64,
     /// Cumulative deadline sheds, for the scheduler counter track.
     shed_deadline_total: u64,
-    // Accounting-plane constants.
+    /// Weighted-fair admission state: each tenant's virtual time,
+    /// advanced by (worst-case blocks ÷ weight) per admission.
+    tenant_vt: BTreeMap<u32, f64>,
+    /// Time-weighted per-tenant block usage (block·ms), for the
+    /// per-tenant occupancy accounting.
+    tenant_block_ms: BTreeMap<u32, f64>,
+    /// Pending elastic resizes, `at_ms`-sorted.
+    scale_plan: VecDeque<ScaleEvent>,
+    /// Pool blocks one chip's KV budget affords (elastic capacity unit).
+    blocks_per_chip: usize,
+    /// Cumulative output tokens, for window sampling.
+    decode_total: u64,
+    /// Cumulative output tokens of deadline-meeting finishes.
+    good_tokens_total: u64,
+    /// Completed trajectory windows (empty unless `cfg.window_ms`).
+    windows: Vec<WindowSample>,
+    /// End of the currently open window.
+    next_window_end: f64,
+    /// Cumulative counters at the last closed window boundary.
+    win_cursor: WindowCursor,
+    // Accounting-plane constants (the `base_*` values are per chip;
+    // elastic resizes re-derive the effective ones).
     weight_bytes: f64,
     weight_macs_per_token: f64,
     kv_bytes_per_token: f64,
     attn_macs_per_ctx_token: f64,
     peak_flops: f64,
     offchip_bytes_per_s: f64,
+    base_peak_flops: f64,
+    base_offchip_bytes_per_s: f64,
 }
+
+/// Cumulative totals at the last closed window boundary; the next
+/// [`WindowSample`]'s counts are deltas against these.
+#[derive(Debug, Default, Clone, Copy)]
+struct WindowCursor {
+    finished: usize,
+    dropped: usize,
+    decode_tokens: u64,
+    good_tokens: u64,
+    occ_block_ms: f64,
+    /// Clock at the last closed boundary (the open window's left edge).
+    last_end_ms: f64,
+}
+
+/// Trajectory vectors stay bounded even under a pathologically small
+/// window: past this many samples the remainder of the run folds into
+/// the final window.
+const MAX_WINDOWS: usize = 1 << 17;
 
 /// One request's work inside a tick, waiting for the tick's price to
 /// become a complete span.
@@ -295,12 +363,35 @@ const TICK_OVERHEAD_S: f64 = 10e-6;
 const MAX_TICKS: u64 = 10_000_000;
 
 /// Scheduling order: arrival time (total order — corrupt arrivals never
-/// reach the queues), then id as the tiebreak.
+/// reach the queues), then id as the tiebreak. Total and deterministic:
+/// two requests sharing an arrival time (and even a deadline) always
+/// order by id, so admission and victim choice are seed-stable.
 fn sched_order(a: &RequestSpec, b: &RequestSpec) -> Ordering {
     a.arrival_ms.total_cmp(&b.arrival_ms).then(a.id.cmp(&b.id))
 }
 
+/// Priority-aware eviction order: the *maximum* under this ordering is
+/// the preemption victim. Lower priority classes rank higher (evicted
+/// first); within a class the latest-arrived goes, with id as the final
+/// deterministic tiebreak — so equal-priority workloads behave exactly
+/// like the pre-priority scheduler.
+pub(crate) fn victim_order(a: &RequestSpec, b: &RequestSpec) -> Ordering {
+    b.priority.cmp(&a.priority).then(sched_order(a, b))
+}
+
+/// The running request the eviction policy sacrifices under KV pressure
+/// (only requests actually holding/consuming pool pages are candidates).
+fn victim_index(running: &[Request]) -> Option<usize> {
+    running
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.phase, Phase::Prefill | Phase::Decode))
+        .max_by(|(_, a), (_, b)| victim_order(&a.spec, &b.spec))
+        .map(|(j, _)| j)
+}
+
 impl<'t> Engine<'t> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         accel: &Accelerator,
         model: &Model,
@@ -308,6 +399,7 @@ impl<'t> Engine<'t> {
         cfg: &EngineConfig,
         faults: Option<FaultPlan>,
         dist: Option<DistPlane>,
+        scale: &[ScaleEvent],
         sink: &'t mut dyn TraceSink,
     ) -> Result<Self, ServeError> {
         if workload.is_empty() {
@@ -319,7 +411,8 @@ impl<'t> Engine<'t> {
         // shards) and executes tensor-parallel, so compute and bandwidth
         // scale with the chip count. One chip leaves everything exact.
         let chips = dist.as_ref().map_or(1, DistPlane::chips);
-        let total_blocks = layout.blocks_in_budget(cfg.kv_budget) * chips;
+        let blocks_per_chip = layout.blocks_in_budget(cfg.kv_budget);
+        let total_blocks = blocks_per_chip * chips;
         // Malformed specs (non-finite arrival, zero lengths) can never be
         // scheduled — shed them before they can poison the arrival sort
         // or the virtual clock.
@@ -387,6 +480,15 @@ impl<'t> Engine<'t> {
             pending: Vec::new(),
             preempt_total: 0,
             shed_deadline_total: 0,
+            tenant_vt: BTreeMap::new(),
+            tenant_block_ms: BTreeMap::new(),
+            scale_plan: scale.iter().copied().collect(),
+            blocks_per_chip,
+            decode_total: 0,
+            good_tokens_total: 0,
+            windows: Vec::new(),
+            next_window_end: cfg.window_ms.unwrap_or(f64::INFINITY),
+            win_cursor: WindowCursor::default(),
             weight_bytes: 2.0 * model_params(model),
             weight_macs_per_token: model_params(model),
             // KV streaming is priced at the configured element width,
@@ -396,6 +498,8 @@ impl<'t> Engine<'t> {
             attn_macs_per_ctx_token: 2.0 * model.blocks() as f64 * h,
             peak_flops: accel.peak_flops() * chips as f64,
             offchip_bytes_per_s: accel.mem.offchip_bytes_per_s * chips as f64,
+            base_peak_flops: accel.peak_flops(),
+            base_offchip_bytes_per_s: accel.mem.offchip_bytes_per_s,
         })
     }
 
@@ -418,6 +522,7 @@ impl<'t> Engine<'t> {
                 self.now_ms = self.now_ms.max(next.spec.arrival_ms);
                 self.admit_arrivals();
             }
+            self.apply_scale_events();
             self.shed_expired();
             self.admit_waiting();
             let work = self.execute_tick();
@@ -454,6 +559,16 @@ impl<'t> Engine<'t> {
             let stamp = self.now_ms + dt_ms;
             self.now_ms = stamp;
             self.occ_block_ms += self.pool.used_blocks() as f64 * dt_ms;
+            self.decode_total += work.decode_steps;
+            if dt_ms > 0.0 {
+                for r in &self.running {
+                    let blocks = r.table.block_count();
+                    if blocks > 0 {
+                        *self.tenant_block_ms.entry(r.spec.tenant).or_insert(0.0) +=
+                            blocks as f64 * dt_ms;
+                    }
+                }
+            }
             if let Some(plane) = self.dist.as_mut() {
                 plane.observe_used_blocks(self.pool.used_blocks());
             }
@@ -462,6 +577,12 @@ impl<'t> Engine<'t> {
             }
             self.pending.clear();
             self.retire_and_requeue(stamp);
+            self.sample_windows();
+        }
+        // Close the trajectory: one final (possibly partial) window
+        // covers the tail of the run.
+        if self.cfg.window_ms.is_some() && self.now_ms > self.win_cursor.last_end_ms {
+            self.close_window(self.now_ms);
         }
         let total_blocks = self.pool.total_blocks();
         let kv = KvPoolStats {
@@ -475,9 +596,16 @@ impl<'t> Engine<'t> {
                 0.0
             },
             peak_occupancy: self.pool.peak_used() as f64 / total_blocks as f64,
+            dedup_hits: self.pool.dedup_hits(),
+            peak_logical_blocks: self.pool.peak_logical(),
         };
         self.finished.sort_by_key(|r| r.spec.id);
         self.dropped.sort_by_key(|r| r.spec.id);
+        let tenant_block_ms: Vec<(u32, f64)> = self
+            .tenant_block_ms
+            .iter()
+            .map(|(&t, &ms)| (t, ms))
+            .collect();
         Ok((
             ServeMetrics::collate(
                 &self.finished,
@@ -486,9 +614,156 @@ impl<'t> Engine<'t> {
                 self.now_ms,
                 self.ticks,
                 self.prefill_tokens,
+                &tenant_block_ms,
+                std::mem::take(&mut self.windows),
             ),
             self.dist,
         ))
+    }
+
+    /// Closes every window boundary the clock has passed, then lets the
+    /// caller force-close a final partial window at end of run.
+    fn sample_windows(&mut self) {
+        let Some(w) = self.cfg.window_ms else { return };
+        while self.now_ms >= self.next_window_end {
+            let end = self.next_window_end;
+            self.close_window(end);
+            self.next_window_end += w;
+            if self.windows.len() >= MAX_WINDOWS {
+                // Bounded trajectory: the rest of the run lands in the
+                // final close at collate time.
+                self.next_window_end = f64::INFINITY;
+                return;
+            }
+        }
+    }
+
+    /// Emits one [`WindowSample`] for `(previous boundary, end_ms]` from
+    /// the deltas against the cursor. The span is the actual elapsed
+    /// virtual time, so the final partial window's rates stay honest.
+    fn close_window(&mut self, end_ms: f64) {
+        let span_ms = end_ms - self.win_cursor.last_end_ms;
+        let total_blocks = self.pool.total_blocks().max(1);
+        let d_occ = self.occ_block_ms - self.win_cursor.occ_block_ms;
+        let d_good = self.good_tokens_total - self.win_cursor.good_tokens;
+        let d_dec = self.decode_total - self.win_cursor.decode_tokens;
+        self.windows.push(WindowSample {
+            end_ms,
+            finished: self.finished.len() - self.win_cursor.finished,
+            dropped: self.dropped.len() - self.win_cursor.dropped,
+            decode_tokens: d_dec,
+            goodput_tokens_per_s: if span_ms > 0.0 {
+                d_good as f64 / (span_ms / 1e3)
+            } else {
+                0.0
+            },
+            kv_occupancy: if span_ms > 0.0 {
+                (d_occ / (span_ms * total_blocks as f64)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            chips: self.dist.as_ref().map_or(1, DistPlane::chips),
+        });
+        self.win_cursor = WindowCursor {
+            finished: self.finished.len(),
+            dropped: self.dropped.len(),
+            decode_tokens: self.decode_total,
+            good_tokens: self.good_tokens_total,
+            occ_block_ms: self.occ_block_ms,
+            last_end_ms: end_ms,
+        };
+    }
+
+    /// Applies every due elastic resize: re-stripe resident KV over the
+    /// fabric (a stop-the-world stall on the virtual clock), grow or
+    /// shrink the pooled capacity (evicting by [`victim_order`] until the
+    /// resident set fits), and rescale the modeled compute, bandwidth,
+    /// and collective pricing.
+    fn apply_scale_events(&mut self) {
+        while self
+            .scale_plan
+            .front()
+            .is_some_and(|ev| ev.at_ms <= self.now_ms)
+        {
+            let Some(ev) = self.scale_plan.pop_front() else {
+                break;
+            };
+            let Some(from) = self.dist.as_ref().map(DistPlane::chips) else {
+                // No distributed plane: elastic events have nothing to
+                // resize (single-chip entry points pass an empty plan).
+                continue;
+            };
+            let to = ev.chips.max(1);
+            if to == from {
+                continue;
+            }
+            let applied_ms = self.now_ms;
+            // Price the re-striping before capacity changes: what is
+            // resident *now* is what moves.
+            let block_bytes = self.kv_bytes_per_token * self.cfg.block_tokens as f64;
+            let used = self.pool.used_blocks();
+            let (migrated_blocks, migrated_bytes, stall_s) = match self.dist.as_ref() {
+                Some(p) => p.migration_cost(used, block_bytes, to),
+                None => (0, 0.0, 0.0),
+            };
+            // Capacity follows the chip count.
+            let new_total = self.blocks_per_chip * to;
+            let mut preempted = 0u64;
+            let current = self.pool.total_blocks();
+            if new_total > current {
+                self.pool.grow(new_total - current);
+            } else {
+                let mut excess = current - new_total;
+                while excess > 0 {
+                    excess -= self.pool.confiscate(excess);
+                    if excess == 0 {
+                        break;
+                    }
+                    // Free list dry: evict the policy's victim so its
+                    // blocks (refcount permitting) come back.
+                    match victim_index(&self.running) {
+                        Some(j) => {
+                            self.preempt(j);
+                            preempted += 1;
+                        }
+                        None => break, // nothing left to evict
+                    }
+                }
+            }
+            if let Some(plane) = self.dist.as_mut() {
+                plane.rescale(to);
+            }
+            self.peak_flops = self.base_peak_flops * to as f64;
+            self.offchip_bytes_per_s = self.base_offchip_bytes_per_s * to as f64;
+            let migration_ms = stall_s * 1e3;
+            self.now_ms += migration_ms;
+            if self.sink.enabled() {
+                self.sink.record(
+                    Event::instant(
+                        "scale",
+                        "engine",
+                        applied_ms * US_PER_MS,
+                        TRACE_PID_ENGINE,
+                        0,
+                    )
+                    .arg("from_chips", from as u64)
+                    .arg("to_chips", to as u64)
+                    .arg("migrated_blocks", migrated_blocks),
+                );
+            }
+            if let Some(plane) = self.dist.as_mut() {
+                plane.scale_log.push(ScaleEventRecord {
+                    at_ms: ev.at_ms,
+                    applied_ms,
+                    from_chips: from,
+                    to_chips: to,
+                    migrated_blocks,
+                    migrated_bytes,
+                    migration_ms,
+                    preempted,
+                });
+            }
+        }
     }
 
     /// Emits this tick's trace events: the buffered per-request work
@@ -605,9 +880,9 @@ impl<'t> Engine<'t> {
         }
     }
 
-    /// Sheds the waiting-queue head with `reason`.
-    fn drop_front_waiting(&mut self, reason: DropReason) {
-        if let Some(mut r) = self.waiting.pop_front() {
+    /// Sheds the waiting-queue entry at `idx` with `reason`.
+    fn drop_waiting_at(&mut self, idx: usize, reason: DropReason) {
+        if let Some(mut r) = self.waiting.remove(idx) {
             r.mark_dropped(reason, self.now_ms);
             self.trace_queue_drop(r.spec.id, reason, self.now_ms);
             self.dropped.push(r);
@@ -633,33 +908,74 @@ impl<'t> Engine<'t> {
             .record(Event::end("request", "request", ts, TRACE_PID_ENGINE, tid));
     }
 
-    /// FIFO admission under backpressure: the queue head starts prefill
-    /// only when the pool can page its whole prompt plus the first decode
-    /// token. A head whose *worst-case* footprint (`prompt + output`)
-    /// exceeds the entire pool is provably unservable — admitted, it
-    /// would exhaust the pool, self-preempt, re-queue, and livelock — so
-    /// it is rejected here with [`DropReason::Infeasible`]. (Feasible
-    /// heads never need more than the feasibility bound, so they are
+    /// The waiting-queue index weighted-fair admission serves next: each
+    /// backlogged tenant's *head* (its earliest-arrived waiting request)
+    /// competes on tenant virtual time, smallest first, tenant id as the
+    /// deterministic tiebreak. Newly backlogged (or long-idle) tenants
+    /// join at the current minimum so they can neither claim credit for
+    /// idle history nor be starved by it. With a single tenant this is
+    /// exactly FIFO head admission.
+    fn pick_admission_candidate(&mut self) -> Option<usize> {
+        // First waiting index per tenant (the queue is arrival-sorted, so
+        // the first hit is that tenant's head).
+        let mut heads: BTreeMap<u32, usize> = BTreeMap::new();
+        for (i, r) in self.waiting.iter().enumerate() {
+            heads.entry(r.spec.tenant).or_insert(i);
+        }
+        if heads.is_empty() {
+            return None;
+        }
+        // Normalize: backlogged tenants never lag the pack's minimum.
+        let vmin = heads
+            .keys()
+            .filter_map(|t| self.tenant_vt.get(t).copied())
+            .fold(f64::INFINITY, f64::min);
+        let vmin = if vmin.is_finite() { vmin } else { 0.0 };
+        for t in heads.keys() {
+            let vt = self.tenant_vt.entry(*t).or_insert(vmin);
+            if *vt < vmin {
+                *vt = vmin;
+            }
+        }
+        heads
+            .iter()
+            .min_by(|(ta, _), (tb, _)| {
+                let va = self.tenant_vt.get(ta).copied().unwrap_or(0.0);
+                let vb = self.tenant_vt.get(tb).copied().unwrap_or(0.0);
+                va.total_cmp(&vb).then(ta.cmp(tb))
+            })
+            .map(|(_, &i)| i)
+    }
+
+    /// Weighted-fair admission under backpressure: the next tenant's head
+    /// (by tenant virtual time) starts prefill only when the pool can
+    /// page its whole prompt plus the first decode token. A candidate
+    /// whose *worst-case* footprint (`prompt + output`) exceeds the
+    /// entire pool is provably unservable — admitted, it would exhaust
+    /// the pool, self-preempt, re-queue, and livelock — so it is rejected
+    /// here with [`DropReason::Infeasible`]. On admission the tenant is
+    /// charged worst-case blocks over its weight, so heavier tenants
+    /// drain proportionally more queue under contention. (Feasible
+    /// candidates never need more than the feasibility bound, so they are
     /// eventually admitted once the pool drains.)
     fn admit_waiting(&mut self) {
         while self.running.len() < self.cfg.max_batch {
-            let Some(front) = self.waiting.front() else {
+            let Some(idx) = self.pick_admission_candidate() else {
                 break;
             };
-            let spec = front.spec;
-            let infeasible = spec
-                .prompt_len
-                .checked_add(spec.output_len)
-                .is_none_or(|t| self.layout.blocks_for(t) > self.pool.total_blocks());
+            let spec = self.waiting[idx].spec;
+            let worst_case = spec.prompt_len.checked_add(spec.output_len);
+            let infeasible =
+                worst_case.is_none_or(|t| self.layout.blocks_for(t) > self.pool.total_blocks());
             if infeasible {
-                self.drop_front_waiting(DropReason::Infeasible);
+                self.drop_waiting_at(idx, DropReason::Infeasible);
                 continue;
             }
             let needed = self.layout.blocks_for(spec.prompt_len + 1);
             if needed > self.pool.free_blocks() {
                 break;
             }
-            if let Some(mut r) = self.waiting.pop_front() {
+            if let Some(mut r) = self.waiting.remove(idx) {
                 if self.sink.enabled() {
                     self.sink.record(Event::end(
                         "queued",
@@ -670,6 +986,11 @@ impl<'t> Engine<'t> {
                     ));
                 }
                 r.phase = Phase::Prefill;
+                // Charge worst-case footprint over weight: the classic
+                // virtual-time advance of weighted fair queueing.
+                let charge = self.layout.blocks_for(spec.prompt_len + spec.output_len) as f64
+                    / (f64::from(spec.weight_milli.max(1)) / 1000.0);
+                *self.tenant_vt.entry(spec.tenant).or_insert(0.0) += charge;
                 self.running.push(r);
             }
         }
@@ -691,14 +1012,29 @@ impl<'t> Engine<'t> {
             let mut appended = 0;
             for _ in 0..take {
                 let pos = self.running[i].prefilled;
-                let id = self.running[i].spec.id;
-                let k = self.embed(id, pos, SALT_K, &[]);
-                let v = self.embed(id, pos, SALT_V, &[]);
+                let spec = self.running[i].spec;
+                let k = self.embed(&spec, pos, SALT_K, &[]);
+                let v = self.embed(&spec, pos, SALT_V, &[]);
                 if !self.append_with_preemption(i, &k, &v) {
                     break; // `i` itself was preempted.
                 }
                 self.running[i].prefilled += 1;
                 appended += 1;
+                // Copy-on-write dedup: once a block is full and still
+                // entirely inside the shared prefix, seal it — identical
+                // content already published by a sibling replaces the
+                // private copy. Capacity-only: the numeric plane reads
+                // the same bytes either way.
+                if self.cfg.dedup
+                    && self.running[i].prefilled <= spec.shared_prefix_len()
+                    && self.running[i]
+                        .table
+                        .tokens()
+                        .is_multiple_of(self.cfg.block_tokens)
+                {
+                    let table = &mut self.running[i].table;
+                    self.pool.seal_last_block(table);
+                }
             }
             budget -= appended;
             work.prefill_tokens += appended as u64;
@@ -715,7 +1051,8 @@ impl<'t> Engine<'t> {
             if r.phase == Phase::Prefill && r.prefilled == r.spec.prompt_len {
                 // Prompt fully paged in: probe the prefix once to seed the
                 // sequential generation state, then start decoding.
-                let q = self.embed(r.spec.id, r.spec.prompt_len - 1, SALT_Q, &[]);
+                let spec = r.spec;
+                let q = self.embed(&spec, spec.prompt_len - 1, SALT_Q, &[]);
                 let out = decode_attention_with(
                     &q,
                     self.pool.rows(&self.running[i].table),
@@ -732,11 +1069,12 @@ impl<'t> Engine<'t> {
                 continue;
             }
             let r = &self.running[i];
-            let (id, pos) = (r.spec.id, r.spec.prompt_len + r.generated);
+            let (spec, pos) = (r.spec, r.spec.prompt_len + r.generated);
+            let id = spec.id;
             let prev = r.last_out.clone();
-            let q = self.embed(id, pos, SALT_Q, &prev);
-            let k = self.embed(id, pos, SALT_K, &prev);
-            let v = self.embed(id, pos, SALT_V, &prev);
+            let q = self.embed(&spec, pos, SALT_Q, &prev);
+            let k = self.embed(&spec, pos, SALT_K, &prev);
+            let v = self.embed(&spec, pos, SALT_V, &prev);
             if !self.append_with_preemption(i, &k, &v) {
                 continue; // `i` itself was preempted; it restarts later.
             }
@@ -776,29 +1114,20 @@ impl<'t> Engine<'t> {
         work
     }
 
-    /// Appends one K/V row for `running[i]`, evicting the latest-arrived
-    /// running request as long as the pool is exhausted. Returns `false`
-    /// if `i` itself was the eviction victim.
+    /// Appends one K/V row for `running[i]`, evicting by [`victim_order`]
+    /// (lowest priority class first, latest-arrived within a class) as
+    /// long as the pool is exhausted. Returns `false` if `i` itself was
+    /// the eviction victim.
     fn append_with_preemption(&mut self, i: usize, k: &[f32], v: &[f32]) -> bool {
         loop {
             let (pool, running) = (&mut self.pool, &mut self.running);
             if pool.try_append(&mut running[i].table, k, v) {
                 return true;
             }
-            let victim = self
-                .running
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| matches!(r.phase, Phase::Prefill | Phase::Decode))
-                .max_by(|(_, a), (_, b)| sched_order(&a.spec, &b.spec))
-                .map(|(j, _)| j);
             // `running[i]` is itself Prefill/Decode when this is called,
             // so a victim always exists; the fallback preempts `i` rather
             // than trusting that invariant with a panic.
-            let victim = match victim {
-                Some(j) => j,
-                None => i,
-            };
+            let victim = victim_index(&self.running).unwrap_or(i);
             self.preempt(victim);
             if victim == i {
                 return false;
@@ -834,6 +1163,9 @@ impl<'t> Engine<'t> {
                         r.first_token_ms = Some(stamp(stamp_ms));
                     }
                     r.finish_ms = Some(stamp(stamp_ms));
+                    if r.met_deadline() {
+                        self.good_tokens_total += r.generated as u64;
+                    }
                     // Trace on the uncorrupted virtual clock: the fault
                     // injector may smear the metrics' stamps to NaN, but
                     // a trace must stay well-ordered and parseable.
@@ -910,11 +1242,27 @@ impl<'t> Engine<'t> {
     /// The numeric plane's token embedding: a seeded pseudo-random row,
     /// blended with the previous step's attention output when one exists —
     /// the dependence that makes generation sequential.
-    fn embed(&self, req: usize, pos: usize, salt: u64, prev_out: &[f32]) -> Vec<f32> {
+    ///
+    /// Positions inside a request's shared prefix draw from a stream
+    /// keyed on the *template* id instead of the request id, so every
+    /// request carrying the same template produces byte-identical prefix
+    /// K/V rows — the property block-level dedup keys on. The keying is
+    /// independent of `cfg.dedup`, which is why dedup-on and dedup-off
+    /// runs stay token-identical. Non-template positions keep the
+    /// historical per-request stream exactly.
+    fn embed(&self, spec: &RequestSpec, pos: usize, salt: u64, prev_out: &[f32]) -> Vec<f32> {
+        let ident = if pos < spec.shared_prefix_len() {
+            spec.prefix_template
+                .unwrap_or_default()
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(0x9E6C_63D0_876A_68EE)
+        } else {
+            (spec.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
         let stream = self
             .cfg
             .seed
-            .wrapping_add((req as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(ident)
             .wrapping_add((pos as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
             .wrapping_add(salt);
         let mut rng = StdRng::seed_from_u64(stream);
@@ -964,6 +1312,8 @@ mod tests {
             seed: 7,
             precision: ComputePrecision::F32,
             softmax: SoftmaxKind::Exact,
+            dedup: false,
+            window_ms: None,
         }
     }
 

@@ -18,8 +18,29 @@
 //!   decode kernel reads, held at the engine's reduced execution width
 //!   (one representative head), plus alloc/free bookkeeping.
 
+use std::collections::HashMap;
+
 use flat_tensor::Bytes;
 use flat_workloads::Model;
+
+/// FNV-1a 64-bit offset basis — the chain seed of an empty prefix.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Extends a FNV-1a chain hash over one block's K and V rows. Chaining
+/// from the previous block's hash makes the digest positional: two blocks
+/// share a hash only if their *entire prefix history* matches, not just
+/// their own 16 tokens.
+fn chain_hash(seed: u64, k: &[f32], v: &[f32]) -> u64 {
+    let mut h = seed;
+    for word in k.iter().chain(v.iter()) {
+        for byte in word.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
 
 /// Modeled KV-cache cost of one token, and the paging geometry.
 ///
@@ -83,10 +104,25 @@ impl KvLayout {
 
 /// A request's view into the pool: the ordered list of block ids holding
 /// its tokens, plus how many token rows are live.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BlockTable {
     blocks: Vec<usize>,
     tokens: usize,
+    /// Leading blocks attached via the prefix index (refcount-shared).
+    sealed: usize,
+    /// Running chain hash over the sealed prefix (`FNV_OFFSET` when none).
+    chain: u64,
+}
+
+impl Default for BlockTable {
+    fn default() -> Self {
+        BlockTable {
+            blocks: Vec::new(),
+            tokens: 0,
+            sealed: 0,
+            chain: FNV_OFFSET,
+        }
+    }
 }
 
 impl BlockTable {
@@ -106,6 +142,12 @@ impl BlockTable {
     #[must_use]
     pub fn block_count(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Leading blocks that are refcount-shared through the prefix index.
+    #[must_use]
+    pub fn sealed_blocks(&self) -> usize {
+        self.sealed
     }
 }
 
@@ -147,6 +189,21 @@ pub struct KvPool {
     /// circulation (ids stay valid so live tables are unaffected).
     quarantined: usize,
     peak_used: usize,
+    /// Per-block reference count: 0 = free, 1 = private, >1 = shared
+    /// through the prefix index (copy-on-write).
+    refs: Vec<u32>,
+    /// Chain hash under which a block is published in `prefix_index`
+    /// (`None` for private/free blocks) — kept so release can unpublish.
+    seal_hash: Vec<Option<u64>>,
+    /// Content-addressed directory of sealed full prefix blocks:
+    /// chain hash → block id.
+    prefix_index: HashMap<u64, usize>,
+    /// Seal calls that attached to an already-resident shared block.
+    dedup_hits: u64,
+    /// Blocks mapped by live tables counting shared blocks once *per
+    /// sharer* — what a dedup-off pool would have to hold physically.
+    logical_used: usize,
+    peak_logical: usize,
 }
 
 impl KvPool {
@@ -177,6 +234,12 @@ impl KvPool {
             free,
             quarantined: 0,
             peak_used: 0,
+            refs: vec![0; total_blocks],
+            seal_hash: vec![None; total_blocks],
+            prefix_index: HashMap::new(),
+            dedup_hits: 0,
+            logical_used: 0,
+            peak_logical: 0,
         }
     }
 
@@ -241,8 +304,11 @@ impl KvPool {
             let Some(id) = self.free.pop() else {
                 return false;
             };
+            self.refs[id] = 1;
             table.blocks.push(id);
             self.peak_used = self.peak_used.max(self.used_blocks());
+            self.logical_used += 1;
+            self.peak_logical = self.peak_logical.max(self.logical_used);
         }
         // Non-empty by construction: slot 0 just allocated, later slots
         // inherit the block; guarded rather than unwrapped so a corrupted
@@ -250,6 +316,10 @@ impl KvPool {
         let Some(&id) = table.blocks.last() else {
             return false;
         };
+        // Sealed blocks are full, so `slot == 0` always allocates a fresh
+        // private block before any row is written: copy-on-write forking
+        // never mutates shared storage.
+        debug_assert_eq!(self.refs[id], 1, "writes only land in private blocks");
         let at = slot * self.dk;
         self.blocks[id].k[at..at + self.dk].copy_from_slice(k);
         self.blocks[id].v[at..at + self.dk].copy_from_slice(v);
@@ -257,10 +327,119 @@ impl KvPool {
         true
     }
 
-    /// Returns every block of `table` to the free list and empties it.
+    /// Drops `table`'s reference on every block it maps and empties it.
+    /// A block returns to the free list only when its refcount reaches
+    /// zero, so releasing (or preempting) one sharer of a prefix block
+    /// never frees storage another request still maps.
     pub fn release(&mut self, table: &mut BlockTable) {
-        self.free.append(&mut table.blocks);
+        self.logical_used -= table.blocks.len();
+        for id in table.blocks.drain(..) {
+            debug_assert!(self.refs[id] > 0, "release of an unowned block");
+            self.refs[id] -= 1;
+            if self.refs[id] == 0 {
+                if let Some(h) = self.seal_hash[id].take() {
+                    // Unpublish only our own entry: a hash slot is owned by
+                    // exactly one block id at a time.
+                    if self.prefix_index.get(&h) == Some(&id) {
+                        self.prefix_index.remove(&h);
+                    }
+                }
+                self.free.push(id);
+            }
+        }
         table.tokens = 0;
+        table.sealed = 0;
+        table.chain = FNV_OFFSET;
+    }
+
+    /// Seals `table`'s last block into the prefix index. Call only when
+    /// that block has just been filled with tokens that are part of a
+    /// shared prompt prefix.
+    ///
+    /// Extends the table's chain hash over the block's content, then
+    /// either (a) swaps the freshly written private block for an
+    /// already-published identical block — incrementing that block's
+    /// refcount and freeing the private copy (a *dedup hit*) — or
+    /// (b) publishes this block under the chain hash so later requests
+    /// can share it. Content is compared word-for-word on a hash match,
+    /// so a (vanishingly unlikely) collision degrades to "no sharing",
+    /// never to wrong rows. Returns `true` on a dedup hit.
+    pub fn seal_last_block(&mut self, table: &mut BlockTable) -> bool {
+        let Some(&id) = table.blocks.last() else {
+            return false;
+        };
+        if !table.tokens.is_multiple_of(self.block_tokens) || table.sealed + 1 != table.blocks.len()
+        {
+            // Only full blocks immediately following the sealed prefix are
+            // shareable; anything else would let appends land in shared
+            // storage.
+            return false;
+        }
+        let h = chain_hash(table.chain, &self.blocks[id].k, &self.blocks[id].v);
+        table.chain = h;
+        if let Some(&shared) = self.prefix_index.get(&h) {
+            if shared != id
+                && self.blocks[shared].k == self.blocks[id].k
+                && self.blocks[shared].v == self.blocks[id].v
+            {
+                self.refs[shared] += 1;
+                self.refs[id] = 0;
+                self.free.push(id);
+                if let Some(last) = table.blocks.last_mut() {
+                    *last = shared;
+                }
+                table.sealed += 1;
+                self.dedup_hits += 1;
+                return true;
+            }
+            // Collision or self-hit: leave the block private and unlisted.
+            table.sealed += 1;
+            return false;
+        }
+        self.prefix_index.insert(h, id);
+        self.seal_hash[id] = Some(h);
+        table.sealed += 1;
+        false
+    }
+
+    /// Adds `n` fresh zeroed blocks to the pool — the elastic scale-up
+    /// path. New ids extend the id space; existing tables are unaffected.
+    pub fn grow(&mut self, n: usize) {
+        for _ in 0..n {
+            let id = self.blocks.len();
+            self.blocks.push(Block {
+                k: vec![0.0; self.block_tokens * self.dk],
+                v: vec![0.0; self.block_tokens * self.dk],
+            });
+            self.refs.push(0);
+            self.seal_hash.push(None);
+            self.free.push(id);
+        }
+    }
+
+    /// Seal operations that attached to an already-resident shared block.
+    #[must_use]
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Blocks live tables map, counting shared blocks once per sharer —
+    /// the physical footprint a dedup-off pool would need right now.
+    #[must_use]
+    pub fn logical_used_blocks(&self) -> usize {
+        self.logical_used
+    }
+
+    /// High-water mark of [`logical_used_blocks`](Self::logical_used_blocks).
+    #[must_use]
+    pub fn peak_logical(&self) -> usize {
+        self.peak_logical
+    }
+
+    /// Current refcount of a block (0 = free). Test/diagnostic hook.
+    #[must_use]
+    pub fn refcount(&self, id: usize) -> u32 {
+        self.refs.get(id).copied().unwrap_or(0)
     }
 
     /// The `(key, value)` rows of a request in token order — the exact
@@ -375,5 +554,192 @@ mod tests {
         assert_eq!(pool.confiscate(10), 1);
         assert_eq!(pool.total_blocks(), 1);
         assert_eq!(pool.free_blocks(), 1);
+    }
+
+    /// Appends `n` tokens whose rows are a deterministic function of the
+    /// token position (identical across tables — a shared prefix).
+    fn append_prefix(pool: &mut KvPool, t: &mut BlockTable, n: usize, dk: usize) {
+        for i in 0..n {
+            let row = vec![i as f32 + 0.25; dk];
+            if !pool.try_append(t, &row, &row) {
+                return; // Backpressure: the churn proptest exhausts the pool.
+            }
+            if t.tokens().is_multiple_of(pool.block_tokens()) {
+                pool.seal_last_block(t);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_prefixes_share_physical_blocks() {
+        let mut pool = KvPool::new(8, 2, 3);
+        let mut a = BlockTable::new();
+        let mut b = BlockTable::new();
+        append_prefix(&mut pool, &mut a, 4, 3);
+        assert_eq!(pool.dedup_hits(), 0);
+        append_prefix(&mut pool, &mut b, 4, 3);
+        // b's two blocks dedup onto a's: 2 physical, 4 logical.
+        assert_eq!(pool.dedup_hits(), 2);
+        assert_eq!(pool.used_blocks(), 2);
+        assert_eq!(pool.logical_used_blocks(), 4);
+        assert_eq!(a.sealed_blocks(), 2);
+        assert_eq!(b.sealed_blocks(), 2);
+        // Both tables read identical rows.
+        let ra: Vec<_> = pool.rows(&a).map(|(k, _)| k[0]).collect();
+        let rb: Vec<_> = pool.rows(&b).map(|(k, _)| k[0]).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn divergent_tokens_fork_into_private_blocks() {
+        let mut pool = KvPool::new(8, 2, 1);
+        let mut a = BlockTable::new();
+        let mut b = BlockTable::new();
+        append_prefix(&mut pool, &mut a, 2, 1);
+        append_prefix(&mut pool, &mut b, 2, 1);
+        assert_eq!(pool.used_blocks(), 1);
+        // Divergence: each request appends its own token past the prefix.
+        assert!(pool.try_append(&mut a, &[7.0], &[7.0]));
+        assert!(pool.try_append(&mut b, &[9.0], &[9.0]));
+        assert_eq!(pool.used_blocks(), 3, "forks are private");
+        let ka: Vec<_> = pool.rows(&a).map(|(k, _)| k[0]).collect();
+        let kb: Vec<_> = pool.rows(&b).map(|(k, _)| k[0]).collect();
+        assert_eq!(ka, vec![0.25, 1.25, 7.0]);
+        assert_eq!(kb, vec![0.25, 1.25, 9.0]);
+    }
+
+    #[test]
+    fn releasing_one_sharer_keeps_blocks_mapped_by_the_other() {
+        let mut pool = KvPool::new(4, 2, 1);
+        let mut a = BlockTable::new();
+        let mut b = BlockTable::new();
+        append_prefix(&mut pool, &mut a, 4, 1);
+        append_prefix(&mut pool, &mut b, 4, 1);
+        assert_eq!(pool.used_blocks(), 2);
+        pool.release(&mut a);
+        // b still maps both blocks; nothing returned to the free list.
+        assert_eq!(pool.used_blocks(), 2);
+        let kb: Vec<_> = pool.rows(&b).map(|(k, _)| k[0]).collect();
+        assert_eq!(kb, vec![0.25, 1.25, 2.25, 3.25]);
+        // A third request can still attach to the published prefix.
+        let mut c = BlockTable::new();
+        append_prefix(&mut pool, &mut c, 4, 1);
+        assert_eq!(pool.used_blocks(), 2);
+        pool.release(&mut b);
+        pool.release(&mut c);
+        assert_eq!(pool.used_blocks(), 0);
+        assert_eq!(pool.free_blocks(), 4);
+    }
+
+    #[test]
+    fn refzero_unpublishes_and_recycles_shared_blocks() {
+        let mut pool = KvPool::new(2, 2, 1);
+        let mut a = BlockTable::new();
+        append_prefix(&mut pool, &mut a, 2, 1);
+        pool.release(&mut a);
+        assert_eq!(pool.free_blocks(), 2);
+        // The prefix is gone from the index: a new identical prefix
+        // re-publishes (no stale hit onto freed storage).
+        let mut b = BlockTable::new();
+        append_prefix(&mut pool, &mut b, 2, 1);
+        assert_eq!(pool.dedup_hits(), 0);
+        assert_eq!(pool.rows(&b).count(), 2);
+    }
+
+    #[test]
+    fn grow_extends_capacity_without_touching_live_tables() {
+        let mut pool = KvPool::new(1, 2, 1);
+        let mut a = BlockTable::new();
+        assert!(pool.try_append(&mut a, &[1.0], &[1.0]));
+        let mut b = BlockTable::new();
+        assert!(!pool.try_append(&mut b, &[2.0], &[2.0]));
+        pool.grow(2);
+        assert_eq!(pool.total_blocks(), 3);
+        assert!(pool.try_append(&mut b, &[2.0], &[2.0]));
+        assert_eq!(pool.rows(&a).next().map(|(k, _)| k[0]), Some(1.0));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Free-list hardening (the invariant COW refcounting depends on):
+        /// any interleaving of appends, prefix seals, releases (preempt-by-
+        /// recompute uses this exact path), and confiscations keeps the
+        /// accounting exact — no double-free, no leaked blocks, and the
+        /// occupancy gauge returns to baseline once every table releases.
+        #[test]
+        fn pool_conserves_blocks_under_churn(
+            ops in proptest::collection::vec((0u8..4, 0usize..6, 0usize..40), 1..120),
+        ) {
+            let (blocks, bt, dk) = (12, 2, 2);
+            let mut pool = KvPool::new(blocks, bt, dk);
+            let mut tables: Vec<BlockTable> = (0..6).map(|_| BlockTable::new()).collect();
+            let mut confiscated = 0;
+            for (op, who, n) in ops {
+                let t = &mut tables[who];
+                match op {
+                    // Shared-prefix appends (deduplicable across tables).
+                    0 => append_prefix(&mut pool, t, n % 9, dk),
+                    // Private appends: rows keyed by table id diverge.
+                    1 => for i in 0..n % 9 {
+                        let row = vec![(who * 100 + i) as f32; dk];
+                        let _ = pool.try_append(t, &row, &row);
+                    },
+                    // Preempt-by-recompute: release, then later re-append.
+                    2 => pool.release(t),
+                    _ => confiscated += pool.confiscate(n % 3),
+                }
+                // Conservation at every step: free + used + quarantined
+                // covers the id space exactly.
+                prop_assert_eq!(
+                    pool.free_blocks() + pool.used_blocks(),
+                    blocks - confiscated
+                );
+                // Logical never undercounts physical.
+                prop_assert!(pool.logical_used_blocks() >= pool.used_blocks());
+                let mapped: usize = tables.iter().map(BlockTable::block_count).sum();
+                prop_assert_eq!(pool.logical_used_blocks(), mapped);
+            }
+            // Occupancy returns to baseline: releasing every table leaves
+            // zero used blocks and a full free list.
+            for t in &mut tables {
+                pool.release(t);
+            }
+            prop_assert_eq!(pool.used_blocks(), 0);
+            prop_assert_eq!(pool.logical_used_blocks(), 0);
+            prop_assert_eq!(pool.free_blocks(), blocks - confiscated);
+        }
+
+        /// Every table always reads back exactly the rows it appended,
+        /// regardless of how prefixes dedup across tables — token-identity
+        /// of the COW path at the storage layer.
+        #[test]
+        fn shared_and_private_rows_never_cross(
+            shared in 0usize..10,
+            div in proptest::collection::vec(0usize..7, 2..5),
+        ) {
+            let dk = 2;
+            let mut pool = KvPool::new(64, 2, dk);
+            let mut tables: Vec<BlockTable> = div.iter().map(|_| BlockTable::new()).collect();
+            for (who, (t, &extra)) in tables.iter_mut().zip(div.iter()).enumerate() {
+                append_prefix(&mut pool, t, shared, dk);
+                for i in 0..extra {
+                    let row = vec![(1000 + who * 10 + i) as f32; dk];
+                    prop_assert!(pool.try_append(t, &row, &row));
+                }
+            }
+            for (who, (t, &extra)) in tables.iter().zip(div.iter()).enumerate() {
+                let got: Vec<f32> = pool.rows(t).map(|(k, _)| k[0]).collect();
+                prop_assert_eq!(got.len(), shared + extra);
+                for (i, &x) in got.iter().enumerate() {
+                    let want = if i < shared {
+                        i as f32 + 0.25
+                    } else {
+                        (1000 + who * 10 + (i - shared)) as f32
+                    };
+                    prop_assert_eq!(x, want);
+                }
+            }
+        }
     }
 }

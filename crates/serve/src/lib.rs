@@ -12,9 +12,12 @@
 //!   accounted against the modeled memory hierarchy in `flat-arch`;
 //! * [`serve`] / [`EngineConfig`] — the continuous-batching engine:
 //!   iteration-level scheduling that mixes prefill chunks and decode
-//!   steps in every tick, FIFO admission with backpressure, and
-//!   preempt-by-recompute eviction under KV pressure, executing each
-//!   decode token through [`flat_kernels::decode_attention`];
+//!   steps in every tick, weighted-fair multi-tenant admission with
+//!   backpressure, priority-aware preempt-by-recompute eviction under KV
+//!   pressure, and optional copy-on-write prefix dedup
+//!   ([`EngineConfig::dedup`]) that shares identical prompt-prefix KV
+//!   blocks across requests, executing each decode token through
+//!   [`flat_kernels::decode_attention`];
 //! * [`ServeError`] / [`DropReason`] — the robustness layer: typed errors
 //!   instead of panics, admission-time rejection of provably unservable
 //!   requests, and deadline (SLO) shedding with per-reason drop counters;
@@ -74,12 +77,17 @@ mod metrics;
 mod request;
 mod workload;
 
-pub use dist::{serve_dist, serve_dist_traced, DistServeConfig, DistServeMetrics};
+pub use dist::{
+    serve_dist, serve_dist_elastic, serve_dist_traced, serve_dist_with_faults, DistServeConfig,
+    DistServeMetrics, ScaleEvent, ScaleEventRecord, ScalePlan,
+};
 pub use engine::{serve, serve_traced, serve_with_faults, serve_with_faults_traced, EngineConfig};
 pub use error::{DropReason, ServeError};
 pub use faults::{FaultInjector, FaultPlan};
 pub use flat_kernels::ComputePrecision;
 pub use kv::{BlockTable, KvLayout, KvPool};
-pub use metrics::{DropCounts, KvPoolStats, Percentiles, ServeMetrics};
+pub use metrics::{
+    DropCounts, KvPoolStats, Percentiles, ServeMetrics, TenantMetrics, WindowSample,
+};
 pub use request::{Phase, Request, RequestSpec};
-pub use workload::{task_by_name, WorkloadSpec};
+pub use workload::{merge_streams, task_by_name, WorkloadSpec};

@@ -108,6 +108,61 @@ pub struct KvPoolStats {
     pub mean_occupancy: f64,
     /// Peak fraction of the pool in use.
     pub peak_occupancy: f64,
+    /// Copy-on-write prefix-dedup hits: sealed blocks replaced by an
+    /// already-published identical block (0 with dedup off).
+    pub dedup_hits: u64,
+    /// High-water mark of *logical* blocks mapped across all tables —
+    /// what physical usage would have been without dedup. Equal to
+    /// `peak_used_blocks` when no block is ever shared.
+    pub peak_logical_blocks: usize,
+}
+
+/// Per-tenant accounting: how one tenant class fared over the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TenantMetrics {
+    /// Tenant class id.
+    pub tenant: u32,
+    /// Requests this tenant offered.
+    pub requests: usize,
+    /// Requests that ran to completion.
+    pub finished: usize,
+    /// Requests shed with a typed reason.
+    pub dropped: usize,
+    /// Shed requests by reason.
+    pub drops: DropCounts,
+    /// Output tokens generated for this tenant.
+    pub decode_tokens: u64,
+    /// Output tokens of this tenant's deadline-meeting finishes.
+    pub good_tokens: u64,
+    /// Fraction of this tenant's finishes that met their deadline
+    /// (vacuously 1.0 for deadline-free finishes; 0.0 with no finishes).
+    pub slo_attainment: f64,
+    /// This tenant's share of all time-weighted KV block usage
+    /// (block·ms), normalized over tenants — occupancy attribution.
+    pub kv_share: f64,
+}
+
+/// One fixed-width slice of a sustained-load run's trajectory: what the
+/// engine finished, dropped, and occupied between consecutive window
+/// boundaries of the virtual clock. Emitted when
+/// [`EngineConfig::window_ms`](crate::EngineConfig::window_ms) is set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WindowSample {
+    /// Window end on the engine's virtual clock.
+    pub end_ms: f64,
+    /// Requests finished inside the window.
+    pub finished: usize,
+    /// Requests dropped inside the window.
+    pub dropped: usize,
+    /// Output tokens generated inside the window.
+    pub decode_tokens: u64,
+    /// Deadline-meeting output tokens per second over the window.
+    pub goodput_tokens_per_s: f64,
+    /// Time-weighted mean KV-pool occupancy over the window, in [0, 1].
+    pub kv_occupancy: f64,
+    /// Chip count in effect at the window's close (tracks elastic
+    /// scaling).
+    pub chips: usize,
 }
 
 /// The full metrics report of one serving run.
@@ -147,10 +202,69 @@ pub struct ServeMetrics {
     pub e2e: Percentiles,
     /// KV-pool pressure.
     pub kv: KvPoolStats,
+    /// Per-tenant accounting, tenant-id-sorted. A single-tenant run
+    /// reports exactly one entry for tenant 0.
+    pub tenants: Vec<TenantMetrics>,
+    /// Goodput/occupancy trajectory in fixed virtual-time windows; empty
+    /// unless the run sampled windows.
+    pub windows: Vec<WindowSample>,
     /// Sum of every request's final attention output — the numeric
     /// plane's fingerprint. Two runs agree on this iff they executed the
     /// same tokens through the same kernels in the same order.
     pub checksum: f64,
+}
+
+/// Groups per-request outcomes by tenant class, tenant-id-sorted, and
+/// attributes the time-weighted KV usage shares.
+fn collate_tenants(
+    finished: &[Request],
+    dropped: &[Request],
+    tenant_block_ms: &[(u32, f64)],
+) -> Vec<TenantMetrics> {
+    use std::collections::BTreeMap;
+    let mut by: BTreeMap<u32, TenantMetrics> = BTreeMap::new();
+    fn entry(by: &mut BTreeMap<u32, TenantMetrics>, t: u32) -> &mut TenantMetrics {
+        by.entry(t).or_insert_with(|| TenantMetrics {
+            tenant: t,
+            ..TenantMetrics::default()
+        })
+    }
+    let mut met: BTreeMap<u32, usize> = BTreeMap::new();
+    for r in finished {
+        let m = entry(&mut by, r.spec.tenant);
+        m.requests += 1;
+        m.finished += 1;
+        m.decode_tokens += r.generated as u64;
+        if r.met_deadline() {
+            m.good_tokens += r.generated as u64;
+            *met.entry(r.spec.tenant).or_insert(0) += 1;
+        }
+    }
+    for r in dropped {
+        let m = entry(&mut by, r.spec.tenant);
+        m.requests += 1;
+        m.dropped += 1;
+        if let Some(reason) = r.drop_reason {
+            m.drops.count(reason);
+        }
+    }
+    let total_ms: f64 = tenant_block_ms.iter().map(|&(_, ms)| ms.max(0.0)).sum();
+    for &(t, ms) in tenant_block_ms {
+        let m = entry(&mut by, t);
+        m.kv_share = if total_ms > 0.0 {
+            (ms.max(0.0) / total_ms).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+    }
+    for (t, m) in &mut by {
+        m.slo_attainment = if m.finished > 0 {
+            met.get(t).copied().unwrap_or(0) as f64 / m.finished as f64
+        } else {
+            0.0
+        };
+    }
+    by.into_values().collect()
 }
 
 /// `x / (ms/1e3)` with every degenerate case (zero, negative, NaN,
@@ -170,7 +284,11 @@ fn per_second(count: f64, makespan_ms: f64) -> f64 {
 
 impl ServeMetrics {
     /// Collates finished and dropped requests into the report.
+    /// `tenant_block_ms` attributes time-weighted KV usage to tenants
+    /// (pairs of tenant id and block·ms); `windows` is the sampled
+    /// trajectory (empty for unwindowed runs).
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn collate(
         finished: &[Request],
         dropped: &[Request],
@@ -178,6 +296,8 @@ impl ServeMetrics {
         makespan_ms: f64,
         ticks: u64,
         prefill_tokens: u64,
+        tenant_block_ms: &[(u32, f64)],
+        windows: Vec<WindowSample>,
     ) -> Self {
         let done = finished.iter().filter(|r| r.finish_ms.is_some()).count();
         let decode_tokens: u64 = finished.iter().map(|r| r.generated as u64).sum();
@@ -192,6 +312,7 @@ impl ServeMetrics {
                 drops.count(reason);
             }
         }
+        let tenants = collate_tenants(finished, dropped, tenant_block_ms);
         let collect = |f: &dyn Fn(&Request) -> Option<f64>| -> Vec<f64> {
             finished.iter().filter_map(f).collect()
         };
@@ -211,6 +332,8 @@ impl ServeMetrics {
             tpot: Percentiles::of(collect(&Request::tpot_ms)),
             e2e: Percentiles::of(collect(&Request::e2e_ms)),
             kv,
+            tenants,
+            windows,
             checksum: finished
                 .iter()
                 .flat_map(|r| &r.last_out)
@@ -452,12 +575,57 @@ mod tests {
             peak_used_blocks: 6,
             mean_occupancy: 0.5,
             peak_occupancy: 0.75,
+            dedup_hits: 0,
+            peak_logical_blocks: 6,
         };
-        let m = ServeMetrics::collate(&[], &[], kv, 100.0, 10, 0);
+        let m = ServeMetrics::collate(&[], &[], kv, 100.0, 10, 0, &[], Vec::new());
         let json = m.to_json();
         assert!(json.contains("\"decode_tokens_per_s\""));
         assert!(json.contains("\"goodput_tokens_per_s\""));
         assert!(json.contains("\"drops\""));
         assert!(json.contains("\"peak_used_blocks\": 6"));
+        assert!(json.contains("\"dedup_hits\""));
+        assert!(json.contains("\"tenants\""));
+        assert!(json.contains("\"windows\""));
+    }
+
+    #[test]
+    fn tenant_collation_groups_and_attributes_shares() {
+        use crate::request::{Request, RequestSpec};
+        let mk = |id: usize, tenant: u32, generated: usize, finish: Option<f64>| {
+            let mut r = Request::new(RequestSpec {
+                tenant,
+                ..RequestSpec::new(id, 0.0, 4, generated.max(1))
+            });
+            r.generated = generated;
+            r.finish_ms = finish;
+            r
+        };
+        let finished = vec![
+            mk(0, 0, 5, Some(10.0)),
+            mk(1, 1, 7, Some(20.0)),
+            mk(2, 1, 3, Some(30.0)),
+        ];
+        let mut late = mk(3, 1, 2, None);
+        late.mark_dropped(DropReason::DeadlineExceeded, 5.0);
+        let dropped = vec![late];
+        let tenants = collate_tenants(&finished, &dropped, &[(0, 25.0), (1, 75.0)]);
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(
+            (tenants[0].tenant, tenants[0].finished, tenants[0].dropped),
+            (0, 1, 0)
+        );
+        assert_eq!(
+            (tenants[1].tenant, tenants[1].finished, tenants[1].dropped),
+            (1, 2, 1)
+        );
+        assert_eq!(tenants[1].drops.deadline, 1);
+        assert_eq!(tenants[1].decode_tokens, 10);
+        assert!((tenants[0].kv_share - 0.25).abs() < 1e-12);
+        assert!((tenants[1].kv_share - 0.75).abs() < 1e-12);
+        assert_eq!(
+            tenants[0].slo_attainment, 1.0,
+            "no deadline is vacuously met"
+        );
     }
 }

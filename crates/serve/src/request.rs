@@ -19,11 +19,29 @@ pub struct RequestSpec {
     /// still queued past this instant, the request is shed with
     /// [`DropReason::DeadlineExceeded`]. `None` means no deadline.
     pub deadline_ms: Option<f64>,
+    /// Tenant class the request bills to (0 = the default tenant).
+    pub tenant: u32,
+    /// Scheduling priority class: higher values are evicted *last* under
+    /// KV pressure. Requests of equal priority fall back to arrival order.
+    pub priority: u8,
+    /// Weighted-fair-admission weight of this request's tenant, in
+    /// milli-units (1000 = weight 1.0). Zero is clamped to 1 by the
+    /// scheduler rather than rejected.
+    pub weight_milli: u32,
+    /// Prefix-template id: requests carrying the same template id share
+    /// their first [`prefix_len`](Self::prefix_len) prompt tokens
+    /// verbatim (system prompt / few-shot preamble), which the engine's
+    /// copy-on-write KV pool dedups at block granularity. `None` means a
+    /// fully private prompt.
+    pub prefix_template: Option<u64>,
+    /// Shared-prefix length in tokens (meaningful only with a template;
+    /// clamped to the prompt length).
+    pub prefix_len: usize,
 }
 
 impl RequestSpec {
-    /// A spec with no deadline — the common case for tests and synthetic
-    /// workloads without an SLO.
+    /// A spec with no deadline, default tenant/priority, and no shared
+    /// prefix — the common case for tests and synthetic workloads.
     #[must_use]
     pub fn new(id: usize, arrival_ms: f64, prompt_len: usize, output_len: usize) -> Self {
         RequestSpec {
@@ -32,6 +50,22 @@ impl RequestSpec {
             prompt_len,
             output_len,
             deadline_ms: None,
+            tenant: 0,
+            priority: 0,
+            weight_milli: 1000,
+            prefix_template: None,
+            prefix_len: 0,
+        }
+    }
+
+    /// Tokens at the head of the prompt drawn from the shared template:
+    /// zero without a template, never longer than the prompt itself.
+    #[must_use]
+    pub fn shared_prefix_len(&self) -> usize {
+        if self.prefix_template.is_some() {
+            self.prefix_len.min(self.prompt_len)
+        } else {
+            0
         }
     }
 

@@ -41,6 +41,41 @@ pub struct WorkloadSpec {
     /// many milliseconds. `None` (the default) generates deadline-free
     /// requests.
     pub slo_ms: Option<f64>,
+    /// Tenant class stamped on every generated request. One
+    /// `WorkloadSpec` describes one tenant's stream; merge several with
+    /// [`merge_streams`] for a multi-tenant offered load.
+    pub tenant: u32,
+    /// Priority class stamped on every generated request (higher survives
+    /// preemption longer).
+    pub priority: u8,
+    /// Weighted-fair-admission weight in milli-units (1000 = 1.0).
+    pub weight_milli: u32,
+    /// Shared prefix template id: when set, every generated request
+    /// carries it together with [`prefix_tokens`](Self::prefix_tokens)
+    /// shared leading prompt tokens.
+    pub prefix_template: Option<u64>,
+    /// Shared-prefix length in tokens (clamped per request to its prompt
+    /// length).
+    pub prefix_tokens: usize,
+}
+
+impl Default for WorkloadSpec {
+    /// A single-request, single-tenant placeholder meant for `..` update
+    /// syntax; override the traffic knobs before use.
+    fn default() -> Self {
+        WorkloadSpec {
+            requests: 1,
+            arrival_rate_per_s: 1.0,
+            prompt_mean: 1,
+            output_mean: 1,
+            slo_ms: None,
+            tenant: 0,
+            priority: 0,
+            weight_milli: 1000,
+            prefix_template: None,
+            prefix_tokens: 0,
+        }
+    }
 }
 
 impl WorkloadSpec {
@@ -56,7 +91,7 @@ impl WorkloadSpec {
             arrival_rate_per_s,
             prompt_mean,
             output_mean: (prompt_mean / 8).max(1),
-            slo_ms: None,
+            ..WorkloadSpec::default()
         }
     }
 
@@ -79,6 +114,9 @@ impl WorkloadSpec {
         if self.slo_ms.is_some_and(|s| !(s > 0.0 && s.is_finite())) {
             return bad("slo must be positive and finite when set");
         }
+        if self.weight_milli == 0 {
+            return bad("tenant weight must be positive");
+        }
         Ok(())
     }
 
@@ -97,16 +135,41 @@ impl WorkloadSpec {
                 // Exponential gap: -ln(1-u)/λ, u ∈ [0,1) so 1-u ∈ (0,1].
                 let u: f64 = rng.gen();
                 now_ms += -(1.0 - u).ln() / self.arrival_rate_per_s * 1e3;
+                let prompt_len = uniform_about(self.prompt_mean, &mut rng);
                 RequestSpec {
                     id,
                     arrival_ms: now_ms,
-                    prompt_len: uniform_about(self.prompt_mean, &mut rng),
+                    prompt_len,
                     output_len: uniform_about(self.output_mean, &mut rng),
                     deadline_ms: self.slo_ms.map(|slo| now_ms + slo),
+                    tenant: self.tenant,
+                    priority: self.priority,
+                    weight_milli: self.weight_milli,
+                    prefix_template: self.prefix_template,
+                    prefix_len: self.prefix_tokens.min(prompt_len),
                 }
             })
             .collect())
     }
+}
+
+/// Interleaves several per-tenant request streams into one offered load:
+/// merged by arrival time (ties broken by tenant, then original id) and
+/// re-numbered with globally unique, arrival-ordered ids — the form the
+/// engine's scheduler expects. Deterministic for deterministic inputs.
+#[must_use]
+pub fn merge_streams(streams: Vec<Vec<RequestSpec>>) -> Vec<RequestSpec> {
+    let mut all: Vec<RequestSpec> = streams.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        a.arrival_ms
+            .total_cmp(&b.arrival_ms)
+            .then(a.tenant.cmp(&b.tenant))
+            .then(a.id.cmp(&b.id))
+    });
+    for (id, r) in all.iter_mut().enumerate() {
+        r.id = id;
+    }
+    all
 }
 
 /// Uniform in `[mean/2, 3·mean/2]`, at least 1.
@@ -144,7 +207,7 @@ mod tests {
             arrival_rate_per_s: 50.0,
             prompt_mean: 64,
             output_mean: 8,
-            slo_ms: None,
+            ..WorkloadSpec::default()
         }
     }
 
@@ -162,7 +225,7 @@ mod tests {
             arrival_rate_per_s: 10.0,
             prompt_mean: 100,
             output_mean: 10,
-            slo_ms: None,
+            ..WorkloadSpec::default()
         };
         for r in spec.generate(1).unwrap() {
             assert!((50..=150).contains(&r.prompt_len));
@@ -179,7 +242,7 @@ mod tests {
             arrival_rate_per_s: 1000.0,
             prompt_mean: 8,
             output_mean: 2,
-            slo_ms: None,
+            ..WorkloadSpec::default()
         };
         let slow = WorkloadSpec {
             arrival_rate_per_s: 10.0,
@@ -235,6 +298,10 @@ mod tests {
                 slo_ms: Some(f64::INFINITY),
                 ..base()
             },
+            WorkloadSpec {
+                weight_milli: 0,
+                ..base()
+            },
         ];
         for spec in cases {
             let err = spec.generate(1).unwrap_err();
@@ -258,6 +325,51 @@ mod tests {
             assert_eq!(task_by_name(name).unwrap(), t);
         }
         assert!(task_by_name("chatbot").is_err());
+    }
+
+    #[test]
+    fn tenant_and_prefix_fields_are_stamped() {
+        let spec = WorkloadSpec {
+            tenant: 3,
+            priority: 2,
+            weight_milli: 2500,
+            prefix_template: Some(77),
+            prefix_tokens: 48,
+            ..base()
+        };
+        for r in spec.generate(5).unwrap() {
+            assert_eq!((r.tenant, r.priority, r.weight_milli), (3, 2, 2500));
+            assert_eq!(r.prefix_template, Some(77));
+            assert!(r.prefix_len <= r.prompt_len);
+            assert_eq!(r.prefix_len, 48.min(r.prompt_len));
+            assert_eq!(r.shared_prefix_len(), r.prefix_len);
+        }
+    }
+
+    #[test]
+    fn merged_streams_are_arrival_sorted_with_unique_ids() {
+        let a = WorkloadSpec {
+            tenant: 0,
+            ..base()
+        };
+        let b = WorkloadSpec {
+            tenant: 1,
+            arrival_rate_per_s: 80.0,
+            ..base()
+        };
+        let merged = merge_streams(vec![a.generate(1).unwrap(), b.generate(2).unwrap()]);
+        assert_eq!(merged.len(), 64);
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        for (i, r) in merged.iter().enumerate() {
+            assert_eq!(r.id, i);
+        }
+        assert!(merged.iter().any(|r| r.tenant == 0));
+        assert!(merged.iter().any(|r| r.tenant == 1));
+        // Deterministic: same inputs, same merge.
+        let again = merge_streams(vec![a.generate(1).unwrap(), b.generate(2).unwrap()]);
+        assert_eq!(merged, again);
     }
 
     #[test]

@@ -182,6 +182,137 @@ fn chaos_faulted_runs_are_deterministic_in_seed() {
 }
 
 #[test]
+fn chaos_distributed_conserves_requests() {
+    // The conservation audit on the *distributed* path: under full
+    // chaos, at several cluster sizes, every offered request must be
+    // finished or dropped exactly once, with per-reason counters that
+    // add up — same contract the single-chip suite holds.
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    for chips in [1usize, 2, 4] {
+        for seed in [0x11u64, 0x22, 0x33] {
+            let plan = FaultPlan::chaos(seed);
+            let mut wl = workload(32, seed, Some(50.0));
+            plan.corrupt_workload(&mut wl);
+            let mut cfg = EngineConfig::for_platform(&accel, &model, seed);
+            cfg.kv_budget = Bytes::from_mib(8);
+            cfg.max_batch = 6;
+            let dist = flat_serve::DistServeConfig::new(chips, flat_dist::Topology::Ring);
+            let m =
+                flat_serve::serve_dist_with_faults(&accel, &model, &wl, &cfg, &dist, Some(plan))
+                    .unwrap_or_else(|e| {
+                        panic!("chips={chips} seed={seed}: must terminate, got {e}")
+                    });
+            let s = &m.serve;
+            assert_eq!(s.requests, wl.len(), "chips={chips} seed={seed}: offered");
+            assert_eq!(
+                s.finished + s.dropped,
+                s.requests,
+                "chips={chips} seed={seed}: finished + dropped == offered"
+            );
+            assert_eq!(
+                s.drops.total(),
+                s.dropped as u64,
+                "chips={chips} seed={seed}: reasons cover every drop"
+            );
+            assert_eq!(
+                s.drops.infeasible + s.drops.deadline + s.drops.corrupt,
+                s.drops.total(),
+                "chips={chips} seed={seed}: no unaccounted reason"
+            );
+            // Per-tenant books must agree with the global books.
+            let t_fin: usize = s.tenants.iter().map(|t| t.finished).sum();
+            let t_drop: usize = s.tenants.iter().map(|t| t.dropped).sum();
+            assert_eq!(t_fin, s.finished, "chips={chips} seed={seed}");
+            assert_eq!(t_drop, s.dropped, "chips={chips} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn chaos_distributed_elastic_conserves_requests() {
+    // Chaos plus mid-run resizes: scale-down confiscation preempts and
+    // re-queues, but must never lose or double-count a request.
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    for seed in [0x44u64, 0x55] {
+        let plan = FaultPlan::chaos(seed);
+        let mut wl = workload(32, seed, Some(50.0));
+        plan.corrupt_workload(&mut wl);
+        let mut cfg = EngineConfig::for_platform(&accel, &model, seed);
+        cfg.kv_budget = Bytes::from_mib(8);
+        cfg.max_batch = 6;
+        cfg.window_ms = Some(5.0);
+        let dist = flat_serve::DistServeConfig::new(2, flat_dist::Topology::Ring);
+        let scale = flat_serve::ScalePlan::new(&[(2.0, 4), (20.0, 1)]);
+        let mut sink = flat_telemetry::NoopSink;
+        let m = flat_serve::serve_dist_elastic(
+            &accel,
+            &model,
+            &wl,
+            &cfg,
+            &dist,
+            &scale,
+            Some(plan),
+            &mut sink,
+        )
+        .unwrap_or_else(|e| panic!("seed={seed}: must terminate, got {e}"));
+        let s = &m.serve;
+        assert_eq!(s.finished + s.dropped, s.requests, "seed={seed}");
+        assert_eq!(s.drops.total(), s.dropped as u64, "seed={seed}");
+        let b = flat_serve::serve_dist_elastic(
+            &accel,
+            &model,
+            &wl,
+            &cfg,
+            &dist,
+            &scale,
+            Some(plan),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(m.to_json(), b.to_json(), "seed={seed}: deterministic");
+    }
+}
+
+#[test]
+fn tied_arrivals_and_deadlines_break_deterministically() {
+    // Several requests with *identical* arrival instants and deadlines:
+    // admission order and preemption-victim choice must fall back to
+    // stable tie-breaks (tenant, then id) — never map/hash order — so
+    // the same seed always produces the same run.
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    let wl: Vec<flat_serve::RequestSpec> = (0..8)
+        .map(|id| {
+            let mut r = flat_serve::RequestSpec::new(id, 0.0, 40, 8);
+            r.deadline_ms = Some(60.0);
+            r.tenant = (id % 2) as u32;
+            r
+        })
+        .collect();
+    let mut cfg = EngineConfig::for_platform(&accel, &model, 7);
+    // Tight enough that admission is rationed and eviction happens, so
+    // the tie-break actually decides who runs and who is preempted.
+    cfg.kv_budget = Bytes::from_mib(4);
+    cfg.max_batch = 3;
+    let a = flat_serve::serve(&accel, &model, &wl, &cfg).unwrap();
+    let b = flat_serve::serve(&accel, &model, &wl, &cfg).unwrap();
+    assert_eq!(a.to_json(), b.to_json(), "tied requests, stable order");
+    assert_eq!(a.finished + a.dropped, a.requests);
+    // The same stream reversed must converge to the same books: the
+    // scheduler keys on (arrival, tenant, id), not on input position.
+    let mut rev = wl.clone();
+    rev.reverse();
+    let c = flat_serve::serve(&accel, &model, &rev, &cfg).unwrap();
+    assert_eq!(
+        a.to_json(),
+        c.to_json(),
+        "input order must not leak into tie-breaking"
+    );
+}
+
+#[test]
 fn faults_disabled_matches_plain_serve() {
     let model = Model::by_name("bert").unwrap();
     let accel = Accelerator::edge();

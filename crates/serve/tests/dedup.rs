@@ -1,0 +1,198 @@
+//! Prefix-dedup contract suite.
+//!
+//! The copy-on-write KV pool is a *capacity* optimization and nothing
+//! else: with enough KV budget that the scheduler never feels pressure,
+//! a dedup-on run must be indistinguishable from a dedup-off run of the
+//! same workload and seed — token-identical outputs (the decode
+//! checksum), identical per-request latency percentiles, identical
+//! admission order and tick costs. What dedup IS allowed to change is
+//! physical block usage, and under pressure that freed capacity may buy
+//! more finished requests. Both sides of the contract are pinned here.
+
+use flat_arch::Accelerator;
+use flat_serve::{serve, EngineConfig, ServeMetrics, WorkloadSpec};
+use flat_tensor::Bytes;
+use flat_workloads::{Model, Task};
+
+/// A workload where many concurrent requests share a long prompt
+/// prefix: `requests` arrivals at `rate` req/s, `prefix` shared tokens
+/// out of a `prompt`-token prompt.
+fn shared_prefix_workload(
+    requests: usize,
+    rate: f64,
+    prompt: usize,
+    prefix: usize,
+    seed: u64,
+) -> Vec<flat_serve::RequestSpec> {
+    let mut spec = WorkloadSpec::from_task(Task::ShortNlp, requests, rate);
+    spec.prompt_mean = prompt;
+    spec.output_mean = 4;
+    spec.prefix_template = Some(0xCAFE);
+    spec.prefix_tokens = prefix;
+    spec.generate(seed).expect("spec is valid")
+}
+
+fn run(workload: &[flat_serve::RequestSpec], dedup: bool, kv_mib: u64, seed: u64) -> ServeMetrics {
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    let mut cfg = EngineConfig::for_platform(&accel, &model, seed);
+    cfg.kv_budget = Bytes::from_mib(kv_mib);
+    cfg.dedup = dedup;
+    serve(&accel, &model, workload, &cfg).expect("engine terminates")
+}
+
+/// Asserts the two runs agree on everything the user can observe per
+/// request; only the KV-pool accounting is allowed to differ.
+fn assert_equivalent(on: &ServeMetrics, off: &ServeMetrics) {
+    assert_eq!(on.checksum, off.checksum, "token-identical outputs");
+    assert_eq!(on.finished, off.finished);
+    assert_eq!(on.dropped, off.dropped);
+    assert_eq!(on.drops.total(), off.drops.total());
+    assert_eq!(on.ticks, off.ticks, "identical tick schedule");
+    assert_eq!(on.preemptions, off.preemptions);
+    assert_eq!(on.makespan_ms, off.makespan_ms, "identical virtual clock");
+    for (name, a, b) in [
+        ("ttft", &on.ttft, &off.ttft),
+        ("tpot", &on.tpot, &off.tpot),
+        ("e2e", &on.e2e, &off.e2e),
+    ] {
+        assert_eq!(a.p50_ms, b.p50_ms, "{name} p50");
+        assert_eq!(a.p95_ms, b.p95_ms, "{name} p95");
+        assert_eq!(a.p99_ms, b.p99_ms, "{name} p99");
+        assert_eq!(a.max_ms, b.max_ms, "{name} max");
+    }
+    let (mut ja, mut jb) = (
+        serde_json::from_str::<serde_json::Value>(&on.to_json()).unwrap(),
+        serde_json::from_str::<serde_json::Value>(&off.to_json()).unwrap(),
+    );
+    // The KV-pool stats are the one legitimate difference.
+    ja["kv"] = serde_json::Value::Null;
+    jb["kv"] = serde_json::Value::Null;
+    assert_eq!(ja, jb, "all non-KV metrics identical");
+}
+
+#[test]
+fn dedup_is_token_identical_with_ample_capacity() {
+    // 32 concurrent-ish requests sharing a 64-token prefix; the budget
+    // is ample so admission never backpressures and the runs must match
+    // on every observable except pool accounting.
+    let wl = shared_prefix_workload(32, 2000.0, 96, 64, 0xD1);
+    let on = run(&wl, true, 256, 0xD1);
+    let off = run(&wl, false, 256, 0xD1);
+    assert_equivalent(&on, &off);
+    // And dedup must have actually engaged, sharing physical blocks.
+    assert!(on.kv.dedup_hits > 0, "shared prefixes were deduped");
+    assert_eq!(off.kv.dedup_hits, 0, "dedup-off never dedups");
+    assert!(
+        on.kv.peak_occupancy < off.kv.peak_occupancy,
+        "dedup peaks lower: {} vs {}",
+        on.kv.peak_occupancy,
+        off.kv.peak_occupancy
+    );
+    assert!(
+        on.kv.peak_logical_blocks as f64 * 0.6 >= on.kv.peak_occupancy * on.kv.total_blocks as f64,
+        "a 2/3-shared prompt must cut physical blocks well below logical"
+    );
+}
+
+#[test]
+fn dedup_equivalence_holds_across_seeds_and_shapes() {
+    for (seed, requests, prompt, prefix) in [
+        (1u64, 8usize, 40usize, 32usize),
+        (2, 16, 64, 48),
+        (3, 24, 80, 16),
+        (4, 12, 33, 33), // prefix == prompt: fully shared
+        (5, 10, 48, 0),  // no shared prefix: dedup is a no-op
+    ] {
+        let wl = shared_prefix_workload(requests, 1000.0, prompt, prefix, seed);
+        let on = run(&wl, true, 256, seed);
+        let off = run(&wl, false, 256, seed);
+        assert_equivalent(&on, &off);
+    }
+}
+
+#[test]
+fn dedup_buys_capacity_under_kv_pressure() {
+    // A tight pool against heavy prefix sharing: dedup-on must either
+    // finish strictly more requests or, if both finish everything, use
+    // at most half the physical blocks at peak.
+    let wl = shared_prefix_workload(32, 4000.0, 112, 96, 0xCA);
+    let on = run(&wl, true, 24, 0xCA);
+    let off = run(&wl, false, 24, 0xCA);
+    assert!(on.finished >= off.finished, "dedup never serves less");
+    assert!(
+        on.preemptions < off.preemptions || on.makespan_ms < off.makespan_ms,
+        "freed capacity must show up as less thrash or a shorter run: \
+         on ({} preempt, {:.1} ms) vs off ({} preempt, {:.1} ms)",
+        on.preemptions,
+        on.makespan_ms,
+        off.preemptions,
+        off.makespan_ms
+    );
+    // The headline capacity claim, measured without the 1.0 saturation
+    // ceiling: with ample budget the same workload peaks at ≤ half the
+    // physical blocks when 96 of 112 prompt tokens are shared.
+    let on_ample = run(&wl, true, 256, 0xCA);
+    let off_ample = run(&wl, false, 256, 0xCA);
+    let physical = |m: &ServeMetrics| m.kv.peak_occupancy * m.kv.total_blocks as f64;
+    assert!(
+        physical(&on_ample) * 2.0 <= physical(&off_ample),
+        "≥2x fewer physical blocks per request: {} vs {}",
+        physical(&on_ample),
+        physical(&off_ample)
+    );
+}
+
+#[test]
+fn preempting_a_sharer_never_corrupts_survivors() {
+    // Tight pool + long outputs force preempt-by-recompute while prefix
+    // blocks are shared. Evicting one sharer must not free blocks the
+    // survivors still map: the run terminates, conserves requests, and
+    // stays deterministic.
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    let mut spec = WorkloadSpec::from_task(Task::ShortNlp, 24, 3000.0);
+    spec.prompt_mean = 64;
+    spec.output_mean = 24;
+    spec.prefix_template = Some(0xBEEF);
+    spec.prefix_tokens = 48;
+    let wl = spec.generate(0xEE).unwrap();
+    let mut cfg = EngineConfig::for_platform(&accel, &model, 0xEE);
+    cfg.kv_budget = Bytes::from_mib(8);
+    cfg.max_batch = 8;
+    cfg.dedup = true;
+    let m = serve(&accel, &model, &wl, &cfg).expect("terminates under pressure");
+    assert!(m.preemptions > 0, "the pool must be tight enough to evict");
+    assert!(m.kv.dedup_hits > 0, "prefixes were shared when evicting");
+    assert_eq!(m.finished + m.dropped, m.requests, "conservation");
+    let again = serve(&accel, &model, &wl, &cfg).unwrap();
+    assert_eq!(m.to_json(), again.to_json(), "deterministic under churn");
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Randomized equivalence: any prefix-sharing workload served
+        /// with ample KV budget produces byte-identical non-KV metrics
+        /// with dedup on and off.
+        #[test]
+        fn dedup_never_changes_tokens(
+            seed in 0u64..512,
+            requests in 4usize..14,
+            prompt in 8usize..48,
+            prefix_frac in 0usize..=4,
+        ) {
+            let prefix = prompt * prefix_frac / 4;
+            let wl = shared_prefix_workload(requests, 1500.0, prompt, prefix, seed);
+            let on = run(&wl, true, 128, seed);
+            let off = run(&wl, false, 128, seed);
+            prop_assert_eq!(on.checksum, off.checksum);
+            prop_assert_eq!(on.finished, off.finished);
+            prop_assert_eq!(on.ticks, off.ticks);
+            prop_assert_eq!(on.makespan_ms, off.makespan_ms);
+            prop_assert_eq!(on.e2e.p99_ms, off.e2e.p99_ms);
+        }
+    }
+}

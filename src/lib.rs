@@ -25,6 +25,9 @@
 //! * [`telemetry`] — the unified observability layer: trace spans and
 //!   counters behind a `TraceSink`, Chrome/Perfetto trace export, and
 //!   Prometheus-style text exposition.
+//! * [`fleet`] — the sustained-load fleet harness: diurnal multi-tenant
+//!   traffic with prefix-template libraries, driven through the serving
+//!   runtime with windowed trajectories and elastic cluster resizes.
 
 #![forbid(unsafe_code)]
 
@@ -33,6 +36,7 @@ pub use flat_core as core;
 pub use flat_desim as desim;
 pub use flat_dist as dist;
 pub use flat_dse as dse;
+pub use flat_fleet as fleet;
 pub use flat_gpu as gpu;
 pub use flat_kernels as kernels;
 pub use flat_serve as serve;
