@@ -45,6 +45,15 @@ USAGE:
              [--algo ring|hd|bucket|all] [--overlap] [--link-gbps N] [--link-us N]
              [--seed N] [--json]
              [--requests N --trace FILE ...]   # serve a request stream on the cluster instead
+  flat insight attr TRACE.json [--json] [--metrics FILE]
+             # critical-path attribution: decompose per-request latency into
+             # queued/prefill/recompute/decode/collective-exposed/other phases
+  flat insight diff A.json B.json [--json]
+             # align two traced runs by request id, attribute the latency
+             # delta to phases and drop-reason shifts
+  flat insight bench [--dir DIR] [--current FILE] [--check] [--json]
+             # bench observatory over BENCH_PR*.json history; --check gates
+             # the newest (or --current) snapshot and exits nonzero on regression
   flat run   --config experiments.json [--out results.json]
 
 COMMON OPTIONS:
@@ -1100,7 +1109,259 @@ pub fn fleet(args: &Args) -> Result<(), String> {
             .fold(0.0f64, f64::max),
         s.windows.last().map_or(0.0, |w| w.goodput_tokens_per_s)
     );
+    if !args.flag("no-insight") && !m.findings.is_empty() {
+        println!();
+        println!(
+            "insight:     {} finding(s), top {}:",
+            m.findings.len(),
+            m.findings.len().min(3)
+        );
+        for f in m.findings.iter().take(3) {
+            println!(
+                "  [{}] {} @{:.1}..{:.1} ms ({} windows): {}",
+                f.severity, f.kind, f.start_ms, f.end_ms, f.windows, f.detail
+            );
+        }
+    }
     Ok(())
+}
+
+/// Positional operands of the `insight` subcommand: the raw argv tail
+/// minus `--key value` / `--flag` tokens, mirroring
+/// [`Args::parse_from`]'s consumption rule (a `--key` eats the next
+/// token iff that token does not itself start with `--`).
+fn positionals(raw: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i].starts_with("--") {
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else {
+            out.push(raw[i].as_str());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Reads and attributes one Chrome trace document.
+fn load_attribution(path: &str) -> Result<flat_insight::Attribution, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    flat_insight::Attribution::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Prints one phase row of the attribution table.
+fn phase_row(name: &str, stat: &flat_insight::PhaseStat, e2e_total: f64) {
+    let share = if e2e_total > 0.0 {
+        100.0 * stat.total_ms / e2e_total
+    } else {
+        0.0
+    };
+    println!(
+        "  {:<18} {:>12.3} {:>7.1}% {:>10.3} {:>10.3} {:>10.3}",
+        name, stat.total_ms, share, stat.dist.p50_ms, stat.dist.p95_ms, stat.dist.p99_ms
+    );
+}
+
+/// `flat insight attr` — critical-path attribution of one traced run.
+fn insight_attr(path: &str, args: &Args) -> Result<(), String> {
+    let a = load_attribution(path)?;
+    let metrics_path = args.get("metrics", "");
+    if !metrics_path.is_empty() {
+        std::fs::write(&metrics_path, a.registry().prometheus())
+            .map_err(|e| format!("{metrics_path}: {e}"))?;
+        eprintln!("wrote Prometheus metrics to {metrics_path}");
+    }
+    if args.flag("json") {
+        println!("{}", a.to_json());
+        return Ok(());
+    }
+    println!(
+        "requests:    {} ({} finished, {} dropped), makespan {:.1} ms, {} preemptions",
+        a.requests, a.finished, a.dropped, a.makespan_ms, a.preemptions
+    );
+    for d in &a.drop_reasons {
+        println!("  dropped {:>5}: {}", d.count, d.reason);
+    }
+    println!();
+    println!(
+        "  {:<18} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "phase", "total_ms", "share", "p50_ms", "p95_ms", "p99_ms"
+    );
+    let e2e_total = a.phases.e2e.total_ms;
+    for (name, stat) in [
+        ("queued", &a.phases.queued),
+        ("prefill", &a.phases.prefill),
+        ("recompute", &a.phases.recompute),
+        ("decode", &a.phases.decode),
+        ("collective_exposed", &a.phases.collective_exposed),
+        ("other", &a.phases.other),
+        ("e2e", &a.phases.e2e),
+    ] {
+        phase_row(name, stat, e2e_total);
+    }
+    if a.tenants.len() > 1 {
+        println!();
+        for t in &a.tenants {
+            println!(
+                "  tenant {}: {} finished, e2e p50/p95 {:.3}/{:.3} ms, queued p95 {:.3} ms, exposed p95 {:.3} ms",
+                t.tenant,
+                t.finished,
+                t.breakdown.e2e.dist.p50_ms,
+                t.breakdown.e2e.dist.p95_ms,
+                t.breakdown.queued.dist.p95_ms,
+                t.breakdown.collective_exposed.dist.p95_ms
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `flat insight diff` — differential analysis of two traced runs.
+fn insight_diff(path_a: &str, path_b: &str, args: &Args) -> Result<(), String> {
+    let a = load_attribution(path_a)?;
+    let b = load_attribution(path_b)?;
+    let d = flat_insight::DiffReport::of(&a, &b);
+    if args.flag("json") {
+        println!("{}", d.to_json());
+        return Ok(());
+    }
+    println!(
+        "matched:     {} requests (A {} finished / B {} finished, A only {}, B only {})",
+        d.matched, d.a_finished, d.b_finished, d.only_in_a, d.only_in_b
+    );
+    println!(
+        "makespan:    A {:.1} ms -> B {:.1} ms; total e2e delta {:+.3} ms, dominant phase: {}",
+        d.a_makespan_ms, d.b_makespan_ms, d.e2e_delta_ms, d.dominant_phase
+    );
+    println!();
+    println!(
+        "  {:<18} {:>12} {:>12} {:>12}",
+        "phase", "A_ms", "B_ms", "delta_ms"
+    );
+    for p in &d.phase_deltas {
+        println!(
+            "  {:<18} {:>12.3} {:>12.3} {:>+12.3}",
+            p.phase, p.a_ms, p.b_ms, p.delta_ms
+        );
+    }
+    if !d.drop_shifts.is_empty() {
+        println!();
+        for s in &d.drop_shifts {
+            println!("  drops[{}]: {} -> {}", s.reason, s.a, s.b);
+        }
+    }
+    if !d.top_request_deltas.is_empty() && !d.zero_delta {
+        println!();
+        for r in &d.top_request_deltas {
+            println!(
+                "  request {:>5}: {:.3} -> {:.3} ms ({:+.3}, dominated by {})",
+                r.id, r.a_e2e_ms, r.b_e2e_ms, r.delta_ms, r.dominant_phase
+            );
+        }
+    }
+    println!();
+    println!(
+        "verdict:     {}",
+        if d.zero_delta {
+            "runs are attribution-identical (zero delta)"
+        } else {
+            "runs differ"
+        }
+    );
+    Ok(())
+}
+
+/// `flat insight bench` — the bench observatory over committed
+/// `BENCH_PR*.json` snapshots.
+fn insight_bench(args: &Args) -> Result<(), String> {
+    let dir = args.get("dir", ".");
+    let history = flat_insight::load_history(std::path::Path::new(&dir))?;
+    if history.is_empty() {
+        return Err(format!("no BENCH_PR*.json snapshots found in {dir}"));
+    }
+    let current_path = args.get("current", "");
+    let (priors, current) = if current_path.is_empty() {
+        let (last, rest) = history.split_last().ok_or("empty history")?;
+        (rest.to_vec(), last.clone())
+    } else {
+        let text =
+            std::fs::read_to_string(&current_path).map_err(|e| format!("{current_path}: {e}"))?;
+        let snap = flat_insight::BenchSnapshot::parse(&text)
+            .map_err(|e| format!("{current_path}: {e}"))?;
+        (history, snap)
+    };
+    let check = flat_insight::check_snapshot(&priors, &current);
+    if args.flag("json") {
+        println!("{}", check.to_json());
+    } else {
+        println!(
+            "observatory: {} snapshots ({} -> {}), gating {} against best-prior baselines",
+            priors.len() + 1,
+            priors
+                .first()
+                .map_or(current.tag.as_str(), |s| s.tag.as_str()),
+            current.tag,
+            current.tag
+        );
+        println!(
+            "checked:     {} aligned entries, {} new, {} missing",
+            check.checked,
+            check.new_entries.len(),
+            check.missing_entries.len()
+        );
+        for t in flat_insight::trajectories(&priors) {
+            if let (Some(first), Some(last)) = (t.points.first(), t.points.last()) {
+                if t.points.len() > 1 {
+                    println!(
+                        "  {:<64} {:>10.3} -> {:>10.3} ms over {} snapshots (tol {:.1}x)",
+                        t.key,
+                        first.mean_ms,
+                        last.mean_ms,
+                        t.points.len(),
+                        flat_insight::group_tolerance(&t.group)
+                    );
+                }
+            }
+        }
+        for r in &check.regressions {
+            println!("  REGRESSION {} [{}]: {}", r.key, r.gate, r.detail);
+        }
+        println!(
+            "verdict:     {}",
+            if check.pass { "pass" } else { "regression" }
+        );
+    }
+    if args.flag("check") && !check.pass {
+        return Err(format!(
+            "bench regression: {} gate failure(s) in {}",
+            check.regressions.len(),
+            current.tag
+        ));
+    }
+    Ok(())
+}
+
+/// `flat insight` — trace attribution, differential run analysis, and
+/// the bench observatory. `raw` is the argv tail including positional
+/// operands (mode and input files), which [`Args`] does not keep.
+pub fn insight(raw: &[String], args: &Args) -> Result<(), String> {
+    let pos = positionals(raw);
+    match pos.as_slice() {
+        ["attr", path] => insight_attr(path, args),
+        ["diff", a, b] => insight_diff(a, b, args),
+        ["bench"] => insight_bench(args),
+        _ => Err(
+            "usage: flat insight attr TRACE.json | flat insight diff A.json B.json | \
+             flat insight bench [--dir DIR] [--current FILE] [--check]  (note: positional \
+             operands must come before --flags so they are not read as flag values)"
+                .to_owned(),
+        ),
+    }
 }
 
 /// Parses the `--chips` comma list.

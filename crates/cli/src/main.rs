@@ -15,6 +15,9 @@
 
 //! flat dist  --platform cloud --model bert --seq 65536 [--chips 1,2,4,8] [--topology all] [--partition head] [--json]
 //!            [--requests N --trace FILE]   # serve on the cluster, tracing collectives
+//! flat insight attr TRACE.json [--json] [--metrics FILE]   # critical-path attribution
+//! flat insight diff A.json B.json [--json]                 # differential run analysis
+//! flat insight bench [--dir DIR] [--current FILE] [--check] [--json]
 //! flat run   --config experiments.json [--out results.json]
 //! ```
 //!
@@ -32,7 +35,10 @@ fn main() {
         eprintln!("{}", commands::USAGE);
         std::process::exit(2);
     };
-    let args = Args::parse_from(argv);
+    // Keep the raw tail too: `Args` drops positional operands, which
+    // `flat insight` uses for its mode and input files.
+    let raw: Vec<String> = argv.collect();
+    let args = Args::parse_from(raw.iter().cloned());
     let result = match command.as_str() {
         "info" => commands::info(),
         "cost" => commands::cost(&args),
@@ -44,6 +50,7 @@ fn main() {
         "serve" => commands::serve(&args),
         "fleet" => commands::fleet(&args),
         "dist" => commands::dist(&args),
+        "insight" => commands::insight(&raw, &args),
         "run" => commands::run(&args),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

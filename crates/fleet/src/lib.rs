@@ -64,6 +64,7 @@
 
 use flat_arch::Accelerator;
 use flat_dist::Topology;
+use flat_insight::InsightFinding;
 use flat_serve::{
     merge_streams, serve_dist_elastic, DistServeConfig, DistServeMetrics, EngineConfig, FaultPlan,
     RequestSpec, ScalePlan, ServeError,
@@ -388,6 +389,11 @@ pub struct FleetMetrics {
     /// The full distributed serving report: per-tenant accounting,
     /// windowed trajectory, scale-event log, KV-pool stats.
     pub dist: DistServeMetrics,
+    /// Health findings over the windowed trajectory: multi-window SLO
+    /// burn-rate breaches and rolling anomalies (goodput dips,
+    /// KV-occupancy spikes, drop-rate steps). Deterministic in the
+    /// trajectory.
+    pub findings: Vec<InsightFinding>,
 }
 
 impl FleetMetrics {
@@ -456,12 +462,17 @@ pub fn run_fleet_traced(
     } else {
         0.0
     };
+    let findings = flat_insight::analyze_windows(
+        &dist_metrics.serve.windows,
+        flat_insight::DEFAULT_ERROR_BUDGET,
+    );
     Ok(FleetMetrics {
         seed,
         offered: workload.len(),
         dedup: cfg.dedup,
         virtual_hours,
         dist: dist_metrics,
+        findings,
     })
 }
 

@@ -1,0 +1,500 @@
+//! Bench observatory: load the committed `BENCH_PR*.json` snapshot
+//! history, build per-metric trajectories, and gate a current snapshot
+//! against the best prior result with per-group tolerances.
+//!
+//! The benchmark harness writes `flat-bench-snapshot/v1` documents; the
+//! repo commits one per PR. Entries are aligned across snapshots by the
+//! `(group, name, config)` triple. Two tolerance regimes, calibrated
+//! from the committed history itself:
+//!
+//! * **Wall-clock groups** (`kernel`, `precision`, `sweep`, `serve`,
+//!   `engine`, `validation`) measure real compute on whatever machine
+//!   ran the bench; cross-machine noise in the history reaches ~2.2x, so
+//!   the gate is 4x the best prior mean — it catches order-of-magnitude
+//!   regressions, not jitter.
+//! * **Modeled groups** (`dist`, `fleet`) report virtual-time results
+//!   from the deterministic cost model; the history shows them
+//!   bit-stable across machines, so the gate is a tight 1.5x.
+//!
+//! Numerical accuracy regresses independently of speed: entries carrying
+//! `max_rel_error` also gate on `current <= prior_max * 1.10 + 0.01`.
+
+use serde::Serialize;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// Mean-time tolerance for deterministic modeled groups.
+const MODELED_TOLERANCE: f64 = 1.5;
+/// Mean-time tolerance for wall-clock groups.
+const WALL_TOLERANCE: f64 = 4.0;
+
+/// One benchmark entry from a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Benchmark group (`kernel`, `dist`, …).
+    pub group: String,
+    /// Configuration string.
+    pub config: String,
+    /// Mean time per rep, ms.
+    pub mean_ms: f64,
+    /// Fastest rep, ms.
+    pub min_ms: f64,
+    /// Reps measured.
+    pub reps: u64,
+    /// Worst relative numerical error vs the reference, when measured.
+    pub max_rel_error: Option<f64>,
+    /// Speedup vs the group's baseline entry.
+    pub speedup_vs_baseline: f64,
+}
+
+impl BenchEntry {
+    /// The alignment key: `group/name [config]`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}/{} [{}]", self.group, self.name, self.config)
+    }
+}
+
+/// One parsed `flat-bench-snapshot/v1` document.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchSnapshot {
+    /// Snapshot tag (`PR9`, …).
+    pub tag: String,
+    /// CPU model string of the machine that ran it.
+    pub cpu_model: String,
+    /// Worker-pool threads used.
+    pub pool_threads: u64,
+    /// The entries.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSnapshot {
+    /// Parses a snapshot document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct: bad
+    /// JSON, wrong `schema` tag, or an entry missing required fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+        let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+        if schema != "flat-bench-snapshot/v1" {
+            return Err(format!(
+                "unsupported snapshot schema {schema:?} (want \"flat-bench-snapshot/v1\")"
+            ));
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| "missing \"entries\" array".to_owned())?
+            .iter()
+            .enumerate()
+            .map(|(i, e)| parse_entry(e).map_err(|err| format!("entries[{i}]: {err}")))
+            .collect::<Result<Vec<BenchEntry>, String>>()?;
+        Ok(BenchSnapshot {
+            tag: doc
+                .get("tag")
+                .and_then(|v| v.as_str())
+                .unwrap_or("untagged")
+                .to_owned(),
+            cpu_model: doc
+                .get("cpu_model")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unknown")
+                .to_owned(),
+            pool_threads: doc
+                .get("pool_threads")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            entries,
+        })
+    }
+}
+
+fn parse_entry(e: &Value) -> Result<BenchEntry, String> {
+    let s = |k: &str| {
+        e.get(k)
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing \"{k}\""))
+    };
+    let f = |k: &str| {
+        e.get(k)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing \"{k}\""))
+    };
+    Ok(BenchEntry {
+        name: s("name")?,
+        group: s("group")?,
+        config: s("config")?,
+        mean_ms: f("mean_ms")?,
+        min_ms: f("min_ms")?,
+        reps: e.get("reps").and_then(|v| v.as_u64()).unwrap_or(0),
+        max_rel_error: e.get("max_rel_error").and_then(|v| v.as_f64()),
+        speedup_vs_baseline: e
+            .get("speedup_vs_baseline")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(1.0),
+    })
+}
+
+/// Loads the committed snapshot history from `dir`: every
+/// `BENCH_PR<n>.json`, sorted by PR number.
+///
+/// # Errors
+///
+/// Returns a description when the directory is unreadable or any
+/// snapshot fails to parse. An empty directory yields an empty history.
+pub fn load_history(dir: &Path) -> Result<Vec<BenchSnapshot>, String> {
+    let mut numbered: Vec<(u64, PathBuf)> = Vec::new();
+    let listing =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in listing.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            numbered.push((num, entry.path()));
+        }
+    }
+    numbered.sort_by_key(|(n, _)| *n);
+    numbered
+        .into_iter()
+        .map(|(_, path)| {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            BenchSnapshot::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+        })
+        .collect()
+}
+
+/// One point on a metric's history trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrajectoryPoint {
+    /// Snapshot tag.
+    pub tag: String,
+    /// Mean time, ms.
+    pub mean_ms: f64,
+    /// Numerical error, when measured.
+    pub max_rel_error: Option<f64>,
+}
+
+/// One benchmark's trajectory across the snapshot history.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Trajectory {
+    /// Alignment key (`group/name [config]`).
+    pub key: String,
+    /// Benchmark group.
+    pub group: String,
+    /// History points, snapshot-ordered.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+/// Builds per-metric trajectories over a snapshot history
+/// (key-sorted; points follow the given snapshot order).
+#[must_use]
+pub fn trajectories(history: &[BenchSnapshot]) -> Vec<Trajectory> {
+    let mut by_key: std::collections::BTreeMap<String, Trajectory> =
+        std::collections::BTreeMap::new();
+    for snap in history {
+        for e in &snap.entries {
+            by_key
+                .entry(e.key())
+                .or_insert_with(|| Trajectory {
+                    key: e.key(),
+                    group: e.group.clone(),
+                    points: Vec::new(),
+                })
+                .points
+                .push(TrajectoryPoint {
+                    tag: snap.tag.clone(),
+                    mean_ms: e.mean_ms,
+                    max_rel_error: e.max_rel_error,
+                });
+        }
+    }
+    by_key.into_values().collect()
+}
+
+/// One gated regression.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchRegression {
+    /// Alignment key of the regressed benchmark.
+    pub key: String,
+    /// `mean-ms` or `rel-error`.
+    pub gate: String,
+    /// Best (or worst-tolerated) prior value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// The limit the current value exceeded.
+    pub limit: f64,
+    /// Human-readable one-liner.
+    pub detail: String,
+}
+
+/// The result of gating one snapshot against the history.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchCheck {
+    /// Report schema tag.
+    pub schema: String,
+    /// Tag of the snapshot under test.
+    pub current_tag: String,
+    /// Tags of the prior snapshots gated against.
+    pub baseline_tags: Vec<String>,
+    /// Entries aligned and gated.
+    pub checked: usize,
+    /// Entries in the current snapshot with no prior history.
+    pub new_entries: Vec<String>,
+    /// Entries in the latest prior snapshot absent from the current one.
+    pub missing_entries: Vec<String>,
+    /// Gate failures.
+    pub regressions: Vec<BenchRegression>,
+    /// Whether the snapshot passes (no regressions).
+    pub pass: bool,
+}
+
+impl BenchCheck {
+    /// The report as pretty JSON — byte-deterministic for fixed inputs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// Mean-time tolerance for a benchmark group (see the module docs for
+/// the calibration).
+#[must_use]
+pub fn group_tolerance(group: &str) -> f64 {
+    match group {
+        "dist" | "fleet" => MODELED_TOLERANCE,
+        _ => WALL_TOLERANCE,
+    }
+}
+
+/// Gates `current` against the prior history.
+///
+/// The baseline per entry is the *best* (minimum) prior mean, so a slow
+/// machine in the history cannot mask a real regression; the tolerance
+/// absorbs machine-to-machine spread. Entries without history are
+/// reported as new, never failed.
+#[must_use]
+pub fn check_snapshot(history: &[BenchSnapshot], current: &BenchSnapshot) -> BenchCheck {
+    let priors: Vec<&BenchSnapshot> = history.iter().filter(|s| s.tag != current.tag).collect();
+    let mut best_mean: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let mut worst_err: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for snap in &priors {
+        for e in &snap.entries {
+            let k = e.key();
+            best_mean
+                .entry(k.clone())
+                .and_modify(|m| *m = m.min(e.mean_ms))
+                .or_insert(e.mean_ms);
+            if let Some(err) = e.max_rel_error {
+                worst_err
+                    .entry(k)
+                    .and_modify(|m| *m = m.max(err))
+                    .or_insert(err);
+            }
+        }
+    }
+
+    let mut regressions: Vec<BenchRegression> = Vec::new();
+    let mut new_entries: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for e in &current.entries {
+        let k = e.key();
+        let Some(&baseline) = best_mean.get(&k) else {
+            new_entries.push(k);
+            continue;
+        };
+        checked += 1;
+        let limit = baseline * group_tolerance(&e.group);
+        if e.mean_ms > limit {
+            regressions.push(BenchRegression {
+                key: k.clone(),
+                gate: "mean-ms".to_owned(),
+                baseline,
+                current: e.mean_ms,
+                limit,
+                detail: format!(
+                    "mean {:.3} ms exceeds {:.1}x of best prior {:.3} ms",
+                    e.mean_ms,
+                    group_tolerance(&e.group),
+                    baseline
+                ),
+            });
+        }
+        if let (Some(cur), Some(&prior)) = (e.max_rel_error, worst_err.get(&k)) {
+            let err_limit = prior * 1.10 + 0.01;
+            if cur > err_limit {
+                regressions.push(BenchRegression {
+                    key: k,
+                    gate: "rel-error".to_owned(),
+                    baseline: prior,
+                    current: cur,
+                    limit: err_limit,
+                    detail: format!(
+                        "max_rel_error {cur:.6} exceeds prior worst {prior:.6} * 1.10 + 0.01"
+                    ),
+                });
+            }
+        }
+    }
+
+    let missing_entries: Vec<String> = priors.last().map_or_else(Vec::new, |latest| {
+        let have: std::collections::BTreeSet<String> =
+            current.entries.iter().map(BenchEntry::key).collect();
+        latest
+            .entries
+            .iter()
+            .map(BenchEntry::key)
+            .filter(|k| !have.contains(k))
+            .collect()
+    });
+
+    regressions.sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.gate.cmp(&b.gate)));
+    new_entries.sort();
+    BenchCheck {
+        schema: "flat-insight-bench-check/v1".to_owned(),
+        current_tag: current.tag.clone(),
+        baseline_tags: priors.iter().map(|s| s.tag.clone()).collect(),
+        checked,
+        new_entries,
+        missing_entries,
+        pass: regressions.is_empty(),
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(group: &str, name: &str, mean: f64, err: Option<f64>) -> BenchEntry {
+        BenchEntry {
+            name: name.to_owned(),
+            group: group.to_owned(),
+            config: "cfg".to_owned(),
+            mean_ms: mean,
+            min_ms: mean,
+            reps: 3,
+            max_rel_error: err,
+            speedup_vs_baseline: 1.0,
+        }
+    }
+
+    fn snap(tag: &str, entries: Vec<BenchEntry>) -> BenchSnapshot {
+        BenchSnapshot {
+            tag: tag.to_owned(),
+            cpu_model: "test".to_owned(),
+            pool_threads: 1,
+            entries,
+        }
+    }
+
+    #[test]
+    fn identical_snapshot_passes() {
+        let history = vec![snap("PR1", vec![entry("kernel", "a", 10.0, Some(1e-6))])];
+        let current = snap("PR2", vec![entry("kernel", "a", 10.0, Some(1e-6))]);
+        let check = check_snapshot(&history, &current);
+        assert!(check.pass, "{check:?}");
+        assert_eq!(check.checked, 1);
+    }
+
+    #[test]
+    fn injected_mean_regression_fails_with_group_tolerance() {
+        let history = vec![snap(
+            "PR1",
+            vec![
+                entry("dist", "d", 10.0, None),
+                entry("kernel", "k", 10.0, None),
+            ],
+        )];
+        // dist (modeled, 1.5x) fails at 2x; kernel (wall, 4x) tolerates 2x.
+        let current = snap(
+            "PR2",
+            vec![
+                entry("dist", "d", 20.0, None),
+                entry("kernel", "k", 20.0, None),
+            ],
+        );
+        let check = check_snapshot(&history, &current);
+        assert!(!check.pass);
+        assert_eq!(check.regressions.len(), 1);
+        assert!(check.regressions[0].key.starts_with("dist/"));
+        // But a 5x kernel blowup fails too.
+        let blowup = snap("PR2", vec![entry("kernel", "k", 50.0, None)]);
+        assert!(!check_snapshot(&history, &blowup).pass);
+    }
+
+    #[test]
+    fn rel_error_gate_fires_independently_of_speed() {
+        let history = vec![snap("PR1", vec![entry("precision", "p", 10.0, Some(0.1))])];
+        let bad = snap("PR2", vec![entry("precision", "p", 10.0, Some(0.5))]);
+        let check = check_snapshot(&history, &bad);
+        assert!(!check.pass);
+        assert_eq!(check.regressions[0].gate, "rel-error");
+        let ok = snap("PR2", vec![entry("precision", "p", 10.0, Some(0.11))]);
+        assert!(check_snapshot(&history, &ok).pass);
+    }
+
+    #[test]
+    fn baseline_is_best_prior_and_new_entries_never_fail() {
+        let history = vec![
+            snap("PR1", vec![entry("fleet", "f", 10.0, None)]),
+            snap("PR2", vec![entry("fleet", "f", 30.0, None)]),
+        ];
+        // 14 ms is within 1.5x of the best prior (10), though not of a
+        // naive latest-prior baseline after PR2's slow machine.
+        let current = snap(
+            "PR3",
+            vec![
+                entry("fleet", "f", 14.0, None),
+                entry("fleet", "g", 1.0, None),
+            ],
+        );
+        let check = check_snapshot(&history, &current);
+        assert!(check.pass, "{check:?}");
+        assert_eq!(check.new_entries, vec!["fleet/g [cfg]".to_owned()]);
+        // 16 ms exceeds 1.5x of the best prior.
+        let slow = snap("PR3", vec![entry("fleet", "f", 16.0, None)]);
+        assert!(!check_snapshot(&history, &slow).pass);
+    }
+
+    #[test]
+    fn parses_and_gates_the_committed_history_format() {
+        let doc = r#"{
+            "cpu_model": "test cpu",
+            "entries": [
+                {"config": "c", "group": "kernel", "max_rel_error": null,
+                 "mean_ms": 1.5, "min_ms": 1.2, "name": "n", "reps": 3,
+                 "speedup_vs_baseline": 1.0}
+            ],
+            "pool_threads": 1,
+            "schema": "flat-bench-snapshot/v1",
+            "tag": "PR1"
+        }"#;
+        let snap = BenchSnapshot::parse(doc).expect("parse");
+        assert_eq!(snap.tag, "PR1");
+        assert_eq!(snap.entries[0].key(), "kernel/n [c]");
+        assert!(BenchSnapshot::parse("{\"schema\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn trajectories_align_by_key_in_snapshot_order() {
+        let history = vec![
+            snap("PR1", vec![entry("kernel", "a", 10.0, None)]),
+            snap("PR2", vec![entry("kernel", "a", 12.0, None)]),
+        ];
+        let t = trajectories(&history);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].points.len(), 2);
+        assert_eq!(t[0].points[0].tag, "PR1");
+        assert!((t[0].points[1].mean_ms - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,357 @@
+//! Fleet health: multi-window SLO burn-rate and deterministic rolling
+//! anomaly detection over windowed serving trajectories.
+//!
+//! Both analyses consume the [`WindowSample`] trajectory the serving
+//! engine records (`window_ms` sampling) and emit typed
+//! [`InsightFinding`]s. Everything here is pure arithmetic over the
+//! trajectory — same windows in, same findings out, byte-for-byte.
+//!
+//! * **Burn rate** follows the multi-window pattern: the per-window
+//!   error ratio (drops over completions) divided by the error budget
+//!   gives a burn multiplier; a *page* fires when both a fast (3-window)
+//!   and slow (12-window) average burn exceed 14.4×, a *warn* when both
+//!   exceed 6×. Requiring both windows suppresses one-window blips while
+//!   still catching slow bleeds.
+//! * **Anomalies** compare each window against the trailing 8-window
+//!   mean and standard deviation: goodput dips, KV-occupancy spikes, and
+//!   drop-ratio steps must clear both a 3-sigma gate and a relative
+//!   floor, so flat trajectories with microscopic variance do not page.
+//!
+//! Windows flagged [`truncated`] are excluded: a truncated window
+//! absorbed an arbitrary tail span and has no nominal width, so reading
+//! it as one rate sample would fabricate a rate.
+//!
+//! [`WindowSample`]: flat_serve::WindowSample
+//! [`truncated`]: flat_serve::WindowSample::truncated
+
+use flat_serve::WindowSample;
+use serde::Serialize;
+
+/// Fast burn-rate window, in samples.
+const FAST_WINDOWS: usize = 3;
+/// Slow burn-rate window, in samples.
+const SLOW_WINDOWS: usize = 12;
+/// Burn multiplier that pages (both windows).
+const PAGE_BURN: f64 = 14.4;
+/// Burn multiplier that warns (both windows).
+const WARN_BURN: f64 = 6.0;
+/// Trailing history for anomaly baselines, in samples.
+const BASELINE_WINDOWS: usize = 8;
+/// Minimum history before anomaly gates arm.
+const MIN_BASELINE: usize = 4;
+
+/// Default SLO error budget: fraction of requests allowed to drop.
+pub const DEFAULT_ERROR_BUDGET: f64 = 0.05;
+
+/// One typed, deterministic health finding over a window span.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InsightFinding {
+    /// Finding type: `slo-burn`, `goodput-dip`, `kv-spike`, or
+    /// `drop-step`.
+    pub kind: String,
+    /// `page` or `warn`.
+    pub severity: String,
+    /// Start of the affected span on the engine's virtual clock, ms.
+    pub start_ms: f64,
+    /// End of the affected span, ms.
+    pub end_ms: f64,
+    /// Consecutive windows merged into this finding.
+    pub windows: usize,
+    /// The peak offending value over the span (burn multiplier, ratio,
+    /// or tokens/s depending on `kind`).
+    pub value: f64,
+    /// The threshold the value crossed.
+    pub threshold: f64,
+    /// Human-readable one-liner.
+    pub detail: String,
+}
+
+/// Per-window burn multiplier: error ratio over budget. Windows with no
+/// completions burn nothing.
+fn burn(w: &WindowSample, budget: f64) -> f64 {
+    let total = w.finished + w.dropped;
+    if total == 0 || budget <= 0.0 {
+        return 0.0;
+    }
+    (w.dropped as f64 / total as f64) / budget
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn std_dev(xs: &[f64], mu: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    (xs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// A raw per-window breach before merging.
+struct Breach {
+    kind: &'static str,
+    severity: &'static str,
+    index: usize,
+    value: f64,
+    threshold: f64,
+}
+
+/// Analyzes a windowed trajectory into typed findings.
+///
+/// `error_budget` is the SLO drop-fraction budget (see
+/// [`DEFAULT_ERROR_BUDGET`]). Consecutive windows breaching the same
+/// gate merge into one finding spanning them; findings are ordered by
+/// span start, then kind.
+#[must_use]
+pub fn analyze_windows(windows: &[WindowSample], error_budget: f64) -> Vec<InsightFinding> {
+    let ws: Vec<&WindowSample> = windows.iter().filter(|w| !w.truncated).collect();
+    if ws.is_empty() {
+        return Vec::new();
+    }
+    // Window i spans (start[i], ws[i].end_ms]; the first window starts
+    // at the virtual-clock origin.
+    let start_of = |i: usize| if i == 0 { 0.0 } else { ws[i - 1].end_ms };
+
+    let burns: Vec<f64> = ws.iter().map(|w| burn(w, error_budget)).collect();
+    let drop_ratio = |w: &WindowSample| {
+        let total = w.finished + w.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            w.dropped as f64 / total as f64
+        }
+    };
+
+    let mut breaches: Vec<Breach> = Vec::new();
+    for i in 0..ws.len() {
+        // Multi-window burn rate: needs a full fast window; the slow
+        // window clamps to the history available so short runs still
+        // gate on sustained burn.
+        if i + 1 >= FAST_WINDOWS {
+            let fast = mean(&burns[i + 1 - FAST_WINDOWS..=i]);
+            let slow_len = SLOW_WINDOWS.min(i + 1);
+            let slow = mean(&burns[i + 1 - slow_len..=i]);
+            if fast > PAGE_BURN && slow > PAGE_BURN {
+                breaches.push(Breach {
+                    kind: "slo-burn",
+                    severity: "page",
+                    index: i,
+                    value: fast,
+                    threshold: PAGE_BURN,
+                });
+            } else if fast > WARN_BURN && slow > WARN_BURN {
+                breaches.push(Breach {
+                    kind: "slo-burn",
+                    severity: "warn",
+                    index: i,
+                    value: fast,
+                    threshold: WARN_BURN,
+                });
+            }
+        }
+
+        // Rolling anomaly gates against the trailing baseline.
+        let lo = i.saturating_sub(BASELINE_WINDOWS);
+        if i - lo < MIN_BASELINE {
+            continue;
+        }
+        let hist = &ws[lo..i];
+
+        let g: Vec<f64> = hist.iter().map(|w| w.goodput_tokens_per_s).collect();
+        let (g_mu, g_sd) = (mean(&g), std_dev(&g, mean(&g)));
+        let gv = ws[i].goodput_tokens_per_s;
+        if gv < g_mu - 3.0 * g_sd && gv < 0.7 * g_mu {
+            breaches.push(Breach {
+                kind: "goodput-dip",
+                severity: "warn",
+                index: i,
+                value: gv,
+                threshold: 0.7 * g_mu,
+            });
+        }
+
+        let k: Vec<f64> = hist.iter().map(|w| w.kv_occupancy).collect();
+        let (k_mu, k_sd) = (mean(&k), std_dev(&k, mean(&k)));
+        let kv = ws[i].kv_occupancy;
+        if kv > k_mu + 3.0 * k_sd && kv > 1.3 * k_mu && kv > 0.5 {
+            breaches.push(Breach {
+                kind: "kv-spike",
+                severity: "warn",
+                index: i,
+                value: kv,
+                threshold: (k_mu + 3.0 * k_sd).max(0.5),
+            });
+        }
+
+        let d: Vec<f64> = hist.iter().map(|w| drop_ratio(w)).collect();
+        let (d_mu, d_sd) = (mean(&d), std_dev(&d, mean(&d)));
+        let dv = drop_ratio(ws[i]);
+        if dv > d_mu + 3.0 * d_sd && dv > d_mu + 0.1 {
+            breaches.push(Breach {
+                kind: "drop-step",
+                severity: "warn",
+                index: i,
+                value: dv,
+                threshold: d_mu + 0.1,
+            });
+        }
+    }
+
+    // Merge consecutive same-kind/severity breaches into span findings.
+    let mut findings: Vec<InsightFinding> = Vec::new();
+    breaches.sort_by(|a, b| (a.kind, a.severity, a.index).cmp(&(b.kind, b.severity, b.index)));
+    let mut i = 0;
+    while i < breaches.len() {
+        let mut j = i;
+        while j + 1 < breaches.len()
+            && breaches[j + 1].kind == breaches[i].kind
+            && breaches[j + 1].severity == breaches[i].severity
+            && breaches[j + 1].index == breaches[j].index + 1
+        {
+            j += 1;
+        }
+        let peak = breaches[i..=j]
+            .iter()
+            .map(|b| b.value)
+            .fold(breaches[i].value, |acc, v| {
+                if breaches[i].kind == "goodput-dip" {
+                    acc.min(v)
+                } else {
+                    acc.max(v)
+                }
+            });
+        let (first, last) = (&breaches[i], &breaches[j]);
+        findings.push(InsightFinding {
+            kind: first.kind.to_owned(),
+            severity: first.severity.to_owned(),
+            start_ms: start_of(first.index),
+            end_ms: ws[last.index].end_ms,
+            windows: last.index - first.index + 1,
+            value: peak,
+            threshold: first.threshold,
+            detail: describe(first.kind, first.severity, peak, first.threshold),
+        });
+        i = j + 1;
+    }
+    findings.sort_by(|a, b| {
+        a.start_ms
+            .total_cmp(&b.start_ms)
+            .then_with(|| a.kind.cmp(&b.kind))
+    });
+    findings
+}
+
+fn describe(kind: &str, severity: &str, value: f64, threshold: f64) -> String {
+    match kind {
+        "slo-burn" => format!(
+            "error-budget burn {value:.1}x exceeds the {threshold:.1}x {severity} gate on both fast and slow windows"
+        ),
+        "goodput-dip" => format!(
+            "goodput {value:.1} tok/s fell below {threshold:.1} (0.7x trailing mean, 3-sigma gate)"
+        ),
+        "kv-spike" => format!(
+            "KV occupancy {value:.2} spiked above {threshold:.2} (3-sigma over trailing mean)"
+        ),
+        _ => format!(
+            "drop ratio {value:.2} stepped above {threshold:.2} (trailing mean + 0.1, 3-sigma gate)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(end_ms: f64, finished: usize, dropped: usize, goodput: f64, kv: f64) -> WindowSample {
+        WindowSample {
+            end_ms,
+            finished,
+            dropped,
+            decode_tokens: (goodput as u64).max(1),
+            goodput_tokens_per_s: goodput,
+            kv_occupancy: kv,
+            chips: 1,
+            truncated: false,
+        }
+    }
+
+    fn steady(n: usize) -> Vec<WindowSample> {
+        (0..n)
+            .map(|i| window((i + 1) as f64 * 100.0, 10, 0, 500.0, 0.4))
+            .collect()
+    }
+
+    #[test]
+    fn steady_trajectory_is_clean() {
+        assert!(analyze_windows(&steady(24), DEFAULT_ERROR_BUDGET).is_empty());
+    }
+
+    #[test]
+    fn sustained_drops_page_and_merge() {
+        let mut ws = steady(6);
+        // 8 of 10 requests dropped per window: ratio 0.8, burn 16x.
+        // Sustained long enough that the 12-window slow average crosses
+        // the page gate too.
+        for i in 0..14 {
+            ws.push(window(700.0 + i as f64 * 100.0, 2, 8, 120.0, 0.4));
+        }
+        let findings = analyze_windows(&ws, DEFAULT_ERROR_BUDGET);
+        let burns: Vec<&InsightFinding> =
+            findings.iter().filter(|f| f.kind == "slo-burn").collect();
+        assert!(!burns.is_empty(), "sustained burn must surface");
+        assert!(burns.iter().any(|f| f.severity == "page"), "{findings:?}");
+        // Consecutive breaching windows merge into one span per gate.
+        assert!(
+            burns.iter().all(|f| f.windows >= 1),
+            "merged spans carry window counts"
+        );
+        let pages: Vec<&&InsightFinding> = burns.iter().filter(|f| f.severity == "page").collect();
+        assert_eq!(pages.len(), 1, "one merged page, not one per window");
+    }
+
+    #[test]
+    fn goodput_dip_and_kv_spike_detected() {
+        let mut ws = steady(10);
+        ws.push(window(1100.0, 10, 0, 100.0, 0.9)); // dip + spike
+        let findings = analyze_windows(&ws, DEFAULT_ERROR_BUDGET);
+        assert!(findings.iter().any(|f| f.kind == "goodput-dip"));
+        assert!(findings.iter().any(|f| f.kind == "kv-spike"));
+    }
+
+    #[test]
+    fn drop_step_detected() {
+        let mut ws = steady(10);
+        ws.push(window(1100.0, 7, 3, 350.0, 0.4));
+        let findings = analyze_windows(&ws, DEFAULT_ERROR_BUDGET);
+        assert!(
+            findings.iter().any(|f| f.kind == "drop-step"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_windows_are_excluded() {
+        let mut ws = steady(10);
+        let mut tail = window(1_000_000.0, 2, 8, 1.0, 0.99);
+        tail.truncated = true;
+        ws.push(tail);
+        assert!(
+            analyze_windows(&ws, DEFAULT_ERROR_BUDGET).is_empty(),
+            "a truncated tail window must not fabricate findings"
+        );
+    }
+
+    #[test]
+    fn findings_are_deterministic() {
+        let mut ws = steady(10);
+        ws.push(window(1100.0, 2, 8, 100.0, 0.9));
+        ws.push(window(1200.0, 2, 8, 100.0, 0.9));
+        let a = analyze_windows(&ws, DEFAULT_ERROR_BUDGET);
+        let b = analyze_windows(&ws, DEFAULT_ERROR_BUDGET);
+        assert_eq!(a, b);
+    }
+}

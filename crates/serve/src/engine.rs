@@ -346,6 +346,11 @@ struct PendingSlice {
     tokens: u64,
     /// Context length attended (decode only).
     ctx: u64,
+    /// Work redone after a preempt-and-recompute eviction (the request
+    /// had already paged these tokens in at least once). Stamped on the
+    /// trace slice so attribution can split productive prefill from
+    /// recompute overhead.
+    recompute: bool,
 }
 
 /// Request lanes start at tid 1; tid 0 is the scheduler/counter lane.
@@ -528,6 +533,7 @@ impl<'t> Engine<'t> {
             let work = self.execute_tick();
             let mut cost_s = self.tick_cost_s(&work);
             let mut coll_slices: Vec<CollectiveSlice> = Vec::new();
+            let mut tick_exposed_ms = 0.0;
             if let Some(plane) = self.dist.as_mut() {
                 // Collective time rides the same virtual clock as
                 // compute: the tick is not done until the fabric is.
@@ -546,6 +552,7 @@ impl<'t> Engine<'t> {
                 plane.exposed_ms += exposed_s * 1e3;
                 plane.payload_bytes += payload;
                 cost_s += exposed_s;
+                tick_exposed_ms = exposed_s * 1e3;
                 if self.sink.enabled() {
                     coll_slices = plane.collective_slices(tokens);
                 }
@@ -573,7 +580,14 @@ impl<'t> Engine<'t> {
                 plane.observe_used_blocks(self.pool.used_blocks());
             }
             if self.sink.enabled() {
-                self.flush_tick_events(tick_start_ms, stamp, dt_ms, skew, &coll_slices);
+                self.flush_tick_events(
+                    tick_start_ms,
+                    stamp,
+                    dt_ms,
+                    skew,
+                    tick_exposed_ms,
+                    &coll_slices,
+                );
             }
             self.pending.clear();
             self.retire_and_requeue(stamp);
@@ -663,6 +677,10 @@ impl<'t> Engine<'t> {
                 0.0
             },
             chips: self.dist.as_ref().map_or(1, DistPlane::chips),
+            // The sampler parks `next_window_end` at infinity when it
+            // hits MAX_WINDOWS; any close after that is the collapsed
+            // tail, not a nominal-width window.
+            truncated: self.next_window_end.is_infinite() && self.cfg.window_ms.is_some(),
         });
         self.win_cursor = WindowCursor {
             finished: self.finished.len(),
@@ -777,6 +795,7 @@ impl<'t> Engine<'t> {
         stamp_ms: f64,
         dt_ms: f64,
         skew: f64,
+        exposed_ms: f64,
         coll: &[CollectiveSlice],
     ) {
         let ts = tick_start_ms * US_PER_MS;
@@ -788,7 +807,34 @@ impl<'t> Engine<'t> {
             if s.kind == "decode" {
                 ev = ev.arg("ctx_tokens", s.ctx);
             }
+            if s.recompute {
+                ev = ev.arg("recompute", 1u64);
+            }
             self.sink.record(ev);
+        }
+        // The fabric time compute could not hide: one slice on the
+        // scheduler lane, packed against the tick's end exactly like the
+        // per-chip collective slices (it *is* their unhidden tail).
+        // Attribution reads this to price the collective-exposed phase.
+        // Category "engine", not "collective": the collective category
+        // is reserved for per-chip fabric lanes carrying bytes/energy
+        // args (a pinned trace contract).
+        if exposed_ms > 0.0 {
+            let d = exposed_ms * US_PER_MS * skew;
+            self.sink.record(
+                Event::complete(
+                    "exposed",
+                    "engine",
+                    stamp_ms * US_PER_MS - d,
+                    d,
+                    TRACE_PID_ENGINE,
+                    0,
+                )
+                .arg(
+                    "overlap",
+                    u64::from(self.dist.as_ref().is_some_and(DistPlane::overlap)),
+                ),
+            );
         }
         // Collectives close flush with the tick: stack the slices (skew
         // scales them exactly as it scaled the tick) back from `stamp`.
@@ -842,13 +888,10 @@ impl<'t> Engine<'t> {
                         tid,
                         &format!("req {}", r.spec.id),
                     ));
-                    self.sink.record(Event::begin(
-                        "request",
-                        "request",
-                        ts,
-                        TRACE_PID_ENGINE,
-                        tid,
-                    ));
+                    self.sink.record(
+                        Event::begin("request", "request", ts, TRACE_PID_ENGINE, tid)
+                            .arg("tenant", u64::from(r.spec.tenant)),
+                    );
                     self.sink
                         .record(Event::begin("queued", "request", ts, TRACE_PID_ENGINE, tid));
                 }
@@ -1045,6 +1088,7 @@ impl<'t> Engine<'t> {
                     kind: "prefill",
                     tokens: appended as u64,
                     ctx: 0,
+                    recompute: self.running[i].preemptions > 0,
                 });
             }
             let r = &self.running[i];
@@ -1094,6 +1138,7 @@ impl<'t> Engine<'t> {
                     kind: "decode",
                     tokens: 1,
                     ctx,
+                    recompute: false,
                 });
             }
             let r = &mut self.running[i];

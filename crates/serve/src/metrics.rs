@@ -163,6 +163,13 @@ pub struct WindowSample {
     /// Chip count in effect at the window's close (tracks elastic
     /// scaling).
     pub chips: usize,
+    /// Whether this window absorbed the run's tail after the sampler hit
+    /// its bound: past `MAX_WINDOWS` boundaries the remainder of the run
+    /// collapses into one final close, whose span can dwarf the nominal
+    /// window width. Rate analysis (burn-rate windows, anomaly
+    /// detection) must not read a truncated window as one nominal-width
+    /// sample.
+    pub truncated: bool,
 }
 
 /// The full metrics report of one serving run.

@@ -1,0 +1,71 @@
+//! Windowed-trajectory bounds: the sampler caps the trajectory at its
+//! `MAX_WINDOWS` bound and must flag the collapsed tail window as
+//! truncated, so rate analysis (burn-rate windows, anomaly detection)
+//! never reads an arbitrary-span tail as one nominal-width sample.
+
+use flat_arch::Accelerator;
+use flat_serve::{serve, EngineConfig, WorkloadSpec};
+use flat_workloads::{Model, Task};
+
+/// The sampler's trajectory bound (`flat-serve` internal constant,
+/// asserted here through observable behavior).
+const MAX_WINDOWS: usize = 1 << 17;
+
+#[test]
+fn trajectory_truncation_boundary_is_flagged() {
+    // A window narrow enough that the run crosses far more than
+    // MAX_WINDOWS boundaries: the sampler must stop at the bound and
+    // collapse the rest of the run into one final truncated window.
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    let mut spec = WorkloadSpec::from_task(Task::ShortNlp, 8, 400.0);
+    spec.prompt_mean = 40;
+    spec.output_mean = 6;
+    let wl = spec.generate(0xB0).expect("spec is valid");
+    let mut cfg = EngineConfig::for_platform(&accel, &model, 0xB0);
+    cfg.window_ms = Some(1e-4);
+    let m = serve(&accel, &model, &wl, &cfg).expect("run terminates");
+    assert!(
+        m.makespan_ms / 1e-4 > MAX_WINDOWS as f64,
+        "precondition: the run must cross more boundaries than the bound \
+         (makespan {} ms)",
+        m.makespan_ms
+    );
+    assert_eq!(
+        m.windows.len(),
+        MAX_WINDOWS + 1,
+        "bounded trajectory plus one collapsed tail"
+    );
+    let (tail, nominal) = m.windows.split_last().expect("nonempty");
+    assert!(
+        nominal.iter().all(|w| !w.truncated),
+        "every nominal-width window (including the MAX_WINDOWS-th) stays \
+         untruncated"
+    );
+    assert!(tail.truncated, "the collapsed tail is flagged");
+    assert!(
+        (tail.end_ms - m.makespan_ms).abs() < 1e-6,
+        "the tail closes at end of run"
+    );
+    // The tail absorbs everything after the bound; the books still
+    // balance across the whole trajectory.
+    let finished: usize = m.windows.iter().map(|w| w.finished).sum();
+    let dropped: usize = m.windows.iter().map(|w| w.dropped).sum();
+    assert_eq!(finished, m.finished);
+    assert_eq!(dropped, m.dropped);
+}
+
+#[test]
+fn short_runs_never_flag_truncation() {
+    let model = Model::by_name("bert").unwrap();
+    let accel = Accelerator::edge();
+    let mut spec = WorkloadSpec::from_task(Task::ShortNlp, 8, 400.0);
+    spec.prompt_mean = 40;
+    spec.output_mean = 6;
+    let wl = spec.generate(0xB1).expect("spec is valid");
+    let mut cfg = EngineConfig::for_platform(&accel, &model, 0xB1);
+    cfg.window_ms = Some(5.0);
+    let m = serve(&accel, &model, &wl, &cfg).expect("run terminates");
+    assert!(!m.windows.is_empty());
+    assert!(m.windows.iter().all(|w| !w.truncated));
+}

@@ -33,6 +33,19 @@ pub fn sort_events(events: &mut [Event]) {
 
 /// Serializes `events` as one Chrome trace JSON document, one event per
 /// line, in the given order.
+///
+/// # Contract
+///
+/// The exporter is a pure serializer — it never panics and never
+/// validates span structure:
+///
+/// * an empty stream is a complete, loadable document;
+/// * events fully tied on `(ts, pid, tid, name)` all serialize, in
+///   their given order;
+/// * an unmatched `B` (begin with no `E`) serializes as-is — balancing
+///   spans is the *producer's* contract (the `flat-serve` engine closes
+///   every lane it opens), and viewers render an unmatched `B` as a
+///   span running to the end of the trace.
 #[must_use]
 pub fn chrome_trace_json(events: &[Event]) -> String {
     let mut out = String::with_capacity(TRACE_HEADER.len() + 112 * events.len());
@@ -88,6 +101,43 @@ mod tests {
         // Stable: the un-arg'd "x" was produced first and stays first.
         assert!(events[0].args.is_empty());
         assert_eq!(events[1].args.len(), 1);
+    }
+
+    /// The pathological-input contract: empty streams, full key ties,
+    /// and unbalanced spans all sort and serialize without panicking.
+    #[test]
+    fn pathological_inputs_sort_and_serialize() {
+        // Empty stream: sorting is a no-op, the document is complete.
+        let mut none: Vec<Event> = Vec::new();
+        sort_events(&mut none);
+        assert!(chrome_trace_json(&none).contains("\"traceEvents\""));
+
+        // Every event identical on (ts, pid, tid, name): the stable sort
+        // keeps production order, and all of them serialize.
+        let mut tied: Vec<Event> = (0..4)
+            .map(|i| Event::instant("tie", "c", 1.0, 2, 3).arg("seq", i as u64))
+            .collect();
+        sort_events(&mut tied);
+        let doc = chrome_trace_json(&tied);
+        for i in 0..4 {
+            assert!(doc.contains(&format!("\"seq\":{i}")), "lost tied event {i}");
+        }
+        let seqs: Vec<usize> = tied
+            .iter()
+            .map(|e| match e.args[0].1 {
+                crate::ArgValue::U64(v) => v as usize,
+                _ => usize::MAX,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "stable sort reordered ties");
+
+        // Unmatched B without E: serialized as-is, no panic, no synthetic
+        // close — balancing is the producer's job.
+        let mut open = vec![Event::begin("orphan", "c", 5.0, 0, 0)];
+        sort_events(&mut open);
+        let doc = chrome_trace_json(&open);
+        assert_eq!(doc.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(doc.matches("\"ph\":\"E\"").count(), 0);
     }
 
     #[test]

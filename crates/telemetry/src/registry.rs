@@ -208,12 +208,14 @@ impl Registry {
 
     /// Renders the Prometheus text exposition format (version 0.0.4):
     /// `# HELP` / `# TYPE` headers, then one line per sample, in
-    /// registration order.
+    /// registration order. Help text and label values carry the format's
+    /// escaping (`\\`, `\n`, and `\"` in label values), so hostile
+    /// strings cannot break a line or smuggle in an extra label.
     #[must_use]
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
         for (name, help, metric) in &self.metrics {
-            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
             let _ = writeln!(out, "# TYPE {name} {}", metric.type_name());
             match metric {
                 Metric::Counter(v) | Metric::Gauge(v) => {
@@ -221,7 +223,12 @@ impl Registry {
                 }
                 Metric::Summary(quantiles) => {
                     for (q, v) in quantiles {
-                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", fmt_value(*v));
+                        let _ = writeln!(
+                            out,
+                            "{name}{{quantile=\"{}\"}} {}",
+                            escape_label_value(q),
+                            fmt_value(*v)
+                        );
                     }
                 }
                 Metric::Histogram(h) => {
@@ -240,6 +247,53 @@ impl Registry {
         }
         out
     }
+
+    /// Registers raw samples as a summary metric with nearest-rank
+    /// p50/p95/p99 quantiles — the one-call path from a vector of
+    /// latencies to an exposition-ready summary. Non-finite samples are
+    /// excluded; an all-empty input registers an empty summary.
+    pub fn summary_of(&mut self, name: &str, help: &str, samples: &[f64]) {
+        let mut finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        finite.sort_by(f64::total_cmp);
+        let quantiles = if finite.is_empty() {
+            Vec::new()
+        } else {
+            let at = |p: f64| {
+                let rank = (p * finite.len() as f64).ceil() as usize;
+                finite[rank.clamp(1, finite.len()) - 1]
+            };
+            vec![("0.5", at(0.50)), ("0.95", at(0.95)), ("0.99", at(0.99))]
+        };
+        self.summary(name, help, quantiles);
+    }
+}
+
+/// 0.0.4 `# HELP` escaping: backslash and line feed only (double quotes
+/// are legal in help text).
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// 0.0.4 label-value escaping: backslash, double quote, and line feed.
+fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Deterministic value formatting: integers print bare, everything else
@@ -317,6 +371,51 @@ mod tests {
         assert!(text.contains("c_ms_count 2"));
         assert!(text.contains("# TYPE d_ms summary"));
         assert!(text.contains("d_ms{quantile=\"0.99\"} 42.5"));
+    }
+
+    /// 0.0.4 conformance over hostile help text and label values: every
+    /// metric still renders as exactly one HELP line, one TYPE line, and
+    /// one sample line — newlines, backslashes, and quotes in the inputs
+    /// arrive escaped instead of splitting lines or closing the label
+    /// quote early.
+    #[test]
+    fn exposition_escapes_hostile_help_and_label_values() {
+        let mut r = Registry::new();
+        r.counter_add("evil_total", "line one\nline two \\ \"quoted\"", 1.0);
+        r.summary(
+            "evil_ms",
+            "Quantiles.",
+            vec![("0.5\"},evil{x=\"", 1.0), ("p\\n", 2.0)],
+        );
+        let text = r.prometheus();
+        assert!(text.contains("# HELP evil_total line one\\nline two \\\\ \"quoted\"\n"));
+        assert!(text.contains("evil_ms{quantile=\"0.5\\\"},evil{x=\\\"\"} 1\n"));
+        assert!(text.contains("evil_ms{quantile=\"p\\\\n\"} 2\n"));
+        // No raw newline escaped the HELP line: every line is a comment,
+        // a sample, or empty — a sample line never starts with a space.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("evil_"),
+                "unexpected exposition line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_of_computes_nearest_rank_quantiles() {
+        let mut r = Registry::new();
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        r.summary_of("lat_ms", "Latency.", &samples);
+        let text = r.prometheus();
+        assert!(text.contains("lat_ms{quantile=\"0.5\"} 50\n"));
+        assert!(text.contains("lat_ms{quantile=\"0.95\"} 95\n"));
+        assert!(text.contains("lat_ms{quantile=\"0.99\"} 99\n"));
+        // NaN-laced and empty inputs stay panic-free.
+        r.summary_of("nan_ms", "NaN.", &[f64::NAN, 3.0]);
+        r.summary_of("empty_ms", "Empty.", &[]);
+        let text = r.prometheus();
+        assert!(text.contains("nan_ms{quantile=\"0.99\"} 3\n"));
+        assert!(text.contains("# TYPE empty_ms summary\n"));
     }
 
     #[test]

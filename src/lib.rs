@@ -28,6 +28,10 @@
 //! * [`fleet`] — the sustained-load fleet harness: diurnal multi-tenant
 //!   traffic with prefix-template libraries, driven through the serving
 //!   runtime with windowed trajectories and elastic cluster resizes.
+//! * [`insight`] — the analysis layer over the telemetry: per-request
+//!   critical-path attribution of traces, differential run comparison,
+//!   SLO burn-rate and anomaly findings over trajectories, and the
+//!   bench-history regression observatory.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +42,7 @@ pub use flat_dist as dist;
 pub use flat_dse as dse;
 pub use flat_fleet as fleet;
 pub use flat_gpu as gpu;
+pub use flat_insight as insight;
 pub use flat_kernels as kernels;
 pub use flat_serve as serve;
 pub use flat_sim as sim;
